@@ -1,0 +1,63 @@
+//! Priority-blind FIFO queue — the accuracy floor of Table 1.
+//!
+//! The paper contextualizes accuracy numbers against a FIFO: a relaxed
+//! priority queue that pays no attention to priorities at all would
+//! return elements in arrival order, scoring only by chance ("At 32
+//! threads and beyond, the SprayList is even worse than a FIFO queue").
+
+use crossbeam::queue::SegQueue;
+use pq_traits::ConcurrentPriorityQueue;
+
+/// Lock-free MPMC FIFO (crossbeam's segmented queue) exposed through the
+/// priority-queue trait. `extract_max` is simply `pop_front`.
+pub struct FifoQueue<V> {
+    inner: SegQueue<(u64, V)>,
+}
+
+impl<V> FifoQueue<V> {
+    /// New empty queue.
+    pub fn new() -> Self {
+        Self { inner: SegQueue::new() }
+    }
+}
+
+impl<V> Default for FifoQueue<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Send> ConcurrentPriorityQueue<V> for FifoQueue<V> {
+    fn insert(&self, prio: u64, value: V) {
+        self.inner.push((prio, value));
+    }
+
+    fn extract_max(&self) -> Option<(u64, V)> {
+        self.inner.pop()
+    }
+
+    fn name(&self) -> String {
+        "fifo".into()
+    }
+
+    fn len_hint(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_ignores_priorities() {
+        let q = FifoQueue::new();
+        q.insert(1, "first");
+        q.insert(100, "second");
+        q.insert(50, "third");
+        assert_eq!(q.extract_max(), Some((1, "first")));
+        assert_eq!(q.extract_max(), Some((100, "second")));
+        assert_eq!(q.extract_max(), Some((50, "third")));
+        assert_eq!(q.extract_max(), None);
+    }
+}

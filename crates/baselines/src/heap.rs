@@ -1,0 +1,119 @@
+//! Coarse-grained locked binary heap: the strict, simple yardstick.
+
+use std::collections::BinaryHeap;
+
+use parking_lot::Mutex;
+use pq_traits::ConcurrentPriorityQueue;
+
+/// A `BinaryHeap` behind one mutex. Strict semantics, zero scalability —
+/// useful as a correctness oracle and a single-thread performance anchor.
+pub struct CoarseHeap<V> {
+    heap: Mutex<BinaryHeap<Entry<V>>>,
+}
+
+/// Orders by priority only, so `V` needs no `Ord`.
+struct Entry<V> {
+    prio: u64,
+    value: V,
+}
+
+impl<V> PartialEq for Entry<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio
+    }
+}
+impl<V> Eq for Entry<V> {}
+impl<V> PartialOrd for Entry<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V> Ord for Entry<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.prio.cmp(&other.prio)
+    }
+}
+
+impl<V> CoarseHeap<V> {
+    /// New empty heap.
+    pub fn new() -> Self {
+        Self { heap: Mutex::new(BinaryHeap::new()) }
+    }
+
+    /// Exact current length.
+    pub fn len(&self) -> usize {
+        self.heap.lock().len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V> Default for CoarseHeap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Send> ConcurrentPriorityQueue<V> for CoarseHeap<V> {
+    fn insert(&self, prio: u64, value: V) {
+        self.heap.lock().push(Entry { prio, value });
+    }
+
+    fn extract_max(&self) -> Option<(u64, V)> {
+        self.heap.lock().pop().map(|e| (e.prio, e.value))
+    }
+
+    fn name(&self) -> String {
+        "coarse-heap".into()
+    }
+
+    fn is_relaxed(&self) -> bool {
+        false
+    }
+
+    fn len_hint(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_ordering() {
+        let h = CoarseHeap::new();
+        for k in [4u64, 9, 1, 9, 5] {
+            h.insert(k, k);
+        }
+        let got: Vec<u64> = std::iter::from_fn(|| h.extract_max().map(|p| p.0)).collect();
+        assert_eq!(got, vec![9, 9, 5, 4, 1]);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        use std::sync::Arc;
+        let h = Arc::new(CoarseHeap::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5000u64 {
+                    h.insert(t * 5000 + i, i);
+                }
+            }));
+        }
+        for hd in handles {
+            hd.join().unwrap();
+        }
+        assert_eq!(h.len(), 20_000);
+        let mut prev = u64::MAX;
+        while let Some((k, _)) = h.extract_max() {
+            assert!(k <= prev);
+            prev = k;
+        }
+    }
+}

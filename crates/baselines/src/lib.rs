@@ -1,0 +1,43 @@
+//! Comparator priority queues for the ZMSQ evaluation.
+//!
+//! Every queue the paper measures against or discusses (§2, §4):
+//!
+//! * [`Mound`] — the lock-based mound of Liu & Spear (§2.2): a binary
+//!   tree of sorted lists with the plain insertion rule. ZMSQ's direct
+//!   ancestor and the "mound" curves of Figs. 3, 5, 7.
+//! * [`SprayList`] — Alistarh et al.'s relaxed skiplist (§2.1): a
+//!   lock-free skiplist whose `extract_max` "sprays" a random walk over a
+//!   thread-count-dependent prefix. The "SprayList" curves of Figs. 5–8
+//!   and Table 1. Reclaimed with epochs (strictly kinder than the leaky
+//!   original the paper measured).
+//! * [`MultiQueue`] — Rihani et al.: `c·T` locked heaps, insert into a
+//!   random one, extract from the better of two random picks (§2.1).
+//! * [`KLsm`] — a simplified k-LSM (Wimmer et al., §2.1): thread-local
+//!   log-structured merge components of bounded size `k` spilling into a
+//!   shared global LSM. Reproduces the deficiency the paper criticizes:
+//!   `extract_max` can miss elements buffered in *other* threads' locals.
+//! * [`CoarseHeap`] — a single-lock `BinaryHeap`: the strict,
+//!   non-scalable yardstick.
+//! * [`FifoQueue`] — priority-blind FIFO order: the accuracy *floor* of
+//!   Table 1 ("the SprayList is even worse than a FIFO queue").
+//! * [`StrictSkiplistPq`] — Lotan–Shavit-style delete-max-at-front over
+//!   the same skiplist substrate as the SprayList (spray width 1).
+//!
+//! All implement [`pq_traits::ConcurrentPriorityQueue`].
+
+#![warn(missing_docs)]
+
+mod fifo;
+mod heap;
+mod klsm;
+mod mound;
+mod multiqueue;
+mod skiplist;
+mod spraylist;
+
+pub use fifo::FifoQueue;
+pub use heap::CoarseHeap;
+pub use klsm::KLsm;
+pub use mound::Mound;
+pub use multiqueue::MultiQueue;
+pub use spraylist::{SprayList, StrictSkiplistPq};

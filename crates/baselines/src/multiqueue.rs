@@ -1,0 +1,219 @@
+//! MultiQueue (Rihani, Sanders, Dementiev 2015).
+//!
+//! `c · T` sequential binary heaps, each behind its own lock. `insert`
+//! pushes into a random heap; `extract_max` peeks two random heaps and
+//! pops from the one with the better top — the classic power-of-two-
+//! choices argument bounds the rank error probabilistically. Like the
+//! k-LSM it is cited in §1/§2.1 as a thread-local-flavored relaxed queue
+//! whose accuracy depends on the configuration size.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use pq_traits::ConcurrentPriorityQueue;
+
+/// Sentinel top for an empty sub-heap (so comparisons need no lock).
+const EMPTY_TOP: u64 = 0;
+
+/// Heap entry ordered by `(priority, insertion sequence)`; `V` is never
+/// compared so it needs no `Ord`.
+struct Entry<V> {
+    prio: u64,
+    seq: u64,
+    value: V,
+}
+
+impl<V> PartialEq for Entry<V> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.prio, self.seq) == (other.prio, other.seq)
+    }
+}
+impl<V> Eq for Entry<V> {}
+impl<V> PartialOrd for Entry<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V> Ord for Entry<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.prio, self.seq).cmp(&(other.prio, other.seq))
+    }
+}
+
+struct SubQueue<V> {
+    /// Cached top priority (+1 so 0 means "empty"), readable without the
+    /// lock for the two-choices comparison.
+    top: AtomicU64,
+    heap: Mutex<BinaryHeap<Entry<V>>>,
+}
+
+impl<V> SubQueue<V> {
+    fn new() -> Self {
+        Self { top: AtomicU64::new(EMPTY_TOP), heap: Mutex::new(BinaryHeap::new()) }
+    }
+}
+
+/// The MultiQueue relaxed priority queue.
+pub struct MultiQueue<V> {
+    queues: Box<[CachePadded<SubQueue<V>>]>,
+    seq: AtomicU64,
+}
+
+impl<V: Send> MultiQueue<V> {
+    /// Create with `c * threads` internal heaps (the usual setting is
+    /// `c = 2`).
+    pub fn new(threads: usize, c: usize) -> Self {
+        let n = (threads.max(1) * c.max(1)).next_power_of_two();
+        Self {
+            queues: (0..n).map(|_| CachePadded::new(SubQueue::new())).collect(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn random_index(&self) -> usize {
+        use std::cell::Cell;
+        thread_local! {
+            static S: Cell<u64> = const { Cell::new(0x9E37_79B9_7F4A_7C15) };
+        }
+        S.with(|s| {
+            let mut x = s.get() ^ (self as *const _ as u64);
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.set(x);
+            (x as usize) & (self.queues.len() - 1)
+        })
+    }
+
+    fn update_top(q: &SubQueue<V>, heap: &BinaryHeap<Entry<V>>) {
+        let top = heap.peek().map_or(EMPTY_TOP, |e| e.prio.saturating_add(1));
+        q.top.store(top, Ordering::Relaxed);
+    }
+}
+
+impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
+    fn insert(&self, prio: u64, value: V) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        // Lock a random heap; on contention just try another (wait-free
+        // against any single hot heap).
+        loop {
+            let q = &self.queues[self.random_index()];
+            if let Some(mut heap) = q.heap.try_lock() {
+                heap.push(Entry { prio, seq, value });
+                Self::update_top(q, &heap);
+                return;
+            }
+        }
+    }
+
+    fn extract_max(&self) -> Option<(u64, V)> {
+        // Two random choices, pop the better; a few rounds before
+        // concluding empty (misses are possible by design, the rounds
+        // bound how often).
+        for _ in 0..self.queues.len() * 2 {
+            let (i, j) = (self.random_index(), self.random_index());
+            let (qi, qj) = (&self.queues[i], &self.queues[j]);
+            let (ti, tj) =
+                (qi.top.load(Ordering::Relaxed), qj.top.load(Ordering::Relaxed));
+            let pick = if ti >= tj { qi } else { qj };
+            if ti == EMPTY_TOP && tj == EMPTY_TOP {
+                continue;
+            }
+            if let Some(mut heap) = pick.heap.try_lock() {
+                if let Some(e) = heap.pop() {
+                    Self::update_top(pick, &heap);
+                    return Some((e.prio, e.value));
+                }
+            }
+        }
+        // Fall back to a linear sweep so emptiness reports are reliable
+        // when the queue really is (close to) empty.
+        for q in self.queues.iter() {
+            let mut heap = q.heap.lock();
+            if let Some(e) = heap.pop() {
+                Self::update_top(q, &heap);
+                return Some((e.prio, e.value));
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> String {
+        format!("multiqueue-{}", self.queues.len())
+    }
+
+    fn len_hint(&self) -> usize {
+        self.queues.iter().map(|q| q.heap.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn roundtrip_conserves() {
+        let q = MultiQueue::new(4, 2);
+        for i in 0..10_000u64 {
+            q.insert(i, i);
+        }
+        let mut got = 0;
+        while q.extract_max().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 10_000);
+    }
+
+    #[test]
+    fn returns_highish_elements() {
+        let q = MultiQueue::new(2, 2);
+        for i in 0..10_000u64 {
+            q.insert(i, i);
+        }
+        // First 100 extractions should all be in the top few percent on
+        // average; assert a loose bound.
+        let mut sum = 0u64;
+        for _ in 0..100 {
+            sum += q.extract_max().unwrap().0;
+        }
+        assert!(sum / 100 > 8_000, "mean of first 100 extracts: {}", sum / 100);
+    }
+
+    #[test]
+    fn concurrent_stress() {
+        let q = Arc::new(MultiQueue::new(4, 2));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                for i in 0..4000u64 {
+                    q.insert(t * 10_000 + i, i);
+                    if i % 2 == 0 && q.extract_max().is_some() {
+                        got += 1;
+                    }
+                }
+                got
+            }));
+        }
+        let extracted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let mut rest = 0u64;
+        while q.extract_max().is_some() {
+            rest += 1;
+        }
+        assert_eq!(extracted + rest, 16_000);
+    }
+
+    #[test]
+    fn empty_reports_none() {
+        let q: MultiQueue<u64> = MultiQueue::new(8, 2);
+        assert_eq!(q.extract_max(), None);
+        q.insert(5, 5);
+        assert_eq!(q.extract_max(), Some((5, 5)));
+        assert_eq!(q.extract_max(), None);
+    }
+}

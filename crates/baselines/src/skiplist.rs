@@ -1,0 +1,601 @@
+//! Lock-free skiplist substrate for the SprayList and the strict
+//! skiplist priority queue.
+//!
+//! A Harris–Michael style skiplist ordered **descending** by
+//! `(priority, node address)` — the address tiebreak makes every key
+//! unique, so a search for a specific node's key passes through it at
+//! every level it occupies (which is what lets deletion unlink a whole
+//! tower deterministically, even among duplicate priorities).
+//!
+//! Extraction is two-phase, as in the SprayList: a consumer **claims** a
+//! node (CAS on its `claimed` flag — the linearization point), then marks
+//! the tower and lazily unlinks it. Marked nodes may linger and are
+//! skipped by traversals; the original SprayList leaks them without a GC
+//! (§2.1: "This necessitates the use of a tracing garbage collector") —
+//! here crossbeam-epoch reclaims them, which if anything *flatters* this
+//! baseline relative to the paper's leaky C++ version.
+//!
+//! One deviation from full lock-freedom: a claimer waits for the
+//! inserter's `fully_linked` flag before marking, which makes tower
+//! teardown race-free at the cost of a bounded wait on an in-flight
+//! insert. The paper's comparison is about scalability of the spray vs.
+//! the ZMSQ pool, which this preserves.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+
+pub(crate) const MAX_HEIGHT: usize = 20;
+const MARK: usize = 1;
+
+pub(crate) struct Node<V> {
+    prio: u64,
+    value: UnsafeCell<MaybeUninit<V>>,
+    /// Set by the unique extractor that owns this element.
+    claimed: AtomicBool,
+    /// Set by the inserter once every level is linked.
+    fully_linked: AtomicBool,
+    /// Levels unlinked so far; the thread that unlinks the last level
+    /// schedules destruction.
+    unlinked: AtomicUsize,
+    height: usize,
+    next: [Atomic<Node<V>>; MAX_HEIGHT],
+}
+
+// SAFETY: `value` ownership is transferred through the claim CAS; all
+// other fields are atomic or immutable after construction.
+unsafe impl<V: Send> Send for Node<V> {}
+unsafe impl<V: Send> Sync for Node<V> {}
+
+impl<V> Node<V> {
+    fn key(&self) -> (u64, usize) {
+        (self.prio, self as *const _ as usize)
+    }
+}
+
+impl<V> Drop for Node<V> {
+    fn drop(&mut self) {
+        if !*self.claimed.get_mut() {
+            // SAFETY: unclaimed => the value was written at insert and
+            // never moved out.
+            unsafe { self.value.get_mut().assume_init_drop() };
+        }
+    }
+}
+
+/// The concurrent skiplist. Not a queue by itself — `SprayList` and
+/// `StrictSkiplistPq` wrap it with their extraction policies.
+pub(crate) struct SkipList<V> {
+    head: [Atomic<Node<V>>; MAX_HEIGHT],
+    len: AtomicUsize,
+}
+
+struct FindResult<'g, V> {
+    preds: [Option<&'g Node<V>>; MAX_HEIGHT], // None = head sentinel
+    succs: [Shared<'g, Node<V>>; MAX_HEIGHT],
+}
+
+impl<V: Send> SkipList<V> {
+    pub fn new() -> Self {
+        Self {
+            head: std::array::from_fn(|_| Atomic::null()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Approximate live length.
+    pub fn len_hint(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn head_link(&self, level: usize) -> &Atomic<Node<V>> {
+        &self.head[level]
+    }
+
+    fn pred_link<'g>(
+        &'g self,
+        pred: Option<&'g Node<V>>,
+        level: usize,
+    ) -> &'g Atomic<Node<V>> {
+        match pred {
+            None => self.head_link(level),
+            Some(p) => &p.next[level],
+        }
+    }
+
+    /// Search for `key`, unlinking marked nodes encountered on the path.
+    /// On return, for every level: `pred.key > key >= succ.key` with both
+    /// unmarked at observation time.
+    fn find<'g>(&'g self, key: (u64, usize), guard: &'g Guard) -> FindResult<'g, V> {
+        'retry: loop {
+            let mut result = FindResult {
+                preds: [None; MAX_HEIGHT],
+                succs: std::array::from_fn(|_| Shared::null()),
+            };
+            let mut pred: Option<&'g Node<V>> = None;
+            for level in (0..MAX_HEIGHT).rev() {
+                let mut curr = self.pred_link(pred, level).load(Ordering::Acquire, guard);
+                loop {
+                    // A marked pred link means pred itself is being
+                    // removed; restart from the head.
+                    if curr.tag() == MARK {
+                        continue 'retry;
+                    }
+                    let Some(c) = (unsafe { curr.as_ref() }) else {
+                        break;
+                    };
+                    let succ = c.next[level].load(Ordering::Acquire, guard);
+                    if succ.tag() == MARK {
+                        // `c` is logically deleted: unlink it at this level.
+                        match self.pred_link(pred, level).compare_exchange(
+                            curr.with_tag(0),
+                            succ.with_tag(0),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                            guard,
+                        ) {
+                            Ok(_) => {
+                                let done =
+                                    c.unlinked.fetch_add(1, Ordering::AcqRel) + 1;
+                                if done == c.height {
+                                    // Fully unreachable: reclaim.
+                                    // SAFETY: unlinked from every level it
+                                    // was linked at; epoch defers the free
+                                    // past all current readers.
+                                    unsafe { guard.defer_destroy(curr) };
+                                }
+                                curr = succ.with_tag(0);
+                                continue;
+                            }
+                            Err(_) => continue 'retry,
+                        }
+                    }
+                    if c.key() > key {
+                        pred = Some(c);
+                        curr = succ;
+                    } else {
+                        break;
+                    }
+                }
+                result.preds[level] = pred;
+                result.succs[level] = curr;
+            }
+            return result;
+        }
+    }
+
+    fn random_height() -> usize {
+        use std::cell::Cell;
+        thread_local! {
+            static S: Cell<u64> = const { Cell::new(0xC0FF_EE11_0BAD_F00D) };
+        }
+        let r = S.with(|s| {
+            let mut x = s.get();
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.set(x);
+            x
+        });
+        // Geometric(1/2), capped: trailing_zeros of a uniform word is
+        // geometric (r == 0, astronomically rare, is absorbed by the cap).
+        ((r.trailing_zeros() as usize) + 1).min(MAX_HEIGHT)
+    }
+
+    /// Insert a `(prio, value)` pair.
+    pub fn insert(&self, prio: u64, value: V) {
+        let guard = &epoch::pin();
+        let height = Self::random_height();
+        let node = Owned::new(Node {
+            prio,
+            value: UnsafeCell::new(MaybeUninit::new(value)),
+            claimed: AtomicBool::new(false),
+            fully_linked: AtomicBool::new(false),
+            unlinked: AtomicUsize::new(0),
+            height,
+            next: std::array::from_fn(|_| Atomic::null()),
+        });
+        let node = node.into_shared(guard);
+        // SAFETY: just allocated, uniquely owned until linked.
+        let node_ref = unsafe { node.deref() };
+        let key = node_ref.key();
+
+        // Link level 0 first; the node becomes logically present here.
+        loop {
+            let found = self.find(key, guard);
+            node_ref.next[0].store(found.succs[0], Ordering::Relaxed);
+            if self
+                .pred_link(found.preds[0], 0)
+                .compare_exchange(
+                    found.succs[0],
+                    node.with_tag(0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                )
+                .is_ok()
+            {
+                break;
+            }
+        }
+        // Link the upper levels. No claimer can mark the tower until
+        // `fully_linked`, so these CAS races are only against other
+        // finds/inserts.
+        for level in 1..height {
+            loop {
+                let found = self.find(key, guard);
+                node_ref.next[level].store(found.succs[level], Ordering::Relaxed);
+                if self
+                    .pred_link(found.preds[level], level)
+                    .compare_exchange(
+                        found.succs[level],
+                        node.with_tag(0),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    )
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        node_ref.fully_linked.store(true, Ordering::Release);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Try to take ownership of `node`'s element. On success the element
+    /// is returned and the tower is marked + lazily unlinked.
+    fn try_claim<'g>(
+        &self,
+        node: &'g Node<V>,
+        guard: &'g Guard,
+    ) -> Option<(u64, V)> {
+        if node.claimed.load(Ordering::Relaxed) {
+            return None;
+        }
+        if node
+            .claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        // We own the element. Wait out an in-flight insert (bounded by
+        // the inserter's remaining work).
+        let mut spins = 0u32;
+        while !node.fully_linked.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+            spins += 1;
+            if spins > 1 << 14 {
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: the claim CAS made us the unique owner; the inserter's
+        // release store of `fully_linked` ordered the value write (and
+        // level-0 link release) before our acquire.
+        let value = unsafe { (*node.value.get()).assume_init_read() };
+        self.len.fetch_sub(1, Ordering::Relaxed);
+
+        // Logically delete: mark every level top-down.
+        for level in (0..node.height).rev() {
+            let mut succ = node.next[level].load(Ordering::Acquire, guard);
+            while succ.tag() != MARK {
+                match node.next[level].compare_exchange(
+                    succ,
+                    succ.with_tag(MARK),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                ) {
+                    Ok(_) => break,
+                    Err(e) => succ = e.current,
+                }
+            }
+        }
+        // One search pass physically unlinks the tower (or later
+        // traversals will).
+        let _ = self.find(node.key(), guard);
+        Some((node.prio, value))
+    }
+
+    /// Claim the first (largest-priority) claimable node. Returns `None`
+    /// only if no claimable node exists — i.e. the list is (logically)
+    /// empty at the scan's linearization.
+    pub fn claim_first(&self, guard: &Guard) -> Option<(u64, V)> {
+        loop {
+            let mut curr = self.head_link(0).load(Ordering::Acquire, guard);
+            let mut claimed_hit = false;
+            while let Some(c) = unsafe { curr.as_ref() } {
+                let succ = c.next[0].load(Ordering::Acquire, guard);
+                if succ.tag() != MARK {
+                    if let Some(got) = self.try_claim(c, guard) {
+                        return Some(got);
+                    }
+                    claimed_hit = true;
+                }
+                curr = succ.with_tag(0);
+            }
+            if !claimed_hit {
+                return None;
+            }
+            // Every node we saw was claimed by someone else mid-scan;
+            // rescan (they may be unlinked by now, or the list is empty).
+            if self.len.load(Ordering::Relaxed) == 0 {
+                return None;
+            }
+        }
+    }
+
+    /// The SprayList extraction: a random descending walk over the first
+    /// ~O(T·polylog T) nodes, then claim near where it lands.
+    ///
+    /// May spuriously return `None` on a nonempty list — a documented
+    /// SprayList property the paper's producer/consumer experiment
+    /// penalizes (§4.5.2).
+    pub fn spray_claim(&self, threads: usize, guard: &Guard) -> Option<(u64, V)> {
+        let t = threads.max(1);
+        if t == 1 {
+            // One thread sprays nowhere: strict front claim (§2.1 "with 1
+            // thread, the SprayList is a strict priority queue").
+            return self.claim_first(guard);
+        }
+        const ATTEMPTS: usize = 3;
+        let start_height =
+            ((usize::BITS - t.leading_zeros()) as usize + 1).min(MAX_HEIGHT - 1);
+        let log_t = (usize::BITS - t.leading_zeros()) as u64;
+        // Total walk span over the front of the list. The SprayList
+        // analysis allows O(T·log³T); the constant here is calibrated so
+        // a 1K-element queue reproduces Table 1's crossover (near-strict
+        // at T<=8, FIFO-like past T~32). Clamping to the current length
+        // keeps small queues landing *somewhere* instead of overshooting.
+        let span = (2 * t as u64 * log_t).min(self.len_hint().max(2) as u64);
+
+        for _ in 0..ATTEMPTS {
+            // Descend with random forward jumps; per-level budgets split
+            // the span so expected total displacement ≈ span / 2.
+            let mut pred: Option<&Node<V>> = None;
+            for level in (0..=start_height).rev() {
+                let per_level =
+                    (span / ((1u64 << level) * (start_height as u64 + 1))).max(1);
+                let jump = Self::rand_below(per_level + 1);
+                let mut steps = 0;
+                let mut curr = self.pred_link(pred, level).load(Ordering::Acquire, guard);
+                while steps < jump {
+                    let Some(c) = (unsafe { curr.as_ref() }) else {
+                        break;
+                    };
+                    let succ = c.next[level].load(Ordering::Acquire, guard);
+                    if succ.tag() != MARK {
+                        pred = Some(c);
+                        steps += 1;
+                    }
+                    curr = succ.with_tag(0);
+                }
+            }
+            // Walk level 0 from the landing point, claiming the first
+            // claimable node within a small window.
+            const WINDOW: usize = 16;
+            let mut curr = self.pred_link(pred, 0).load(Ordering::Acquire, guard);
+            for _ in 0..WINDOW {
+                let Some(c) = (unsafe { curr.as_ref() }) else {
+                    break;
+                };
+                let succ = c.next[0].load(Ordering::Acquire, guard);
+                if succ.tag() != MARK {
+                    if let Some(got) = self.try_claim(c, guard) {
+                        return Some(got);
+                    }
+                }
+                curr = succ.with_tag(0);
+            }
+        }
+        // Become a cleaner with probability 1/T: linear front claim that
+        // also physically unlinks the marked prefix.
+        if Self::rand_below(t as u64) == 0 {
+            return self.claim_first(guard);
+        }
+        None
+    }
+
+    fn rand_below(n: u64) -> u64 {
+        use std::cell::Cell;
+        thread_local! {
+            static S: Cell<u64> = const { Cell::new(0x5EED_CAFE_1234_5678) };
+        }
+        S.with(|s| {
+            let mut x = s.get();
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.set(x);
+            (((x as u128) * (n as u128)) >> 64) as u64
+        })
+    }
+}
+
+impl<V> Drop for SkipList<V> {
+    fn drop(&mut self) {
+        // Exclusive access: walk every level collecting distinct nodes
+        // (partially unlinked towers may be reachable only from upper
+        // levels), then free them exactly once.
+        let mut ptrs: Vec<usize> = Vec::new();
+        let guard = unsafe { epoch::unprotected() };
+        for level in 0..MAX_HEIGHT {
+            let mut curr = self.head[level].load(Ordering::Relaxed, guard);
+            while let Some(c) = unsafe { curr.as_ref() } {
+                ptrs.push(c as *const Node<V> as usize);
+                curr = c.next[level].load(Ordering::Relaxed, guard).with_tag(0);
+            }
+        }
+        ptrs.sort_unstable();
+        ptrs.dedup();
+        for p in ptrs {
+            // SAFETY: each collected node is owned by the list (anything
+            // fully unlinked was handed to the epoch collector instead)
+            // and freed exactly once thanks to the dedup.
+            unsafe { drop(Box::from_raw(p as *mut Node<V>)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn random_height_is_geometric() {
+        // Regression: a bad bit trick once pinned every node at height 1,
+        // silently turning the skiplist into a linked list.
+        let mut counts = [0usize; MAX_HEIGHT + 1];
+        for _ in 0..4096 {
+            let h = SkipList::<u64>::random_height();
+            assert!((1..=MAX_HEIGHT).contains(&h));
+            counts[h] += 1;
+        }
+        assert!(counts[1] > 1500 && counts[1] < 2600, "P(h=1) ~ 1/2: {counts:?}");
+        let tall: usize = counts[3..].iter().sum();
+        assert!(tall > 700, "P(h>=3) ~ 1/4: {counts:?}");
+    }
+
+    #[test]
+    fn insert_and_claim_first_is_ordered() {
+        let sl = SkipList::new();
+        for k in [5u64, 99, 3, 42, 77] {
+            sl.insert(k, k);
+        }
+        let guard = &epoch::pin();
+        for expect in [99u64, 77, 42, 5, 3] {
+            assert_eq!(sl.claim_first(guard), Some((expect, expect)));
+        }
+        assert_eq!(sl.claim_first(guard), None);
+    }
+
+    #[test]
+    fn duplicates_all_claimable() {
+        let sl = SkipList::new();
+        for i in 0..50u64 {
+            sl.insert(7, i);
+        }
+        let guard = &epoch::pin();
+        let mut vals = Vec::new();
+        while let Some((k, v)) = sl.claim_first(guard) {
+            assert_eq!(k, 7);
+            vals.push(v);
+        }
+        vals.sort_unstable();
+        assert_eq!(vals, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_tracks() {
+        let sl = SkipList::new();
+        assert_eq!(sl.len_hint(), 0);
+        for i in 0..100u64 {
+            sl.insert(i, i);
+        }
+        assert_eq!(sl.len_hint(), 100);
+        let guard = &epoch::pin();
+        for _ in 0..40 {
+            sl.claim_first(guard).unwrap();
+        }
+        assert_eq!(sl.len_hint(), 60);
+    }
+
+    #[test]
+    fn spray_returns_high_elements() {
+        let sl = SkipList::new();
+        for i in 0..10_000u64 {
+            sl.insert(i, i);
+        }
+        let guard = &epoch::pin();
+        let mut got = 0usize;
+        let mut sum = 0u64;
+        while got < 200 {
+            if let Some((k, _)) = sl.spray_claim(8, guard) {
+                sum += k;
+                got += 1;
+            }
+        }
+        let mean = sum / 200;
+        assert!(mean > 9_000, "spray mean rank too low: {mean}");
+    }
+
+    #[test]
+    fn spray_single_thread_is_strict() {
+        let sl = SkipList::new();
+        for k in [1u64, 5, 3] {
+            sl.insert(k, k);
+        }
+        let guard = &epoch::pin();
+        assert_eq!(sl.spray_claim(1, guard), Some((5, 5)));
+        assert_eq!(sl.spray_claim(1, guard), Some((3, 3)));
+        assert_eq!(sl.spray_claim(1, guard), Some((1, 1)));
+        assert_eq!(sl.spray_claim(1, guard), None);
+    }
+
+    #[test]
+    fn concurrent_insert_claim_conserves() {
+        const THREADS: usize = 4;
+        const PER: u64 = 5_000;
+        let sl = Arc::new(SkipList::new());
+        let mut handles = Vec::new();
+        for t in 0..THREADS as u64 {
+            let sl = Arc::clone(&sl);
+            handles.push(std::thread::spawn(move || {
+                let mut claimed = 0u64;
+                for i in 0..PER {
+                    sl.insert(t * PER + i, i);
+                    if i % 2 == 0 {
+                        let guard = &epoch::pin();
+                        if sl.spray_claim(THREADS, guard).is_some() {
+                            claimed += 1;
+                        }
+                    }
+                }
+                claimed
+            }));
+        }
+        let claimed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let guard = &epoch::pin();
+        let mut rest = 0u64;
+        while sl.claim_first(guard).is_some() {
+            rest += 1;
+        }
+        assert_eq!(claimed + rest, THREADS as u64 * PER);
+    }
+
+    #[test]
+    fn drop_frees_values() {
+        use std::sync::atomic::AtomicU64;
+        struct D(Arc<AtomicU64>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let live = Arc::new(AtomicU64::new(0));
+        {
+            let sl = SkipList::new();
+            for i in 0..500u64 {
+                live.fetch_add(1, Ordering::SeqCst);
+                sl.insert(i, D(Arc::clone(&live)));
+            }
+            // Claim some (their values drop here), leave the rest to the
+            // list's Drop.
+            let guard = &epoch::pin();
+            for _ in 0..100 {
+                drop(sl.claim_first(guard));
+            }
+        }
+        // Claimed values dropped by us; unclaimed by SkipList::drop;
+        // unlinked towers by the epoch collector, which may defer — flush.
+        for _ in 0..1000 {
+            epoch::pin().flush();
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The SprayList and the strict skiplist priority queue — two extraction
+//! policies over the same lock-free skiplist substrate.
+
+use crossbeam_epoch as epoch;
+use pq_traits::ConcurrentPriorityQueue;
+
+use crate::skiplist::SkipList;
+
+/// The SprayList relaxed priority queue (Alistarh, Kopinsky, Li, Shavit).
+///
+/// `extract_max` sprays a random walk over the front `O(T·polylog T)`
+/// region of the skiplist, where `T` is the configured thread count —
+/// which is exactly why its accuracy *degrades* as threads are added
+/// (Table 1), the deficiency ZMSQ's thread-independent `batch` bound
+/// fixes. It can also spuriously fail on a nonempty queue (§3.7, §4.5.2).
+/// ```
+/// use baselines::SprayList;
+/// use pq_traits::ConcurrentPriorityQueue;
+/// let q = SprayList::new(8); // tuned for 8 concurrent consumers
+/// for i in 0..100u64 { q.insert(i, i); }
+/// let (k, _) = q.extract_max().expect("nonempty (retry on spurious None)");
+/// assert!(k <= 99);
+/// ```
+pub struct SprayList<V> {
+    list: SkipList<V>,
+    threads: usize,
+}
+
+impl<V: Send> SprayList<V> {
+    /// Create a SprayList tuned for `threads` concurrent consumers (the
+    /// spray width scales with this, as in the original).
+    pub fn new(threads: usize) -> Self {
+        Self { list: SkipList::new(), threads: threads.max(1) }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl<V: Send> ConcurrentPriorityQueue<V> for SprayList<V> {
+    fn insert(&self, prio: u64, value: V) {
+        self.list.insert(prio, value);
+    }
+
+    fn extract_max(&self) -> Option<(u64, V)> {
+        let guard = &epoch::pin();
+        self.list.spray_claim(self.threads, guard)
+    }
+
+    fn name(&self) -> String {
+        format!("spraylist-t{}", self.threads)
+    }
+
+    fn len_hint(&self) -> usize {
+        self.list.len_hint()
+    }
+}
+
+/// Strict skiplist priority queue (Lotan–Shavit style): always claim the
+/// front-most element. Linearizable `extract_max`, with the front node as
+/// the contention hotspot the SprayList was invented to avoid.
+pub struct StrictSkiplistPq<V> {
+    list: SkipList<V>,
+}
+
+impl<V: Send> StrictSkiplistPq<V> {
+    /// New empty queue.
+    pub fn new() -> Self {
+        Self { list: SkipList::new() }
+    }
+}
+
+impl<V: Send> Default for StrictSkiplistPq<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Send> ConcurrentPriorityQueue<V> for StrictSkiplistPq<V> {
+    fn insert(&self, prio: u64, value: V) {
+        self.list.insert(prio, value);
+    }
+
+    fn extract_max(&self) -> Option<(u64, V)> {
+        let guard = &epoch::pin();
+        self.list.claim_first(guard)
+    }
+
+    fn name(&self) -> String {
+        "skiplist-strict".into()
+    }
+
+    fn is_relaxed(&self) -> bool {
+        false
+    }
+
+    fn len_hint(&self) -> usize {
+        self.list.len_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn strict_pq_orders_exactly() {
+        let q = StrictSkiplistPq::new();
+        let keys = [8u64, 1, 42, 42, 0, 17];
+        for &k in &keys {
+            q.insert(k, k);
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        for expect in sorted {
+            assert_eq!(q.extract_max().map(|p| p.0), Some(expect));
+        }
+        assert_eq!(q.extract_max(), None);
+    }
+
+    #[test]
+    fn spraylist_conserves_under_concurrency() {
+        const THREADS: usize = 4;
+        let q = Arc::new(SprayList::new(THREADS));
+        let mut handles = Vec::new();
+        for t in 0..THREADS as u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                for i in 0..4000u64 {
+                    q.insert(t * 4000 + i, i);
+                    if i % 2 == 0 && q.extract_max().is_some() {
+                        got += 1;
+                    }
+                }
+                got
+            }));
+        }
+        let got: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Drain with the strict claimer (no spurious failures).
+        let guard = &crossbeam_epoch::pin();
+        let mut rest = 0u64;
+        while q.list.claim_first(guard).is_some() {
+            rest += 1;
+        }
+        assert_eq!(got + rest, THREADS as u64 * 4000);
+    }
+
+    #[test]
+    fn spray_accuracy_degrades_with_thread_count() {
+        // The Table 1 phenomenon in miniature: mean rank of extractions
+        // should worsen (drop) as the configured thread count grows.
+        let mean_rank = |threads: usize| {
+            let q = SprayList::new(threads);
+            for i in 0..20_000u64 {
+                q.insert(i, i);
+            }
+            let mut sum = 0u64;
+            let mut got = 0u64;
+            while got < 200 {
+                if let Some((k, _)) = q.extract_max() {
+                    sum += k;
+                    got += 1;
+                }
+            }
+            sum / got
+        };
+        let narrow = mean_rank(2);
+        let wide = mean_rank(64);
+        assert!(
+            narrow > wide,
+            "accuracy should degrade with threads: t2 mean {narrow} vs t64 mean {wide}"
+        );
+    }
+}

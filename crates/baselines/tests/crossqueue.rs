@@ -1,0 +1,124 @@
+//! Cross-cutting baseline behaviour tests: the semantic differences the
+//! paper's comparison tables rely on must actually hold.
+
+use baselines::{CoarseHeap, FifoQueue, Mound, MultiQueue, SprayList, StrictSkiplistPq};
+use pq_traits::ConcurrentPriorityQueue;
+
+/// Strict queues agree exactly on any input.
+#[test]
+fn strict_queues_agree() {
+    let heap = CoarseHeap::new();
+    let mound = Mound::new();
+    let skip = StrictSkiplistPq::new();
+    let mut x = 777u64;
+    for _ in 0..5_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % 100_000;
+        heap.insert(k, k);
+        mound.insert(k, k);
+        skip.insert(k, k);
+    }
+    loop {
+        let a = heap.extract_max().map(|p| p.0);
+        let b = mound.extract_max().map(|p| p.0);
+        let c = skip.extract_max().map(|p| p.0);
+        assert_eq!(a, b, "mound diverged from heap");
+        assert_eq!(a, c, "skiplist diverged from heap");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+/// Relaxed queues return *some* permutation of the inserted multiset.
+#[test]
+fn relaxed_queues_permute_without_loss() {
+    let queues: Vec<Box<dyn ConcurrentPriorityQueue<u64> + Sync>> = vec![
+        Box::new(SprayList::new(8)),
+        Box::new(MultiQueue::new(4, 2)),
+        Box::new(FifoQueue::new()),
+    ];
+    for q in &queues {
+        let mut expect: Vec<u64> = (0..3_000u64).map(|i| (i * 31) % 997).collect();
+        for &k in &expect {
+            q.insert(k, k);
+        }
+        let mut got = Vec::new();
+        let mut stall = 0;
+        while got.len() < expect.len() {
+            match q.extract_max() {
+                Some((k, v)) => {
+                    assert_eq!(k, v);
+                    got.push(k);
+                    stall = 0;
+                }
+                None => {
+                    stall += 1;
+                    assert!(stall < 1_000_000, "{} lost elements", q.name());
+                }
+            }
+        }
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(expect, got, "{}", q.name());
+    }
+}
+
+/// The rank-quality ordering the paper's Table 1 depends on: strict is
+/// perfect, relaxed queues are good, FIFO is chance-level.
+#[test]
+fn rank_quality_ordering() {
+    fn mean_rank_of_first_100<Q: ConcurrentPriorityQueue<u64>>(q: &Q) -> u64 {
+        for i in 0..10_000u64 {
+            // Insert in shuffled order so FIFO ≈ uniform.
+            let k = (i * 7919) % 10_000;
+            q.insert(k, k);
+        }
+        let mut sum = 0;
+        let mut got = 0;
+        while got < 100 {
+            if let Some((k, _)) = q.extract_max() {
+                sum += k;
+                got += 1;
+            }
+        }
+        sum / 100
+    }
+    let strict = mean_rank_of_first_100(&CoarseHeap::new());
+    let spray = mean_rank_of_first_100(&SprayList::new(8));
+    let multi = mean_rank_of_first_100(&MultiQueue::new(4, 2));
+    let fifo = mean_rank_of_first_100(&FifoQueue::new());
+    assert!(strict > 9_900, "strict mean {strict}");
+    assert!(spray > fifo, "spray ({spray}) must beat fifo ({fifo})");
+    assert!(multi > fifo, "multiqueue ({multi}) must beat fifo ({fifo})");
+    assert!((4_000..6_000).contains(&fifo), "fifo ≈ uniform mean, got {fifo}");
+}
+
+/// The mound is strict even under concurrent mixed load (per-thread
+/// monotonicity of concurrent-extract phases).
+#[test]
+fn mound_concurrent_extract_monotone() {
+    use std::sync::Arc;
+    let m = Arc::new(Mound::new());
+    for i in 0..20_000u64 {
+        m.insert((i * 48271) % 65_536, i);
+    }
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let m = Arc::clone(&m);
+        handles.push(std::thread::spawn(move || {
+            let mut prev = u64::MAX;
+            let mut n = 0u64;
+            while let Some((k, _)) = m.extract_max() {
+                assert!(k <= prev, "mound local order violated");
+                prev = k;
+                n += 1;
+            }
+            n
+        }));
+    }
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 20_000);
+}

@@ -1,0 +1,72 @@
+//! Blocking-substrate costs (criterion) — the §3.6 claim that "in the
+//! common case, each call is a single fetch-and-increment".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use zmsq_sync::{futex_wake, EventBuffer};
+
+fn bench_signal_no_sleepers(c: &mut Criterion) {
+    // The hot path: every insert signals; almost never is anyone asleep.
+    c.bench_function("event_signal_no_sleepers", |b| {
+        let ev = EventBuffer::new();
+        b.iter(|| {
+            ev.signal();
+            black_box(&ev);
+        });
+    });
+}
+
+fn bench_wait_ready(c: &mut Criterion) {
+    // Consumer-side fast path: predicate already true.
+    c.bench_function("event_wait_ready", |b| {
+        let ev = EventBuffer::new();
+        b.iter(|| black_box(ev.wait_until(|| true)));
+    });
+}
+
+fn bench_futex_wake_empty(c: &mut Criterion) {
+    // Raw syscall cost of waking with no waiters.
+    c.bench_function("futex_wake_no_waiters", |b| {
+        let atom = AtomicU32::new(0);
+        b.iter(|| black_box(futex_wake(&atom, 1)));
+    });
+}
+
+fn bench_signal_with_sleeper(c: &mut Criterion) {
+    // Slow path: one parked consumer per signal (measures the CAS +
+    // FUTEX_WAKE round trip; the consumer immediately re-parks).
+    c.bench_function("event_signal_one_sleeper", |b| {
+        let ev = EventBuffer::new();
+        let stop = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            let (ev2, stop2) = (&ev, &stop);
+            let h = s.spawn(move || {
+                while stop2.load(Ordering::Acquire) == 0 {
+                    ev2.wait_until(|| stop2.load(Ordering::Acquire) != 0);
+                }
+            });
+            // Give the consumer time to park.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            b.iter(|| ev.signal());
+            stop.store(1, Ordering::Release);
+            ev.close();
+            h.join().unwrap();
+        });
+        ev.reopen();
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_signal_no_sleepers,
+        bench_wait_ready,
+        bench_futex_wake_empty,
+        bench_signal_with_sleeper
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Lock primitive costs (criterion) — the substrate of Fig. 2 (§4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use zmsq_sync::{OsLock, RawTryLock, TasLock, TatasLock};
+
+fn bench_uncontended<L: RawTryLock + 'static>(c: &mut Criterion, name: &str) {
+    c.bench_function(&format!("lock_uncontended/{name}"), |b| {
+        let l = L::default();
+        b.iter(|| {
+            l.lock();
+            black_box(&l);
+            l.unlock();
+        });
+    });
+    c.bench_function(&format!("trylock_uncontended/{name}"), |b| {
+        let l = L::default();
+        b.iter(|| {
+            assert!(l.try_lock());
+            l.unlock();
+        });
+    });
+    c.bench_function(&format!("trylock_held/{name}"), |b| {
+        // The §4.1 fast-fail path: try_lock against a held lock.
+        let l = L::default();
+        l.lock();
+        b.iter(|| {
+            black_box(l.try_lock());
+        });
+        l.unlock();
+    });
+}
+
+fn bench_contended<L: RawTryLock + 'static>(c: &mut Criterion, name: &str) {
+    c.bench_function(&format!("lock_contended_2bg/{name}"), |b| {
+        // Two background threads hammer the lock while we measure.
+        let lock = Arc::new(L::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut bg = Vec::new();
+        for _ in 0..2 {
+            let lock = Arc::clone(&lock);
+            let stop = Arc::clone(&stop);
+            bg.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    lock.lock();
+                    std::hint::spin_loop();
+                    lock.unlock();
+                }
+            }));
+        }
+        b.iter(|| {
+            lock.lock();
+            black_box(&lock);
+            lock.unlock();
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in bg {
+            h.join().unwrap();
+        }
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_uncontended::<TasLock>(c, "tas");
+    bench_uncontended::<TatasLock>(c, "tatas");
+    bench_uncontended::<OsLock>(c, "mutex");
+    bench_contended::<TasLock>(c, "tas");
+    bench_contended::<TatasLock>(c, "tatas");
+    bench_contended::<OsLock>(c, "mutex");
+}
+
+criterion_group! {
+    name = lock_benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = benches
+}
+criterion_main!(lock_benches);

@@ -1,0 +1,105 @@
+//! Single-op latency across queues (criterion).
+//!
+//! Complements the figure harnesses: where those sweep threads at fixed
+//! workloads, these measure the sequential cost of `insert` and
+//! `extract_max` per queue — the "single thread performance" comparisons
+//! of §4.5.1 (e.g. ZMSQ (array) fastest by virtue of allocation-free
+//! inserts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::queues::make_queue;
+use pq_traits::ConcurrentPriorityQueue;
+
+const QUEUES: &[&str] = &[
+    "zmsq",
+    "zmsq-array",
+    "zmsq-deque",
+    "zmsq-leak",
+    "zmsq-strict",
+    "mound",
+    "spraylist",
+    "multiqueue",
+    "coarse-heap",
+];
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    for kind in QUEUES {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), kind, |b, kind| {
+            let q = make_queue::<u64>(kind, 1);
+            let mut x = 0x9E3779B97F4A7C15u64;
+            b.iter(|| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                q.insert(black_box(x & 0xFFFFF), x);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract_prefilled");
+    group.sample_size(10);
+    for kind in QUEUES {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), kind, |b, kind| {
+            b.iter_batched(
+                || {
+                    let q = make_queue::<u64>(kind, 1);
+                    let mut x = 0xDEADBEEFu64;
+                    for _ in 0..10_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        q.insert(x & 0xFFFFF, x);
+                    }
+                    q
+                },
+                |q| {
+                    for _ in 0..10_000 {
+                        black_box(q.extract_max());
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_extract_pair");
+    for kind in QUEUES {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), kind, |b, kind| {
+            let q = make_queue::<u64>(kind, 1);
+            let mut x = 0xC0FFEEu64;
+            for _ in 0..1000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                q.insert(x & 0xFFFFF, x);
+            }
+            b.iter(|| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                q.insert(black_box(x & 0xFFFFF), x);
+                black_box(q.extract_max());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_insert, bench_extract, bench_mixed_pair
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Pool amortization ablation (criterion).
+//!
+//! §3.3/§4.2: `batch` bounds how many extractions one root critical
+//! section can serve. Measured here as extraction cost vs. batch size
+//! (batch = 0 is the strict mound path — every extraction pays the
+//! root), and as the reclamation-mode cost on the claim fast path
+//! (Hazard vs ConsumerWait vs Leak, §3.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use zmsq::{Reclamation, Zmsq, ZmsqConfig};
+
+fn bench_batch_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract_vs_batch");
+    group.sample_size(10);
+    for batch in [0usize, 4, 16, 48, 96] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter_batched(
+                || {
+                    let q: Zmsq<u64> = Zmsq::with_config(
+                        ZmsqConfig::default().batch(batch).target_len(72),
+                    );
+                    let mut x = 99u64;
+                    for _ in 0..20_000 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        q.insert(x >> 44, x);
+                    }
+                    q
+                },
+                |q| {
+                    for _ in 0..10_000 {
+                        black_box(q.extract_max());
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_reclamation_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract_vs_reclamation");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("hazard", Reclamation::Hazard),
+        ("consumer-wait", Reclamation::ConsumerWait),
+        ("leak", Reclamation::Leak),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter_batched(
+                || {
+                    let q: Zmsq<u64> = Zmsq::with_config(
+                        ZmsqConfig::default()
+                            .batch(48)
+                            .target_len(72)
+                            .reclamation(mode),
+                    );
+                    let mut x = 7u64;
+                    for _ in 0..20_000 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        q.insert(x >> 44, x);
+                    }
+                    q
+                },
+                |q| {
+                    for _ in 0..10_000 {
+                        black_box(q.extract_max());
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_batch_sweep, bench_reclamation_modes
+}
+criterion_main!(benches);

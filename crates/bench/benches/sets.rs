@@ -1,0 +1,101 @@
+//! ListSet vs ArraySet micro-costs (criterion) — the representation
+//! trade-off behind the "(array)" curves (§4, §4.5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use zmsq::{ArraySet, ListSet, NodeSet};
+
+fn fill<S: NodeSet<u64>>(n: u64) -> S {
+    let mut s = S::default();
+    let mut x = 0x1234_5678_9ABC_DEF0u64;
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.insert(x % 10_000, x);
+    }
+    s
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_insert_remove_max");
+    for size in [16u64, 72, 144] {
+        group.bench_with_input(BenchmarkId::new("list", size), &size, |b, &n| {
+            let mut s: ListSet<u64> = fill(n);
+            let mut x = 7u64;
+            b.iter(|| {
+                x = x.wrapping_mul(48271) % 10_000;
+                s.insert(black_box(x), x);
+                black_box(s.remove_max());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("array", size), &size, |b, &n| {
+            let mut s: ArraySet<u64> = fill(n);
+            let mut x = 7u64;
+            b.iter(|| {
+                x = x.wrapping_mul(48271) % 10_000;
+                s.insert(black_box(x), x);
+                black_box(s.remove_max());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_drain_top(c: &mut Criterion) {
+    // The pool-refill primitive: take the `batch` largest (§3.3).
+    let mut group = c.benchmark_group("set_drain_top_48");
+    group.bench_function("list", |b| {
+        b.iter_batched(
+            || fill::<ListSet<u64>>(144),
+            |mut s| {
+                let mut out = Vec::with_capacity(48);
+                s.drain_top(48, &mut out);
+                black_box(out)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("array", |b| {
+        b.iter_batched(
+            || fill::<ArraySet<u64>>(144),
+            |mut s| {
+                let mut out = Vec::with_capacity(48);
+                s.drain_top(48, &mut out);
+                black_box(out)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_split_lower_half_144");
+    group.bench_function("list", |b| {
+        b.iter_batched(
+            || fill::<ListSet<u64>>(144),
+            |mut s| black_box(s.split_lower_half()),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("array", |b| {
+        b.iter_batched(
+            || fill::<ArraySet<u64>>(144),
+            |mut s| black_box(s.split_lower_half()),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_insert_remove, bench_drain_top, bench_split
+}
+criterion_main!(benches);

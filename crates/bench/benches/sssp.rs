@@ -1,0 +1,49 @@
+//! SSSP kernel costs (criterion) — small-scale versions of Figs. 7/8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::queues::{make_queue, make_zmsq};
+use zmsq_graph::{gen, parallel_sssp, sequential_sssp};
+
+fn bench_sssp(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(20_000, 8, 100, 13);
+    let source = graph.max_degree_node();
+    // Sanity once, outside the measurement.
+    let reference = sequential_sssp(&graph, source);
+
+    let mut group = c.benchmark_group("sssp_20k_nodes");
+    group.sample_size(10);
+
+    group.bench_function("sequential_dijkstra", |b| {
+        b.iter(|| black_box(sequential_sssp(&graph, source)));
+    });
+
+    for kind in ["zmsq", "zmsq-array", "mound", "spraylist", "coarse-heap"] {
+        group.bench_with_input(BenchmarkId::new("parallel_t2", kind), kind, |b, kind| {
+            b.iter(|| {
+                let q = match kind {
+                    "zmsq" => make_zmsq::<u32>(42, 64, false, zmsq::Reclamation::Hazard),
+                    "zmsq-array" => {
+                        make_zmsq::<u32>(42, 64, true, zmsq::Reclamation::Hazard)
+                    }
+                    other => make_queue::<u32>(other, 2),
+                };
+                let r = parallel_sssp(&graph, source, &q, 2);
+                assert_eq!(r.dist, reference);
+                black_box(r.processed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_sssp
+}
+criterion_main!(benches);

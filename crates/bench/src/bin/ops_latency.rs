@@ -1,0 +1,78 @@
+//! Per-operation latency distributions (extension experiment).
+//!
+//! The paper reports throughput and mean handoff latency; a production
+//! release also needs tails. This harness records every `insert` and
+//! `extract_max` latency into a log-bucketed histogram, per queue, under
+//! a mixed workload with a prefilled queue, and prints p50/p99/p99.9.
+//!
+//! Usage: ops_latency [--ops N] [--prefill N] [--threads T]
+//!                    [--queues a,b,c] [--quick]
+
+use std::time::Instant;
+
+use bench::cli::Args;
+use bench::queues::make_queue;
+use workloads::latency::LatencyHistogram;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.get_bool("quick");
+    let ops: u64 = args.get_num("ops", if quick { 200_000 } else { 1_000_000 });
+    let prefill: u64 = args.get_num("prefill", ops / 4);
+    let threads: usize = args.get_num("threads", 2);
+    let queues_arg = args.get(
+        "queues",
+        "zmsq,zmsq-array,zmsq-strict,mound,spraylist,multiqueue,coarse-heap",
+    );
+
+    bench::csv_header(&[
+        "queue", "op", "count", "mean_ns", "p50_ns", "p99_ns", "p999_ns", "max_ns",
+    ]);
+    for kind in queues_arg.split(',') {
+        let kind = kind.trim();
+        let q = make_queue::<u64>(kind, threads);
+        let ins = LatencyHistogram::new();
+        let ext = LatencyHistogram::new();
+
+        for i in 0..prefill {
+            q.insert((i * 2654435761) % (1 << 20), i);
+        }
+        let per_thread = ops / threads as u64;
+        std::thread::scope(|s| {
+            for t in 0..threads as u64 {
+                let (q, ins, ext) = (&q, &ins, &ext);
+                s.spawn(move || {
+                    let mut x = 0x9E37 + t;
+                    for i in 0..per_thread {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        if i % 2 == 0 {
+                            let t0 = Instant::now();
+                            q.insert(x % (1 << 20), x);
+                            ins.record(t0.elapsed());
+                        } else {
+                            let t0 = Instant::now();
+                            let got = q.extract_max();
+                            ext.record(t0.elapsed());
+                            std::hint::black_box(got);
+                        }
+                    }
+                });
+            }
+        });
+
+        let name = q.name();
+        for (op, h) in [("insert", &ins), ("extract", &ext)] {
+            println!(
+                "{name},{op},{},{:.0},{},{},{},{}",
+                h.count(),
+                h.mean_ns(),
+                h.percentile_ns(0.50),
+                h.percentile_ns(0.99),
+                h.percentile_ns(0.999),
+                h.max_ns()
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal flag parser for the harness binaries (no external deps).
+//!
+//! Syntax: `--key value` or boolean `--flag`. Lists are comma-separated:
+//! `--threads 1,2,4,8`.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from(iter: impl IntoIterator<Item = String>) -> Self {
+        let mut flags = HashMap::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                eprintln!("ignoring positional argument {arg:?}");
+                continue;
+            };
+            let value = match iter.peek() {
+                Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                _ => String::from("true"),
+            };
+            flags.insert(key.to_string(), value);
+        }
+        Self { flags }
+    }
+
+    /// String flag with default.
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Parsed numeric flag with default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag (present or `--key true`).
+    pub fn get_bool(&self, key: &str) -> bool {
+        matches!(self.flags.get(key).map(String::as_str), Some("true") | Some("1"))
+    }
+
+    /// Comma-separated list of numbers with default.
+    pub fn get_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.flags.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_key_values() {
+        let a = args("--threads 1,2,4 --ops 1000 --quick --mix half");
+        assert_eq!(a.get_list("threads", &[9]), vec![1, 2, 4]);
+        assert_eq!(a.get_num("ops", 0u64), 1000);
+        assert!(a.get_bool("quick"));
+        assert_eq!(a.get("mix", "x"), "half");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args("");
+        assert_eq!(a.get("mix", "insert"), "insert");
+        assert_eq!(a.get_num("ops", 77u64), 77);
+        assert!(!a.get_bool("quick"));
+        assert_eq!(a.get_list("threads", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn malformed_numbers_fall_back() {
+        let a = args("--ops banana");
+        assert_eq!(a.get_num("ops", 5u64), 5);
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared infrastructure for the benchmark harness binaries.
+//!
+//! One binary per paper artifact (see DESIGN.md's per-experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig2_locks` | Fig. 2a/2b — lock implementations |
+//! | `fig3_params` | Fig. 3a/3b — batch/targetLen configurations |
+//! | `table1_accuracy` | Table 1a/1b — accuracy vs SprayList/FIFO |
+//! | `fig4_blocking` | Fig. 4a/4b — blocking vs spinning |
+//! | `fig5_micro` | Fig. 5a/b/c — mixed micro-benchmarks |
+//! | `fig6_prodcons` | Fig. 6 — producer/consumer ratios |
+//! | `fig7_sssp` | Fig. 7a/7b — SSSP on Artist/Politician stand-ins |
+//! | `fig8_tuning` | Fig. 8 — SSSP tuning on the LiveJournal stand-in |
+//! | `sec32_stability` | §3.2 in-text set-size stability experiment |
+//!
+//! Every binary prints CSV to stdout (`column -s, -t` makes it a table)
+//! and accepts `--quick` for a fast smoke-scale run.
+
+pub mod cli;
+pub mod queues;
+
+/// Print a CSV header then rows through the given closure.
+pub fn csv_header(cols: &[&str]) {
+    println!("{}", cols.join(","));
+}

@@ -1,0 +1,132 @@
+//! Queue factory shared by the harness binaries.
+
+use baselines::{CoarseHeap, FifoQueue, KLsm, Mound, MultiQueue, SprayList, StrictSkiplistPq};
+use pq_traits::ConcurrentPriorityQueue;
+use zmsq::{ArraySet, DequeSet, ListSet, Reclamation, TatasLock, Zmsq, ZmsqConfig};
+
+/// A boxed queue usable by every generic driver.
+pub type BoxedQueue<V> = Box<dyn ConcurrentPriorityQueue<V> + Sync + Send>;
+
+/// Construct a ZMSQ with explicit tuning (the Fig. 3 / Fig. 8 sweeps).
+pub fn make_zmsq<V: Send + 'static>(
+    batch: usize,
+    target_len: usize,
+    array_set: bool,
+    reclamation: Reclamation,
+) -> BoxedQueue<V> {
+    make_zmsq_set(batch, target_len, if array_set { "array" } else { "list" }, reclamation)
+}
+
+/// Construct a tuned ZMSQ with an explicit set representation
+/// (`"list"`, `"array"`, or `"deque"`).
+pub fn make_zmsq_set<V: Send + 'static>(
+    batch: usize,
+    target_len: usize,
+    set: &str,
+    reclamation: Reclamation,
+) -> BoxedQueue<V> {
+    let cfg = ZmsqConfig::default()
+        .batch(batch)
+        .target_len(target_len)
+        .reclamation(reclamation);
+    match set {
+        "array" => Box::new(Zmsq::<V, ArraySet<V>, TatasLock>::with_config(cfg)),
+        "deque" => Box::new(Zmsq::<V, DequeSet<V>, TatasLock>::with_config(cfg)),
+        _ => Box::new(Zmsq::<V, ListSet<V>, TatasLock>::with_config(cfg)),
+    }
+}
+
+/// Construct a queue by name. `threads` parameterizes the thread-count-
+/// sensitive queues (SprayList spray width, MultiQueue heap count).
+///
+/// Known names: `zmsq`, `zmsq-array`, `zmsq-deque`, `zmsq-leak`,
+/// `zmsq-wait`, `zmsq-strict`, `zmsq-sharded`, `mound`, `spraylist`,
+/// `multiqueue`, `klsm`, `coarse-heap`, `skiplist-strict`, `fifo`.
+pub fn make_queue<V: Send + 'static>(kind: &str, threads: usize) -> BoxedQueue<V> {
+    let default = ZmsqConfig::default(); // batch=48, targetLen=72 (§4.2)
+    match kind {
+        "zmsq" => Box::new(Zmsq::<V>::with_config(default)),
+        "zmsq-array" => {
+            Box::new(Zmsq::<V, ArraySet<V>, TatasLock>::with_config(default))
+        }
+        "zmsq-deque" => {
+            Box::new(Zmsq::<V, DequeSet<V>, TatasLock>::with_config(default))
+        }
+        "zmsq-leak" => {
+            Box::new(Zmsq::<V>::with_config(default.reclamation(Reclamation::Leak)))
+        }
+        "zmsq-wait" => Box::new(Zmsq::<V>::with_config(
+            default.reclamation(Reclamation::ConsumerWait),
+        )),
+        "zmsq-strict" => Box::new(Zmsq::<V>::with_config(ZmsqConfig::strict())),
+        "zmsq-sharded" => Box::new(zmsq::ShardedZmsq::<V>::new(threads.max(2) / 2, default)),
+        "mound" => Box::new(Mound::<V>::new()),
+        "spraylist" => Box::new(SprayList::<V>::new(threads)),
+        "multiqueue" => Box::new(MultiQueue::<V>::new(threads, 2)),
+        "klsm" => Box::new(KLsm::<V>::new(256)),
+        "coarse-heap" => Box::new(CoarseHeap::<V>::new()),
+        "skiplist-strict" => Box::new(StrictSkiplistPq::<V>::new()),
+        "fifo" => Box::new(FifoQueue::<V>::new()),
+        other => panic!("unknown queue kind {other:?}"),
+    }
+}
+
+/// The paper's Fig. 5 lineup.
+pub const FIG5_QUEUES: &[&str] =
+    &["zmsq", "zmsq-array", "zmsq-deque", "zmsq-leak", "mound", "spraylist"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_constructs_and_roundtrips() {
+        for kind in [
+            "zmsq",
+            "zmsq-array",
+            "zmsq-deque",
+            "zmsq-leak",
+            "zmsq-wait",
+            "zmsq-strict",
+            "zmsq-sharded",
+            "mound",
+            "spraylist",
+            "multiqueue",
+            "klsm",
+            "coarse-heap",
+            "skiplist-strict",
+            "fifo",
+        ] {
+            let q: BoxedQueue<u64> = make_queue(kind, 4);
+            q.insert(5, 50);
+            q.insert(9, 90);
+            let mut got = Vec::new();
+            while let Some((k, _)) = q.extract_max() {
+                got.push(k);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![5, 9], "{kind} lost elements");
+            assert!(!q.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown queue kind")]
+    fn unknown_kind_panics() {
+        let _ = make_queue::<u64>("nope", 1);
+    }
+
+    #[test]
+    fn tuned_zmsq_applies_config() {
+        let q = make_zmsq::<u64>(8, 16, false, Reclamation::Leak);
+        for i in 0..100 {
+            q.insert(i, i);
+        }
+        assert_eq!(q.name(), "zmsq-list-leak");
+        let mut n = 0;
+        while q.extract_max().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+}

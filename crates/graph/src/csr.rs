@@ -1,0 +1,150 @@
+//! Compressed-sparse-row weighted directed graphs.
+
+/// A weighted directed graph in CSR form. Node ids are dense `u32`;
+/// weights are positive `u32` (Dijkstra requires non-negative; we forbid
+/// zero to keep path lengths strictly increasing).
+#[derive(Clone)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+    weights: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list. Self-loops are dropped; parallel edges
+    /// are kept (harmless for SSSP). Zero weights are bumped to one.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, u32)]) -> Self {
+        assert!(n <= u32::MAX as usize);
+        let mut degree = vec![0u64; n + 1];
+        for &(src, dst, _) in edges {
+            if src != dst {
+                assert!((src as usize) < n && (dst as usize) < n, "edge out of range");
+                degree[src as usize + 1] += 1;
+            }
+        }
+        for i in 1..=n {
+            degree[i] += degree[i - 1];
+        }
+        let m = degree[n] as usize;
+        let mut targets = vec![0u32; m];
+        let mut weights = vec![0u32; m];
+        let mut cursor = degree.clone();
+        for &(src, dst, w) in edges {
+            if src == dst {
+                continue;
+            }
+            let at = cursor[src as usize] as usize;
+            targets[at] = dst;
+            weights[at] = w.max(1);
+            cursor[src as usize] += 1;
+        }
+        Self { offsets: degree, targets, weights }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: u32) -> usize {
+        let i = node as usize;
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Iterate over `(target, weight)` pairs of `node`'s out-edges.
+    #[inline]
+    pub fn neighbors(&self, node: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let i = node as usize;
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.num_nodes().max(1) as f64
+    }
+
+    /// The node with the largest out-degree — a good SSSP source for
+    /// social graphs (reaches most of the graph quickly).
+    pub fn max_degree_node(&self) -> u32 {
+        (0..self.num_nodes() as u32)
+            .max_by_key(|&v| self.degree(v))
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("nodes", &self.num_nodes())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1 (w1), 0 -> 2 (w4), 1 -> 3 (w2), 2 -> 3 (w1)
+        CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 4), (1, 3, 2), (2, 3, 1)])
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        let nbrs: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(nbrs, vec![(1, 1), (2, 4)]);
+    }
+
+    #[test]
+    fn self_loops_dropped_zero_weights_bumped() {
+        let g = CsrGraph::from_edges(3, &[(0, 0, 5), (0, 1, 0), (1, 2, 3)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0).next(), Some((1, 1)), "zero weight bumped to 1");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(5, &[]);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(3).count(), 0);
+    }
+
+    #[test]
+    fn max_degree_node() {
+        let g = diamond();
+        assert_eq!(g.max_degree_node(), 0);
+    }
+
+    #[test]
+    fn unsorted_edge_list_groups_by_source() {
+        let g = CsrGraph::from_edges(
+            3,
+            &[(2, 0, 1), (0, 1, 1), (2, 1, 2), (0, 2, 3)],
+        );
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 2);
+        let mut n2: Vec<_> = g.neighbors(2).collect();
+        n2.sort_unstable();
+        assert_eq!(n2, vec![(0, 1), (1, 2)]);
+    }
+}

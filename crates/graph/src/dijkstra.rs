@@ -1,0 +1,77 @@
+//! Sequential Dijkstra — the reference oracle for the parallel driver.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{CsrGraph, INFINITY};
+
+/// Exact single-source shortest path distances from `source`.
+/// Unreachable nodes get [`INFINITY`].
+pub fn sequential_sssp(graph: &CsrGraph, source: u32) -> Vec<u64> {
+    let n = graph.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        for (t, w) in graph.neighbors(v) {
+            let nd = d + w as u64;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(Reverse((nd, t)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_distances() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 4), (1, 3, 2), (2, 3, 1)]);
+        assert_eq!(sequential_sssp(&g, 0), vec![0, 1, 4, 3]);
+    }
+
+    #[test]
+    fn unreachable_is_infinity() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 5)]);
+        let d = sequential_sssp(&g, 0);
+        assert_eq!(d, vec![0, 5, INFINITY]);
+    }
+
+    #[test]
+    fn shorter_path_through_more_hops() {
+        // 0->2 direct w10; 0->1->2 w1+1=2.
+        let g = CsrGraph::from_edges(3, &[(0, 2, 10), (0, 1, 1), (1, 2, 1)]);
+        assert_eq!(sequential_sssp(&g, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn source_choice_matters() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+        assert_eq!(sequential_sssp(&g, 1), vec![INFINITY, 0, 1]);
+    }
+
+    #[test]
+    fn random_graph_satisfies_triangle_inequality() {
+        let g = crate::gen::erdos_renyi(500, 4000, 20, 9);
+        let d = sequential_sssp(&g, 0);
+        for v in 0..500u32 {
+            if d[v as usize] == INFINITY {
+                continue;
+            }
+            for (t, w) in g.neighbors(v) {
+                assert!(
+                    d[t as usize] <= d[v as usize] + w as u64,
+                    "edge ({v},{t},{w}) violates optimality"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic random graph generators.
+//!
+//! Stand-ins for the paper's datasets (DESIGN.md substitution #1):
+//! social graphs are power-law, so [`barabasi_albert`] and [`rmat`]
+//! reproduce the degree skew that shapes SSSP frontier behaviour;
+//! [`erdos_renyi`] provides a uniform control. All are seeded — the same
+//! `(generator, parameters, seed)` triple always yields the same graph.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::CsrGraph;
+
+/// Uniformly random digraph with `n` nodes and ~`m` edges, weights in
+/// `[1, max_weight]`.
+pub fn erdos_renyi(n: usize, m: usize, max_weight: u32, seed: u64) -> CsrGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let src = rng.random_range(0..n as u32);
+        let dst = rng.random_range(0..n as u32);
+        let w = rng.random_range(1..=max_weight.max(1));
+        edges.push((src, dst, w));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches
+/// `attach` undirected edges, preferring high-degree targets (sampled by
+/// picking a uniformly random *endpoint* of an existing edge). Produces
+/// the power-law degree distribution typical of social graphs such as
+/// the paper's Artist / Politician / LiveJournal datasets.
+pub fn barabasi_albert(n: usize, attach: usize, max_weight: u32, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    let attach = attach.max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // endpoint pool: every time an edge (u,v) is added, push u and v —
+    // sampling the pool is degree-proportional sampling.
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * n * attach);
+    let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(2 * n * attach);
+    let mut add = |u: u32, v: u32, pool: &mut Vec<u32>, rng: &mut ChaCha8Rng| {
+        let w = rng.random_range(1..=max_weight.max(1));
+        edges.push((u, v, w));
+        edges.push((v, u, w));
+        pool.push(u);
+        pool.push(v);
+    };
+    add(0, 1, &mut pool, &mut rng);
+    for v in 2..n as u32 {
+        for _ in 0..attach {
+            let idx = rng.random_range(0..pool.len());
+            let target = pool[idx];
+            if target != v {
+                add(v, target, &mut pool, &mut rng);
+            } else {
+                // Rare self-pick: attach to a uniformly random earlier node.
+                let t = rng.random_range(0..v);
+                add(v, t, &mut pool, &mut rng);
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// R-MAT (recursive matrix) generator — the standard synthetic model for
+/// scale-free networks (Graph500 uses a=0.57, b=c=0.19, d=0.05).
+/// `scale` gives `n = 2^scale` nodes.
+pub fn rmat(
+    scale: u32,
+    edges_count: usize,
+    (a, b, c): (f64, f64, f64),
+    max_weight: u32,
+    seed: u64,
+) -> CsrGraph {
+    let n = 1usize << scale;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(edges_count);
+    for _ in 0..edges_count {
+        let (mut src, mut dst) = (0u32, 0u32);
+        for _ in 0..scale {
+            src <<= 1;
+            dst <<= 1;
+            let r: f64 = rng.random();
+            if r < a {
+                // top-left quadrant: neither bit set
+            } else if r < a + b {
+                dst |= 1;
+            } else if r < a + b + c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        let w = rng.random_range(1..=max_weight.max(1));
+        edges.push((src, dst, w));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// The paper's graph lineup, by the node counts it reports.
+pub mod paper {
+    use super::*;
+
+    /// "Artist" stand-in: 50K nodes (§4.6).
+    pub fn artist_like(seed: u64) -> CsrGraph {
+        barabasi_albert(50_000, 12, 100, seed)
+    }
+
+    /// "Politician" stand-in: 6K nodes (§4.6) — too small to afford real
+    /// speedup opportunities, per the paper's own observation.
+    pub fn politician_like(seed: u64) -> CsrGraph {
+        barabasi_albert(6_000, 12, 100, seed)
+    }
+
+    /// LiveJournal stand-in (§4.7): 3.8M nodes at `scale = 1.0`;
+    /// smaller `scale` shrinks proportionally for quick runs.
+    pub fn livejournal_like(scale: f64, seed: u64) -> CsrGraph {
+        let n = (3_800_000.0 * scale).max(1000.0) as usize;
+        barabasi_albert(n, 9, 100, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_shape_and_determinism() {
+        let g1 = erdos_renyi(1000, 5000, 100, 42);
+        let g2 = erdos_renyi(1000, 5000, 100, 42);
+        assert_eq!(g1.num_nodes(), 1000);
+        assert!(g1.num_edges() <= 5000 && g1.num_edges() > 4900); // few self-loops dropped
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for v in 0..1000u32 {
+            assert!(g1.neighbors(v).eq(g2.neighbors(v)), "determinism at node {v}");
+        }
+        let g3 = erdos_renyi(1000, 5000, 100, 43);
+        assert!(
+            !(0..1000u32).all(|v| g1.neighbors(v).eq(g3.neighbors(v))),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn barabasi_albert_is_power_law_ish() {
+        let g = barabasi_albert(5000, 4, 50, 7);
+        assert_eq!(g.num_nodes(), 5000);
+        // Degree skew: the max degree should dwarf the average.
+        let max_deg = (0..5000u32).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.avg_degree();
+        assert!(
+            max_deg as f64 > 8.0 * avg,
+            "power-law skew expected: max {max_deg} vs avg {avg:.1}"
+        );
+        // Undirected construction: every edge has its reverse.
+        let mut fwd: Vec<(u32, u32)> = Vec::new();
+        for v in 0..5000u32 {
+            for (t, _) in g.neighbors(v) {
+                fwd.push((v, t));
+            }
+        }
+        let set: std::collections::HashSet<(u32, u32)> = fwd.iter().copied().collect();
+        for &(u, v) in fwd.iter().take(1000) {
+            assert!(set.contains(&(v, u)), "missing reverse of ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(12, 40_000, (0.57, 0.19, 0.19), 100, 3);
+        assert_eq!(g.num_nodes(), 4096);
+        assert!(g.num_edges() > 35_000);
+        let max_deg = (0..4096u32).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg as f64 > 5.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn weights_in_range() {
+        let g = erdos_renyi(200, 2000, 7, 1);
+        for v in 0..200u32 {
+            for (_, w) in g.neighbors(v) {
+                assert!((1..=7).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_graphs_have_reported_node_counts() {
+        // Small-scale check only (full LiveJournal scale is a bench-time
+        // concern).
+        let g = paper::politician_like(1);
+        assert_eq!(g.num_nodes(), 6_000);
+        let lj = paper::livejournal_like(0.001, 1);
+        assert_eq!(lj.num_nodes(), 3_800);
+    }
+}

@@ -1,0 +1,266 @@
+//! Graph file I/O: SNAP edge lists and DIMACS shortest-path format.
+//!
+//! The paper's LiveJournal graph is publicly available from the SNAP
+//! collection (`soc-LiveJournal1.txt`), and the 9th DIMACS challenge
+//! distributes weighted road networks in `.gr` format. These readers let
+//! a user with the real datasets run the Fig. 7/8 harnesses on them
+//! (`fig8_tuning --snap path/to/soc-LiveJournal1.txt`) instead of the
+//! synthetic stand-ins.
+//!
+//! Formats:
+//!
+//! * **SNAP**: one `src<TAB>dst` pair per line, `#` comments. Unweighted
+//!   — weights are synthesized deterministically from the endpoint ids
+//!   (the paper's SSSP harness also runs on an originally-unweighted
+//!   social graph, so it must have synthesized weights too).
+//! * **DIMACS .gr**: `c` comments, `p sp <n> <m>` header, `a <u> <v> <w>`
+//!   arcs, 1-indexed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::CsrGraph;
+
+/// Errors from graph parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file, with a line number.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, reason } => {
+                write!(f, "malformed graph file at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Deterministic synthetic weight for an unweighted edge, in
+/// `[1, max_weight]`.
+fn synth_weight(src: u32, dst: u32, max_weight: u32) -> u32 {
+    let h = (u64::from(src) << 32 | u64::from(dst))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 40) % u64::from(max_weight.max(1))) as u32 + 1
+}
+
+/// Read a SNAP-style edge list (`src\tdst` per line, `#` comments).
+/// Node ids are compacted to a dense range; weights synthesized in
+/// `[1, max_weight]`.
+pub fn read_snap_edges<R: Read>(reader: R, max_weight: u32) -> Result<CsrGraph, ParseError> {
+    let mut raw: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(ParseError::Malformed {
+                line: idx + 1,
+                reason: "expected `src dst`".into(),
+            });
+        };
+        let src: u32 = a.parse().map_err(|_| ParseError::Malformed {
+            line: idx + 1,
+            reason: format!("bad source id {a:?}"),
+        })?;
+        let dst: u32 = b.parse().map_err(|_| ParseError::Malformed {
+            line: idx + 1,
+            reason: format!("bad target id {b:?}"),
+        })?;
+        max_id = max_id.max(src).max(dst);
+        raw.push((src, dst));
+    }
+    // Compact ids: many SNAP files have sparse id spaces.
+    let mut used = vec![false; max_id as usize + 1];
+    for &(s, d) in &raw {
+        used[s as usize] = true;
+        used[d as usize] = true;
+    }
+    let mut remap = vec![u32::MAX; max_id as usize + 1];
+    let mut next = 0u32;
+    for (id, &u) in used.iter().enumerate() {
+        if u {
+            remap[id] = next;
+            next += 1;
+        }
+    }
+    let edges: Vec<(u32, u32, u32)> = raw
+        .into_iter()
+        .map(|(s, d)| {
+            let (s, d) = (remap[s as usize], remap[d as usize]);
+            (s, d, synth_weight(s, d, max_weight))
+        })
+        .collect();
+    Ok(CsrGraph::from_edges(next as usize, &edges))
+}
+
+/// Read a DIMACS shortest-path `.gr` file (`p sp n m` header, `a u v w`
+/// arcs, 1-indexed node ids).
+pub fn read_dimacs_gr<R: Read>(reader: R) -> Result<CsrGraph, ParseError> {
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                let _sp = it.next();
+                let nn = it.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(nn) = nn else {
+                    return Err(ParseError::Malformed {
+                        line: idx + 1,
+                        reason: "bad `p sp n m` header".into(),
+                    });
+                };
+                n = Some(nn);
+            }
+            Some("a") => {
+                let vals: Vec<u64> = it.filter_map(|v| v.parse().ok()).collect();
+                if vals.len() != 3 {
+                    return Err(ParseError::Malformed {
+                        line: idx + 1,
+                        reason: "arc line needs `a u v w`".into(),
+                    });
+                }
+                let (u, v, w) = (vals[0], vals[1], vals[2]);
+                if u == 0 || v == 0 {
+                    return Err(ParseError::Malformed {
+                        line: idx + 1,
+                        reason: "DIMACS ids are 1-indexed".into(),
+                    });
+                }
+                edges.push(((u - 1) as u32, (v - 1) as u32, w as u32));
+            }
+            Some(other) => {
+                return Err(ParseError::Malformed {
+                    line: idx + 1,
+                    reason: format!("unknown record type {other:?}"),
+                })
+            }
+            None => {}
+        }
+    }
+    let Some(n) = n else {
+        return Err(ParseError::Malformed { line: 0, reason: "missing `p sp` header".into() });
+    };
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Write a graph in DIMACS `.gr` format (for interchange with other
+/// SSSP implementations).
+pub fn write_dimacs_gr<W: Write>(graph: &CsrGraph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "c generated by zmsq-graph")?;
+    writeln!(w, "p sp {} {}", graph.num_nodes(), graph.num_edges())?;
+    for v in 0..graph.num_nodes() as u32 {
+        for (t, weight) in graph.neighbors(v) {
+            writeln!(w, "a {} {} {}", v + 1, t + 1, weight)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential_sssp;
+
+    #[test]
+    fn snap_roundtrip_with_comments_and_gaps() {
+        let text = "\
+# SNAP-style comment
+# src\tdst
+0\t5
+5\t9
+9\t0
+0\t9
+";
+        let g = read_snap_edges(text.as_bytes(), 10).unwrap();
+        // ids {0,5,9} compact to {0,1,2}
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 4);
+        for v in 0..3u32 {
+            for (_, w) in g.neighbors(v) {
+                assert!((1..=10).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn snap_weights_deterministic() {
+        let text = "0\t1\n1\t2\n";
+        let a = read_snap_edges(text.as_bytes(), 100).unwrap();
+        let b = read_snap_edges(text.as_bytes(), 100).unwrap();
+        assert!(a.neighbors(0).eq(b.neighbors(0)));
+        assert!(a.neighbors(1).eq(b.neighbors(1)));
+    }
+
+    #[test]
+    fn snap_rejects_garbage() {
+        let err = read_snap_edges("0\tbanana\n".as_bytes(), 10).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = crate::gen::erdos_renyi(50, 300, 20, 3);
+        let mut buf = Vec::new();
+        write_dimacs_gr(&g, &mut buf).unwrap();
+        let g2 = read_dimacs_gr(&buf[..]).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(sequential_sssp(&g, 0), sequential_sssp(&g2, 0));
+    }
+
+    #[test]
+    fn dimacs_parses_reference_format() {
+        let text = "\
+c example from the DIMACS spec
+p sp 4 4
+a 1 2 3
+a 2 3 4
+a 3 4 5
+a 4 1 6
+";
+        let g = read_dimacs_gr(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(sequential_sssp(&g, 0), vec![0, 3, 7, 12]);
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_index() {
+        let err = read_dimacs_gr("p sp 2 1\na 0 1 5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn dimacs_requires_header() {
+        let err = read_dimacs_gr("a 1 2 3\n".as_bytes());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Graph substrate for the SSSP experiments (paper §4.6–4.7).
+//!
+//! The paper runs concurrent single-source shortest paths over priority
+//! queues on Facebook's Artist/Politician graphs and the LiveJournal
+//! social network. Those datasets are not redistributable, so this crate
+//! provides deterministic synthetic stand-ins with the same node counts
+//! and a comparable power-law degree structure (see DESIGN.md,
+//! substitution #1), plus:
+//!
+//! * [`CsrGraph`] — compressed-sparse-row weighted digraphs;
+//! * [`gen`] — Erdős–Rényi, Barabási–Albert and R-MAT generators seeded
+//!   for reproducibility;
+//! * [`dijkstra`] — the sequential reference solution;
+//! * [`parallel`] — the concurrent SSSP driver generic over any
+//!   [`pq_traits::ConcurrentPriorityQueue`], with wasted-work accounting
+//!   (the price a *relaxed* queue pays in re-expansions).
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod dijkstra;
+pub mod gen;
+pub mod parallel;
+
+pub use csr::CsrGraph;
+pub use dijkstra::sequential_sssp;
+pub use parallel::{parallel_sssp, SsspResult};
+
+/// Distance value for unreachable nodes.
+pub const INFINITY: u64 = u64::MAX;

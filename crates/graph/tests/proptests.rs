@@ -1,0 +1,99 @@
+//! Property tests for the graph substrate.
+
+use proptest::prelude::*;
+use zmsq_graph::{gen, sequential_sssp, CsrGraph, INFINITY};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR construction is a faithful multigraph representation: the
+    /// degree sums match the (self-loop-filtered) edge list, every edge
+    /// appears under its source, weights stay in range.
+    #[test]
+    fn csr_faithful_to_edge_list(
+        n in 2usize..100,
+        edges in proptest::collection::vec((0u32..100, 0u32..100, 0u32..50), 0..300),
+    ) {
+        let filtered: Vec<(u32, u32, u32)> = edges
+            .iter()
+            .map(|&(s, d, w)| (s % n as u32, d % n as u32, w))
+            .collect();
+        let g = CsrGraph::from_edges(n, &filtered);
+        let expect: Vec<(u32, u32, u32)> = filtered
+            .iter()
+            .filter(|&&(s, d, _)| s != d)
+            .map(|&(s, d, w)| (s, d, w.max(1)))
+            .collect();
+        prop_assert_eq!(g.num_edges(), expect.len());
+        let mut got: Vec<(u32, u32, u32)> = (0..n as u32)
+            .flat_map(|v| g.neighbors(v).map(move |(t, w)| (v, t, w)))
+            .collect();
+        let mut expect = expect;
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Dijkstra output is a fixed point of relaxation: no edge can
+    /// improve any distance, and every finite distance is witnessed by
+    /// an incoming relaxed edge (or is the source).
+    #[test]
+    fn dijkstra_fixed_point(seed in 0u64..50) {
+        let g = gen::erdos_renyi(300, 2000, 30, seed);
+        let dist = sequential_sssp(&g, 0);
+        prop_assert_eq!(dist[0], 0);
+        for v in 0..300u32 {
+            if dist[v as usize] == INFINITY { continue; }
+            for (t, w) in g.neighbors(v) {
+                prop_assert!(dist[t as usize] <= dist[v as usize] + w as u64);
+            }
+        }
+        // Witness check.
+        let mut witnessed = vec![false; 300];
+        witnessed[0] = true;
+        for v in 0..300u32 {
+            if dist[v as usize] == INFINITY { continue; }
+            for (t, w) in g.neighbors(v) {
+                if dist[t as usize] == dist[v as usize] + w as u64 {
+                    witnessed[t as usize] = true;
+                }
+            }
+        }
+        for v in 0..300usize {
+            if dist[v] != INFINITY {
+                prop_assert!(witnessed[v], "node {} has no witness", v);
+            }
+        }
+    }
+
+    /// Generators are deterministic in their seed and respect node counts.
+    #[test]
+    fn generators_deterministic(seed in 0u64..20) {
+        let a = gen::barabasi_albert(500, 3, 20, seed);
+        let b = gen::barabasi_albert(500, 3, 20, seed);
+        prop_assert_eq!(a.num_nodes(), 500);
+        prop_assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..500u32 {
+            prop_assert!(a.neighbors(v).eq(b.neighbors(v)));
+        }
+    }
+}
+
+/// Parallel SSSP equals sequential on randomized graphs across thread
+/// counts and queue relaxation levels — the cross-crate E2E property.
+#[test]
+fn parallel_equals_sequential_randomized() {
+    use zmsq::{Zmsq, ZmsqConfig};
+    for seed in 0..5u64 {
+        let g = gen::rmat(10, 8_000, (0.45, 0.22, 0.22), 40, seed);
+        let src = g.max_degree_node();
+        let reference = sequential_sssp(&g, src);
+        for batch in [0usize, 8, 64] {
+            let q: Zmsq<u32> = Zmsq::with_config(
+                ZmsqConfig::default().batch(batch).target_len(batch.max(8)),
+            );
+            let r = zmsq_graph::parallel_sssp(&g, src, &q, 3);
+            assert_eq!(r.dist, reference, "seed={seed} batch={batch}");
+        }
+    }
+}

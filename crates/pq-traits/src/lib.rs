@@ -1,0 +1,155 @@
+//! Common trait for every concurrent priority queue in this workspace.
+//!
+//! The paper compares ZMSQ against the Mound, the SprayList, MultiQueue,
+//! k-LSM and strict queues. All of them implement
+//! [`ConcurrentPriorityQueue`] so the workload drivers and benchmark
+//! harnesses in `workloads` and `bench` are generic over the queue.
+//!
+//! Priorities are `u64` and **higher values win**: `extract_max` on a strict
+//! queue returns the element with the numerically largest priority. Relaxed
+//! queues may return an element that is merely *close* to the maximum; see
+//! [`ConcurrentPriorityQueue::is_relaxed`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A thread-safe max-priority queue storing `(priority, value)` pairs.
+///
+/// Duplicate priorities are allowed. All methods take `&self`; queues are
+/// shared across threads by reference (e.g. inside an `Arc` or a scoped
+/// thread borrow).
+pub trait ConcurrentPriorityQueue<V = u64>: Send + Sync {
+    /// Insert `value` with priority `prio`.
+    fn insert(&self, prio: u64, value: V);
+
+    /// Attempt to extract a high-priority element.
+    ///
+    /// Returns `None` only if the queue was observed empty. For ZMSQ this
+    /// observation is exact (extraction from a nonempty queue never fails);
+    /// for the SprayList and k-LSM a `None` may be spurious — the paper
+    /// discusses exactly this deficiency (§3.7), and the producer/consumer
+    /// drivers measure its cost.
+    fn extract_max(&self) -> Option<(u64, V)>;
+
+    /// Short human-readable name used in benchmark output rows.
+    fn name(&self) -> String;
+
+    /// Whether `extract_max` may return a non-maximal element.
+    fn is_relaxed(&self) -> bool {
+        true
+    }
+
+    /// Best-effort current size. Used only for reporting, never correctness.
+    fn len_hint(&self) -> usize {
+        0
+    }
+}
+
+/// Blanket impl so `&Q`, `Box<Q>` and `Arc<Q>` work wherever a queue does.
+impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for &Q {
+    fn insert(&self, prio: u64, value: V) {
+        (**self).insert(prio, value)
+    }
+    fn extract_max(&self) -> Option<(u64, V)> {
+        (**self).extract_max()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn is_relaxed(&self) -> bool {
+        (**self).is_relaxed()
+    }
+    fn len_hint(&self) -> usize {
+        (**self).len_hint()
+    }
+}
+
+impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for Box<Q> {
+    fn insert(&self, prio: u64, value: V) {
+        (**self).insert(prio, value)
+    }
+    fn extract_max(&self) -> Option<(u64, V)> {
+        (**self).extract_max()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn is_relaxed(&self) -> bool {
+        (**self).is_relaxed()
+    }
+    fn len_hint(&self) -> usize {
+        (**self).len_hint()
+    }
+}
+
+impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V>
+    for std::sync::Arc<Q>
+{
+    fn insert(&self, prio: u64, value: V) {
+        (**self).insert(prio, value)
+    }
+    fn extract_max(&self) -> Option<(u64, V)> {
+        (**self).extract_max()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn is_relaxed(&self) -> bool {
+        (**self).is_relaxed()
+    }
+    fn len_hint(&self) -> usize {
+        (**self).len_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+    use std::sync::Mutex;
+
+    /// Minimal reference implementation used to sanity-check the trait
+    /// surface (and reused conceptually by `baselines::CoarseHeap`).
+    struct LockedHeap(Mutex<BinaryHeap<(u64, u64)>>);
+
+    impl ConcurrentPriorityQueue for LockedHeap {
+        fn insert(&self, prio: u64, value: u64) {
+            self.0.lock().unwrap().push((prio, value));
+        }
+        fn extract_max(&self) -> Option<(u64, u64)> {
+            self.0.lock().unwrap().pop()
+        }
+        fn name(&self) -> String {
+            "locked-heap".into()
+        }
+        fn is_relaxed(&self) -> bool {
+            false
+        }
+        fn len_hint(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let q = LockedHeap(Mutex::new(BinaryHeap::new()));
+        let dyn_q: &dyn ConcurrentPriorityQueue = &q;
+        dyn_q.insert(3, 30);
+        dyn_q.insert(7, 70);
+        dyn_q.insert(5, 50);
+        assert_eq!(dyn_q.extract_max(), Some((7, 70)));
+        assert_eq!(dyn_q.len_hint(), 2);
+        assert!(!dyn_q.is_relaxed());
+    }
+
+    #[test]
+    fn blanket_ref_and_arc() {
+        let q = std::sync::Arc::new(LockedHeap(Mutex::new(BinaryHeap::new())));
+        q.insert(1, 10);
+        let by_ref: &LockedHeap = &q;
+        by_ref.insert(2, 20);
+        assert_eq!(q.extract_max(), Some((2, 20)));
+        assert_eq!(q.extract_max(), Some((1, 10)));
+        assert_eq!(q.extract_max(), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! The null reclaimer.
+//!
+//! The paper's evaluation includes a "ZMSQ (leak)" arm that skips memory
+//! reclamation entirely, isolating the cost of hazard pointers (§4.5:
+//! "the overhead of memory safety can be seen in the difference between
+//! the ZMSQ and ZMSQ (leak) curves"). [`LeakyDomain`] mirrors the
+//! [`Domain`](crate::Domain) retire API but intentionally leaks, while
+//! counting what it leaked so tests and benches can report it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A reclamation domain that never reclaims.
+#[derive(Debug, Default)]
+pub struct LeakyDomain {
+    leaked: AtomicU64,
+}
+
+impl LeakyDomain {
+    /// Create a new leaky domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// "Retire" `ptr` by leaking it.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must originate from `Box::into_raw` and must not be freed or
+    /// retired elsewhere afterwards (it never will be freed here).
+    pub unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        debug_assert!(!ptr.is_null());
+        self.leaked.fetch_add(1, Ordering::Relaxed);
+        // Intentionally dropped on the floor.
+    }
+
+    /// Number of allocations leaked so far.
+    pub fn leaked_count(&self) -> u64 {
+        self.leaked.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_leaks() {
+        let d = LeakyDomain::new();
+        for i in 0..3 {
+            // SAFETY: fresh boxes, never touched again.
+            unsafe { d.retire(Box::into_raw(Box::new(i))) };
+        }
+        assert_eq!(d.leaked_count(), 3);
+    }
+}

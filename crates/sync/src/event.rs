@@ -1,0 +1,514 @@
+//! Scalable low-latency consumer blocking (paper §3.6, Listing 3).
+//!
+//! The mechanism is a circular buffer of cache-padded futex words plus two
+//! monotonically increasing operation counters. Every `insert()` takes a
+//! ticket from the wake counter and signals the futex that ticket maps to;
+//! every `extract_max()` that finds the queue empty takes a ticket from the
+//! sleep counter and parks on the futex *its* ticket maps to. The counters
+//! disperse threads across the buffer so that (i) there is low contention
+//! on any single futex word, and (ii) a signal wakes few threads.
+//!
+//! Each futex word encodes `(epoch << 1) | waiters_bit`: reading the low
+//! bit from userspace tells a producer whether anyone sleeps there, so the
+//! common-case signal is one `fetch_add` plus two uncontended loads and no
+//! syscall.
+//!
+//! One deviation from the paper's sketch, for liveness: a signal whose own
+//! slot has no sleepers sweeps forward to the next slot that does (bounded
+//! by the buffer size, and only entered when the global sleeper count is
+//! nonzero). Without this, a lone producer whose tickets happen to miss a
+//! lone sleeper's slot would strand an element in the queue while the
+//! consumer sleeps forever. The sweep costs nothing in the common case and
+//! preserves the paper's "do not wake too many threads at once" property:
+//! each signal wakes at most one slot.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::futex::{futex_wait, futex_wait_timeout, futex_wake_all};
+
+const WAITER_BIT: u32 = 1;
+
+/// Result of [`EventBuffer::wait_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The caller's predicate became true before sleeping; retry the
+    /// extraction immediately.
+    Ready,
+    /// The thread slept and was woken by a signal (or spuriously); retry
+    /// the extraction and wait again if it still finds nothing.
+    Woken,
+    /// The buffer was closed; no more signals will ever arrive.
+    Closed,
+    /// A timed wait elapsed without a signal (timed variant only).
+    TimedOut,
+}
+
+/// A circular buffer of futexes used to block idle consumers.
+///
+/// ```
+/// use zmsq_sync::{EventBuffer, WaitOutcome};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let ev = EventBuffer::new();
+/// let items = AtomicU64::new(0);
+///
+/// std::thread::scope(|s| {
+///     let (ev, items) = (&ev, &items);
+///     let consumer = s.spawn(move || {
+///         loop {
+///             if items.fetch_update(Ordering::SeqCst, Ordering::SeqCst,
+///                                   |v| v.checked_sub(1)).is_ok() {
+///                 return "got an item";
+///             }
+///             ev.wait_until(|| items.load(Ordering::SeqCst) > 0);
+///         }
+///     });
+///     items.fetch_add(1, Ordering::SeqCst); // publish the item...
+///     ev.signal();                          // ...then signal (always this order)
+///     assert_eq!(consumer.join().unwrap(), "got an item");
+/// });
+/// ```
+pub struct EventBuffer {
+    slots: Box<[CachePadded<AtomicU32>]>,
+    /// Next-position-to-wake ticket counter (total inserts).
+    wake_tickets: CachePadded<AtomicU64>,
+    /// Next-position-to-sleep ticket counter (total empty extracts).
+    sleep_tickets: CachePadded<AtomicU64>,
+    /// Number of threads currently registered as (about to be) sleeping.
+    /// Lets the signal fast path skip all futex work with a single load.
+    sleepers: CachePadded<AtomicU64>,
+    closed: AtomicBool,
+    mask: u64,
+    spin_before_block: u32,
+}
+
+impl EventBuffer {
+    /// Default number of futex slots; enough to disperse a socket's worth
+    /// of consumers.
+    pub const DEFAULT_SLOTS: usize = 16;
+    /// Default bound on the optimistic spin before parking (paper's
+    /// `trySpinBeforeBlock`).
+    pub const DEFAULT_SPIN: u32 = 64;
+
+    /// Create a buffer with the default slot count.
+    pub fn new() -> Self {
+        Self::with_slots(Self::DEFAULT_SLOTS)
+    }
+
+    /// Create a buffer with `slots` futexes (rounded up to a power of two).
+    pub fn with_slots(slots: usize) -> Self {
+        let n = slots.max(1).next_power_of_two();
+        Self {
+            slots: (0..n).map(|_| CachePadded::new(AtomicU32::new(0))).collect(),
+            wake_tickets: CachePadded::new(AtomicU64::new(0)),
+            sleep_tickets: CachePadded::new(AtomicU64::new(0)),
+            sleepers: CachePadded::new(AtomicU64::new(0)),
+            closed: AtomicBool::new(false),
+            mask: (n - 1) as u64,
+            spin_before_block: Self::DEFAULT_SPIN,
+        }
+    }
+
+    /// Number of futex slots (always a power of two).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Best-effort count of currently sleeping (or registering) threads.
+    pub fn sleeper_count(&self) -> u64 {
+        self.sleepers.load(Ordering::Relaxed)
+    }
+
+    /// Signal after a producer made an element available
+    /// (`signalAfterInsert`). Call *after* the element is visible.
+    #[inline]
+    pub fn signal(&self) {
+        let ticket = self.wake_tickets.fetch_add(1, Ordering::Relaxed);
+        // Dekker handshake with `wait_until`: the producer publishes its
+        // element, fences, then reads the sleeper count; the waiter bumps
+        // the sleeper count, fences, then re-reads the predicate. The
+        // SeqCst fences forbid the store-buffering outcome where the
+        // producer misses the sleeper AND the sleeper misses the element.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        self.wake_one_from((ticket & self.mask) as usize);
+    }
+
+    /// Wake at most one slot's worth of sleepers, starting at `start` and
+    /// sweeping forward until a slot with the waiter bit is found.
+    fn wake_one_from(&self, start: usize) {
+        let n = self.slots.len();
+        for i in 0..n {
+            let slot = &self.slots[(start + i) & self.mask as usize];
+            let mut w = slot.load(Ordering::Relaxed);
+            while w & WAITER_BIT != 0 {
+                // Bump the epoch and clear the waiter bit so parked threads
+                // (and threads between CAS-registration and futex_wait)
+                // observe a changed word.
+                let next = w.wrapping_add(2) & !WAITER_BIT;
+                match slot.compare_exchange_weak(
+                    w,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        futex_wake_all(slot);
+                        return;
+                    }
+                    Err(cur) => w = cur,
+                }
+            }
+        }
+    }
+
+    /// Block until `nonempty()` is (probably) true, a signal arrives, or
+    /// the buffer is closed (`waitBeforeExtractMax`).
+    ///
+    /// The protocol: take a sleep ticket, register on that slot, then
+    /// re-check the predicate *after* registration — this is the race-free
+    /// handoff with [`EventBuffer::signal`]. A bounded spin runs before
+    /// parking to absorb short producer gaps without a syscall.
+    pub fn wait_until<F: FnMut() -> bool>(&self, nonempty: F) -> WaitOutcome {
+        self.wait_until_impl(nonempty, None)
+    }
+
+    /// [`EventBuffer::wait_until`] with a bound on the park time. Returns
+    /// [`WaitOutcome::TimedOut`] if the timeout elapsed with no signal.
+    pub fn wait_until_timeout<F: FnMut() -> bool>(
+        &self,
+        nonempty: F,
+        timeout: std::time::Duration,
+    ) -> WaitOutcome {
+        self.wait_until_impl(nonempty, Some(timeout))
+    }
+
+    fn wait_until_impl<F: FnMut() -> bool>(
+        &self,
+        mut nonempty: F,
+        timeout: Option<std::time::Duration>,
+    ) -> WaitOutcome {
+        if self.closed.load(Ordering::Acquire) {
+            return WaitOutcome::Closed;
+        }
+        let ticket = self.sleep_tickets.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+
+        // Register as a sleeper before the predicate re-check (see signal).
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        // Drop-guard so every early return deregisters.
+        struct Dereg<'a>(&'a AtomicU64);
+        impl Drop for Dereg<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let _dereg = Dereg(&self.sleepers);
+
+        // Set the waiter bit and remember the word we will park on.
+        let mut w = slot.load(Ordering::Relaxed);
+        let parked_word = loop {
+            if w & WAITER_BIT != 0 {
+                break w;
+            }
+            match slot.compare_exchange_weak(
+                w,
+                w | WAITER_BIT,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break w | WAITER_BIT,
+                Err(cur) => w = cur,
+            }
+        };
+
+        // Predicate re-check after registration: a concurrent signal either
+        // sees our sleeper count or we see its element here.
+        if nonempty() {
+            return WaitOutcome::Ready;
+        }
+
+        // trySpinBeforeBlock: absorb short gaps without a syscall.
+        for _ in 0..self.spin_before_block {
+            std::hint::spin_loop();
+            if slot.load(Ordering::Acquire) != parked_word {
+                return WaitOutcome::Woken;
+            }
+            if nonempty() {
+                return WaitOutcome::Ready;
+            }
+        }
+
+        if self.closed.load(Ordering::Acquire) {
+            return WaitOutcome::Closed;
+        }
+
+        let woken = match timeout {
+            None => {
+                futex_wait(slot, parked_word);
+                true
+            }
+            Some(t) => futex_wait_timeout(slot, parked_word, t),
+        };
+
+        if self.closed.load(Ordering::Acquire) {
+            WaitOutcome::Closed
+        } else if woken {
+            WaitOutcome::Woken
+        } else {
+            WaitOutcome::TimedOut
+        }
+    }
+
+    /// Close the buffer: wake every sleeper, now and forever. Used for
+    /// shutdown of consumer pools.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        for slot in self.slots.iter() {
+            // Unconditionally bump the epoch so even threads that
+            // registered concurrently with close observe a changed word.
+            slot.fetch_add(2, Ordering::AcqRel);
+            futex_wake_all(slot);
+        }
+    }
+
+    /// Whether [`EventBuffer::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Re-open after a close. Only sound when no waiters can be inside
+    /// `wait_until` (e.g. between benchmark phases).
+    pub fn reopen(&self) {
+        self.closed.store(false, Ordering::Release);
+    }
+}
+
+impl Default for EventBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for EventBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBuffer")
+            .field("slots", &self.slots.len())
+            .field("sleepers", &self.sleeper_count())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn slot_count_rounds_to_power_of_two() {
+        assert_eq!(EventBuffer::with_slots(1).slot_count(), 1);
+        assert_eq!(EventBuffer::with_slots(3).slot_count(), 4);
+        assert_eq!(EventBuffer::with_slots(16).slot_count(), 16);
+        assert_eq!(EventBuffer::with_slots(17).slot_count(), 32);
+    }
+
+    #[test]
+    fn ready_when_predicate_true() {
+        let ev = EventBuffer::new();
+        assert_eq!(ev.wait_until(|| true), WaitOutcome::Ready);
+        assert_eq!(ev.sleeper_count(), 0);
+    }
+
+    #[test]
+    fn closed_buffer_returns_closed() {
+        let ev = EventBuffer::new();
+        ev.close();
+        assert_eq!(ev.wait_until(|| false), WaitOutcome::Closed);
+        ev.reopen();
+        assert_eq!(ev.wait_until(|| true), WaitOutcome::Ready);
+    }
+
+    #[test]
+    fn timed_wait_reports_timeout() {
+        let ev = EventBuffer::new();
+        let t0 = std::time::Instant::now();
+        let out = ev.wait_until_timeout(|| false, Duration::from_millis(30));
+        assert_eq!(out, WaitOutcome::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert_eq!(ev.sleeper_count(), 0, "deregistered after timeout");
+    }
+
+    #[test]
+    fn timed_wait_wakes_on_signal() {
+        let ev = Arc::new(EventBuffer::new());
+        let flag = Arc::new(AtomicU64::new(0));
+        let (ev2, flag2) = (Arc::clone(&ev), Arc::clone(&flag));
+        let h = std::thread::spawn(move || {
+            ev2.wait_until_timeout(|| flag2.load(Ordering::SeqCst) > 0, Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(1, Ordering::SeqCst);
+        ev.signal();
+        let out = h.join().unwrap();
+        assert_ne!(out, WaitOutcome::TimedOut);
+    }
+
+    #[test]
+    fn signal_with_no_sleepers_is_cheap_and_harmless() {
+        let ev = EventBuffer::new();
+        for _ in 0..1000 {
+            ev.signal();
+        }
+        assert_eq!(ev.sleeper_count(), 0);
+    }
+
+    /// The fundamental handoff: one producer item, one sleeping consumer,
+    /// arbitrary ticket alignment. Exercises the forward-sweep liveness fix.
+    #[test]
+    fn single_producer_single_consumer_handoff() {
+        for skew in 0..5u64 {
+            let ev = Arc::new(EventBuffer::with_slots(8));
+            // Skew the wake counter so the producer's ticket lands on a
+            // different slot than the consumer's.
+            for _ in 0..skew {
+                ev.signal();
+            }
+            let items = Arc::new(AtomicU64::new(0));
+            let ev2 = Arc::clone(&ev);
+            let items2 = Arc::clone(&items);
+            let consumer = std::thread::spawn(move || loop {
+                if items2
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_ok()
+                {
+                    return;
+                }
+                ev2.wait_until(|| items2.load(Ordering::SeqCst) > 0);
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            items.fetch_add(1, Ordering::SeqCst);
+            ev.signal();
+            consumer.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn many_consumers_all_drain_and_exit_on_close() {
+        const CONSUMERS: usize = 8;
+        const ITEMS: u64 = 10_000;
+        let ev = Arc::new(EventBuffer::with_slots(4));
+        let items = Arc::new(AtomicU64::new(0));
+        let taken = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..CONSUMERS {
+            let ev = Arc::clone(&ev);
+            let items = Arc::clone(&items);
+            let taken = Arc::clone(&taken);
+            handles.push(std::thread::spawn(move || loop {
+                if items
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_ok()
+                {
+                    taken.fetch_add(1, Ordering::SeqCst);
+                    continue;
+                }
+                match ev.wait_until(|| items.load(Ordering::SeqCst) > 0) {
+                    WaitOutcome::Closed => return,
+                    WaitOutcome::Ready | WaitOutcome::Woken | WaitOutcome::TimedOut => {}
+                }
+            }));
+        }
+        for _ in 0..ITEMS {
+            items.fetch_add(1, Ordering::SeqCst);
+            ev.signal();
+        }
+        // Wait until everything is consumed, then close.
+        while taken.load(Ordering::SeqCst) < ITEMS {
+            std::thread::yield_now();
+        }
+        ev.close();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(taken.load(Ordering::SeqCst), ITEMS);
+        assert_eq!(ev.sleeper_count(), 0);
+    }
+
+    /// Producers and consumers racing: no element may be stranded while a
+    /// consumer sleeps forever (the lost-wakeup test).
+    #[test]
+    fn no_lost_wakeups_under_race() {
+        const ROUNDS: u64 = 2_000;
+        let ev = Arc::new(EventBuffer::with_slots(2));
+        let items = Arc::new(AtomicU64::new(0));
+        let ev_c = Arc::clone(&ev);
+        let items_c = Arc::clone(&items);
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0u64;
+            while got < ROUNDS {
+                if items_c
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_ok()
+                {
+                    got += 1;
+                    continue;
+                }
+                ev_c.wait_until(|| items_c.load(Ordering::SeqCst) > 0);
+            }
+            got
+        });
+        for _ in 0..ROUNDS {
+            items.fetch_add(1, Ordering::SeqCst);
+            ev.signal();
+            if fastrand_bit() {
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(consumer.join().unwrap(), ROUNDS);
+    }
+
+    fn fastrand_bit() -> bool {
+        use std::cell::Cell;
+        thread_local! {
+            static S: Cell<u64> = const { Cell::new(0x243F_6A88_85A3_08D3) };
+        }
+        S.with(|s| {
+            let mut x = s.get();
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.set(x);
+            x & 1 == 0
+        })
+    }
+
+    #[test]
+    fn sweep_finds_waiter_on_distant_slot() {
+        // Directly exercise wake_one_from: a waiter parks on some slot; a
+        // signal starting from every other slot must still find it.
+        let ev = Arc::new(EventBuffer::with_slots(8));
+        let woken = Arc::new(AtomicUsize::new(0));
+        let ev2 = Arc::clone(&ev);
+        let woken2 = Arc::clone(&woken);
+        let h = std::thread::spawn(move || {
+            let out = ev2.wait_until(|| false);
+            assert_ne!(out, WaitOutcome::Ready);
+            woken2.store(1, Ordering::SeqCst);
+        });
+        while ev.sleeper_count() == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        ev.signal();
+        h.join().unwrap();
+        assert_eq!(woken.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! A thin futex abstraction.
+//!
+//! The paper's blocking mechanism (§3.6) is built directly on the Linux
+//! `futex(2)` syscall: "a circular buffer of futexes (the Linux kernel's
+//! fast userspace mutex object)". On Linux this module issues the raw
+//! syscall (`FUTEX_WAIT_PRIVATE` / `FUTEX_WAKE_PRIVATE`). On other
+//! platforms it degrades to a mutex/condvar parking table keyed by the
+//! atom's address — slower, but with identical semantics, so the
+//! [`crate::event::EventBuffer`] logic is portable.
+
+use std::sync::atomic::AtomicU32;
+
+/// Block the calling thread while `*atom == expected`.
+///
+/// Returns immediately if the value has already changed; otherwise sleeps
+/// until a matching [`futex_wake`]. Spurious wakeups are possible and the
+/// caller must re-check its predicate — the event buffer does.
+#[inline]
+pub fn futex_wait(atom: &AtomicU32, expected: u32) {
+    imp::wait(atom, None, expected);
+}
+
+/// Like [`futex_wait`], with a relative timeout. Returns `false` if the
+/// wait (probably) timed out, `true` if woken / value changed / spurious.
+#[inline]
+pub fn futex_wait_timeout(
+    atom: &AtomicU32,
+    expected: u32,
+    timeout: std::time::Duration,
+) -> bool {
+    imp::wait(atom, Some(timeout), expected)
+}
+
+/// Wake up to `count` threads blocked in [`futex_wait`] on `atom`.
+///
+/// Returns the number of threads woken (best effort on the fallback path).
+#[inline]
+pub fn futex_wake(atom: &AtomicU32, count: u32) -> usize {
+    imp::wake(atom, count)
+}
+
+/// Wake every thread blocked on `atom`.
+#[inline]
+pub fn futex_wake_all(atom: &AtomicU32) -> usize {
+    imp::wake(atom, u32::MAX)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    /// Returns false only on (probable) timeout.
+    pub fn wait(atom: &AtomicU32, timeout: Option<Duration>, expected: u32) -> bool {
+        let ts = timeout.map(|d| libc::timespec {
+            tv_sec: d.as_secs().min(i64::MAX as u64) as libc::time_t,
+            tv_nsec: libc::c_long::from(d.subsec_nanos() as i32),
+        });
+        let ts_ptr = ts
+            .as_ref()
+            .map_or(std::ptr::null(), |t| t as *const libc::timespec);
+        // SAFETY: the futex word outlives the call (we hold a reference);
+        // FUTEX_WAIT blocks until woken, value change, timeout, or signal.
+        // EAGAIN/EINTR are benign (caller re-checks its predicate).
+        let rc = unsafe {
+            libc::syscall(
+                libc::SYS_futex,
+                atom.as_ptr(),
+                libc::FUTEX_WAIT | libc::FUTEX_PRIVATE_FLAG,
+                expected,
+                ts_ptr,
+            )
+        };
+        if rc == -1 {
+            let errno = std::io::Error::last_os_error().raw_os_error();
+            errno != Some(libc::ETIMEDOUT)
+        } else {
+            true
+        }
+    }
+
+    pub fn wake(atom: &AtomicU32, count: u32) -> usize {
+        // The kernel takes the wake count as a *signed* int: u32::MAX
+        // would arrive as -1 and wake exactly one waiter (the comparison
+        // `++woken >= nr_wake` trips immediately). Clamp to i32::MAX so
+        // "wake all" really is unbounded.
+        let count = count.min(i32::MAX as u32) as libc::c_int;
+        // SAFETY: as above; FUTEX_WAKE takes no pointer arguments beyond
+        // the futex word itself.
+        let woken = unsafe {
+            libc::syscall(
+                libc::SYS_futex,
+                atom.as_ptr(),
+                libc::FUTEX_WAKE | libc::FUTEX_PRIVATE_FLAG,
+                count,
+            )
+        };
+        woken.max(0) as usize
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    //! Portable fallback: a fixed-size hash table of (mutex, condvar)
+    //! buckets keyed by futex-word address, in the style of parking lots.
+    //! Collisions only cause extra wakeups, never missed ones, because a
+    //! wake broadcasts the bucket and waiters re-check the futex word.
+
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+    use std::time::Duration;
+
+    const BUCKETS: usize = 256;
+
+    struct Bucket {
+        lock: Mutex<()>,
+        cond: Condvar,
+    }
+
+    fn table() -> &'static Vec<Bucket> {
+        static TABLE: OnceLock<Vec<Bucket>> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            (0..BUCKETS)
+                .map(|_| Bucket { lock: Mutex::new(()), cond: Condvar::new() })
+                .collect()
+        })
+    }
+
+    fn bucket_for(atom: *const AtomicU32) -> &'static Bucket {
+        // Fibonacci hash of the address.
+        let h = (atom as usize).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &table()[(h >> 48) % BUCKETS]
+    }
+
+    /// Returns false only on (probable) timeout of an explicit deadline.
+    pub fn wait(atom: &AtomicU32, timeout: Option<Duration>, expected: u32) -> bool {
+        let bucket = bucket_for(atom);
+        let guard = bucket.lock.lock().unwrap();
+        // The check must happen under the bucket lock: a waker that changed
+        // the word and then broadcast holds/held the same lock, so either
+        // we see the new value here or we are parked before its notify.
+        if atom.load(Ordering::Acquire) != expected {
+            return true;
+        }
+        // An untimed wait still uses a bounded sleep: it bounds the damage
+        // of a hash-collision notify storm (callers re-check predicates).
+        let dur = timeout.unwrap_or(Duration::from_millis(50));
+        let (_g, res) = bucket.cond.wait_timeout(guard, dur).unwrap();
+        timeout.is_none() || !res.timed_out()
+    }
+
+    pub fn wake(atom: &AtomicU32, count: u32) -> usize {
+        let bucket = bucket_for(atom);
+        let _guard = bucket.lock.lock().unwrap();
+        if count == 1 {
+            bucket.cond.notify_one();
+            1
+        } else {
+            bucket.cond.notify_all();
+            count as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_returns_when_value_differs() {
+        let atom = AtomicU32::new(5);
+        // Expected != current: must not block.
+        futex_wait(&atom, 4);
+    }
+
+    #[test]
+    fn wake_unblocks_waiter() {
+        let atom = Arc::new(AtomicU32::new(0));
+        let a2 = Arc::clone(&atom);
+        let h = std::thread::spawn(move || {
+            while a2.load(Ordering::Acquire) == 0 {
+                futex_wait(&a2, 0);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        atom.store(1, Ordering::Release);
+        futex_wake_all(&atom);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn timed_wait_expires() {
+        let atom = AtomicU32::new(0);
+        let t0 = std::time::Instant::now();
+        let woken = futex_wait_timeout(&atom, 0, Duration::from_millis(30));
+        assert!(!woken, "nothing woke us: must report timeout");
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn timed_wait_returns_early_on_wake() {
+        let atom = Arc::new(AtomicU32::new(0));
+        let a2 = Arc::clone(&atom);
+        let h = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            while a2.load(Ordering::Acquire) == 0 {
+                if !futex_wait_timeout(&a2, 0, Duration::from_secs(10)) {
+                    panic!("timed out despite wake");
+                }
+            }
+            t0.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        atom.store(1, Ordering::Release);
+        futex_wake_all(&atom);
+        let waited = h.join().unwrap();
+        assert!(waited < Duration::from_secs(5), "woke well before the timeout");
+    }
+
+    #[test]
+    fn timed_wait_value_already_changed() {
+        let atom = AtomicU32::new(7);
+        assert!(futex_wait_timeout(&atom, 3, Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn wake_with_no_waiters_is_harmless() {
+        let atom = AtomicU32::new(0);
+        futex_wake(&atom, 1);
+        futex_wake_all(&atom);
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        const WAITERS: usize = 8;
+        let atom = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..WAITERS {
+            let a = Arc::clone(&atom);
+            handles.push(std::thread::spawn(move || {
+                while a.load(Ordering::Acquire) == 0 {
+                    futex_wait(&a, 0);
+                }
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        atom.store(7, Ordering::Release);
+        futex_wake_all(&atom);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

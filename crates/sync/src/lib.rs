@@ -1,0 +1,28 @@
+//! Concurrency substrate for the ZMSQ reproduction.
+//!
+//! This crate packages the low-level synchronization building blocks the
+//! paper relies on, independent of the queue itself, so they can be tested
+//! and benchmarked in isolation:
+//!
+//! * [`trylock`] — the three lock implementations compared in Figure 2
+//!   (an OS-parking mutex, a test-and-set trylock and a
+//!   test-and-test-and-set trylock) behind a single [`RawTryLock`] trait.
+//! * [`futex`] — a thin wrapper over the Linux `futex(2)` syscall with a
+//!   portable mutex/condvar fallback for other platforms.
+//! * [`event`] — the circular buffer of cache-padded futexes from
+//!   Listing 3, used to block idle consumers (§3.6).
+//! * [`backoff`] — bounded exponential backoff for optimistic retry loops.
+//!
+//! [`RawTryLock`]: trylock::RawTryLock
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod event;
+pub mod futex;
+pub mod trylock;
+
+pub use backoff::Backoff;
+pub use event::{EventBuffer, WaitOutcome};
+pub use futex::{futex_wait, futex_wait_timeout, futex_wake, futex_wake_all};
+pub use trylock::{LockGuard, OsLock, RawTryLock, TasLock, TatasLock};

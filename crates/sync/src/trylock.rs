@@ -1,0 +1,351 @@
+//! The three lock implementations compared in Figure 2 of the paper.
+//!
+//! ZMSQ's `insert()` uses an optimistic read-before-lock pattern: a thread
+//! reads `TNode.max` without the lock, locks the node, and re-validates.
+//! §4.1 observes that when a target node is *already locked*, validation is
+//! likely to fail anyway, so it pays to `try_lock` and restart immediately
+//! (picking a different random path) rather than queue up on the lock.
+//!
+//! All three locks implement [`RawTryLock`]:
+//!
+//! * [`OsLock`] — an OS-parking mutex (the `std::mutex` arm of Fig. 2),
+//!   built on `parking_lot::RawMutex`.
+//! * [`TasLock`] — test-and-set: every acquisition attempt is an atomic
+//!   `swap`, which invalidates the cache line even when the lock is held.
+//! * [`TatasLock`] — test-and-test-and-set: spin on a plain load and only
+//!   attempt the atomic `swap` when the lock is observed free. This is the
+//!   winner in the paper's Figure 2b and ZMSQ's default.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::backoff::Backoff;
+
+/// A raw lock with both blocking and non-blocking acquisition.
+///
+/// `unlock` is safe to call only by the lock holder; the RAII
+/// [`LockGuard`] enforces this in the common case, while the queue's
+/// hand-over-hand paths (which must release locks out of scope order) call
+/// `unlock` directly.
+pub trait RawTryLock: Send + Sync + Default {
+    /// Human-readable name used in benchmark rows (`mutex`, `tas`, `tatas`).
+    const NAME: &'static str;
+
+    /// Attempt to acquire without waiting. Returns `true` on success.
+    fn try_lock(&self) -> bool;
+
+    /// Acquire, waiting as long as necessary.
+    fn lock(&self);
+
+    /// Release.
+    ///
+    /// Must only be called by the thread that currently holds the lock;
+    /// every internal call site in this workspace is matched 1:1 with an
+    /// acquisition on the same thread.
+    fn unlock(&self);
+
+    /// Whether the lock is currently held (advisory; racy by nature).
+    fn is_locked(&self) -> bool;
+
+    /// Acquire and return an RAII guard.
+    #[inline]
+    fn guard(&self) -> LockGuard<'_, Self>
+    where
+        Self: Sized,
+    {
+        self.lock();
+        LockGuard { lock: self }
+    }
+
+    /// Try to acquire and return an RAII guard.
+    #[inline]
+    fn try_guard(&self) -> Option<LockGuard<'_, Self>>
+    where
+        Self: Sized,
+    {
+        if self.try_lock() {
+            Some(LockGuard { lock: self })
+        } else {
+            None
+        }
+    }
+}
+
+/// RAII guard releasing a [`RawTryLock`] on drop.
+#[must_use = "the lock is released when the guard drops"]
+pub struct LockGuard<'a, L: RawTryLock> {
+    lock: &'a L,
+}
+
+impl<L: RawTryLock> Drop for LockGuard<'_, L> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.unlock();
+    }
+}
+
+/// Test-and-set spinlock: each attempt is an unconditional atomic `swap`.
+///
+/// Under contention the repeated swaps keep the cache line in modified
+/// state and ping-pong it between cores — exactly the pathology Fig. 2
+/// demonstrates relative to [`TatasLock`].
+#[derive(Default)]
+pub struct TasLock {
+    held: AtomicBool,
+}
+
+impl RawTryLock for TasLock {
+    const NAME: &'static str = "tas";
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        // Acquire on success orders the critical section after the
+        // previous holder's release store.
+        !self.held.swap(true, Ordering::Acquire)
+    }
+
+    #[inline]
+    fn lock(&self) {
+        let mut backoff = Backoff::new();
+        while self.held.swap(true, Ordering::Acquire) {
+            backoff.wait();
+        }
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        self.held.store(false, Ordering::Release);
+    }
+
+    #[inline]
+    fn is_locked(&self) -> bool {
+        self.held.load(Ordering::Relaxed)
+    }
+}
+
+/// Test-and-test-and-set spinlock: spin on a read, swap only when free.
+///
+/// The read-only spin keeps the line in shared state across waiters, so a
+/// release triggers one invalidation instead of a storm. ZMSQ's default.
+#[derive(Default)]
+pub struct TatasLock {
+    held: AtomicBool,
+}
+
+impl RawTryLock for TatasLock {
+    const NAME: &'static str = "tatas";
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        // The cheap load filters out attempts that would fail anyway; this
+        // is what makes trylock-and-restart profitable in insert() (§4.1).
+        !self.held.load(Ordering::Relaxed) && !self.held.swap(true, Ordering::Acquire)
+    }
+
+    #[inline]
+    fn lock(&self) {
+        let mut backoff = Backoff::new();
+        loop {
+            while self.held.load(Ordering::Relaxed) {
+                backoff.wait();
+            }
+            if !self.held.swap(true, Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        self.held.store(false, Ordering::Release);
+    }
+
+    #[inline]
+    fn is_locked(&self) -> bool {
+        self.held.load(Ordering::Relaxed)
+    }
+}
+
+/// OS-parking mutex — the `std::mutex` arm of the Figure 2 comparison.
+///
+/// Built on `parking_lot::RawMutex` rather than `std::sync::Mutex` because
+/// the queue needs the raw `lock`/`unlock` interface (guards cannot express
+/// the hand-over-hand release order used during set migration).
+pub struct OsLock {
+    raw: parking_lot::RawMutex,
+}
+
+impl Default for OsLock {
+    #[inline]
+    fn default() -> Self {
+        use parking_lot::lock_api::RawMutex as _;
+        Self { raw: parking_lot::RawMutex::INIT }
+    }
+}
+
+impl RawTryLock for OsLock {
+    const NAME: &'static str = "mutex";
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        use parking_lot::lock_api::RawMutex as _;
+        self.raw.try_lock()
+    }
+
+    #[inline]
+    fn lock(&self) {
+        use parking_lot::lock_api::RawMutex as _;
+        self.raw.lock();
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        use parking_lot::lock_api::RawMutex as _;
+        // SAFETY (API contract, not memory safety): RawTryLock::unlock is
+        // documented to be called only by the holder.
+        unsafe { self.raw.unlock() }
+    }
+
+    #[inline]
+    fn is_locked(&self) -> bool {
+        use parking_lot::lock_api::RawMutex as _;
+        self.raw.is_locked()
+    }
+}
+
+impl std::fmt::Debug for TasLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TasLock").field("held", &self.is_locked()).finish()
+    }
+}
+impl std::fmt::Debug for TatasLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TatasLock").field("held", &self.is_locked()).finish()
+    }
+}
+impl std::fmt::Debug for OsLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OsLock").field("held", &self.is_locked()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn exercise_basic<L: RawTryLock>() {
+        let l = L::default();
+        assert!(!l.is_locked());
+        assert!(l.try_lock());
+        assert!(l.is_locked());
+        assert!(!l.try_lock(), "{} re-acquired while held", L::NAME);
+        l.unlock();
+        assert!(!l.is_locked());
+        l.lock();
+        assert!(l.is_locked());
+        l.unlock();
+    }
+
+    #[test]
+    fn basic_tas() {
+        exercise_basic::<TasLock>();
+    }
+    #[test]
+    fn basic_tatas() {
+        exercise_basic::<TatasLock>();
+    }
+    #[test]
+    fn basic_os() {
+        exercise_basic::<OsLock>();
+    }
+
+    fn exercise_mutual_exclusion<L: RawTryLock + 'static>() {
+        const THREADS: usize = 8;
+        const ITERS: u64 = 20_000;
+        let lock = Arc::new(L::default());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ITERS {
+                    lock.lock();
+                    // Non-atomic read-modify-write protected by the lock:
+                    // torn updates would show up as a lost count.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    lock.unlock();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS as u64 * ITERS);
+    }
+
+    #[test]
+    fn mutual_exclusion_tas() {
+        exercise_mutual_exclusion::<TasLock>();
+    }
+    #[test]
+    fn mutual_exclusion_tatas() {
+        exercise_mutual_exclusion::<TatasLock>();
+    }
+    #[test]
+    fn mutual_exclusion_os() {
+        exercise_mutual_exclusion::<OsLock>();
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let l = TatasLock::default();
+        {
+            let _g = l.guard();
+            assert!(l.is_locked());
+            assert!(l.try_guard().is_none());
+        }
+        assert!(!l.is_locked());
+        let g = l.try_guard();
+        assert!(g.is_some());
+        drop(g);
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn trylock_contention_mix() {
+        // Threads alternate try_lock and lock; every successful acquisition
+        // must be exclusive.
+        let lock = Arc::new(TatasLock::default());
+        let inside = Arc::new(AtomicU64::new(0));
+        let acquired = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..6 {
+            let lock = Arc::clone(&lock);
+            let inside = Arc::clone(&inside);
+            let acquired = Arc::clone(&acquired);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    let got = if (i + t) % 2 == 0 {
+                        lock.try_lock()
+                    } else {
+                        lock.lock();
+                        true
+                    };
+                    if got {
+                        assert_eq!(inside.fetch_add(1, Ordering::SeqCst), 0);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        acquired.fetch_add(1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(acquired.load(Ordering::Relaxed) >= 30_000);
+    }
+}

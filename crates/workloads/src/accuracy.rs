@@ -1,0 +1,183 @@
+//! Rank-quality (accuracy) measurement — Table 1.
+//!
+//! "We initialize each queue with 1K and 64K randomly generated keys
+//! without duplicates. For the 1K sized queues, we execute 102 (10%) and
+//! 512 (50%) extractMax() operations, and report the number of returned
+//! keys that are in the top 102 and 512 respectively."
+//!
+//! The harness inserts `keys` (distinct), performs `extract_count`
+//! *successful* extractions across `threads` threads, and counts how many
+//! returned keys rank within the true top `extract_count`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pq_traits::ConcurrentPriorityQueue;
+
+/// Result of one accuracy run.
+#[derive(Debug, Clone, Copy)]
+pub struct AccuracyResult {
+    /// Successful extractions performed.
+    pub extracted: usize,
+    /// How many of them were within the true top `extracted` keys.
+    pub in_top: usize,
+    /// Spurious `None` results encountered (SprayList/k-LSM can fail on
+    /// a nonempty queue; ZMSQ never does).
+    pub spurious_failures: u64,
+}
+
+impl AccuracyResult {
+    /// Fraction of extractions that hit the top set (Table 1's metric).
+    pub fn hit_rate(&self) -> f64 {
+        if self.extracted == 0 {
+            0.0
+        } else {
+            self.in_top as f64 / self.extracted as f64
+        }
+    }
+}
+
+/// Run the Table 1 accuracy protocol against `queue`.
+///
+/// `keys` must be duplicate-free. The queue should be empty on entry and
+/// retains `keys.len() - extract_count` elements on return.
+pub fn measure_accuracy<Q: ConcurrentPriorityQueue<u64> + Sync>(
+    queue: &Q,
+    keys: &[u64],
+    extract_count: usize,
+    threads: usize,
+) -> AccuracyResult {
+    assert!(extract_count <= keys.len());
+    for &k in keys {
+        queue.insert(k, k);
+    }
+    // The rank threshold: the extract_count-th largest key.
+    let mut sorted: Vec<u64> = keys.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let threshold = sorted[extract_count - 1];
+
+    let budget = AtomicU64::new(extract_count as u64);
+    let in_top = AtomicU64::new(0);
+    let spurious = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let budget = &budget;
+            let in_top = &in_top;
+            let spurious = &spurious;
+            scope.spawn(move || {
+                let mut local_top = 0u64;
+                let mut local_spurious = 0u64;
+                loop {
+                    // Claim one extraction from the budget.
+                    if budget
+                        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| {
+                            b.checked_sub(1)
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                    loop {
+                        match queue.extract_max() {
+                            Some((k, _)) => {
+                                if k >= threshold {
+                                    local_top += 1;
+                                }
+                                break;
+                            }
+                            None => {
+                                // The queue is definitely nonempty
+                                // (extract_count <= keys.len()), so this
+                                // is a spurious failure; retry.
+                                local_spurious += 1;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+                in_top.fetch_add(local_top, Ordering::Relaxed);
+                spurious.fetch_add(local_spurious, Ordering::Relaxed);
+            });
+        }
+    });
+
+    AccuracyResult {
+        extracted: extract_count,
+        in_top: in_top.into_inner() as usize,
+        spurious_failures: spurious.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::distinct_keys;
+    use baselines::{CoarseHeap, FifoQueue, SprayList};
+    use zmsq::{Zmsq, ZmsqConfig};
+
+    #[test]
+    fn strict_queue_is_perfect() {
+        let q: CoarseHeap<u64> = CoarseHeap::new();
+        let keys = distinct_keys(1024, 1);
+        let r = measure_accuracy(&q, &keys, 102, 1);
+        assert_eq!(r.in_top, 102);
+        assert!((r.hit_rate() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(r.spurious_failures, 0);
+    }
+
+    #[test]
+    fn fifo_is_poor_on_random_keys() {
+        let q: FifoQueue<u64> = FifoQueue::new();
+        let keys = distinct_keys(1024, 2);
+        let r = measure_accuracy(&q, &keys, 102, 1);
+        // FIFO returns arrival order: expected hit rate ≈ 10%.
+        assert!(r.hit_rate() < 0.35, "fifo hit rate {}", r.hit_rate());
+    }
+
+    #[test]
+    fn zmsq_beats_fifo_decisively() {
+        let q: Zmsq<u64> =
+            Zmsq::with_config(ZmsqConfig::default().batch(32).target_len(64));
+        let keys = distinct_keys(1024, 3);
+        let r = measure_accuracy(&q, &keys, 102, 1);
+        assert!(
+            r.hit_rate() > 0.5,
+            "ZMSQ accuracy {} (paper: more than half meet the threshold)",
+            r.hit_rate()
+        );
+        assert_eq!(r.spurious_failures, 0, "ZMSQ never fails on nonempty");
+    }
+
+    #[test]
+    fn zmsq_strict_mode_is_perfect() {
+        let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::strict());
+        let keys = distinct_keys(1024, 4);
+        let r = measure_accuracy(&q, &keys, 512, 1);
+        assert_eq!(r.in_top, 512);
+    }
+
+    #[test]
+    fn spraylist_accuracy_depends_on_threads() {
+        let keys = distinct_keys(4096, 5);
+        let narrow = {
+            let q: SprayList<u64> = SprayList::new(2);
+            measure_accuracy(&q, &keys, 409, 1).hit_rate()
+        };
+        let wide = {
+            let q: SprayList<u64> = SprayList::new(128);
+            measure_accuracy(&q, &keys, 409, 1).hit_rate()
+        };
+        assert!(
+            narrow > wide,
+            "spray accuracy must degrade with thread count: {narrow} vs {wide}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn extracting_more_than_inserted_is_a_bug() {
+        let q: CoarseHeap<u64> = CoarseHeap::new();
+        let keys = distinct_keys(10, 6);
+        measure_accuracy(&q, &keys, 11, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Key distributions used across the evaluation.
+//!
+//! §4.1 draws insert keys from a normal distribution; §4.5.1 uses 20-bit
+//! (and 7-bit) uniform keys; Table 1 needs N *distinct* random keys.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded stream of priorities.
+#[derive(Clone)]
+pub enum KeyDist {
+    /// Uniform over `[0, 2^bits)`.
+    UniformBits {
+        /// Number of key bits (7 and 20 in the paper).
+        bits: u32,
+    },
+    /// Normal distribution (the §4.1 lock experiments), truncated to
+    /// non-negative and rounded.
+    Normal {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Monotonically decreasing keys — the mound's published worst-case
+    /// input pattern (§3.7: "inserts ordered decreasing by value lead to
+    /// sets of size 1").
+    Decreasing {
+        /// First (largest) key.
+        start: u64,
+    },
+    /// Monotonically increasing keys.
+    Increasing,
+}
+
+/// A stateful generator of keys from a [`KeyDist`].
+pub struct KeyStream {
+    dist: KeyDist,
+    rng: ChaCha8Rng,
+    counter: u64,
+}
+
+impl KeyStream {
+    /// Create a stream; distinct seeds give independent streams.
+    pub fn new(dist: KeyDist, seed: u64) -> Self {
+        Self { dist, rng: ChaCha8Rng::seed_from_u64(seed), counter: 0 }
+    }
+
+    /// Next key.
+    pub fn next_key(&mut self) -> u64 {
+        self.counter += 1;
+        match &self.dist {
+            KeyDist::UniformBits { bits } => {
+                let mask = if *bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                self.rng.random::<u64>() & mask
+            }
+            KeyDist::Normal { mean, std_dev } => {
+                // Box–Muller.
+                let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = self.rng.random();
+                let z = (-2.0 * u1.ln()).sqrt()
+                    * (2.0 * std::f64::consts::PI * u2).cos();
+                (mean + std_dev * z).max(0.0).round() as u64
+            }
+            KeyDist::Decreasing { start } => start.saturating_sub(self.counter),
+            KeyDist::Increasing => self.counter,
+        }
+    }
+}
+
+/// `n` *distinct* uniformly random keys (Table 1 initializes queues
+/// "with 1K and 64K randomly generated keys without duplicates").
+pub fn distinct_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut set = std::collections::HashSet::with_capacity(n * 2);
+    let mut keys = Vec::with_capacity(n);
+    while keys.len() < n {
+        let k: u64 = rng.random();
+        if set.insert(k) {
+            keys.push(k);
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bit_width() {
+        let mut s = KeyStream::new(KeyDist::UniformBits { bits: 7 }, 1);
+        for _ in 0..1000 {
+            assert!(s.next_key() < 128);
+        }
+        let mut s = KeyStream::new(KeyDist::UniformBits { bits: 20 }, 1);
+        let mut any_large = false;
+        for _ in 0..1000 {
+            let k = s.next_key();
+            assert!(k < (1 << 20));
+            any_large |= k > (1 << 19);
+        }
+        assert!(any_large);
+    }
+
+    #[test]
+    fn normal_centers_on_mean() {
+        let mut s = KeyStream::new(KeyDist::Normal { mean: 1000.0, std_dev: 50.0 }, 2);
+        let n = 10_000;
+        let sum: u64 = (0..n).map(|_| s.next_key()).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 10.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn decreasing_monotone() {
+        let mut s = KeyStream::new(KeyDist::Decreasing { start: 1000 }, 0);
+        let a = s.next_key();
+        let b = s.next_key();
+        let c = s.next_key();
+        assert!(a > b && b > c);
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = KeyStream::new(KeyDist::UniformBits { bits: 20 }, 9);
+        let mut b = KeyStream::new(KeyDist::UniformBits { bits: 20 }, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_key(), b.next_key());
+        }
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct() {
+        let keys = distinct_keys(10_000, 3);
+        let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(set.len(), 10_000);
+        // Deterministic.
+        assert_eq!(keys, distinct_keys(10_000, 3));
+    }
+}

@@ -1,0 +1,178 @@
+//! Mixed insert / extract throughput driver (Figs. 2, 3, 5).
+//!
+//! Runs `total_ops` operations split evenly across `threads`, each op
+//! being an insert with probability `insert_pct` (per-thread seeded
+//! streams), against any queue. The paper's variants map directly:
+//! 100% inserts, 66% inserts, and the 50/50 mix with prefill.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pq_traits::ConcurrentPriorityQueue;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::keys::{KeyDist, KeyStream};
+
+/// Parameters of a mixed run.
+#[derive(Clone)]
+pub struct MixedConfig {
+    /// Total operations across all threads.
+    pub total_ops: u64,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Percentage of inserts, 0–100 (100 = insert-only).
+    pub insert_pct: u32,
+    /// Elements inserted before timing starts.
+    pub prefill: u64,
+    /// Key distribution for inserts (prefill uses the same).
+    pub keys: KeyDist,
+    /// Base seed; thread `i` uses `seed + i + 1`.
+    pub seed: u64,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        Self {
+            total_ops: 1_000_000,
+            threads: 1,
+            insert_pct: 50,
+            prefill: 0,
+            keys: KeyDist::UniformBits { bits: 20 },
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Outcome of a mixed run.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedResult {
+    /// Operations actually performed.
+    pub ops: u64,
+    /// Wall-clock duration of the timed phase.
+    pub elapsed: Duration,
+    /// Inserts performed.
+    pub inserts: u64,
+    /// Extractions that returned an element.
+    pub extract_hits: u64,
+    /// Extractions that returned `None`.
+    pub extract_misses: u64,
+}
+
+impl MixedResult {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Run the mixed workload. The queue should be empty on entry.
+pub fn run_mixed<Q: ConcurrentPriorityQueue<u64> + Sync>(
+    queue: &Q,
+    cfg: &MixedConfig,
+) -> MixedResult {
+    // Prefill (untimed).
+    let mut prefill_keys = KeyStream::new(cfg.keys.clone(), cfg.seed);
+    for _ in 0..cfg.prefill {
+        let k = prefill_keys.next_key();
+        queue.insert(k, k);
+    }
+
+    let inserts = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let threads = cfg.threads.max(1);
+    let per_thread = cfg.total_ops / threads as u64;
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let inserts = &inserts;
+            let hits = &hits;
+            let misses = &misses;
+            scope.spawn(move || {
+                let mut keys =
+                    KeyStream::new(cfg.keys.clone(), cfg.seed + t as u64 + 1);
+                let mut coin = ChaCha8Rng::seed_from_u64(cfg.seed ^ (t as u64) << 32);
+                let mut local = (0u64, 0u64, 0u64);
+                for _ in 0..per_thread {
+                    if coin.random_range(0..100u32) < cfg.insert_pct {
+                        let k = keys.next_key();
+                        queue.insert(k, k);
+                        local.0 += 1;
+                    } else if queue.extract_max().is_some() {
+                        local.1 += 1;
+                    } else {
+                        local.2 += 1;
+                    }
+                }
+                inserts.fetch_add(local.0, Ordering::Relaxed);
+                hits.fetch_add(local.1, Ordering::Relaxed);
+                misses.fetch_add(local.2, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    MixedResult {
+        ops: per_thread * threads as u64,
+        elapsed,
+        inserts: inserts.into_inner(),
+        extract_hits: hits.into_inner(),
+        extract_misses: misses.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::CoarseHeap;
+    use zmsq::{Zmsq, ZmsqConfig};
+
+    #[test]
+    fn insert_only_counts() {
+        let q: CoarseHeap<u64> = CoarseHeap::new();
+        let cfg = MixedConfig {
+            total_ops: 10_000,
+            threads: 2,
+            insert_pct: 100,
+            ..Default::default()
+        };
+        let r = run_mixed(&q, &cfg);
+        assert_eq!(r.inserts, 10_000);
+        assert_eq!(r.extract_hits + r.extract_misses, 0);
+        assert_eq!(q.len_hint(), 10_000);
+        assert!(r.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn mixed_conserves_elements() {
+        let q: Zmsq<u64> =
+            Zmsq::with_config(ZmsqConfig::default().batch(16).target_len(24));
+        let cfg = MixedConfig {
+            total_ops: 40_000,
+            threads: 4,
+            insert_pct: 50,
+            prefill: 1_000,
+            ..Default::default()
+        };
+        let r = run_mixed(&q, &cfg);
+        let remaining = q.drain_count() as u64;
+        assert_eq!(cfg.prefill + r.inserts, r.extract_hits + remaining);
+    }
+
+    #[test]
+    fn ratio_respected_approximately() {
+        let q: CoarseHeap<u64> = CoarseHeap::new();
+        let cfg = MixedConfig {
+            total_ops: 30_000,
+            threads: 3,
+            insert_pct: 66,
+            prefill: 100,
+            ..Default::default()
+        };
+        let r = run_mixed(&q, &cfg);
+        let frac = r.inserts as f64 / r.ops as f64;
+        assert!((0.60..0.72).contains(&frac), "insert fraction {frac}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Queue configuration: the `batch` / `targetLen` tuning knobs of §4.2,
+//! the lock acquisition strategy of §4.1, and the reclamation mode.
+
+/// How pool buffers are reclaimed (paper §3.5 and the `ZMSQ (leak)`
+/// evaluation arm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reclamation {
+    /// Swap in a fresh buffer on every refill and retire the old one into
+    /// a hazard-pointer domain. Consumers protect the buffer before
+    /// claiming — this is the memory-safe default ("ZMSQ" curves).
+    Hazard,
+    /// One buffer for the queue's lifetime; the refiller waits for lagging
+    /// consumers to finish reading before overwriting (Listing 2 line 8).
+    /// No hazard pointers on the consumer fast path; the wait is the
+    /// synchronization (§3.5's observation).
+    ConsumerWait,
+    /// Swap buffers and leak the old ones ("ZMSQ (leak)" curves): isolates
+    /// the cost of memory safety in benchmarks. Never use in production.
+    Leak,
+}
+
+/// Whether node locks are acquired with a bounded trylock (restarting the
+/// operation on failure) or by waiting (§4.1, Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockStrategy {
+    /// `try_lock`; on failure the operation restarts and (for inserts)
+    /// picks a different random path. The paper's recommended strategy:
+    /// a held lock predicts a failed validation.
+    TryRestart,
+    /// Blocking acquisition — the `std::mutex` discipline of Figure 2.
+    Blocking,
+}
+
+/// Ablation switches for the §3.2 insertion-quality mechanisms.
+///
+/// Both default to enabled — disabling them degrades ZMSQ toward the
+/// plain mound (shorter sets, poorer pool quality); the `ablation` bench
+/// quantifies each mechanism's contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QualityOpts {
+    /// Forced non-max insertion into deep under-full nodes (Listing 1
+    /// lines 8–9 / 36–45): the primary density mechanism.
+    pub forced_insert: bool,
+    /// The parent-min swap (§3.2 / Fig. 1): tightens the parent's range
+    /// when a new max is inserted below it.
+    pub parent_min_swap: bool,
+}
+
+impl Default for QualityOpts {
+    fn default() -> Self {
+        Self { forced_insert: true, parent_min_swap: true }
+    }
+}
+
+/// Tuning and feature configuration for a [`Zmsq`](crate::Zmsq).
+#[derive(Debug, Clone)]
+pub struct ZmsqConfig {
+    /// Upper bound on the number of elements moved to the shared pool per
+    /// root extraction, and therefore on relaxation: in `k * batch`
+    /// consecutive extractions the top `k` elements are returned.
+    /// `0` makes the queue strict (identical to the mound).
+    pub batch: usize,
+    /// Target number of elements per `TNode` set; a set holds at most
+    /// `2 * target_len` before it is split.
+    pub target_len: usize,
+    /// Lock acquisition strategy (Figure 2).
+    pub lock_strategy: LockStrategy,
+    /// Pool reclamation mode (§3.5).
+    pub reclamation: Reclamation,
+    /// Enable the futex blocking layer (§3.6). `insert` then signals a
+    /// circular futex buffer and `extract_max_blocking` can park.
+    pub blocking: bool,
+    /// Futex slots in the blocking buffer (rounded up to a power of two).
+    pub event_slots: usize,
+    /// Depth of the initially allocated tree. Forced insertion only
+    /// applies below level 3, so the default of 4 makes it available
+    /// immediately.
+    pub initial_leaf_level: usize,
+    /// §3.2 quality-mechanism ablation switches (both on by default).
+    pub quality: QualityOpts,
+    /// Multiplier on the number of random leaf probes per insertion
+    /// before the tree is expanded (Listing 1 tries `leaf_level` probes;
+    /// this scales that budget). Larger values resist premature tree
+    /// growth under churn at the cost of longer worst-case probing.
+    pub probe_factor: usize,
+    /// Experimental (§5 future work): let `insert` place an element
+    /// directly into the extraction pool when its priority is at least
+    /// the pool's current best, so it can be extracted immediately
+    /// without waiting for the next refill. Preserves conservation and
+    /// the pool's descending hand-out order; slightly blurs the formal
+    /// `k × batch` window bound (the fast-inserted element displaces one
+    /// pool claim). Off by default.
+    pub pool_fast_insert: bool,
+}
+
+impl ZmsqConfig {
+    /// The paper's recommended default: `batch = 48`, `target_len = 72`
+    /// (§4.2: "We recommend the static (batch=48, targetLen=72)
+    /// configuration as the default setting").
+    pub fn recommended() -> Self {
+        Self {
+            batch: 48,
+            target_len: 72,
+            lock_strategy: LockStrategy::TryRestart,
+            reclamation: Reclamation::Hazard,
+            blocking: false,
+            event_slots: 16,
+            initial_leaf_level: 4,
+            quality: QualityOpts::default(),
+            probe_factor: 1,
+            pool_fast_insert: false,
+        }
+    }
+
+    /// The configuration the paper tuned for the SSSP workloads (§4.6):
+    /// `batch = 42`, `target_len = 64`.
+    pub fn sssp_tuned() -> Self {
+        Self { batch: 42, target_len: 64, ..Self::recommended() }
+    }
+
+    /// Strict (non-relaxed) mode: `batch = 0`. Behaves exactly like the
+    /// mound; `extract_max` always returns the true maximum.
+    pub fn strict() -> Self {
+        Self { batch: 0, target_len: 32, ..Self::recommended() }
+    }
+
+    /// Set `batch` (builder style).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Set `target_len` (builder style).
+    pub fn target_len(mut self, target_len: usize) -> Self {
+        self.target_len = target_len;
+        self
+    }
+
+    /// Set the reclamation mode (builder style).
+    pub fn reclamation(mut self, mode: Reclamation) -> Self {
+        self.reclamation = mode;
+        self
+    }
+
+    /// Set the lock strategy (builder style).
+    pub fn lock_strategy(mut self, strategy: LockStrategy) -> Self {
+        self.lock_strategy = strategy;
+        self
+    }
+
+    /// Enable or disable the blocking layer (builder style).
+    pub fn blocking(mut self, on: bool) -> Self {
+        self.blocking = on;
+        self
+    }
+
+    /// Set the quality-mechanism ablation switches (builder style).
+    pub fn quality(mut self, quality: QualityOpts) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Enable the experimental direct-to-pool insertion (builder style).
+    pub fn pool_fast_insert(mut self, on: bool) -> Self {
+        self.pool_fast_insert = on;
+        self
+    }
+
+    /// Validate and normalize; called by the queue constructor.
+    pub(crate) fn normalized(mut self) -> Self {
+        self.target_len = self.target_len.max(1);
+        // The pool cannot usefully exceed what one refill can supply: a
+        // full root set holds at most 2 * target_len elements (§4.2 also
+        // observes batch > targetLen leaves the pool under-filled).
+        self.batch = self.batch.min(2 * self.target_len);
+        self.initial_leaf_level =
+            self.initial_leaf_level.clamp(1, crate::tree::MAX_LEVELS - 1);
+        self.event_slots = self.event_slots.max(1);
+        self.probe_factor = self.probe_factor.max(1);
+        self
+    }
+}
+
+impl Default for ZmsqConfig {
+    fn default() -> Self {
+        Self::recommended()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommended_matches_paper() {
+        let c = ZmsqConfig::recommended();
+        assert_eq!((c.batch, c.target_len), (48, 72));
+        assert_eq!(c.lock_strategy, LockStrategy::TryRestart);
+    }
+
+    #[test]
+    fn sssp_tuned_matches_paper() {
+        let c = ZmsqConfig::sssp_tuned();
+        assert_eq!((c.batch, c.target_len), (42, 64));
+    }
+
+    #[test]
+    fn strict_means_zero_batch() {
+        assert_eq!(ZmsqConfig::strict().batch, 0);
+    }
+
+    #[test]
+    fn normalization_clamps() {
+        let c = ZmsqConfig::recommended()
+            .batch(10_000)
+            .target_len(0)
+            .normalized();
+        assert_eq!(c.target_len, 1);
+        assert_eq!(c.batch, 2, "batch clamped to 2 * target_len");
+
+        let c = ZmsqConfig { initial_leaf_level: 99, ..ZmsqConfig::recommended() }
+            .normalized();
+        assert!(c.initial_leaf_level < crate::tree::MAX_LEVELS);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = ZmsqConfig::default()
+            .batch(8)
+            .target_len(16)
+            .reclamation(Reclamation::Leak)
+            .lock_strategy(LockStrategy::Blocking)
+            .blocking(true);
+        assert_eq!(c.batch, 8);
+        assert_eq!(c.target_len, 16);
+        assert_eq!(c.reclamation, Reclamation::Leak);
+        assert_eq!(c.lock_strategy, LockStrategy::Blocking);
+        assert!(c.blocking);
+    }
+}

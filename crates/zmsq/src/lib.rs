@@ -1,0 +1,126 @@
+//! # ZMSQ — a practical, scalable, relaxed concurrent priority queue
+//!
+//! A from-scratch Rust implementation of the data structure introduced in
+//! *"A Practical, Scalable, Relaxed Priority Queue"* (Zhou, Michael, Spear —
+//! ICPP 2019), published in C++ as Folly's `RelaxedConcurrentPriorityQueue`.
+//!
+//! ZMSQ is a **relaxed** max-priority queue: [`Zmsq::extract_max`] returns a
+//! *high*-priority element which may not be *the* highest. In exchange it
+//! scales far better than strict queues under extraction contention. Its
+//! distinguishing practical features (paper §1):
+//!
+//! 1. **Extraction from a nonempty queue never fails** — `extract_max`
+//!    returns `None` only if the queue was truly empty at some instant
+//!    during the call.
+//! 2. **Idle consumers can block** — [`Zmsq::extract_max_blocking`] parks
+//!    threads on a circular buffer of futexes (§3.6) instead of spinning.
+//! 3. **Memory safety without GC** — pool buffers are reclaimed through
+//!    hazard pointers (or the paper's lagging-consumer wait), selectable
+//!    via [`Reclamation`].
+//! 4. **Accuracy independent of thread count** — relaxation is bounded by
+//!    the tunable `batch` parameter: in any window of `k * batch`
+//!    consecutive extractions the top `k` elements are all returned
+//!    (paper §3.7). With `batch = 0` the queue is strict.
+//!
+//! # Structure
+//!
+//! The queue is a binary tree of `TNode`s (a *mound* variant), each
+//! holding a small **set** of elements plus cached atomic `max`/`min`/
+//! `count`. The mound invariant — a parent's max is ≥ its children's
+//! maxes — makes the root's set the home of the best elements. Extraction
+//! with `batch > 0` moves a batch of the root's elements into a shared
+//! **pool** that subsequent extractions claim with one `fetch_sub`
+//! (§3.3), touching the root only once per `batch + 1` extractions.
+//! Insertion (§3.2) keeps sets long and dense: random-leaf probing,
+//! forced insertion into under-full deep nodes, a parent-min swap that
+//! compacts the parent's range, and an overflow split.
+//!
+//! # Quick start
+//!
+//! ```
+//! use zmsq::{Zmsq, ZmsqConfig};
+//!
+//! let q: Zmsq<&'static str> = Zmsq::with_config(ZmsqConfig::default());
+//! q.insert(10, "low");
+//! q.insert(99, "high");
+//! q.insert(50, "mid");
+//!
+//! // Relaxed extraction: a high-priority element, guaranteed Some while
+//! // the queue is nonempty.
+//! let (prio, _val) = q.extract_max().unwrap();
+//! assert!(prio >= 10);
+//! assert_eq!(q.drain_count(), 2); // the rest
+//! ```
+//!
+//! Strict mode (`batch = 0`) behaves exactly like the mound and always
+//! returns the true maximum:
+//!
+//! ```
+//! use zmsq::{Zmsq, ZmsqConfig};
+//! let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::strict());
+//! for k in [3u64, 9, 1, 7] { q.insert(k, k); }
+//! assert_eq!(q.extract_max(), Some((9, 9)));
+//! assert_eq!(q.extract_max(), Some((7, 7)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod pool;
+mod queue;
+mod rng;
+mod set;
+mod sharded;
+mod stats;
+mod tnode;
+mod tree;
+
+pub use config::{LockStrategy, QualityOpts, Reclamation, ZmsqConfig};
+pub use queue::{SetSizeStats, Zmsq};
+pub use sharded::ShardedZmsq;
+pub use set::{ArraySet, DequeSet, ListSet, NodeSet};
+pub use stats::StatsSnapshot;
+
+// Re-exported so callers can name lock type parameters.
+pub use zmsq_sync::{OsLock, RawTryLock, TasLock, TatasLock};
+
+/// ZMSQ with the default linked-list sets ("ZMSQ" curves in the paper).
+pub type ZmsqList<V> = Zmsq<V, ListSet<V>, TatasLock>;
+/// ZMSQ with unsorted array sets ("ZMSQ (array)" curves in the paper).
+pub type ZmsqArray<V> = Zmsq<V, ArraySet<V>, TatasLock>;
+/// ZMSQ with sorted-deque sets — this reproduction's extension that makes
+/// the §3.2 parent-min swap O(1) at both ends (see `DequeSet`).
+pub type ZmsqDeque<V> = Zmsq<V, DequeSet<V>, TatasLock>;
+
+impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
+    pq_traits::ConcurrentPriorityQueue<V> for Zmsq<V, S, L>
+{
+    fn insert(&self, prio: u64, value: V) {
+        Zmsq::insert(self, prio, value)
+    }
+
+    fn extract_max(&self) -> Option<(u64, V)> {
+        Zmsq::extract_max(self)
+    }
+
+    fn name(&self) -> String {
+        let mut n = format!("zmsq-{}", S::KIND);
+        match self.config().reclamation {
+            Reclamation::Leak => n.push_str("-leak"),
+            Reclamation::ConsumerWait => n.push_str("-wait"),
+            Reclamation::Hazard => {}
+        }
+        if self.config().batch == 0 {
+            n.push_str("-strict");
+        }
+        n
+    }
+
+    fn is_relaxed(&self) -> bool {
+        self.config().batch > 0
+    }
+
+    fn len_hint(&self) -> usize {
+        self.len_hint()
+    }
+}

@@ -1,0 +1,759 @@
+//! The shared extraction pool (§3.3, Listing 2).
+//!
+//! When `batch > 0`, a root extraction moves up to `batch` of the root
+//! set's best elements into the pool; subsequent `extract_max` calls claim
+//! one with a single `fetch_sub` on `poolNext` — no tree access, no lock.
+//! Slots are filled in ascending priority order so the highest index
+//! (claimed first) holds the best element.
+//!
+//! Three reclamation disciplines cover the paper's design space:
+//!
+//! * **ConsumerWait** — one buffer forever; the refiller spin-waits for
+//!   lagging consumers to finish reading their claimed slots before
+//!   overwriting (Listing 2 line 8). §3.5 notes this wait is what makes
+//!   the pool safe without hazard pointers.
+//! * **Hazard** — each refill publishes a fresh buffer and retires the old
+//!   one into an [`smr::Domain`]; consumers protect the buffer pointer.
+//! * **Leak** — fresh buffer per refill, old ones leaked ("ZMSQ (leak)").
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{
+    AtomicIsize, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+};
+
+use crossbeam_utils::CachePadded;
+
+const SLOT_EMPTY: u8 = 0;
+const SLOT_FULL: u8 = 1;
+/// Transient state while a direct (fast) inserter owns the slot.
+const SLOT_FILLING: u8 = 2;
+
+struct Slot<V> {
+    state: AtomicU8,
+    /// Copy of the slot's priority, readable without claiming — enables
+    /// the conditional-extraction peek (§1's "non-blocking conditional
+    /// extraction").
+    prio: AtomicU64,
+    value: UnsafeCell<MaybeUninit<(u64, V)>>,
+}
+
+// SAFETY: slot values are transferred with unique ownership — written only
+// by the (serialized) refiller into consumed slots, read exactly once by
+// the unique claimant of that index.
+unsafe impl<V: Send> Sync for Slot<V> {}
+unsafe impl<V: Send> Send for Slot<V> {}
+
+/// One generation-reusable pool buffer.
+pub(crate) struct PoolBuf<V> {
+    /// Index of the next slot to claim; negative = exhausted. Decremented
+    /// by every claimant (`poolNext` in the paper).
+    next: CachePadded<AtomicIsize>,
+    /// Slots fully consumed (value read) this generation.
+    consumed: CachePadded<AtomicUsize>,
+    /// Size of the current fill. Written by the serialized refiller.
+    published: AtomicUsize,
+    /// Elements added by direct (fast) insertion this generation — the
+    /// refiller's lagging-consumer wait must account for them too.
+    extra: CachePadded<AtomicUsize>,
+    slots: Box<[Slot<V>]>,
+}
+
+impl<V: Send> PoolBuf<V> {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            next: CachePadded::new(AtomicIsize::new(-1)),
+            consumed: CachePadded::new(AtomicUsize::new(0)),
+            published: AtomicUsize::new(0),
+            extra: CachePadded::new(AtomicUsize::new(0)),
+            slots: (0..cap)
+                .map(|_| Slot {
+                    state: AtomicU8::new(SLOT_EMPTY),
+                    prio: AtomicU64::new(0),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether unclaimed items remain. Only meaningful to a caller that
+    /// knows this buffer cannot be concurrently retired (the current
+    /// buffer observed under the root lock, or any buffer in the
+    /// ConsumerWait / Leak disciplines).
+    #[inline]
+    pub fn has_items(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= 0
+    }
+
+    /// Claim one element, if any remain.
+    #[inline]
+    pub fn try_claim(&self) -> Option<(u64, V)> {
+        // Cheap pre-check avoids driving `next` deeply negative (and a
+        // wasted RMW) when the pool is dry — the common case between
+        // refills under extraction-heavy load.
+        if self.next.load(Ordering::Relaxed) < 0 {
+            return None;
+        }
+        // AcqRel: acquire pairs with the refiller's release publish of
+        // `next`, making the slot writes visible.
+        let idx = self.next.fetch_sub(1, Ordering::AcqRel);
+        if idx < 0 {
+            return None;
+        }
+        let slot = &self.slots[idx as usize];
+        debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_FULL);
+        // SAFETY: index `idx` was claimed by exactly this thread (fetch_sub
+        // is unique per index per generation), the refiller filled it
+        // before publishing, and nobody overwrites it until `consumed`
+        // accounts for our read below.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        slot.state.store(SLOT_EMPTY, Ordering::Relaxed);
+        // Release: our value read above must be ordered before the
+        // refiller (which acquires `consumed`) reuses the slot.
+        self.consumed.fetch_add(1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Conditional claim: take the pool's current best element only if
+    /// its priority is at least `min_prio`.
+    ///
+    /// An ABA race on `next` (exhaust + refill landing on the same index
+    /// between peek and claim) can hand us a below-threshold element; the
+    /// caller must re-check the returned priority and compensate (the
+    /// queue reinserts it — rare, and semantics stay relaxed).
+    pub fn try_claim_if(&self, min_prio: u64) -> ClaimIf<(u64, V)> {
+        loop {
+            let idx = self.next.load(Ordering::Acquire);
+            if idx < 0 {
+                return ClaimIf::Exhausted;
+            }
+            let top = self.slots[idx as usize].prio.load(Ordering::Acquire);
+            if top < min_prio {
+                return ClaimIf::Below;
+            }
+            if self
+                .next
+                .compare_exchange_weak(idx, idx - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let slot = &self.slots[idx as usize];
+                debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_FULL);
+                // SAFETY: the successful CAS uniquely claimed index `idx`
+                // of the current generation (same argument as try_claim).
+                let value = unsafe { (*slot.value.get()).assume_init_read() };
+                slot.state.store(SLOT_EMPTY, Ordering::Relaxed);
+                self.consumed.fetch_add(1, Ordering::Release);
+                return ClaimIf::Got(value);
+            }
+        }
+    }
+
+    /// Direct (fast) insertion — the paper's §5 future-work mechanism:
+    /// place `(prio, value)` straight into the pool so it can be
+    /// extracted immediately, bypassing the tree.
+    ///
+    /// Succeeds only when the pool is live (not exhausted — we must never
+    /// resurrect a pool a refiller may be rebuilding), the next slot up
+    /// is free, and `prio` is at least the current top (preserving the
+    /// ascending slot order that makes claims hand out best-first).
+    /// On any conflict the element is handed back for a tree insert.
+    ///
+    /// Protocol: claim slot `next + 1` by CAS-ing its state
+    /// EMPTY → FILLING, write the element, bump `extra` (so the
+    /// ConsumerWait refiller accounts for the additional consumable),
+    /// mark FULL, then publish by CAS-ing `next` forward. If the publish
+    /// CAS loses (the pool drained or was exhausted meanwhile), roll
+    /// everything back and return the element.
+    pub fn try_fast_insert(&self, prio: u64, value: V) -> Result<(), (u64, V)> {
+        let idx = self.next.load(Ordering::Acquire);
+        if idx < 0 {
+            return Err((prio, value)); // exhausted: refill owns the buffer
+        }
+        let target = idx as usize + 1;
+        if target >= self.slots.len() {
+            return Err((prio, value)); // pool already at capacity
+        }
+        // Order gate: claims take the highest index first, so the new
+        // element must be >= the current top to keep best-first hand-out.
+        let top = self.slots[idx as usize].prio.load(Ordering::Acquire);
+        if prio < top {
+            return Err((prio, value));
+        }
+        let slot = &self.slots[target];
+        if slot
+            .state
+            .compare_exchange(SLOT_EMPTY, SLOT_FILLING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err((prio, value)); // another fast inserter owns it
+        }
+        // We own `target` exclusively: consumers cannot reach it until the
+        // `next` CAS below, and the ConsumerWait refiller spins on FILLING.
+        slot.prio.store(prio, Ordering::Relaxed);
+        // SAFETY: unique ownership via the FILLING claim; the slot's
+        // previous value (if any) was consumed before it became EMPTY.
+        unsafe { (*slot.value.get()).write((prio, value)) };
+        // Account before publish so the refiller can never under-wait;
+        // SeqCst pairs with the refiller's read in wait_for_consumers.
+        self.extra.fetch_add(1, Ordering::SeqCst);
+        slot.state.store(SLOT_FULL, Ordering::Release);
+        if self
+            .next
+            .compare_exchange(idx, idx + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return Ok(());
+        }
+        // Publish lost (consumers advanced past `idx`, or the pool
+        // drained): take the element back and undo the accounting.
+        self.extra.fetch_sub(1, Ordering::SeqCst);
+        // SAFETY: the failed CAS means `next` never reached `target`, so
+        // no consumer can have claimed it; we still own the slot.
+        let (p, v) = unsafe { (*slot.value.get()).assume_init_read() };
+        slot.state.store(SLOT_EMPTY, Ordering::Release);
+        Err((p, v))
+    }
+
+    /// Spin until every claimed slot of the previous generation has been
+    /// fully read — the paper's "wait for lagging consumers" (Listing 2
+    /// line 8), extended to count direct fast inserts. Caller must be
+    /// the serialized refiller.
+    pub fn wait_for_consumers(&self) {
+        let published = self.published.load(Ordering::Relaxed);
+        let mut backoff = zmsq_sync::Backoff::new();
+        // Acquire pairs with each consumer's release increment; `extra`
+        // is re-read every iteration because an in-flight fast insert
+        // that loses its publish CAS decrements it again.
+        while self.consumed.load(Ordering::Acquire)
+            < published + self.extra.load(Ordering::SeqCst)
+        {
+            backoff.spin();
+        }
+    }
+
+    /// Fill slots `0..items.len()` (ascending priority order expected from
+    /// the caller) and publish.
+    ///
+    /// Caller contract: serialized (root lock held), and either this is a
+    /// fresh unpublished buffer or [`PoolBuf::wait_for_consumers`] has
+    /// completed and the buffer is exhausted.
+    pub fn fill(&self, items: &mut Vec<(u64, V)>) {
+        let n = items.len();
+        debug_assert!(n <= self.slots.len());
+        debug_assert!(self.next.load(Ordering::Relaxed) < 0);
+        self.consumed.store(0, Ordering::Relaxed);
+        self.published.store(n, Ordering::Relaxed);
+        self.extra.store(0, Ordering::Relaxed);
+        for (i, item) in items.drain(..).enumerate() {
+            let slot = &self.slots[i];
+            // A fast inserter that claimed a slot just before the pool
+            // exhausted resolves promptly (its publish CAS fails against
+            // the drained `next` and it rolls back to EMPTY).
+            let mut backoff = zmsq_sync::Backoff::new();
+            while slot.state.load(Ordering::Acquire) == SLOT_FILLING {
+                backoff.spin();
+            }
+            debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_EMPTY);
+            slot.prio.store(item.0, Ordering::Relaxed);
+            // SAFETY: serialized refiller; previous generation fully
+            // consumed (caller contract), so the slot is logically empty.
+            unsafe { (*slot.value.get()).write(item) };
+            slot.state.store(SLOT_FULL, Ordering::Relaxed);
+        }
+        // Release publish: claimants' acquire fetch_sub sees the slots.
+        self.next.store(n as isize - 1, Ordering::Release);
+    }
+}
+
+impl<V> Drop for PoolBuf<V> {
+    fn drop(&mut self) {
+        // Claimed-but-unread slots cannot exist at drop time (drop implies
+        // no concurrent claimants); FULL slots still own their value.
+        for slot in self.slots.iter_mut() {
+            if *slot.state.get_mut() == SLOT_FULL {
+                // SAFETY: FULL means the refiller wrote it and no claimant
+                // consumed it.
+                unsafe { slot.value.get_mut().assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Result of a conditional pool claim.
+pub(crate) enum ClaimIf<T> {
+    /// Claimed an element that satisfied the threshold at peek time.
+    Got(T),
+    /// The pool's best remaining element is below the threshold.
+    Below,
+    /// No elements remain in the pool.
+    Exhausted,
+}
+
+pub(crate) enum Reclaim {
+    Hazard(smr::Domain),
+    Leak(smr::LeakyDomain),
+}
+
+/// The pool with its reclamation discipline.
+pub(crate) enum Pool<V> {
+    /// `batch == 0`: no pool at all (strict mode).
+    Disabled,
+    /// ConsumerWait: a single buffer reused in place.
+    Fixed(Box<PoolBuf<V>>),
+    /// Hazard / Leak: buffer pointer swapped on each refill.
+    Swapped {
+        cur: AtomicPtr<PoolBuf<V>>,
+        reclaim: Reclaim,
+    },
+}
+
+impl<V: Send> Pool<V> {
+    pub fn new(batch: usize, mode: crate::Reclamation) -> Self {
+        if batch == 0 {
+            return Pool::Disabled;
+        }
+        match mode {
+            crate::Reclamation::ConsumerWait => {
+                Pool::Fixed(Box::new(PoolBuf::new(batch)))
+            }
+            crate::Reclamation::Hazard => Pool::Swapped {
+                cur: AtomicPtr::new(Box::into_raw(Box::new(PoolBuf::new(batch)))),
+                reclaim: Reclaim::Hazard(smr::Domain::new()),
+            },
+            crate::Reclamation::Leak => Pool::Swapped {
+                cur: AtomicPtr::new(Box::into_raw(Box::new(PoolBuf::new(batch)))),
+                reclaim: Reclaim::Leak(smr::LeakyDomain::new()),
+            },
+        }
+    }
+
+    /// Fast-path claim (no root lock).
+    #[inline]
+    pub fn try_claim(&self) -> Option<(u64, V)> {
+        match self {
+            Pool::Disabled => None,
+            Pool::Fixed(buf) => buf.try_claim(),
+            Pool::Swapped { cur, reclaim } => match reclaim {
+                Reclaim::Hazard(domain) => {
+                    let mut hp = domain.hazard();
+                    let p = hp.protect(cur);
+                    // SAFETY: protected — cannot be freed while we read.
+                    unsafe { (*p).try_claim() }
+                }
+                Reclaim::Leak(_) => {
+                    // Leaked buffers are never freed, so a plain load is
+                    // sufficient (this is exactly the unsoundness-in-C++
+                    // shortcut the leak arm measures; in Rust it is safe
+                    // *because* the leak makes buffers immortal).
+                    let p = cur.load(Ordering::Acquire);
+                    // SAFETY: immortal buffer.
+                    unsafe { (*p).try_claim() }
+                }
+            },
+        }
+    }
+
+    /// Conditional fast-path claim (no root lock). See
+    /// [`PoolBuf::try_claim_if`].
+    #[inline]
+    pub fn try_claim_if(&self, min_prio: u64) -> ClaimIf<(u64, V)> {
+        match self {
+            Pool::Disabled => ClaimIf::Exhausted,
+            Pool::Fixed(buf) => buf.try_claim_if(min_prio),
+            Pool::Swapped { cur, reclaim } => match reclaim {
+                Reclaim::Hazard(domain) => {
+                    let mut hp = domain.hazard();
+                    let p = hp.protect(cur);
+                    // SAFETY: protected.
+                    unsafe { (*p).try_claim_if(min_prio) }
+                }
+                Reclaim::Leak(_) => {
+                    let p = cur.load(Ordering::Acquire);
+                    // SAFETY: immortal buffer.
+                    unsafe { (*p).try_claim_if(min_prio) }
+                }
+            },
+        }
+    }
+
+    /// Direct fast insertion (§5 future work); no root lock. Returns the
+    /// element on any conflict so the caller can do a tree insert.
+    #[inline]
+    pub fn try_fast_insert(&self, prio: u64, value: V) -> Result<(), (u64, V)> {
+        match self {
+            Pool::Disabled => Err((prio, value)),
+            Pool::Fixed(buf) => buf.try_fast_insert(prio, value),
+            Pool::Swapped { cur, reclaim } => match reclaim {
+                Reclaim::Hazard(domain) => {
+                    let mut hp = domain.hazard();
+                    let p = hp.protect(cur);
+                    // SAFETY: protected — the buffer cannot be freed while
+                    // we hold the hazard, even if a refill retires it
+                    // mid-operation (our publish CAS then fails and we
+                    // roll back, handing the element to the tree).
+                    unsafe { (*p).try_fast_insert(prio, value) }
+                }
+                Reclaim::Leak(_) => {
+                    let p = cur.load(Ordering::Acquire);
+                    // SAFETY: immortal buffer.
+                    unsafe { (*p).try_fast_insert(prio, value) }
+                }
+            },
+        }
+    }
+
+    /// Whether unclaimed items remain. **Caller must hold the root lock**
+    /// (which serializes refills, keeping the current buffer alive).
+    #[inline]
+    pub fn has_items_locked(&self) -> bool {
+        match self {
+            Pool::Disabled => false,
+            Pool::Fixed(buf) => buf.has_items(),
+            Pool::Swapped { cur, .. } => {
+                let p = cur.load(Ordering::Acquire);
+                // SAFETY: the root lock serializes refills; the current
+                // buffer cannot be retired while we hold it.
+                unsafe { (*p).has_items() }
+            }
+        }
+    }
+
+    /// Refill with `items` (ascending priority order). **Caller must hold
+    /// the root lock** and have observed the pool exhausted.
+    pub fn refill_locked(&self, items: &mut Vec<(u64, V)>) {
+        match self {
+            Pool::Disabled => unreachable!("refill with batch == 0"),
+            Pool::Fixed(buf) => {
+                buf.wait_for_consumers();
+                buf.fill(items);
+            }
+            Pool::Swapped { cur, reclaim } => {
+                let fresh = Box::new(PoolBuf::new(items.len()));
+                fresh.fill(items);
+                let old = cur.swap(Box::into_raw(fresh), Ordering::AcqRel);
+                match reclaim {
+                    // SAFETY: `old` is unlinked (no new claimant can reach
+                    // it); in-flight claimants hold hazards on it.
+                    Reclaim::Hazard(domain) => unsafe { domain.retire(old) },
+                    // SAFETY: intentionally leaked.
+                    Reclaim::Leak(leaky) => unsafe { leaky.retire(old) },
+                }
+            }
+        }
+    }
+
+    /// Number of buffers leaked (Leak mode only).
+    pub fn leaked_count(&self) -> u64 {
+        match self {
+            Pool::Swapped { reclaim: Reclaim::Leak(l), .. } => l.leaked_count(),
+            _ => 0,
+        }
+    }
+}
+
+impl<V> Drop for Pool<V> {
+    fn drop(&mut self) {
+        if let Pool::Swapped { cur, .. } = self {
+            let p = *cur.get_mut();
+            if !p.is_null() {
+                // SAFETY: exclusive access at drop; the current buffer was
+                // never retired.
+                unsafe { drop(Box::from_raw(p)) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reclamation;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_buffer_claims_nothing() {
+        let buf: PoolBuf<u64> = PoolBuf::new(8);
+        assert!(!buf.has_items());
+        assert_eq!(buf.try_claim(), None);
+        // Repeated failed claims stay harmless.
+        for _ in 0..100 {
+            assert_eq!(buf.try_claim(), None);
+        }
+    }
+
+    #[test]
+    fn fill_then_drain_in_descending_order() {
+        let buf: PoolBuf<u64> = PoolBuf::new(8);
+        let mut items: Vec<(u64, u64)> = (1..=5).map(|k| (k, k * 10)).collect();
+        buf.fill(&mut items);
+        assert!(items.is_empty());
+        // Highest index claimed first => best element first.
+        for expect in (1..=5u64).rev() {
+            assert_eq!(buf.try_claim(), Some((expect, expect * 10)));
+        }
+        assert_eq!(buf.try_claim(), None);
+    }
+
+    #[test]
+    fn wait_for_consumers_then_reuse() {
+        let buf: PoolBuf<u64> = PoolBuf::new(4);
+        let mut items = vec![(1, 1), (2, 2)];
+        buf.fill(&mut items);
+        assert_eq!(buf.try_claim(), Some((2, 2)));
+        assert_eq!(buf.try_claim(), Some((1, 1)));
+        // All consumed: wait returns immediately and refill works.
+        buf.wait_for_consumers();
+        let mut items2 = vec![(7, 7), (8, 8), (9, 9)];
+        buf.fill(&mut items2);
+        assert_eq!(buf.try_claim(), Some((9, 9)));
+        assert_eq!(buf.try_claim(), Some((8, 8)));
+        assert_eq!(buf.try_claim(), Some((7, 7)));
+        assert_eq!(buf.try_claim(), None);
+    }
+
+    #[test]
+    fn dropping_partially_consumed_buffer_drops_values() {
+        struct D(Arc<AtomicU64>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let live = Arc::new(AtomicU64::new(3));
+        {
+            let buf: PoolBuf<D> = PoolBuf::new(4);
+            let mut items = vec![
+                (1, D(Arc::clone(&live))),
+                (2, D(Arc::clone(&live))),
+                (3, D(Arc::clone(&live))),
+            ];
+            buf.fill(&mut items);
+            let claimed = buf.try_claim().unwrap();
+            assert_eq!(claimed.0, 3);
+            drop(claimed);
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0, "unclaimed slots dropped");
+    }
+
+    fn exercise_concurrent(mode: Reclamation) {
+        const CONSUMERS: usize = 4;
+        const GENERATIONS: usize = 200;
+        const BATCH: usize = 16;
+        let pool = Arc::new(Pool::<u64>::new(BATCH, mode));
+        let taken = Arc::new(AtomicU64::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicU64::new(0));
+
+        let mut handles = Vec::new();
+        for _ in 0..CONSUMERS {
+            let pool = Arc::clone(&pool);
+            let taken = Arc::clone(&taken);
+            let sum = Arc::clone(&sum);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while stop.load(Ordering::Acquire) == 0 {
+                    if let Some((k, v)) = pool.try_claim() {
+                        assert_eq!(k, v);
+                        taken.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(k, Ordering::Relaxed);
+                    }
+                }
+                // Final drain.
+                while let Some((k, _)) = pool.try_claim() {
+                    taken.fetch_add(1, Ordering::Relaxed);
+                    sum.fetch_add(k, Ordering::Relaxed);
+                }
+            }));
+        }
+
+        // Single refiller (stands in for the root-lock holder).
+        let mut expect_sum = 0u64;
+        let mut produced = 0u64;
+        for g in 0..GENERATIONS {
+            // Wait until exhausted, as the real refiller does.
+            while pool.has_items_locked() {
+                std::hint::spin_loop();
+            }
+            let mut items: Vec<(u64, u64)> = (0..BATCH as u64)
+                .map(|i| {
+                    let k = g as u64 * 1000 + i;
+                    expect_sum += k;
+                    produced += 1;
+                    (k, k)
+                })
+                .collect();
+            pool.refill_locked(&mut items);
+        }
+        while pool.has_items_locked() {
+            std::hint::spin_loop();
+        }
+        stop.store(1, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(taken.load(Ordering::Relaxed), produced);
+        assert_eq!(sum.load(Ordering::Relaxed), expect_sum);
+        if mode == Reclamation::Leak {
+            assert_eq!(pool.leaked_count(), GENERATIONS as u64);
+        }
+    }
+
+    #[test]
+    fn concurrent_consumer_wait() {
+        exercise_concurrent(Reclamation::ConsumerWait);
+    }
+
+    #[test]
+    fn concurrent_hazard() {
+        exercise_concurrent(Reclamation::Hazard);
+    }
+
+    #[test]
+    fn concurrent_leak() {
+        exercise_concurrent(Reclamation::Leak);
+    }
+
+    #[test]
+    fn fast_insert_basic_protocol() {
+        let buf: PoolBuf<u64> = PoolBuf::new(8);
+        // Exhausted pool rejects (never resurrect a refillable buffer).
+        assert!(buf.try_fast_insert(99, 99).is_err());
+
+        let mut items = vec![(1, 1), (5, 5)];
+        buf.fill(&mut items);
+        // Below the current top (5): rejected to keep best-first order.
+        assert_eq!(buf.try_fast_insert(3, 3), Err((3, 3)));
+        // At/above the top: accepted and handed out first.
+        assert_eq!(buf.try_fast_insert(9, 9), Ok(()));
+        assert_eq!(buf.try_claim(), Some((9, 9)));
+        assert_eq!(buf.try_claim(), Some((5, 5)));
+        assert_eq!(buf.try_claim(), Some((1, 1)));
+        assert_eq!(buf.try_claim(), None);
+    }
+
+    #[test]
+    fn fast_insert_respects_capacity() {
+        let buf: PoolBuf<u64> = PoolBuf::new(3);
+        let mut items = vec![(1, 1), (2, 2), (3, 3)];
+        buf.fill(&mut items);
+        assert!(buf.try_fast_insert(10, 10).is_err(), "no slot above the top");
+        // After one claim there is headroom again.
+        assert_eq!(buf.try_claim(), Some((3, 3)));
+        assert_eq!(buf.try_fast_insert(10, 10), Ok(()));
+        assert_eq!(buf.try_claim(), Some((10, 10)));
+    }
+
+    #[test]
+    fn fast_insert_then_refill_accounting() {
+        // ConsumerWait accounting: the refiller's wait must cover the
+        // extra fast-inserted element.
+        let pool = Pool::<u64>::new(4, Reclamation::ConsumerWait);
+        let mut items = vec![(1, 1), (2, 2)];
+        pool.refill_locked(&mut items);
+        assert_eq!(pool.try_fast_insert(7, 7), Ok(()));
+        // Drain all three, then refill must succeed without hanging.
+        let mut got = Vec::new();
+        while let Some((k, _)) = pool.try_claim() {
+            got.push(k);
+        }
+        assert_eq!(got, vec![7, 2, 1]);
+        let mut items2 = vec![(4, 4)];
+        pool.refill_locked(&mut items2);
+        assert_eq!(pool.try_claim(), Some((4, 4)));
+    }
+
+    fn exercise_fast_insert_concurrent(mode: Reclamation) {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        const CONSUMERS: usize = 3;
+        const INSERTERS: usize = 2;
+        const GENERATIONS: usize = 100;
+        const BATCH: usize = 8;
+        let pool = Arc::new(Pool::<u64>::new(BATCH, mode));
+        let taken = Arc::new(AtomicU64::new(0));
+        let fast_ok = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicU64::new(0));
+
+        let mut handles = Vec::new();
+        for _ in 0..CONSUMERS {
+            let (pool, taken, stop) =
+                (Arc::clone(&pool), Arc::clone(&taken), Arc::clone(&stop));
+            handles.push(std::thread::spawn(move || {
+                loop {
+                    if pool.try_claim().is_some() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    } else if stop.load(Ordering::Acquire) != 0 {
+                        break;
+                    }
+                }
+                while pool.try_claim().is_some() {
+                    taken.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for t in 0..INSERTERS as u64 {
+            let (pool, fast_ok, stop) =
+                (Arc::clone(&pool), Arc::clone(&fast_ok), Arc::clone(&stop));
+            handles.push(std::thread::spawn(move || {
+                let mut x = 0xFA57 + t;
+                while stop.load(Ordering::Acquire) == 0 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    if pool.try_fast_insert(u64::MAX - (x % 1000), x).is_ok() {
+                        fast_ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+
+        let mut produced = 0u64;
+        for g in 0..GENERATIONS {
+            while pool.has_items_locked() {
+                std::hint::spin_loop();
+            }
+            let mut items: Vec<(u64, u64)> =
+                (0..BATCH as u64).map(|i| (g as u64 * 100 + i, i)).collect();
+            produced += BATCH as u64;
+            pool.refill_locked(&mut items);
+        }
+        while pool.has_items_locked() {
+            std::hint::spin_loop();
+        }
+        stop.store(1, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Conservation: every refilled and every successful fast insert
+        // was claimed exactly once.
+        assert_eq!(
+            taken.load(Ordering::Relaxed),
+            produced + fast_ok.load(Ordering::Relaxed),
+            "{mode:?}: lost or duplicated elements"
+        );
+    }
+
+    #[test]
+    fn fast_insert_concurrent_consumer_wait() {
+        exercise_fast_insert_concurrent(Reclamation::ConsumerWait);
+    }
+
+    #[test]
+    fn fast_insert_concurrent_hazard() {
+        exercise_fast_insert_concurrent(Reclamation::Hazard);
+    }
+
+    #[test]
+    fn fast_insert_concurrent_leak() {
+        exercise_fast_insert_concurrent(Reclamation::Leak);
+    }
+
+    #[test]
+    fn disabled_pool_is_inert() {
+        let pool: Pool<u64> = Pool::new(0, Reclamation::Hazard);
+        assert!(matches!(pool, Pool::Disabled));
+        assert_eq!(pool.try_claim(), None);
+        assert!(!pool.has_items_locked());
+    }
+}

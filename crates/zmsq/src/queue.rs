@@ -1,0 +1,1481 @@
+//! The ZMSQ queue: insertion (Listing 1), extraction (Listing 2), the
+//! concurrency protocol (§3.4) and blocking (§3.6).
+//!
+//! # Locking protocol (§3.4)
+//!
+//! Every `TNode` has a lock; a node is only mutated under its lock, while
+//! the cached `max`/`min`/`count` may be read optimistically. **Parents
+//! are always locked before children** — insertion locks `(parent, node)`,
+//! extraction and splitting lock a node then its children — so every lock
+//! acquisition sequence descends the tree and deadlock is impossible.
+//! Optimistic decisions are re-validated after locking; failed validation
+//! restarts the operation (usually on a different random path, §4.1).
+//!
+//! # The emptiness guarantee
+//!
+//! ZMSQ reports empty only when it *is* empty. The structural invariant
+//! making the check O(1) is: **a nonempty node never has an empty
+//! ancestor** (equivalently, the mound property with empty = −∞). Inserts
+//! preserve it by validating `parent.max > prio` (so the parent is
+//! nonempty) before inserting below the root; extraction's swap-down
+//! keeps pulling a nonempty child's set upward into an emptied node until
+//! the empty set rests above empty children. Hence, under the root lock,
+//! `root.count == 0` plus an exhausted pool proves the queue empty.
+
+use std::cell::UnsafeCell;
+
+use zmsq_sync::{Backoff, EventBuffer, RawTryLock, TatasLock, WaitOutcome};
+
+use crate::config::{LockStrategy, ZmsqConfig};
+use crate::pool::Pool;
+use crate::rng;
+use crate::set::{ListSet, NodeSet};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::tnode::TNode;
+use crate::tree::{Pos, Tree};
+
+/// Forced (non-max) insertion is forbidden at levels `<=` this bound
+/// (Listing 1 line 8: `level > 3`), because parking a low-priority element
+/// high in the tree would let it reach the pool too early.
+const FORCE_MIN_LEVEL: usize = 3;
+
+/// A practical, scalable, relaxed concurrent priority queue.
+///
+/// See the [crate docs](crate) for the algorithm overview. Type
+/// parameters select the per-node set representation (`S`) and the node
+/// lock (`L`); the aliases [`ZmsqList`](crate::ZmsqList) and
+/// [`ZmsqArray`](crate::ZmsqArray) cover the paper's two variants.
+pub struct Zmsq<V, S = ListSet<V>, L = TatasLock>
+where
+    V: Send,
+    S: NodeSet<V>,
+    L: RawTryLock,
+{
+    tree: Tree<V, S, L>,
+    pool: Pool<V>,
+    cfg: ZmsqConfig,
+    events: Option<EventBuffer>,
+    stats: Stats,
+    /// Scratch buffer for pool refills, guarded by the root lock.
+    refill_scratch: UnsafeCell<Vec<(u64, V)>>,
+}
+
+// SAFETY: `refill_scratch` is only accessed while holding the root node's
+// lock (see `extract_root`); all other shared state is internally
+// synchronized (atomics, locks, the pool's own protocol).
+unsafe impl<V: Send, S: NodeSet<V>, L: RawTryLock> Sync for Zmsq<V, S, L> {}
+unsafe impl<V: Send, S: NodeSet<V>, L: RawTryLock> Send for Zmsq<V, S, L> {}
+
+enum RootOutcome<V> {
+    Got((u64, V)),
+    Empty,
+    /// Conditional extraction only: the global max is below the threshold.
+    Below,
+    Retry,
+}
+
+/// Distribution of set sizes over nonempty non-leaf nodes (§3.2's
+/// stability metric). Obtained from [`Zmsq::set_size_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SetSizeStats {
+    /// Number of nonempty non-leaf nodes sampled.
+    pub nonempty_nodes: usize,
+    /// Mean set size.
+    pub mean: f64,
+    /// Population standard deviation of set sizes.
+    pub std_dev: f64,
+    /// Smallest nonempty set.
+    pub min: usize,
+    /// Largest set.
+    pub max: usize,
+}
+
+impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
+    /// Create a queue with the paper's recommended configuration
+    /// (`batch = 48`, `target_len = 72`).
+    pub fn new() -> Self {
+        Self::with_config(ZmsqConfig::default())
+    }
+
+    /// Create a queue with an explicit configuration.
+    pub fn with_config(cfg: ZmsqConfig) -> Self {
+        let cfg = cfg.normalized();
+        Self {
+            tree: Tree::new(cfg.initial_leaf_level),
+            pool: Pool::new(cfg.batch, cfg.reclamation),
+            events: cfg.blocking.then(|| EventBuffer::with_slots(cfg.event_slots)),
+            refill_scratch: UnsafeCell::new(Vec::with_capacity(cfg.batch)),
+            stats: Stats::default(),
+            cfg,
+        }
+    }
+
+    /// The queue's (normalized) configuration.
+    pub fn config(&self) -> &ZmsqConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Best-effort size (inserts minus extractions; exact when quiescent).
+    pub fn len_hint(&self) -> usize {
+        let snap = &self.stats;
+        snap.inserts.sum().saturating_sub(snap.extracts.sum()) as usize
+    }
+
+    /// Optimistic hint of the current maximum priority (the root's cached
+    /// max). Exact on a quiescent queue; under concurrency it is a racy
+    /// snapshot, and elements recently moved to the extraction pool are
+    /// not reflected. `None` means the *tree* looked empty.
+    pub fn peek_max_hint(&self) -> Option<u64> {
+        self.tree.root().max_key()
+    }
+
+    /// Pool buffers leaked so far ([`Reclamation::Leak`](crate::Reclamation::Leak) mode only).
+    pub fn leaked_buffers(&self) -> u64 {
+        self.pool.leaked_count()
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion (Listing 1)
+    // ------------------------------------------------------------------
+
+    /// Insert `value` with priority `prio`. Never fails; restarts
+    /// internally on validation conflicts.
+    pub fn insert(&self, prio: u64, value: V) {
+        // Experimental §5 fast path: high-priority elements go straight
+        // into the extraction pool when it has headroom, skipping the
+        // tree entirely. Falls through to the normal path on any
+        // conflict (the element is handed back untouched).
+        let mut value = value;
+        if self.cfg.pool_fast_insert {
+            match self.pool.try_fast_insert(prio, value) {
+                Ok(()) => {
+                    self.stats.fast_pool_inserts.incr();
+                    self.stats.inserts.incr();
+                    if let Some(ev) = &self.events {
+                        ev.signal();
+                    }
+                    return;
+                }
+                Err((_, v)) => value = v,
+            }
+        }
+        let mut consecutive_failures = 0u32;
+        loop {
+            match self.try_insert(prio, value) {
+                Ok(()) => break,
+                Err(v) => {
+                    self.stats.insert_retries.incr();
+                    value = v;
+                    // §4.1's immediate-retry strategy assumes the lock
+                    // holder runs on another core. When threads
+                    // outnumber cores, spinning through restarts starves
+                    // the holder, so yield after a sustained streak.
+                    consecutive_failures += 1;
+                    if consecutive_failures.is_multiple_of(32) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        self.stats.inserts.incr();
+        if let Some(ev) = &self.events {
+            ev.signal();
+        }
+    }
+
+    /// Bulk insertion: drain `items` into the queue, inserting sorted
+    /// chunks of up to `target_len` elements per node-lock acquisition.
+    ///
+    /// ```
+    /// use zmsq::Zmsq;
+    /// let q: Zmsq<u64> = Zmsq::new();
+    /// let mut burst: Vec<(u64, u64)> = (0..100).map(|i| (i, i)).collect();
+    /// q.insert_batch(&mut burst);
+    /// assert!(burst.is_empty());
+    /// assert_eq!(q.len_hint(), 100);
+    /// ```
+    ///
+    /// Amortizes the traversal + locking cost of [`Zmsq::insert`] across
+    /// a chunk — useful for producers that generate work in bursts. Each
+    /// chunk is placed by its *maximum* priority exactly like a regular
+    /// insertion (validated under the parent/node locks), so all tree
+    /// invariants hold; chunk elements below the node's previous maximum
+    /// simply join the set as non-max elements. Quality note: for
+    /// adversarial distributions, chunking can park low elements slightly
+    /// higher in the tree than element-wise insertion would.
+    pub fn insert_batch(&self, items: &mut Vec<(u64, V)>) {
+        items.sort_unstable_by_key(|&(k, _)| k);
+        while !items.is_empty() {
+            let take = items.len().min(self.cfg.target_len.max(1));
+            let start = items.len() - take;
+            let chunk_max = items.last().expect("nonempty").0;
+            loop {
+                let (pos, _) = self.select_position(chunk_max);
+                let target = self.search_root_path(pos, chunk_max);
+                if self.bulk_insert_at(target, chunk_max, items, start) {
+                    break;
+                }
+                self.stats.insert_retries.incr();
+            }
+            self.stats.inserts.add(take as u64);
+            if let Some(ev) = &self.events {
+                // One signal per element: up to `take` parked consumers
+                // now have work.
+                for _ in 0..take {
+                    ev.signal();
+                }
+            }
+        }
+    }
+
+    /// Place `items[start..]` (sorted ascending, maximum `chunk_max`)
+    /// into the node at `pos`, under the same validation as
+    /// `regular_insert`. Returns false to restart.
+    fn bulk_insert_at(
+        &self,
+        pos: Pos,
+        chunk_max: u64,
+        items: &mut Vec<(u64, V)>,
+        start: usize,
+    ) -> bool {
+        let node = self.tree.node(pos);
+        if pos.0 == 0 {
+            if !self.acquire(node) {
+                return false;
+            }
+            if node.count() > 0 && node.max_key() > Some(chunk_max) {
+                node.unlock();
+                return false;
+            }
+        } else {
+            let parent = self.tree.node(Tree::<V, S, L>::parent(pos));
+            if !self.acquire(parent) {
+                return false;
+            }
+            if !self.acquire(node) {
+                parent.unlock();
+                return false;
+            }
+            let fits = (node.count() == 0 || node.max_key() <= Some(chunk_max))
+                && parent.max_key() > Some(chunk_max);
+            if !fits {
+                node.unlock();
+                parent.unlock();
+                return false;
+            }
+            parent.unlock();
+        }
+        // SAFETY: node locked.
+        unsafe {
+            let set = node.set_mut();
+            for (k, v) in items.drain(start..) {
+                set.insert(k, v);
+            }
+            node.refresh_cache();
+        }
+        self.finish_insert(pos, node);
+        true
+    }
+
+    fn try_insert(&self, prio: u64, value: V) -> Result<(), V> {
+        let (pos, force) = self.select_position(prio);
+        if force {
+            return self.forced_insert(pos, prio, value);
+        }
+        let target = self.search_root_path(pos, prio);
+        self.regular_insert(target, prio, value)
+    }
+
+    /// `selectPosition`: probe random leaves for either (a) a leaf whose
+    /// max is `<= prio` — then a binary search up the root path finds the
+    /// insertion node — or (b) a deep, under-full leaf accepting `prio`
+    /// as a non-max element. After `leaf_level` failed probes, expand.
+    fn select_position(&self, prio: u64) -> (Pos, bool) {
+        loop {
+            let leaf = self.tree.leaf_level();
+            for _ in 0..leaf.max(1) * self.cfg.probe_factor {
+                let slot = rng::next_index(1usize << leaf);
+                let node = self.tree.node((leaf, slot));
+                // Empty max is None (−∞): an empty leaf always qualifies.
+                if node.max_key() <= Some(prio) || node.count() == 0 {
+                    return ((leaf, slot), false);
+                }
+                if self.cfg.quality.forced_insert
+                    && leaf > FORCE_MIN_LEVEL
+                    && node.count() < self.cfg.target_len
+                {
+                    return ((leaf, slot), true);
+                }
+            }
+            let grown = self.tree.grow(leaf);
+            if grown > leaf {
+                self.stats.tree_grows.incr();
+            } else if grown == leaf && self.tree.is_saturated() {
+                // Saturated and no good leaf found: fall back to a random
+                // leaf on the regular path — the binary search will place
+                // the element as some ancestor's new max (possibly making
+                // an oversized set; quality loss only).
+                return ((leaf, rng::next_index(1usize << leaf)), false);
+            }
+        }
+    }
+
+    /// Binary search the root path for the shallowest node whose max is
+    /// `<= prio` — the candidate that makes `prio` a new maximum without
+    /// violating its parent (§3.1: the level-array layout exists for
+    /// exactly this search). Racy by design; the result is re-validated
+    /// under locks.
+    fn search_root_path(&self, pos: Pos, prio: u64) -> Pos {
+        let (mut lo, mut hi) = (0usize, pos.0);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let node = self.tree.node((mid, Tree::<V, S, L>::ancestor_slot(pos, mid)));
+            let fits = node.count() == 0 || node.max_key() <= Some(prio);
+            if fits {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        (lo, Tree::<V, S, L>::ancestor_slot(pos, lo))
+    }
+
+    /// `forcedInsert`: add `prio` as a *non-max* element of a deep,
+    /// under-full, nonempty node. Only the node's own lock is needed —
+    /// its cached max (and thus all tree invariants) are untouched.
+    fn forced_insert(&self, pos: Pos, prio: u64, value: V) -> Result<(), V> {
+        let node = self.tree.node(pos);
+        if !self.acquire(node) {
+            return Err(value);
+        }
+        // Re-validate: still nonempty, still under-full, still not a max.
+        // Listing 1 line 39 fails only when `count > targetLen`, so a
+        // node at exactly targetLen still accepts (filling to target+1).
+        let ok = node.count() > 0
+            && node.count() <= self.cfg.target_len
+            && Some(prio) <= node.max_key();
+        if !ok {
+            node.unlock();
+            return Err(value);
+        }
+        // SAFETY: lock held.
+        unsafe {
+            node.set_mut().insert(prio, value);
+            node.cache_after_insert(prio);
+        }
+        node.unlock();
+        self.stats.forced_inserts.incr();
+        Ok(())
+    }
+
+    /// `regularInsert`: make `prio` the new maximum of the target node,
+    /// with the parent locked to pin `parent.max > prio` (§3.4 form 2),
+    /// applying the parent-min quality swap (§3.2) when profitable.
+    fn regular_insert(&self, pos: Pos, prio: u64, value: V) -> Result<(), V> {
+        let node = self.tree.node(pos);
+
+        if pos.0 == 0 {
+            // Root: no parent constraint; `prio` must still be >= max.
+            if !self.acquire(node) {
+                return Err(value);
+            }
+            if node.count() > 0 && node.max_key() > Some(prio) {
+                node.unlock();
+                return Err(value);
+            }
+            // SAFETY: lock held.
+            unsafe {
+                node.set_mut().insert(prio, value);
+                node.cache_after_insert(prio);
+            }
+            self.finish_insert(pos, node);
+            return Ok(());
+        }
+
+        let ppos = Tree::<V, S, L>::parent(pos);
+        let parent = self.tree.node(ppos);
+        // Lock order: parent before child, always.
+        if !self.acquire(parent) {
+            return Err(value);
+        }
+        if !self.acquire(node) {
+            parent.unlock();
+            return Err(value);
+        }
+        // Validate the optimistic placement: prio becomes node's max and
+        // stays below the parent's max (which also proves the parent is
+        // nonempty, preserving the emptiness chain).
+        let fits_node = node.count() == 0 || node.max_key() <= Some(prio);
+        let below_parent = parent.max_key() > Some(prio);
+        if !fits_node || !below_parent {
+            node.unlock();
+            parent.unlock();
+            return Err(value);
+        }
+
+        // Quality optimization (§3.2, Fig. 1): if the parent's min is
+        // below prio, putting prio in the *parent* and demoting the
+        // parent's min tightens the parent's range at no extra locking.
+        let parent_min = parent.min_key();
+        if self.cfg.quality.parent_min_swap && parent_min.is_some_and(|pm| pm < prio) {
+            debug_assert!(parent.count() >= 2, "min < prio < max needs two elements");
+            // SAFETY: both locks held.
+            unsafe {
+                let (demoted_prio, demoted_val) =
+                    parent.set_mut().remove_min().expect("parent nonempty");
+                parent.set_mut().insert(prio, value);
+                parent.refresh_cache();
+                node.set_mut().insert(demoted_prio, demoted_val);
+                node.refresh_cache();
+            }
+            self.stats.min_swap_inserts.incr();
+            parent.unlock();
+            self.finish_insert(pos, node);
+            return Ok(());
+        }
+
+        // Plain form: insert as the node's new maximum.
+        // SAFETY: lock held.
+        unsafe {
+            node.set_mut().insert(prio, value);
+            node.cache_after_insert(prio);
+        }
+        parent.unlock();
+        self.finish_insert(pos, node);
+        Ok(())
+    }
+
+    /// Post-insert bookkeeping with `node` (at `pos`) still locked:
+    /// split oversized sets downward, then release.
+    fn finish_insert(&self, pos: Pos, node: &TNode<V, S, L>) {
+        if node.count() > 2 * self.cfg.target_len {
+            self.split_down(pos);
+        } else {
+            node.unlock();
+        }
+    }
+
+    /// Split an oversized set: keep the upper half in place, merge the
+    /// lower half into the children (locked before the parent unlocks so
+    /// no extraction can observe the pre-split child with the post-split
+    /// parent — §3.4 form 3). Recurses if a child overflows in turn.
+    ///
+    /// Precondition: the node at `pos` is locked; this call unlocks it.
+    fn split_down(&self, pos: Pos) {
+        let node = self.tree.node(pos);
+        if node.count() <= 2 * self.cfg.target_len {
+            node.unlock();
+            return;
+        }
+        // Make sure children exist. If the tree is saturated (degenerate
+        // configs with tiny target_len can dig split cascades arbitrarily
+        // deep), keep the oversized set instead — a quality concession,
+        // never a correctness one.
+        while self.tree.leaf_level() <= pos.0 {
+            let before = self.tree.leaf_level();
+            if self.tree.grow(before) == before {
+                node.unlock();
+                return;
+            }
+            self.stats.tree_grows.incr();
+        }
+        let (lp, rp) = Tree::<V, S, L>::children(pos);
+        let (left, right) = (self.tree.node(lp), self.tree.node(rp));
+        // Blocking acquisition is deadlock-free here: we hold the parent
+        // and every lock sequence in the queue descends the tree.
+        left.lock();
+        right.lock();
+
+        // SAFETY: node locked.
+        let lower = unsafe {
+            let lower = node.set_mut().split_lower_half();
+            node.refresh_cache();
+            lower
+        };
+        node.unlock();
+        self.stats.splits.incr();
+
+        // Distribute the demoted elements across both children. Their
+        // maxes can only grow up to the parent's kept minimum, so the
+        // mound invariant survives.
+        // SAFETY: both child locks held.
+        unsafe {
+            let (ls, rs) = (left.set_mut(), right.set_mut());
+            for (i, (k, v)) in lower.into_iter().enumerate() {
+                if i % 2 == 0 {
+                    ls.insert(k, v);
+                } else {
+                    rs.insert(k, v);
+                }
+            }
+            left.refresh_cache();
+            right.refresh_cache();
+        }
+
+        let cap = 2 * self.cfg.target_len;
+        let l_over = left.count() > cap;
+        let r_over = right.count() > cap;
+        if !r_over {
+            right.unlock();
+        }
+        if l_over {
+            self.split_down(lp); // unlocks left
+        } else {
+            left.unlock();
+        }
+        if r_over {
+            self.split_down(rp); // unlocks right
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Extraction (Listing 2)
+    // ------------------------------------------------------------------
+
+    /// Extract a high-priority element.
+    ///
+    /// Returns `None` **only** when the queue was observed truly empty
+    /// (root set empty under the root lock with the pool exhausted).
+    /// With `batch = 0` the result is always the exact maximum.
+    pub fn extract_max(&self) -> Option<(u64, V)> {
+        let mut backoff = Backoff::new();
+        loop {
+            // Fast path: claim from the shared pool.
+            if let Some(got) = self.pool.try_claim() {
+                self.stats.pool_hits.incr();
+                self.stats.extracts.incr();
+                return Some(got);
+            }
+            match self.extract_root() {
+                RootOutcome::Got(got) => {
+                    self.stats.extracts.incr();
+                    return Some(got);
+                }
+                RootOutcome::Empty => {
+                    self.stats.empty_observed.incr();
+                    return None;
+                }
+                RootOutcome::Below => unreachable!("no threshold was given"),
+                RootOutcome::Retry => backoff.wait(),
+            }
+        }
+    }
+
+    /// Conditional extraction (§1: "non-blocking conditional
+    /// extraction"): take a high-priority element only if its priority is
+    /// at least `min_prio`.
+    ///
+    /// ```
+    /// use zmsq::{Zmsq, ZmsqConfig};
+    /// let q: Zmsq<&str> = Zmsq::with_config(ZmsqConfig::strict());
+    /// q.insert(10, "routine");
+    /// q.insert(90, "urgent");
+    /// // Only take work that meets the urgency bar:
+    /// assert_eq!(q.try_extract_if(50), Some((90, "urgent")));
+    /// assert_eq!(q.try_extract_if(50), None); // 10 < 50 stays queued
+    /// assert_eq!(q.len_hint(), 1);
+    /// ```
+    ///
+    /// Semantics are relaxed, matching the queue: `Some` is always a
+    /// qualifying element; `None` means *no qualifying element was
+    /// readily available* — the pool's best remaining entry and (when the
+    /// pool is empty) the root maximum were below the threshold. Deeper
+    /// tree elements above the threshold cannot exist in quiescence
+    /// (the mound invariant puts the global max at the root), but under
+    /// concurrency a racing insert may be missed, exactly as a racing
+    /// `extract_max` could have taken it.
+    pub fn try_extract_if(&self, min_prio: u64) -> Option<(u64, V)> {
+        use crate::pool::ClaimIf;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.pool.try_claim_if(min_prio) {
+                ClaimIf::Got(got) => {
+                    // An exhaust+refill ABA between peek and claim can
+                    // hand us a below-threshold element; give it back.
+                    if got.0 < min_prio {
+                        self.insert(got.0, got.1);
+                        return None;
+                    }
+                    self.stats.pool_hits.incr();
+                    self.stats.extracts.incr();
+                    return Some(got);
+                }
+                ClaimIf::Below => return None,
+                ClaimIf::Exhausted => {}
+            }
+            match self.extract_root_cond(Some(min_prio)) {
+                RootOutcome::Got(got) => {
+                    self.stats.extracts.incr();
+                    return Some(got);
+                }
+                RootOutcome::Empty => {
+                    self.stats.empty_observed.incr();
+                    return None;
+                }
+                RootOutcome::Below => return None,
+                RootOutcome::Retry => backoff.wait(),
+            }
+        }
+    }
+
+    /// Slow path: take the maximum from the root, refill the pool with
+    /// the next-best `batch` elements, and restore the mound invariant.
+    fn extract_root(&self) -> RootOutcome<V> {
+        self.extract_root_cond(None)
+    }
+
+    /// Root extraction with an optional priority threshold: with
+    /// `Some(min)`, returns `Empty` (without extracting) when the root
+    /// maximum — the global maximum, by the mound invariant — is below
+    /// `min`.
+    fn extract_root_cond(&self, min_prio: Option<u64>) -> RootOutcome<V> {
+        let root = self.tree.root();
+        let acquired = match self.cfg.lock_strategy {
+            LockStrategy::TryRestart => root.try_lock(),
+            LockStrategy::Blocking => {
+                root.lock();
+                true
+            }
+        };
+        if !acquired {
+            // Likely a concurrent refiller; back off and retry the pool.
+            self.stats.trylock_fails.incr();
+            return RootOutcome::Retry;
+        }
+        // Someone may have refilled while we waited for the lock.
+        if self.pool.has_items_locked() {
+            root.unlock();
+            return RootOutcome::Retry;
+        }
+        if root.count() == 0 {
+            // Empty root + exhausted pool == empty queue (see module docs).
+            root.unlock();
+            return RootOutcome::Empty;
+        }
+        if let Some(min) = min_prio {
+            if root.max_key() < Some(min) {
+                // Mound invariant: root.max is the global max, so nothing
+                // qualifies.
+                root.unlock();
+                return RootOutcome::Below;
+            }
+        }
+
+        // SAFETY: root locked.
+        let best = unsafe { root.set_mut().remove_max().expect("count > 0") };
+        let remaining = root.count() - 1;
+        if self.cfg.batch > 0 && remaining > 0 {
+            let n = remaining.min(self.cfg.batch);
+            // SAFETY: `refill_scratch` is guarded by the root lock.
+            let scratch = unsafe { &mut *self.refill_scratch.get() };
+            scratch.clear();
+            // SAFETY: root locked.
+            unsafe { root.set_mut().drain_top(n, scratch) };
+            self.pool.refill_locked(scratch);
+            self.stats.pool_refills.incr();
+        }
+        // SAFETY: root locked.
+        unsafe { root.refresh_cache() };
+        self.stats.root_extracts.incr();
+        self.swap_down((0, 0)); // consumes the root lock
+        RootOutcome::Got(best)
+    }
+
+    /// Restore `parent.max >= child.max` from `pos` downward by swapping
+    /// sets with the larger child until the invariant holds (the mound's
+    /// moundify, §2.2/§3.4). Precondition: node at `pos` locked; unlocks
+    /// everything before returning.
+    fn swap_down(&self, pos: Pos) {
+        let mut pos = pos;
+        loop {
+            let node = self.tree.node(pos);
+            if pos.0 >= self.tree.leaf_level() {
+                node.unlock();
+                return;
+            }
+            let (lp, rp) = Tree::<V, S, L>::children(pos);
+            let (left, right) = (self.tree.node(lp), self.tree.node(rp));
+            left.lock();
+            right.lock();
+            let (big_pos, big, small) = if left.max_key() >= right.max_key() {
+                (lp, left, right)
+            } else {
+                (rp, right, left)
+            };
+            // Option ordering treats empty as −∞: an emptied parent keeps
+            // sinking until its whole subtree below is empty, preserving
+            // the emptiness chain.
+            if big.max_key() <= node.max_key() {
+                small.unlock();
+                big.unlock();
+                node.unlock();
+                return;
+            }
+            // SAFETY: both locks held, distinct nodes.
+            unsafe { node.swap_contents(big) };
+            self.stats.swap_downs.incr();
+            small.unlock();
+            node.unlock();
+            pos = big_pos; // `big` stays locked for the next round
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking (§3.6)
+    // ------------------------------------------------------------------
+
+    /// Extract, parking the thread on the futex buffer while the queue is
+    /// empty. Returns `None` only after [`Zmsq::close`] with the queue
+    /// drained.
+    ///
+    /// # Panics
+    ///
+    /// If the queue was built without `blocking` enabled.
+    pub fn extract_max_blocking(&self) -> Option<(u64, V)> {
+        let events = self
+            .events
+            .as_ref()
+            .expect("extract_max_blocking requires ZmsqConfig::blocking(true)");
+        loop {
+            if let Some(got) = self.extract_max() {
+                return Some(got);
+            }
+            match events.wait_until(|| self.len_hint() > 0) {
+                WaitOutcome::Closed => return self.extract_max(),
+                WaitOutcome::TimedOut => unreachable!("untimed wait"),
+                WaitOutcome::Ready | WaitOutcome::Woken => {}
+            }
+        }
+    }
+
+    /// Extract, parking up to `timeout` while the queue is empty.
+    ///
+    /// Returns `None` on timeout, on close-with-empty-queue, or if
+    /// blocking is disabled and the queue is empty (degrades to a single
+    /// non-blocking attempt).
+    ///
+    /// ```
+    /// use zmsq::{Zmsq, ZmsqConfig};
+    /// use std::time::Duration;
+    /// let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().blocking(true));
+    /// assert_eq!(q.extract_max_timeout(Duration::from_millis(10)), None);
+    /// q.insert(5, 5);
+    /// assert_eq!(q.extract_max_timeout(Duration::from_millis(10)), Some((5, 5)));
+    /// ```
+    pub fn extract_max_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Option<(u64, V)> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(got) = self.extract_max() {
+                return Some(got);
+            }
+            let events = self.events.as_ref()?;
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match events.wait_until_timeout(|| self.len_hint() > 0, remaining) {
+                WaitOutcome::Closed => return self.extract_max(),
+                WaitOutcome::TimedOut => return self.extract_max(),
+                WaitOutcome::Ready | WaitOutcome::Woken => {}
+            }
+        }
+    }
+
+    /// Extract, spin-waiting while the queue is empty (§1's third
+    /// consumer discipline, between [`Zmsq::extract_max`] and
+    /// [`Zmsq::extract_max_blocking`]). Backs off exponentially and
+    /// yields to the scheduler once the spin budget is exhausted.
+    ///
+    /// Returns `None` only if the queue was [`Zmsq::close`]d (requires
+    /// blocking to be enabled for close to exist; without it this spins
+    /// until an element arrives).
+    pub fn extract_max_spinning(&self) -> Option<(u64, V)> {
+        let mut backoff = Backoff::new();
+        loop {
+            if let Some(got) = self.extract_max() {
+                return Some(got);
+            }
+            if self.is_closed() {
+                return self.extract_max();
+            }
+            backoff.wait();
+        }
+    }
+
+    /// Wake all blocked consumers permanently (shutdown). Subsequent
+    /// [`Zmsq::extract_max_blocking`] calls drain the queue and then
+    /// return `None`.
+    pub fn close(&self) {
+        if let Some(ev) = &self.events {
+            ev.close();
+        }
+    }
+
+    /// Whether [`Zmsq::close`] has been called (always `false` when
+    /// blocking is disabled).
+    pub fn is_closed(&self) -> bool {
+        self.events.as_ref().is_some_and(|e| e.is_closed())
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn acquire(&self, node: &TNode<V, S, L>) -> bool {
+        match self.cfg.lock_strategy {
+            LockStrategy::TryRestart => {
+                if node.try_lock() {
+                    true
+                } else {
+                    self.stats.trylock_fails.incr();
+                    false
+                }
+            }
+            LockStrategy::Blocking => {
+                node.lock();
+                true
+            }
+        }
+    }
+
+    /// Extract everything, returning how many elements were drained.
+    pub fn drain_count(&self) -> usize {
+        let mut n = 0;
+        while self.extract_max().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Per-node set-size statistics over nonempty non-leaf nodes —
+    /// regenerates the §3.2 in-text experiment ("After initialization,
+    /// count varied from 32 to 51 across all non-leaf nodes... the
+    /// average count was 32 for all nodes (standard deviation 2.76)").
+    /// Requires exclusive access (quiescence).
+    pub fn set_size_stats(&mut self) -> SetSizeStats {
+        let leaf = self.tree.leaf_level();
+        let mut counts: Vec<usize> = Vec::new();
+        self.tree.for_each_allocated(|pos, node| {
+            if pos.0 < leaf && node.count() > 0 {
+                counts.push(node.count());
+            }
+        });
+        let n = counts.len();
+        if n == 0 {
+            return SetSizeStats::default();
+        }
+        let sum: usize = counts.iter().sum();
+        let mean = sum as f64 / n as f64;
+        let var =
+            counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        SetSizeStats {
+            nonempty_nodes: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: counts.iter().copied().min().unwrap_or(0),
+            max: counts.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Check every structural invariant. Requires exclusive access
+    /// (hence `&mut self`), so it can read sets without locks.
+    ///
+    /// Verified invariants:
+    /// 1. cached `max`/`min`/`count` match the set contents;
+    /// 2. mound property: `parent.max >= child.max` (empty = −∞);
+    /// 3. emptiness chain: a nonempty node has a nonempty parent;
+    /// 4. no set exceeds `2 * target_len`.
+    pub fn validate_invariants(&mut self) -> Result<(), String> {
+        let cap = 2 * self.cfg.target_len;
+        let mut problems = Vec::new();
+        self.tree.for_each_allocated(|pos, node| {
+            // SAFETY: exclusive &mut self access; no other threads.
+            let set = unsafe { node.set_mut() };
+            if set.len() != node.count() {
+                problems.push(format!(
+                    "{pos:?}: cached count {} != set len {}",
+                    node.count(),
+                    set.len()
+                ));
+            }
+            if set.max_key() != node.max_key() && node.count() > 0 {
+                problems.push(format!(
+                    "{pos:?}: cached max {:?} != set max {:?}",
+                    node.max_key(),
+                    set.max_key()
+                ));
+            }
+            if set.min_key() != node.min_key() && node.count() > 0 {
+                problems.push(format!(
+                    "{pos:?}: cached min {:?} != set min {:?}",
+                    node.min_key(),
+                    set.min_key()
+                ));
+            }
+            if set.len() > cap && !self.tree.is_saturated() {
+                problems.push(format!("{pos:?}: set len {} > cap {cap}", set.len()));
+            }
+            if pos.0 > 0 {
+                let parent = self.tree.node(Tree::<V, S, L>::parent(pos));
+                if node.max_key() > parent.max_key() {
+                    problems.push(format!(
+                        "{pos:?}: mound violation: node max {:?} > parent max {:?}",
+                        node.max_key(),
+                        parent.max_key()
+                    ));
+                }
+                if node.count() > 0 && parent.count() == 0 {
+                    problems.push(format!("{pos:?}: nonempty node under empty parent"));
+                }
+            }
+        });
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        }
+    }
+}
+
+impl<V: Send, S: NodeSet<V>, L: RawTryLock> Default for Zmsq<V, S, L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Send, S: NodeSet<V>, L: RawTryLock> std::fmt::Debug for Zmsq<V, S, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Zmsq")
+            .field("batch", &self.cfg.batch)
+            .field("target_len", &self.cfg.target_len)
+            .field("leaf_level", &self.tree.leaf_level())
+            .field("len_hint", &self.len_hint())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArraySet, Reclamation};
+
+    type ListQ = Zmsq<u64>;
+    type ArrayQ = Zmsq<u64, ArraySet<u64>>;
+
+    #[test]
+    fn empty_queue_extracts_none() {
+        let q = ListQ::new();
+        assert_eq!(q.extract_max(), None);
+        assert_eq!(q.len_hint(), 0);
+        assert_eq!(q.stats().empty_observed, 1);
+    }
+
+    #[test]
+    fn single_element_roundtrip() {
+        let q = ListQ::new();
+        q.insert(42, 420);
+        assert_eq!(q.len_hint(), 1);
+        assert_eq!(q.extract_max(), Some((42, 420)));
+        assert_eq!(q.extract_max(), None);
+    }
+
+    #[test]
+    fn strict_mode_is_exact() {
+        let q: ListQ = Zmsq::with_config(ZmsqConfig::strict());
+        let keys = [17u64, 3, 99, 45, 99, 2, 63, 0, 1000];
+        for &k in &keys {
+            q.insert(k, k);
+        }
+        let mut sorted: Vec<u64> = keys.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        for expect in sorted {
+            assert_eq!(q.extract_max().map(|p| p.0), Some(expect));
+        }
+        assert_eq!(q.extract_max(), None);
+    }
+
+    #[test]
+    fn strict_mode_many_random() {
+        let q: ListQ = Zmsq::with_config(ZmsqConfig::strict().target_len(8));
+        let mut keys: Vec<u64> = (0..5000).map(|i| (i * 2654435761u64) % 100_000).collect();
+        for &k in &keys {
+            q.insert(k, k);
+        }
+        keys.sort_unstable_by(|a, b| b.cmp(a));
+        for &expect in &keys {
+            assert_eq!(q.extract_max().map(|p| p.0), Some(expect));
+        }
+        assert_eq!(q.extract_max(), None);
+    }
+
+    #[test]
+    fn relaxed_mode_conserves_elements() {
+        let q = ListQ::with_config(ZmsqConfig::default().batch(8).target_len(12));
+        let n = 10_000u64;
+        let mut expect_sum = 0u64;
+        for i in 0..n {
+            let k = (i * 48271) % 65536;
+            expect_sum += k;
+            q.insert(k, k);
+        }
+        let mut got_sum = 0u64;
+        let mut got_n = 0u64;
+        while let Some((k, v)) = q.extract_max() {
+            assert_eq!(k, v);
+            got_sum += k;
+            got_n += 1;
+        }
+        assert_eq!(got_n, n);
+        assert_eq!(got_sum, expect_sum);
+    }
+
+    #[test]
+    fn relaxation_bound_holds_single_threaded() {
+        // §3.7: k * batch consecutive extractions return the top k
+        // elements. Single-threaded, quiescent: extract batch+1 and the
+        // true max must be among them.
+        for batch in [1usize, 4, 16] {
+            let q = ListQ::with_config(
+                ZmsqConfig::default().batch(batch).target_len(batch.max(8)),
+            );
+            for i in 0..2000u64 {
+                q.insert(i, i);
+            }
+            let mut window = Vec::new();
+            for _ in 0..=batch {
+                window.push(q.extract_max().unwrap().0);
+            }
+            assert!(
+                window.contains(&1999),
+                "batch={batch}: max not in first batch+1 extractions: {window:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invariants_after_mixed_single_threaded() {
+        let mut q = ListQ::with_config(ZmsqConfig::default().batch(16).target_len(16));
+        let mut x = 7u64;
+        for i in 0..30_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if i % 3 != 2 {
+                q.insert(x % 1_000_000, x);
+            } else {
+                q.extract_max();
+            }
+        }
+        q.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn array_set_variant_works() {
+        let q = ArrayQ::with_config(ZmsqConfig::default().batch(8).target_len(12));
+        for i in 0..5000u64 {
+            q.insert(i % 97, i);
+        }
+        assert_eq!(q.drain_count(), 5000);
+        assert_eq!(q.extract_max(), None);
+    }
+
+    #[test]
+    fn all_reclamation_modes_roundtrip() {
+        for mode in [Reclamation::Hazard, Reclamation::ConsumerWait, Reclamation::Leak] {
+            let q = ListQ::with_config(
+                ZmsqConfig::default().batch(4).target_len(8).reclamation(mode),
+            );
+            for i in 0..1000u64 {
+                q.insert(i, i);
+            }
+            assert_eq!(q.drain_count(), 1000, "mode {mode:?}");
+            if mode == Reclamation::Leak {
+                assert!(q.leaked_buffers() > 0, "leak mode should leak buffers");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_priority_elements_are_not_lost() {
+        // Priority 0 exercises the empty-set sentinel edge cases.
+        let q = ListQ::with_config(ZmsqConfig::default().batch(4).target_len(4));
+        for _ in 0..100 {
+            q.insert(0, 0);
+        }
+        q.insert(5, 5);
+        assert_eq!(q.drain_count(), 101);
+        assert_eq!(q.extract_max(), None);
+    }
+
+    #[test]
+    fn duplicate_priorities() {
+        let q = ListQ::with_config(ZmsqConfig::default().batch(8).target_len(8));
+        for i in 0..1000u64 {
+            q.insert(7, i);
+        }
+        let mut vals: Vec<u64> = std::iter::from_fn(|| q.extract_max().map(|p| p.1)).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let q = ListQ::with_config(ZmsqConfig::default().batch(8).target_len(8));
+        for i in 0..500u64 {
+            q.insert(i, i);
+        }
+        let drained = q.drain_count();
+        let s = q.stats();
+        assert_eq!(s.inserts, 500);
+        assert_eq!(s.extracts as usize, drained);
+        assert!(s.pool_hits > 0, "relaxed mode must hit the pool");
+        assert!(s.pool_refills > 0);
+        assert!(s.root_access_ratio() < 0.5, "most extractions avoid the root");
+    }
+
+    #[test]
+    fn drop_with_elements_does_not_leak_values() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        struct D(Arc<AtomicU64>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let live = Arc::new(AtomicU64::new(0));
+        {
+            let q: Zmsq<D> = Zmsq::with_config(ZmsqConfig::default().batch(4).target_len(4));
+            for i in 0..200u64 {
+                live.fetch_add(1, Ordering::SeqCst);
+                q.insert(i, D(Arc::clone(&live)));
+            }
+            // Pull a few so some values sit in the pool at drop time.
+            for _ in 0..3 {
+                q.extract_max();
+            }
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0, "tree + pool values all dropped");
+    }
+
+    #[test]
+    fn spinning_extraction_waits_for_producer() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let q = ListQ::with_config(
+            ZmsqConfig::default().batch(4).target_len(8).blocking(true),
+        );
+        let got = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            let (q2, got2) = (&q, &got);
+            s.spawn(move || {
+                while q2.extract_max_spinning().is_some() {
+                    got2.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for i in 0..500u64 {
+                q.insert(i, i);
+                if i % 100 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            while got.load(Ordering::Relaxed) < 500 {
+                std::thread::yield_now();
+            }
+            q.close();
+        });
+        assert_eq!(got.into_inner(), 500);
+    }
+
+    #[test]
+    fn blocking_misconfiguration_panics() {
+        let q = ListQ::new();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.extract_max_blocking()
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn os_lock_and_blocking_strategy() {
+        use zmsq_sync::OsLock;
+        let q: Zmsq<u64, ListSet<u64>, OsLock> = Zmsq::with_config(
+            ZmsqConfig::default()
+                .batch(8)
+                .target_len(8)
+                .lock_strategy(LockStrategy::Blocking),
+        );
+        for i in 0..2000u64 {
+            q.insert(i, i);
+        }
+        assert_eq!(q.drain_count(), 2000);
+    }
+
+    #[test]
+    fn insert_batch_roundtrip_and_order() {
+        let q: ListQ = Zmsq::with_config(ZmsqConfig::strict().target_len(8));
+        let mut items: Vec<(u64, u64)> =
+            (0..1000u64).map(|i| ((i * 7919) % 5000, i)).collect();
+        let mut expect: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+        q.insert_batch(&mut items);
+        assert!(items.is_empty(), "batch must be drained");
+        assert_eq!(q.len_hint(), 1000);
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        for &e in &expect {
+            assert_eq!(q.extract_max().map(|p| p.0), Some(e), "strict order");
+        }
+    }
+
+    #[test]
+    fn insert_batch_mixed_with_single_inserts() {
+        let mut q = ListQ::with_config(ZmsqConfig::default().batch(8).target_len(12));
+        let mut total = 0u64;
+        for round in 0..50u64 {
+            let mut batch: Vec<(u64, u64)> =
+                (0..37u64).map(|i| ((round * 37 + i) % 1000, i)).collect();
+            total += batch.len() as u64;
+            q.insert_batch(&mut batch);
+            q.insert(round, round);
+            total += 1;
+            if round % 3 == 0 && q.extract_max().is_some() {
+                total -= 1;
+            }
+        }
+        q.validate_invariants().unwrap();
+        assert_eq!(q.drain_count() as u64, total);
+    }
+
+    #[test]
+    fn insert_batch_empty_is_noop() {
+        let q = ListQ::new();
+        let mut empty: Vec<(u64, u64)> = Vec::new();
+        q.insert_batch(&mut empty);
+        assert_eq!(q.extract_max(), None);
+    }
+
+    #[test]
+    fn insert_batch_concurrent_conservation() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let q = ListQ::with_config(ZmsqConfig::default().batch(16).target_len(16));
+        let got = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let (q, got) = (&q, &got);
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let mut batch: Vec<(u64, u64)> = (0..40u64)
+                            .map(|i| ((t * 1000 + round * 40 + i) % 7777, i))
+                            .collect();
+                        q.insert_batch(&mut batch);
+                        for _ in 0..20 {
+                            if q.extract_max().is_some() {
+                                got.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let rest = q.drain_count() as u64;
+        assert_eq!(got.into_inner() + rest, 4 * 50 * 40);
+    }
+
+    #[test]
+    fn peek_max_hint_tracks_quiescent_max() {
+        let q: ListQ = Zmsq::with_config(ZmsqConfig::strict());
+        assert_eq!(q.peek_max_hint(), None);
+        q.insert(5, 5);
+        assert_eq!(q.peek_max_hint(), Some(5));
+        q.insert(9, 9);
+        assert_eq!(q.peek_max_hint(), Some(9));
+        q.extract_max();
+        assert_eq!(q.peek_max_hint(), Some(5));
+    }
+
+    #[test]
+    fn fast_pool_insert_disabled_by_default() {
+        let q = ListQ::with_config(ZmsqConfig::default().batch(8).target_len(8));
+        for i in 0..500u64 {
+            q.insert(i, i);
+        }
+        q.drain_count();
+        assert_eq!(q.stats().fast_pool_inserts, 0);
+    }
+
+    #[test]
+    fn fast_pool_insert_extracted_immediately() {
+        let q = ListQ::with_config(
+            ZmsqConfig::default().batch(8).target_len(8).pool_fast_insert(true),
+        );
+        for i in 0..500u64 {
+            q.insert(i, i);
+        }
+        // Prime the pool, then drain a little so there is headroom (a
+        // fresh refill fills every slot; the fast path needs a free slot
+        // above the current top).
+        for _ in 0..3 {
+            q.extract_max();
+        }
+        // A new global max should take the fast path and come straight
+        // back out — the §5 "extracted immediately" property.
+        q.insert(10_000, 10_000);
+        let s = q.stats();
+        assert!(s.fast_pool_inserts >= 1, "fast path should fire: {s:?}");
+        assert_eq!(q.extract_max(), Some((10_000, 10_000)));
+    }
+
+    #[test]
+    fn fast_pool_insert_conserves_under_concurrency() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        for mode in [Reclamation::Hazard, Reclamation::ConsumerWait, Reclamation::Leak] {
+            let q = ListQ::with_config(
+                ZmsqConfig::default()
+                    .batch(8)
+                    .target_len(12)
+                    .reclamation(mode)
+                    .pool_fast_insert(true),
+            );
+            let got = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let (q, got) = (&q, &got);
+                    s.spawn(move || {
+                        let mut x = 0xFA57_0000 + t;
+                        for i in 0..5_000u64 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            q.insert(x % 100_000, x);
+                            if i % 2 == 0 && q.extract_max().is_some() {
+                                got.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            let rest = q.drain_count() as u64;
+            assert_eq!(got.into_inner() + rest, 20_000, "{mode:?}");
+            assert!(
+                q.stats().fast_pool_inserts > 0,
+                "{mode:?}: fast path should fire under churn"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_pool_insert_values_dropped() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        use std::sync::Arc;
+        struct D(Arc<AtomicI64>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let live = Arc::new(AtomicI64::new(0));
+        {
+            let q: Zmsq<D> = Zmsq::with_config(
+                ZmsqConfig::default().batch(4).target_len(6).pool_fast_insert(true),
+            );
+            for i in 0..500u64 {
+                live.fetch_add(1, Ordering::SeqCst);
+                q.insert(i, D(Arc::clone(&live)));
+                if i % 3 == 0 {
+                    drop(q.extract_max());
+                }
+            }
+            // Queue drops with elements in tree + pool (some fast-inserted).
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0, "no value leaked via fast path");
+    }
+
+    #[test]
+    fn conditional_extraction_respects_threshold() {
+        let q = ListQ::with_config(ZmsqConfig::default().batch(8).target_len(12));
+        for i in 0..1000u64 {
+            q.insert(i, i);
+        }
+        // High threshold: everything returned must qualify.
+        let mut got = 0;
+        while let Some((k, _)) = q.try_extract_if(900) {
+            assert!(k >= 900, "below-threshold element {k} returned");
+            got += 1;
+        }
+        assert!(got >= 90, "most of the top 100 should be extractable: {got}");
+        // Impossible threshold: nothing comes out, nothing is lost.
+        assert_eq!(q.try_extract_if(5000), None);
+        assert_eq!(q.drain_count() as u64, 1000 - got);
+    }
+
+    #[test]
+    fn conditional_extraction_strict_mode_is_exact() {
+        let q: ListQ = Zmsq::with_config(ZmsqConfig::strict());
+        for k in [10u64, 20, 30] {
+            q.insert(k, k);
+        }
+        assert_eq!(q.try_extract_if(25), Some((30, 30)));
+        assert_eq!(q.try_extract_if(25), None, "20 < 25");
+        assert_eq!(q.try_extract_if(0), Some((20, 20)));
+        assert_eq!(q.try_extract_if(10), Some((10, 10)));
+        assert_eq!(q.try_extract_if(0), None, "empty");
+    }
+
+    #[test]
+    fn conditional_extraction_on_empty_queue() {
+        let q = ListQ::with_config(ZmsqConfig::default().batch(4).target_len(8));
+        assert_eq!(q.try_extract_if(0), None);
+        assert_eq!(q.try_extract_if(u64::MAX), None);
+    }
+
+    #[test]
+    fn conditional_extraction_concurrent_conservation() {
+        let q = ListQ::with_config(ZmsqConfig::default().batch(8).target_len(12));
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let taken = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = &q;
+                let taken = &taken;
+                s.spawn(move || {
+                    for i in 0..4000u64 {
+                        q.insert((t * 4000 + i) % 10_000, i);
+                        if i % 2 == 0 {
+                            if let Some((k, _)) = q.try_extract_if(5_000) {
+                                assert!(k >= 5_000);
+                                taken.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let rest = q.drain_count() as u64;
+        assert_eq!(taken.into_inner() + rest, 16_000);
+    }
+
+    #[test]
+    fn interleaved_refills_preserve_quality() {
+        // After heavy mixing, extractions should still return elements
+        // far above the median (quality smoke test, quantified properly
+        // by the accuracy harness in `workloads`).
+        let q = ListQ::with_config(ZmsqConfig::default().batch(32).target_len(48));
+        for i in 0..100_000u64 {
+            q.insert(i, i);
+        }
+        let mut below_median = 0;
+        for _ in 0..1000 {
+            if q.extract_max().unwrap().0 < 50_000 {
+                below_median += 1;
+            }
+        }
+        assert!(below_median < 50, "{below_median} / 1000 extractions below median");
+    }
+}

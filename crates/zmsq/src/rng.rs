@@ -1,0 +1,91 @@
+//! Thread-local fast RNG for random leaf selection.
+//!
+//! Insertion probes random leaves (Listing 1 line 5); the probe is on the
+//! hot path, so it uses an inline xorshift64* generator in TLS rather than
+//! going through the `rand` crate's thread RNG machinery. Statistical
+//! quality well beyond what leaf selection needs; each thread is seeded
+//! from a global counter mixed through SplitMix64 so streams differ.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEED_COUNTER: AtomicU64 = AtomicU64::new(0x0DDB_1A5E_5BAD_5EED);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+thread_local! {
+    static STATE: Cell<u64> = Cell::new(splitmix64(
+        SEED_COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
+    ));
+}
+
+/// Next pseudo-random `u64` from the calling thread's stream.
+#[inline]
+pub(crate) fn next_u64() -> u64 {
+    STATE.with(|s| {
+        let mut x = s.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
+/// Uniform-ish index in `[0, n)`. `n` must be nonzero. Uses the
+/// multiply-shift trick (Lemire) to avoid a modulo.
+#[inline]
+pub(crate) fn next_index(n: usize) -> usize {
+    debug_assert!(n > 0);
+    (((next_u64() as u128) * (n as u128)) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_in_range() {
+        for n in [1usize, 2, 3, 7, 1024, 1 << 20] {
+            for _ in 0..1000 {
+                assert!(next_index(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn covers_small_domains() {
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[next_index(8)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all 8 slots should be hit: {seen:?}");
+    }
+
+    #[test]
+    fn streams_differ_across_threads() {
+        let a: Vec<u64> = (0..8).map(|_| next_u64()).collect();
+        let b = std::thread::spawn(|| (0..8).map(|_| next_u64()).collect::<Vec<_>>())
+            .join()
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        // Chi-squared-ish sanity: 16 buckets, 32k draws, each bucket
+        // within 25% of expectation.
+        let mut counts = [0u32; 16];
+        for _ in 0..32_768 {
+            counts[next_index(16)] += 1;
+        }
+        for &c in &counts {
+            assert!((1536..=2560).contains(&c), "bucket count {c} out of range");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Parallel single-source shortest paths with a relaxed priority queue —
+//! the paper's flagship application (§1, §4.6).
+//!
+//! "In many graph algorithms, processing elements out of order still
+//! contributes to the forward progress of an application... consider
+//! Dijkstra's single-source shortest path algorithm: the work done
+//! processing elements out of order still advances the computation
+//! toward a solution."
+//!
+//! This example generates a power-law graph, solves SSSP with ZMSQ and
+//! with a strict coarse-locked heap, validates both against sequential
+//! Dijkstra, and reports the relaxation's cost (wasted re-expansions)
+//! and benefit (fewer serialized root accesses).
+//!
+//! Run with: `cargo run --release --example sssp [nodes] [threads]`
+
+use baselines::CoarseHeap;
+use zmsq::{Zmsq, ZmsqConfig};
+use zmsq_graph::{gen, parallel_sssp, sequential_sssp};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    println!("generating a {nodes}-node power-law graph (Artist-like, §4.6)...");
+    let graph = gen::barabasi_albert(nodes, 12, 100, 7);
+    println!(
+        "graph: {} nodes, {} directed edges, avg degree {:.1}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.avg_degree()
+    );
+    let source = graph.max_degree_node();
+
+    let t0 = std::time::Instant::now();
+    let reference = sequential_sssp(&graph, source);
+    println!("sequential Dijkstra: {:?}", t0.elapsed());
+    let reachable = reference.iter().filter(|&&d| d != zmsq_graph::INFINITY).count();
+    println!("{reachable} nodes reachable from source {source}");
+
+    // ZMSQ with the paper's SSSP tuning (batch=42, targetLen=64, §4.6).
+    let zmsq_queue: Zmsq<u32> = Zmsq::with_config(ZmsqConfig::sssp_tuned());
+    let r = parallel_sssp(&graph, source, &zmsq_queue, threads);
+    assert_eq!(r.dist, reference, "relaxed SSSP must still be exact");
+    println!(
+        "ZMSQ    ({threads} threads): {:?}, {} pops ({:.1}% wasted), root access ratio {:.2}%",
+        r.elapsed,
+        r.processed + r.wasted,
+        100.0 * r.waste_ratio(),
+        100.0 * zmsq_queue.stats().root_access_ratio(),
+    );
+
+    let heap: CoarseHeap<u32> = CoarseHeap::new();
+    let r2 = parallel_sssp(&graph, source, &heap, threads);
+    assert_eq!(r2.dist, reference);
+    println!(
+        "coarse heap ({} threads): {:?}, {} pops ({:.1}% wasted)",
+        threads,
+        r2.elapsed,
+        r2.processed + r2.wasted,
+        100.0 * r2.waste_ratio(),
+    );
+
+    println!(
+        "\nthe relaxed queue re-expands {:.1}% of pops as its price for avoiding\n\
+         the strict queue's serialized extract bottleneck — and both arrive at\n\
+         exactly the same distances.",
+        100.0 * r.waste_ratio()
+    );
+}

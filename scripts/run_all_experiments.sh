@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper.
+#
+# Usage:
+#   scripts/run_all_experiments.sh          # quick smoke-scale sweep (~minutes)
+#   FULL=1 scripts/run_all_experiments.sh   # paper-scale runs (hours on a laptop)
+#
+# CSV outputs land in results/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK="--quick"
+THREADS="--threads 1,2,4"
+if [[ "${FULL:-0}" == "1" ]]; then
+  QUICK=""
+  THREADS=""
+fi
+
+mkdir -p results
+cargo build --release -p bench
+
+cargo run --release -q -p bench --bin fig2_locks      -- $QUICK $THREADS --mix insert --stats | tee results/fig2a_locks.csv
+cargo run --release -q -p bench --bin fig2_locks      -- $QUICK $THREADS --mix half --stats   | tee results/fig2b_locks.csv
+cargo run --release -q -p bench --bin fig3_params     -- $QUICK $THREADS --mix insert        | tee results/fig3a_params.csv
+cargo run --release -q -p bench --bin fig3_params     -- $QUICK $THREADS --mix half          | tee results/fig3b_params.csv
+cargo run --release -q -p bench --bin table1_accuracy -- $QUICK                              | tee results/table1_accuracy.csv
+cargo run --release -q -p bench --bin fig4_blocking   -- $QUICK                              | tee results/fig4_blocking.csv
+cargo run --release -q -p bench --bin fig5_micro      -- $QUICK $THREADS --mix insert        | tee results/fig5a_micro.csv
+cargo run --release -q -p bench --bin fig5_micro      -- $QUICK $THREADS --mix two-thirds    | tee results/fig5b_micro.csv
+cargo run --release -q -p bench --bin fig5_micro      -- $QUICK $THREADS --mix half          | tee results/fig5c_micro.csv
+cargo run --release -q -p bench --bin fig5_micro      -- $QUICK $THREADS --mix half --key-bits 7 | tee results/fig5c_micro_7bit.csv
+cargo run --release -q -p bench --bin fig6_prodcons   -- $QUICK                              | tee results/fig6_prodcons.csv
+cargo run --release -q -p bench --bin fig7_sssp       -- $QUICK $THREADS                     | tee results/fig7_sssp.csv
+cargo run --release -q -p bench --bin fig8_tuning     -- $QUICK $THREADS                     | tee results/fig8_tuning.csv
+cargo run --release -q -p bench --bin sec32_stability -- $QUICK                              | tee results/sec32_stability.csv
+cargo run --release -q -p bench --bin sec32_stability -- $QUICK --probe-factor 4             | tee results/sec32_stability_pf4.csv
+cargo run --release -q -p bench --bin ablation        -- $QUICK                              | tee results/ablation.csv
+cargo run --release -q -p bench --bin ops_latency     -- $QUICK                              | tee results/ops_latency.csv
+cargo run --release -q -p bench --bin insert_profile                                          | tee results/insert_profile.txt
+cargo run --release -q -p bench --bin accuracy_transient -- $QUICK                            | tee results/accuracy_transient.csv
+
+echo "done — CSVs in results/"

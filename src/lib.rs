@@ -1,0 +1,13 @@
+//! Umbrella crate for the ZMSQ reproduction workspace.
+//!
+//! The real library lives in the member crates; this package hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). Re-exports below give examples and tests one import root.
+
+pub use baselines;
+pub use pq_traits;
+pub use smr;
+pub use workloads;
+pub use zmsq;
+pub use zmsq_graph;
+pub use zmsq_sync;

@@ -1,0 +1,146 @@
+//! Property-based conservation across *every* queue implementation:
+//! arbitrary single-threaded op sequences must preserve the multiset of
+//! elements, for strict and relaxed queues alike.
+
+use proptest::prelude::*;
+
+use pq_traits::ConcurrentPriorityQueue;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Extract,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u64..500).prop_map(Op::Insert),
+            2 => Just(Op::Extract),
+        ],
+        1..200,
+    )
+}
+
+fn run_conservation<Q: ConcurrentPriorityQueue<u64>>(q: &Q, ops: &[Op], strict: bool) {
+    let mut model: Vec<u64> = Vec::new(); // sorted ascending
+    for op in ops {
+        match op {
+            Op::Insert(k) => {
+                q.insert(*k, *k);
+                let pos = model.partition_point(|&x| x <= *k);
+                model.insert(pos, *k);
+            }
+            Op::Extract => match q.extract_max() {
+                Some((k, v)) => {
+                    assert_eq!(k, v, "{}: value corrupted", q.name());
+                    let pos = model
+                        .iter()
+                        .rposition(|&x| x == k)
+                        .unwrap_or_else(|| panic!("{}: phantom key {k}", q.name()));
+                    if strict {
+                        assert_eq!(
+                            k,
+                            *model.last().unwrap(),
+                            "{}: strict queue returned non-max",
+                            q.name()
+                        );
+                    }
+                    model.remove(pos);
+                }
+                None => {
+                    // Relaxed queues may fail spuriously; retry a bounded
+                    // number of times to distinguish from loss.
+                    if !model.is_empty() {
+                        let mut recovered = false;
+                        for _ in 0..100_000 {
+                            if let Some((k, _)) = q.extract_max() {
+                                let pos = model
+                                    .iter()
+                                    .rposition(|&x| x == k)
+                                    .expect("phantom key on retry");
+                                model.remove(pos);
+                                recovered = true;
+                                break;
+                            }
+                        }
+                        assert!(
+                            recovered || !strict,
+                            "{}: lost elements ({} modeled)",
+                            q.name(),
+                            model.len()
+                        );
+                    }
+                }
+            },
+        }
+    }
+    // Final drain: every modeled element must come back out.
+    let mut stall = 0;
+    while !model.is_empty() {
+        match q.extract_max() {
+            Some((k, _)) => {
+                stall = 0;
+                let pos = model
+                    .iter()
+                    .rposition(|&x| x == k)
+                    .unwrap_or_else(|| panic!("{}: phantom key {k} in drain", q.name()));
+                model.remove(pos);
+            }
+            None => {
+                stall += 1;
+                assert!(stall < 1_000_000, "{}: drain stalled", q.name());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn coarse_heap(ops in ops()) {
+        run_conservation(&baselines::CoarseHeap::new(), &ops, true);
+    }
+
+    #[test]
+    fn mound(ops in ops()) {
+        run_conservation(&baselines::Mound::new(), &ops, true);
+    }
+
+    #[test]
+    fn skiplist_strict(ops in ops()) {
+        run_conservation(&baselines::StrictSkiplistPq::new(), &ops, true);
+    }
+
+    #[test]
+    fn spraylist(ops in ops()) {
+        run_conservation(&baselines::SprayList::new(8), &ops, false);
+    }
+
+    #[test]
+    fn multiqueue(ops in ops()) {
+        run_conservation(&baselines::MultiQueue::new(4, 2), &ops, false);
+    }
+
+    #[test]
+    fn klsm_single_thread(ops in ops()) {
+        // Single-threaded, the k-LSM sees its own local + global: no
+        // invisible elements, so conservation holds.
+        run_conservation(&baselines::KLsm::new(16), &ops, false);
+    }
+
+    #[test]
+    fn zmsq_relaxed(ops in ops()) {
+        let q: zmsq::Zmsq<u64> = zmsq::Zmsq::with_config(
+            zmsq::ZmsqConfig::default().batch(4).target_len(6),
+        );
+        run_conservation(&q, &ops, false);
+    }
+
+    #[test]
+    fn zmsq_strict(ops in ops()) {
+        let q: zmsq::Zmsq<u64> = zmsq::Zmsq::with_config(zmsq::ZmsqConfig::strict());
+        run_conservation(&q, &ops, true);
+    }
+}

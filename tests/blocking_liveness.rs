@@ -1,0 +1,192 @@
+//! Blocking-layer liveness (§3.6): parked consumers always wake for new
+//! elements, and `close()` releases everyone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use zmsq::{Zmsq, ZmsqConfig};
+
+fn blocking_queue(batch: usize) -> Zmsq<u64> {
+    Zmsq::with_config(
+        ZmsqConfig::default().batch(batch).target_len(batch.max(8) * 2).blocking(true),
+    )
+}
+
+/// One element at a time, consumer parked in between — the tightest
+/// wake-up loop. A single lost wake-up deadlocks the test (caught by the
+/// harness timeout, but we also bound with a watchdog).
+#[test]
+fn single_item_handoffs_wake_parked_consumer() {
+    const ROUNDS: u64 = 2_000;
+    let q = blocking_queue(4);
+    let got = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let q2 = &q;
+        let got = &got;
+        let consumer = s.spawn(move || {
+            let mut n = 0u64;
+            while q2.extract_max_blocking().is_some() {
+                n += 1;
+                got.fetch_add(1, Ordering::SeqCst);
+            }
+            n
+        });
+        for i in 0..ROUNDS {
+            q.insert(i % 128, i);
+            // Let the consumer actually park sometimes.
+            if i % 64 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        while got.load(Ordering::SeqCst) < ROUNDS {
+            std::thread::yield_now();
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), ROUNDS);
+    });
+}
+
+/// Many consumers, bursty producers: everything is consumed and every
+/// consumer exits after close.
+#[test]
+fn bursty_producers_many_consumers() {
+    const CONSUMERS: usize = 6;
+    const ITEMS: u64 = 30_000;
+    let q = blocking_queue(32);
+    let got = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..CONSUMERS {
+            let q = &q;
+            let got = &got;
+            s.spawn(move || {
+                while q.extract_max_blocking().is_some() {
+                    got.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        let q2 = &q;
+        let got2 = &got;
+        s.spawn(move || {
+            for i in 0..ITEMS {
+                q2.insert(i % 4096, i);
+                if i % 1000 == 999 {
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
+            while got2.load(Ordering::SeqCst) < ITEMS {
+                std::thread::yield_now();
+            }
+            q2.close();
+        });
+    });
+    assert_eq!(got.into_inner(), ITEMS);
+}
+
+/// close() on an empty queue releases consumers that were already parked.
+#[test]
+fn close_releases_parked_consumers() {
+    let q = blocking_queue(8);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let q = &q;
+            handles.push(s.spawn(move || q.extract_max_blocking()));
+        }
+        // Give them time to park.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None, "woken by close with empty queue");
+        }
+    });
+}
+
+/// After close, blocking extraction still drains whatever remains before
+/// reporting None.
+#[test]
+fn close_drains_remaining_elements() {
+    let q = blocking_queue(8);
+    for i in 0..100u64 {
+        q.insert(i, i);
+    }
+    q.close();
+    let mut n = 0;
+    while q.extract_max_blocking().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, 100);
+}
+
+/// Timed extraction: expires on an empty queue, delivers when an element
+/// arrives before the deadline.
+#[test]
+fn timed_extraction_semantics() {
+    use std::time::Instant;
+    let q = blocking_queue(8);
+
+    // Expires empty.
+    let t0 = Instant::now();
+    assert_eq!(q.extract_max_timeout(Duration::from_millis(40)), None);
+    assert!(t0.elapsed() >= Duration::from_millis(30));
+
+    // Delivered mid-wait.
+    std::thread::scope(|s| {
+        let q2 = &q;
+        let h = s.spawn(move || q2.extract_max_timeout(Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.insert(7, 7);
+        assert_eq!(h.join().unwrap(), Some((7, 7)));
+    });
+
+    // Immediate when nonempty.
+    q.insert(9, 9);
+    assert_eq!(q.extract_max_timeout(Duration::from_millis(1)), Some((9, 9)));
+
+    // Blocking disabled: degrades to one non-blocking attempt.
+    let plain: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default());
+    assert_eq!(plain.extract_max_timeout(Duration::from_millis(50)), None);
+}
+
+/// Non-blocking extraction on a blocking-enabled queue still works (the
+/// two APIs interoperate).
+#[test]
+fn mixed_blocking_and_nonblocking_consumers() {
+    const ITEMS: u64 = 10_000;
+    let q = blocking_queue(16);
+    let got = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let (q1, got1) = (&q, &got);
+        s.spawn(move || {
+            while q1.extract_max_blocking().is_some() {
+                got1.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let (q2, got2) = (&q, &got);
+        s.spawn(move || loop {
+            match q2.extract_max() {
+                Some(_) => {
+                    got2.fetch_add(1, Ordering::SeqCst);
+                }
+                None => {
+                    if q2.is_closed() {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let (q3, got3) = (&q, &got);
+        s.spawn(move || {
+            for i in 0..ITEMS {
+                q3.insert(i % 512, i);
+            }
+            while got3.load(Ordering::SeqCst) < ITEMS {
+                std::thread::yield_now();
+            }
+            q3.close();
+        });
+    });
+    assert_eq!(got.into_inner(), ITEMS);
+}

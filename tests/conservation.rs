@@ -1,0 +1,158 @@
+//! Element conservation under concurrency, for every queue in the repo.
+//!
+//! The fundamental safety property of any concurrent queue: across any
+//! interleaving, every inserted element is extracted exactly once (no
+//! loss, no duplication). Verified with value checksums, not just counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pq_traits::ConcurrentPriorityQueue;
+
+const ALL_QUEUES: &[&str] = &[
+    "zmsq",
+    "zmsq-array",
+    "zmsq-leak",
+    "zmsq-wait",
+    "zmsq-strict",
+    "mound",
+    "spraylist",
+    "multiqueue",
+    "coarse-heap",
+    "skiplist-strict",
+    "fifo",
+];
+
+fn make(kind: &str, threads: usize) -> Box<dyn ConcurrentPriorityQueue<u64> + Sync + Send> {
+    // Mirror of bench::queues::make_queue without depending on the bench
+    // crate (integration tests should exercise the public crates only).
+    use baselines::*;
+    use zmsq::{ArraySet, Reclamation, TatasLock, Zmsq, ZmsqConfig};
+    let small = ZmsqConfig::default().batch(16).target_len(24);
+    match kind {
+        "zmsq" => Box::new(Zmsq::<u64>::with_config(small)),
+        "zmsq-array" => {
+            Box::new(Zmsq::<u64, ArraySet<u64>, TatasLock>::with_config(small))
+        }
+        "zmsq-leak" => {
+            Box::new(Zmsq::<u64>::with_config(small.reclamation(Reclamation::Leak)))
+        }
+        "zmsq-wait" => Box::new(Zmsq::<u64>::with_config(
+            small.reclamation(Reclamation::ConsumerWait),
+        )),
+        "zmsq-strict" => Box::new(Zmsq::<u64>::with_config(ZmsqConfig::strict())),
+        "mound" => Box::new(Mound::<u64>::new()),
+        "spraylist" => Box::new(SprayList::<u64>::new(threads)),
+        "multiqueue" => Box::new(MultiQueue::<u64>::new(threads, 2)),
+        "coarse-heap" => Box::new(CoarseHeap::<u64>::new()),
+        "skiplist-strict" => Box::new(StrictSkiplistPq::<u64>::new()),
+        "fifo" => Box::new(FifoQueue::<u64>::new()),
+        other => panic!("unknown kind {other}"),
+    }
+}
+
+/// Producers insert tagged values; consumers extract concurrently; the
+/// XOR and sum of extracted values must match what was inserted.
+fn conservation_under_concurrency(kind: &str) {
+    const THREADS: u64 = 4;
+    const PER: u64 = 8_000;
+    let q = make(kind, THREADS as usize);
+
+    let extracted_xor = AtomicU64::new(0);
+    let extracted_sum = AtomicU64::new(0);
+    let extracted_n = AtomicU64::new(0);
+
+    let mut expect_xor = 0u64;
+    let mut expect_sum = 0u64;
+    for t in 0..THREADS {
+        for i in 0..PER {
+            let v = t * PER + i + 1;
+            expect_xor ^= v;
+            expect_sum = expect_sum.wrapping_add(v);
+        }
+    }
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let q = &q;
+            let (xor, sum, n) = (&extracted_xor, &extracted_sum, &extracted_n);
+            s.spawn(move || {
+                let mut x = 0x5DEECE66D ^ t;
+                for i in 0..PER {
+                    let v = t * PER + i + 1;
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    q.insert(x % 100_000, v);
+                    // Interleave extraction attempts half the time.
+                    if i % 2 == 0 {
+                        if let Some((_, v)) = q.extract_max() {
+                            xor.fetch_xor(v, Ordering::Relaxed);
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            n.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Drain remainder. SprayList/k-LSM may spuriously fail, so bound the
+    // retries by overall progress rather than per call.
+    let mut stall = 0;
+    while extracted_n.load(Ordering::Relaxed) < THREADS * PER {
+        match q.extract_max() {
+            Some((_, v)) => {
+                stall = 0;
+                extracted_xor.fetch_xor(v, Ordering::Relaxed);
+                extracted_sum.fetch_add(v, Ordering::Relaxed);
+                extracted_n.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                stall += 1;
+                assert!(stall < 1_000_000, "{kind}: drain stalled — lost elements?");
+                std::hint::spin_loop();
+            }
+        }
+    }
+    assert_eq!(q.extract_max(), None, "{kind}: extra elements appeared");
+    assert_eq!(extracted_n.into_inner(), THREADS * PER, "{kind}: count");
+    assert_eq!(extracted_xor.into_inner(), expect_xor, "{kind}: xor checksum");
+    assert_eq!(
+        extracted_sum.into_inner(),
+        expect_sum,
+        "{kind}: sum checksum"
+    );
+}
+
+#[test]
+fn conservation_all_queues() {
+    for kind in ALL_QUEUES {
+        conservation_under_concurrency(kind);
+    }
+}
+
+#[test]
+fn conservation_zmsq_heavy() {
+    // Heavier, ZMSQ-specific run with the recommended config.
+    use zmsq::{Zmsq, ZmsqConfig};
+    let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::recommended());
+    const THREADS: u64 = 8;
+    const PER: u64 = 20_000;
+    let got = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let q = &q;
+            let got = &got;
+            s.spawn(move || {
+                for i in 0..PER {
+                    q.insert((t * PER + i) % 4096, t * PER + i);
+                    if i % 3 == 0 && q.extract_max().is_some() {
+                        got.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let rest = q.drain_count() as u64;
+    assert_eq!(got.into_inner() + rest, THREADS * PER);
+}

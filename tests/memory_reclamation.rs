@@ -1,0 +1,148 @@
+//! Memory-safety accounting across reclamation modes (§3.5).
+//!
+//! Rust rules out use-after-free at compile time for safe code, but the
+//! queue is full of `unsafe` — these tests pin down the *leak* side of
+//! the contract with drop-counting values, and exercise the hazard
+//! domain under the exact access pattern the pool produces.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use zmsq::{Reclamation, Zmsq, ZmsqConfig};
+
+struct Counted(Arc<AtomicI64>);
+impl Counted {
+    fn new(live: &Arc<AtomicI64>) -> Self {
+        live.fetch_add(1, Ordering::SeqCst);
+        Self(Arc::clone(live))
+    }
+}
+impl Drop for Counted {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn churn(mode: Reclamation, live: &Arc<AtomicI64>) {
+    let q: Zmsq<Counted> = Zmsq::with_config(
+        ZmsqConfig::default().batch(8).target_len(12).reclamation(mode),
+    );
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let q = &q;
+            s.spawn(move || {
+                let mut x = t + 1;
+                for i in 0..5_000u64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    q.insert(x % 1000, Counted::new(live));
+                    if i % 2 == 0 {
+                        drop(q.extract_max());
+                    }
+                }
+            });
+        }
+    });
+    // Queue dropped here with remaining elements inside tree + pool.
+}
+
+#[test]
+fn hazard_mode_drops_every_value() {
+    let live = Arc::new(AtomicI64::new(0));
+    churn(Reclamation::Hazard, &live);
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        0,
+        "hazard mode must eventually drop every element value"
+    );
+}
+
+#[test]
+fn consumer_wait_mode_drops_every_value() {
+    let live = Arc::new(AtomicI64::new(0));
+    churn(Reclamation::ConsumerWait, &live);
+    assert_eq!(live.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn leak_mode_leaks_only_buffers_not_values() {
+    // Leak mode leaks pool *buffers*; element values still transfer to
+    // consumers (or sit in leaked exhausted buffers, which hold no live
+    // values because a buffer is only replaced once fully claimed).
+    // Values still inside the tree and the *current* buffer are dropped
+    // with the queue.
+    let live = Arc::new(AtomicI64::new(0));
+    churn(Reclamation::Leak, &live);
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        0,
+        "leaked buffers must not strand element values"
+    );
+}
+
+#[test]
+fn leak_counter_reports_buffers() {
+    let q: Zmsq<u64> = Zmsq::with_config(
+        ZmsqConfig::default().batch(4).target_len(8).reclamation(Reclamation::Leak),
+    );
+    for i in 0..2_000u64 {
+        q.insert(i, i);
+    }
+    while q.extract_max().is_some() {}
+    assert!(q.leaked_buffers() > 10, "leak mode should have swapped many pools");
+
+    let q2: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(4).target_len(8));
+    for i in 0..100u64 {
+        q2.insert(i, i);
+    }
+    assert_eq!(q2.leaked_buffers(), 0, "hazard mode never leaks");
+}
+
+#[test]
+fn smr_domain_reclaims_under_pool_like_pattern() {
+    // Reproduce the pool's exact SMR shape directly against the domain:
+    // a single publisher swaps buffers while readers protect-and-read.
+    use smr::Domain;
+    use std::sync::atomic::AtomicPtr;
+
+    let domain = Domain::new();
+    let live = Arc::new(AtomicI64::new(0));
+    let slot: Arc<AtomicPtr<Counted>> = Arc::new(AtomicPtr::new(Box::into_raw(
+        Box::new(Counted::new(&live)),
+    )));
+    let stop = Arc::new(AtomicI64::new(0));
+
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let domain = domain.clone();
+            let slot = Arc::clone(&slot);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut hp = domain.hazard();
+                while stop.load(Ordering::Acquire) == 0 {
+                    let p = hp.protect(&slot);
+                    if !p.is_null() {
+                        // SAFETY: protected by hp.
+                        let _ = unsafe { &(*p).0 };
+                    }
+                    hp.clear();
+                }
+            });
+        }
+        for _ in 0..3_000 {
+            let fresh = Box::into_raw(Box::new(Counted::new(&live)));
+            let old = slot.swap(fresh, Ordering::AcqRel);
+            // SAFETY: unlinked, single publisher.
+            unsafe { domain.retire(old) };
+        }
+        stop.store(1, Ordering::Release);
+    });
+
+    let last = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+    unsafe { domain.retire(last) };
+    while domain.try_reclaim() != 0 {}
+    assert_eq!(live.load(Ordering::SeqCst), 0, "all generations reclaimed");
+    assert_eq!(domain.retired_count(), 3_001);
+    assert_eq!(domain.freed_count(), 3_001);
+}

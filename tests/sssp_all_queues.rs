@@ -1,0 +1,104 @@
+//! End-to-end SSSP correctness: every queue (strict or relaxed) must
+//! drive the parallel driver to exactly the sequential distances, on
+//! every generator family. This is the §4.6 workload as a correctness
+//! gate rather than a benchmark.
+
+use baselines::{CoarseHeap, Mound, MultiQueue, SprayList, StrictSkiplistPq};
+use zmsq::{Zmsq, ZmsqConfig};
+use zmsq_graph::{gen, parallel_sssp, sequential_sssp, CsrGraph};
+
+fn graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("erdos-renyi", gen::erdos_renyi(2_000, 16_000, 50, 1)),
+        ("barabasi-albert", gen::barabasi_albert(2_000, 6, 50, 2)),
+        ("rmat", gen::rmat(11, 16_000, (0.57, 0.19, 0.19), 50, 3)),
+    ]
+}
+
+fn check<Q: pq_traits::ConcurrentPriorityQueue<u32> + Sync>(
+    q: &Q,
+    name: &str,
+    graph: &CsrGraph,
+    reference: &[u64],
+    threads: usize,
+) {
+    let source = graph.max_degree_node();
+    let r = parallel_sssp(graph, source, q, threads);
+    assert_eq!(r.dist, reference, "{name}: wrong distances");
+    assert!(r.processed > 0);
+}
+
+#[test]
+fn zmsq_sssp_exact() {
+    for (gname, g) in graphs() {
+        let reference = sequential_sssp(&g, g.max_degree_node());
+        for threads in [1, 4] {
+            let q: Zmsq<u32> = Zmsq::with_config(ZmsqConfig::sssp_tuned());
+            check(&q, &format!("zmsq/{gname}"), &g, &reference, threads);
+            let q: Zmsq<u32> = Zmsq::with_config(ZmsqConfig::strict());
+            check(&q, &format!("zmsq-strict/{gname}"), &g, &reference, threads);
+        }
+    }
+}
+
+#[test]
+fn baselines_sssp_exact() {
+    for (gname, g) in graphs() {
+        let reference = sequential_sssp(&g, g.max_degree_node());
+        let threads = 3;
+        check(&Mound::new(), &format!("mound/{gname}"), &g, &reference, threads);
+        check(
+            &SprayList::new(threads),
+            &format!("spraylist/{gname}"),
+            &g,
+            &reference,
+            threads,
+        );
+        check(
+            &MultiQueue::new(threads, 2),
+            &format!("multiqueue/{gname}"),
+            &g,
+            &reference,
+            threads,
+        );
+        check(
+            &CoarseHeap::new(),
+            &format!("coarse-heap/{gname}"),
+            &g,
+            &reference,
+            threads,
+        );
+        check(
+            &StrictSkiplistPq::new(),
+            &format!("skiplist/{gname}"),
+            &g,
+            &reference,
+            threads,
+        );
+    }
+}
+
+#[test]
+fn relaxation_increases_waste_but_not_wrongness() {
+    // A strict queue's waste is only duplicate heap entries; a heavily
+    // relaxed queue re-expands more. Both stay exact.
+    let g = gen::barabasi_albert(5_000, 8, 100, 9);
+    let source = g.max_degree_node();
+    let reference = sequential_sssp(&g, source);
+
+    let strict: Zmsq<u32> = Zmsq::with_config(ZmsqConfig::strict());
+    let rs = parallel_sssp(&g, source, &strict, 1);
+    assert_eq!(rs.dist, reference);
+
+    let relaxed: Zmsq<u32> =
+        Zmsq::with_config(ZmsqConfig::default().batch(96).target_len(96));
+    let rr = parallel_sssp(&g, source, &relaxed, 1);
+    assert_eq!(rr.dist, reference);
+
+    assert!(
+        rr.processed + rr.wasted >= rs.processed + rs.wasted,
+        "relaxed should not do fewer pops than strict ({} vs {})",
+        rr.processed + rr.wasted,
+        rs.processed + rs.wasted
+    );
+}

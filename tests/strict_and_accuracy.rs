@@ -1,0 +1,145 @@
+//! Strict-mode exactness and the relaxed-mode accuracy bound (§3.7).
+
+use zmsq::{Zmsq, ZmsqConfig};
+
+/// Strict mode (batch = 0) "behaves exactly like the mound, and is
+/// guaranteed to return the largest element" — after concurrent inserts,
+/// sequential extraction must be perfectly non-increasing and complete.
+#[test]
+fn strict_mode_total_order_after_concurrent_inserts() {
+    let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::strict());
+    const THREADS: u64 = 4;
+    const PER: u64 = 10_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let q = &q;
+            s.spawn(move || {
+                let mut x = 0x1357_9BDF ^ (t << 32);
+                for _ in 0..PER {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    q.insert(x % 1_000_000, x);
+                }
+            });
+        }
+    });
+    let mut prev = u64::MAX;
+    let mut n = 0;
+    while let Some((k, _)) = q.extract_max() {
+        assert!(k <= prev, "strict extraction out of order: {k} after {prev}");
+        prev = k;
+        n += 1;
+    }
+    assert_eq!(n, THREADS * PER);
+}
+
+/// Strict mode under concurrent extraction: each extraction returns the
+/// maximum *at its linearization*, so with only-extract threads the
+/// sequence each thread sees must be locally non-increasing.
+#[test]
+fn strict_mode_concurrent_extracts_locally_monotone() {
+    let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::strict());
+    for i in 0..40_000u64 {
+        q.insert(i, i);
+    }
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let q = &q;
+            s.spawn(move || {
+                let mut prev = u64::MAX;
+                while let Some((k, _)) = q.extract_max() {
+                    assert!(
+                        k <= prev,
+                        "thread-local extraction order violated: {k} after {prev}"
+                    );
+                    prev = k;
+                }
+            });
+        }
+    });
+    assert_eq!(q.extract_max(), None);
+}
+
+/// §3.7: "k × batch calls to extractMax() are guaranteed to return the
+/// top k elements" (quiescent queue). Checked for several k and batch.
+#[test]
+fn k_batch_window_contains_top_k() {
+    for batch in [1usize, 4, 8, 32] {
+        for k in [1usize, 3, 10] {
+            let q: Zmsq<u64> = Zmsq::with_config(
+                ZmsqConfig::default().batch(batch).target_len(batch.max(16)),
+            );
+            let n = 20_000u64;
+            for i in 0..n {
+                q.insert(i, i);
+            }
+            let window = k * batch.max(1) + k; // k*batch extractions, plus
+                                               // k for the reserved-max slots
+            let mut got: Vec<u64> = Vec::with_capacity(window);
+            for _ in 0..window {
+                got.push(q.extract_max().unwrap().0);
+            }
+            for top in 0..k as u64 {
+                let expect = n - 1 - top;
+                assert!(
+                    got.contains(&expect),
+                    "batch={batch} k={k}: top-{} element {expect} not in first {window} \
+                     extractions: {got:?}",
+                    top + 1
+                );
+            }
+        }
+    }
+}
+
+/// With batch <= targetLen and a quiescent prefilled queue, every element
+/// served from one pool generation ranks above almost everything below
+/// the root's set — pool quality sanity at scale.
+#[test]
+fn pool_elements_are_high_quality() {
+    let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(48).target_len(72));
+    let n = 200_000u64;
+    for i in 0..n {
+        q.insert(i, i);
+    }
+    // Take 1000 elements; their mean rank should sit deep in the top few
+    // percent of the key space.
+    let mut sum = 0u64;
+    for _ in 0..1000 {
+        sum += q.extract_max().unwrap().0;
+    }
+    let mean = sum / 1000;
+    assert!(
+        mean > n - n / 20,
+        "mean extracted key {mean} should be within the top 5% of {n}"
+    );
+}
+
+/// Accuracy does not depend on *how many threads* extract — only on
+/// batch (§3.7 / Table 1 claim). Same workload, 1 vs 4 extractor
+/// threads, accuracy within noise.
+#[test]
+fn accuracy_insensitive_to_thread_count() {
+    use workloads::accuracy::measure_accuracy;
+    use workloads::keys::distinct_keys;
+
+    let rate = |threads: usize| {
+        let mut acc = 0.0;
+        const RUNS: usize = 5;
+        for run in 0..RUNS {
+            let q: Zmsq<u64> =
+                Zmsq::with_config(ZmsqConfig::default().batch(16).target_len(64));
+            let keys = distinct_keys(8192, 77 + run as u64);
+            acc += measure_accuracy(&q, &keys, 819, threads).hit_rate();
+        }
+        acc / RUNS as f64
+    };
+    let single = rate(1);
+    let multi = rate(4);
+    assert!(
+        (single - multi).abs() < 0.15,
+        "accuracy moved too much with threads: 1T={single:.3} 4T={multi:.3}"
+    );
+    assert!(single > 0.5, "baseline accuracy too low: {single:.3}");
+}
