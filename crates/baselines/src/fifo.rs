@@ -5,19 +5,23 @@
 //! return elements in arrival order, scoring only by chance ("At 32
 //! threads and beyond, the SprayList is even worse than a FIFO queue").
 
-use crossbeam::queue::SegQueue;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
 use pq_traits::ConcurrentPriorityQueue;
 
-/// Lock-free MPMC FIFO (crossbeam's segmented queue) exposed through the
-/// priority-queue trait. `extract_max` is simply `pop_front`.
+/// MPMC FIFO (a mutex-protected ring deque) exposed through the
+/// priority-queue trait. `extract_max` is simply `pop_front`. The FIFO is
+/// an accuracy yardstick, never a throughput contender, so the coarse
+/// lock is fine.
 pub struct FifoQueue<V> {
-    inner: SegQueue<(u64, V)>,
+    inner: Mutex<VecDeque<(u64, V)>>,
 }
 
 impl<V> FifoQueue<V> {
     /// New empty queue.
     pub fn new() -> Self {
-        Self { inner: SegQueue::new() }
+        Self { inner: Mutex::new(VecDeque::new()) }
     }
 }
 
@@ -29,11 +33,11 @@ impl<V> Default for FifoQueue<V> {
 
 impl<V: Send> ConcurrentPriorityQueue<V> for FifoQueue<V> {
     fn insert(&self, prio: u64, value: V) {
-        self.inner.push((prio, value));
+        self.inner.lock().unwrap().push_back((prio, value));
     }
 
     fn extract_max(&self) -> Option<(u64, V)> {
-        self.inner.pop()
+        self.inner.lock().unwrap().pop_front()
     }
 
     fn name(&self) -> String {
@@ -41,7 +45,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for FifoQueue<V> {
     }
 
     fn len_hint(&self) -> usize {
-        self.inner.len()
+        self.inner.lock().unwrap().len()
     }
 }
 

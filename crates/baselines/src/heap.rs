@@ -1,8 +1,8 @@
 //! Coarse-grained locked binary heap: the strict, simple yardstick.
 
 use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use pq_traits::ConcurrentPriorityQueue;
 
 /// A `BinaryHeap` behind one mutex. Strict semantics, zero scalability —
@@ -42,7 +42,7 @@ impl<V> CoarseHeap<V> {
 
     /// Exact current length.
     pub fn len(&self) -> usize {
-        self.heap.lock().len()
+        self.heap.lock().unwrap().len()
     }
 
     /// Whether empty.
@@ -59,11 +59,11 @@ impl<V> Default for CoarseHeap<V> {
 
 impl<V: Send> ConcurrentPriorityQueue<V> for CoarseHeap<V> {
     fn insert(&self, prio: u64, value: V) {
-        self.heap.lock().push(Entry { prio, value });
+        self.heap.lock().unwrap().push(Entry { prio, value });
     }
 
     fn extract_max(&self) -> Option<(u64, V)> {
-        self.heap.lock().pop().map(|e| (e.prio, e.value))
+        self.heap.lock().unwrap().pop().map(|e| (e.prio, e.value))
     }
 
     fn name(&self) -> String {

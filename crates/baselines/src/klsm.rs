@@ -20,8 +20,8 @@
 //! factors, not semantics.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use pq_traits::ConcurrentPriorityQueue;
 
 use runstack::RunStack;
@@ -128,7 +128,7 @@ impl<V: Send> KLsm<V> {
     pub fn drain_all(&mut self) -> Vec<(u64, V)> {
         let mut out: Vec<(u64, V)> = Vec::new();
         for i in 0..self.locals.len() {
-            let mut l = self.locals.get(i).lock();
+            let mut l = self.locals.get(i).lock().unwrap();
             out.extend(l.items.drain(..).map(|e| (e.prio, e.value)));
         }
         self.global.drain_all(&mut out);
@@ -138,7 +138,7 @@ impl<V: Send> KLsm<V> {
 
 impl<V: Send> ConcurrentPriorityQueue<V> for KLsm<V> {
     fn insert(&self, prio: u64, value: V) {
-        let mut local = self.local().lock();
+        let mut local = self.local().lock().unwrap();
         local.insert(prio, value);
         if local.items.len() > self.k {
             self.spill(&mut local);
@@ -146,8 +146,8 @@ impl<V: Send> ConcurrentPriorityQueue<V> for KLsm<V> {
     }
 
     fn extract_max(&self) -> Option<(u64, V)> {
-        let mut local = self.local().lock();
-        let guard = &crossbeam_epoch::pin();
+        let mut local = self.local().lock().unwrap();
+        let guard = &crate::epoch::pin();
         let local_max = local.max_key();
         let global_max = self.global.peek_max(guard);
 
@@ -170,7 +170,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for KLsm<V> {
     }
 
     fn len_hint(&self) -> usize {
-        self.global.len_hint(&crossbeam_epoch::pin())
+        self.global.len_hint(&crate::epoch::pin())
     }
 }
 
@@ -187,13 +187,13 @@ impl<V: Send> ConcurrentPriorityQueue<V> for KLsm<V> {
 ///   and lazily pops exhausted *prefix* runs (head-only unlinking keeps
 ///   reclamation safe without mark bits; exhausted runs behind live ones
 ///   are skipped and unlink once they become the prefix).
-/// * Reclamation via crossbeam-epoch.
+/// * Reclamation via the in-repo epoch collector ([`crate::epoch`]).
 mod runstack {
     use std::cell::UnsafeCell;
     use std::mem::MaybeUninit;
     use std::sync::atomic::{AtomicIsize, Ordering};
 
-    use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned};
+    use crate::epoch::{self, Atomic, Guard, Owned};
 
     struct RunNode<V> {
         /// Priorities, ascending. Immutable after construction.
@@ -486,8 +486,7 @@ mod runstack {
 mod boxcar_like {
     use std::cell::UnsafeCell;
     use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
 
     const CHUNK: usize = 32;
 
@@ -519,7 +518,7 @@ mod boxcar_like {
         }
 
         pub fn push(&self, value: T) -> usize {
-            let _g = self.push_lock.lock();
+            let _g = self.push_lock.lock().unwrap();
             let idx = self.len.load(Ordering::Relaxed);
             // Walk to the chunk that should hold `idx`.
             let mut link = &self.head;

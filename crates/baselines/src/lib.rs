@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod epoch;
 mod fifo;
 mod heap;
 mod klsm;

@@ -9,10 +9,10 @@
 
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
 use pq_traits::ConcurrentPriorityQueue;
+use zmsq_sync::CachePadded;
 
 /// Sentinel top for an empty sub-heap (so comparisons need no lock).
 const EMPTY_TOP: u64 = 0;
@@ -101,7 +101,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
         // against any single hot heap).
         loop {
             let q = &self.queues[self.random_index()];
-            if let Some(mut heap) = q.heap.try_lock() {
+            if let Ok(mut heap) = q.heap.try_lock() {
                 heap.push(Entry { prio, seq, value });
                 Self::update_top(q, &heap);
                 return;
@@ -122,7 +122,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
             if ti == EMPTY_TOP && tj == EMPTY_TOP {
                 continue;
             }
-            if let Some(mut heap) = pick.heap.try_lock() {
+            if let Ok(mut heap) = pick.heap.try_lock() {
                 if let Some(e) = heap.pop() {
                     Self::update_top(pick, &heap);
                     return Some((e.prio, e.value));
@@ -132,7 +132,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
         // Fall back to a linear sweep so emptiness reports are reliable
         // when the queue really is (close to) empty.
         for q in self.queues.iter() {
-            let mut heap = q.heap.lock();
+            let mut heap = q.heap.lock().unwrap();
             if let Some(e) = heap.pop() {
                 Self::update_top(q, &heap);
                 return Some((e.prio, e.value));
@@ -146,7 +146,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
     }
 
     fn len_hint(&self) -> usize {
-        self.queues.iter().map(|q| q.heap.lock().len()).sum()
+        self.queues.iter().map(|q| q.heap.lock().unwrap().len()).sum()
     }
 }
 

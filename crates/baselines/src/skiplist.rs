@@ -12,8 +12,9 @@
 //! the tower and lazily unlinks it. Marked nodes may linger and are
 //! skipped by traversals; the original SprayList leaks them without a GC
 //! (§2.1: "This necessitates the use of a tracing garbage collector") —
-//! here crossbeam-epoch reclaims them, which if anything *flatters* this
-//! baseline relative to the paper's leaky C++ version.
+//! here the in-repo epoch collector ([`crate::epoch`]) reclaims them,
+//! which if anything *flatters* this baseline relative to the paper's
+//! leaky C++ version.
 //!
 //! One deviation from full lock-freedom: a claimer waits for the
 //! inserter's `fully_linked` flag before marking, which makes tower
@@ -25,7 +26,7 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use crate::epoch::{self, Atomic, Guard, Owned, Shared};
 
 pub(crate) const MAX_HEIGHT: usize = 20;
 const MARK: usize = 1;

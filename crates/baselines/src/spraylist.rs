@@ -1,7 +1,7 @@
 //! The SprayList and the strict skiplist priority queue — two extraction
 //! policies over the same lock-free skiplist substrate.
 
-use crossbeam_epoch as epoch;
+use crate::epoch;
 use pq_traits::ConcurrentPriorityQueue;
 
 use crate::skiplist::SkipList;
@@ -141,7 +141,7 @@ mod tests {
         }
         let got: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         // Drain with the strict claimer (no spurious failures).
-        let guard = &crossbeam_epoch::pin();
+        let guard = &crate::epoch::pin();
         let mut rest = 0u64;
         while q.list.claim_first(guard).is_some() {
             rest += 1;

@@ -1,7 +1,8 @@
 //! Blocking-substrate costs (criterion) — the §3.6 claim that "in the
 //! common case, each call is a single fetch-and-increment".
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU32, Ordering};
 

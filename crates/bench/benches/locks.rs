@@ -1,6 +1,7 @@
 //! Lock primitive costs (criterion) — the substrate of Fig. 2 (§4.1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::sync::Arc;
 

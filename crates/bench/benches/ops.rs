@@ -6,7 +6,9 @@
 //! of §4.5.1 (e.g. ZMSQ (array) fastest by virtue of allocation-free
 //! inserts).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness as criterion;
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use bench::queues::make_queue;

@@ -6,7 +6,9 @@
 //! root), and as the reclamation-mode cost on the claim fast path
 //! (Hazard vs ConsumerWait vs Leak, §3.5).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness as criterion;
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use zmsq::{Reclamation, Zmsq, ZmsqConfig};

@@ -1,7 +1,9 @@
 //! ListSet vs ArraySet micro-costs (criterion) — the representation
 //! trade-off behind the "(array)" curves (§4, §4.5.1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness as criterion;
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use zmsq::{ArraySet, ListSet, NodeSet};

@@ -1,6 +1,7 @@
 //! SSSP kernel costs (criterion) — small-scale versions of Figs. 7/8.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use bench::queues::{make_queue, make_zmsq};

@@ -1,0 +1,335 @@
+//! A self-contained micro-benchmark harness with a criterion-shaped API.
+//!
+//! The bench files under `benches/` were written against the criterion
+//! surface (`Criterion`, `benchmark_group`, `Bencher::iter`/
+//! `iter_batched`, `criterion_group!`/`criterion_main!`). This module
+//! reimplements exactly the subset they use — warm-up, fixed sample
+//! count, batched setup, per-iteration mean reporting — with no
+//! external dependencies, so `cargo bench` works offline. Import it as
+//! `use bench::harness as criterion;` for drop-in path compatibility.
+//!
+//! Statistics are deliberately simple (median and min/max of per-sample
+//! means); the figure-level harnesses in `src/bin/` own the rigorous
+//! methodology, these benches are for relative regression tracking.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted for API
+/// compatibility; this harness always re-runs setup per batch).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state: large batches.
+    SmallInput,
+    /// Expensive per-iteration state: one routine call per setup.
+    LargeInput,
+    /// Setup before every single routine call.
+    PerIteration,
+}
+
+/// Benchmark identifier inside a group, e.g. `insert/zmsq-array`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Id carrying only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{parameter}"))
+    }
+}
+
+/// Timing loop handed to every benchmark closure.
+pub struct Bencher {
+    /// Target duration of one measured sample.
+    sample_time: Duration,
+    /// Collected per-sample mean ns/iter.
+    samples: Vec<f64>,
+    /// Number of measured samples.
+    sample_count: usize,
+    /// Warm-up budget before the first sample.
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly; the reported unit is one call.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run until the budget elapses, calibrating the
+        // per-sample iteration count as we go.
+        let mut iters_per_sample = 1u64;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt < self.sample_time / 2 {
+                iters_per_sample = iters_per_sample.saturating_mul(2);
+            }
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let dt = t.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Measure `routine(setup())`, excluding `setup` from the timing.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        // Setup cost can dwarf the routine, so time each routine call
+        // individually (one batch per call).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Top-level harness state: configuration plus result output.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Criterion {
+    /// Criterion-compatible inherent constructor (the real crate's
+    /// `Criterion::default()`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            samples: 10,
+        }
+    }
+
+    /// Set the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let line = run_one(self, name, f);
+        println!("{line}");
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group (and, because the
+    /// configuration is shared, subsequent groups on this `Criterion`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples = n.max(2);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Benchmark identified by a plain name within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let line = run_one(self.criterion, &full, f);
+        println!("{line}");
+        self
+    }
+
+    /// Benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        let line = run_one(self.criterion, &full, |b| f(b, input));
+        println!("{line}");
+        self
+    }
+
+    /// End the group (report flushing is per-benchmark; this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    criterion: &Criterion,
+    name: &str,
+    mut f: impl FnMut(&mut Bencher),
+) -> String {
+    let mut b = Bencher {
+        sample_time: criterion.measurement / criterion.samples as u32,
+        samples: Vec::with_capacity(criterion.samples),
+        sample_count: criterion.samples,
+        warm_up: criterion.warm_up,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        return format!("{name:<48} (no samples)");
+    }
+    b.samples.sort_by(|a, x| a.total_cmp(x));
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    format!(
+        "{name:<48} time: [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi)
+    )
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Build a benchmark group function from a configuration expression and
+/// a list of target functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::harness::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(4);
+        let mut group = c.benchmark_group("harness-test");
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64, 2, 3]
+                },
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups >= 3, "setup ran {setups} times");
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("list", 64).0, "list/64");
+        assert_eq!(BenchmarkId::from_parameter("zmsq").0, "zmsq");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(fmt_ns(12.5), "12.50 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+    }
+}

@@ -18,6 +18,7 @@
 //! and accepts `--quick` for a fast smoke-scale run.
 
 pub mod cli;
+pub mod harness;
 pub mod queues;
 
 /// Print a CSV header then rows through the given closure.

@@ -1,0 +1,214 @@
+//! Small, fast, seeded PRNG used across the workspace wherever
+//! deterministic randomness is needed (fault schedules, graph generators,
+//! workload key streams, property-test drivers).
+//!
+//! xoshiro256** seeded through SplitMix64 — the standard pairing: the
+//! SplitMix stage decorrelates adjacent integer seeds, so `seed` and
+//! `seed + 1` give independent streams. Not cryptographic; statistical
+//! quality is far beyond what any test or benchmark here can detect.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step — also usable standalone for cheap seed derivation.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Construct from a 64-bit seed (SplitMix64-expanded).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly random value of a supported primitive type.
+    #[inline]
+    pub fn random<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `range` (`a..b` or `a..=b`).
+    ///
+    /// Panics on an empty range, like `rand`.
+    #[inline]
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Out {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// Uniform in `[0, bound)` by widening multiply (bias < 2⁻⁶⁴·bound —
+    /// unobservable at our scales).
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Types [`DetRng::random`] can produce.
+pub trait Sample: Sized {
+    /// Draw one uniformly random value.
+    fn sample(rng: &mut DetRng) -> Self;
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample(rng: &mut DetRng) -> Self {
+        rng.next_u64()
+    }
+}
+impl Sample for u32 {
+    #[inline]
+    fn sample(rng: &mut DetRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl Sample for usize {
+    #[inline]
+    fn sample(rng: &mut DetRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Sample for bool {
+    #[inline]
+    fn sample(rng: &mut DetRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample(rng: &mut DetRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`DetRng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Out;
+    /// Draw one uniformly random element.
+    fn sample(self, rng: &mut DetRng) -> Self::Out;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Out = $t;
+            #[inline]
+            fn sample(self, rng: &mut DetRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Out = $t;
+            #[inline]
+            fn sample(self, rng: &mut DetRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Out = f64;
+    #[inline]
+    fn sample(self, rng: &mut DetRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = DetRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.random_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = r.random_range(1u32..=5);
+            assert!((1..=5).contains(&y));
+            let z = r.random_range(0usize..3);
+            assert!(z < 3);
+            let f = r.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut r = DetRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut r = DetRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "~25% expected, got {hits}");
+    }
+}

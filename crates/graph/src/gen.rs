@@ -6,15 +6,14 @@
 //! [`erdos_renyi`] provides a uniform control. All are seeded — the same
 //! `(generator, parameters, seed)` triple always yields the same graph.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use fault::DetRng;
 
 use crate::CsrGraph;
 
 /// Uniformly random digraph with `n` nodes and ~`m` edges, weights in
 /// `[1, max_weight]`.
 pub fn erdos_renyi(n: usize, m: usize, max_weight: u32, seed: u64) -> CsrGraph {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
         let src = rng.random_range(0..n as u32);
@@ -33,12 +32,12 @@ pub fn erdos_renyi(n: usize, m: usize, max_weight: u32, seed: u64) -> CsrGraph {
 pub fn barabasi_albert(n: usize, attach: usize, max_weight: u32, seed: u64) -> CsrGraph {
     assert!(n >= 2);
     let attach = attach.max(1);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     // endpoint pool: every time an edge (u,v) is added, push u and v —
     // sampling the pool is degree-proportional sampling.
     let mut pool: Vec<u32> = Vec::with_capacity(2 * n * attach);
     let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(2 * n * attach);
-    let mut add = |u: u32, v: u32, pool: &mut Vec<u32>, rng: &mut ChaCha8Rng| {
+    let mut add = |u: u32, v: u32, pool: &mut Vec<u32>, rng: &mut DetRng| {
         let w = rng.random_range(1..=max_weight.max(1));
         edges.push((u, v, w));
         edges.push((v, u, w));
@@ -73,7 +72,7 @@ pub fn rmat(
     seed: u64,
 ) -> CsrGraph {
     let n = 1usize << scale;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(edges_count);
     for _ in 0..edges_count {
         let (mut src, mut dst) = (0u32, 0u32);

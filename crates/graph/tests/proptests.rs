@@ -1,58 +1,68 @@
-//! Property tests for the graph substrate.
+//! Randomized property tests for the graph substrate, driven by seeded
+//! deterministic RNG streams (replayable from the printed seed).
 
-use proptest::prelude::*;
+use fault::DetRng;
 use zmsq_graph::{gen, sequential_sssp, CsrGraph, INFINITY};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// CSR construction is a faithful multigraph representation: the
-    /// degree sums match the (self-loop-filtered) edge list, every edge
-    /// appears under its source, weights stay in range.
-    #[test]
-    fn csr_faithful_to_edge_list(
-        n in 2usize..100,
-        edges in proptest::collection::vec((0u32..100, 0u32..100, 0u32..50), 0..300),
-    ) {
-        let filtered: Vec<(u32, u32, u32)> = edges
-            .iter()
-            .map(|&(s, d, w)| (s % n as u32, d % n as u32, w))
+/// CSR construction is a faithful multigraph representation: the
+/// degree sums match the (self-loop-filtered) edge list, every edge
+/// appears under its source, weights stay in range.
+#[test]
+fn csr_faithful_to_edge_list() {
+    let mut rng = DetRng::seed_from_u64(0xC5A_0001);
+    for case in 0..64 {
+        let n = rng.random_range(2usize..100);
+        let m = rng.random_range(0usize..300);
+        let edges: Vec<(u32, u32, u32)> = (0..m)
+            .map(|_| {
+                (
+                    rng.random_range(0u32..100) % n as u32,
+                    rng.random_range(0u32..100) % n as u32,
+                    rng.random_range(0u32..50),
+                )
+            })
             .collect();
-        let g = CsrGraph::from_edges(n, &filtered);
-        let expect: Vec<(u32, u32, u32)> = filtered
+        let g = CsrGraph::from_edges(n, &edges);
+        let expect: Vec<(u32, u32, u32)> = edges
             .iter()
             .filter(|&&(s, d, _)| s != d)
             .map(|&(s, d, w)| (s, d, w.max(1)))
             .collect();
-        prop_assert_eq!(g.num_edges(), expect.len());
+        assert_eq!(g.num_edges(), expect.len(), "case {case}");
         let mut got: Vec<(u32, u32, u32)> = (0..n as u32)
             .flat_map(|v| g.neighbors(v).map(move |(t, w)| (v, t, w)))
             .collect();
         let mut expect = expect;
         got.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    /// Dijkstra output is a fixed point of relaxation: no edge can
-    /// improve any distance, and every finite distance is witnessed by
-    /// an incoming relaxed edge (or is the source).
-    #[test]
-    fn dijkstra_fixed_point(seed in 0u64..50) {
+/// Dijkstra output is a fixed point of relaxation: no edge can
+/// improve any distance, and every finite distance is witnessed by
+/// an incoming relaxed edge (or is the source).
+#[test]
+fn dijkstra_fixed_point() {
+    for seed in 0u64..50 {
         let g = gen::erdos_renyi(300, 2000, 30, seed);
         let dist = sequential_sssp(&g, 0);
-        prop_assert_eq!(dist[0], 0);
+        assert_eq!(dist[0], 0);
         for v in 0..300u32 {
-            if dist[v as usize] == INFINITY { continue; }
+            if dist[v as usize] == INFINITY {
+                continue;
+            }
             for (t, w) in g.neighbors(v) {
-                prop_assert!(dist[t as usize] <= dist[v as usize] + w as u64);
+                assert!(dist[t as usize] <= dist[v as usize] + w as u64);
             }
         }
         // Witness check.
         let mut witnessed = vec![false; 300];
         witnessed[0] = true;
         for v in 0..300u32 {
-            if dist[v as usize] == INFINITY { continue; }
+            if dist[v as usize] == INFINITY {
+                continue;
+            }
             for (t, w) in g.neighbors(v) {
                 if dist[t as usize] == dist[v as usize] + w as u64 {
                     witnessed[t as usize] = true;
@@ -61,20 +71,22 @@ proptest! {
         }
         for v in 0..300usize {
             if dist[v] != INFINITY {
-                prop_assert!(witnessed[v], "node {} has no witness", v);
+                assert!(witnessed[v], "seed {seed}: node {v} has no witness");
             }
         }
     }
+}
 
-    /// Generators are deterministic in their seed and respect node counts.
-    #[test]
-    fn generators_deterministic(seed in 0u64..20) {
+/// Generators are deterministic in their seed and respect node counts.
+#[test]
+fn generators_deterministic() {
+    for seed in 0u64..20 {
         let a = gen::barabasi_albert(500, 3, 20, seed);
         let b = gen::barabasi_albert(500, 3, 20, seed);
-        prop_assert_eq!(a.num_nodes(), 500);
-        prop_assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.num_nodes(), 500);
+        assert_eq!(a.num_edges(), b.num_edges());
         for v in 0..500u32 {
-            prop_assert!(a.neighbors(v).eq(b.neighbors(v)));
+            assert!(a.neighbors(v).eq(b.neighbors(v)), "seed {seed} node {v}");
         }
     }
 }

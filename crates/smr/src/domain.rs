@@ -359,6 +359,10 @@ impl HazardPointer {
             self.slot().store(p.cast(), Ordering::SeqCst);
             let q = src.load(Ordering::SeqCst);
             if q == p {
+                // Chaos: treat this successful validation as failed and go
+                // around again (republish + revalidate). Arm with
+                // Prob/EveryNth/Once — Always livelocks by construction.
+                fault::fail_point!("smr.protect-retry", continue);
                 return p;
             }
             p = q;
@@ -590,6 +594,36 @@ mod tests {
         while domain.try_reclaim() != 0 {}
         assert_eq!(live.load(Ordering::SeqCst), 0, "all nodes reclaimed");
         assert_eq!(domain.retired_count(), WRITES + 1);
+    }
+
+    /// A forced validation retry must be invisible to the caller: same
+    /// pointer back, hazard still published, protection still effective.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_protect_retry_is_transparent() {
+        let _x = fault::exclusive();
+        fault::set_seed(21);
+        fault::configure(
+            "smr.protect-retry",
+            fault::Policy::new(fault::Trigger::EveryNth(2)),
+        );
+        let live = StdArc::new(AtomicU64::new(0));
+        let domain = Domain::new();
+        let shared = AtomicPtr::new(Box::into_raw(Tracked::new(&live, 9)));
+        let mut hp = domain.hazard();
+        for _ in 0..8 {
+            let p = hp.protect(&shared);
+            // SAFETY: protected.
+            assert_eq!(unsafe { (*p).value }, 9);
+        }
+        // Protection survives the retries: retire while protected defers.
+        let old = shared.swap(std::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { domain.retire(old) };
+        assert_eq!(domain.try_reclaim(), 1);
+        hp.clear();
+        assert_eq!(domain.try_reclaim(), 0);
+        assert!(fault::hit_count("smr.protect-retry") >= 4);
+        fault::reset();
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   with the load/publish/validate loop.
 //! * [`LeakyDomain`] — the null reclaimer backing the paper's
 //!   `ZMSQ (leak)` measurement arm: `retire` leaks.
+//! * [`ebr`] — a process-global epoch-based collector for the lock-free
+//!   baselines, whose unbounded traversals don't fit per-pointer hazards.
 //!
 //! # Design
 //!
@@ -57,6 +59,7 @@
 #![warn(missing_docs)]
 
 mod domain;
+pub mod ebr;
 mod leaky;
 
 pub use domain::{Domain, HazardPointer};

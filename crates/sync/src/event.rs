@@ -21,12 +21,20 @@
 //! consumer sleeps forever. The sweep costs nothing in the common case and
 //! preserves the paper's "do not wake too many threads at once" property:
 //! each signal wakes at most one slot.
+//!
+//! # Fault injection
+//!
+//! `event.pre-park-delay` — fires between the final closed/predicate
+//! checks and the `futex_wait`, stretching the classic lost-wakeup window
+//! so a concurrent `signal()`/`close()` completes entirely inside it.
+//! Combined with `futex.spurious-wake` (which makes the park itself
+//! return immediately), chaos schedules exercise both halves of the
+//! sleep/wake handshake.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
-use crossbeam_utils::CachePadded;
-
 use crate::futex::{futex_wait, futex_wait_timeout, futex_wake_all};
+use crate::pad::CachePadded;
 
 const WAITER_BIT: u32 = 1;
 
@@ -247,6 +255,12 @@ impl EventBuffer {
         if self.closed.load(Ordering::Acquire) {
             return WaitOutcome::Closed;
         }
+
+        // Chaos: stall in the window between the closed/predicate checks
+        // and parking. A concurrent close() or signal() lands entirely
+        // inside the gap; only the epoch-in-the-futex-word protocol makes
+        // the delayed futex_wait below return instead of sleeping forever.
+        fault::fail_point!("event.pre-park-delay");
 
         let woken = match timeout {
             None => {
@@ -510,5 +524,122 @@ mod tests {
         ev.signal();
         h.join().unwrap();
         assert_eq!(woken.load(Ordering::SeqCst), 1);
+    }
+
+    /// close() must wake threads at *every* stage of wait_until —
+    /// registering, spinning, or parked — and reopen() must leave the
+    /// buffer fully usable by the same threads. Cycles the close/reopen
+    /// race against a pack of sleepers that re-enter as fast as they can.
+    #[test]
+    fn close_reopen_races_with_sleepers() {
+        const SLEEPERS: usize = 4;
+        const CYCLES: usize = 100;
+        let ev = Arc::new(EventBuffer::with_slots(2));
+        let stop = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..SLEEPERS {
+            let ev = Arc::clone(&ev);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while stop.load(Ordering::SeqCst) == 0 {
+                    // Any outcome is legal (a fast close/reopen pair can
+                    // surface as Woken, or as Ready via the predicate);
+                    // what close() owes us is a prompt return — re-enter
+                    // immediately to race the reopen.
+                    ev.wait_until(|| stop.load(Ordering::SeqCst) > 0);
+                }
+            }));
+        }
+        for _ in 0..CYCLES {
+            // Let at least one thread get past registration sometimes, but
+            // deliberately do not wait every cycle — close() must also be
+            // correct against threads mid-registration.
+            if ev.sleeper_count() == 0 {
+                std::thread::yield_now();
+            }
+            ev.close();
+            ev.reopen();
+        }
+        stop.store(1, Ordering::SeqCst);
+        ev.close();
+        for h in handles {
+            // If a sleeper missed a close-wake it hangs here and the test
+            // times out — that IS the failure mode under test.
+            h.join().unwrap();
+        }
+        assert_eq!(ev.sleeper_count(), 0);
+        ev.reopen();
+        assert_eq!(ev.wait_until(|| true), WaitOutcome::Ready, "usable after final reopen");
+    }
+
+    /// Injected spurious wakeups must never be mistaken for timeouts, and
+    /// a producer/consumer handoff must still complete when *every* park
+    /// returns immediately (wait_until degrades to polling, not to hanging
+    /// or to dropping items).
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_spurious_wakeups_do_not_break_handoff() {
+        let _x = fault::exclusive();
+        fault::set_seed(7);
+        fault::configure(
+            "futex.spurious-wake",
+            fault::Policy::new(fault::Trigger::Always),
+        );
+
+        // 1. A spuriously-woken timed wait reports Woken, not TimedOut.
+        let ev = EventBuffer::with_slots(2);
+        let out = ev.wait_until_timeout(|| false, Duration::from_secs(10));
+        assert_eq!(out, WaitOutcome::Woken);
+        assert_eq!(ev.sleeper_count(), 0);
+
+        // 2. Handoff completes even though no real futex sleep ever happens.
+        let ev = Arc::new(EventBuffer::with_slots(2));
+        let items = Arc::new(AtomicU64::new(0));
+        let (ev2, items2) = (Arc::clone(&ev), Arc::clone(&items));
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0u64;
+            while got < 200 {
+                if items2
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_ok()
+                {
+                    got += 1;
+                    continue;
+                }
+                ev2.wait_until(|| items2.load(Ordering::SeqCst) > 0);
+            }
+            got
+        });
+        for _ in 0..200 {
+            items.fetch_add(1, Ordering::SeqCst);
+            ev.signal();
+        }
+        assert_eq!(consumer.join().unwrap(), 200);
+        assert!(fault::hit_count("futex.spurious-wake") > 0);
+        fault::reset();
+    }
+
+    /// The pre-park delay window: close() fires entirely between a
+    /// sleeper's last checks and its park. The epoch bump in the futex
+    /// word is what keeps the delayed park from sleeping forever.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_pre_park_delay_cannot_lose_close() {
+        let _x = fault::exclusive();
+        fault::set_seed(13);
+        fault::configure(
+            "event.pre-park-delay",
+            fault::Policy::new(fault::Trigger::Always)
+                .with_action(fault::Action::SleepMs(40)),
+        );
+        let ev = Arc::new(EventBuffer::with_slots(1));
+        let ev2 = Arc::clone(&ev);
+        let h = std::thread::spawn(move || ev2.wait_until(|| false));
+        // Land the close inside the 40ms delay window.
+        std::thread::sleep(Duration::from_millis(15));
+        ev.close();
+        let out = h.join().unwrap();
+        assert_eq!(out, WaitOutcome::Closed);
+        fault::reset();
     }
 }

@@ -1,12 +1,22 @@
-//! A thin futex abstraction.
+//! A thin futex abstraction, with no libc dependency.
 //!
 //! The paper's blocking mechanism (§3.6) is built directly on the Linux
 //! `futex(2)` syscall: "a circular buffer of futexes (the Linux kernel's
-//! fast userspace mutex object)". On Linux this module issues the raw
-//! syscall (`FUTEX_WAIT_PRIVATE` / `FUTEX_WAKE_PRIVATE`). On other
-//! platforms it degrades to a mutex/condvar parking table keyed by the
+//! fast userspace mutex object)". On x86-64 and AArch64 Linux this module
+//! issues the raw syscall itself (`FUTEX_WAIT_PRIVATE` /
+//! `FUTEX_WAKE_PRIVATE` via inline assembly — the kernel ABI is stable,
+//! and going direct removes the workspace's only reason to link `libc`).
+//! Elsewhere it degrades to a mutex/condvar parking table keyed by the
 //! atom's address — slower, but with identical semantics, so the
 //! [`crate::event::EventBuffer`] logic is portable.
+//!
+//! # Fault injection
+//!
+//! `futex.spurious-wake` — fires in [`futex_wait`] / [`futex_wait_timeout`]
+//! *instead of* parking: the call returns immediately as if the kernel
+//! delivered a spurious wakeup or `EINTR`. Forces every caller's
+//! re-check-the-predicate loop; a caller that treats "returned" as
+//! "signalled" loses wakeups or spins forever under this schedule.
 
 use std::sync::atomic::AtomicU32;
 
@@ -17,6 +27,7 @@ use std::sync::atomic::AtomicU32;
 /// caller must re-check its predicate — the event buffer does.
 #[inline]
 pub fn futex_wait(atom: &AtomicU32, expected: u32) {
+    fault::fail_point!("futex.spurious-wake", return);
     imp::wait(atom, None, expected);
 }
 
@@ -28,6 +39,7 @@ pub fn futex_wait_timeout(
     expected: u32,
     timeout: std::time::Duration,
 ) -> bool {
+    fault::fail_point!("futex.spurious-wake", return true);
     imp::wait(atom, Some(timeout), expected)
 }
 
@@ -45,38 +57,92 @@ pub fn futex_wake_all(atom: &AtomicU32) -> usize {
     imp::wake(atom, u32::MAX)
 }
 
-#[cfg(target_os = "linux")]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 mod imp {
     use std::sync::atomic::AtomicU32;
     use std::time::Duration;
 
+    const FUTEX_WAIT: usize = 0;
+    const FUTEX_WAKE: usize = 1;
+    const FUTEX_PRIVATE_FLAG: usize = 128;
+    const ETIMEDOUT: isize = 110;
+
+    /// `struct timespec` on 64-bit Linux: two 64-bit fields.
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    /// Raw `futex(2)`: returns the kernel's value (negative = `-errno`).
+    ///
+    /// # Safety
+    ///
+    /// `uaddr` must point to a live, 4-byte-aligned futex word for the
+    /// duration of the call; `timeout`, when non-null, must point to a
+    /// valid `Timespec`.
+    unsafe fn sys_futex(
+        uaddr: *const u32,
+        op: usize,
+        val: u32,
+        timeout: *const Timespec,
+    ) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: x86-64 Linux syscall ABI — nr in rax (futex = 202),
+        // args in rdi/rsi/rdx/r10; the kernel clobbers rcx and r11.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 202usize => ret,
+                in("rdi") uaddr,
+                in("rsi") op,
+                in("rdx") val as usize,
+                in("r10") timeout,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: AArch64 Linux syscall ABI — nr in x8 (futex = 98),
+        // args in x0..x3, `svc 0`, result in x0.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") 98usize,
+                inlateout("x0") uaddr as usize => ret,
+                in("x1") op,
+                in("x2") val as usize,
+                in("x3") timeout,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
     /// Returns false only on (probable) timeout.
     pub fn wait(atom: &AtomicU32, timeout: Option<Duration>, expected: u32) -> bool {
-        let ts = timeout.map(|d| libc::timespec {
-            tv_sec: d.as_secs().min(i64::MAX as u64) as libc::time_t,
-            tv_nsec: libc::c_long::from(d.subsec_nanos() as i32),
+        let ts = timeout.map(|d| Timespec {
+            tv_sec: d.as_secs().min(i64::MAX as u64) as i64,
+            tv_nsec: i64::from(d.subsec_nanos()),
         });
-        let ts_ptr = ts
-            .as_ref()
-            .map_or(std::ptr::null(), |t| t as *const libc::timespec);
+        let ts_ptr = ts.as_ref().map_or(std::ptr::null(), |t| t as *const Timespec);
         // SAFETY: the futex word outlives the call (we hold a reference);
         // FUTEX_WAIT blocks until woken, value change, timeout, or signal.
         // EAGAIN/EINTR are benign (caller re-checks its predicate).
         let rc = unsafe {
-            libc::syscall(
-                libc::SYS_futex,
+            sys_futex(
                 atom.as_ptr(),
-                libc::FUTEX_WAIT | libc::FUTEX_PRIVATE_FLAG,
+                FUTEX_WAIT | FUTEX_PRIVATE_FLAG,
                 expected,
                 ts_ptr,
             )
         };
-        if rc == -1 {
-            let errno = std::io::Error::last_os_error().raw_os_error();
-            errno != Some(libc::ETIMEDOUT)
-        } else {
-            true
-        }
+        rc != -ETIMEDOUT
     }
 
     pub fn wake(atom: &AtomicU32, count: u32) -> usize {
@@ -84,22 +150,25 @@ mod imp {
         // would arrive as -1 and wake exactly one waiter (the comparison
         // `++woken >= nr_wake` trips immediately). Clamp to i32::MAX so
         // "wake all" really is unbounded.
-        let count = count.min(i32::MAX as u32) as libc::c_int;
-        // SAFETY: as above; FUTEX_WAKE takes no pointer arguments beyond
+        let count = count.min(i32::MAX as u32);
+        // SAFETY: as above; FUTEX_WAKE reads no pointer arguments beyond
         // the futex word itself.
         let woken = unsafe {
-            libc::syscall(
-                libc::SYS_futex,
+            sys_futex(
                 atom.as_ptr(),
-                libc::FUTEX_WAKE | libc::FUTEX_PRIVATE_FLAG,
+                FUTEX_WAKE | FUTEX_PRIVATE_FLAG,
                 count,
+                std::ptr::null(),
             )
         };
         woken.max(0) as usize
     }
 }
 
-#[cfg(not(target_os = "linux"))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 mod imp {
     //! Portable fallback: a fixed-size hash table of (mutex, condvar)
     //! buckets keyed by futex-word address, in the style of parking lots.
@@ -252,5 +321,26 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    /// Injected spurious wakeups must surface as "woken" (never as
+    /// timeout) so predicate loops re-check instead of giving up.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_spurious_wake_reports_woken() {
+        let _x = fault::exclusive();
+        fault::set_seed(11);
+        fault::configure(
+            "futex.spurious-wake",
+            fault::Policy::new(fault::Trigger::Always),
+        );
+        let atom = AtomicU32::new(0);
+        let t0 = std::time::Instant::now();
+        // Would park 10s if the failpoint did not preempt the syscall.
+        assert!(futex_wait_timeout(&atom, 0, Duration::from_secs(10)));
+        futex_wait(&atom, 0); // returns immediately, does not hang
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert!(fault::hit_count("futex.spurious-wake") >= 2);
+        fault::reset();
     }
 }

@@ -12,6 +12,12 @@
 //! * [`event`] — the circular buffer of cache-padded futexes from
 //!   Listing 3, used to block idle consumers (§3.6).
 //! * [`backoff`] — bounded exponential backoff for optimistic retry loops.
+//! * [`pad`] — cache-line padding to stop false sharing between hot atomics.
+//!
+//! With `--features fault-inject` the substrate compiles in named
+//! failpoints (`trylock.spurious-fail`, `futex.spurious-wake`,
+//! `event.pre-park-delay`) that chaos tests arm through the `fault`
+//! crate; without the feature they expand to nothing.
 //!
 //! [`RawTryLock`]: trylock::RawTryLock
 
@@ -20,9 +26,11 @@
 pub mod backoff;
 pub mod event;
 pub mod futex;
+pub mod pad;
 pub mod trylock;
 
 pub use backoff::Backoff;
 pub use event::{EventBuffer, WaitOutcome};
 pub use futex::{futex_wait, futex_wait_timeout, futex_wake, futex_wake_all};
+pub use pad::CachePadded;
 pub use trylock::{LockGuard, OsLock, RawTryLock, TasLock, TatasLock};

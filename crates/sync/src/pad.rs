@@ -1,0 +1,76 @@
+//! Cache-line padding, from scratch.
+//!
+//! Wraps a value so it occupies (at least) its own cache line, preventing
+//! false sharing between adjacent hot atomics — the same job as
+//! `crossbeam_utils::CachePadded`, kept in-tree so the concurrency
+//! substrate has no external dependencies.
+//!
+//! 128-byte alignment covers both the common 64-byte line and the
+//! 128-byte *spatial prefetcher* pairing on modern x86 (adjacent-line
+//! prefetch makes two 64-byte lines behave as one for sharing purposes)
+//! as well as Apple/ARM big cores with genuine 128-byte lines.
+
+/// Pads and aligns `T` to 128 bytes.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn occupies_a_full_line_pair() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU32>>(), 128);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU32>>(), 128);
+        // Array elements land on distinct line pairs.
+        let arr = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let a = &arr[0] as *const _ as usize;
+        let b = &arr[1] as *const _ as usize;
+        assert_eq!(b - a, 128);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(41);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+}

@@ -9,16 +9,26 @@
 //! All three locks implement [`RawTryLock`]:
 //!
 //! * [`OsLock`] — an OS-parking mutex (the `std::mutex` arm of Fig. 2),
-//!   built on `parking_lot::RawMutex`.
+//!   a three-state futex mutex built on [`crate::futex`].
 //! * [`TasLock`] — test-and-set: every acquisition attempt is an atomic
 //!   `swap`, which invalidates the cache line even when the lock is held.
 //! * [`TatasLock`] — test-and-test-and-set: spin on a plain load and only
 //!   attempt the atomic `swap` when the lock is observed free. This is the
 //!   winner in the paper's Figure 2b and ZMSQ's default.
+//!
+//! # Fault injection
+//!
+//! `trylock.spurious-fail` — fires inside `try_lock` of all three locks
+//! and forces a `false` return even when the lock is free. Models losing
+//! the acquisition race at the worst moment; ZMSQ's insert/extract paths
+//! must treat it as ordinary contention (re-randomize and retry), never
+//! as a correctness signal. Blocking `lock()` is deliberately exempt so
+//! armed schedules cannot violate its acquisition guarantee.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 use crate::backoff::Backoff;
+use crate::futex::{futex_wait, futex_wake};
 
 /// A raw lock with both blocking and non-blocking acquisition.
 ///
@@ -98,6 +108,7 @@ impl RawTryLock for TasLock {
 
     #[inline]
     fn try_lock(&self) -> bool {
+        fault::fail_point!("trylock.spurious-fail", return false);
         // Acquire on success orders the critical section after the
         // previous holder's release store.
         !self.held.swap(true, Ordering::Acquire)
@@ -136,6 +147,7 @@ impl RawTryLock for TatasLock {
 
     #[inline]
     fn try_lock(&self) -> bool {
+        fault::fail_point!("trylock.spurious-fail", return false);
         // The cheap load filters out attempts that would fail anyway; this
         // is what makes trylock-and-restart profitable in insert() (§4.1).
         !self.held.load(Ordering::Relaxed) && !self.held.swap(true, Ordering::Acquire)
@@ -167,18 +179,48 @@ impl RawTryLock for TatasLock {
 
 /// OS-parking mutex — the `std::mutex` arm of the Figure 2 comparison.
 ///
-/// Built on `parking_lot::RawMutex` rather than `std::sync::Mutex` because
-/// the queue needs the raw `lock`/`unlock` interface (guards cannot express
-/// the hand-over-hand release order used during set migration).
+/// A classic three-state futex mutex (Drepper, *Futexes Are Tricky*):
+/// 0 = free, 1 = locked, 2 = locked with (possible) waiters. The fast
+/// path is one CAS with no syscall; contended acquisition spins briefly
+/// then parks in the kernel, and release only issues a wake when the
+/// state says someone may be sleeping. Built on [`crate::futex`] rather
+/// than `std::sync::Mutex` because the queue needs the raw
+/// `lock`/`unlock` interface (guards cannot express the hand-over-hand
+/// release order used during set migration).
+#[derive(Default)]
 pub struct OsLock {
-    raw: parking_lot::RawMutex,
+    /// 0 = free, 1 = locked uncontended, 2 = locked contended.
+    state: AtomicU32,
 }
 
-impl Default for OsLock {
-    #[inline]
-    fn default() -> Self {
-        use parking_lot::lock_api::RawMutex as _;
-        Self { raw: parking_lot::RawMutex::INIT }
+impl OsLock {
+    #[cold]
+    fn lock_contended(&self) {
+        // Brief spin: crossing into the kernel costs more than a short
+        // critical section. Only loads, so waiters share the line.
+        let mut backoff = Backoff::new();
+        while !backoff.is_yielding() {
+            if self.state.load(Ordering::Relaxed) == 0
+                && self
+                    .state
+                    .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            backoff.wait();
+        }
+        loop {
+            // Advertise contention before sleeping. The swap both claims
+            // the lock (if it was free) and upgrades 1 -> 2 so the holder's
+            // unlock knows to issue a wake. Acquiring via this path leaves
+            // state at 2 even when we might be the only waiter — a spare
+            // wake later is benign, a missed wake is not.
+            if self.state.swap(2, Ordering::Acquire) == 0 {
+                return;
+            }
+            futex_wait(&self.state, 2);
+        }
     }
 }
 
@@ -187,28 +229,33 @@ impl RawTryLock for OsLock {
 
     #[inline]
     fn try_lock(&self) -> bool {
-        use parking_lot::lock_api::RawMutex as _;
-        self.raw.try_lock()
+        fault::fail_point!("trylock.spurious-fail", return false);
+        self.state
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
     }
 
     #[inline]
     fn lock(&self) {
-        use parking_lot::lock_api::RawMutex as _;
-        self.raw.lock();
+        if self
+            .state
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_contended();
+        }
     }
 
     #[inline]
     fn unlock(&self) {
-        use parking_lot::lock_api::RawMutex as _;
-        // SAFETY (API contract, not memory safety): RawTryLock::unlock is
-        // documented to be called only by the holder.
-        unsafe { self.raw.unlock() }
+        if self.state.swap(0, Ordering::Release) == 2 {
+            futex_wake(&self.state, 1);
+        }
     }
 
     #[inline]
     fn is_locked(&self) -> bool {
-        use parking_lot::lock_api::RawMutex as _;
-        self.raw.is_locked()
+        self.state.load(Ordering::Relaxed) != 0
     }
 }
 
@@ -347,5 +394,50 @@ mod tests {
             h.join().unwrap();
         }
         assert!(acquired.load(Ordering::Relaxed) >= 30_000);
+    }
+
+    #[test]
+    fn os_lock_parks_and_wakes() {
+        // Hold the lock long enough that the contender exhausts its spin
+        // and parks, then verify unlock's wake reaches it.
+        let lock = Arc::new(OsLock::default());
+        lock.lock();
+        let l2 = Arc::clone(&lock);
+        let h = std::thread::spawn(move || {
+            l2.lock();
+            l2.unlock();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        lock.unlock();
+        h.join().unwrap();
+    }
+
+    /// An armed spurious-fail schedule must only ever produce false
+    /// negatives from `try_lock` — never false positives, and never leak
+    /// into blocking `lock()`.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_spurious_try_lock_failure() {
+        fn check<L: RawTryLock>() {
+            let l = L::default();
+            assert!(!l.try_lock(), "{}: armed Always must fail", L::NAME);
+            assert!(!l.is_locked(), "{}: spurious fail must not acquire", L::NAME);
+            l.lock(); // blocking path is exempt from the failpoint
+            assert!(l.is_locked());
+            l.unlock();
+        }
+        let _x = fault::exclusive();
+        fault::set_seed(3);
+        fault::configure(
+            "trylock.spurious-fail",
+            fault::Policy::new(fault::Trigger::Always),
+        );
+        check::<TasLock>();
+        check::<TatasLock>();
+        check::<OsLock>();
+        fault::reset();
+        let l = TatasLock::default();
+        assert!(l.try_lock(), "disarmed point must not fire");
+        l.unlock();
     }
 }

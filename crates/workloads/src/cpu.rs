@@ -2,9 +2,9 @@
 //!
 //! The paper "used the `time` command in Linux to calculate the CPU
 //! execution time for 1M handoffs" — the point being that blocked
-//! consumers burn no cycles while spinning ones do. We sample
-//! `getrusage(RUSAGE_SELF)` (user + system) around the measured phase,
-//! which is the same quantity `time` reports.
+//! consumers burn no cycles while spinning ones do. We sample the
+//! process's `utime + stime` from `/proc/self/stat` around the measured
+//! phase, which is the same quantity `time` reports.
 
 use std::time::Duration;
 
@@ -25,17 +25,50 @@ pub fn measure_cpu<R>(f: impl FnOnce() -> R) -> (R, Duration) {
 mod imp {
     use std::time::Duration;
 
+    /// Kernel `USER_HZ`: the unit of the `utime`/`stime` fields. Fixed
+    /// at 100 on every Linux ABI regardless of the scheduler tick.
+    const USER_HZ: u64 = 100;
+
     pub fn process_cpu_time() -> Duration {
-        // SAFETY: getrusage only writes into the zeroed struct we pass.
-        let mut usage: libc::rusage = unsafe { std::mem::zeroed() };
-        let rc = unsafe { libc::getrusage(libc::RUSAGE_SELF, &mut usage) };
-        if rc != 0 {
-            return Duration::ZERO;
+        parse_stat(&std::fs::read_to_string("/proc/self/stat").unwrap_or_default())
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Extract `utime + stime` (fields 14 and 15) from a
+    /// `/proc/<pid>/stat` line. The comm field (2) may contain spaces
+    /// and parentheses, so fields are counted from the *last* `)`.
+    fn parse_stat(stat: &str) -> Option<Duration> {
+        let rest = &stat[stat.rfind(')')? + 1..];
+        let mut fields = rest.split_ascii_whitespace();
+        // `rest` starts at field 3 (state); utime/stime are fields 14/15.
+        let utime: u64 = fields.nth(11)?.parse().ok()?;
+        let stime: u64 = fields.next()?.parse().ok()?;
+        let ticks = utime + stime;
+        Some(Duration::from_nanos(ticks * (1_000_000_000 / USER_HZ)))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn parses_stat_with_hostile_comm() {
+            // comm contains spaces and a ')': fields must be counted
+            // from the last close-paren.
+            let line = "1234 (a b) c) R 1 1 1 0 -1 4194560 100 0 0 0 \
+                        250 50 0 0 20 0 1 0 100 1000000 100";
+            let d = parse_stat(line).unwrap();
+            // (250 + 50) ticks at 100 Hz = 3 s.
+            assert_eq!(d, Duration::from_secs(3));
         }
-        let tv = |t: libc::timeval| {
-            Duration::new(t.tv_sec as u64, (t.tv_usec as u32) * 1000)
-        };
-        tv(usage.ru_utime) + tv(usage.ru_stime)
+
+        #[test]
+        fn own_stat_parses() {
+            assert!(parse_stat(
+                &std::fs::read_to_string("/proc/self/stat").unwrap()
+            )
+            .is_some());
+        }
     }
 }
 

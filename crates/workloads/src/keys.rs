@@ -3,8 +3,7 @@
 //! §4.1 draws insert keys from a normal distribution; §4.5.1 uses 20-bit
 //! (and 7-bit) uniform keys; Table 1 needs N *distinct* random keys.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use fault::DetRng;
 
 /// A seeded stream of priorities.
 #[derive(Clone)]
@@ -36,14 +35,14 @@ pub enum KeyDist {
 /// A stateful generator of keys from a [`KeyDist`].
 pub struct KeyStream {
     dist: KeyDist,
-    rng: ChaCha8Rng,
+    rng: DetRng,
     counter: u64,
 }
 
 impl KeyStream {
     /// Create a stream; distinct seeds give independent streams.
     pub fn new(dist: KeyDist, seed: u64) -> Self {
-        Self { dist, rng: ChaCha8Rng::seed_from_u64(seed), counter: 0 }
+        Self { dist, rng: DetRng::seed_from_u64(seed), counter: 0 }
     }
 
     /// Next key.
@@ -57,7 +56,7 @@ impl KeyStream {
             KeyDist::Normal { mean, std_dev } => {
                 // Box–Muller.
                 let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
-                let u2: f64 = self.rng.random();
+                let u2: f64 = self.rng.random::<f64>();
                 let z = (-2.0 * u1.ln()).sqrt()
                     * (2.0 * std::f64::consts::PI * u2).cos();
                 (mean + std_dev * z).max(0.0).round() as u64
@@ -71,11 +70,11 @@ impl KeyStream {
 /// `n` *distinct* uniformly random keys (Table 1 initializes queues
 /// "with 1K and 64K randomly generated keys without duplicates").
 pub fn distinct_keys(n: usize, seed: u64) -> Vec<u64> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut set = std::collections::HashSet::with_capacity(n * 2);
     let mut keys = Vec::with_capacity(n);
     while keys.len() < n {
-        let k: u64 = rng.random();
+        let k: u64 = rng.random::<u64>();
         if set.insert(k) {
             keys.push(k);
         }

@@ -8,9 +8,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use fault::DetRng;
 use pq_traits::ConcurrentPriorityQueue;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 use crate::keys::{KeyDist, KeyStream};
 
@@ -93,7 +92,7 @@ pub fn run_mixed<Q: ConcurrentPriorityQueue<u64> + Sync>(
             scope.spawn(move || {
                 let mut keys =
                     KeyStream::new(cfg.keys.clone(), cfg.seed + t as u64 + 1);
-                let mut coin = ChaCha8Rng::seed_from_u64(cfg.seed ^ (t as u64) << 32);
+                let mut coin = DetRng::seed_from_u64(cfg.seed ^ (t as u64) << 32);
                 let mut local = (0u64, 0u64, 0u64);
                 for _ in 0..per_thread {
                     if coin.random_range(0..100u32) < cfg.insert_pct {

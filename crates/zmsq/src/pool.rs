@@ -15,6 +15,18 @@
 //! * **Hazard** — each refill publishes a fresh buffer and retires the old
 //!   one into an [`smr::Domain`]; consumers protect the buffer pointer.
 //! * **Leak** — fresh buffer per refill, old ones leaked ("ZMSQ (leak)").
+//!
+//! # Fault injection (`--features fault-inject`)
+//!
+//! * `pool.claim-delay` — fires between a claimant's unique `fetch_sub`
+//!   on `next` and its read of the slot value, stretching exactly the
+//!   window the ConsumerWait refiller's lagging-consumer wait exists to
+//!   cover (Listing 2 line 8). With that wait removed, a delayed
+//!   claimant races the next generation's `fill` and reads torn state —
+//!   the chaos suite's mutation target.
+//! * `pool.refill-delay` — fires between the refiller writing the slots
+//!   and publishing them via the `next` store, widening the window in
+//!   which consumers see an exhausted pool that is about to be refilled.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -22,7 +34,7 @@ use std::sync::atomic::{
     AtomicIsize, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering,
 };
 
-use crossbeam_utils::CachePadded;
+use zmsq_sync::CachePadded;
 
 const SLOT_EMPTY: u8 = 0;
 const SLOT_FULL: u8 = 1;
@@ -100,6 +112,9 @@ impl<V: Send> PoolBuf<V> {
         if idx < 0 {
             return None;
         }
+        // Chaos: a lagging consumer — claimed its index but has not yet
+        // read the value. Safe only because the refiller waits for us.
+        fault::fail_point!("pool.claim-delay");
         let slot = &self.slots[idx as usize];
         debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_FULL);
         // SAFETY: index `idx` was claimed by exactly this thread (fetch_sub
@@ -136,6 +151,8 @@ impl<V: Send> PoolBuf<V> {
                 .compare_exchange_weak(idx, idx - 1, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                // Chaos: same lagging-consumer window as try_claim.
+                fault::fail_point!("pool.claim-delay");
                 let slot = &self.slots[idx as usize];
                 debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_FULL);
                 // SAFETY: the successful CAS uniquely claimed index `idx`
@@ -260,6 +277,8 @@ impl<V: Send> PoolBuf<V> {
             unsafe { (*slot.value.get()).write(item) };
             slot.state.store(SLOT_FULL, Ordering::Relaxed);
         }
+        // Chaos: hold the filled-but-unpublished state open.
+        fault::fail_point!("pool.refill-delay");
         // Release publish: claimants' acquire fetch_sub sees the slots.
         self.next.store(n as isize - 1, Ordering::Release);
     }
@@ -755,5 +774,26 @@ mod tests {
         assert!(matches!(pool, Pool::Disabled));
         assert_eq!(pool.try_claim(), None);
         assert!(!pool.has_items_locked());
+    }
+
+    /// With claim-delay injected, consumers linger inside the
+    /// claimed-but-unread window while the refiller is already spinning
+    /// in `wait_for_consumers` — conservation must still hold, which is
+    /// exactly what that wait guarantees (and what the chaos suite's
+    /// mutation check removes to prove the test can fail).
+    #[test]
+    #[cfg(feature = "fault-inject")]
+    fn injected_claim_delay_is_covered_by_consumer_wait() {
+        let _x = fault::exclusive();
+        fault::reset();
+        fault::set_seed(0xC1A1_4DE1);
+        fault::configure(
+            "pool.claim-delay",
+            fault::Policy::new(fault::Trigger::Prob(0.25))
+                .with_action(fault::Action::SleepMs(1)),
+        );
+        exercise_concurrent(Reclamation::ConsumerWait);
+        assert!(fault::hit_count("pool.claim-delay") > 0, "failpoint never fired");
+        fault::reset();
     }
 }

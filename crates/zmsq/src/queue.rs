@@ -21,6 +21,37 @@
 //! keeps pulling a nonempty child's set upward into an emptied node until
 //! the empty set rests above empty children. Hence, under the root lock,
 //! `root.count == 0` plus an exhausted pool proves the queue empty.
+//!
+//! # Panic safety
+//!
+//! A panic while holding a `TNode` lock would classically wedge the tree:
+//! every later operation touching that node spins forever. Two scope
+//! guards harden the locked windows:
+//!
+//! * [`UnwindUnlock`] — for insertion windows, where partial mutations
+//!   are always repairable per node (elements are only ever *added*,
+//!   under a bound validated against the locked parent). On unwind it
+//!   recomputes each held node's cached `max`/`min`/`count` from its set
+//!   and releases the lock, so the tree stays fully usable. The
+//!   in-flight element is dropped by the unwind — lost to the panic, as
+//!   any panicking call loses its arguments — but nothing already in the
+//!   queue is affected.
+//! * [`AbortOnUnwind`] — for multi-node critical sections (swap-down,
+//!   split, the root-extraction refill), whose mid-window states can
+//!   violate cross-node invariants (mound property, emptiness chain)
+//!   that no local cleanup can restore. A panic there escalates to
+//!   `abort`: a loud crash beats a silently corrupt or wedged queue.
+//!
+//! # Fault injection (`--features fault-inject`)
+//!
+//! * `queue.insert.locked-panic` — fires inside the node-locked windows
+//!   of `regular_insert`, `forced_insert` and `bulk_insert_at`, after
+//!   validation and before mutation. With `Action::Panic` it proves
+//!   [`UnwindUnlock`] releases the locks: the queue must remain fully
+//!   operational afterwards.
+//! * `queue.extract.locked-panic` — fires under the root lock, after
+//!   the emptiness/threshold checks and before any mutation. A panic
+//!   here must release the root and lose nothing.
 
 use std::cell::UnsafeCell;
 
@@ -72,6 +103,72 @@ enum RootOutcome<V> {
     /// Conditional extraction only: the global max is below the threshold.
     Below,
     Retry,
+}
+
+/// Unwind guard for insertion windows (see the module docs on panic
+/// safety): while armed, a panic refreshes each held node's cache from
+/// its set and releases its lock instead of wedging the tree.
+///
+/// Slots must be cleared (via [`UnwindUnlock::release`]) the moment a
+/// lock is released normally or its ownership moves to a callee —
+/// otherwise an unwind would unlock a lock this window no longer holds.
+struct UnwindUnlock<'a, V: Send, S: NodeSet<V>, L: RawTryLock> {
+    nodes: [Option<&'a TNode<V, S, L>>; 2],
+}
+
+impl<'a, V: Send, S: NodeSet<V>, L: RawTryLock> UnwindUnlock<'a, V, S, L> {
+    fn one(node: &'a TNode<V, S, L>) -> Self {
+        Self { nodes: [Some(node), None] }
+    }
+
+    fn two(node: &'a TNode<V, S, L>, parent: &'a TNode<V, S, L>) -> Self {
+        Self { nodes: [Some(node), Some(parent)] }
+    }
+
+    /// Stop covering `node`: its lock was (or is about to be) released
+    /// through the normal path, or a callee now owns it.
+    fn release(&mut self, node: &TNode<V, S, L>) {
+        for slot in &mut self.nodes {
+            if slot.is_some_and(|n| std::ptr::eq(n, node)) {
+                *slot = None;
+            }
+        }
+    }
+}
+
+impl<V: Send, S: NodeSet<V>, L: RawTryLock> Drop for UnwindUnlock<'_, V, S, L> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        for node in self.nodes.into_iter().flatten() {
+            // SAFETY: an armed slot means this thread still holds the
+            // node's lock. The set itself is in a valid (if partially
+            // mutated) state — std containers stay valid across a
+            // panicking insert — so recomputing the cache restores every
+            // per-node invariant before the lock is released.
+            unsafe { node.refresh_cache() };
+            node.unlock();
+        }
+    }
+}
+
+/// Escalates a panic inside a multi-node critical section to an abort.
+/// Mid-window states there can violate cross-node invariants (mound
+/// property, emptiness chain) that no local cleanup can restore.
+struct AbortOnUnwind(&'static str);
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "fatal: panic inside zmsq critical section `{}`; \
+                 aborting rather than leaving a corrupt queue",
+                self.0
+            );
+            std::process::abort();
+        }
+    }
 }
 
 /// Distribution of set sizes over nonempty non-leaf nodes (§3.2's
@@ -270,6 +367,8 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             }
             parent.unlock();
         }
+        let mut unwind = UnwindUnlock::one(node);
+        fault::fail_point!("queue.insert.locked-panic");
         // SAFETY: node locked.
         unsafe {
             let set = node.set_mut();
@@ -278,6 +377,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             }
             node.refresh_cache();
         }
+        unwind.release(node); // finish_insert owns the lock now
         self.finish_insert(pos, node);
         true
     }
@@ -353,6 +453,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         if !self.acquire(node) {
             return Err(value);
         }
+        let mut unwind = UnwindUnlock::one(node);
         // Re-validate: still nonempty, still under-full, still not a max.
         // Listing 1 line 39 fails only when `count > targetLen`, so a
         // node at exactly targetLen still accepts (filling to target+1).
@@ -363,11 +464,13 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             node.unlock();
             return Err(value);
         }
+        fault::fail_point!("queue.insert.locked-panic");
         // SAFETY: lock held.
         unsafe {
             node.set_mut().insert(prio, value);
             node.cache_after_insert(prio);
         }
+        unwind.release(node);
         node.unlock();
         self.stats.forced_inserts.incr();
         Ok(())
@@ -384,15 +487,18 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             if !self.acquire(node) {
                 return Err(value);
             }
+            let mut unwind = UnwindUnlock::one(node);
             if node.count() > 0 && node.max_key() > Some(prio) {
                 node.unlock();
                 return Err(value);
             }
+            fault::fail_point!("queue.insert.locked-panic");
             // SAFETY: lock held.
             unsafe {
                 node.set_mut().insert(prio, value);
                 node.cache_after_insert(prio);
             }
+            unwind.release(node); // finish_insert owns the lock now
             self.finish_insert(pos, node);
             return Ok(());
         }
@@ -407,6 +513,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             parent.unlock();
             return Err(value);
         }
+        let mut unwind = UnwindUnlock::two(node, parent);
         // Validate the optimistic placement: prio becomes node's max and
         // stays below the parent's max (which also proves the parent is
         // nonempty, preserving the emptiness chain).
@@ -417,6 +524,8 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             parent.unlock();
             return Err(value);
         }
+
+        fault::fail_point!("queue.insert.locked-panic");
 
         // Quality optimization (§3.2, Fig. 1): if the parent's min is
         // below prio, putting prio in the *parent* and demoting the
@@ -434,7 +543,9 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 node.refresh_cache();
             }
             self.stats.min_swap_inserts.incr();
+            unwind.release(parent);
             parent.unlock();
+            unwind.release(node); // finish_insert owns the lock now
             self.finish_insert(pos, node);
             return Ok(());
         }
@@ -445,7 +556,9 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             node.set_mut().insert(prio, value);
             node.cache_after_insert(prio);
         }
+        unwind.release(parent);
         parent.unlock();
+        unwind.release(node); // finish_insert owns the lock now
         self.finish_insert(pos, node);
         Ok(())
     }
@@ -467,6 +580,9 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     ///
     /// Precondition: the node at `pos` is locked; this call unlocks it.
     fn split_down(&self, pos: Pos) {
+        // A panic mid-split leaves demoted elements split across parent
+        // and children with stale caches on several nodes — abort.
+        let _critical = AbortOnUnwind("split_down");
         let node = self.tree.node(pos);
         if node.count() <= 2 * self.cfg.target_len {
             node.unlock();
@@ -647,6 +763,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             self.stats.trylock_fails.incr();
             return RootOutcome::Retry;
         }
+        let unwind = UnwindUnlock::one(root);
         // Someone may have refilled while we waited for the lock.
         if self.pool.has_items_locked() {
             root.unlock();
@@ -665,6 +782,13 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 return RootOutcome::Below;
             }
         }
+        // The last point where a panic is recoverable by unlocking: no
+        // mutation has happened yet.
+        fault::fail_point!("queue.extract.locked-panic");
+        drop(unwind);
+        // From here to swap_down's return the window spans the root, the
+        // pool and (transitively) children — unrecoverable mid-way.
+        let _critical = AbortOnUnwind("root extraction");
 
         // SAFETY: root locked.
         let best = unsafe { root.set_mut().remove_max().expect("count > 0") };
@@ -691,6 +815,9 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// moundify, §2.2/§3.4). Precondition: node at `pos` locked; unlocks
     /// everything before returning.
     fn swap_down(&self, pos: Pos) {
+        // A panic mid-swap can strand a nonempty child under an emptied
+        // parent (breaking the emptiness chain) — abort.
+        let _critical = AbortOnUnwind("swap_down");
         let mut pos = pos;
         loop {
             let node = self.tree.node(pos);
@@ -1477,5 +1604,106 @@ mod tests {
             }
         }
         assert!(below_median < 50, "{below_median} / 1000 extractions below median");
+    }
+
+    /// A panic injected while an insert holds TNode locks must release
+    /// them (via [`UnwindUnlock`]) — the queue stays fully operational
+    /// and only the in-flight element is lost.
+    #[test]
+    #[cfg(feature = "fault-inject")]
+    fn injected_insert_panic_releases_locks() {
+        let _x = fault::exclusive();
+        fault::reset();
+        fault::set_seed(0xBAD_1257);
+        let q = ListQ::with_config(ZmsqConfig::default().batch(4).target_len(8));
+        for i in 0..100u64 {
+            q.insert(i, i);
+        }
+        fault::configure(
+            "queue.insert.locked-panic",
+            fault::Policy::new(fault::Trigger::Once)
+                .with_action(fault::Action::Panic("injected")),
+        );
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.insert(1000, 1000);
+        }));
+        assert!(r.is_err(), "failpoint should have panicked the insert");
+        assert_eq!(fault::hit_count("queue.insert.locked-panic"), 1);
+        fault::reset();
+        // The panicking insert lost its element but nothing else; locks
+        // are free so both inserts and a full drain complete.
+        for i in 0..100u64 {
+            q.insert(i + 200, i);
+        }
+        let mut q = q;
+        q.validate_invariants().unwrap();
+        assert_eq!(q.drain_count(), 200);
+    }
+
+    /// A panic injected under the root lock during extraction fires
+    /// *before* any mutation, so nothing is lost: the guard unlocks the
+    /// root and every element remains extractable.
+    #[test]
+    #[cfg(feature = "fault-inject")]
+    fn injected_extract_panic_loses_nothing() {
+        let _x = fault::exclusive();
+        fault::reset();
+        fault::set_seed(0xBADE_A7);
+        let q = ListQ::with_config(ZmsqConfig::default().batch(4).target_len(8));
+        let n = 500u64;
+        for i in 0..n {
+            q.insert(i, i);
+        }
+        fault::configure(
+            "queue.extract.locked-panic",
+            fault::Policy::new(fault::Trigger::Once)
+                .with_action(fault::Action::Panic("injected")),
+        );
+        let mut panicked = 0u32;
+        let mut drained = 0u64;
+        // Keep extracting through the injected panic; pool-served hits
+        // don't touch the root, so retry until the failpoint fires.
+        while drained < n {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.extract_max())) {
+                Ok(Some(_)) => drained += 1,
+                Ok(None) => break,
+                Err(_) => panicked += 1,
+            }
+        }
+        // hit_count counts evaluations (one per root refill); Once fires
+        // exactly one of them as a panic.
+        assert!(fault::hit_count("queue.extract.locked-panic") >= 1);
+        assert_eq!(panicked, 1, "Once trigger fires exactly one panic");
+        assert_eq!(drained, n, "extraction panic must not lose elements");
+        fault::reset();
+    }
+
+    /// Regression: `extract_max_timeout` must charge spurious wakeups
+    /// against the *original* deadline, not restart the full timeout on
+    /// every `Woken`. With every futex wait returning spuriously, a
+    /// restarting implementation would never time out.
+    #[test]
+    #[cfg(feature = "fault-inject")]
+    fn timeout_deadline_survives_spurious_wakeups() {
+        let _x = fault::exclusive();
+        fault::reset();
+        fault::set_seed(0x713E_0417);
+        fault::configure(
+            "futex.spurious-wake",
+            fault::Policy::new(fault::Trigger::Always),
+        );
+        let q = ListQ::with_config(ZmsqConfig::default().blocking(true));
+        let timeout = std::time::Duration::from_millis(50);
+        let start = std::time::Instant::now();
+        let got = q.extract_max_timeout(timeout);
+        let elapsed = start.elapsed();
+        assert!(fault::hit_count("futex.spurious-wake") > 0, "failpoint off-path");
+        fault::reset();
+        assert_eq!(got, None);
+        assert!(elapsed >= timeout, "returned before the deadline: {elapsed:?}");
+        assert!(
+            elapsed < timeout * 20,
+            "deadline restarted under spurious wakeups: {elapsed:?}"
+        );
     }
 }

@@ -71,7 +71,6 @@ pub trait NodeSet<V>: Default + Send {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     /// Exercise any NodeSet implementation against the invariants above.
     fn exercise_basic<S: NodeSet<u64>>() {
@@ -238,14 +237,21 @@ pub(crate) mod tests {
         Split,
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            3 => (0u64..100).prop_map(Op::Insert),
-            2 => Just(Op::RemoveMax),
-            1 => Just(Op::RemoveMin),
-            1 => (0u8..10).prop_map(Op::DrainTop),
-            1 => Just(Op::Split),
-        ]
+    /// Weighted op distribution: 3 insert : 2 remove-max : 1 remove-min
+    /// : 1 drain-top : 1 split.
+    fn random_op(rng: &mut fault::DetRng) -> Op {
+        match rng.random_range(0u32..8) {
+            0..=2 => Op::Insert(rng.random_range(0u64..100)),
+            3..=4 => Op::RemoveMax,
+            5 => Op::RemoveMin,
+            6 => Op::DrainTop(rng.random_range(0u32..10) as u8),
+            _ => Op::Split,
+        }
+    }
+
+    fn random_ops(rng: &mut fault::DetRng) -> Vec<Op> {
+        let len = rng.random_range(1usize..120);
+        (0..len).map(|_| random_op(rng)).collect()
     }
 
     fn run_model<S: NodeSet<u64>>(ops: &[Op]) {
@@ -289,22 +295,33 @@ pub(crate) mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
-        #[test]
-        fn list_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-            run_model::<ListSet<u64>>(&ops);
+    /// Seeded randomized model check: 256 cases of 1..120 ops each.
+    /// Failures print the seed and op sequence for exact replay.
+    fn check_against_model<S: NodeSet<u64>>(seed: u64) {
+        let mut rng = fault::DetRng::seed_from_u64(seed);
+        for case in 0..256 {
+            let ops = random_ops(&mut rng);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_model::<S>(&ops);
+            }));
+            if let Err(e) = result {
+                panic!("seed {seed:#x} case {case} ops {ops:?}: {e:?}");
+            }
         }
+    }
 
-        #[test]
-        fn array_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-            run_model::<ArraySet<u64>>(&ops);
-        }
+    #[test]
+    fn list_matches_model() {
+        check_against_model::<ListSet<u64>>(0x5E7_11D5);
+    }
 
-        #[test]
-        fn deque_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-            run_model::<DequeSet<u64>>(&ops);
-        }
+    #[test]
+    fn array_matches_model() {
+        check_against_model::<ArraySet<u64>>(0x5E7_22D5);
+    }
+
+    #[test]
+    fn deque_matches_model() {
+        check_against_model::<DequeSet<u64>>(0x5E7_33D5);
     }
 }

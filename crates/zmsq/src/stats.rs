@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam_utils::CachePadded;
+use zmsq_sync::CachePadded;
 
 const STRIPES: usize = 16;
 

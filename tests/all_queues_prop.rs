@@ -2,8 +2,7 @@
 //! arbitrary single-threaded op sequences must preserve the multiset of
 //! elements, for strict and relaxed queues alike.
 
-use proptest::prelude::*;
-
+use fault::DetRng;
 use pq_traits::ConcurrentPriorityQueue;
 
 #[derive(Debug, Clone)]
@@ -12,14 +11,18 @@ enum Op {
     Extract,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            3 => (0u64..500).prop_map(Op::Insert),
-            2 => Just(Op::Extract),
-        ],
-        1..200,
-    )
+/// Seeded op sequence: 3 insert : 2 extract, 1..200 ops.
+fn random_ops(rng: &mut DetRng) -> Vec<Op> {
+    let len = rng.random_range(1usize..200);
+    (0..len)
+        .map(|_| {
+            if rng.random_range(0u32..5) < 3 {
+                Op::Insert(rng.random_range(0u64..500))
+            } else {
+                Op::Extract
+            }
+        })
+        .collect()
 }
 
 fn run_conservation<Q: ConcurrentPriorityQueue<u64>>(q: &Q, ops: &[Op], strict: bool) {
@@ -95,52 +98,64 @@ fn run_conservation<Q: ConcurrentPriorityQueue<u64>>(q: &Q, ops: &[Op], strict: 
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn coarse_heap(ops in ops()) {
-        run_conservation(&baselines::CoarseHeap::new(), &ops, true);
+/// Run 32 seeded cases against a queue factory, reporting the case
+/// index (and therefore the replayable subsequence) on failure.
+fn check<Q: ConcurrentPriorityQueue<u64>>(seed: u64, strict: bool, make: impl Fn() -> Q) {
+    let mut rng = DetRng::seed_from_u64(seed);
+    for case in 0..32 {
+        let ops = random_ops(&mut rng);
+        let q = make();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_conservation(&q, &ops, strict);
+        }));
+        if let Err(e) = r {
+            panic!("seed {seed:#x} case {case} ops {ops:?}: {e:?}");
+        }
     }
+}
 
-    #[test]
-    fn mound(ops in ops()) {
-        run_conservation(&baselines::Mound::new(), &ops, true);
-    }
+#[test]
+fn coarse_heap() {
+    check(0xA11_0001, true, baselines::CoarseHeap::new);
+}
 
-    #[test]
-    fn skiplist_strict(ops in ops()) {
-        run_conservation(&baselines::StrictSkiplistPq::new(), &ops, true);
-    }
+#[test]
+fn mound() {
+    check(0xA11_0002, true, baselines::Mound::new);
+}
 
-    #[test]
-    fn spraylist(ops in ops()) {
-        run_conservation(&baselines::SprayList::new(8), &ops, false);
-    }
+#[test]
+fn skiplist_strict() {
+    check(0xA11_0003, true, baselines::StrictSkiplistPq::new);
+}
 
-    #[test]
-    fn multiqueue(ops in ops()) {
-        run_conservation(&baselines::MultiQueue::new(4, 2), &ops, false);
-    }
+#[test]
+fn spraylist() {
+    check(0xA11_0004, false, || baselines::SprayList::new(8));
+}
 
-    #[test]
-    fn klsm_single_thread(ops in ops()) {
-        // Single-threaded, the k-LSM sees its own local + global: no
-        // invisible elements, so conservation holds.
-        run_conservation(&baselines::KLsm::new(16), &ops, false);
-    }
+#[test]
+fn multiqueue() {
+    check(0xA11_0005, false, || baselines::MultiQueue::new(4, 2));
+}
 
-    #[test]
-    fn zmsq_relaxed(ops in ops()) {
-        let q: zmsq::Zmsq<u64> = zmsq::Zmsq::with_config(
-            zmsq::ZmsqConfig::default().batch(4).target_len(6),
-        );
-        run_conservation(&q, &ops, false);
-    }
+#[test]
+fn klsm_single_thread() {
+    // Single-threaded, the k-LSM sees its own local + global: no
+    // invisible elements, so conservation holds.
+    check(0xA11_0006, false, || baselines::KLsm::new(16));
+}
 
-    #[test]
-    fn zmsq_strict(ops in ops()) {
-        let q: zmsq::Zmsq<u64> = zmsq::Zmsq::with_config(zmsq::ZmsqConfig::strict());
-        run_conservation(&q, &ops, true);
-    }
+#[test]
+fn zmsq_relaxed() {
+    check(0xA11_0007, false, || {
+        zmsq::Zmsq::<u64>::with_config(zmsq::ZmsqConfig::default().batch(4).target_len(6))
+    });
+}
+
+#[test]
+fn zmsq_strict() {
+    check(0xA11_0008, true, || {
+        zmsq::Zmsq::<u64>::with_config(zmsq::ZmsqConfig::strict())
+    });
 }

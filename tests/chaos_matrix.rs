@@ -1,0 +1,378 @@
+//! Chaos matrix: the repo's core invariants re-verified under seeded
+//! fault schedules (`--features fault-inject`).
+//!
+//! Each test arms a set of failpoints (see DESIGN.md, "Fault model &
+//! injection points"), then re-runs an invariant the plain test suite
+//! already checks on clean executions:
+//!
+//! * **conservation** — every inserted element is extracted exactly
+//!   once (XOR + sum checksums), under stretched pool windows, spurious
+//!   trylock failures and forced SMR retries;
+//! * **emptiness guarantee** — `extract_max` never returns `None` while
+//!   the queue provably holds an element;
+//! * **blocking liveness** — parked consumers always finish under
+//!   spurious wakeups and pre-park delays;
+//! * **panic recovery** — injected panics inside locked windows leave
+//!   the tree usable (insert) or lose nothing (extract);
+//! * **timeout regression** — `extract_max_timeout` charges spurious
+//!   wakeups against the original deadline.
+//!
+//! The schedule seed defaults to a fixed matrix value and can be
+//! overridden with `CHAOS_SEED=<decimal or 0xhex>` — CI sweeps a small
+//! fixed set of seeds; a failure message always includes the seed so any
+//! run is replayable.
+//!
+//! The conservation test doubles as the suite's mutation check: comment
+//! out the refiller's `wait_for_consumers` call in `zmsq::pool` and
+//! `conservation_consumer_wait_under_claim_delay` fails deterministically
+//! (the stretched claim window races the next refill).
+
+#![cfg(feature = "fault-inject")]
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+use fault::{Action, Policy, Trigger};
+use pq_traits::ConcurrentPriorityQueue;
+use zmsq::{Reclamation, Zmsq, ZmsqConfig};
+
+/// Base seed for every schedule; override with `CHAOS_SEED`.
+fn chaos_seed() -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                s.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("unparseable CHAOS_SEED `{s}`"))
+        }
+        Err(_) => 0xC4A0_5EED,
+    }
+}
+
+/// XOR+sum conservation under concurrent producers/consumers: the
+/// fundamental safety property, immune to reordering by construction.
+fn run_conservation(q: &(impl ConcurrentPriorityQueue<u64> + Sync), per_thread: u64) {
+    const PRODUCERS: u64 = 2;
+    const CONSUMERS: u64 = 2;
+    let inserted_xor = AtomicU64::new(0);
+    let inserted_sum = AtomicU64::new(0);
+    let extracted_xor = AtomicU64::new(0);
+    let extracted_sum = AtomicU64::new(0);
+    let extracted_n = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let (xor, sum) = (&inserted_xor, &inserted_sum);
+            s.spawn(move || {
+                let mut x = 0x1234_5678 + p;
+                let mut lx = 0u64;
+                let mut ls = 0u64;
+                for _ in 0..per_thread {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    q.insert(x % 65_536, x);
+                    lx ^= x;
+                    ls = ls.wrapping_add(x);
+                }
+                xor.fetch_xor(lx, Ordering::Relaxed);
+                sum.fetch_add(ls, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..CONSUMERS {
+            let (xor, sum, n) = (&extracted_xor, &extracted_sum, &extracted_n);
+            s.spawn(move || {
+                let mut lx = 0u64;
+                let mut ls = 0u64;
+                let mut ln = 0u64;
+                let budget = per_thread * PRODUCERS / CONSUMERS / 2;
+                let mut misses = 0u64;
+                while ln < budget && misses < 1_000_000 {
+                    match q.extract_max() {
+                        Some((_, v)) => {
+                            lx ^= v;
+                            ls = ls.wrapping_add(v);
+                            ln += 1;
+                        }
+                        None => misses += 1,
+                    }
+                }
+                xor.fetch_xor(lx, Ordering::Relaxed);
+                sum.fetch_add(ls, Ordering::Relaxed);
+                n.fetch_add(ln, Ordering::Relaxed);
+            });
+        }
+    });
+    // Drain the remainder single-threaded.
+    while let Some((_, v)) = q.extract_max() {
+        extracted_xor.fetch_xor(v, Ordering::Relaxed);
+        extracted_sum.fetch_add(v, Ordering::Relaxed);
+        extracted_n.fetch_add(1, Ordering::Relaxed);
+    }
+    assert_eq!(
+        extracted_n.load(Ordering::Relaxed),
+        per_thread * PRODUCERS,
+        "element count not conserved"
+    );
+    assert_eq!(
+        extracted_xor.load(Ordering::Relaxed),
+        inserted_xor.load(Ordering::Relaxed),
+        "XOR checksum mismatch: elements lost or duplicated"
+    );
+    assert_eq!(
+        extracted_sum.load(Ordering::Relaxed),
+        inserted_sum.load(Ordering::Relaxed),
+        "sum checksum mismatch: elements lost or duplicated"
+    );
+}
+
+/// The mutation-check test: ConsumerWait reclamation with the
+/// claimed-but-unread window stretched by `pool.claim-delay`. Only the
+/// refiller's `wait_for_consumers` makes this safe — remove it and the
+/// refill overwrites slots a sleeping claimant has yet to read.
+#[test]
+fn conservation_consumer_wait_under_claim_delay() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x01);
+    fault::configure(
+        "pool.claim-delay",
+        Policy::new(Trigger::Prob(0.2)).with_action(Action::SleepMs(1)),
+    );
+    fault::configure("pool.refill-delay", Policy::new(Trigger::Prob(0.3)).with_action(Action::Yield));
+    let q: Zmsq<u64> = Zmsq::with_config(
+        ZmsqConfig::default()
+            .batch(8)
+            .target_len(12)
+            .reclamation(Reclamation::ConsumerWait),
+    );
+    run_conservation(&q, 3_000);
+    assert!(
+        fault::hit_count("pool.claim-delay") > 0,
+        "seed {seed:#x}: claim-delay failpoint never evaluated"
+    );
+    fault::reset();
+}
+
+/// Conservation for the hazard-pointer (default) and leak reclamation
+/// modes under spurious trylock failures, forced SMR protect retries and
+/// stretched pool windows.
+#[test]
+fn conservation_hazard_and_leak_under_faults() {
+    let _x = fault::exclusive();
+    let seed = chaos_seed();
+    for (tag, reclamation) in [(0x02u64, Reclamation::Hazard), (0x03, Reclamation::Leak)] {
+        fault::reset();
+        fault::set_seed(seed ^ tag);
+        fault::configure("trylock.spurious-fail", Policy::new(Trigger::Prob(0.05)));
+        fault::configure("smr.protect-retry", Policy::new(Trigger::Prob(0.2)));
+        fault::configure(
+            "pool.claim-delay",
+            Policy::new(Trigger::Prob(0.05)).with_action(Action::Yield),
+        );
+        let q: Zmsq<u64> = Zmsq::with_config(
+            ZmsqConfig::default().batch(8).target_len(12).reclamation(reclamation),
+        );
+        run_conservation(&q, 3_000);
+        fault::reset();
+    }
+}
+
+/// Emptiness guarantee (§3.7) under faults: a credit claimed after a
+/// completed insert proves the queue is nonempty, so `extract_max` must
+/// return `Some` on the first call — even with trylock failures and
+/// stretched pool windows injected.
+#[test]
+fn emptiness_guarantee_under_faults() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x04);
+    fault::configure("trylock.spurious-fail", Policy::new(Trigger::Prob(0.05)));
+    fault::configure(
+        "pool.claim-delay",
+        Policy::new(Trigger::Prob(0.1)).with_action(Action::Yield),
+    );
+    fault::configure(
+        "pool.refill-delay",
+        Policy::new(Trigger::Prob(0.1)).with_action(Action::Yield),
+    );
+
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 4;
+    const TOTAL: i64 = 20_000;
+    let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(8).target_len(12));
+    let credits = AtomicI64::new(0);
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let q = &q;
+            let credits = &credits;
+            s.spawn(move || {
+                let share = TOTAL / PRODUCERS as i64;
+                let mut x = 0xACE0 + p as u64;
+                for _ in 0..share {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    q.insert(x % 65_536, x);
+                    // Credit only after the insert completed.
+                    credits.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        for _ in 0..CONSUMERS {
+            let q = &q;
+            let credits = &credits;
+            s.spawn(move || loop {
+                let c = credits.fetch_sub(1, Ordering::SeqCst);
+                if c <= 0 {
+                    credits.fetch_add(1, Ordering::SeqCst);
+                    if c <= -(TOTAL * 2) {
+                        return; // producers done, queue drained
+                    }
+                    let done = credits.load(Ordering::SeqCst) <= 0;
+                    std::thread::yield_now();
+                    if done && q.len_hint() == 0 {
+                        return;
+                    }
+                    continue;
+                }
+                assert!(
+                    q.extract_max().is_some(),
+                    "emptiness guarantee violated: None with a claimed credit"
+                );
+            });
+        }
+    });
+    fault::reset();
+}
+
+/// Blocking liveness (§3.6) under spurious wakeups and pre-park delays:
+/// every handoff completes and `close()` releases the consumer.
+#[test]
+fn blocking_liveness_under_faults() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x05);
+    fault::configure("futex.spurious-wake", Policy::new(Trigger::Prob(0.3)));
+    fault::configure(
+        "event.pre-park-delay",
+        Policy::new(Trigger::Prob(0.05)).with_action(Action::SleepMs(1)),
+    );
+
+    const ROUNDS: u64 = 1_000;
+    let q: Zmsq<u64> = Zmsq::with_config(
+        ZmsqConfig::default().batch(4).target_len(8).blocking(true),
+    );
+    let got = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let q2 = &q;
+        let got = &got;
+        let consumer = s.spawn(move || {
+            let mut n = 0u64;
+            while q2.extract_max_blocking().is_some() {
+                n += 1;
+                got.fetch_add(1, Ordering::SeqCst);
+            }
+            n
+        });
+        for i in 0..ROUNDS {
+            q.insert(i % 128, i);
+            if i % 64 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        while got.load(Ordering::SeqCst) < ROUNDS {
+            std::thread::yield_now();
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), ROUNDS);
+    });
+    assert!(fault::hit_count("futex.spurious-wake") > 0, "spurious-wake off-path");
+    fault::reset();
+}
+
+/// Panic recovery: periodic injected panics inside insert's locked
+/// window must only ever lose the in-flight element — the queue stays
+/// operational and everything else drains out.
+#[test]
+fn insert_panic_recovery_under_faults() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x06);
+    fault::configure(
+        "queue.insert.locked-panic",
+        Policy::new(Trigger::EveryNth(97)).with_action(Action::Panic("chaos")),
+    );
+    let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(4).target_len(6));
+    const N: u64 = 5_000;
+    let mut lost = 0u64;
+    for i in 0..N {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.insert(i % 512, i);
+        }));
+        if r.is_err() {
+            lost += 1;
+        }
+    }
+    assert!(lost > 0, "seed: panic failpoint never fired");
+    fault::reset();
+    let mut q = q;
+    q.validate_invariants().expect("tree invariants broken after unwinds");
+    assert_eq!(q.drain_count() as u64, N - lost, "conservation modulo lost in-flight");
+}
+
+/// Extraction panics fire before any mutation: nothing is lost across
+/// repeated injected panics, and the drain completes.
+#[test]
+fn extract_panic_recovery_under_faults() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x07);
+    let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(4).target_len(6));
+    const N: u64 = 2_000;
+    for i in 0..N {
+        q.insert(i % 512, i);
+    }
+    fault::configure(
+        "queue.extract.locked-panic",
+        Policy::new(Trigger::EveryNth(41)).with_action(Action::Panic("chaos")),
+    );
+    let mut drained = 0u64;
+    let mut panics = 0u64;
+    loop {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.extract_max())) {
+            Ok(Some(_)) => drained += 1,
+            Ok(None) => break,
+            Err(_) => panics += 1,
+        }
+    }
+    assert!(panics > 0, "panic failpoint never fired");
+    assert_eq!(drained, N, "extraction panics must not lose elements");
+    fault::reset();
+}
+
+/// `extract_max_timeout` must meet its deadline even when every park
+/// returns spuriously (the satellite-2 regression, at matrix scale).
+#[test]
+fn timeout_holds_under_spurious_wake_storm() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x08);
+    fault::configure("futex.spurious-wake", Policy::new(Trigger::Always));
+    let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().blocking(true));
+    let timeout = Duration::from_millis(40);
+    let start = std::time::Instant::now();
+    assert_eq!(q.extract_max_timeout(timeout), None);
+    let elapsed = start.elapsed();
+    fault::reset();
+    assert!(elapsed >= timeout, "returned early: {elapsed:?}");
+    assert!(elapsed < timeout * 25, "deadline restarted: {elapsed:?}");
+}
