@@ -93,6 +93,12 @@ pub struct Mound<V> {
     levels: [AtomicPtr<MNode<V>>; MAX_LEVELS],
     leaf_level: AtomicUsize,
     grow_lock: TatasLock,
+    /// Operation counters behind `ConcurrentPriorityQueue::metrics`.
+    insert_attempts: obs::Counter,
+    inserts: obs::Counter,
+    extracts: obs::Counter,
+    extract_empty: obs::Counter,
+    grows: obs::Counter,
 }
 
 impl<V: Send> Mound<V> {
@@ -102,6 +108,11 @@ impl<V: Send> Mound<V> {
             levels: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
             leaf_level: AtomicUsize::new(4),
             grow_lock: TatasLock::default(),
+            insert_attempts: obs::Counter::new(),
+            inserts: obs::Counter::new(),
+            extracts: obs::Counter::new(),
+            extract_empty: obs::Counter::new(),
+            grows: obs::Counter::new(),
         };
         for level in 0..=4 {
             m.levels[level].store(Self::alloc_level(level), Ordering::Relaxed);
@@ -135,6 +146,7 @@ impl<V: Send> Mound<V> {
         assert!(cur + 1 < MAX_LEVELS, "mound capacity exceeded");
         self.levels[cur + 1].store(Self::alloc_level(cur + 1), Ordering::Release);
         self.leaf_level.store(cur + 1, Ordering::Release);
+        self.grows.incr();
     }
 
     fn rand_slot(n: usize) -> usize {
@@ -215,6 +227,7 @@ impl<V> Drop for Mound<V> {
 impl<V: Send> ConcurrentPriorityQueue<V> for Mound<V> {
     fn insert(&self, prio: u64, value: V) {
         'restart: loop {
+            self.insert_attempts.incr();
             // Pick a random leaf whose head allows prio above it.
             let leaf = self.leaf_level.load(Ordering::Acquire);
             let mut slot = usize::MAX;
@@ -257,6 +270,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for Mound<V> {
                     node.refresh();
                 }
                 node.lock.unlock();
+                self.inserts.incr();
                 return;
             }
 
@@ -282,6 +296,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for Mound<V> {
             }
             node.lock.unlock();
             parent.lock.unlock();
+            self.inserts.incr();
             return;
         }
     }
@@ -307,10 +322,12 @@ impl<V: Send> ConcurrentPriorityQueue<V> for Mound<V> {
                 // Empty root == empty mound (inserts below the root
                 // require a nonempty parent; moundify sinks empties).
                 root.lock.unlock();
+                self.extract_empty.incr();
                 None
             }
             Some(item) => {
                 self.moundify(0, 0); // consumes the root lock
+                self.extracts.incr();
                 Some(item)
             }
         }
@@ -322,6 +339,25 @@ impl<V: Send> ConcurrentPriorityQueue<V> for Mound<V> {
 
     fn is_relaxed(&self) -> bool {
         false // strict: extract_max always returns the true maximum
+    }
+
+    fn metrics(&self) -> Option<obs::Snapshot> {
+        let mut s = obs::Snapshot::new();
+        let attempts = self.insert_attempts.get();
+        let inserts = self.inserts.get();
+        s.push_counter("mound.insert_attempts", attempts);
+        s.push_counter("mound.inserts", inserts);
+        s.push_counter("mound.insert_restarts", attempts.saturating_sub(inserts));
+        s.push_counter("mound.extracts", self.extracts.get());
+        s.push_counter("mound.extract_empty", self.extract_empty.get());
+        s.push_counter("mound.grows", self.grows.get());
+        if attempts > 0 {
+            s.push_ratio(
+                "mound.insert_restart_ratio",
+                attempts.saturating_sub(inserts) as f64 / attempts as f64,
+            );
+        }
+        Some(s)
     }
 }
 

@@ -24,13 +24,23 @@ use crate::skiplist::SkipList;
 pub struct SprayList<V> {
     list: SkipList<V>,
     threads: usize,
+    /// Operation counters behind `ConcurrentPriorityQueue::metrics`.
+    inserts: obs::Counter,
+    extract_attempts: obs::Counter,
+    extracts: obs::Counter,
 }
 
 impl<V: Send> SprayList<V> {
     /// Create a SprayList tuned for `threads` concurrent consumers (the
     /// spray width scales with this, as in the original).
     pub fn new(threads: usize) -> Self {
-        Self { list: SkipList::new(), threads: threads.max(1) }
+        Self {
+            list: SkipList::new(),
+            threads: threads.max(1),
+            inserts: obs::Counter::new(),
+            extract_attempts: obs::Counter::new(),
+            extracts: obs::Counter::new(),
+        }
     }
 
     /// The configured thread count.
@@ -42,11 +52,17 @@ impl<V: Send> SprayList<V> {
 impl<V: Send> ConcurrentPriorityQueue<V> for SprayList<V> {
     fn insert(&self, prio: u64, value: V) {
         self.list.insert(prio, value);
+        self.inserts.incr();
     }
 
     fn extract_max(&self) -> Option<(u64, V)> {
+        self.extract_attempts.incr();
         let guard = &epoch::pin();
-        self.list.spray_claim(self.threads, guard)
+        let got = self.list.spray_claim(self.threads, guard);
+        if got.is_some() {
+            self.extracts.incr();
+        }
+        got
     }
 
     fn name(&self) -> String {
@@ -55,6 +71,25 @@ impl<V: Send> ConcurrentPriorityQueue<V> for SprayList<V> {
 
     fn len_hint(&self) -> usize {
         self.list.len_hint()
+    }
+
+    fn metrics(&self) -> Option<obs::Snapshot> {
+        let mut s = obs::Snapshot::new();
+        let attempts = self.extract_attempts.get();
+        let hits = self.extracts.get();
+        s.push_counter("spray.inserts", self.inserts.get());
+        s.push_counter("spray.extract_attempts", attempts);
+        s.push_counter("spray.extracts", hits);
+        // Spurious-or-empty failures (§3.7): the spray walked off without
+        // claiming. Includes genuinely-empty attempts.
+        s.push_counter("spray.extract_failures", attempts.saturating_sub(hits));
+        if attempts > 0 {
+            s.push_ratio(
+                "spray.extract_failure_ratio",
+                attempts.saturating_sub(hits) as f64 / attempts as f64,
+            );
+        }
+        Some(s)
     }
 }
 

@@ -1,0 +1,81 @@
+//! Single-threaded overhead microbench for the `obs` substrate.
+//!
+//! The observability layer's contract is that always-on recording is
+//! nearly free: one striped-counter `incr` plus one log-linear
+//! histogram `record` per queue operation must cost ≤ 5% of the
+//! operation itself (ISSUE acceptance criterion). This harness measures
+//! a fixed single-threaded insert/extract workload on a default ZMSQ
+//! twice — bare, and with the extra counter+histogram recording — and
+//! reports the marginal overhead. Medians over interleaved trials damp
+//! frequency drift.
+//!
+//! Usage: obs_overhead [--ops N] [--trials T] [--budget PCT] [--assert]
+//!                     [--quick]
+//!
+//! `--assert` exits nonzero when the marginal overhead exceeds the
+//! budget (default 5%); without it the run is report-only.
+
+use std::time::Instant;
+
+use bench::cli::Args;
+use zmsq::{Zmsq, ZmsqConfig};
+
+static COUNTER: obs::Counter = obs::Counter::new();
+static HIST: obs::Histogram = obs::Histogram::new();
+
+/// Run `ops` insert/extract pairs, returning ns per pair.
+fn run_trial(q: &Zmsq<u64>, ops: u64, instrumented: bool) -> f64 {
+    let t = Instant::now();
+    for i in 0..ops {
+        let k = (i.wrapping_mul(2654435761)) % (1 << 20);
+        q.insert(k, i);
+        std::hint::black_box(q.extract_max());
+        if instrumented {
+            COUNTER.incr();
+            HIST.record(k);
+        }
+    }
+    t.elapsed().as_nanos() as f64 / ops as f64
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.get_bool("quick");
+    let ops: u64 = args.get_num("ops", if quick { 150_000 } else { 1_000_000 });
+    let trials: usize = args.get_num("trials", if quick { 5 } else { 9 });
+    let budget: f64 = args.get_num("budget", 5.0);
+
+    let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default());
+    for i in 0..ops / 4 {
+        q.insert((i * 2654435761) % (1 << 20), i);
+    }
+    // Warm both paths (page in the statics, settle the pool).
+    run_trial(&q, ops / 10, false);
+    run_trial(&q, ops / 10, true);
+
+    let (mut bare, mut inst) = (Vec::new(), Vec::new());
+    for _ in 0..trials {
+        bare.push(run_trial(&q, ops, false));
+        inst.push(run_trial(&q, ops, true));
+    }
+    let (bare, inst) = (median(&mut bare), median(&mut inst));
+    let overhead_pct = (inst - bare) / bare * 100.0;
+
+    bench::csv_header(&["variant", "ns_per_pair", "overhead_pct"]);
+    println!("bare,{bare:.1},0.0");
+    println!("counter+hist,{inst:.1},{overhead_pct:.2}");
+    std::hint::black_box((COUNTER.get(), HIST.snapshot().count));
+
+    if args.get_bool("assert") && overhead_pct > budget {
+        eprintln!(
+            "obs overhead {overhead_pct:.2}% exceeds the {budget:.1}% budget \
+             (bare {bare:.1} ns/pair, instrumented {inst:.1} ns/pair)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -5,13 +5,23 @@
 //! `extract_max` latency into a log-bucketed histogram, per queue, under
 //! a mixed workload with a prefilled queue, and prints p50/p99/p99.9.
 //!
+//! With `--metrics [path]` it additionally records the same latencies
+//! into `obs` log-linear histograms, samples each queue's `len_hint`
+//! into a time series, and writes one merged
+//! `results/ops_latency.metrics.json` covering per-queue histograms,
+//! queue-internal counters (`ConcurrentPriorityQueue::metrics`), and
+//! the process-wide sync/SMR substrate counters.
+//!
 //! Usage: ops_latency [--ops N] [--prefill N] [--threads T]
-//!                    [--queues a,b,c] [--quick]
+//!                    [--queues a,b,c] [--quick] [--metrics \[path\]]
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bench::cli::Args;
+use bench::metrics::{argv_line, MetricsOut};
 use bench::queues::make_queue;
+use pq_traits::ConcurrentPriorityQueue;
 use workloads::latency::LatencyHistogram;
 
 fn main() {
@@ -24,23 +34,39 @@ fn main() {
         "queues",
         "zmsq,zmsq-array,zmsq-strict,mound,spraylist,multiqueue,coarse-heap",
     );
+    let metrics = MetricsOut::from_args(&args, "ops_latency");
+    let mut all = obs::Snapshot::new();
 
     bench::csv_header(&[
         "queue", "op", "count", "mean_ns", "p50_ns", "p99_ns", "p999_ns", "max_ns",
     ]);
     for kind in queues_arg.split(',') {
         let kind = kind.trim();
-        let q = make_queue::<u64>(kind, threads);
+        let q: Arc<dyn ConcurrentPriorityQueue<u64> + Send + Sync> =
+            Arc::from(make_queue::<u64>(kind, threads));
         let ins = LatencyHistogram::new();
         let ext = LatencyHistogram::new();
+        let obs_ins = obs::Histogram::new();
+        let obs_ext = obs::Histogram::new();
+        let record_obs = metrics.is_some();
 
         for i in 0..prefill {
             q.insert((i * 2654435761) % (1 << 20), i);
         }
+        let sampler = metrics.as_ref().map(|_| {
+            let qs = Arc::clone(&q);
+            obs::Sampler::start(
+                &format!("{kind}/depth"),
+                Duration::from_millis(5),
+                &["len_hint"],
+                move || vec![qs.len_hint() as f64],
+            )
+        });
         let per_thread = ops / threads as u64;
         std::thread::scope(|s| {
             for t in 0..threads as u64 {
                 let (q, ins, ext) = (&q, &ins, &ext);
+                let (obs_ins, obs_ext) = (&obs_ins, &obs_ext);
                 s.spawn(move || {
                     let mut x = 0x9E37 + t;
                     for i in 0..per_thread {
@@ -50,11 +76,19 @@ fn main() {
                         if i % 2 == 0 {
                             let t0 = Instant::now();
                             q.insert(x % (1 << 20), x);
-                            ins.record(t0.elapsed());
+                            let dt = t0.elapsed();
+                            ins.record(dt);
+                            if record_obs {
+                                obs_ins.record_duration(dt);
+                            }
                         } else {
                             let t0 = Instant::now();
                             let got = q.extract_max();
-                            ext.record(t0.elapsed());
+                            let dt = t0.elapsed();
+                            ext.record(dt);
+                            if record_obs {
+                                obs_ext.record_duration(dt);
+                            }
                             std::hint::black_box(got);
                         }
                     }
@@ -73,6 +107,25 @@ fn main() {
                 h.percentile_ns(0.999),
                 h.max_ns()
             );
+        }
+        if metrics.is_some() {
+            all.push_hist(&format!("{kind}/insert_ns"), &obs_ins);
+            all.push_hist(&format!("{kind}/extract_ns"), &obs_ext);
+            if let Some(qm) = q.metrics() {
+                all.merge_prefixed(&format!("{kind}/"), qm);
+            }
+            if let Some(sam) = sampler {
+                all.push_series(sam.stop());
+            }
+        }
+    }
+
+    if let Some(out) = metrics {
+        all.push_meta("threads", &threads.to_string());
+        all.push_meta("ops_per_queue", &ops.to_string());
+        if let Err(e) = out.write(all, "ops_latency", &argv_line()) {
+            eprintln!("metrics: write failed: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -47,6 +47,14 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// Optional flag: `None` when absent, `Some(value)` when present —
+    /// the bare `--flag` form yields `Some("true")`. Lets a flag like
+    /// `--metrics [path]` distinguish "off", "on with default path",
+    /// and "on with explicit path".
+    pub fn get_opt(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
     /// Boolean flag (present or `--key true`).
     pub fn get_bool(&self, key: &str) -> bool {
         matches!(self.flags.get(key).map(String::as_str), Some("true") | Some("1"))
@@ -88,6 +96,16 @@ mod tests {
         assert_eq!(a.get_num("ops", 77u64), 77);
         assert!(!a.get_bool("quick"));
         assert_eq!(a.get_list("threads", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn get_opt_distinguishes_bare_from_valued() {
+        let a = args("--metrics --ops 10");
+        assert_eq!(a.get_opt("metrics"), Some("true"));
+        assert_eq!(a.get_opt("ops"), Some("10"));
+        assert_eq!(a.get_opt("absent"), None);
+        let b = args("--metrics results/run.json");
+        assert_eq!(b.get_opt("metrics"), Some("results/run.json"));
     }
 
     #[test]

@@ -222,6 +222,9 @@ fn run_one(
         warm_up: criterion.warm_up,
     };
     f(&mut b);
+    if std::env::var_os("OBS_METRICS_JSON").is_some() {
+        record_samples(name, &b.samples);
+    }
     if b.samples.is_empty() {
         return format!("{name:<48} (no samples)");
     }
@@ -235,6 +238,32 @@ fn run_one(
         fmt_ns(median),
         fmt_ns(hi)
     )
+}
+
+/// Record per-sample mean latencies (ns/iter) into the global `obs`
+/// registry under `bench.<name>_ns`.
+fn record_samples(name: &str, samples: &[f64]) {
+    let h = obs::global().histogram(&format!("bench.{name}_ns"));
+    for &s in samples {
+        h.record(s.max(0.0) as u64);
+    }
+}
+
+/// Write the global `obs` registry — every benchmark's sample histogram
+/// — plus the always-on substrate counters to the path named by the
+/// `OBS_METRICS_JSON` environment variable. Invoked by
+/// [`crate::criterion_main!`] after all groups finish; a no-op when the
+/// variable is unset.
+pub fn flush_metrics() {
+    let Some(path) = std::env::var_os("OBS_METRICS_JSON") else {
+        return;
+    };
+    let out = crate::metrics::MetricsOut::at(std::path::PathBuf::from(path));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = out.write(obs::global().snapshot(), "bench-harness", &args.join(" "))
+    {
+        eprintln!("metrics: write failed: {e}");
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -269,11 +298,14 @@ macro_rules! criterion_group {
 }
 
 /// Generate `main` running the listed groups (criterion-compatible).
+/// After the groups finish, the harness flushes the global `obs`
+/// registry to `$OBS_METRICS_JSON` when that variable names a path.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::harness::flush_metrics();
         }
     };
 }
@@ -324,6 +356,22 @@ mod tests {
     fn ids_format_like_criterion() {
         assert_eq!(BenchmarkId::new("list", 64).0, "list/64");
         assert_eq!(BenchmarkId::from_parameter("zmsq").0, "zmsq");
+    }
+
+    #[test]
+    fn record_samples_lands_in_global_registry() {
+        record_samples("harness-test/attach", &[100.0, 2_000.0, -1.0]);
+        let s = obs::global().snapshot();
+        let h = s.hist("bench.harness-test/attach_ns").expect("histogram registered");
+        assert_eq!(h.count, 3); // the negative sample clamps to 0
+        assert!(h.max >= 2_000);
+    }
+
+    #[test]
+    fn flush_metrics_without_env_is_a_noop() {
+        // Must not panic or write anything when OBS_METRICS_JSON is unset
+        // (the test runner never sets it).
+        flush_metrics();
     }
 
     #[test]

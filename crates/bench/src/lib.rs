@@ -19,6 +19,7 @@
 
 pub mod cli;
 pub mod harness;
+pub mod metrics;
 pub mod queues;
 
 /// Print a CSV header then rows through the given closure.

@@ -1,0 +1,132 @@
+//! `--metrics` plumbing: merge queue-level and substrate-level `obs`
+//! snapshots and write them as per-run `results/*.metrics.json` files.
+//!
+//! Harness binaries opt in with `MetricsOut::from_args(&args, "bin")`;
+//! the criterion-shaped harness attaches automatically when the
+//! `OBS_METRICS_JSON` environment variable names an output path (see
+//! [`crate::harness::flush_metrics`]).
+
+use std::path::{Path, PathBuf};
+
+use crate::cli::Args;
+
+/// Destination of one run's metrics JSON document.
+pub struct MetricsOut {
+    path: PathBuf,
+}
+
+impl MetricsOut {
+    /// `Some` when `--metrics` was passed. Bare `--metrics` writes to
+    /// `results/<bin>.metrics.json`; `--metrics path.json` overrides
+    /// the destination.
+    pub fn from_args(args: &Args, bin: &str) -> Option<Self> {
+        let v = args.get_opt("metrics")?;
+        let path = if v == "true" || v == "1" {
+            PathBuf::from(format!("results/{bin}.metrics.json"))
+        } else {
+            PathBuf::from(v)
+        };
+        Some(Self { path })
+    }
+
+    /// Explicit destination.
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// Where the document will be written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stamp standard metadata, append the always-on substrate counters,
+    /// and write the document, creating parent directories. The path is
+    /// printed to **stderr** so stdout stays CSV-clean.
+    pub fn write(
+        &self,
+        mut snap: obs::Snapshot,
+        bin: &str,
+        args_line: &str,
+    ) -> std::io::Result<()> {
+        snap.push_meta("bin", bin);
+        snap.push_meta("args", args_line);
+        snap.merge(substrate_snapshot());
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&self.path, snap.to_json())?;
+        eprintln!("metrics: wrote {}", self.path.display());
+        Ok(())
+    }
+}
+
+/// The always-on process-wide counters of the instrumented crates:
+/// futex / event-buffer / trylock (`zmsq-sync`) and hazard-pointer / EBR
+/// reclamation (`smr`). Names arrive pre-prefixed (`futex.*`, `event.*`,
+/// `trylock.*`, `hp.*`, `ebr.*`).
+pub fn substrate_snapshot() -> obs::Snapshot {
+    let mut s = obs::Snapshot::new();
+    s.merge(zmsq_sync::obs::snapshot());
+    s.merge(smr::obs::snapshot());
+    s
+}
+
+/// The process argv (minus the binary name), for the `args` metadata key.
+pub fn argv_line() -> String {
+    std::env::args().skip(1).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn from_args_resolves_paths() {
+        assert!(MetricsOut::from_args(&args(""), "x").is_none());
+        let bare = MetricsOut::from_args(&args("--metrics"), "ops_latency").unwrap();
+        assert_eq!(bare.path(), Path::new("results/ops_latency.metrics.json"));
+        let explicit =
+            MetricsOut::from_args(&args("--metrics target/t.json"), "x").unwrap();
+        assert_eq!(explicit.path(), Path::new("target/t.json"));
+    }
+
+    #[test]
+    fn substrate_snapshot_exports_sync_and_smr_counters() {
+        let s = substrate_snapshot();
+        for key in
+            ["futex.waits", "event.waits", "trylock.attempts", "hp.retired", "ebr.pins"]
+        {
+            assert!(s.counter(key).is_some(), "missing substrate counter {key}");
+        }
+    }
+
+    #[test]
+    fn write_produces_parseable_json_with_stable_keys() {
+        let out = MetricsOut::at("target/bench-metrics-test.json");
+        let mut snap = obs::Snapshot::new();
+        snap.push_counter("test.ops", 7);
+        out.write(snap, "unit-test", "--quick").unwrap();
+        let body = std::fs::read_to_string(out.path()).unwrap();
+        let v = obs::json::parse(&body).expect("metrics JSON must parse");
+        for key in ["meta", "counters", "gauges", "ratios", "histograms", "series"] {
+            assert!(v.get(key).is_some(), "missing top-level key {key}");
+        }
+        assert_eq!(
+            v.get("counters").unwrap().get("test.ops").unwrap().as_f64(),
+            Some(7.0)
+        );
+        assert_eq!(
+            v.get("meta").unwrap().get("bin"),
+            Some(&obs::json::Value::Str("unit-test".into()))
+        );
+        // Substrate counters ride along on every write.
+        assert!(v.get("counters").unwrap().get("futex.waits").is_some());
+        let _ = std::fs::remove_file(out.path());
+    }
+}

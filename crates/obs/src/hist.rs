@@ -1,0 +1,319 @@
+//! Log-linear (HDR-style) concurrent histogram.
+//!
+//! Fixed memory, `Relaxed`-atomic recording, no allocation after
+//! construction. Buckets are log₂ octaves subdivided linearly into
+//! [`SUB`] sub-buckets, so relative quantile error is bounded by half a
+//! sub-bucket (≤ ~12.5% at `SUB_BITS = 3`); `min`/`max`/`sum` are exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+pub const SUB: usize = 1 << SUB_BITS;
+const OCTAVES: usize = 64 - SUB_BITS as usize; // full u64 range
+const BUCKETS: usize = OCTAVES * SUB;
+
+/// Concurrent log-linear histogram of `u64` samples (latency in ns,
+/// set sizes, scan lengths, …).
+///
+/// ```
+/// use obs::Histogram;
+/// let h = Histogram::new();
+/// for v in [120u64, 80, 95, 4000, 110] { h.record(v); }
+/// assert_eq!(h.snapshot().count, 5);
+/// assert!(h.quantile(0.5) <= 128);
+/// ```
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// New empty histogram (usable in `static` position).
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index of a sample: values below [`SUB`] map exactly, the
+    /// rest to `(octave, linear sub-position)`.
+    pub(crate) fn bucket_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let octave = 63 - v.leading_zeros();
+        let sub = (v >> (octave - SUB_BITS)) as usize & (SUB - 1);
+        (((octave as usize) - SUB_BITS as usize) * SUB + sub + SUB).min(BUCKETS - 1)
+    }
+
+    /// Lower edge of bucket `i` (the value reported for quantiles).
+    pub(crate) fn bucket_floor(i: usize) -> u64 {
+        if i < SUB {
+            return i as u64;
+        }
+        let i = i - SUB;
+        let octave = (i / SUB) as u32 + SUB_BITS;
+        let sub = (i % SUB) as u64;
+        (1u64 << octave) + (sub << (octave - SUB_BITS))
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 { 0.0 } else { self.sum.load(Ordering::Relaxed) as f64 / n as f64 }
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact minimum recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX { 0 } else { m }
+    }
+
+    /// Approximate quantile `p ∈ [0, 1]`, reported as the floor of the
+    /// bucket holding the target rank (accurate to the bucket width).
+    pub fn quantile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_floor(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Fold another histogram into this one (bucket-wise add; min/max
+    /// folded exactly).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy with precomputed quantiles and the sparse
+    /// (floor, count) bucket list.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let v = b.load(Ordering::Relaxed);
+            if v != 0 {
+                buckets.push((Self::bucket_floor(i), v));
+            }
+        }
+        HistSnapshot {
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Owned, non-atomic copy of a [`Histogram`], as embedded in
+/// [`crate::Snapshot`] and serialized to JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+    /// Exact minimum (0 when empty).
+    pub min: u64,
+    /// Exact maximum (0 when empty).
+    pub max: u64,
+    /// Median (bucket floor).
+    pub p50: u64,
+    /// 90th percentile (bucket floor).
+    pub p90: u64,
+    /// 99th percentile (bucket floor).
+    pub p99: u64,
+    /// 99.9th percentile (bucket floor).
+    pub p999: u64,
+    /// Sparse `(bucket_floor, count)` pairs, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean of the snapshot (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum as f64 / self.count as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault::DetRng;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries_monotone_and_tight() {
+        // bucket_of must be monotone, bucket_floor(bucket_of(x)) <= x,
+        // and x must lie within one sub-bucket width of the floor.
+        let mut prev = 0;
+        for exp in 0..63u32 {
+            for off in 0..SUB as u64 {
+                let x = (1u64 << exp) + off * ((1u64 << exp) / SUB as u64);
+                let b = Histogram::bucket_of(x);
+                assert!(b >= prev, "bucket index not monotone at {x}");
+                prev = b;
+                let floor = Histogram::bucket_floor(b);
+                assert!(floor <= x, "floor {floor} > sample {x}");
+                let width = ((1u64 << exp) / SUB as u64).max(1);
+                assert!(x - floor < width + SUB as u64, "sample {x} far above floor {floor}");
+            }
+        }
+        // Exact low range.
+        for v in 0..SUB as u64 {
+            assert_eq!(Histogram::bucket_floor(Histogram::bucket_of(v)), v);
+        }
+        // Extremes do not panic and land in-range.
+        assert!(Histogram::bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_match_exact_sorted_reference() {
+        // Seeded DetRng inputs over several magnitudes; the histogram
+        // quantile must stay within one sub-bucket (12.5%) of the exact
+        // order statistic.
+        let mut rng = DetRng::seed_from_u64(0x0B5_0B5);
+        let h = Histogram::new();
+        let mut exact: Vec<u64> = Vec::with_capacity(50_000);
+        for _ in 0..50_000 {
+            // Log-uniform-ish: random magnitude 0..2^30, skewed low.
+            let mag = rng.random_range(0u32..30);
+            let v = (1u64 << mag) + rng.random_range(0u64..(1u64 << mag).max(1));
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for p in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((p * exact.len() as f64).ceil() as usize).max(1) - 1;
+            let want = exact[rank] as f64;
+            let got = h.quantile(p) as f64;
+            // Bucket floor is a lower bound within one sub-bucket width.
+            assert!(got <= want, "p{p}: floor {got} above exact {want}");
+            assert!(
+                got >= want / (1.0 + 1.0 / SUB as f64) - 1.0,
+                "p{p}: got {got}, exact {want} — off by more than a sub-bucket"
+            );
+        }
+        assert_eq!(h.max(), *exact.last().unwrap());
+        assert_eq!(h.min(), exact[0]);
+        let mean_exact = exact.iter().map(|&v| v as f64).sum::<f64>() / exact.len() as f64;
+        assert!((h.mean() - mean_exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let mut rng = DetRng::seed_from_u64(7);
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for _ in 0..10_000 {
+            let v = rng.random_range(1u64..1_000_000);
+            if v.is_multiple_of(2) { a.record(v) } else { b.record(v) }
+            both.record(v);
+        }
+        a.merge_from(&b);
+        let (sa, sb) = (a.snapshot(), both.snapshot());
+        assert_eq!(sa.count, sb.count);
+        assert_eq!(sa.sum, sb.sum);
+        assert_eq!(sa.min, sb.min);
+        assert_eq!(sa.max, sb.max);
+        assert_eq!(sa.buckets, sb.buckets);
+        assert_eq!(sa.p50, sb.p50);
+    }
+
+    #[test]
+    fn concurrent_recording_counts_exactly() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = std::sync::Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25_000u64 {
+                    h.record(t * 1000 + i % 997 + 1);
+                }
+            }));
+        }
+        for hd in handles {
+            hd.join().unwrap();
+        }
+        assert_eq!(h.count(), 100_000);
+    }
+
+    #[test]
+    fn snapshot_buckets_are_sparse_and_ascending(){
+        let h = Histogram::new();
+        for v in [1u64, 1, 100, 100_000] { h.record(v); }
+        let s = h.snapshot();
+        assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+        assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100_000);
+    }
+}

@@ -1,0 +1,96 @@
+//! Low-overhead observability substrate for the ZMSQ reproduction.
+//!
+//! The paper's key claims are quantitative internals — "only 3% of
+//! extractMax() calls access the root", the dynamic-set full-ratio
+//! profiling of §4.2 — and tuning relaxation parameters requires
+//! measuring quality and throughput *together, over time*. This crate
+//! is the shared measurement layer, with zero external dependencies so
+//! every other crate in the workspace can depend on it:
+//!
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — always-on metrics with
+//!   `Relaxed` hot-path recording. Counters are striped across cache
+//!   lines (a global round-robin stripe is assigned per thread on first
+//!   use); histograms are log-linear (HDR-style) with constant memory.
+//! * [`Registry`] — named dynamic metrics for harnesses, plus a
+//!   process-global instance ([`global`]).
+//! * [`Snapshot`] — a point-in-time copy of any set of metrics that
+//!   serializes to JSON ([`Snapshot::to_json`]) and pretty text
+//!   ([`Snapshot::pretty`]); this is what benches write to
+//!   `results/*.metrics.json` and what
+//!   `ConcurrentPriorityQueue::metrics` returns.
+//! * [`recorder`] — the flight recorder: per-thread lock-free ring
+//!   buffers of fixed-size trace events, merged time-ordered by
+//!   [`recorder::dump`]. Call sites use [`trace_event!`], which expands
+//!   to **nothing** unless the `obs-trace` feature is enabled
+//!   (mirroring `fault::fail_point!`); counters stay always-on.
+//! * [`sampler`] — a background thread that periodically probes
+//!   caller-supplied gauges (queue depth, pool fill, rank error) into a
+//!   time [`Series`].
+//!
+//! Overhead budget: with default features a counter increment is one
+//! relaxed `fetch_add` on a thread-private cache line and a histogram
+//! record is two; trace call sites compile out entirely. See the
+//! `obs_overhead` bench binary for the measured numbers.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod sampler;
+pub mod snapshot;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use metrics::{Counter, Gauge, Registry, global, STRIPES};
+pub use recorder::EventKind;
+pub use sampler::{Sampler, Series};
+pub use snapshot::Snapshot;
+
+/// Whether flight-recorder call sites are compiled in.
+///
+/// Lets integration points guard non-macro work (e.g. dumping the
+/// recorder from a panic-recovery path) with a const the optimizer
+/// folds away:
+///
+/// ```
+/// if obs::TRACE_ENABLED {
+///     let _ = obs::recorder::dump();
+/// }
+/// ```
+#[cfg(feature = "obs-trace")]
+pub const TRACE_ENABLED: bool = true;
+/// Whether flight-recorder call sites are compiled in.
+#[cfg(not(feature = "obs-trace"))]
+pub const TRACE_ENABLED: bool = false;
+
+/// Record a flight-recorder event. Compiles to nothing (arguments
+/// unevaluated) without the `obs-trace` feature.
+///
+/// Forms: `trace_event!(kind)`, `trace_event!(kind, a)`,
+/// `trace_event!(kind, a, b)` where `a: u32` carries a small payload
+/// (node level, woken count, …) and `b: u64` a large one (priority,
+/// scanned hazards, …).
+#[cfg(feature = "obs-trace")]
+#[macro_export]
+macro_rules! trace_event {
+    ($kind:expr) => {
+        $crate::recorder::record($kind, 0, 0)
+    };
+    ($kind:expr, $a:expr) => {
+        $crate::recorder::record($kind, $a, 0)
+    };
+    ($kind:expr, $a:expr, $b:expr) => {
+        $crate::recorder::record($kind, $a, $b)
+    };
+}
+
+/// Record a flight-recorder event. Compiles to nothing (arguments
+/// unevaluated) without the `obs-trace` feature.
+#[cfg(not(feature = "obs-trace"))]
+#[macro_export]
+macro_rules! trace_event {
+    ($kind:expr) => {};
+    ($kind:expr, $a:expr) => {};
+    ($kind:expr, $a:expr, $b:expr) => {};
+}

@@ -1,0 +1,129 @@
+//! Background sampler: probes caller-supplied instantaneous values
+//! (queue depth, set occupancy, pool fill, rank-error estimate) on a
+//! fixed interval into a time [`Series`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A sampled time series: `rows[i][0]` is milliseconds since
+/// [`Sampler::start`], remaining columns follow [`Series::columns`].
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    /// Series name (used in the JSON `series` array).
+    pub name: String,
+    /// Column names; the first is always `t_ms`.
+    pub columns: Vec<String>,
+    /// Sample rows, one per tick.
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// A background sampling thread; stop it to collect the [`Series`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// let depth = Arc::new(AtomicU64::new(0));
+/// let probe = { let d = Arc::clone(&depth); move || vec![d.load(Ordering::Relaxed) as f64] };
+/// let s = obs::Sampler::start("depth", std::time::Duration::from_millis(1), &["len"], probe);
+/// depth.store(9, Ordering::Relaxed);
+/// std::thread::sleep(std::time::Duration::from_millis(10));
+/// let series = s.stop();
+/// assert_eq!(series.columns[0], "t_ms");
+/// assert!(!series.rows.is_empty());
+/// ```
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    out: Arc<Mutex<Series>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Spawn a sampler calling `probe` every `interval`; `probe`
+    /// returns one value per entry of `columns`.
+    pub fn start(
+        name: &str,
+        interval: Duration,
+        columns: &[&str],
+        mut probe: impl FnMut() -> Vec<f64> + Send + 'static,
+    ) -> Self {
+        let mut cols = vec!["t_ms".to_string()];
+        cols.extend(columns.iter().map(|c| c.to_string()));
+        let out = Arc::new(Mutex::new(Series {
+            name: name.to_string(),
+            columns: cols,
+            rows: Vec::new(),
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (out2, stop2) = (Arc::clone(&out), Arc::clone(&stop));
+        let handle = std::thread::Builder::new()
+            .name(format!("obs-sampler-{name}"))
+            .spawn(move || {
+                let t0 = Instant::now();
+                let mut next = t0;
+                while !stop2.load(Ordering::Acquire) {
+                    let mut row = vec![t0.elapsed().as_secs_f64() * 1e3];
+                    row.extend(probe());
+                    out2.lock().unwrap().rows.push(row);
+                    next += interval;
+                    // Sleep in short slices so stop() is responsive even
+                    // with coarse intervals.
+                    while !stop2.load(Ordering::Acquire) {
+                        let now = Instant::now();
+                        if now >= next {
+                            break;
+                        }
+                        std::thread::sleep((next - now).min(Duration::from_millis(5)));
+                    }
+                }
+            })
+            .expect("spawn obs sampler");
+        Self { stop, out, handle: Some(handle) }
+    }
+
+    /// Stop the thread and return the collected series.
+    pub fn stop(mut self) -> Series {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        std::mem::take(&mut *self.out.lock().unwrap())
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_on_interval_and_stops() {
+        let s = Sampler::start(
+            "test",
+            Duration::from_millis(2),
+            &["a", "b"],
+            || vec![1.0, 2.0],
+        );
+        std::thread::sleep(Duration::from_millis(25));
+        let series = s.stop();
+        assert_eq!(series.columns, ["t_ms", "a", "b"]);
+        assert!(series.rows.len() >= 3, "only {} rows", series.rows.len());
+        assert!(series.rows.iter().all(|r| r.len() == 3));
+        // Time column is nondecreasing.
+        assert!(series.rows.windows(2).all(|w| w[0][0] <= w[1][0]));
+    }
+
+    #[test]
+    fn drop_without_stop_joins_thread() {
+        let s = Sampler::start("drop", Duration::from_millis(1), &["x"], || vec![0.0]);
+        drop(s); // must not hang or leak a running thread
+    }
+}

@@ -1,0 +1,339 @@
+//! Point-in-time metric snapshots with JSON / pretty-text rendering.
+
+use std::fmt::Write as _;
+
+use crate::hist::{HistSnapshot, Histogram};
+use crate::json::{write_escaped, write_f64};
+use crate::sampler::Series;
+
+/// A point-in-time copy of a set of metrics: counters, gauges, derived
+/// ratios, histograms, time series and free-form metadata.
+///
+/// This is the interchange type of the observability layer: queues
+/// return one from `ConcurrentPriorityQueue::metrics`, instrumented
+/// crates export one for their internal counters, and the bench
+/// harness merges them all into a `results/*.metrics.json`.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` monotone counters.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` instantaneous gauges.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, value)` derived ratios (e.g. `zmsq.root_access_ratio`).
+    pub ratios: Vec<(String, f64)>,
+    /// `(name, snapshot)` histograms.
+    pub hists: Vec<(String, HistSnapshot)>,
+    /// Sampler time series.
+    pub series: Vec<Series>,
+    /// `(key, value)` free-form metadata (bin name, arguments, …).
+    pub meta: Vec<(String, String)>,
+}
+
+impl Snapshot {
+    /// New empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a counter value.
+    pub fn push_counter(&mut self, name: &str, v: u64) {
+        self.counters.push((name.to_string(), v));
+    }
+
+    /// Append a gauge value.
+    pub fn push_gauge(&mut self, name: &str, v: i64) {
+        self.gauges.push((name.to_string(), v));
+    }
+
+    /// Append a derived ratio.
+    pub fn push_ratio(&mut self, name: &str, v: f64) {
+        self.ratios.push((name.to_string(), v));
+    }
+
+    /// Append a live histogram (snapshotted now).
+    pub fn push_hist(&mut self, name: &str, h: &Histogram) {
+        self.hists.push((name.to_string(), h.snapshot()));
+    }
+
+    /// Append an already-snapshotted histogram.
+    pub fn push_hist_snapshot(&mut self, name: &str, h: HistSnapshot) {
+        self.hists.push((name.to_string(), h));
+    }
+
+    /// Append a sampler series.
+    pub fn push_series(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Append a metadata entry.
+    pub fn push_meta(&mut self, key: &str, value: &str) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Absorb `other`, prefixing every metric name with `prefix`
+    /// (pass `""` for a plain merge). Metadata keys are prefixed too.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: Snapshot) {
+        let pre = |n: &str| {
+            if prefix.is_empty() { n.to_string() } else { format!("{prefix}{n}") }
+        };
+        for (n, v) in other.counters {
+            self.counters.push((pre(&n), v));
+        }
+        for (n, v) in other.gauges {
+            self.gauges.push((pre(&n), v));
+        }
+        for (n, v) in other.ratios {
+            self.ratios.push((pre(&n), v));
+        }
+        for (n, v) in other.hists {
+            self.hists.push((pre(&n), v));
+        }
+        for mut s in other.series {
+            s.name = pre(&s.name);
+            self.series.push(s);
+        }
+        for (k, v) in other.meta {
+            self.meta.push((pre(&k), v));
+        }
+    }
+
+    /// Absorb `other` unchanged.
+    pub fn merge(&mut self, other: Snapshot) {
+        self.merge_prefixed("", other);
+    }
+
+    /// Look up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a ratio by exact name.
+    pub fn ratio(&self, name: &str) -> Option<f64> {
+        self.ratios.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram by exact name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Serialize to a JSON document with the stable top-level keys
+    /// `meta`, `counters`, `gauges`, `ratios`, `histograms`, `series`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            write_escaped(&mut out, k);
+            out.push_str(": ");
+            write_escaped(&mut out, v);
+        }
+        out.push_str("\n  },\n  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            write_escaped(&mut out, n);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            write_escaped(&mut out, n);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("\n  },\n  \"ratios\": {");
+        for (i, (n, v)) in self.ratios.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            write_escaped(&mut out, n);
+            out.push_str(": ");
+            write_f64(&mut out, *v);
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (n, h)) in self.hists.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            write_escaped(&mut out, n);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": ",
+                h.count, h.sum, h.min, h.max
+            );
+            write_f64(&mut out, h.mean());
+            let _ = write!(
+                out,
+                ", \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \
+                 \"buckets\": [",
+                h.p50, h.p90, h.p99, h.p999
+            );
+            for (j, (floor, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{floor}, {c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  },\n  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            out.push_str("{\"name\": ");
+            write_escaped(&mut out, &s.name);
+            out.push_str(", \"columns\": [");
+            for (j, c) in s.columns.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write_escaped(&mut out, c);
+            }
+            out.push_str("], \"rows\": [");
+            for (j, row) in s.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                for (k, v) in row.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    write_f64(&mut out, *v);
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Human-readable multi-line rendering (aligned `name value` rows,
+    /// histogram one-liners).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.ratios.iter().map(|(n, _)| n.len()))
+            .chain(self.hists.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "# {k}: {v}");
+        }
+        for (n, v) in &self.counters {
+            let _ = writeln!(out, "{n:<width$}  {v}");
+        }
+        for (n, v) in &self.gauges {
+            let _ = writeln!(out, "{n:<width$}  {v}");
+        }
+        for (n, v) in &self.ratios {
+            let _ = writeln!(out, "{n:<width$}  {v:.4}");
+        }
+        for (n, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                "{n:<width$}  n={} mean={:.0} p50={} p99={} p99.9={} max={}",
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p99,
+                h.p999,
+                h.max
+            );
+        }
+        for s in &self.series {
+            let _ = writeln!(
+                out,
+                "series {} [{}] {} rows",
+                s.name,
+                s.columns.join(","),
+                s.rows.len()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new();
+        s.push_meta("bin", "test \"quoted\"");
+        s.push_counter("futex.waits", 42);
+        s.push_gauge("depth", -3);
+        s.push_ratio("zmsq.root_access_ratio", 0.03);
+        let h = Histogram::new();
+        h.record(100);
+        h.record(2000);
+        s.push_hist("insert_ns", &h);
+        s.push_series(Series {
+            name: "depth".into(),
+            columns: vec!["t_ms".into(), "len".into()],
+            rows: vec![vec![0.0, 1.0], vec![10.0, 2.0]],
+        });
+        s
+    }
+
+    #[test]
+    fn json_parses_and_has_stable_top_level_keys() {
+        let s = sample();
+        let v = json::parse(&s.to_json()).expect("snapshot JSON must parse");
+        for key in ["meta", "counters", "gauges", "ratios", "histograms", "series"] {
+            assert!(v.get(key).is_some(), "missing top-level key {key}");
+        }
+        assert_eq!(
+            v.get("counters").unwrap().get("futex.waits").unwrap().as_f64(),
+            Some(42.0)
+        );
+        assert_eq!(
+            v.get("ratios")
+                .unwrap()
+                .get("zmsq.root_access_ratio")
+                .unwrap()
+                .as_f64(),
+            Some(0.03)
+        );
+        let h = v.get("histograms").unwrap().get("insert_ns").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(h.get("buckets").unwrap().as_arr().unwrap().len(), 2);
+        let series = v.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].get("rows").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let v = json::parse(&Snapshot::new().to_json()).unwrap();
+        assert!(v.get("counters").is_some());
+    }
+
+    #[test]
+    fn merge_prefixed_renames_everything() {
+        let mut root = Snapshot::new();
+        root.merge_prefixed("sync.", sample());
+        assert_eq!(root.counter("sync.futex.waits"), Some(42));
+        assert_eq!(root.gauge("sync.depth"), Some(-3));
+        assert!(root.ratio("sync.zmsq.root_access_ratio").is_some());
+        assert!(root.hist("sync.insert_ns").is_some());
+        assert_eq!(root.series[0].name, "sync.depth");
+    }
+
+    #[test]
+    fn lookups_and_pretty() {
+        let s = sample();
+        assert_eq!(s.counter("futex.waits"), Some(42));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.gauge("depth"), Some(-3));
+        let p = s.pretty();
+        assert!(p.contains("futex.waits"), "{p}");
+        assert!(p.contains("series depth"), "{p}");
+    }
+}

@@ -43,6 +43,15 @@ pub trait ConcurrentPriorityQueue<V = u64>: Send + Sync {
     fn len_hint(&self) -> usize {
         0
     }
+
+    /// Export the queue's internal metrics as an [`obs::Snapshot`], if the
+    /// implementation collects any. Harnesses merge this into their
+    /// `*.metrics.json` output; `None` (the default) simply omits the
+    /// section. Snapshots are best-effort under concurrency, like
+    /// [`len_hint`](Self::len_hint).
+    fn metrics(&self) -> Option<obs::Snapshot> {
+        None
+    }
 }
 
 /// Blanket impl so `&Q`, `Box<Q>` and `Arc<Q>` work wherever a queue does.
@@ -62,6 +71,9 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for &
     fn len_hint(&self) -> usize {
         (**self).len_hint()
     }
+    fn metrics(&self) -> Option<obs::Snapshot> {
+        (**self).metrics()
+    }
 }
 
 impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for Box<Q> {
@@ -79,6 +91,9 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for B
     }
     fn len_hint(&self) -> usize {
         (**self).len_hint()
+    }
+    fn metrics(&self) -> Option<obs::Snapshot> {
+        (**self).metrics()
     }
 }
 
@@ -99,6 +114,9 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V>
     }
     fn len_hint(&self) -> usize {
         (**self).len_hint()
+    }
+    fn metrics(&self) -> Option<obs::Snapshot> {
+        (**self).metrics()
     }
 }
 
@@ -140,6 +158,37 @@ mod tests {
         assert_eq!(dyn_q.extract_max(), Some((7, 70)));
         assert_eq!(dyn_q.len_hint(), 2);
         assert!(!dyn_q.is_relaxed());
+    }
+
+    #[test]
+    fn metrics_default_is_none_and_forwards() {
+        let q = LockedHeap(Mutex::new(BinaryHeap::new()));
+        assert!(q.metrics().is_none());
+        let arc = std::sync::Arc::new(LockedHeap(Mutex::new(BinaryHeap::new())));
+        assert!(arc.metrics().is_none());
+
+        struct WithMetrics(LockedHeap);
+        impl ConcurrentPriorityQueue for WithMetrics {
+            fn insert(&self, prio: u64, value: u64) {
+                self.0.insert(prio, value)
+            }
+            fn extract_max(&self) -> Option<(u64, u64)> {
+                self.0.extract_max()
+            }
+            fn name(&self) -> String {
+                "with-metrics".into()
+            }
+            fn metrics(&self) -> Option<obs::Snapshot> {
+                let mut s = obs::Snapshot::new();
+                s.push_counter("len", self.0.len_hint() as u64);
+                Some(s)
+            }
+        }
+        let m = WithMetrics(LockedHeap(Mutex::new(BinaryHeap::new())));
+        m.insert(1, 1);
+        let boxed: Box<dyn ConcurrentPriorityQueue> = Box::new(m);
+        let snap = boxed.metrics().expect("override forwards through Box");
+        assert_eq!(snap.counter("len"), Some(1));
     }
 
     #[test]

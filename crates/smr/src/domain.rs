@@ -6,6 +6,15 @@ use std::sync::Arc;
 
 use crate::SLOTS_PER_RECORD;
 
+/// Process-global hazard-pointer counters, aggregated over every domain
+/// (per-domain figures stay on [`Domain::retired_count`] /
+/// [`Domain::freed_count`]). Exported by [`crate::obs::snapshot`].
+pub(crate) static RETIRED: obs::Counter = obs::Counter::new();
+pub(crate) static FREED: obs::Counter = obs::Counter::new();
+pub(crate) static SCANS: obs::Counter = obs::Counter::new();
+pub(crate) static HAZARDS_SCANNED: obs::Counter = obs::Counter::new();
+pub(crate) static PROTECT_RETRIES: obs::Counter = obs::Counter::new();
+
 /// A retired allocation awaiting reclamation.
 struct Retired {
     ptr: *mut u8,
@@ -236,6 +245,8 @@ impl Domain {
         let retired = unsafe { &mut *(*record).retired.get() };
         retired.push(Retired { ptr: ptr.cast(), drop_fn: drop_box::<T> });
         self.core.retired_total.fetch_add(1, Ordering::Relaxed);
+        RETIRED.incr();
+        obs::trace_event!(obs::EventKind::Retire, self.core.id as u32);
         if retired.len() >= self.scan_threshold() {
             self.scan(record);
         }
@@ -250,6 +261,7 @@ impl Domain {
     /// Collect all published hazards and free every retired object (of the
     /// calling thread's record) not protected by one.
     fn scan(&self, record: *mut HpRecord) {
+        SCANS.incr();
         let mut hazards: Vec<usize> = Vec::with_capacity(
             self.core.record_count.load(Ordering::Relaxed) * SLOTS_PER_RECORD,
         );
@@ -270,6 +282,8 @@ impl Domain {
             cur = rec.next;
         }
         hazards.sort_unstable();
+        HAZARDS_SCANNED.add(hazards.len() as u64);
+        obs::trace_event!(obs::EventKind::HazardScan, hazards.len() as u32);
 
         // SAFETY: owner-thread access.
         let retired = unsafe { &mut *(*record).retired.get() };
@@ -284,9 +298,10 @@ impl Domain {
                 false
             }
         });
-        self.core
-            .freed_total
-            .fetch_add((before - retired.len()) as u64, Ordering::Relaxed);
+        let freed = (before - retired.len()) as u64;
+        self.core.freed_total.fetch_add(freed, Ordering::Relaxed);
+        FREED.add(freed);
+        obs::trace_event!(obs::EventKind::Reclaim, freed as u32, retired.len() as u64);
     }
 
     /// Eagerly run a reclamation scan over the calling thread's retired
@@ -362,9 +377,15 @@ impl HazardPointer {
                 // Chaos: treat this successful validation as failed and go
                 // around again (republish + revalidate). Arm with
                 // Prob/EveryNth/Once — Always livelocks by construction.
-                fault::fail_point!("smr.protect-retry", continue);
+                fault::fail_point!("smr.protect-retry", {
+                    PROTECT_RETRIES.incr();
+                    obs::trace_event!(obs::EventKind::ProtectRetry);
+                    continue;
+                });
                 return p;
             }
+            PROTECT_RETRIES.incr();
+            obs::trace_event!(obs::EventKind::ProtectRetry);
             p = q;
         }
     }

@@ -31,6 +31,13 @@ use std::cell::Cell;
 use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+/// Process-global EBR counters (the collector itself is process-global).
+/// Exported by [`crate::obs::snapshot`].
+pub(crate) static PINS: obs::Counter = obs::Counter::new();
+pub(crate) static DEFERS: obs::Counter = obs::Counter::new();
+pub(crate) static COLLECTS: obs::Counter = obs::Counter::new();
+pub(crate) static EBR_FREED: obs::Counter = obs::Counter::new();
+
 /// Pinned-epoch sentinel: the participant is not inside a critical section.
 const NOT_PINNED: u64 = u64::MAX;
 
@@ -201,6 +208,7 @@ pub fn pin() -> Guard {
     let depth = p.depth.get();
     p.depth.set(depth + 1);
     if depth == 0 {
+        PINS.incr();
         let e = global().epoch.load(Ordering::SeqCst);
         p.epoch.store(e, Ordering::SeqCst);
         // StoreLoad: the pin must be globally visible before this thread
@@ -219,6 +227,8 @@ impl Guard {
     /// unreachable to readers that pin *after* this call, and that `f`
     /// is sound to run on whichever thread later collects.
     pub unsafe fn defer_unchecked<F: FnOnce() + Send + 'static>(&self, f: F) {
+        DEFERS.incr();
+        obs::trace_event!(obs::EventKind::Retire, u32::MAX);
         let g = global();
         let epoch = g.epoch.load(Ordering::SeqCst);
         let pending = {
@@ -285,6 +295,9 @@ pub fn collect() {
         }
         g.pending.store(garbage.len(), Ordering::Relaxed);
     }
+    COLLECTS.incr();
+    EBR_FREED.add(ripe.len() as u64);
+    obs::trace_event!(obs::EventKind::Reclaim, ripe.len() as u32, u64::MAX);
     // Run outside the lock: a destructor may legitimately defer more work.
     for f in ripe {
         f();

@@ -15,6 +15,10 @@
 //! * [`ebr`] — a process-global epoch-based collector for the lock-free
 //!   baselines, whose unbounded traversals don't fit per-pointer hazards.
 //!
+//! Always-on counters (retires, scans, frees, hazard-validation retries,
+//! epoch pins/collects) are exported by [`obs::snapshot`]; with
+//! `obs/obs-trace` the same sites also emit flight-recorder events.
+//!
 //! # Design
 //!
 //! A domain owns an append-only intrusive list of `HpRecord`s. A thread
@@ -61,6 +65,7 @@
 mod domain;
 pub mod ebr;
 mod leaky;
+pub mod obs;
 
 pub use domain::{Domain, HazardPointer};
 pub use leaky::LeakyDomain;

@@ -30,11 +30,32 @@
 //! Combined with `futex.spurious-wake` (which makes the park itself
 //! return immediately), chaos schedules exercise both halves of the
 //! sleep/wake handshake.
+//!
+//! # Observability
+//!
+//! Always-on counters (exported through [`crate::obs::snapshot`]):
+//! `event.waits` (wait_until entries), `event.parks` (actual futex
+//! sleeps), `event.spurious_wakeups` (parks that returned with the
+//! predicate still false), `event.signals`, and
+//! `event.signals_no_sleeper` (signals resolved by the sleeper-count
+//! fast path with no futex work).
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use crate::futex::{futex_wait, futex_wait_timeout, futex_wake_all};
 use crate::pad::CachePadded;
+
+/// `wait_until`/`wait_until_timeout` calls that registered as sleepers.
+pub(crate) static WAITS: obs::Counter = obs::Counter::new();
+/// Waits that reached the actual `futex_wait` (syscall parks).
+pub(crate) static PARKS: obs::Counter = obs::Counter::new();
+/// Parks that returned "woken" while the predicate was still false and
+/// the buffer open — the consumer will loop and wait again.
+pub(crate) static SPURIOUS_WAKEUPS: obs::Counter = obs::Counter::new();
+/// `signal` calls.
+pub(crate) static SIGNALS: obs::Counter = obs::Counter::new();
+/// Signals that saw no sleepers and skipped all futex work.
+pub(crate) static SIGNALS_NO_SLEEPER: obs::Counter = obs::Counter::new();
 
 const WAITER_BIT: u32 = 1;
 
@@ -133,6 +154,7 @@ impl EventBuffer {
     /// (`signalAfterInsert`). Call *after* the element is visible.
     #[inline]
     pub fn signal(&self) {
+        SIGNALS.incr();
         let ticket = self.wake_tickets.fetch_add(1, Ordering::Relaxed);
         // Dekker handshake with `wait_until`: the producer publishes its
         // element, fences, then reads the sleeper count; the waiter bumps
@@ -141,6 +163,7 @@ impl EventBuffer {
         // producer misses the sleeper AND the sleeper misses the element.
         std::sync::atomic::fence(Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) == 0 {
+            SIGNALS_NO_SLEEPER.incr();
             return;
         }
         self.wake_one_from((ticket & self.mask) as usize);
@@ -203,6 +226,7 @@ impl EventBuffer {
         if self.closed.load(Ordering::Acquire) {
             return WaitOutcome::Closed;
         }
+        WAITS.incr();
         let ticket = self.sleep_tickets.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket & self.mask) as usize];
 
@@ -262,6 +286,7 @@ impl EventBuffer {
         // the delayed futex_wait below return instead of sleeping forever.
         fault::fail_point!("event.pre-park-delay");
 
+        PARKS.incr();
         let woken = match timeout {
             None => {
                 futex_wait(slot, parked_word);
@@ -273,6 +298,13 @@ impl EventBuffer {
         if self.closed.load(Ordering::Acquire) {
             WaitOutcome::Closed
         } else if woken {
+            // A wake with the predicate still false sends the caller
+            // straight back to sleep — the spurious-wakeup rate the
+            // paper's dispersal scheme is designed to keep low.
+            if !nonempty() {
+                SPURIOUS_WAKEUPS.incr();
+                obs::trace_event!(obs::EventKind::SpuriousWake);
+            }
             WaitOutcome::Woken
         } else {
             WaitOutcome::TimedOut

@@ -17,8 +17,24 @@
 //! delivered a spurious wakeup or `EINTR`. Forces every caller's
 //! re-check-the-predicate loop; a caller that treats "returned" as
 //! "signalled" loses wakeups or spins forever under this schedule.
+//!
+//! # Observability
+//!
+//! Always-on counters `futex.waits`, `futex.wait_timeouts`,
+//! `futex.wakes`, `futex.woken_threads` (exported through
+//! [`crate::obs::snapshot`]) and, under `obs-trace`, `futex_wait` /
+//! `futex_wake` flight-recorder events.
 
 use std::sync::atomic::AtomicU32;
+
+/// Completed [`futex_wait`] / [`futex_wait_timeout`] calls.
+pub(crate) static WAITS: obs::Counter = obs::Counter::new();
+/// Timed waits that expired without a wakeup.
+pub(crate) static WAIT_TIMEOUTS: obs::Counter = obs::Counter::new();
+/// [`futex_wake`] / [`futex_wake_all`] calls.
+pub(crate) static WAKES: obs::Counter = obs::Counter::new();
+/// Threads actually woken across all wake calls.
+pub(crate) static WOKEN_THREADS: obs::Counter = obs::Counter::new();
 
 /// Block the calling thread while `*atom == expected`.
 ///
@@ -27,6 +43,8 @@ use std::sync::atomic::AtomicU32;
 /// caller must re-check its predicate — the event buffer does.
 #[inline]
 pub fn futex_wait(atom: &AtomicU32, expected: u32) {
+    WAITS.incr();
+    obs::trace_event!(obs::EventKind::FutexWait);
     fault::fail_point!("futex.spurious-wake", return);
     imp::wait(atom, None, expected);
 }
@@ -39,8 +57,14 @@ pub fn futex_wait_timeout(
     expected: u32,
     timeout: std::time::Duration,
 ) -> bool {
+    WAITS.incr();
+    obs::trace_event!(obs::EventKind::FutexWait, 1);
     fault::fail_point!("futex.spurious-wake", return true);
-    imp::wait(atom, Some(timeout), expected)
+    let woken = imp::wait(atom, Some(timeout), expected);
+    if !woken {
+        WAIT_TIMEOUTS.incr();
+    }
+    woken
 }
 
 /// Wake up to `count` threads blocked in [`futex_wait`] on `atom`.
@@ -48,13 +72,21 @@ pub fn futex_wait_timeout(
 /// Returns the number of threads woken (best effort on the fallback path).
 #[inline]
 pub fn futex_wake(atom: &AtomicU32, count: u32) -> usize {
-    imp::wake(atom, count)
+    WAKES.incr();
+    let woken = imp::wake(atom, count);
+    WOKEN_THREADS.add(woken as u64);
+    obs::trace_event!(obs::EventKind::FutexWake, woken as u32);
+    woken
 }
 
 /// Wake every thread blocked on `atom`.
 #[inline]
 pub fn futex_wake_all(atom: &AtomicU32) -> usize {
-    imp::wake(atom, u32::MAX)
+    WAKES.incr();
+    let woken = imp::wake(atom, u32::MAX);
+    WOKEN_THREADS.add(woken as u64);
+    obs::trace_event!(obs::EventKind::FutexWake, woken as u32);
+    woken
 }
 
 #[cfg(all(

@@ -19,6 +19,10 @@
 //! `event.pre-park-delay`) that chaos tests arm through the `fault`
 //! crate; without the feature they expand to nothing.
 //!
+//! Always-on counters (futex waits/wakes, event parks and spurious
+//! wakeups, trylock contention) are exported by [`obs::snapshot`]; with
+//! `obs/obs-trace` the same sites also emit flight-recorder events.
+//!
 //! [`RawTryLock`]: trylock::RawTryLock
 
 #![warn(missing_docs)]
@@ -26,6 +30,7 @@
 pub mod backoff;
 pub mod event;
 pub mod futex;
+pub mod obs;
 pub mod pad;
 pub mod trylock;
 

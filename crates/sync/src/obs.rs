@@ -1,0 +1,59 @@
+//! Observability exports for the sync substrate.
+//!
+//! The futex, event-buffer and trylock counters are process-global
+//! `obs::Counter` statics (one set for the whole crate — recording must
+//! stay a single relaxed `fetch_add`, so there is no per-instance
+//! registry indirection on the hot path). This module snapshots them.
+
+use crate::{event, futex, trylock};
+
+/// Point-in-time copy of every sync-substrate counter, plus the derived
+/// `trylock.contention_ratio` (failed / attempted `try_lock`s — the
+/// restart pressure §4.1's trylock-and-restart policy responds to).
+pub fn snapshot() -> obs::Snapshot {
+    let mut s = obs::Snapshot::new();
+    s.push_counter("futex.waits", futex::WAITS.get());
+    s.push_counter("futex.wait_timeouts", futex::WAIT_TIMEOUTS.get());
+    s.push_counter("futex.wakes", futex::WAKES.get());
+    s.push_counter("futex.woken_threads", futex::WOKEN_THREADS.get());
+    s.push_counter("event.waits", event::WAITS.get());
+    s.push_counter("event.parks", event::PARKS.get());
+    s.push_counter("event.spurious_wakeups", event::SPURIOUS_WAKEUPS.get());
+    s.push_counter("event.signals", event::SIGNALS.get());
+    s.push_counter("event.signals_no_sleeper", event::SIGNALS_NO_SLEEPER.get());
+    let attempts = trylock::TRYLOCK_ATTEMPTS.get();
+    let failures = trylock::TRYLOCK_FAILURES.get();
+    s.push_counter("trylock.attempts", attempts);
+    s.push_counter("trylock.failures", failures);
+    s.push_ratio(
+        "trylock.contention_ratio",
+        if attempts == 0 { 0.0 } else { failures as f64 / attempts as f64 },
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{futex_wake, EventBuffer, RawTryLock, TatasLock};
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn snapshot_reflects_substrate_activity() {
+        // Counters are process-global and other tests run concurrently,
+        // so assert deltas on a before/after pair of snapshots.
+        let before = super::snapshot();
+        let l = TatasLock::default();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        l.unlock();
+        futex_wake(&AtomicU32::new(0), 1);
+        let ev = EventBuffer::new();
+        ev.signal();
+        let after = super::snapshot();
+        assert!(after.counter("trylock.attempts").unwrap() >= before.counter("trylock.attempts").unwrap() + 2);
+        assert!(after.counter("trylock.failures").unwrap() > before.counter("trylock.failures").unwrap());
+        assert!(after.counter("futex.wakes").unwrap() > before.counter("futex.wakes").unwrap());
+        assert!(after.counter("event.signals").unwrap() > before.counter("event.signals").unwrap());
+        assert!(after.ratio("trylock.contention_ratio").unwrap() > 0.0);
+    }
+}

@@ -30,6 +30,25 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use crate::backoff::Backoff;
 use crate::futex::{futex_wait, futex_wake};
 
+/// `try_lock` attempts across all three lock types (always-on; the
+/// contention ratio `failures / attempts` is exported through
+/// [`crate::obs::snapshot`]).
+pub(crate) static TRYLOCK_ATTEMPTS: obs::Counter = obs::Counter::new();
+/// Failed `try_lock` attempts (contended or injected-spurious).
+pub(crate) static TRYLOCK_FAILURES: obs::Counter = obs::Counter::new();
+
+/// Count one attempt/outcome pair and emit the `lock_fail` trace event
+/// on failure.
+#[inline]
+fn note_try_lock(ok: bool) -> bool {
+    TRYLOCK_ATTEMPTS.incr();
+    if !ok {
+        TRYLOCK_FAILURES.incr();
+        obs::trace_event!(obs::EventKind::LockFail);
+    }
+    ok
+}
+
 /// A raw lock with both blocking and non-blocking acquisition.
 ///
 /// `unlock` is safe to call only by the lock holder; the RAII
@@ -108,10 +127,10 @@ impl RawTryLock for TasLock {
 
     #[inline]
     fn try_lock(&self) -> bool {
-        fault::fail_point!("trylock.spurious-fail", return false);
+        fault::fail_point!("trylock.spurious-fail", return note_try_lock(false));
         // Acquire on success orders the critical section after the
         // previous holder's release store.
-        !self.held.swap(true, Ordering::Acquire)
+        note_try_lock(!self.held.swap(true, Ordering::Acquire))
     }
 
     #[inline]
@@ -147,10 +166,12 @@ impl RawTryLock for TatasLock {
 
     #[inline]
     fn try_lock(&self) -> bool {
-        fault::fail_point!("trylock.spurious-fail", return false);
+        fault::fail_point!("trylock.spurious-fail", return note_try_lock(false));
         // The cheap load filters out attempts that would fail anyway; this
         // is what makes trylock-and-restart profitable in insert() (§4.1).
-        !self.held.load(Ordering::Relaxed) && !self.held.swap(true, Ordering::Acquire)
+        note_try_lock(
+            !self.held.load(Ordering::Relaxed) && !self.held.swap(true, Ordering::Acquire),
+        )
     }
 
     #[inline]
@@ -229,10 +250,12 @@ impl RawTryLock for OsLock {
 
     #[inline]
     fn try_lock(&self) -> bool {
-        fault::fail_point!("trylock.spurious-fail", return false);
-        self.state
-            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+        fault::fail_point!("trylock.spurious-fail", return note_try_lock(false));
+        note_try_lock(
+            self.state
+                .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok(),
+        )
     }
 
     #[inline]

@@ -123,4 +123,11 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
     fn len_hint(&self) -> usize {
         self.len_hint()
     }
+
+    fn metrics(&self) -> Option<obs::Snapshot> {
+        let mut s = self.stats().to_obs();
+        s.push_gauge("zmsq.len_hint", self.len_hint() as i64);
+        s.push_counter("zmsq.leaked_buffers", self.leaked_buffers());
+        Some(s)
+    }
 }

@@ -150,6 +150,10 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Drop for UnwindUnlock<'_, V, S, L> {
             unsafe { node.refresh_cache() };
             node.unlock();
         }
+        // The tree is usable again; preserve the flight recorder's view
+        // of the moments leading up to the panic (no-op unless the
+        // `obs-trace` feature compiled the recorder in).
+        obs::recorder::dump_on_failure("zmsq-unwind-recovery");
     }
 }
 
@@ -166,6 +170,9 @@ impl Drop for AbortOnUnwind {
                  aborting rather than leaving a corrupt queue",
                 self.0
             );
+            // Last words: flush the flight recorder so the post-mortem
+            // shows what led here (no-op without `obs-trace`).
+            obs::recorder::dump_on_failure(self.0);
             std::process::abort();
         }
     }
@@ -253,6 +260,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 Ok(()) => {
                     self.stats.fast_pool_inserts.incr();
                     self.stats.inserts.incr();
+                    obs::trace_event!(obs::EventKind::Insert, 1, prio);
                     if let Some(ev) = &self.events {
                         ev.signal();
                     }
@@ -280,6 +288,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             }
         }
         self.stats.inserts.incr();
+        obs::trace_event!(obs::EventKind::Insert, 0, prio);
         if let Some(ev) = &self.events {
             ev.signal();
         }
@@ -415,6 +424,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             let grown = self.tree.grow(leaf);
             if grown > leaf {
                 self.stats.tree_grows.incr();
+                obs::trace_event!(obs::EventKind::TreeGrow, grown as u32);
             } else if grown == leaf && self.tree.is_saturated() {
                 // Saturated and no good leaf found: fall back to a random
                 // leaf on the regular path — the binary search will place
@@ -615,6 +625,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         };
         node.unlock();
         self.stats.splits.incr();
+        obs::trace_event!(obs::EventKind::Split, pos.0 as u32);
 
         // Distribute the demoted elements across both children. Their
         // maxes can only grow up to the parent's kept minimum, so the
@@ -665,11 +676,14 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             if let Some(got) = self.pool.try_claim() {
                 self.stats.pool_hits.incr();
                 self.stats.extracts.incr();
+                obs::trace_event!(obs::EventKind::PoolHit, 0, got.0);
                 return Some(got);
             }
+            obs::trace_event!(obs::EventKind::PoolMiss);
             match self.extract_root() {
                 RootOutcome::Got(got) => {
                     self.stats.extracts.incr();
+                    obs::trace_event!(obs::EventKind::Extract, 0, got.0);
                     return Some(got);
                 }
                 RootOutcome::Empty => {
@@ -802,10 +816,12 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             unsafe { root.set_mut().drain_top(n, scratch) };
             self.pool.refill_locked(scratch);
             self.stats.pool_refills.incr();
+            obs::trace_event!(obs::EventKind::PoolRefill, n as u32);
         }
         // SAFETY: root locked.
         unsafe { root.refresh_cache() };
         self.stats.root_extracts.incr();
+        obs::trace_event!(obs::EventKind::RootAccess);
         self.swap_down((0, 0)); // consumes the root lock
         RootOutcome::Got(best)
     }

@@ -130,6 +130,30 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
     fn len_hint(&self) -> usize {
         self.len_hint()
     }
+    fn metrics(&self) -> Option<obs::Snapshot> {
+        // Sum the per-shard operation counters into one queue-level view.
+        let mut total = crate::StatsSnapshot::default();
+        for sh in &self.shards {
+            let s = sh.stats();
+            total.inserts += s.inserts;
+            total.insert_retries += s.insert_retries;
+            total.forced_inserts += s.forced_inserts;
+            total.min_swap_inserts += s.min_swap_inserts;
+            total.fast_pool_inserts += s.fast_pool_inserts;
+            total.splits += s.splits;
+            total.tree_grows += s.tree_grows;
+            total.extracts += s.extracts;
+            total.pool_hits += s.pool_hits;
+            total.pool_refills += s.pool_refills;
+            total.root_extracts += s.root_extracts;
+            total.swap_downs += s.swap_downs;
+            total.empty_observed += s.empty_observed;
+            total.trylock_fails += s.trylock_fails;
+        }
+        let mut snap = total.to_obs();
+        snap.push_gauge("zmsq.shards", self.shards.len() as i64);
+        Some(snap)
+    }
 }
 
 #[cfg(test)]

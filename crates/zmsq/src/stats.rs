@@ -5,56 +5,18 @@
 //! "only 3% of extractMax() calls access the root", §4.2) — these counters
 //! regenerate those observations. A single shared cache line of counters
 //! would serialize every operation, so each logical counter is striped
-//! across cache-padded slots indexed by a thread hash; reads sum the
-//! stripes.
+//! across cache-padded slots; reads sum the stripes.
+//!
+//! The counter itself is [`obs::Counter`], which assigns stripes to
+//! threads round-robin from a global ticket (an earlier revision hashed
+//! `ThreadId` through `DefaultHasher`, which clusters badly for the
+//! sequential ids real programs produce — see the distribution test
+//! below). [`StatsSnapshot::to_obs`] exports a snapshot into the shared
+//! observability schema for the bench harness's `*.metrics.json`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use zmsq_sync::CachePadded;
-
-const STRIPES: usize = 16;
-
-/// A monotone counter striped over [`STRIPES`] cache lines.
-#[derive(Default)]
-pub(crate) struct Striped {
-    cells: [CachePadded<AtomicU64>; STRIPES],
-}
-
-#[inline]
-fn stripe_index() -> usize {
-    use std::cell::Cell;
-    thread_local! {
-        static IDX: Cell<usize> = const { Cell::new(usize::MAX) };
-    }
-    IDX.with(|c| {
-        let mut v = c.get();
-        if v == usize::MAX {
-            // Derive a stable per-thread stripe from the thread id hash.
-            use std::hash::{Hash, Hasher};
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            std::thread::current().id().hash(&mut h);
-            v = (h.finish() as usize) % STRIPES;
-            c.set(v);
-        }
-        v
-    })
-}
-
-impl Striped {
-    #[inline]
-    pub fn add(&self, n: u64) {
-        self.cells[stripe_index()].fetch_add(n, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn incr(&self) {
-        self.add(1);
-    }
-
-    pub fn sum(&self) -> u64 {
-        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-}
+/// A monotone counter striped over cache-padded slots. Alias of
+/// [`obs::Counter`]; kept under the original name for the queue internals.
+pub(crate) use obs::Counter as Striped;
 
 /// All per-queue counters. Fields are incremented with relaxed atomics on
 /// thread-striped cache lines; the overhead is a handful of cycles per op.
@@ -146,6 +108,35 @@ impl StatsSnapshot {
         }
         self.root_extracts as f64 / self.extracts as f64
     }
+
+    /// Export into the shared observability schema under `zmsq.*` names,
+    /// including the derived `zmsq.root_access_ratio` the §4.2 recipe in
+    /// `EXPERIMENTS.md` reads out of `*.metrics.json`.
+    pub fn to_obs(&self) -> obs::Snapshot {
+        let mut s = obs::Snapshot::new();
+        s.push_counter("zmsq.inserts", self.inserts);
+        s.push_counter("zmsq.insert_retries", self.insert_retries);
+        s.push_counter("zmsq.forced_inserts", self.forced_inserts);
+        s.push_counter("zmsq.min_swap_inserts", self.min_swap_inserts);
+        s.push_counter("zmsq.fast_pool_inserts", self.fast_pool_inserts);
+        s.push_counter("zmsq.splits", self.splits);
+        s.push_counter("zmsq.tree_grows", self.tree_grows);
+        s.push_counter("zmsq.extracts", self.extracts);
+        s.push_counter("zmsq.pool_hits", self.pool_hits);
+        s.push_counter("zmsq.pool_refills", self.pool_refills);
+        s.push_counter("zmsq.root_extracts", self.root_extracts);
+        s.push_counter("zmsq.swap_downs", self.swap_downs);
+        s.push_counter("zmsq.empty_observed", self.empty_observed);
+        s.push_counter("zmsq.trylock_fails", self.trylock_fails);
+        s.push_ratio("zmsq.root_access_ratio", self.root_access_ratio());
+        if self.extracts > 0 {
+            s.push_ratio(
+                "zmsq.pool_hit_ratio",
+                self.pool_hits as f64 / self.extracts as f64,
+            );
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +162,39 @@ mod tests {
         assert_eq!(s.sum(), 80_000);
     }
 
+    /// The old `DefaultHasher(ThreadId)` stripe assignment could cluster
+    /// many threads onto few stripes; the round-robin ticket guarantees
+    /// near-uniform spread. With 4 full rounds of threads over the stripe
+    /// count, every stripe must receive work and no stripe may carry more
+    /// than a small multiple of its fair share.
+    #[test]
+    fn many_threads_spread_across_all_stripes() {
+        let threads = 4 * obs::STRIPES;
+        let s = Arc::new(Striped::default());
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || s.add(1)));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let loads = s.stripe_loads();
+        assert_eq!(loads.iter().sum::<u64>(), threads as u64);
+        let fair = threads as u64 / obs::STRIPES as u64;
+        assert!(
+            loads.iter().all(|&l| l > 0),
+            "stripe starved: {loads:?}"
+        );
+        // Other test threads in this process also consume ticket numbers,
+        // shifting which stripes our threads land on — but round-robin
+        // still bounds any stripe's load by fair + (ticket interleavers).
+        assert!(
+            loads.iter().all(|&l| l <= 3 * fair),
+            "stripe overloaded: {loads:?}"
+        );
+    }
+
     #[test]
     fn snapshot_reflects_increments() {
         let st = Stats::default();
@@ -189,5 +213,22 @@ mod tests {
     #[test]
     fn root_ratio_zero_when_idle() {
         assert_eq!(StatsSnapshot::default().root_access_ratio(), 0.0);
+    }
+
+    #[test]
+    fn to_obs_exports_counters_and_ratio() {
+        let st = Stats::default();
+        st.extracts.add(100);
+        st.root_extracts.add(3);
+        st.pool_hits.add(97);
+        let s = st.snapshot().to_obs();
+        assert_eq!(s.counter("zmsq.extracts"), Some(100));
+        assert_eq!(s.counter("zmsq.root_extracts"), Some(3));
+        let r = s.ratio("zmsq.root_access_ratio").unwrap();
+        assert!((r - 0.03).abs() < 1e-9);
+        assert!((s.ratio("zmsq.pool_hit_ratio").unwrap() - 0.97).abs() < 1e-9);
+        // The export must serialize into the shared JSON schema.
+        let json = s.to_json();
+        assert!(obs::json::parse(&json).is_ok());
     }
 }

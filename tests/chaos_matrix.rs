@@ -52,6 +52,24 @@ fn chaos_seed() -> u64 {
     }
 }
 
+/// Failure hook: when the owning test panics, dump the obs flight
+/// recorder to `target/obs-dump-<seed>.json` so the trace leading up to
+/// the failure is preserved alongside the replayable `CHAOS_SEED`. On a
+/// passing test the guard drops silently.
+struct DumpOnFail(u64);
+
+impl Drop for DumpOnFail {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let path =
+                std::path::PathBuf::from(format!("target/obs-dump-{:#x}.json", self.0));
+            if obs::recorder::dump_to_file(&path).is_ok() {
+                eprintln!("chaos: flight recorder dumped to {}", path.display());
+            }
+        }
+    }
+}
+
 /// XOR+sum conservation under concurrent producers/consumers: the
 /// fundamental safety property, immune to reordering by construction.
 fn run_conservation(q: &(impl ConcurrentPriorityQueue<u64> + Sync), per_thread: u64) {
@@ -138,6 +156,7 @@ fn conservation_consumer_wait_under_claim_delay() {
     fault::reset();
     let seed = chaos_seed();
     fault::set_seed(seed ^ 0x01);
+    let _dump = DumpOnFail(seed ^ 0x01);
     fault::configure(
         "pool.claim-delay",
         Policy::new(Trigger::Prob(0.2)).with_action(Action::SleepMs(1)),
@@ -167,6 +186,7 @@ fn conservation_hazard_and_leak_under_faults() {
     for (tag, reclamation) in [(0x02u64, Reclamation::Hazard), (0x03, Reclamation::Leak)] {
         fault::reset();
         fault::set_seed(seed ^ tag);
+        let _dump = DumpOnFail(seed ^ tag);
         fault::configure("trylock.spurious-fail", Policy::new(Trigger::Prob(0.05)));
         fault::configure("smr.protect-retry", Policy::new(Trigger::Prob(0.2)));
         fault::configure(
@@ -191,6 +211,7 @@ fn emptiness_guarantee_under_faults() {
     fault::reset();
     let seed = chaos_seed();
     fault::set_seed(seed ^ 0x04);
+    let _dump = DumpOnFail(seed ^ 0x04);
     fault::configure("trylock.spurious-fail", Policy::new(Trigger::Prob(0.05)));
     fault::configure(
         "pool.claim-delay",
@@ -258,6 +279,7 @@ fn blocking_liveness_under_faults() {
     fault::reset();
     let seed = chaos_seed();
     fault::set_seed(seed ^ 0x05);
+    let _dump = DumpOnFail(seed ^ 0x05);
     fault::configure("futex.spurious-wake", Policy::new(Trigger::Prob(0.3)));
     fault::configure(
         "event.pre-park-delay",
@@ -305,6 +327,7 @@ fn insert_panic_recovery_under_faults() {
     fault::reset();
     let seed = chaos_seed();
     fault::set_seed(seed ^ 0x06);
+    let _dump = DumpOnFail(seed ^ 0x06);
     fault::configure(
         "queue.insert.locked-panic",
         Policy::new(Trigger::EveryNth(97)).with_action(Action::Panic("chaos")),
@@ -335,6 +358,7 @@ fn extract_panic_recovery_under_faults() {
     fault::reset();
     let seed = chaos_seed();
     fault::set_seed(seed ^ 0x07);
+    let _dump = DumpOnFail(seed ^ 0x07);
     let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(4).target_len(6));
     const N: u64 = 2_000;
     for i in 0..N {
@@ -366,6 +390,7 @@ fn timeout_holds_under_spurious_wake_storm() {
     fault::reset();
     let seed = chaos_seed();
     fault::set_seed(seed ^ 0x08);
+    let _dump = DumpOnFail(seed ^ 0x08);
     fault::configure("futex.spurious-wake", Policy::new(Trigger::Always));
     let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().blocking(true));
     let timeout = Duration::from_millis(40);
