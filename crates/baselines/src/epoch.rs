@@ -81,7 +81,9 @@ impl Guard {
 
 /// Pin the current thread's epoch participant.
 pub fn pin() -> Guard {
-    Guard { inner: Some(smr::ebr::pin()) }
+    Guard {
+        inner: Some(smr::ebr::pin()),
+    }
 }
 
 /// A guard usable without pinning, for contexts with exclusive access
@@ -128,13 +130,19 @@ unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 impl<T> Atomic<T> {
     /// A null link.
     pub const fn null() -> Self {
-        Self { data: AtomicUsize::new(0), _marker: PhantomData }
+        Self {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
     }
 
     /// Allocate `value` on the heap and point at it.
     pub fn new(value: T) -> Self {
         let data = Owned::new(value).into_usize();
-        Self { data: AtomicUsize::new(data), _marker: PhantomData }
+        Self {
+            data: AtomicUsize::new(data),
+            _marker: PhantomData,
+        }
     }
 
     /// Load a snapshot valid for `_guard`'s pin.
@@ -160,7 +168,10 @@ impl<T> Atomic<T> {
         _guard: &'g Guard,
     ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
         let new_data = new.into_usize();
-        match self.data.compare_exchange(current.data, new_data, success, failure) {
+        match self
+            .data
+            .compare_exchange(current.data, new_data, success, failure)
+        {
             Ok(_) => Ok(Shared::from_data(new_data)),
             Err(actual) => Err(CompareExchangeError {
                 current: Shared::from_data(actual),
@@ -186,7 +197,9 @@ pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
 
 impl<T, P: Pointer<T>> std::fmt::Debug for CompareExchangeError<'_, T, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CompareExchangeError").field("current", &self.current).finish_non_exhaustive()
+        f.debug_struct("CompareExchangeError")
+            .field("current", &self.current)
+            .finish_non_exhaustive()
     }
 }
 
@@ -213,13 +226,19 @@ impl<T> Eq for Shared<'_, T> {}
 impl<T> std::fmt::Debug for Shared<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (raw, tag) = decompose::<T>(self.data);
-        f.debug_struct("Shared").field("raw", &raw).field("tag", &tag).finish()
+        f.debug_struct("Shared")
+            .field("raw", &raw)
+            .field("tag", &tag)
+            .finish()
     }
 }
 
 impl<'g, T> Shared<'g, T> {
     fn from_data(data: usize) -> Self {
-        Self { data, _marker: PhantomData }
+        Self {
+            data,
+            _marker: PhantomData,
+        }
     }
 
     /// The null snapshot.
@@ -274,7 +293,10 @@ impl<'g, T> Shared<'g, T> {
     /// every other thread) and must not have retired it.
     pub unsafe fn into_owned(self) -> Owned<T> {
         debug_assert!(!self.is_null());
-        Owned { data: (self.data & !low_bits::<T>()), _marker: PhantomData }
+        Owned {
+            data: (self.data & !low_bits::<T>()),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -288,7 +310,10 @@ pub struct Owned<T> {
 impl<T> Owned<T> {
     /// Box `value`.
     pub fn new(value: T) -> Self {
-        Self { data: Box::into_raw(Box::new(value)) as usize, _marker: PhantomData }
+        Self {
+            data: Box::into_raw(Box::new(value)) as usize,
+            _marker: PhantomData,
+        }
     }
 
     /// Publish as a [`Shared`] under `_guard` (ownership moves to the
@@ -305,7 +330,10 @@ impl<T> Pointer<T> for Owned<T> {
         data
     }
     unsafe fn from_usize(data: usize) -> Self {
-        Self { data, _marker: PhantomData }
+        Self {
+            data,
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -343,8 +371,8 @@ impl<T> Drop for Owned<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
 
     struct Node {
         value: u64,
@@ -360,7 +388,10 @@ mod tests {
     fn tag_roundtrip_preserves_pointer() {
         let drops = Arc::new(Counter::new(0));
         let guard = &pin();
-        let a = Atomic::new(Node { value: 7, drops: drops.clone() });
+        let a = Atomic::new(Node {
+            value: 7,
+            drops: drops.clone(),
+        });
         let s = a.load(Ordering::Acquire, guard);
         assert_eq!(s.tag(), 0);
         let marked = s.with_tag(1);
@@ -376,9 +407,15 @@ mod tests {
     fn failed_cas_hands_the_owned_back() {
         let drops = Arc::new(Counter::new(0));
         let guard = &pin();
-        let a = Atomic::new(Node { value: 1, drops: drops.clone() });
+        let a = Atomic::new(Node {
+            value: 1,
+            drops: drops.clone(),
+        });
         let actual = a.load(Ordering::Acquire, guard);
-        let fresh = Owned::new(Node { value: 2, drops: drops.clone() });
+        let fresh = Owned::new(Node {
+            value: 2,
+            drops: drops.clone(),
+        });
         // CAS against a stale expectation (null) must fail and return
         // both the live value and the un-consumed Owned.
         let err = a
@@ -404,7 +441,10 @@ mod tests {
         let drops = Arc::new(Counter::new(0));
         let guard = &pin();
         let a: Atomic<Node> = Atomic::null();
-        let fresh = Owned::new(Node { value: 9, drops: drops.clone() });
+        let fresh = Owned::new(Node {
+            value: 9,
+            drops: drops.clone(),
+        });
         let published = a
             .compare_exchange(
                 Shared::null(),
@@ -423,7 +463,10 @@ mod tests {
     #[test]
     fn defer_destroy_waits_for_the_pin() {
         let drops = Arc::new(Counter::new(0));
-        let a = Atomic::new(Node { value: 3, drops: drops.clone() });
+        let a = Atomic::new(Node {
+            value: 3,
+            drops: drops.clone(),
+        });
         {
             let guard = pin();
             let s = a.load(Ordering::Acquire, &guard);
@@ -446,7 +489,10 @@ mod tests {
     #[test]
     fn unprotected_defer_destroy_is_immediate() {
         let drops = Arc::new(Counter::new(0));
-        let a = Atomic::new(Node { value: 4, drops: drops.clone() });
+        let a = Atomic::new(Node {
+            value: 4,
+            drops: drops.clone(),
+        });
         let guard = unsafe { unprotected() };
         let s = a.load(Ordering::Relaxed, guard);
         unsafe { guard.defer_destroy(s) };

@@ -21,7 +21,9 @@ pub struct FifoQueue<V> {
 impl<V> FifoQueue<V> {
     /// New empty queue.
     pub fn new() -> Self {
-        Self { inner: Mutex::new(VecDeque::new()) }
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+        }
     }
 }
 

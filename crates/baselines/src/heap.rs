@@ -37,7 +37,9 @@ impl<V> Ord for Entry<V> {
 impl<V> CoarseHeap<V> {
     /// New empty heap.
     pub fn new() -> Self {
-        Self { heap: Mutex::new(BinaryHeap::new()) }
+        Self {
+            heap: Mutex::new(BinaryHeap::new()),
+        }
     }
 
     /// Exact current length.

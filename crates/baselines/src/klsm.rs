@@ -118,8 +118,7 @@ impl<V: Send> KLsm<V> {
 
     /// Spill a full local into the global component: one published run.
     fn spill(&self, local: &mut Local<V>) {
-        let run: Vec<(u64, V)> =
-            local.items.drain(..).map(|e| (e.prio, e.value)).collect();
+        let run: Vec<(u64, V)> = local.items.drain(..).map(|e| (e.prio, e.value)).collect();
         self.global.push_run(run);
     }
 
@@ -231,7 +230,9 @@ mod runstack {
 
     impl<V: Send> RunStack<V> {
         pub fn new() -> Self {
-            Self { head: Atomic::null() }
+            Self {
+                head: Atomic::null(),
+            }
         }
 
         /// Push a run built from `items` (any order; sorted internally).
@@ -317,8 +318,7 @@ mod runstack {
                     // SAFETY: the CAS uniquely claimed index `idx`; the
                     // value was written at construction and never touched
                     // since; the run is epoch-protected by `guard`.
-                    let value =
-                        unsafe { (*run.values[idx as usize].get()).assume_init_read() };
+                    let value = unsafe { (*run.values[idx as usize].get()).assume_init_read() };
                     return Some((top, value));
                 }
             }
@@ -475,7 +475,11 @@ mod runstack {
                     drop(rs.extract_max(guard));
                 }
             }
-            assert_eq!(live.load(O::SeqCst), 0, "claimed + dropped + chained all freed");
+            assert_eq!(
+                live.load(O::SeqCst),
+                0,
+                "claimed + dropped + chained all freed"
+            );
         }
     }
 }

@@ -282,8 +282,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for Mound<V> {
                 parent.lock.unlock();
                 continue 'restart;
             }
-            let valid =
-                node.head_key() <= Some(prio) && parent.head_key() > Some(prio);
+            let valid = node.head_key() <= Some(prio) && parent.head_key() > Some(prio);
             if !valid {
                 node.lock.unlock();
                 parent.lock.unlock();
@@ -447,6 +446,9 @@ mod tests {
         }
         assert_eq!(elements, 4096);
         let avg = elements as f64 / nonempty as f64;
-        assert!(avg < 8.0, "mound average list length should be small, got {avg:.2}");
+        assert!(
+            avg < 8.0,
+            "mound average list length should be small, got {avg:.2}"
+        );
     }
 }

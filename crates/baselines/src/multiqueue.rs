@@ -51,7 +51,10 @@ struct SubQueue<V> {
 
 impl<V> SubQueue<V> {
     fn new() -> Self {
-        Self { top: AtomicU64::new(EMPTY_TOP), heap: Mutex::new(BinaryHeap::new()) }
+        Self {
+            top: AtomicU64::new(EMPTY_TOP),
+            heap: Mutex::new(BinaryHeap::new()),
+        }
     }
 }
 
@@ -116,8 +119,10 @@ impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
         for _ in 0..self.queues.len() * 2 {
             let (i, j) = (self.random_index(), self.random_index());
             let (qi, qj) = (&self.queues[i], &self.queues[j]);
-            let (ti, tj) =
-                (qi.top.load(Ordering::Relaxed), qj.top.load(Ordering::Relaxed));
+            let (ti, tj) = (
+                qi.top.load(Ordering::Relaxed),
+                qj.top.load(Ordering::Relaxed),
+            );
             let pick = if ti >= tj { qi } else { qj };
             if ti == EMPTY_TOP && tj == EMPTY_TOP {
                 continue;
@@ -146,7 +151,10 @@ impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
     }
 
     fn len_hint(&self) -> usize {
-        self.queues.iter().map(|q| q.heap.lock().unwrap().len()).sum()
+        self.queues
+            .iter()
+            .map(|q| q.heap.lock().unwrap().len())
+            .sum()
     }
 }
 
@@ -180,7 +188,11 @@ mod tests {
         for _ in 0..100 {
             sum += q.extract_max().unwrap().0;
         }
-        assert!(sum / 100 > 8_000, "mean of first 100 extracts: {}", sum / 100);
+        assert!(
+            sum / 100 > 8_000,
+            "mean of first 100 extracts: {}",
+            sum / 100
+        );
     }
 
     #[test]

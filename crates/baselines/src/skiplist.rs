@@ -95,11 +95,7 @@ impl<V: Send> SkipList<V> {
         &self.head[level]
     }
 
-    fn pred_link<'g>(
-        &'g self,
-        pred: Option<&'g Node<V>>,
-        level: usize,
-    ) -> &'g Atomic<Node<V>> {
+    fn pred_link<'g>(&'g self, pred: Option<&'g Node<V>>, level: usize) -> &'g Atomic<Node<V>> {
         match pred {
             None => self.head_link(level),
             Some(p) => &p.next[level],
@@ -138,8 +134,7 @@ impl<V: Send> SkipList<V> {
                             guard,
                         ) {
                             Ok(_) => {
-                                let done =
-                                    c.unlinked.fetch_add(1, Ordering::AcqRel) + 1;
+                                let done = c.unlinked.fetch_add(1, Ordering::AcqRel) + 1;
                                 if done == c.height {
                                     // Fully unreachable: reclaim.
                                     // SAFETY: unlinked from every level it
@@ -249,11 +244,7 @@ impl<V: Send> SkipList<V> {
 
     /// Try to take ownership of `node`'s element. On success the element
     /// is returned and the tower is marked + lazily unlinked.
-    fn try_claim<'g>(
-        &self,
-        node: &'g Node<V>,
-        guard: &'g Guard,
-    ) -> Option<(u64, V)> {
+    fn try_claim<'g>(&self, node: &'g Node<V>, guard: &'g Guard) -> Option<(u64, V)> {
         if node.claimed.load(Ordering::Relaxed) {
             return None;
         }
@@ -344,8 +335,7 @@ impl<V: Send> SkipList<V> {
             return self.claim_first(guard);
         }
         const ATTEMPTS: usize = 3;
-        let start_height =
-            ((usize::BITS - t.leading_zeros()) as usize + 1).min(MAX_HEIGHT - 1);
+        let start_height = ((usize::BITS - t.leading_zeros()) as usize + 1).min(MAX_HEIGHT - 1);
         let log_t = (usize::BITS - t.leading_zeros()) as u64;
         // Total walk span over the front of the list. The SprayList
         // analysis allows O(T·log³T); the constant here is calibrated so
@@ -359,8 +349,7 @@ impl<V: Send> SkipList<V> {
             // the span so expected total displacement ≈ span / 2.
             let mut pred: Option<&Node<V>> = None;
             for level in (0..=start_height).rev() {
-                let per_level =
-                    (span / ((1u64 << level) * (start_height as u64 + 1))).max(1);
+                let per_level = (span / ((1u64 << level) * (start_height as u64 + 1))).max(1);
                 let jump = Self::rand_below(per_level + 1);
                 let mut steps = 0;
                 let mut curr = self.pred_link(pred, level).load(Ordering::Acquire, guard);
@@ -457,7 +446,10 @@ mod tests {
             assert!((1..=MAX_HEIGHT).contains(&h));
             counts[h] += 1;
         }
-        assert!(counts[1] > 1500 && counts[1] < 2600, "P(h=1) ~ 1/2: {counts:?}");
+        assert!(
+            counts[1] > 1500 && counts[1] < 2600,
+            "P(h=1) ~ 1/2: {counts:?}"
+        );
         let tall: usize = counts[3..].iter().sum();
         assert!(tall > 700, "P(h>=3) ~ 1/4: {counts:?}");
     }

@@ -103,7 +103,9 @@ pub struct StrictSkiplistPq<V> {
 impl<V: Send> StrictSkiplistPq<V> {
     /// New empty queue.
     pub fn new() -> Self {
-        Self { list: SkipList::new() }
+        Self {
+            list: SkipList::new(),
+        }
     }
 }
 

@@ -93,7 +93,10 @@ fn rank_quality_ordering() {
     assert!(strict > 9_900, "strict mean {strict}");
     assert!(spray > fifo, "spray ({spray}) must beat fifo ({fifo})");
     assert!(multi > fifo, "multiqueue ({multi}) must beat fifo ({fifo})");
-    assert!((4_000..6_000).contains(&fifo), "fifo ≈ uniform mean, got {fifo}");
+    assert!(
+        (4_000..6_000).contains(&fifo),
+        "fifo ≈ uniform mean, got {fifo}"
+    );
 }
 
 /// The mound is strict even under concurrent mixed load (per-thread

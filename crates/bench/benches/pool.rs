@@ -20,9 +20,8 @@ fn bench_batch_sweep(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
             b.iter_batched(
                 || {
-                    let q: Zmsq<u64> = Zmsq::with_config(
-                        ZmsqConfig::default().batch(batch).target_len(72),
-                    );
+                    let q: Zmsq<u64> =
+                        Zmsq::with_config(ZmsqConfig::default().batch(batch).target_len(72));
                     let mut x = 99u64;
                     for _ in 0..20_000 {
                         x = x.wrapping_mul(6364136223846793005).wrapping_add(1);

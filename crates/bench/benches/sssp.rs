@@ -25,9 +25,7 @@ fn bench_sssp(c: &mut Criterion) {
             b.iter(|| {
                 let q = match kind {
                     "zmsq" => make_zmsq::<u32>(42, 64, false, zmsq::Reclamation::Hazard),
-                    "zmsq-array" => {
-                        make_zmsq::<u32>(42, 64, true, zmsq::Reclamation::Hazard)
-                    }
+                    "zmsq-array" => make_zmsq::<u32>(42, 64, true, zmsq::Reclamation::Hazard),
                     other => make_queue::<u32>(other, 2),
                 };
                 let r = parallel_sssp(&graph, source, &q, 2);

@@ -21,9 +21,18 @@ fn variant(name: &str) -> (String, ZmsqConfig) {
     let base = ZmsqConfig::default().batch(32).target_len(32);
     let q = match name {
         "full" => QualityOpts::default(),
-        "no-forced" => QualityOpts { forced_insert: false, ..Default::default() },
-        "no-minswap" => QualityOpts { parent_min_swap: false, ..Default::default() },
-        "neither" => QualityOpts { forced_insert: false, parent_min_swap: false },
+        "no-forced" => QualityOpts {
+            forced_insert: false,
+            ..Default::default()
+        },
+        "no-minswap" => QualityOpts {
+            parent_min_swap: false,
+            ..Default::default()
+        },
+        "neither" => QualityOpts {
+            forced_insert: false,
+            parent_min_swap: false,
+        },
         _ => unreachable!(),
     };
     (name.to_string(), base.quality(q))
@@ -51,7 +60,10 @@ fn main() {
         // Density after a mixed workload (the §3.2 protocol, scaled).
         let mut q: Zmsq<u64> = Zmsq::with_config(cfg.clone());
         let mut keys = workloads::keys::KeyStream::new(
-            KeyDist::Normal { mean: 5e8, std_dev: 5e7 },
+            KeyDist::Normal {
+                mean: 5e8,
+                std_dev: 5e7,
+            },
             7,
         );
         let prefill = ops / 8;

@@ -30,8 +30,22 @@ fn run_one<L: RawTryLock + 'static>(
         .lock_strategy(strategy);
     let q: Zmsq<u64, zmsq::ListSet<u64>, L> = Zmsq::with_config(cfg);
     let (insert_pct, prefill, keys) = match mix {
-        "insert" => (100, 0, KeyDist::Normal { mean: (1u64 << 19) as f64, std_dev: (1u64 << 16) as f64 }),
-        "half" => (50, ops, KeyDist::Normal { mean: (1u64 << 19) as f64, std_dev: (1u64 << 16) as f64 }),
+        "insert" => (
+            100,
+            0,
+            KeyDist::Normal {
+                mean: (1u64 << 19) as f64,
+                std_dev: (1u64 << 16) as f64,
+            },
+        ),
+        "half" => (
+            50,
+            ops,
+            KeyDist::Normal {
+                mean: (1u64 << 19) as f64,
+                std_dev: (1u64 << 16) as f64,
+            },
+        ),
         other => panic!("unknown mix {other:?} (use insert|half)"),
     };
     let wcfg = MixedConfig {
@@ -61,12 +75,27 @@ fn main() {
     let args = Args::parse();
     let quick = args.get_bool("quick");
     let ops: u64 = args.get_num("ops", if quick { 100_000 } else { 1_000_000 });
-    let threads = args.get_list("threads", if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16, 24] });
+    let threads = args.get_list(
+        "threads",
+        if quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8, 16, 24]
+        },
+    );
     let mix = args.get("mix", "half");
     let stats = args.get_bool("stats");
 
     if stats {
-        bench::csv_header(&["mix", "lock", "threads", "mops_per_sec", "trylock_fail_ratio", "insert_retries", "splits"]);
+        bench::csv_header(&[
+            "mix",
+            "lock",
+            "threads",
+            "mops_per_sec",
+            "trylock_fail_ratio",
+            "insert_retries",
+            "splits",
+        ]);
     } else {
         bench::csv_header(&["mix", "lock", "threads", "mops_per_sec"]);
     }

@@ -37,8 +37,14 @@ fn main() {
     let args = Args::parse();
     let quick = args.get_bool("quick");
     let ops: u64 = args.get_num("ops", if quick { 100_000 } else { 1_000_000 });
-    let threads =
-        args.get_list("threads", if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16, 24] });
+    let threads = args.get_list(
+        "threads",
+        if quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8, 16, 24]
+        },
+    );
     let mix = args.get("mix", "half");
     let (insert_pct, prefill) = match mix.as_str() {
         "insert" => (100u32, 0u64),
@@ -55,7 +61,14 @@ fn main() {
     ];
     let statics: &[usize] = &[32, 64, 96];
 
-    bench::csv_header(&["mix", "config", "threads", "batch", "target_len", "mops_per_sec"]);
+    bench::csv_header(&[
+        "mix",
+        "config",
+        "threads",
+        "batch",
+        "target_len",
+        "mops_per_sec",
+    ]);
     for &t in &threads {
         let wcfg = MixedConfig {
             total_ops: ops,

@@ -19,7 +19,11 @@ fn main() {
     let producers: usize = args.get_num("producers", 4);
     let consumers = args.get_list(
         "consumers",
-        if quick { &[2, 8] } else { &[2, 4, 8, 16, 32, 64, 128, 256] },
+        if quick {
+            &[2, 8]
+        } else {
+            &[2, 4, 8, 16, 32, 64, 128, 256]
+        },
     );
     let items: u64 = args.get_num("items", if quick { 50_000 } else { 1_000_000 });
 
@@ -44,8 +48,7 @@ fn main() {
         };
         // Spinning consumers.
         {
-            let q: Zmsq<u64> =
-                Zmsq::with_config(ZmsqConfig::default().batch(32).target_len(48));
+            let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(32).target_len(48));
             let r = run_prodcons_spin(&q, &cfg);
             assert_eq!(r.received, items);
             println!(
@@ -60,7 +63,10 @@ fn main() {
         // Blocking consumers (futex buffer of §3.6).
         {
             let q: Zmsq<u64> = Zmsq::with_config(
-                ZmsqConfig::default().batch(32).target_len(48).blocking(true),
+                ZmsqConfig::default()
+                    .batch(32)
+                    .target_len(48)
+                    .blocking(true),
             );
             let r = run_prodcons_blocking(&q, &cfg);
             assert_eq!(r.received, items);

@@ -23,15 +23,24 @@ fn main() {
     let args = Args::parse();
     let quick = args.get_bool("quick");
     let ops: u64 = args.get_num("ops", if quick { 100_000 } else { 2_000_000 });
-    let threads =
-        args.get_list("threads", if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16, 24] });
+    let threads = args.get_list(
+        "threads",
+        if quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8, 16, 24]
+        },
+    );
     let mix = args.get("mix", "half");
     let key_bits: u32 = args.get_num("key-bits", 20);
     let queues_arg = args.get("queues", "");
     let queues: Vec<String> = if queues_arg.is_empty() {
         FIG5_QUEUES.iter().map(|s| s.to_string()).collect()
     } else {
-        queues_arg.split(',').map(|s| s.trim().to_string()).collect()
+        queues_arg
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect()
     };
 
     let insert_pct = match mix.as_str() {
@@ -41,7 +50,14 @@ fn main() {
         other => panic!("unknown mix {other:?}"),
     };
 
-    bench::csv_header(&["mix", "queue", "threads", "key_bits", "mops_per_sec", "extract_misses"]);
+    bench::csv_header(&[
+        "mix",
+        "queue",
+        "threads",
+        "key_bits",
+        "mops_per_sec",
+        "extract_misses",
+    ]);
     for &t in &threads {
         for kind in &queues {
             let q = make_queue::<u64>(kind, t);

@@ -27,8 +27,14 @@ fn queue_for(kind: &str, threads: usize) -> bench::queues::BoxedQueue<u32> {
 
 fn run_graph(name: &str, graph: &CsrGraph, args: &Args) {
     let quick = args.get_bool("quick");
-    let threads =
-        args.get_list("threads", if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16, 24] });
+    let threads = args.get_list(
+        "threads",
+        if quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8, 16, 24]
+        },
+    );
     let queues_arg = args.get("queues", "zmsq,zmsq-array,zmsq-leak,mound,spraylist");
     let runs: usize = args.get_num("runs", if quick { 1 } else { 3 });
 

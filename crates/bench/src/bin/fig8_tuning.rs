@@ -17,8 +17,14 @@ fn main() {
     let args = Args::parse();
     let quick = args.get_bool("quick");
     let scale: f64 = args.get_num("scale", if quick { 0.005 } else { 0.05 });
-    let threads =
-        args.get_list("threads", if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 12, 16, 24] });
+    let threads = args.get_list(
+        "threads",
+        if quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8, 12, 16, 24]
+        },
+    );
     let runs: usize = args.get_num("runs", 1);
 
     eprintln!("# generating LiveJournal-like graph at scale {scale}...");
@@ -34,8 +40,15 @@ fn main() {
 
     // The seven curves of Fig. 8 (a programmer's refinement search around
     // batch≈targetLen ratios), as described in §4.7.
-    let configs: &[(usize, usize)] =
-        &[(16, 24), (24, 36), (32, 48), (42, 64), (48, 72), (64, 96), (84, 128)];
+    let configs: &[(usize, usize)] = &[
+        (16, 24),
+        (24, 36),
+        (32, 48),
+        (42, 64),
+        (48, 72),
+        (64, 96),
+        (84, 128),
+    ];
 
     bench::csv_header(&["config", "threads", "time_ms", "waste_ratio"]);
     for &t in &threads {
@@ -49,7 +62,11 @@ fn main() {
                 ms += r.elapsed.as_secs_f64() * 1e3;
                 waste += r.waste_ratio();
             }
-            println!("zmsq-{b}-{tl},{t},{:.1},{:.4}", ms / runs as f64, waste / runs as f64);
+            println!(
+                "zmsq-{b}-{tl},{t},{:.1},{:.4}",
+                ms / runs as f64,
+                waste / runs as f64
+            );
         }
         // The best config's leak and array variants, plus the SprayList.
         for (label, array, reclaim) in [

@@ -7,10 +7,26 @@ fn main() {
     for (label, cfg) in [
         ("48-72 full", ZmsqConfig::default().batch(48).target_len(72)),
         ("16-24 full", ZmsqConfig::default().batch(16).target_len(24)),
-        ("48-72 no-minswap", ZmsqConfig::default().batch(48).target_len(72)
-            .quality(QualityOpts { parent_min_swap: false, ..Default::default() })),
-        ("48-72 neither", ZmsqConfig::default().batch(48).target_len(72)
-            .quality(QualityOpts { parent_min_swap: false, forced_insert: false })),
+        (
+            "48-72 no-minswap",
+            ZmsqConfig::default()
+                .batch(48)
+                .target_len(72)
+                .quality(QualityOpts {
+                    parent_min_swap: false,
+                    ..Default::default()
+                }),
+        ),
+        (
+            "48-72 neither",
+            ZmsqConfig::default()
+                .batch(48)
+                .target_len(72)
+                .quality(QualityOpts {
+                    parent_min_swap: false,
+                    forced_insert: false,
+                }),
+        ),
     ] {
         let q: Zmsq<u64> = Zmsq::with_config(cfg);
         run(label, &q);
@@ -30,12 +46,20 @@ where
         let mut x = 0xABCDEFu64;
         let t0 = Instant::now();
         for _ in 0..500_000u64 {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
             q.insert(x & 0xFFFFF, x);
         }
         let el = t0.elapsed();
         let s = q.stats();
-        println!("{label}: {:.3} Mops | min_swaps={} forced={} splits={} retries={}",
-            0.5 / el.as_secs_f64(), s.min_swap_inserts, s.forced_inserts, s.splits, s.insert_retries);
+        println!(
+            "{label}: {:.3} Mops | min_swaps={} forced={} splits={} retries={}",
+            0.5 / el.as_secs_f64(),
+            s.min_swap_inserts,
+            s.forced_inserts,
+            s.splits,
+            s.insert_retries
+        );
     }
 }

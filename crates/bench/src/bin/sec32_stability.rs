@@ -30,7 +30,13 @@ fn main() {
         probe_factor,
         ..ZmsqConfig::default().batch(batch).target_len(target_len)
     });
-    let mut keys = KeyStream::new(KeyDist::Normal { mean: 5e8, std_dev: 5e7 }, 0x5EC32);
+    let mut keys = KeyStream::new(
+        KeyDist::Normal {
+            mean: 5e8,
+            std_dev: 5e7,
+        },
+        0x5EC32,
+    );
 
     for _ in 0..prefill {
         let k = keys.next_key();
@@ -54,14 +60,13 @@ fn main() {
         "after_8m_pairs,{},{:.2},{:.2},{},{}",
         fin.nonempty_nodes, fin.mean, fin.std_dev, fin.min, fin.max
     );
-    q.validate_invariants().expect("invariants after stability run");
+    q.validate_invariants()
+        .expect("invariants after stability run");
     let st = q.stats();
     eprintln!(
         "# stats: tree_grows={} splits={} forced={} min_swaps={} retries={}",
         st.tree_grows, st.splits, st.forced_inserts, st.min_swap_inserts, st.insert_retries
     );
 
-    eprintln!(
-        "# paper: after completion, average count 32 (std dev 2.76) with targetLen=32"
-    );
+    eprintln!("# paper: after completion, average count 32 (std dev 2.76) with targetLen=32");
 }

@@ -7,7 +7,9 @@ fn main() {
     use pq_traits::ConcurrentPriorityQueue;
     for t in [2usize, 8, 32, 64] {
         let q: SprayList<u64> = SprayList::new(t);
-        for i in 0..1024u64 { q.insert(i, i); }
+        for i in 0..1024u64 {
+            q.insert(i, i);
+        }
         // Sample landing ranks without depletion bias: extract 1, reinsert.
         let mut ranks = Vec::new();
         for _ in 0..2000 {
@@ -18,9 +20,12 @@ fn main() {
         }
         ranks.sort_unstable();
         let mean: u64 = ranks.iter().sum::<u64>() / ranks.len() as u64;
-        let p50 = ranks[ranks.len()/2];
-        let p90 = ranks[ranks.len()*9/10];
+        let p50 = ranks[ranks.len() / 2];
+        let p90 = ranks[ranks.len() * 9 / 10];
         let max = *ranks.last().unwrap();
-        println!("t={t:>3}: samples={} mean_rank={mean} p50={p50} p90={p90} max={max}", ranks.len());
+        println!(
+            "t={t:>3}: samples={} mean_rank={mean} p50={p50} p90={p90} max={max}",
+            ranks.len()
+        );
     }
 }

@@ -28,7 +28,15 @@ fn main() {
     let zmsq_batches = [1usize, 4, 8, 16, 32, 64];
     let spray_threads = [1usize, 2, 4, 8, 16, 32, 64];
 
-    bench::csv_header(&["table", "queue", "param", "queue_size", "extracts", "hit_rate", "spurious_fails"]);
+    bench::csv_header(&[
+        "table",
+        "queue",
+        "param",
+        "queue_size",
+        "extracts",
+        "hit_rate",
+        "spurious_fails",
+    ]);
     for &n in &sizes {
         let table = if n <= 1024 { "1a" } else { "1b" };
         let extract_counts: Vec<usize> = if n <= 1024 {

@@ -36,7 +36,10 @@ impl Args {
 
     /// String flag with default.
     pub fn get(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Parsed numeric flag with default.
@@ -57,17 +60,17 @@ impl Args {
 
     /// Boolean flag (present or `--key true`).
     pub fn get_bool(&self, key: &str) -> bool {
-        matches!(self.flags.get(key).map(String::as_str), Some("true") | Some("1"))
+        matches!(
+            self.flags.get(key).map(String::as_str),
+            Some("true") | Some("1")
+        )
     }
 
     /// Comma-separated list of numbers with default.
     pub fn get_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
         match self.flags.get(key) {
             None => default.to_vec(),
-            Some(v) => v
-                .split(',')
-                .filter_map(|s| s.trim().parse().ok())
-                .collect(),
+            Some(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
         }
     }
 }

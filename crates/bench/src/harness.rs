@@ -79,7 +79,8 @@ impl Bencher {
                 std::hint::black_box(routine());
             }
             let dt = t.elapsed();
-            self.samples.push(dt.as_nanos() as f64 / iters_per_sample as f64);
+            self.samples
+                .push(dt.as_nanos() as f64 / iters_per_sample as f64);
         }
     }
 
@@ -145,15 +146,14 @@ impl Criterion {
 
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 
     /// Run one stand-alone benchmark.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         let line = run_one(self, name, f);
         println!("{line}");
         self
@@ -210,11 +210,7 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one(
-    criterion: &Criterion,
-    name: &str,
-    mut f: impl FnMut(&mut Bencher),
-) -> String {
+fn run_one(criterion: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) -> String {
     let mut b = Bencher {
         sample_time: criterion.measurement / criterion.samples as u32,
         samples: Vec::with_capacity(criterion.samples),
@@ -260,8 +256,7 @@ pub fn flush_metrics() {
     };
     let out = crate::metrics::MetricsOut::at(std::path::PathBuf::from(path));
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Err(e) = out.write(obs::global().snapshot(), "bench-harness", &args.join(" "))
-    {
+    if let Err(e) = out.write(obs::global().snapshot(), "bench-harness", &args.join(" ")) {
         eprintln!("metrics: write failed: {e}");
     }
 }
@@ -362,7 +357,9 @@ mod tests {
     fn record_samples_lands_in_global_registry() {
         record_samples("harness-test/attach", &[100.0, 2_000.0, -1.0]);
         let s = obs::global().snapshot();
-        let h = s.hist("bench.harness-test/attach_ns").expect("histogram registered");
+        let h = s
+            .hist("bench.harness-test/attach_ns")
+            .expect("histogram registered");
         assert_eq!(h.count, 3); // the negative sample clamps to 0
         assert!(h.max >= 2_000);
     }

@@ -91,17 +91,20 @@ mod tests {
         assert!(MetricsOut::from_args(&args(""), "x").is_none());
         let bare = MetricsOut::from_args(&args("--metrics"), "ops_latency").unwrap();
         assert_eq!(bare.path(), Path::new("results/ops_latency.metrics.json"));
-        let explicit =
-            MetricsOut::from_args(&args("--metrics target/t.json"), "x").unwrap();
+        let explicit = MetricsOut::from_args(&args("--metrics target/t.json"), "x").unwrap();
         assert_eq!(explicit.path(), Path::new("target/t.json"));
     }
 
     #[test]
     fn substrate_snapshot_exports_sync_and_smr_counters() {
         let s = substrate_snapshot();
-        for key in
-            ["futex.waits", "event.waits", "trylock.attempts", "hp.retired", "ebr.pins"]
-        {
+        for key in [
+            "futex.waits",
+            "event.waits",
+            "trylock.attempts",
+            "hp.retired",
+            "ebr.pins",
+        ] {
             assert!(s.counter(key).is_some(), "missing substrate counter {key}");
         }
     }
@@ -114,7 +117,14 @@ mod tests {
         out.write(snap, "unit-test", "--quick").unwrap();
         let body = std::fs::read_to_string(out.path()).unwrap();
         let v = obs::json::parse(&body).expect("metrics JSON must parse");
-        for key in ["meta", "counters", "gauges", "ratios", "histograms", "series"] {
+        for key in [
+            "meta",
+            "counters",
+            "gauges",
+            "ratios",
+            "histograms",
+            "series",
+        ] {
             assert!(v.get(key).is_some(), "missing top-level key {key}");
         }
         assert_eq!(

@@ -14,7 +14,12 @@ pub fn make_zmsq<V: Send + 'static>(
     array_set: bool,
     reclamation: Reclamation,
 ) -> BoxedQueue<V> {
-    make_zmsq_set(batch, target_len, if array_set { "array" } else { "list" }, reclamation)
+    make_zmsq_set(
+        batch,
+        target_len,
+        if array_set { "array" } else { "list" },
+        reclamation,
+    )
 }
 
 /// Construct a tuned ZMSQ with an explicit set representation
@@ -46,15 +51,11 @@ pub fn make_queue<V: Send + 'static>(kind: &str, threads: usize) -> BoxedQueue<V
     let default = ZmsqConfig::default(); // batch=48, targetLen=72 (§4.2)
     match kind {
         "zmsq" => Box::new(Zmsq::<V>::with_config(default)),
-        "zmsq-array" => {
-            Box::new(Zmsq::<V, ArraySet<V>, TatasLock>::with_config(default))
-        }
-        "zmsq-deque" => {
-            Box::new(Zmsq::<V, DequeSet<V>, TatasLock>::with_config(default))
-        }
-        "zmsq-leak" => {
-            Box::new(Zmsq::<V>::with_config(default.reclamation(Reclamation::Leak)))
-        }
+        "zmsq-array" => Box::new(Zmsq::<V, ArraySet<V>, TatasLock>::with_config(default)),
+        "zmsq-deque" => Box::new(Zmsq::<V, DequeSet<V>, TatasLock>::with_config(default)),
+        "zmsq-leak" => Box::new(Zmsq::<V>::with_config(
+            default.reclamation(Reclamation::Leak),
+        )),
         "zmsq-wait" => Box::new(Zmsq::<V>::with_config(
             default.reclamation(Reclamation::ConsumerWait),
         )),
@@ -72,8 +73,14 @@ pub fn make_queue<V: Send + 'static>(kind: &str, threads: usize) -> BoxedQueue<V
 }
 
 /// The paper's Fig. 5 lineup.
-pub const FIG5_QUEUES: &[&str] =
-    &["zmsq", "zmsq-array", "zmsq-deque", "zmsq-leak", "mound", "spraylist"];
+pub const FIG5_QUEUES: &[&str] = &[
+    "zmsq",
+    "zmsq-array",
+    "zmsq-deque",
+    "zmsq-leak",
+    "mound",
+    "spraylist",
+];
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,412 @@
+//! The explorer: run many schedules, stop at the first failure, shrink
+//! its choice trace, and report it with everything needed for a
+//! byte-identical replay.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use fault::DetRng;
+
+use crate::sched::{vthread_main, FailureKind, Inner};
+use crate::strategy::{Strategy, StrategyState};
+
+/// Exploration parameters. Construct with [`Config::new`] or
+/// [`Config::from_env`], then adjust with the builder methods.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Master seed; schedule `k` derives its own seed from `(seed, k)`.
+    pub seed: u64,
+    /// How many schedules to explore.
+    pub schedules: u32,
+    /// Run exactly one schedule index (replay mode).
+    pub only: Option<u32>,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// Per-schedule decision budget; exceeding it fails the schedule
+    /// (livelock suspect).
+    pub max_steps: u64,
+    /// Offer futex-parked vthreads as spurious-wakeup candidates.
+    pub spurious_wakes: bool,
+    /// Replay budget for shrinking a failing trace (0 disables).
+    pub shrink_budget: u32,
+    /// PCT change-point horizon (decision indices are drawn in
+    /// `1..=horizon`).
+    pub pct_horizon: u64,
+    /// Real-time watchdog per schedule; tripping it means det itself
+    /// lost control (not replayable).
+    pub wall_limit: Duration,
+}
+
+impl Config {
+    /// Defaults: 64 random-walk schedules, 200k-step budget, shrinking on.
+    pub fn new(seed: u64) -> Self {
+        Config {
+            seed,
+            schedules: 64,
+            only: None,
+            strategy: Strategy::RandomWalk,
+            max_steps: 200_000,
+            spurious_wakes: false,
+            shrink_budget: 80,
+            pct_horizon: 1024,
+            wall_limit: Duration::from_secs(60),
+        }
+    }
+
+    /// Like [`Config::new`], honouring `DET_SEED` (decimal or `0x` hex),
+    /// `DET_SCHEDULES`, and `DET_SCHEDULE` (replay a single schedule)
+    /// environment overrides — the replay workflow printed in failure
+    /// reports.
+    pub fn from_env(default_seed: u64) -> Self {
+        let mut cfg = Config::new(parse_env_u64("DET_SEED").unwrap_or(default_seed));
+        if let Some(n) = parse_env_u64("DET_SCHEDULES") {
+            cfg.schedules = n as u32;
+        }
+        if let Some(k) = parse_env_u64("DET_SCHEDULE") {
+            cfg.only = Some(k as u32);
+        }
+        cfg
+    }
+
+    /// Set the number of schedules to explore.
+    pub fn schedules(mut self, n: u32) -> Self {
+        self.schedules = n;
+        self
+    }
+
+    /// Set the scheduling strategy.
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Set the per-schedule decision budget.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Enable or disable spurious-wakeup exploration.
+    pub fn spurious_wakes(mut self, on: bool) -> Self {
+        self.spurious_wakes = on;
+        self
+    }
+
+    /// Set the shrink replay budget (0 disables shrinking).
+    pub fn shrink_budget(mut self, n: u32) -> Self {
+        self.shrink_budget = n;
+        self
+    }
+
+    /// Run exactly one schedule index.
+    pub fn only(mut self, k: u32) -> Self {
+        self.only = Some(k);
+        self
+    }
+
+    /// Set the PCT change-point horizon. Pick it close to the schedule's
+    /// expected decision count: change points drawn past the end of the
+    /// schedule never fire, so a horizon much larger than the real
+    /// length degenerates PCT into run-to-completion order.
+    pub fn pct_horizon(mut self, n: u64) -> Self {
+        self.pct_horizon = n;
+        self
+    }
+}
+
+fn parse_env_u64(name: &str) -> Option<u64> {
+    let v = std::env::var(name).ok()?;
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// Aggregate statistics from a clean exploration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExploreStats {
+    /// Schedules executed.
+    pub schedules: u32,
+    /// Total decisions across all schedules.
+    pub steps: u64,
+}
+
+/// A failing schedule: everything needed to reproduce and report it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Master seed of the exploration.
+    pub seed: u64,
+    /// Index of the failing schedule.
+    pub schedule: u32,
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Strategy in effect.
+    pub strategy: Strategy,
+    /// Number of vthreads the schedule had spawned.
+    pub vthreads: usize,
+    /// Decisions taken before the failure.
+    pub steps: u64,
+    /// Full recorded choice trace.
+    pub trace: Vec<u32>,
+    /// Shrunk choice trace (equal to `trace` when shrinking is off or
+    /// the failure is not replayable).
+    pub shrunk: Vec<u32>,
+}
+
+impl Failure {
+    /// Write the report (plus the full trace) to
+    /// `target/det-failure-<seed>-s<schedule>.txt`, best effort. CI
+    /// uploads these as artifacts.
+    pub fn write_artifact(&self) {
+        let dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+        let path = format!(
+            "{dir}/det-failure-0x{:016X}-s{}.txt",
+            self.seed, self.schedule
+        );
+        let body = format!(
+            "{self}\nfull trace ({} decisions):\n{:?}\n",
+            self.trace.len(),
+            self.trace
+        );
+        let _ = std::fs::write(&path, body);
+        eprintln!("det: failure report written to {path}");
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "det: failing schedule found")?;
+        writeln!(f, "  seed     = 0x{:016X}", self.seed)?;
+        writeln!(f, "  schedule = {}", self.schedule)?;
+        writeln!(f, "  strategy = {}", self.strategy.name())?;
+        writeln!(f, "  vthreads = {}", self.vthreads)?;
+        writeln!(f, "  steps    = {}", self.steps)?;
+        writeln!(f, "  kind     = {}", self.kind)?;
+        writeln!(
+            f,
+            "  trace    = {} decisions, shrunk to {}: {:?}",
+            self.trace.len(),
+            self.shrunk.len(),
+            self.shrunk
+        )?;
+        write!(
+            f,
+            "  replay   = DET_SEED=0x{:X} DET_SCHEDULE={} <same test> (byte-identical)",
+            self.seed, self.schedule
+        )
+    }
+}
+
+/// Suppress the default "thread 'det-vt…' panicked" spew: exploration
+/// and shrinking intentionally re-run failing schedules many times, and
+/// the panic text is already captured in the failure report. Installed
+/// once, chains to the previous hook for every non-det thread.
+fn install_panic_silencer() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let det_vt = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("det-vt"));
+            if det_vt {
+                // Record the failure pre-unwind: the unwind may never
+                // reach `vthread_main`'s catch_unwind — an
+                // abort-on-unwind guard in its path parks the vthread
+                // mid-unwind instead (`park_failed_vthread`) — so the
+                // report must be filed before unwinding starts. Do not
+                // block here: std's panic-hook lock is held while the
+                // hook runs.
+                let payload = info.payload();
+                let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                let msg = match info.location() {
+                    Some(loc) => format!("{msg} (at {loc})"),
+                    None => msg,
+                };
+                crate::sched::fail_current(msg);
+                // Stay silent (no default-hook backtrace spam) and let
+                // the unwind run; catch_unwind or an unwind guard
+                // finishes the teardown.
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn derive_schedule_seed(seed: u64, schedule: u32) -> u64 {
+    let mut s = seed ^ u64::from(schedule).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    fault::rng::splitmix64(&mut s)
+}
+
+pub(crate) struct RunOutcome {
+    pub failure: Option<FailureKind>,
+    pub trace: Vec<u32>,
+    pub steps: u64,
+    pub vthreads: usize,
+}
+
+/// Execute one schedule (optionally replaying a recorded trace).
+pub(crate) fn run_one(
+    cfg: &Config,
+    schedule: u32,
+    replay: Option<Vec<u32>>,
+    body: &Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    install_panic_silencer();
+    let schedule_seed = derive_schedule_seed(cfg.seed, schedule);
+    let mut rng = DetRng::seed_from_u64(schedule_seed);
+    let strategy = StrategyState::new(cfg.strategy, &mut rng, cfg.pct_horizon);
+    let (tx, rx) = mpsc::channel();
+    let inner = Arc::new(Inner::new(
+        rng,
+        strategy,
+        replay,
+        cfg.max_steps,
+        schedule_seed,
+        cfg.spurious_wakes,
+        tx,
+    ));
+    let root_result: Arc<Mutex<Option<()>>> = Arc::new(Mutex::new(None));
+    let os = {
+        let inner = Arc::clone(&inner);
+        let root_result = Arc::clone(&root_result);
+        let body = Arc::clone(body);
+        std::thread::Builder::new()
+            .name("det-vt0".into())
+            .stack_size(512 * 1024)
+            .spawn(move || vthread_main(inner, 0, root_result, move || body()))
+            .expect("failed to spawn det root vthread")
+    };
+    if rx.recv_timeout(cfg.wall_limit).is_err() {
+        inner.fail_external(FailureKind::WallClock(cfg.wall_limit.as_secs()));
+    }
+    let (failure, trace, steps, vthreads) = inner.snapshot();
+    if failure.is_none() {
+        let _ = os.join();
+    }
+    RunOutcome {
+        failure,
+        trace,
+        steps,
+        vthreads,
+    }
+}
+
+/// Delta-debug the failing choice trace: try deleting chunks, then
+/// zeroing chunks (fewer context switches), keeping every mutation that
+/// still fails. Replays are total — choices are taken mod the live
+/// option count, and an exhausted trace falls back to the (seeded,
+/// deterministic) strategy — so any mutation is a valid schedule.
+fn shrink(
+    cfg: &Config,
+    schedule: u32,
+    trace: &[u32],
+    body: &Arc<dyn Fn() + Send + Sync>,
+) -> Vec<u32> {
+    let mut cur = trace.to_vec();
+    let mut budget = cfg.shrink_budget;
+    let still_fails = |cand: &Vec<u32>, budget: &mut u32| -> bool {
+        *budget -= 1;
+        run_one(cfg, schedule, Some(cand.clone()), body)
+            .failure
+            .is_some()
+    };
+    let mut size = (cur.len() / 2).max(1);
+    loop {
+        let mut progress = false;
+        // Deletion pass at this granularity.
+        let mut i = 0;
+        while i < cur.len() && budget > 0 {
+            let mut cand = cur.clone();
+            cand.drain(i..(i + size).min(cand.len()));
+            if still_fails(&cand, &mut budget) {
+                cur = cand;
+                progress = true;
+            } else {
+                i += size;
+            }
+        }
+        // Zeroing pass: choice 0 = lowest-id runnable (fewest switches).
+        let mut i = 0;
+        while i < cur.len() && budget > 0 {
+            let end = (i + size).min(cur.len());
+            if cur[i..end].iter().any(|&c| c != 0) {
+                let mut cand = cur.clone();
+                for c in &mut cand[i..end] {
+                    *c = 0;
+                }
+                if still_fails(&cand, &mut budget) {
+                    cur = cand;
+                    progress = true;
+                }
+            }
+            i += size;
+        }
+        if budget == 0 || cur.is_empty() || (size == 1 && !progress) {
+            break;
+        }
+        size = (size / 2).max(1);
+    }
+    cur
+}
+
+/// Explore schedules of `body`; return statistics, or the first failure
+/// (with a shrunk trace) as an `Err`.
+pub fn explore_result<F>(cfg: &Config, body: F) -> Result<ExploreStats, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut stats = ExploreStats::default();
+    let schedules: Vec<u32> = match cfg.only {
+        Some(k) => vec![k],
+        None => (0..cfg.schedules).collect(),
+    };
+    for k in schedules {
+        let out = run_one(cfg, k, None, &body);
+        stats.schedules += 1;
+        stats.steps += out.steps;
+        if let Some(kind) = out.failure {
+            // Wall-clock failures are not deterministic; replaying them
+            // (and thus shrinking) is meaningless.
+            let shrunk = if matches!(kind, FailureKind::WallClock(_)) || cfg.shrink_budget == 0 {
+                out.trace.clone()
+            } else {
+                shrink(cfg, k, &out.trace, &body)
+            };
+            return Err(Failure {
+                seed: cfg.seed,
+                schedule: k,
+                kind,
+                strategy: cfg.strategy,
+                vthreads: out.vthreads,
+                steps: out.steps,
+                trace: out.trace,
+                shrunk,
+            });
+        }
+    }
+    Ok(stats)
+}
+
+/// Explore schedules of `body`; on failure, write the report artifact
+/// and panic with the full replay banner.
+pub fn explore<F>(cfg: &Config, body: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(f) = explore_result(cfg, body) {
+        f.write_artifact();
+        panic!("{f}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Deterministic schedule exploration ("loom-lite") for the ZMSQ
+//! reproduction.
+//!
+//! Stress tests probe interleavings with OS-scheduler luck; this crate
+//! *controls* them. A test body runs as a set of **virtual threads**
+//! (real OS threads serialized one-runnable-at-a-time by a token gate),
+//! and a seeded scheduler picks who runs at every **decision point**:
+//! the cfg-gated yield points threaded through `zmsq-sync`'s trylocks,
+//! futexes and backoff, `zmsq`'s insert/extract/pool paths and `smr`'s
+//! hazard-pointer protect/retire, plus `det::spawn`/`join` and the
+//! futex park/wake interposition.
+//!
+//! * **Strategies** — seeded random walk and PCT (random priorities
+//!   with `d − 1` priority change points), see [`Strategy`].
+//! * **Virtual time** — timed futex waits park with a virtual deadline;
+//!   the clock only advances when nothing is runnable, so a 10-second
+//!   timeout costs microseconds and timeout paths are exhaustively
+//!   explorable. All-blocked-with-no-deadline is reported as a
+//!   deadlock, which turns lost-wakeup bugs into deterministic
+//!   failures.
+//! * **Replay & shrinking** — every schedule is a pure function of
+//!   `(seed, schedule index)`; a failure report prints both, and
+//!   re-running with `DET_SEED`/`DET_SCHEDULE` reproduces it
+//!   byte-identically. The recorded choice trace is delta-debugged
+//!   (chunk deletion, then zeroing toward fewer context switches) into
+//!   a minimal schedule before reporting.
+//!
+//! # Hooking model
+//!
+//! The scheduler machinery in this crate is always compiled (plain safe
+//! std code, unit-tested in the default build). What the `det-sched`
+//! feature gates is the *call sites* in the production crates: the
+//! [`det_point!`], [`det_futex_wait!`], [`det_futex_wake!`] and
+//! [`det_thread_seed!`] macros expand to nothing without it — the same
+//! zero-cost pattern as `fault::fail_point!` and `obs::trace_event!`.
+//! Enable the workspace-level `det-sched` feature (which forwards to
+//! every instrumented crate) when running det tests; enabling only
+//! `det/det-sched` would give you yield points without futex
+//! interposition and schedules could stall on real futexes.
+//!
+//! # Limitations
+//!
+//! Serialized execution explores *interleavings at yield-point
+//! granularity under sequential consistency*. It cannot observe weak
+//! memory reordering — that is Miri's / the memory model's domain — and
+//! it only preempts where a hook exists, so races between two plain
+//! loads with no decision point in between are invisible. The yield
+//! point map in DESIGN.md lists where preemption can happen.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! // A classic lost update: load, preemption point, store.
+//! fn body() {
+//!     let c = Arc::new(AtomicU64::new(0));
+//!     let hs: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let c = Arc::clone(&c);
+//!             det::spawn(move || {
+//!                 let v = c.load(Ordering::SeqCst);
+//!                 det::yield_point("example.rmw");
+//!                 c.store(v + 1, Ordering::SeqCst);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in hs {
+//!         h.join();
+//!     }
+//!     assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+//! }
+//!
+//! let cfg = det::Config::new(0xD5EED).schedules(64).shrink_budget(16);
+//! let failure = det::explore_result(&cfg, body).unwrap_err();
+//! assert!(matches!(failure.kind, det::FailureKind::Panic(_)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod explore;
+mod sched;
+mod strategy;
+
+pub use explore::{explore, explore_result, Config, ExploreStats, Failure};
+pub use sched::{
+    active, futex_wait_intercept, futex_wake_intercept, park_failed_vthread, spawn, vclock_ns,
+    vthread_rng_seed, yield_point, FailureKind, JoinHandle,
+};
+pub use strategy::Strategy;
+
+/// Named preemption point. Compiles to nothing without `det-sched`;
+/// with it, a one-TLS-read no-op outside a det schedule.
+#[cfg(feature = "det-sched")]
+#[macro_export]
+macro_rules! det_point {
+    ($name:expr) => {
+        $crate::yield_point($name)
+    };
+}
+
+/// Named preemption point. Compiles to nothing without `det-sched`;
+/// with it, a one-TLS-read no-op outside a det schedule.
+#[cfg(not(feature = "det-sched"))]
+#[macro_export]
+macro_rules! det_point {
+    ($name:expr) => {};
+}
+
+/// Futex-wait interposition: `det_futex_wait!(atom, expected, timeout)`
+/// evaluates to `Option<bool>` — `Some(woken)` when a det schedule
+/// handled the wait virtually (`false` = virtual timeout), `None` when
+/// the caller must fall through to the real futex. Constant `None`
+/// without `det-sched`.
+#[cfg(feature = "det-sched")]
+#[macro_export]
+macro_rules! det_futex_wait {
+    ($atom:expr, $expected:expr, $timeout:expr) => {{
+        let __atom = &$atom;
+        $crate::futex_wait_intercept(
+            __atom.as_ptr() as usize,
+            || __atom.load(::core::sync::atomic::Ordering::Acquire) == $expected,
+            $timeout,
+        )
+    }};
+}
+
+/// Futex-wait interposition: `det_futex_wait!(atom, expected, timeout)`
+/// evaluates to `Option<bool>` — `Some(woken)` when a det schedule
+/// handled the wait virtually (`false` = virtual timeout), `None` when
+/// the caller must fall through to the real futex. Constant `None`
+/// without `det-sched`.
+#[cfg(not(feature = "det-sched"))]
+#[macro_export]
+macro_rules! det_futex_wait {
+    ($atom:expr, $expected:expr, $timeout:expr) => {
+        ::core::option::Option::<bool>::None
+    };
+}
+
+/// Futex-wake interposition: `det_futex_wake!(atom, count)` evaluates
+/// to `Option<usize>` — `Some(woken)` when a det schedule handled the
+/// wake virtually, `None` when the caller must issue the real wake.
+/// Constant `None` without `det-sched`.
+#[cfg(feature = "det-sched")]
+#[macro_export]
+macro_rules! det_futex_wake {
+    ($atom:expr, $count:expr) => {
+        $crate::futex_wake_intercept(($atom).as_ptr() as usize, $count)
+    };
+}
+
+/// Futex-wake interposition: `det_futex_wake!(atom, count)` evaluates
+/// to `Option<usize>` — `Some(woken)` when a det schedule handled the
+/// wake virtually, `None` when the caller must issue the real wake.
+/// Constant `None` without `det-sched`.
+#[cfg(not(feature = "det-sched"))]
+#[macro_export]
+macro_rules! det_futex_wake {
+    ($atom:expr, $count:expr) => {
+        ::core::option::Option::<usize>::None
+    };
+}
+
+/// Abort-on-unwind escape hatch: inside a det schedule this parks the
+/// panicking vthread forever (never returns) instead of letting the
+/// caller abort the whole exploration process; outside one — and always
+/// without `det-sched` — it is a no-op and the caller's abort proceeds.
+#[cfg(feature = "det-sched")]
+#[macro_export]
+macro_rules! det_unwind_park {
+    () => {
+        let _ = $crate::park_failed_vthread();
+    };
+}
+
+/// Abort-on-unwind escape hatch: inside a det schedule this parks the
+/// panicking vthread forever (never returns) instead of letting the
+/// caller abort the whole exploration process; outside one — and always
+/// without `det-sched` — it is a no-op and the caller's abort proceeds.
+#[cfg(not(feature = "det-sched"))]
+#[macro_export]
+macro_rules! det_unwind_park {
+    () => {};
+}
+
+/// Per-vthread deterministic RNG seed for thread-local generators:
+/// `Some(seed)` inside a det schedule, constant `None` without
+/// `det-sched` (the generator falls back to its normal seeding).
+#[cfg(feature = "det-sched")]
+#[macro_export]
+macro_rules! det_thread_seed {
+    () => {
+        $crate::vthread_rng_seed()
+    };
+}
+
+/// Per-vthread deterministic RNG seed for thread-local generators:
+/// `Some(seed)` inside a det schedule, constant `None` without
+/// `det-sched` (the generator falls back to its normal seeding).
+#[cfg(not(feature = "det-sched"))]
+#[macro_export]
+macro_rules! det_thread_seed {
+    () => {
+        ::core::option::Option::<u64>::None
+    };
+}

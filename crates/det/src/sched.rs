@@ -1,0 +1,709 @@
+//! The serialized virtual-thread scheduler.
+//!
+//! A *schedule* runs the test body on a fresh set of OS threads
+//! ("vthreads"), but a token-passing gate guarantees that exactly one
+//! vthread executes at any instant — the execution is logically
+//! multiplexed onto a single stream, which is what makes every run a
+//! deterministic function of the scheduler's choice sequence. All
+//! cross-thread interaction funnels through *decision points*: explicit
+//! yield points, futex park/wake interposition, spawn and join. At each
+//! decision point the scheduler picks the next vthread to run with a
+//! seeded strategy (or from a recorded trace when replaying).
+//!
+//! Blocking is virtual: a vthread parked on a futex word is woken by a
+//! matching wake, by a strategy-chosen spurious wakeup, or — for timed
+//! waits — by the virtual clock, which advances only when no vthread is
+//! runnable. If nothing is runnable and no deadline is pending, the
+//! schedule has deadlocked and the run fails with a report.
+//!
+//! Failure teardown is deliberately sloppy: the first failure poisons
+//! the run, the failure is signalled to the explorer, and every other
+//! vthread is simply never scheduled again (small-stack OS threads
+//! parked forever). Failing schedules are rare and finite — exploration
+//! stops at the first one — so leaking a handful of 512 KiB stacks per
+//! failing replay is a far better trade than trying to unwind threads
+//! parked deep inside queue internals.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use fault::DetRng;
+
+use crate::strategy::StrategyState;
+
+/// How many recent decision-point names to keep for failure reports.
+const RECENT: usize = 16;
+/// Consecutive re-schedules of the same vthread before PCT demotes it —
+/// the standard escape hatch that stops a high-priority spin loop
+/// (e.g. a trylock retry) from starving the lock holder forever.
+const SPIN_DEMOTE: u32 = 192;
+
+/// Why a schedule failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A vthread panicked (assertion failure, oracle violation, …).
+    Panic(String),
+    /// Every live vthread was blocked with no pending virtual deadline.
+    Deadlock(String),
+    /// The per-schedule decision budget was exhausted (livelock suspect).
+    StepLimit(String),
+    /// Real time ran out — the scheduler itself wedged (a det bug) or a
+    /// vthread blocked outside det's control. Not replayable.
+    WallClock(u64),
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic(m) => write!(f, "panic: {m}"),
+            FailureKind::Deadlock(m) => write!(f, "deadlock: {m}"),
+            FailureKind::StepLimit(m) => write!(f, "step limit: {m}"),
+            FailureKind::WallClock(s) => {
+                write!(f, "wall-clock limit ({s}s) exceeded — not replayable")
+            }
+        }
+    }
+}
+
+/// What a vthread is blocked on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockKind {
+    /// Parked on a futex word (keyed by address) with an optional
+    /// virtual-clock deadline.
+    Futex { key: usize, deadline: Option<u64> },
+    /// Waiting for another vthread to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RunState {
+    Runnable,
+    Blocked(BlockKind),
+    Finished,
+}
+
+struct Vt {
+    run: RunState,
+    /// Result flag for the last futex park: `true` = woken (or spurious),
+    /// `false` = virtual timeout.
+    woken: bool,
+    /// Consecutive times this vthread was re-chosen while already active.
+    consec: u32,
+}
+
+impl Vt {
+    fn new() -> Self {
+        Vt {
+            run: RunState::Runnable,
+            woken: false,
+            consec: 0,
+        }
+    }
+}
+
+pub(crate) struct State {
+    threads: Vec<Vt>,
+    /// The vthread currently holding the execution token.
+    active: usize,
+    /// Unfinished vthreads.
+    live: usize,
+    rng: DetRng,
+    strategy: StrategyState,
+    /// When replaying/shrinking: the choice sequence to follow.
+    replay: Option<Vec<u32>>,
+    replay_pos: usize,
+    /// Recorded choices (indices into the per-decision option list, only
+    /// for decisions with more than one option).
+    trace: Vec<u32>,
+    steps: u64,
+    max_steps: u64,
+    /// Virtual clock, nanoseconds. Advances only when nothing is runnable.
+    vclock_ns: u64,
+    /// Futex keys in first-park order, for stable labels in reports.
+    futex_keys: Vec<usize>,
+    recent: VecDeque<&'static str>,
+    poisoned: bool,
+    failure: Option<FailureKind>,
+    /// Seed all per-vthread derived randomness (e.g. zmsq's leaf-pick
+    /// RNG) descends from, so replays are byte-identical.
+    schedule_seed: u64,
+    spurious_wakes: bool,
+}
+
+impl State {
+    fn futex_label(&mut self, key: usize) -> usize {
+        match self.futex_keys.iter().position(|&k| k == key) {
+            Some(i) => i,
+            None => {
+                self.futex_keys.push(key);
+                self.futex_keys.len() - 1
+            }
+        }
+    }
+
+    /// Advance the virtual clock to the earliest pending deadline and
+    /// wake every timed waiter it expires. Returns `false` when no
+    /// deadline is pending (a true deadlock).
+    fn advance_virtual_time(&mut self) -> bool {
+        let mut earliest: Option<u64> = None;
+        for t in &self.threads {
+            if let RunState::Blocked(BlockKind::Futex {
+                deadline: Some(d), ..
+            }) = t.run
+            {
+                earliest = Some(earliest.map_or(d, |e| e.min(d)));
+            }
+        }
+        let Some(d) = earliest else { return false };
+        if d > self.vclock_ns {
+            self.vclock_ns = d;
+        }
+        for t in &mut self.threads {
+            if let RunState::Blocked(BlockKind::Futex {
+                deadline: Some(dl), ..
+            }) = t.run
+            {
+                if dl <= self.vclock_ns {
+                    t.run = RunState::Runnable;
+                    t.woken = false; // timed out, not woken
+                }
+            }
+        }
+        true
+    }
+
+    /// Pick the next vthread to run; `None` when nothing is runnable.
+    /// Records the decision into the trace and applies side effects
+    /// (spurious wakeups, PCT change points and spin demotion).
+    fn choose(&mut self) -> Option<usize> {
+        let mut opts: Vec<usize> = Vec::with_capacity(self.threads.len());
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.run == RunState::Runnable {
+                opts.push(i);
+            }
+        }
+        if opts.is_empty() {
+            return None;
+        }
+        let nrun = opts.len();
+        if self.spurious_wakes {
+            // Spurious-wake candidates: futex-parked vthreads. Only
+            // offered while something is genuinely runnable, so a lost
+            // wakeup still deadlocks instead of being papered over by
+            // an endless spurious-wake loop.
+            for (i, t) in self.threads.iter().enumerate() {
+                if matches!(t.run, RunState::Blocked(BlockKind::Futex { .. })) {
+                    opts.push(i);
+                }
+            }
+        }
+        self.strategy.at_change_point(self.steps, self.active);
+        let idx = if opts.len() == 1 {
+            0
+        } else {
+            let replayed = match &self.replay {
+                Some(rp) if self.replay_pos < rp.len() => {
+                    let v = rp[self.replay_pos] as usize % opts.len();
+                    self.replay_pos += 1;
+                    Some(v)
+                }
+                _ => None,
+            };
+            match replayed {
+                Some(v) => v,
+                None => self.strategy.pick(&mut self.rng, &opts, nrun),
+            }
+        };
+        if opts.len() > 1 {
+            self.trace.push(idx as u32);
+        }
+        let chosen = opts[idx];
+        if idx >= nrun {
+            // Spurious wakeup of a parked vthread: it becomes runnable
+            // and its wait reports "woken" (the caller's predicate loop
+            // must re-check — exactly the path we want to explore).
+            let t = &mut self.threads[chosen];
+            t.run = RunState::Runnable;
+            t.woken = true;
+        }
+        if chosen == self.active {
+            self.threads[chosen].consec += 1;
+            if self.threads[chosen].consec >= SPIN_DEMOTE {
+                self.threads[chosen].consec = 0;
+                self.strategy.demote(chosen);
+            }
+        } else {
+            self.threads[chosen].consec = 0;
+        }
+        Some(chosen)
+    }
+
+    fn blocked_report(&self) -> String {
+        let mut parts = Vec::with_capacity(self.threads.len());
+        for (i, t) in self.threads.iter().enumerate() {
+            let s = match t.run {
+                RunState::Runnable => format!("vt{i}=runnable"),
+                RunState::Finished => format!("vt{i}=done"),
+                RunState::Blocked(BlockKind::Join(j)) => format!("vt{i}=join(vt{j})"),
+                RunState::Blocked(BlockKind::Futex { key, deadline }) => {
+                    let lbl = self
+                        .futex_keys
+                        .iter()
+                        .position(|&k| k == key)
+                        .unwrap_or(usize::MAX);
+                    match deadline {
+                        Some(d) => format!("vt{i}=futex#{lbl}@{d}ns"),
+                        None => format!("vt{i}=futex#{lbl}"),
+                    }
+                }
+            };
+            parts.push(s);
+        }
+        let recent: Vec<&str> = self.recent.iter().copied().collect();
+        format!(
+            "vclock={}ns [{}] recent=[{}]",
+            self.vclock_ns,
+            parts.join(" "),
+            recent.join(" ")
+        )
+    }
+}
+
+pub(crate) struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+    /// Signals the explorer exactly once per run: either all vthreads
+    /// finished cleanly or the run failed (inspect `state.failure`).
+    done: Sender<()>,
+}
+
+impl Inner {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        seed_rng: DetRng,
+        strategy: StrategyState,
+        replay: Option<Vec<u32>>,
+        max_steps: u64,
+        schedule_seed: u64,
+        spurious_wakes: bool,
+        done: Sender<()>,
+    ) -> Self {
+        Inner {
+            state: Mutex::new(State {
+                threads: vec![Vt::new()],
+                active: 0,
+                live: 1,
+                rng: seed_rng,
+                strategy,
+                replay,
+                replay_pos: 0,
+                trace: Vec::new(),
+                steps: 0,
+                max_steps,
+                vclock_ns: 0,
+                futex_keys: Vec::new(),
+                recent: VecDeque::with_capacity(RECENT),
+                poisoned: false,
+                failure: None,
+                schedule_seed,
+                spurious_wakes,
+            }),
+            cv: Condvar::new(),
+            done,
+        }
+    }
+
+    pub(crate) fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn snapshot(&self) -> (Option<FailureKind>, Vec<u32>, u64, usize) {
+        let st = self.lock_state();
+        (
+            st.failure.clone(),
+            st.trace.clone(),
+            st.steps,
+            st.threads.len(),
+        )
+    }
+
+    fn fail(&self, st: &mut State, kind: FailureKind) {
+        if st.failure.is_none() {
+            st.failure = Some(kind);
+            st.poisoned = true;
+            let _ = self.done.send(());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Poison the run from outside a vthread (wall-clock watchdog).
+    pub(crate) fn fail_external(&self, kind: FailureKind) {
+        let mut st = self.lock_state();
+        self.fail(&mut st, kind);
+    }
+
+    /// Never returns: the calling OS thread is abandoned. Used after the
+    /// run is poisoned — see the module docs for why leaking beats
+    /// unwinding threads parked inside queue internals.
+    fn park_forever(&self, mut st: MutexGuard<'_, State>) -> ! {
+        loop {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn gate_wait(&self, mut st: MutexGuard<'_, State>, me: usize) {
+        loop {
+            if st.poisoned {
+                self.park_forever(st);
+            }
+            if st.active == me && st.threads[me].run == RunState::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The heart of the scheduler: record a decision point, optionally
+    /// park the caller, pick a successor, hand over the token, and
+    /// return once the caller is scheduled again.
+    pub(crate) fn decision(&self, me: usize, block: Option<BlockKind>, name: &'static str) {
+        let mut st = self.lock_state();
+        if st.poisoned {
+            self.park_forever(st);
+        }
+        debug_assert_eq!(st.active, me, "decision from a non-active vthread");
+        if st.recent.len() == RECENT {
+            st.recent.pop_front();
+        }
+        st.recent.push_back(name);
+        if let Some(b) = block {
+            if let BlockKind::Futex { key, .. } = b {
+                st.futex_label(key);
+            }
+            st.threads[me].run = RunState::Blocked(b);
+            st.threads[me].woken = false;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let report = st.blocked_report();
+            self.fail(&mut st, FailureKind::StepLimit(report));
+            self.park_forever(st);
+        }
+        let chosen = loop {
+            if let Some(c) = st.choose() {
+                break c;
+            }
+            if !st.advance_virtual_time() {
+                let report = st.blocked_report();
+                self.fail(&mut st, FailureKind::Deadlock(report));
+                self.park_forever(st);
+            }
+        };
+        st.active = chosen;
+        if chosen == me && st.threads[me].run == RunState::Runnable {
+            return;
+        }
+        self.cv.notify_all();
+        self.gate_wait(st, me);
+    }
+
+    /// Mark `me` finished, wake its joiners, and hand the token onward.
+    /// Called as the last scheduler interaction of every vthread.
+    fn retire(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me].run = RunState::Finished;
+        st.live -= 1;
+        for t in st.threads.iter_mut() {
+            if let RunState::Blocked(BlockKind::Join(j)) = t.run {
+                if j == me {
+                    t.run = RunState::Runnable;
+                    t.woken = true;
+                }
+            }
+        }
+        if st.poisoned {
+            return;
+        }
+        if st.live == 0 {
+            let _ = self.done.send(());
+            return;
+        }
+        let chosen = loop {
+            if let Some(c) = st.choose() {
+                break c;
+            }
+            if !st.advance_virtual_time() {
+                let report = st.blocked_report();
+                self.fail(&mut st, FailureKind::Deadlock(report));
+                return; // this OS thread exits; the rest stay parked
+            }
+        };
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Inner>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<Inner>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// `true` while the calling thread is a vthread inside a det schedule.
+pub fn active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Record a named decision point and let the scheduler preempt here.
+/// No-op (one TLS read) outside a det schedule.
+pub fn yield_point(name: &'static str) {
+    if let Some((inner, me)) = current() {
+        inner.decision(me, None, name);
+    }
+}
+
+/// Interpose a futex wait. Returns `None` outside a det schedule (the
+/// caller must fall through to the real futex); `Some(woken)` when the
+/// wait was handled virtually — `woken == false` means the (virtual)
+/// timeout expired. `expected` is evaluated under the schedule's
+/// serialization, so there is no lost-wakeup window between the check
+/// and the park.
+pub fn futex_wait_intercept(
+    key: usize,
+    expected: impl FnOnce() -> bool,
+    timeout: Option<Duration>,
+) -> Option<bool> {
+    let (inner, me) = current()?;
+    if !expected() {
+        inner.decision(me, None, "futex.nowait");
+        return Some(true);
+    }
+    let deadline = timeout.map(|t| {
+        let st = inner.lock_state();
+        st.vclock_ns
+            .saturating_add(t.as_nanos().min(u128::from(u64::MAX)) as u64)
+    });
+    inner.decision(me, Some(BlockKind::Futex { key, deadline }), "futex.wait");
+    let st = inner.lock_state();
+    Some(st.threads[me].woken)
+}
+
+/// Interpose a futex wake: wake up to `count` vthreads parked on `key`.
+/// Returns `None` outside a det schedule.
+pub fn futex_wake_intercept(key: usize, count: u32) -> Option<usize> {
+    let (inner, me) = current()?;
+    let woken = {
+        let mut st = inner.lock_state();
+        if st.poisoned {
+            inner.park_forever(st);
+        }
+        let mut woken = 0usize;
+        for t in st.threads.iter_mut() {
+            if woken as u32 >= count {
+                break;
+            }
+            if let RunState::Blocked(BlockKind::Futex { key: k, .. }) = t.run {
+                if k == key {
+                    t.run = RunState::Runnable;
+                    t.woken = true;
+                    woken += 1;
+                }
+            }
+        }
+        woken
+    };
+    inner.decision(me, None, "futex.wake");
+    Some(woken)
+}
+
+/// Deterministic per-vthread RNG seed, derived from the schedule seed
+/// and the vthread id. `None` outside a det schedule. Thread-local RNGs
+/// (zmsq's leaf picker) reseed from this so replays are byte-identical.
+pub fn vthread_rng_seed() -> Option<u64> {
+    let (inner, me) = current()?;
+    let st = inner.lock_state();
+    let mut s = st.schedule_seed ^ ((me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    Some(fault::rng::splitmix64(&mut s))
+}
+
+/// Current virtual time in nanoseconds (0 outside a det schedule).
+pub fn vclock_ns() -> u64 {
+    current().map_or(0, |(inner, _)| inner.lock_state().vclock_ns)
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic-hook entry point (see `install_panic_silencer`): if the calling
+/// thread is a vthread inside a det schedule, record the panic as the
+/// run's failure *before unwinding starts*, then return so the unwind
+/// proceeds normally. Recording here (rather than in `vthread_main`'s
+/// `catch_unwind`) matters because the unwind may never get that far: a
+/// panic inside one of the queue's abort-on-unwind critical sections is
+/// diverted to [`park_failed_vthread`] mid-unwind, and by then the hook
+/// has already filed the report. Must NOT block: the hook runs while
+/// std's panic-hook lock is held, so parking here would deadlock the
+/// harness's hook restore at process exit.
+pub(crate) fn fail_current(msg: String) {
+    if let Some((inner, _me)) = current() {
+        let mut st = inner.lock_state();
+        inner.fail(&mut st, FailureKind::Panic(msg));
+    }
+}
+
+/// Escape hatch for abort-on-unwind guards: park the calling vthread
+/// forever if it is inside a det schedule (recording a failure first in
+/// the unlikely case none is filed yet), never returning. Returns
+/// `false` outside a det schedule so the caller can fall through to the
+/// real `abort`.
+///
+/// Under the harness, a panic unwinding into a multi-node critical
+/// section must not take down the whole exploration process. Parking
+/// upholds the guard's actual contract — the mid-window queue state is
+/// never observed again — through the leak policy instead of an abort;
+/// the panic hook filed the failure before unwinding began.
+pub fn park_failed_vthread() -> bool {
+    let Some((inner, _me)) = current() else {
+        return false;
+    };
+    let mut st = inner.lock_state();
+    inner.fail(
+        &mut st,
+        FailureKind::Panic("unwound into an abort-on-unwind critical section".into()),
+    );
+    inner.park_forever(st)
+}
+
+pub(crate) fn vthread_main<T>(
+    inner: Arc<Inner>,
+    id: usize,
+    result: Arc<Mutex<Option<T>>>,
+    f: impl FnOnce() -> T,
+) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner), id)));
+    {
+        let st = inner.lock_state();
+        inner.gate_wait(st, id);
+    }
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match out {
+        Ok(v) => {
+            *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            inner.retire(id);
+        }
+        Err(payload) => {
+            // The hook already filed the failure; `fail` is
+            // first-failure-wins, so this re-file is a no-op and only
+            // matters if a caller replaced the hook mid-run.
+            let msg = panic_message(payload);
+            let mut st = inner.lock_state();
+            st.threads[id].run = RunState::Finished;
+            inner.fail(&mut st, FailureKind::Panic(msg));
+            // This OS thread exits; the rest of the schedule stays parked.
+        }
+    }
+}
+
+/// Handle to a spawned vthread. Dropping it detaches the vthread (it
+/// keeps being scheduled until it finishes).
+pub struct JoinHandle<T> {
+    id: usize,
+    inner: Arc<Inner>,
+    result: Arc<Mutex<Option<T>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// The vthread's id (root is 0, spawned vthreads count up from 1).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Wait (virtually) for the vthread to finish and return its result.
+    ///
+    /// If the target panicked the whole schedule has already failed and
+    /// this never returns (the caller is parked with the rest of the
+    /// poisoned schedule).
+    pub fn join(mut self) -> T {
+        let (inner, me) = current().expect("det::JoinHandle::join outside a det schedule");
+        debug_assert!(Arc::ptr_eq(&inner, &self.inner), "join across schedules");
+        let finished = {
+            let st = inner.lock_state();
+            st.threads[self.id].run == RunState::Finished
+        };
+        let block = if finished {
+            None
+        } else {
+            Some(BlockKind::Join(self.id))
+        };
+        inner.decision(me, block, "det.join");
+        let v = self
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("det vthread finished without storing a result");
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        v
+    }
+}
+
+/// Stack size for vthreads: small, because failing schedules leak their
+/// parked threads by design. Queue operations are shallow.
+const VT_STACK: usize = 512 * 1024;
+
+/// Spawn a new vthread inside the current det schedule.
+///
+/// Panics when called outside a schedule — det test bodies must create
+/// all their concurrency through `det::spawn` so the scheduler sees it.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (inner, me) = current().expect("det::spawn called outside a det schedule");
+    let result = Arc::new(Mutex::new(None));
+    let id = {
+        let mut st = inner.lock_state();
+        let id = st.threads.len();
+        st.threads.push(Vt::new());
+        st.live += 1;
+        let draw = st.rng.next_u64();
+        st.strategy.on_spawn(draw);
+        id
+    };
+    let os = {
+        let inner = Arc::clone(&inner);
+        let result = Arc::clone(&result);
+        std::thread::Builder::new()
+            .name(format!("det-vt{id}"))
+            .stack_size(VT_STACK)
+            .spawn(move || vthread_main(inner, id, result, f))
+            .expect("failed to spawn det vthread")
+    };
+    // The child is registered runnable, so this decision point may
+    // schedule it before spawn() returns — child-runs-first orders are
+    // part of the explored space.
+    inner.decision(me, None, "det.spawn");
+    JoinHandle {
+        id,
+        inner,
+        result,
+        os: Some(os),
+    }
+}

@@ -1,0 +1,150 @@
+//! Scheduling strategies.
+//!
+//! * [`Strategy::RandomWalk`] — at every decision point, pick uniformly
+//!   (weighted 4:1 against spurious-wake candidates) among the options.
+//!   Simple, surprisingly effective, and the default.
+//! * [`Strategy::Pct`] — Probabilistic Concurrency Testing (Burckhardt
+//!   et al., ASPLOS 2010): every vthread gets a random priority, the
+//!   highest-priority runnable vthread always runs, and `depth − 1`
+//!   priority *change points* are planted at random decision indices.
+//!   For a bug of depth `d` (one that needs `d` ordering constraints),
+//!   PCT finds it with probability ≥ 1/(n·k^(d−1)) per schedule — far
+//!   better than random walk for rare multi-step races.
+//!
+//! Both strategies record the chosen option index at every decision
+//! with more than one option; replay follows that trace and ignores the
+//! strategy entirely, which is what makes shrinking sound.
+
+use fault::DetRng;
+
+/// Exploration strategy for one [`crate::Config`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Seeded uniform random walk over runnable vthreads.
+    RandomWalk,
+    /// PCT with the given depth (number of ordering constraints the
+    /// target bug is assumed to need; `depth = 3` is a good default).
+    Pct {
+        /// Bug depth `d`: `d − 1` priority change points per schedule.
+        depth: u32,
+    },
+}
+
+impl Strategy {
+    /// Stable name used in failure reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::RandomWalk => "random-walk",
+            Strategy::Pct { .. } => "pct",
+        }
+    }
+}
+
+/// Per-schedule mutable strategy state.
+pub(crate) enum StrategyState {
+    Walk,
+    Pct {
+        /// Priority per vthread; higher runs first. Initial priorities
+        /// are `(1 << 64) | random`, demotions take descending values
+        /// below `1 << 64`, so every demotion lands under all initial
+        /// priorities and under all earlier demotions.
+        prios: Vec<u128>,
+        /// Decision indices (sorted) at which the active vthread's
+        /// priority drops.
+        change_points: Vec<u64>,
+        demote_mark: u64,
+    },
+}
+
+impl StrategyState {
+    /// Build the per-schedule state, drawing what it needs from the
+    /// schedule RNG (root vthread priority, change-point positions).
+    pub(crate) fn new(strategy: Strategy, rng: &mut DetRng, horizon: u64) -> Self {
+        match strategy {
+            Strategy::RandomWalk => StrategyState::Walk,
+            Strategy::Pct { depth } => {
+                let root_prio = (1u128 << 64) | u128::from(rng.next_u64());
+                let mut change_points: Vec<u64> = (1..depth.max(1))
+                    .map(|_| rng.random_range(1..=horizon.max(1)))
+                    .collect();
+                change_points.sort_unstable();
+                StrategyState::Pct {
+                    prios: vec![root_prio],
+                    change_points,
+                    demote_mark: u64::MAX,
+                }
+            }
+        }
+    }
+
+    /// Register a newly spawned vthread (priority drawn by the caller
+    /// from the schedule RNG so the draw order stays deterministic).
+    pub(crate) fn on_spawn(&mut self, draw: u64) {
+        if let StrategyState::Pct { prios, .. } = self {
+            prios.push((1u128 << 64) | u128::from(draw));
+        }
+    }
+
+    /// Apply a PCT priority change point if one lands on this step.
+    pub(crate) fn at_change_point(&mut self, step: u64, active: usize) {
+        if let StrategyState::Pct {
+            prios,
+            change_points,
+            demote_mark,
+        } = self
+        {
+            if change_points.binary_search(&step).is_ok() && active < prios.len() {
+                prios[active] = u128::from(*demote_mark);
+                *demote_mark = demote_mark.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Demote a vthread that has been re-scheduled too many consecutive
+    /// times (spin-loop escape hatch; no-op for random walk).
+    pub(crate) fn demote(&mut self, id: usize) {
+        if let StrategyState::Pct {
+            prios, demote_mark, ..
+        } = self
+        {
+            if id < prios.len() {
+                prios[id] = u128::from(*demote_mark);
+                *demote_mark = demote_mark.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Pick an option index. `opts[..nrun]` are runnable vthreads,
+    /// `opts[nrun..]` are spurious-wake candidates.
+    pub(crate) fn pick(&mut self, rng: &mut DetRng, opts: &[usize], nrun: usize) -> usize {
+        debug_assert!(opts.len() > 1);
+        match self {
+            StrategyState::Walk => {
+                // Weight runnable options 4:1 over spurious wakeups so
+                // forward progress dominates but spurious paths still
+                // get explored.
+                let total = 4 * nrun + (opts.len() - nrun);
+                let draw = rng.random_range(0..total as u64) as usize;
+                if draw < 4 * nrun {
+                    draw / 4
+                } else {
+                    nrun + (draw - 4 * nrun)
+                }
+            }
+            StrategyState::Pct { prios, .. } => {
+                // Highest-priority runnable vthread; spurious candidates
+                // are not taken by PCT (it models preemptions, not
+                // kernel noise). Ties are impossible in practice (128-bit
+                // priorities) but break toward the lowest id for
+                // determinism.
+                let mut best = 0usize;
+                for (i, &id) in opts.iter().enumerate().take(nrun) {
+                    if prios.get(id) > prios.get(opts[best]) {
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Core scheduler tests: these run in the default build (no features)
+//! because the det machinery is always compiled — only the hooks in the
+//! production crates are feature-gated.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use det::{Config, FailureKind, Strategy};
+
+/// Two read-modify-write vthreads with a preemption point between the
+/// load and the store: the canonical depth-1 race.
+fn lost_update_body() {
+    let c = Arc::new(AtomicU64::new(0));
+    let hs: Vec<_> = (0..2)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            det::spawn(move || {
+                let v = c.load(Ordering::SeqCst);
+                det::yield_point("test.rmw");
+                c.store(v + 1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for h in hs {
+        h.join();
+    }
+    assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+}
+
+#[test]
+fn sequential_body_is_trivially_clean() {
+    let cfg = Config::new(1).schedules(4);
+    let stats = det::explore_result(&cfg, || {
+        let h = det::spawn(|| 41 + 1);
+        assert_eq!(h.join(), 42);
+    })
+    .expect("no failure possible");
+    assert_eq!(stats.schedules, 4);
+}
+
+#[test]
+fn random_walk_finds_lost_update() {
+    let cfg = Config::new(0xD5EED).schedules(64).shrink_budget(24);
+    let f = det::explore_result(&cfg, lost_update_body).unwrap_err();
+    assert!(matches!(f.kind, FailureKind::Panic(_)), "got {:?}", f.kind);
+    assert!(f.shrunk.len() <= f.trace.len());
+}
+
+#[test]
+fn pct_finds_lost_update() {
+    let cfg = Config::new(0xD5EED)
+        .schedules(256)
+        .strategy(Strategy::Pct { depth: 3 })
+        // The toy body is ~8 decisions long; keep the change-point
+        // horizon in the same range so change points actually fire.
+        .pct_horizon(12)
+        .shrink_budget(24);
+    let f = det::explore_result(&cfg, lost_update_body).unwrap_err();
+    assert!(matches!(f.kind, FailureKind::Panic(_)));
+}
+
+/// The acceptance property: a failing schedule replays byte-identically
+/// from its seed across two consecutive runs — same schedule index,
+/// same trace, same shrunk trace, same rendered report.
+#[test]
+fn failure_replays_byte_identically() {
+    let cfg = Config::new(0xC0FFEE).schedules(64).shrink_budget(24);
+    let a = det::explore_result(&cfg, lost_update_body).unwrap_err();
+    let b = det::explore_result(&cfg, lost_update_body).unwrap_err();
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.shrunk, b.shrunk);
+    assert_eq!(format!("{a}"), format!("{b}"));
+
+    // And replaying exactly that schedule (the DET_SCHEDULE workflow)
+    // reproduces the same failure without exploring anything else.
+    let replay_cfg = cfg.clone().only(a.schedule).shrink_budget(0);
+    let r = det::explore_result(&replay_cfg, lost_update_body).unwrap_err();
+    assert_eq!(r.trace, a.trace);
+    assert_eq!(r.kind, a.kind);
+}
+
+#[test]
+fn deadlock_is_detected_deterministically() {
+    let cfg = Config::new(7).schedules(2).shrink_budget(4);
+    let f = det::explore_result(&cfg, || {
+        let atom = Arc::new(AtomicU32::new(0));
+        let a = Arc::clone(&atom);
+        let h = det::spawn(move || {
+            // Parks forever: nobody ever wakes this key.
+            det::futex_wait_intercept(a.as_ptr() as usize, || true, None);
+        });
+        h.join();
+    })
+    .unwrap_err();
+    assert!(
+        matches!(f.kind, FailureKind::Deadlock(_)),
+        "got {:?}",
+        f.kind
+    );
+    let msg = format!("{}", f.kind);
+    assert!(
+        msg.contains("futex#0"),
+        "stable futex label in report: {msg}"
+    );
+}
+
+#[test]
+fn virtual_time_expires_timed_waits_instantly() {
+    let t0 = Instant::now();
+    let cfg = Config::new(9).schedules(8);
+    det::explore_result(&cfg, || {
+        let atom = AtomicU32::new(0);
+        // One virtual hour; nobody wakes us.
+        let woken = det::futex_wait_intercept(
+            atom.as_ptr() as usize,
+            || true,
+            Some(Duration::from_secs(3600)),
+        )
+        .expect("inside a det schedule");
+        assert!(!woken, "must report timeout");
+        assert!(det::vclock_ns() >= 3_600_000_000_000);
+    })
+    .expect("timeout path is clean");
+    // 8 virtual hours elapsed; real time must be trivial.
+    assert!(t0.elapsed() < Duration::from_secs(30));
+}
+
+#[test]
+fn wake_unparks_waiter() {
+    let cfg = Config::new(11).schedules(32).spurious_wakes(false);
+    det::explore_result(&cfg, || {
+        let atom = Arc::new(AtomicU32::new(0));
+        let a = Arc::clone(&atom);
+        let waiter = det::spawn(move || {
+            while a.load(Ordering::Acquire) == 0 {
+                det::futex_wait_intercept(
+                    a.as_ptr() as usize,
+                    || a.load(Ordering::Acquire) == 0,
+                    None,
+                );
+            }
+        });
+        atom.store(1, Ordering::Release);
+        det::futex_wake_intercept(atom.as_ptr() as usize, u32::MAX);
+        waiter.join();
+    })
+    .expect("wake must always release the waiter");
+}
+
+/// With spurious wakeups enabled, at least one schedule must deliver a
+/// wakeup that no one sent (the waiter observes `woken == true` while
+/// the word is still 0), forcing the re-check path.
+#[test]
+fn spurious_wakeups_are_explored() {
+    static SPURIOUS_SEEN: AtomicU64 = AtomicU64::new(0);
+    let cfg = Config::new(13).schedules(64).spurious_wakes(true);
+    det::explore_result(&cfg, || {
+        let atom = Arc::new(AtomicU32::new(0));
+        let a = Arc::clone(&atom);
+        let waiter = det::spawn(move || {
+            while a.load(Ordering::Acquire) == 0 {
+                let woken = det::futex_wait_intercept(
+                    a.as_ptr() as usize,
+                    || a.load(Ordering::Acquire) == 0,
+                    None,
+                )
+                .expect("in det schedule");
+                if woken && a.load(Ordering::Acquire) == 0 {
+                    SPURIOUS_SEEN.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        // Stay runnable for a while so the scheduler has chances to
+        // spuriously wake the waiter, then release it for real.
+        for _ in 0..16 {
+            det::yield_point("test.busy");
+        }
+        atom.store(1, Ordering::Release);
+        det::futex_wake_intercept(atom.as_ptr() as usize, 1);
+        waiter.join();
+    })
+    .expect("spurious wakeups never break a correct predicate loop");
+    assert!(
+        SPURIOUS_SEEN.load(Ordering::Relaxed) > 0,
+        "64 schedules with spurious wakeups on must hit the spurious path"
+    );
+}
+
+#[test]
+fn vthread_rng_seeds_are_stable_per_schedule() {
+    let seeds = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let collect = {
+        let seeds = Arc::clone(&seeds);
+        move || {
+            let s0 = det::vthread_rng_seed().expect("root is a vthread");
+            let h = det::spawn(move || det::vthread_rng_seed().unwrap());
+            let s1 = h.join();
+            assert_ne!(s0, s1, "vthreads get distinct streams");
+            seeds.lock().unwrap().push((s0, s1));
+        }
+    };
+    let cfg = Config::new(0xABCD).schedules(2).only(1);
+    det::explore_result(&cfg, collect.clone()).unwrap();
+    det::explore_result(&cfg, collect).unwrap();
+    let v = seeds.lock().unwrap();
+    assert_eq!(v[0], v[1], "same (seed, schedule) ⇒ same vthread seeds");
+}
+
+#[test]
+fn step_limit_reports_livelock() {
+    let cfg = Config::new(3).schedules(1).max_steps(500).shrink_budget(0);
+    let f = det::explore_result(&cfg, || loop {
+        det::yield_point("test.spin");
+    })
+    .unwrap_err();
+    assert!(matches!(f.kind, FailureKind::StepLimit(_)));
+}
+
+#[test]
+fn from_env_defaults_match_new() {
+    // Only checks the default path (env vars unset in the harness).
+    if std::env::var_os("DET_SEED").is_none() {
+        let cfg = Config::from_env(0x1234);
+        assert_eq!(cfg.seed, 0x1234);
+    }
+}

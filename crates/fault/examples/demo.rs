@@ -35,8 +35,11 @@ fn main() {
     let a = schedule(7);
     let b = schedule(7);
     let c = schedule(8);
-    let render =
-        |s: &[bool]| s.iter().map(|&ok| if ok { '.' } else { 'X' }).collect::<String>();
+    let render = |s: &[bool]| {
+        s.iter()
+            .map(|&ok| if ok { '.' } else { 'X' })
+            .collect::<String>()
+    };
     println!("seed 7, run 1: {}", render(&a));
     println!("seed 7, run 2: {}", render(&b));
     println!("seed 8:        {}", render(&c));

@@ -61,8 +61,7 @@ mod registry;
 
 #[cfg(feature = "fault-inject")]
 pub use registry::{
-    configure, exclusive, fire, hit_count, remove, reset, set_seed, Action,
-    Policy, Trigger,
+    configure, exclusive, fire, hit_count, remove, reset, set_seed, Action, Policy, Trigger,
 };
 
 /// Evaluate a named failpoint. See the crate docs for the two forms.

@@ -55,7 +55,10 @@ pub struct Policy {
 impl Policy {
     /// Policy with the given trigger and no built-in action.
     pub fn new(trigger: Trigger) -> Self {
-        Self { trigger, action: Action::Nothing }
+        Self {
+            trigger,
+            action: Action::Nothing,
+        }
     }
 
     /// Attach an action.
@@ -173,9 +176,7 @@ pub fn fire(name: &'static str) -> bool {
         match point.policy.action {
             Action::Nothing => {}
             Action::Yield => std::thread::yield_now(),
-            Action::SleepMs(ms) => {
-                std::thread::sleep(std::time::Duration::from_millis(ms))
-            }
+            Action::SleepMs(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
             Action::Panic(msg) => panic!("failpoint {name}: {msg}"),
         }
     }
@@ -281,8 +282,7 @@ mod tests {
             "registry-test.boom",
             Policy::new(Trigger::Always).with_action(Action::Panic("injected")),
         );
-        let err = std::panic::catch_unwind(|| fire("registry-test.boom"))
-            .expect_err("must panic");
+        let err = std::panic::catch_unwind(|| fire("registry-test.boom")).expect_err("must panic");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("registry-test.boom"), "got: {msg}");
         reset();

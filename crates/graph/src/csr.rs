@@ -18,7 +18,10 @@ impl CsrGraph {
         let mut degree = vec![0u64; n + 1];
         for &(src, dst, _) in edges {
             if src != dst {
-                assert!((src as usize) < n && (dst as usize) < n, "edge out of range");
+                assert!(
+                    (src as usize) < n && (dst as usize) < n,
+                    "edge out of range"
+                );
                 degree[src as usize + 1] += 1;
             }
         }
@@ -38,7 +41,11 @@ impl CsrGraph {
             weights[at] = w.max(1);
             cursor[src as usize] += 1;
         }
-        Self { offsets: degree, targets, weights }
+        Self {
+            offsets: degree,
+            targets,
+            weights,
+        }
     }
 
     /// Number of nodes.
@@ -118,7 +125,11 @@ mod tests {
     fn self_loops_dropped_zero_weights_bumped() {
         let g = CsrGraph::from_edges(3, &[(0, 0, 5), (0, 1, 0), (1, 2, 3)]);
         assert_eq!(g.num_edges(), 2);
-        assert_eq!(g.neighbors(0).next(), Some((1, 1)), "zero weight bumped to 1");
+        assert_eq!(
+            g.neighbors(0).next(),
+            Some((1, 1)),
+            "zero weight bumped to 1"
+        );
     }
 
     #[test]
@@ -137,10 +148,7 @@ mod tests {
 
     #[test]
     fn unsorted_edge_list_groups_by_source() {
-        let g = CsrGraph::from_edges(
-            3,
-            &[(2, 0, 1), (0, 1, 1), (2, 1, 2), (0, 2, 3)],
-        );
+        let g = CsrGraph::from_edges(3, &[(2, 0, 1), (0, 1, 1), (2, 1, 2), (0, 2, 3)]);
         assert_eq!(g.degree(0), 2);
         assert_eq!(g.degree(2), 2);
         let mut n2: Vec<_> = g.neighbors(2).collect();

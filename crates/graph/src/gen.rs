@@ -132,7 +132,10 @@ mod tests {
         assert!(g1.num_edges() <= 5000 && g1.num_edges() > 4900); // few self-loops dropped
         assert_eq!(g1.num_edges(), g2.num_edges());
         for v in 0..1000u32 {
-            assert!(g1.neighbors(v).eq(g2.neighbors(v)), "determinism at node {v}");
+            assert!(
+                g1.neighbors(v).eq(g2.neighbors(v)),
+                "determinism at node {v}"
+            );
         }
         let g3 = erdos_renyi(1000, 5000, 100, 43);
         assert!(

@@ -78,12 +78,7 @@ fn dist_of(prio: u64) -> u64 {
 /// after the corresponding pop is fully processed), so queues with
 /// spurious extraction failures (SprayList, k-LSM) terminate correctly:
 /// workers keep polling until the counter hits zero.
-pub fn parallel_sssp<Q>(
-    graph: &CsrGraph,
-    source: u32,
-    queue: &Q,
-    threads: usize,
-) -> SsspResult
+pub fn parallel_sssp<Q>(graph: &CsrGraph, source: u32, queue: &Q, threads: usize) -> SsspResult
 where
     Q: ConcurrentPriorityQueue<u32> + Sync,
 {
@@ -202,7 +197,7 @@ mod tests {
     fn matches_sequential_on_diamond() {
         let g = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 2, 4), (1, 3, 2), (2, 3, 1)]);
         let r = check(&g, 0, 1);
-        assert_eq!(r.processed + r.wasted, r.relaxations as u64 + 1);
+        assert_eq!(r.processed + r.wasted, r.relaxations + 1);
     }
 
     #[test]

@@ -101,9 +101,8 @@ fn parallel_equals_sequential_randomized() {
         let src = g.max_degree_node();
         let reference = sequential_sssp(&g, src);
         for batch in [0usize, 8, 64] {
-            let q: Zmsq<u32> = Zmsq::with_config(
-                ZmsqConfig::default().batch(batch).target_len(batch.max(8)),
-            );
+            let q: Zmsq<u32> =
+                Zmsq::with_config(ZmsqConfig::default().batch(batch).target_len(batch.max(8)));
             let r = zmsq_graph::parallel_sssp(&g, src, &q, 3);
             assert_eq!(r.dist, reference, "seed={seed} batch={batch}");
         }

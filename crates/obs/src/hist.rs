@@ -89,7 +89,11 @@ impl Histogram {
     /// Mean of recorded samples (0 when empty).
     pub fn mean(&self) -> f64 {
         let n = self.count();
-        if n == 0 { 0.0 } else { self.sum.load(Ordering::Relaxed) as f64 / n as f64 }
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
     }
 
     /// Exact maximum recorded sample (0 when empty).
@@ -100,7 +104,11 @@ impl Histogram {
     /// Exact minimum recorded sample (0 when empty).
     pub fn min(&self) -> u64 {
         let m = self.min.load(Ordering::Relaxed);
-        if m == u64::MAX { 0 } else { m }
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
     }
 
     /// Approximate quantile `p ∈ [0, 1]`, reported as the floor of the
@@ -130,10 +138,14 @@ impl Histogram {
                 dst.fetch_add(v, Ordering::Relaxed);
             }
         }
-        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Point-in-time copy with precomputed quantiles and the sparse
@@ -193,7 +205,11 @@ pub struct HistSnapshot {
 impl HistSnapshot {
     /// Mean of the snapshot (0 when empty).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.sum as f64 / self.count as f64 }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
     }
 }
 
@@ -225,7 +241,10 @@ mod tests {
                 let floor = Histogram::bucket_floor(b);
                 assert!(floor <= x, "floor {floor} > sample {x}");
                 let width = ((1u64 << exp) / SUB as u64).max(1);
-                assert!(x - floor < width + SUB as u64, "sample {x} far above floor {floor}");
+                assert!(
+                    x - floor < width + SUB as u64,
+                    "sample {x} far above floor {floor}"
+                );
             }
         }
         // Exact low range.
@@ -275,7 +294,11 @@ mod tests {
         let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
         for _ in 0..10_000 {
             let v = rng.random_range(1u64..1_000_000);
-            if v.is_multiple_of(2) { a.record(v) } else { b.record(v) }
+            if v.is_multiple_of(2) {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
             both.record(v);
         }
         a.merge_from(&b);
@@ -307,9 +330,11 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_buckets_are_sparse_and_ascending(){
+    fn snapshot_buckets_are_sparse_and_ascending() {
         let h = Histogram::new();
-        for v in [1u64, 1, 100, 100_000] { h.record(v); }
+        for v in [1u64, 1, 100, 100_000] {
+            h.record(v);
+        }
         let s = h.snapshot();
         assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 4);
         assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0));

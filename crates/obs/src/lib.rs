@@ -42,7 +42,7 @@ pub mod sampler;
 pub mod snapshot;
 
 pub use hist::{HistSnapshot, Histogram};
-pub use metrics::{Counter, Gauge, Registry, global, STRIPES};
+pub use metrics::{global, Counter, Gauge, Registry, STRIPES};
 pub use recorder::EventKind;
 pub use sampler::{Sampler, Series};
 pub use snapshot::Snapshot;

@@ -53,7 +53,9 @@ pub struct Counter {
 impl Counter {
     /// New zeroed counter (usable in `static` position).
     pub const fn new() -> Self {
-        Self { cells: [const { PadCell(AtomicU64::new(0)) }; STRIPES] }
+        Self {
+            cells: [const { PadCell(AtomicU64::new(0)) }; STRIPES],
+        }
     }
 
     /// Add `n` to this thread's stripe.
@@ -260,7 +262,10 @@ mod tests {
         let loads = c.stripe_loads();
         assert_eq!(loads.iter().sum::<u64>(), THREADS as u64);
         let nonzero = loads.iter().filter(|&&v| v > 0).count();
-        assert_eq!(nonzero, STRIPES, "64 round-robin threads must cover all 16 stripes: {loads:?}");
+        assert_eq!(
+            nonzero, STRIPES,
+            "64 round-robin threads must cover all 16 stripes: {loads:?}"
+        );
         let max = loads.iter().max().unwrap();
         // Perfect balance is 4 per stripe; allow slack for foreign
         // threads shifting the round-robin phase mid-test.

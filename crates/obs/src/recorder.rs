@@ -125,8 +125,18 @@ struct ThreadRing {
 
 impl ThreadRing {
     fn new(thread: u32) -> Self {
-        let mk = || (0..RING_CAP).map(|_| AtomicU64::new(0)).collect::<Box<[_]>>();
-        Self { thread, written: AtomicU64::new(0), ts: mk(), meta: mk(), b: mk() }
+        let mk = || {
+            (0..RING_CAP)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Box<[_]>>()
+        };
+        Self {
+            thread,
+            written: AtomicU64::new(0),
+            ts: mk(),
+            meta: mk(),
+            b: mk(),
+        }
     }
 
     #[inline]
@@ -190,8 +200,7 @@ pub fn record(kind: EventKind, a: u32, b: u64) {
     let t_ns = now_ns();
     RING.with(|cell| {
         let ring = cell.get_or_init(|| {
-            let ring =
-                Arc::new(ThreadRing::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
+            let ring = Arc::new(ThreadRing::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
             rings().lock().unwrap().push(Arc::clone(&ring));
             ring
         });
@@ -239,10 +248,18 @@ pub fn dump_json() -> String {
     use std::fmt::Write as _;
     let events = dump();
     let mut out = String::with_capacity(64 + events.len() * 64);
-    let _ = write!(out, "{{\"recorded_total\": {}, \"events\": [", recorded_total());
+    let _ = write!(
+        out,
+        "{{\"recorded_total\": {}, \"events\": [",
+        recorded_total()
+    );
     for (i, e) in events.iter().enumerate() {
         out.push_str(if i == 0 { "\n  " } else { ",\n  " });
-        let _ = write!(out, "{{\"t_ns\": {}, \"thread\": {}, \"kind\": ", e.t_ns, e.thread);
+        let _ = write!(
+            out,
+            "{{\"t_ns\": {}, \"thread\": {}, \"kind\": ",
+            e.t_ns, e.thread
+        );
         write_escaped(&mut out, e.kind.name());
         let _ = write!(out, ", \"a\": {}, \"b\": {}}}", e.a, e.b);
     }
@@ -296,8 +313,10 @@ mod tests {
         record(EventKind::Insert, 3, 77);
         record(EventKind::PoolHit, 0, 5);
         record(EventKind::Extract, 1, 78);
-        let mine: Vec<Event> =
-            dump().into_iter().filter(|e| e.b == 77 || e.b == 5 || e.b == 78).collect();
+        let mine: Vec<Event> = dump()
+            .into_iter()
+            .filter(|e| e.b == 77 || e.b == 5 || e.b == 78)
+            .collect();
         assert_eq!(mine.len(), 3);
         assert!(mine.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
         assert_eq!(mine[0].kind, EventKind::Insert);
@@ -312,8 +331,10 @@ mod tests {
         for i in 0..n {
             record(EventKind::Sample, 0, i);
         }
-        let mine: Vec<Event> =
-            dump().into_iter().filter(|e| e.kind == EventKind::Sample).collect();
+        let mine: Vec<Event> = dump()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Sample)
+            .collect();
         // This thread's ring holds exactly RING_CAP of its n events;
         // other tests' threads may contribute Sample events only via
         // this test (unique kind here), so the count is exact.
@@ -337,11 +358,14 @@ mod tests {
                 });
             }
         });
-        let all: Vec<Event> =
-            dump().into_iter().filter(|e| e.kind == EventKind::Retire).collect();
+        let all: Vec<Event> = dump()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Retire)
+            .collect();
         assert_eq!(all.len(), 4000);
         assert!(
-            all.windows(2).all(|w| (w[0].t_ns, w[0].thread) <= (w[1].t_ns, w[1].thread)),
+            all.windows(2)
+                .all(|w| (w[0].t_ns, w[0].thread) <= (w[1].t_ns, w[1].thread)),
             "merged trace not sorted"
         );
         // Per-writer events must keep their program order after the merge.
@@ -366,7 +390,7 @@ mod tests {
     }
 
     #[test]
-    fn dump_to_file_writes(){
+    fn dump_to_file_writes() {
         let _g = lock();
         record(EventKind::Reclaim, 0, 1);
         let path = std::path::PathBuf::from("target/obs-test-dump.json");

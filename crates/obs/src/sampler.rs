@@ -78,7 +78,11 @@ impl Sampler {
                 }
             })
             .expect("spawn obs sampler");
-        Self { stop, out, handle: Some(handle) }
+        Self {
+            stop,
+            out,
+            handle: Some(handle),
+        }
     }
 
     /// Stop the thread and return the collected series.
@@ -106,12 +110,9 @@ mod tests {
 
     #[test]
     fn samples_on_interval_and_stops() {
-        let s = Sampler::start(
-            "test",
-            Duration::from_millis(2),
-            &["a", "b"],
-            || vec![1.0, 2.0],
-        );
+        let s = Sampler::start("test", Duration::from_millis(2), &["a", "b"], || {
+            vec![1.0, 2.0]
+        });
         std::thread::sleep(Duration::from_millis(25));
         let series = s.stop();
         assert_eq!(series.columns, ["t_ms", "a", "b"]);

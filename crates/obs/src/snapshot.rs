@@ -74,7 +74,11 @@ impl Snapshot {
     /// (pass `""` for a plain merge). Metadata keys are prefixed too.
     pub fn merge_prefixed(&mut self, prefix: &str, other: Snapshot) {
         let pre = |n: &str| {
-            if prefix.is_empty() { n.to_string() } else { format!("{prefix}{n}") }
+            if prefix.is_empty() {
+                n.to_string()
+            } else {
+                format!("{prefix}{n}")
+            }
         };
         for (n, v) in other.counters {
             self.counters.push((pre(&n), v));
@@ -104,7 +108,10 @@ impl Snapshot {
 
     /// Look up a counter by exact name.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
     }
 
     /// Look up a gauge by exact name.
@@ -286,11 +293,22 @@ mod tests {
     fn json_parses_and_has_stable_top_level_keys() {
         let s = sample();
         let v = json::parse(&s.to_json()).expect("snapshot JSON must parse");
-        for key in ["meta", "counters", "gauges", "ratios", "histograms", "series"] {
+        for key in [
+            "meta",
+            "counters",
+            "gauges",
+            "ratios",
+            "histograms",
+            "series",
+        ] {
             assert!(v.get(key).is_some(), "missing top-level key {key}");
         }
         assert_eq!(
-            v.get("counters").unwrap().get("futex.waits").unwrap().as_f64(),
+            v.get("counters")
+                .unwrap()
+                .get("futex.waits")
+                .unwrap()
+                .as_f64(),
             Some(42.0)
         );
         assert_eq!(

@@ -97,9 +97,7 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for B
     }
 }
 
-impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V>
-    for std::sync::Arc<Q>
-{
+impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for std::sync::Arc<Q> {
     fn insert(&self, prio: u64, value: V) {
         (**self).insert(prio, value)
     }

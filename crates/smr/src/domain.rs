@@ -168,7 +168,11 @@ impl Domain {
                 return e.record;
             }
             let record = self.claim_record();
-            entries.push(TlsEntry { id, core: Arc::clone(&self.core), record });
+            entries.push(TlsEntry {
+                id,
+                core: Arc::clone(&self.core),
+                record,
+            });
             record
         })
     }
@@ -226,7 +230,11 @@ impl Domain {
             "thread exhausted its {SLOTS_PER_RECORD} hazard slots"
         );
         rec.slot_bitmap.set(bitmap | (1 << idx));
-        HazardPointer { core: Arc::clone(&self.core), record, idx }
+        HazardPointer {
+            core: Arc::clone(&self.core),
+            record,
+            idx,
+        }
     }
 
     /// Hand ownership of `ptr` to the domain; it will be dropped (as a
@@ -240,10 +248,14 @@ impl Domain {
     ///   exactly what hazard pointers handle.
     /// * `ptr` is not retired twice.
     pub unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        det::det_point!("smr.retire");
         let record = self.thread_record();
         // SAFETY: owner-thread access to the retired list.
         let retired = unsafe { &mut *(*record).retired.get() };
-        retired.push(Retired { ptr: ptr.cast(), drop_fn: drop_box::<T> });
+        retired.push(Retired {
+            ptr: ptr.cast(),
+            drop_fn: drop_box::<T>,
+        });
         self.core.retired_total.fetch_add(1, Ordering::Relaxed);
         RETIRED.incr();
         obs::trace_event!(obs::EventKind::Retire, self.core.id as u32);
@@ -253,8 +265,7 @@ impl Domain {
     }
 
     fn scan_threshold(&self) -> usize {
-        let capacity =
-            self.core.record_count.load(Ordering::Relaxed) * SLOTS_PER_RECORD;
+        let capacity = self.core.record_count.load(Ordering::Relaxed) * SLOTS_PER_RECORD;
         (2 * capacity).max(64)
     }
 
@@ -262,9 +273,8 @@ impl Domain {
     /// calling thread's record) not protected by one.
     fn scan(&self, record: *mut HpRecord) {
         SCANS.incr();
-        let mut hazards: Vec<usize> = Vec::with_capacity(
-            self.core.record_count.load(Ordering::Relaxed) * SLOTS_PER_RECORD,
-        );
+        let mut hazards: Vec<usize> =
+            Vec::with_capacity(self.core.record_count.load(Ordering::Relaxed) * SLOTS_PER_RECORD);
         let mut cur = self.core.head.load(Ordering::Acquire);
         while !cur.is_null() {
             // SAFETY: records live as long as the core.
@@ -372,6 +382,10 @@ impl HazardPointer {
             // we validate, so a reclaimer that unlinked `p` before our
             // validation must see our hazard in its scan.
             self.slot().store(p.cast(), Ordering::SeqCst);
+            // The publish/validate window: a reclaimer that unlinked `p`
+            // races our re-load — the decision point lets the scheduler
+            // interleave a full retire+scan here.
+            det::det_point!("smr.protect-validate");
             let q = src.load(Ordering::SeqCst);
             if q == p {
                 // Chaos: treat this successful validation as failed and go
@@ -409,14 +423,17 @@ impl Drop for HazardPointer {
         // SAFETY: owner-thread; record outlives via `core`.
         let rec = unsafe { &*self.record };
         rec.slots[self.idx].store(std::ptr::null_mut(), Ordering::Release);
-        rec.slot_bitmap.set(rec.slot_bitmap.get() & !(1 << self.idx));
+        rec.slot_bitmap
+            .set(rec.slot_bitmap.get() & !(1 << self.idx));
         let _ = &self.core; // keep-alive is the Arc itself
     }
 }
 
 impl std::fmt::Debug for HazardPointer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HazardPointer").field("slot", &self.idx).finish()
+        f.debug_struct("HazardPointer")
+            .field("slot", &self.idx)
+            .finish()
     }
 }
 
@@ -434,7 +451,10 @@ mod tests {
     impl Tracked {
         fn new(live: &StdArc<AtomicU64>, value: u64) -> Box<Self> {
             live.fetch_add(1, Ordering::SeqCst);
-            Box::new(Self { live: StdArc::clone(live), value })
+            Box::new(Self {
+                live: StdArc::clone(live),
+                value,
+            })
         }
     }
     impl Drop for Tracked {
@@ -475,7 +495,11 @@ mod tests {
         // SAFETY: unlinked; we are the retiring owner.
         unsafe { domain.retire(old) };
 
-        assert_eq!(domain.try_reclaim(), 1, "protected object must survive scan");
+        assert_eq!(
+            domain.try_reclaim(),
+            1,
+            "protected object must survive scan"
+        );
         assert_eq!(live.load(Ordering::SeqCst), 1);
         // SAFETY: hazard still held.
         assert_eq!(unsafe { (*p).value }, 42);
@@ -506,18 +530,24 @@ mod tests {
     fn slots_are_reusable_and_bounded() {
         let domain = Domain::new();
         for _ in 0..100 {
-            let hps: Vec<_> = (0..crate::SLOTS_PER_RECORD).map(|_| domain.hazard()).collect();
+            let hps: Vec<_> = (0..crate::SLOTS_PER_RECORD)
+                .map(|_| domain.hazard())
+                .collect();
             drop(hps);
         }
         // After drops, all slots are free again:
-        let _all: Vec<_> = (0..crate::SLOTS_PER_RECORD).map(|_| domain.hazard()).collect();
+        let _all: Vec<_> = (0..crate::SLOTS_PER_RECORD)
+            .map(|_| domain.hazard())
+            .collect();
     }
 
     #[test]
     #[should_panic(expected = "hazard slots")]
     fn exhausting_slots_panics() {
         let domain = Domain::new();
-        let _hps: Vec<_> = (0..=crate::SLOTS_PER_RECORD).map(|_| domain.hazard()).collect();
+        let _hps: Vec<_> = (0..=crate::SLOTS_PER_RECORD)
+            .map(|_| domain.hazard())
+            .collect();
     }
 
     #[test]

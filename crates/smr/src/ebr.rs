@@ -215,7 +215,10 @@ pub fn pin() -> Guard {
         // reads any shared pointers, or a collector could miss it.
         fence(Ordering::SeqCst);
     }
-    Guard { part, _not_send: std::marker::PhantomData }
+    Guard {
+        part,
+        _not_send: std::marker::PhantomData,
+    }
 }
 
 impl Guard {
@@ -338,8 +341,9 @@ mod tests {
         unsafe {
             guard.defer_unchecked(move || {
                 let SendPtr(ptr, drop_fn) = { p };
-                // SAFETY: sole owner of `ptr`.
-                unsafe { drop_fn(ptr) }
+                // SAFETY: sole owner of `ptr` (covered by the enclosing
+                // unsafe block, which extends lexically into closures).
+                drop_fn(ptr)
             })
         };
     }
@@ -410,7 +414,11 @@ mod tests {
             defer_box(&guard, Tracked::new(&live));
         }
         collect();
-        assert_eq!(live.load(Ordering::SeqCst), 1, "remote pin must block frees");
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            1,
+            "remote pin must block frees"
+        );
         hold.store(1, Ordering::SeqCst);
         h.join().unwrap();
         // The remote thread's unpin collected on its way out; make sure

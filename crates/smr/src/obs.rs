@@ -21,7 +21,11 @@ pub fn snapshot() -> obs::Snapshot {
     s.push_counter("hp.protect_retries", domain::PROTECT_RETRIES.get());
     s.push_ratio(
         "hp.reclaim_ratio",
-        if retired == 0 { 1.0 } else { freed as f64 / retired as f64 },
+        if retired == 0 {
+            1.0
+        } else {
+            freed as f64 / retired as f64
+        },
     );
     s.push_counter("ebr.pins", ebr::PINS.get());
     s.push_counter("ebr.defers", ebr::DEFERS.get());
@@ -51,14 +55,10 @@ mod tests {
             // SAFETY: owned box, unreachable to all readers; freeing a
             // Box<u64> is sound on any thread.
             let p = Box::into_raw(Box::new(7u64)) as usize;
-            unsafe {
-                g.defer_unchecked(move || drop(Box::from_raw(p as *mut u64)))
-            };
+            unsafe { g.defer_unchecked(move || drop(Box::from_raw(p as *mut u64))) };
         }
         let after = super::snapshot();
-        let d = |name: &str| {
-            after.counter(name).unwrap() - before.counter(name).unwrap()
-        };
+        let d = |name: &str| after.counter(name).unwrap() - before.counter(name).unwrap();
         assert!(d("hp.retired") >= 4);
         assert!(d("hp.freed") >= 4);
         assert!(d("hp.scans") >= 1);

@@ -36,7 +36,11 @@ impl Backoff {
     /// A backoff with custom spin/yield limits (used by the lock benches).
     #[inline]
     pub fn with_limits(spin_limit: u32, yield_limit: u32) -> Self {
-        Self { step: 0, spin_limit, yield_limit }
+        Self {
+            step: 0,
+            spin_limit,
+            yield_limit,
+        }
     }
 
     /// Number of times [`Backoff::wait`] has been called since creation or
@@ -63,6 +67,7 @@ impl Backoff {
     /// once the yield limit is passed, then increment the step.
     #[inline]
     pub fn wait(&mut self) {
+        det::det_point!("sync.backoff");
         if self.step <= self.yield_limit {
             let spins = 1u32 << self.step.min(self.spin_limit);
             for _ in 0..spins {
@@ -79,6 +84,7 @@ impl Backoff {
     /// is worse than burning a few cycles.
     #[inline]
     pub fn spin(&mut self) {
+        det::det_point!("sync.backoff");
         let spins = 1u32 << self.step.min(self.spin_limit);
         for _ in 0..spins {
             hint::spin_loop();

@@ -130,7 +130,9 @@ impl EventBuffer {
     pub fn with_slots(slots: usize) -> Self {
         let n = slots.max(1).next_power_of_two();
         Self {
-            slots: (0..n).map(|_| CachePadded::new(AtomicU32::new(0))).collect(),
+            slots: (0..n)
+                .map(|_| CachePadded::new(AtomicU32::new(0)))
+                .collect(),
             wake_tickets: CachePadded::new(AtomicU64::new(0)),
             sleep_tickets: CachePadded::new(AtomicU64::new(0)),
             sleepers: CachePadded::new(AtomicU64::new(0)),
@@ -154,6 +156,7 @@ impl EventBuffer {
     /// (`signalAfterInsert`). Call *after* the element is visible.
     #[inline]
     pub fn signal(&self) {
+        det::det_point!("event.signal");
         SIGNALS.incr();
         let ticket = self.wake_tickets.fetch_add(1, Ordering::Relaxed);
         // Dekker handshake with `wait_until`: the producer publishes its
@@ -181,12 +184,7 @@ impl EventBuffer {
                 // (and threads between CAS-registration and futex_wait)
                 // observe a changed word.
                 let next = w.wrapping_add(2) & !WAITER_BIT;
-                match slot.compare_exchange_weak(
-                    w,
-                    next,
-                    Ordering::AcqRel,
-                    Ordering::Relaxed,
-                ) {
+                match slot.compare_exchange_weak(w, next, Ordering::AcqRel, Ordering::Relaxed) {
                     Ok(_) => {
                         futex_wake_all(slot);
                         return;
@@ -248,12 +246,8 @@ impl EventBuffer {
             if w & WAITER_BIT != 0 {
                 break w;
             }
-            match slot.compare_exchange_weak(
-                w,
-                w | WAITER_BIT,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match slot.compare_exchange_weak(w, w | WAITER_BIT, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => break w | WAITER_BIT,
                 Err(cur) => w = cur,
             }
@@ -285,6 +279,7 @@ impl EventBuffer {
         // inside the gap; only the epoch-in-the-futex-word protocol makes
         // the delayed futex_wait below return instead of sleeping forever.
         fault::fail_point!("event.pre-park-delay");
+        det::det_point!("event.pre-park");
 
         PARKS.incr();
         let woken = match timeout {
@@ -601,7 +596,11 @@ mod tests {
         }
         assert_eq!(ev.sleeper_count(), 0);
         ev.reopen();
-        assert_eq!(ev.wait_until(|| true), WaitOutcome::Ready, "usable after final reopen");
+        assert_eq!(
+            ev.wait_until(|| true),
+            WaitOutcome::Ready,
+            "usable after final reopen"
+        );
     }
 
     /// Injected spurious wakeups must never be mistaken for timeouts, and
@@ -661,8 +660,7 @@ mod tests {
         fault::set_seed(13);
         fault::configure(
             "event.pre-park-delay",
-            fault::Policy::new(fault::Trigger::Always)
-                .with_action(fault::Action::SleepMs(40)),
+            fault::Policy::new(fault::Trigger::Always).with_action(fault::Action::SleepMs(40)),
         );
         let ev = Arc::new(EventBuffer::with_slots(1));
         let ev2 = Arc::clone(&ev);

@@ -46,20 +46,25 @@ pub fn futex_wait(atom: &AtomicU32, expected: u32) {
     WAITS.incr();
     obs::trace_event!(obs::EventKind::FutexWait);
     fault::fail_point!("futex.spurious-wake", return);
+    if det::det_futex_wait!(atom, expected, None).is_some() {
+        return;
+    }
     imp::wait(atom, None, expected);
 }
 
 /// Like [`futex_wait`], with a relative timeout. Returns `false` if the
 /// wait (probably) timed out, `true` if woken / value changed / spurious.
 #[inline]
-pub fn futex_wait_timeout(
-    atom: &AtomicU32,
-    expected: u32,
-    timeout: std::time::Duration,
-) -> bool {
+pub fn futex_wait_timeout(atom: &AtomicU32, expected: u32, timeout: std::time::Duration) -> bool {
     WAITS.incr();
     obs::trace_event!(obs::EventKind::FutexWait, 1);
     fault::fail_point!("futex.spurious-wake", return true);
+    if let Some(woken) = det::det_futex_wait!(atom, expected, Some(timeout)) {
+        if !woken {
+            WAIT_TIMEOUTS.incr();
+        }
+        return woken;
+    }
     let woken = imp::wait(atom, Some(timeout), expected);
     if !woken {
         WAIT_TIMEOUTS.incr();
@@ -73,6 +78,11 @@ pub fn futex_wait_timeout(
 #[inline]
 pub fn futex_wake(atom: &AtomicU32, count: u32) -> usize {
     WAKES.incr();
+    if let Some(woken) = det::det_futex_wake!(atom, count) {
+        WOKEN_THREADS.add(woken as u64);
+        obs::trace_event!(obs::EventKind::FutexWake, woken as u32);
+        return woken;
+    }
     let woken = imp::wake(atom, count);
     WOKEN_THREADS.add(woken as u64);
     obs::trace_event!(obs::EventKind::FutexWake, woken as u32);
@@ -83,6 +93,11 @@ pub fn futex_wake(atom: &AtomicU32, count: u32) -> usize {
 #[inline]
 pub fn futex_wake_all(atom: &AtomicU32) -> usize {
     WAKES.incr();
+    if let Some(woken) = det::det_futex_wake!(atom, u32::MAX) {
+        WOKEN_THREADS.add(woken as u64);
+        obs::trace_event!(obs::EventKind::FutexWake, woken as u32);
+        return woken;
+    }
     let woken = imp::wake(atom, u32::MAX);
     WOKEN_THREADS.add(woken as u64);
     obs::trace_event!(obs::EventKind::FutexWake, woken as u32);
@@ -91,6 +106,7 @@ pub fn futex_wake_all(atom: &AtomicU32) -> usize {
 
 #[cfg(all(
     target_os = "linux",
+    not(miri),
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
 mod imp {
@@ -116,12 +132,7 @@ mod imp {
     /// `uaddr` must point to a live, 4-byte-aligned futex word for the
     /// duration of the call; `timeout`, when non-null, must point to a
     /// valid `Timespec`.
-    unsafe fn sys_futex(
-        uaddr: *const u32,
-        op: usize,
-        val: u32,
-        timeout: *const Timespec,
-    ) -> isize {
+    unsafe fn sys_futex(uaddr: *const u32, op: usize, val: u32, timeout: *const Timespec) -> isize {
         let ret: isize;
         #[cfg(target_arch = "x86_64")]
         // SAFETY: x86-64 Linux syscall ABI — nr in rax (futex = 202),
@@ -162,7 +173,9 @@ mod imp {
             tv_sec: d.as_secs().min(i64::MAX as u64) as i64,
             tv_nsec: i64::from(d.subsec_nanos()),
         });
-        let ts_ptr = ts.as_ref().map_or(std::ptr::null(), |t| t as *const Timespec);
+        let ts_ptr = ts
+            .as_ref()
+            .map_or(std::ptr::null(), |t| t as *const Timespec);
         // SAFETY: the futex word outlives the call (we hold a reference);
         // FUTEX_WAIT blocks until woken, value change, timeout, or signal.
         // EAGAIN/EINTR are benign (caller re-checks its predicate).
@@ -199,6 +212,7 @@ mod imp {
 
 #[cfg(not(all(
     target_os = "linux",
+    not(miri),
     any(target_arch = "x86_64", target_arch = "aarch64")
 )))]
 mod imp {
@@ -222,7 +236,10 @@ mod imp {
         static TABLE: OnceLock<Vec<Bucket>> = OnceLock::new();
         TABLE.get_or_init(|| {
             (0..BUCKETS)
-                .map(|_| Bucket { lock: Mutex::new(()), cond: Condvar::new() })
+                .map(|_| Bucket {
+                    lock: Mutex::new(()),
+                    cond: Condvar::new(),
+                })
                 .collect()
         })
     }
@@ -318,7 +335,10 @@ mod tests {
         atom.store(1, Ordering::Release);
         futex_wake_all(&atom);
         let waited = h.join().unwrap();
-        assert!(waited < Duration::from_secs(5), "woke well before the timeout");
+        assert!(
+            waited < Duration::from_secs(5),
+            "woke well before the timeout"
+        );
     }
 
     #[test]

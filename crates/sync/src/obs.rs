@@ -27,7 +27,11 @@ pub fn snapshot() -> obs::Snapshot {
     s.push_counter("trylock.failures", failures);
     s.push_ratio(
         "trylock.contention_ratio",
-        if attempts == 0 { 0.0 } else { failures as f64 / attempts as f64 },
+        if attempts == 0 {
+            0.0
+        } else {
+            failures as f64 / attempts as f64
+        },
     );
     s
 }
@@ -50,8 +54,14 @@ mod tests {
         let ev = EventBuffer::new();
         ev.signal();
         let after = super::snapshot();
-        assert!(after.counter("trylock.attempts").unwrap() >= before.counter("trylock.attempts").unwrap() + 2);
-        assert!(after.counter("trylock.failures").unwrap() > before.counter("trylock.failures").unwrap());
+        assert!(
+            after.counter("trylock.attempts").unwrap()
+                >= before.counter("trylock.attempts").unwrap() + 2
+        );
+        assert!(
+            after.counter("trylock.failures").unwrap()
+                > before.counter("trylock.failures").unwrap()
+        );
         assert!(after.counter("futex.wakes").unwrap() > before.counter("futex.wakes").unwrap());
         assert!(after.counter("event.signals").unwrap() > before.counter("event.signals").unwrap());
         assert!(after.ratio("trylock.contention_ratio").unwrap() > 0.0);

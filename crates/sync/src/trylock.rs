@@ -127,6 +127,7 @@ impl RawTryLock for TasLock {
 
     #[inline]
     fn try_lock(&self) -> bool {
+        det::det_point!("sync.trylock");
         fault::fail_point!("trylock.spurious-fail", return note_try_lock(false));
         // Acquire on success orders the critical section after the
         // previous holder's release store.
@@ -143,6 +144,7 @@ impl RawTryLock for TasLock {
 
     #[inline]
     fn unlock(&self) {
+        det::det_point!("sync.unlock");
         self.held.store(false, Ordering::Release);
     }
 
@@ -166,6 +168,7 @@ impl RawTryLock for TatasLock {
 
     #[inline]
     fn try_lock(&self) -> bool {
+        det::det_point!("sync.trylock");
         fault::fail_point!("trylock.spurious-fail", return note_try_lock(false));
         // The cheap load filters out attempts that would fail anyway; this
         // is what makes trylock-and-restart profitable in insert() (§4.1).
@@ -189,6 +192,7 @@ impl RawTryLock for TatasLock {
 
     #[inline]
     fn unlock(&self) {
+        det::det_point!("sync.unlock");
         self.held.store(false, Ordering::Release);
     }
 
@@ -250,6 +254,7 @@ impl RawTryLock for OsLock {
 
     #[inline]
     fn try_lock(&self) -> bool {
+        det::det_point!("sync.trylock");
         fault::fail_point!("trylock.spurious-fail", return note_try_lock(false));
         note_try_lock(
             self.state
@@ -271,6 +276,7 @@ impl RawTryLock for OsLock {
 
     #[inline]
     fn unlock(&self) {
+        det::det_point!("sync.unlock");
         if self.state.swap(0, Ordering::Release) == 2 {
             futex_wake(&self.state, 1);
         }
@@ -284,17 +290,23 @@ impl RawTryLock for OsLock {
 
 impl std::fmt::Debug for TasLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TasLock").field("held", &self.is_locked()).finish()
+        f.debug_struct("TasLock")
+            .field("held", &self.is_locked())
+            .finish()
     }
 }
 impl std::fmt::Debug for TatasLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TatasLock").field("held", &self.is_locked()).finish()
+        f.debug_struct("TatasLock")
+            .field("held", &self.is_locked())
+            .finish()
     }
 }
 impl std::fmt::Debug for OsLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OsLock").field("held", &self.is_locked()).finish()
+        f.debug_struct("OsLock")
+            .field("held", &self.is_locked())
+            .finish()
     }
 }
 
@@ -444,7 +456,11 @@ mod tests {
         fn check<L: RawTryLock>() {
             let l = L::default();
             assert!(!l.try_lock(), "{}: armed Always must fail", L::NAME);
-            assert!(!l.is_locked(), "{}: spurious fail must not acquire", L::NAME);
+            assert!(
+                !l.is_locked(),
+                "{}: spurious fail must not acquire",
+                L::NAME
+            );
             l.lock(); // blocking path is exempt from the failpoint
             assert!(l.is_locked());
             l.unlock();

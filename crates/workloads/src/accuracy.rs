@@ -70,9 +70,7 @@ pub fn measure_accuracy<Q: ConcurrentPriorityQueue<u64> + Sync>(
                 loop {
                     // Claim one extraction from the budget.
                     if budget
-                        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| {
-                            b.checked_sub(1)
-                        })
+                        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1))
                         .is_err()
                     {
                         break;
@@ -136,8 +134,7 @@ mod tests {
 
     #[test]
     fn zmsq_beats_fifo_decisively() {
-        let q: Zmsq<u64> =
-            Zmsq::with_config(ZmsqConfig::default().batch(32).target_len(64));
+        let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(32).target_len(64));
         let keys = distinct_keys(1024, 3);
         let r = measure_accuracy(&q, &keys, 102, 1);
         assert!(

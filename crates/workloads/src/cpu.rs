@@ -21,7 +21,7 @@ pub fn measure_cpu<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     (out, after.saturating_sub(before))
 }
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 mod imp {
     use std::time::Duration;
 
@@ -64,19 +64,17 @@ mod imp {
 
         #[test]
         fn own_stat_parses() {
-            assert!(parse_stat(
-                &std::fs::read_to_string("/proc/self/stat").unwrap()
-            )
-            .is_some());
+            assert!(parse_stat(&std::fs::read_to_string("/proc/self/stat").unwrap()).is_some());
         }
     }
 }
 
-#[cfg(not(target_os = "linux"))]
+#[cfg(not(all(target_os = "linux", not(miri))))]
 mod imp {
     use std::time::{Duration, Instant};
 
-    // Fallback: wall-clock based (coarse), keeps the harness portable.
+    // Fallback: wall-clock based (coarse), keeps the harness portable
+    // (and spares Miri the `/proc` filesystem read).
     pub fn process_cpu_time() -> Duration {
         use std::sync::OnceLock;
         static EPOCH: OnceLock<Instant> = OnceLock::new();

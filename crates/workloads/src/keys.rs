@@ -42,7 +42,11 @@ pub struct KeyStream {
 impl KeyStream {
     /// Create a stream; distinct seeds give independent streams.
     pub fn new(dist: KeyDist, seed: u64) -> Self {
-        Self { dist, rng: DetRng::seed_from_u64(seed), counter: 0 }
+        Self {
+            dist,
+            rng: DetRng::seed_from_u64(seed),
+            counter: 0,
+        }
     }
 
     /// Next key.
@@ -50,15 +54,18 @@ impl KeyStream {
         self.counter += 1;
         match &self.dist {
             KeyDist::UniformBits { bits } => {
-                let mask = if *bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let mask = if *bits >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
                 self.rng.random::<u64>() & mask
             }
             KeyDist::Normal { mean, std_dev } => {
                 // Box–Muller.
                 let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
                 let u2: f64 = self.rng.random::<f64>();
-                let z = (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 (mean + std_dev * z).max(0.0).round() as u64
             }
             KeyDist::Decreasing { start } => start.saturating_sub(self.counter),
@@ -104,7 +111,13 @@ mod tests {
 
     #[test]
     fn normal_centers_on_mean() {
-        let mut s = KeyStream::new(KeyDist::Normal { mean: 1000.0, std_dev: 50.0 }, 2);
+        let mut s = KeyStream::new(
+            KeyDist::Normal {
+                mean: 1000.0,
+                std_dev: 50.0,
+            },
+            2,
+        );
         let n = 10_000;
         let sum: u64 = (0..n).map(|_| s.next_key()).sum();
         let mean = sum as f64 / n as f64;

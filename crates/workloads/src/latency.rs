@@ -48,8 +48,7 @@ impl LatencyHistogram {
         }
         let octave = 63 - ns.leading_zeros();
         let sub = (ns >> (octave - SUB_BITS)) as usize & (SUB - 1);
-        (((octave as usize).saturating_sub(SUB_BITS as usize)) * SUB + sub + SUB)
-            .min(BUCKETS - 1)
+        (((octave as usize).saturating_sub(SUB_BITS as usize)) * SUB + sub + SUB).min(BUCKETS - 1)
     }
 
     /// Lower edge (ns) represented by bucket `i` — used for reporting.

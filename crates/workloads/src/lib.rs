@@ -12,6 +12,8 @@
 //! * [`cpu`] — process CPU-time sampling via `getrusage` (Fig. 4b).
 //! * [`latency`] — a concurrent log-bucketed histogram for tail-latency
 //!   reporting beyond the paper's means.
+//! * [`oracle`] — quiescent-consistency and rank-error oracles shared by
+//!   the deterministic schedule suite and the stress tests.
 
 #![warn(missing_docs)]
 
@@ -20,4 +22,5 @@ pub mod cpu;
 pub mod keys;
 pub mod latency;
 pub mod mixed;
+pub mod oracle;
 pub mod prodcons;

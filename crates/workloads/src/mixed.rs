@@ -90,8 +90,7 @@ pub fn run_mixed<Q: ConcurrentPriorityQueue<u64> + Sync>(
             let hits = &hits;
             let misses = &misses;
             scope.spawn(move || {
-                let mut keys =
-                    KeyStream::new(cfg.keys.clone(), cfg.seed + t as u64 + 1);
+                let mut keys = KeyStream::new(cfg.keys.clone(), cfg.seed + t as u64 + 1);
                 let mut coin = DetRng::seed_from_u64(cfg.seed ^ (t as u64) << 32);
                 let mut local = (0u64, 0u64, 0u64);
                 for _ in 0..per_thread {
@@ -146,8 +145,7 @@ mod tests {
 
     #[test]
     fn mixed_conserves_elements() {
-        let q: Zmsq<u64> =
-            Zmsq::with_config(ZmsqConfig::default().batch(16).target_len(24));
+        let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(16).target_len(24));
         let cfg = MixedConfig {
             total_ops: 40_000,
             threads: 4,

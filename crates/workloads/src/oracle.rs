@@ -1,0 +1,407 @@
+//! Relaxation-quality oracles for concurrency tests.
+//!
+//! Two reusable checkers consumed by the deterministic schedule suite
+//! (and usable from ordinary stress tests):
+//!
+//! * [`QcChecker`] — quiescent-consistency bookkeeping: every extracted
+//!   element was inserted exactly once (same key, same token), nothing
+//!   is duplicated, and a drained run conserves the multiset. Threads
+//!   record into private [`ThreadLog`]s (no synchronization on the hot
+//!   path beyond one global sequence stamp) which the checker merges at
+//!   the end.
+//! * [`RankOracle`] — rank-error measurement: for each `extract_max`,
+//!   how many strictly greater keys were present in the shadow multiset
+//!   at the moment the operation was recorded. ZMSQ's structural bound
+//!   is O(batch) per extraction, independent of thread count — the det
+//!   suite asserts exactly that.
+//!
+//! Under the deterministic scheduler operations are serialized, so
+//! recording adjacent to the operation *is* the linearization point and
+//! the rank numbers are exact. Under real concurrency the shadow update
+//! races the queue by the width of the instrumentation window, so
+//! assertions there must carry slack.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What one thread saw, in program order. Obtain via
+/// [`QcChecker::handle`], fill during the run, hand back with
+/// [`QcChecker::absorb`].
+pub struct ThreadLog {
+    seq: Arc<AtomicU64>,
+    events: Vec<Event>,
+}
+
+#[derive(Clone, Copy)]
+struct Event {
+    insert: bool,
+    key: u64,
+    token: u64,
+    seq: u64,
+}
+
+impl ThreadLog {
+    /// Record an insertion of `(key, token)`. Call immediately *before*
+    /// the queue's `insert`: the element becomes visible at some point
+    /// inside the op, so only a pre-op stamp is guaranteed to precede
+    /// any extraction's post-op stamp. `token` must be unique per
+    /// element (e.g. `producer_id << 32 | i`).
+    pub fn on_insert(&mut self, key: u64, token: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.events.push(Event {
+            insert: true,
+            key,
+            token,
+            seq,
+        });
+    }
+
+    /// Record a successful extraction of `(key, token)`. Call
+    /// immediately *after* `extract_max` returns the element (the
+    /// mirror-image of [`ThreadLog::on_insert`]'s pre-op rule).
+    pub fn on_extract(&mut self, key: u64, token: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.events.push(Event {
+            insert: false,
+            key,
+            token,
+            seq,
+        });
+    }
+}
+
+/// Counts from a passing [`QcChecker::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QcStats {
+    /// Insertions recorded across all absorbed logs.
+    pub inserts: usize,
+    /// Extractions recorded across all absorbed logs.
+    pub extracts: usize,
+}
+
+/// Quiescent-consistency checker (see module docs).
+pub struct QcChecker {
+    seq: Arc<AtomicU64>,
+    logs: Mutex<Vec<Vec<Event>>>,
+}
+
+impl QcChecker {
+    /// An empty checker.
+    pub fn new() -> Self {
+        Self {
+            seq: Arc::new(AtomicU64::new(0)),
+            logs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A fresh per-thread log stamped by this checker's global sequence.
+    pub fn handle(&self) -> ThreadLog {
+        ThreadLog {
+            seq: Arc::clone(&self.seq),
+            events: Vec::new(),
+        }
+    }
+
+    /// Merge a finished thread's log back in.
+    pub fn absorb(&self, log: ThreadLog) {
+        self.logs.lock().unwrap().push(log.events);
+    }
+
+    /// Validate all absorbed logs. With `drained` the queue must have
+    /// been emptied, so conservation is exact: every inserted token was
+    /// extracted. Returns a description of the first violation found.
+    ///
+    /// Checks, in order: no token inserted twice; every extraction
+    /// matches a prior insertion's key; no token extracted twice; each
+    /// extraction's stamp follows its insertion's stamp; conservation
+    /// when drained.
+    pub fn check(&self, drained: bool) -> Result<QcStats, String> {
+        let logs = self.logs.lock().unwrap();
+        let mut inserted: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let mut extracted: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let (mut n_ins, mut n_ext) = (0usize, 0usize);
+        for events in logs.iter() {
+            for e in events {
+                if e.insert {
+                    n_ins += 1;
+                    if let Some((k, s)) = inserted.insert(e.token, (e.key, e.seq)) {
+                        return Err(format!(
+                            "token {} inserted twice (key {} @seq {}, key {} @seq {})",
+                            e.token, k, s, e.key, e.seq
+                        ));
+                    }
+                } else {
+                    n_ext += 1;
+                    if let Some((k, s)) = extracted.insert(e.token, (e.key, e.seq)) {
+                        return Err(format!(
+                            "token {} extracted twice (@seq {} and @seq {}, key {})",
+                            e.token, s, e.seq, k
+                        ));
+                    }
+                }
+            }
+        }
+        for (token, &(key, eseq)) in &extracted {
+            match inserted.get(token) {
+                None => {
+                    return Err(format!(
+                        "extracted token {token} (key {key}) never inserted"
+                    ));
+                }
+                Some(&(ikey, iseq)) => {
+                    if ikey != key {
+                        return Err(format!(
+                            "token {token} inserted with key {ikey} but extracted with key {key}"
+                        ));
+                    }
+                    if eseq <= iseq {
+                        return Err(format!(
+                            "token {token} extracted (@seq {eseq}) before its insertion (@seq {iseq})"
+                        ));
+                    }
+                }
+            }
+        }
+        if drained {
+            for (token, &(key, _)) in &inserted {
+                if !extracted.contains_key(token) {
+                    return Err(format!(
+                        "drained run lost token {token} (key {key}): inserted, never extracted"
+                    ));
+                }
+            }
+        }
+        Ok(QcStats {
+            inserts: n_ins,
+            extracts: n_ext,
+        })
+    }
+}
+
+impl Default for QcChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary of a [`RankOracle`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct RankStats {
+    /// Extractions observed.
+    pub extracts: u64,
+    /// Worst rank error: the most strictly-greater keys present when an
+    /// element was handed out. 0 for a strict queue.
+    pub max_rank: usize,
+    /// Mean rank error across all extractions.
+    pub mean_rank: f64,
+}
+
+struct Shadow {
+    /// key -> multiplicity of elements currently (believed) in the queue.
+    multiset: BTreeMap<u64, u64>,
+    /// key -> extractions recorded before their matching insertion
+    /// record (possible under real concurrency; impossible under det).
+    debts: BTreeMap<u64, u64>,
+    extracts: u64,
+    rank_total: u64,
+    max_rank: usize,
+}
+
+/// Shadow-multiset rank-error oracle (see module docs).
+pub struct RankOracle {
+    inner: Mutex<Shadow>,
+}
+
+impl RankOracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Shadow {
+                multiset: BTreeMap::new(),
+                debts: BTreeMap::new(),
+                extracts: 0,
+                rank_total: 0,
+                max_rank: 0,
+            }),
+        }
+    }
+
+    /// Record an insertion of `key`. Call adjacent to the queue op.
+    pub fn note_insert(&self, key: u64) {
+        let mut s = self.inner.lock().unwrap();
+        // An extraction of this key may have been recorded first by a
+        // racing thread; settle that debt instead of growing the shadow.
+        if let Some(d) = s.debts.get_mut(&key) {
+            *d -= 1;
+            if *d == 0 {
+                s.debts.remove(&key);
+            }
+            return;
+        }
+        *s.multiset.entry(key).or_insert(0) += 1;
+    }
+
+    /// Record an extraction of `key`; returns its rank error — how many
+    /// strictly greater keys the shadow held at this instant.
+    pub fn note_extract(&self, key: u64) -> usize {
+        let mut s = self.inner.lock().unwrap();
+        let rank: u64 = s
+            .multiset
+            .range((std::ops::Bound::Excluded(key), std::ops::Bound::Unbounded))
+            .map(|(_, &n)| n)
+            .sum();
+        let rank = rank as usize;
+        match s.multiset.get_mut(&key) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                s.multiset.remove(&key);
+            }
+            None => {
+                // Extraction seen before the matching insertion record.
+                *s.debts.entry(key).or_insert(0) += 1;
+            }
+        }
+        s.extracts += 1;
+        s.rank_total += rank as u64;
+        s.max_rank = s.max_rank.max(rank);
+        rank
+    }
+
+    /// Elements the shadow still believes are queued.
+    pub fn remaining(&self) -> u64 {
+        self.inner.lock().unwrap().multiset.values().sum()
+    }
+
+    /// Statistics over every [`RankOracle::note_extract`] so far.
+    pub fn stats(&self) -> RankStats {
+        let s = self.inner.lock().unwrap();
+        RankStats {
+            extracts: s.extracts,
+            max_rank: s.max_rank,
+            mean_rank: if s.extracts == 0 {
+                0.0
+            } else {
+                s.rank_total as f64 / s.extracts as f64
+            },
+        }
+    }
+}
+
+impl Default for RankOracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qc_passes_a_clean_sequential_run() {
+        let qc = QcChecker::new();
+        let mut log = qc.handle();
+        for i in 0..10u64 {
+            log.on_insert(i, i);
+        }
+        for i in (0..10u64).rev() {
+            log.on_extract(i, i);
+        }
+        qc.absorb(log);
+        let stats = qc.check(true).unwrap();
+        assert_eq!(
+            stats,
+            QcStats {
+                inserts: 10,
+                extracts: 10
+            }
+        );
+    }
+
+    #[test]
+    fn qc_catches_phantom_extraction() {
+        let qc = QcChecker::new();
+        let mut log = qc.handle();
+        log.on_extract(5, 99);
+        qc.absorb(log);
+        let err = qc.check(false).unwrap_err();
+        assert!(err.contains("never inserted"), "{err}");
+    }
+
+    #[test]
+    fn qc_catches_duplicate_extraction() {
+        let qc = QcChecker::new();
+        let mut log = qc.handle();
+        log.on_insert(1, 7);
+        log.on_extract(1, 7);
+        log.on_extract(1, 7);
+        qc.absorb(log);
+        let err = qc.check(false).unwrap_err();
+        assert!(err.contains("extracted twice"), "{err}");
+    }
+
+    #[test]
+    fn qc_catches_key_mismatch_and_loss() {
+        let qc = QcChecker::new();
+        let mut log = qc.handle();
+        log.on_insert(3, 1);
+        log.on_extract(4, 1);
+        qc.absorb(log);
+        let err = qc.check(false).unwrap_err();
+        assert!(err.contains("inserted with key 3"), "{err}");
+
+        let qc = QcChecker::new();
+        let mut log = qc.handle();
+        log.on_insert(3, 1);
+        qc.absorb(log);
+        assert!(qc.check(false).is_ok());
+        let err = qc.check(true).unwrap_err();
+        assert!(err.contains("lost token"), "{err}");
+    }
+
+    #[test]
+    fn rank_oracle_is_zero_for_strict_order() {
+        let ro = RankOracle::new();
+        for k in 0..100u64 {
+            ro.note_insert(k);
+        }
+        for k in (0..100u64).rev() {
+            assert_eq!(ro.note_extract(k), 0);
+        }
+        let s = ro.stats();
+        assert_eq!(s.max_rank, 0);
+        assert_eq!(s.extracts, 100);
+        assert_eq!(ro.remaining(), 0);
+    }
+
+    #[test]
+    fn rank_oracle_counts_strictly_greater_keys() {
+        let ro = RankOracle::new();
+        for k in [10u64, 20, 30, 30] {
+            ro.note_insert(k);
+        }
+        // Extracting 10 with {20, 30, 30} still queued: rank 3.
+        assert_eq!(ro.note_extract(10), 3);
+        // Extracting 30 with {20, 30} queued: the other 30 is equal, not
+        // greater — rank 0.
+        assert_eq!(ro.note_extract(30), 0);
+        assert_eq!(ro.note_extract(20), 1);
+        assert_eq!(ro.note_extract(30), 0);
+        let s = ro.stats();
+        assert_eq!(s.max_rank, 3);
+        assert!((s.mean_rank - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn rank_oracle_settles_out_of_order_records() {
+        let ro = RankOracle::new();
+        // Extraction recorded before its insertion (racy instrumentation
+        // order): the debt must cancel, leaving the shadow empty.
+        ro.note_extract(42);
+        ro.note_insert(42);
+        assert_eq!(ro.remaining(), 0);
+        ro.note_insert(7);
+        assert_eq!(ro.note_extract(7), 0);
+    }
+}

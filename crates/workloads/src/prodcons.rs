@@ -82,10 +82,9 @@ fn run_inner(
             for p in 0..producers {
                 let insert = &insert;
                 scope.spawn(move || {
-                    let mut keys =
-                        KeyStream::new(cfg.keys.clone(), cfg.seed + p as u64);
-                    let share = total / producers as u64
-                        + u64::from((p as u64) < total % producers as u64);
+                    let mut keys = KeyStream::new(cfg.keys.clone(), cfg.seed + p as u64);
+                    let share =
+                        total / producers as u64 + u64::from((p as u64) < total % producers as u64);
                     for _ in 0..share {
                         let stamp = epoch.elapsed().as_nanos() as u64;
                         insert(keys.next_key(), stamp);
@@ -104,8 +103,7 @@ fn run_inner(
                             Some((_, stamp)) => {
                                 let now = epoch.elapsed().as_nanos() as u64;
                                 latencies.record_ns(now.saturating_sub(stamp));
-                                if received.fetch_add(1, Ordering::AcqRel) + 1 == total
-                                {
+                                if received.fetch_add(1, Ordering::AcqRel) + 1 == total {
                                     break;
                                 }
                             }
@@ -164,10 +162,7 @@ pub fn run_prodcons_spin<Q: ConcurrentPriorityQueue<u64> + Sync>(
 
 /// Producer/consumer with **blocking** consumers (ZMSQ's §3.6 mechanism).
 /// The queue must have been built with `ZmsqConfig::blocking(true)`.
-pub fn run_prodcons_blocking<S, L>(
-    queue: &Zmsq<u64, S, L>,
-    cfg: &ProdConsConfig,
-) -> ProdConsResult
+pub fn run_prodcons_blocking<S, L>(queue: &Zmsq<u64, S, L>, cfg: &ProdConsConfig) -> ProdConsResult
 where
     S: NodeSet<u64> + 'static,
     L: RawTryLock + 'static,
@@ -204,7 +199,10 @@ mod tests {
     #[test]
     fn blocking_transfers_everything_and_wakes_all() {
         let q: Zmsq<u64> = Zmsq::with_config(
-            ZmsqConfig::default().batch(32).target_len(48).blocking(true),
+            ZmsqConfig::default()
+                .batch(32)
+                .target_len(48)
+                .blocking(true),
         );
         let cfg = ProdConsConfig {
             producers: 2,
@@ -231,8 +229,7 @@ mod tests {
 
     #[test]
     fn spin_with_relaxed_queue() {
-        let q: Zmsq<u64> =
-            Zmsq::with_config(ZmsqConfig::default().batch(32).target_len(48));
+        let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(32).target_len(48));
         let cfg = ProdConsConfig {
             producers: 1,
             consumers: 3,

@@ -48,7 +48,10 @@ pub struct QualityOpts {
 
 impl Default for QualityOpts {
     fn default() -> Self {
-        Self { forced_insert: true, parent_min_swap: true }
+        Self {
+            forced_insert: true,
+            parent_min_swap: true,
+        }
     }
 }
 
@@ -115,13 +118,21 @@ impl ZmsqConfig {
     /// The configuration the paper tuned for the SSSP workloads (§4.6):
     /// `batch = 42`, `target_len = 64`.
     pub fn sssp_tuned() -> Self {
-        Self { batch: 42, target_len: 64, ..Self::recommended() }
+        Self {
+            batch: 42,
+            target_len: 64,
+            ..Self::recommended()
+        }
     }
 
     /// Strict (non-relaxed) mode: `batch = 0`. Behaves exactly like the
     /// mound; `extract_max` always returns the true maximum.
     pub fn strict() -> Self {
-        Self { batch: 0, target_len: 32, ..Self::recommended() }
+        Self {
+            batch: 0,
+            target_len: 32,
+            ..Self::recommended()
+        }
     }
 
     /// Set `batch` (builder style).
@@ -173,8 +184,9 @@ impl ZmsqConfig {
         // full root set holds at most 2 * target_len elements (§4.2 also
         // observes batch > targetLen leaves the pool under-filled).
         self.batch = self.batch.min(2 * self.target_len);
-        self.initial_leaf_level =
-            self.initial_leaf_level.clamp(1, crate::tree::MAX_LEVELS - 1);
+        self.initial_leaf_level = self
+            .initial_leaf_level
+            .clamp(1, crate::tree::MAX_LEVELS - 1);
         self.event_slots = self.event_slots.max(1);
         self.probe_factor = self.probe_factor.max(1);
         self
@@ -218,8 +230,11 @@ mod tests {
         assert_eq!(c.target_len, 1);
         assert_eq!(c.batch, 2, "batch clamped to 2 * target_len");
 
-        let c = ZmsqConfig { initial_leaf_level: 99, ..ZmsqConfig::recommended() }
-            .normalized();
+        let c = ZmsqConfig {
+            initial_leaf_level: 99,
+            ..ZmsqConfig::recommended()
+        }
+        .normalized();
         assert!(c.initial_leaf_level < crate::tree::MAX_LEVELS);
     }
 

@@ -77,8 +77,8 @@ mod tree;
 
 pub use config::{LockStrategy, QualityOpts, Reclamation, ZmsqConfig};
 pub use queue::{SetSizeStats, Zmsq};
-pub use sharded::ShardedZmsq;
 pub use set::{ArraySet, DequeSet, ListSet, NodeSet};
+pub use sharded::ShardedZmsq;
 pub use stats::StatsSnapshot;
 
 // Re-exported so callers can name lock type parameters.

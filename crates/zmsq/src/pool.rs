@@ -27,12 +27,14 @@
 //! * `pool.refill-delay` — fires between the refiller writing the slots
 //!   and publishing them via the `next` store, widening the window in
 //!   which consumers see an exhausted pool that is about to be refilled.
+//! * `pool.skip-consumer-wait` — skips the lagging-consumer wait
+//!   entirely, reintroducing the Listing 2 line 8 bug. Used by the
+//!   deterministic test suite's mutation check to prove the oracles can
+//!   detect the resulting overwrite race.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{
-    AtomicIsize, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering,
-};
+use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 use zmsq_sync::CachePadded;
 
@@ -115,6 +117,7 @@ impl<V: Send> PoolBuf<V> {
         // Chaos: a lagging consumer — claimed its index but has not yet
         // read the value. Safe only because the refiller waits for us.
         fault::fail_point!("pool.claim-delay");
+        det::det_point!("pool.claim-window");
         let slot = &self.slots[idx as usize];
         debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_FULL);
         // SAFETY: index `idx` was claimed by exactly this thread (fetch_sub
@@ -153,6 +156,7 @@ impl<V: Send> PoolBuf<V> {
             {
                 // Chaos: same lagging-consumer window as try_claim.
                 fault::fail_point!("pool.claim-delay");
+                det::det_point!("pool.claim-window");
                 let slot = &self.slots[idx as usize];
                 debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_FULL);
                 // SAFETY: the successful CAS uniquely claimed index `idx`
@@ -199,7 +203,12 @@ impl<V: Send> PoolBuf<V> {
         let slot = &self.slots[target];
         if slot
             .state
-            .compare_exchange(SLOT_EMPTY, SLOT_FILLING, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                SLOT_EMPTY,
+                SLOT_FILLING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_err()
         {
             return Err((prio, value)); // another fast inserter owns it
@@ -236,13 +245,18 @@ impl<V: Send> PoolBuf<V> {
     /// line 8), extended to count direct fast inserts. Caller must be
     /// the serialized refiller.
     pub fn wait_for_consumers(&self) {
+        // Mutation target for the deterministic suite: firing this point
+        // skips the lagging-consumer wait, reintroducing the overwrite
+        // race the wait exists to prevent (Listing 2 line 8). The det
+        // harness must then catch torn reads within a bounded number of
+        // schedules — proof the oracles can fail.
+        fault::fail_point!("pool.skip-consumer-wait", return);
         let published = self.published.load(Ordering::Relaxed);
         let mut backoff = zmsq_sync::Backoff::new();
         // Acquire pairs with each consumer's release increment; `extra`
         // is re-read every iteration because an in-flight fast insert
         // that loses its publish CAS decrements it again.
-        while self.consumed.load(Ordering::Acquire)
-            < published + self.extra.load(Ordering::SeqCst)
+        while self.consumed.load(Ordering::Acquire) < published + self.extra.load(Ordering::SeqCst)
         {
             backoff.spin();
         }
@@ -279,6 +293,7 @@ impl<V: Send> PoolBuf<V> {
         }
         // Chaos: hold the filled-but-unpublished state open.
         fault::fail_point!("pool.refill-delay");
+        det::det_point!("pool.refill-window");
         // Release publish: claimants' acquire fetch_sub sees the slots.
         self.next.store(n as isize - 1, Ordering::Release);
     }
@@ -332,9 +347,7 @@ impl<V: Send> Pool<V> {
             return Pool::Disabled;
         }
         match mode {
-            crate::Reclamation::ConsumerWait => {
-                Pool::Fixed(Box::new(PoolBuf::new(batch)))
-            }
+            crate::Reclamation::ConsumerWait => Pool::Fixed(Box::new(PoolBuf::new(batch))),
             crate::Reclamation::Hazard => Pool::Swapped {
                 cur: AtomicPtr::new(Box::into_raw(Box::new(PoolBuf::new(batch)))),
                 reclaim: Reclaim::Hazard(smr::Domain::new()),
@@ -464,7 +477,10 @@ impl<V: Send> Pool<V> {
     /// Number of buffers leaked (Leak mode only).
     pub fn leaked_count(&self) -> u64 {
         match self {
-            Pool::Swapped { reclaim: Reclaim::Leak(l), .. } => l.leaked_count(),
+            Pool::Swapped {
+                reclaim: Reclaim::Leak(l),
+                ..
+            } => l.leaked_count(),
             _ => 0,
         }
     }
@@ -656,7 +672,10 @@ mod tests {
         let buf: PoolBuf<u64> = PoolBuf::new(3);
         let mut items = vec![(1, 1), (2, 2), (3, 3)];
         buf.fill(&mut items);
-        assert!(buf.try_fast_insert(10, 10).is_err(), "no slot above the top");
+        assert!(
+            buf.try_fast_insert(10, 10).is_err(),
+            "no slot above the top"
+        );
         // After one claim there is headroom again.
         assert_eq!(buf.try_claim(), Some((3, 3)));
         assert_eq!(buf.try_fast_insert(10, 10), Ok(()));
@@ -696,8 +715,7 @@ mod tests {
 
         let mut handles = Vec::new();
         for _ in 0..CONSUMERS {
-            let (pool, taken, stop) =
-                (Arc::clone(&pool), Arc::clone(&taken), Arc::clone(&stop));
+            let (pool, taken, stop) = (Arc::clone(&pool), Arc::clone(&taken), Arc::clone(&stop));
             handles.push(std::thread::spawn(move || {
                 loop {
                     if pool.try_claim().is_some() {
@@ -789,11 +807,13 @@ mod tests {
         fault::set_seed(0xC1A1_4DE1);
         fault::configure(
             "pool.claim-delay",
-            fault::Policy::new(fault::Trigger::Prob(0.25))
-                .with_action(fault::Action::SleepMs(1)),
+            fault::Policy::new(fault::Trigger::Prob(0.25)).with_action(fault::Action::SleepMs(1)),
         );
         exercise_concurrent(Reclamation::ConsumerWait);
-        assert!(fault::hit_count("pool.claim-delay") > 0, "failpoint never fired");
+        assert!(
+            fault::hit_count("pool.claim-delay") > 0,
+            "failpoint never fired"
+        );
         fault::reset();
     }
 }

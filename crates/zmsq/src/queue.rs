@@ -118,11 +118,15 @@ struct UnwindUnlock<'a, V: Send, S: NodeSet<V>, L: RawTryLock> {
 
 impl<'a, V: Send, S: NodeSet<V>, L: RawTryLock> UnwindUnlock<'a, V, S, L> {
     fn one(node: &'a TNode<V, S, L>) -> Self {
-        Self { nodes: [Some(node), None] }
+        Self {
+            nodes: [Some(node), None],
+        }
     }
 
     fn two(node: &'a TNode<V, S, L>, parent: &'a TNode<V, S, L>) -> Self {
-        Self { nodes: [Some(node), Some(parent)] }
+        Self {
+            nodes: [Some(node), Some(parent)],
+        }
     }
 
     /// Stop covering `node`: its lock was (or is about to be) released
@@ -165,6 +169,12 @@ struct AbortOnUnwind(&'static str);
 impl Drop for AbortOnUnwind {
     fn drop(&mut self) {
         if std::thread::panicking() {
+            // Under the det harness the panic is already recorded as the
+            // schedule's failure; park this vthread forever (leak
+            // policy) rather than abort the exploration process. The
+            // guard's contract holds either way: the mid-window queue
+            // state is never observed again.
+            det::det_unwind_park!();
             eprintln!(
                 "fatal: panic inside zmsq critical section `{}`; \
                  aborting rather than leaving a corrupt queue",
@@ -207,7 +217,9 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         Self {
             tree: Tree::new(cfg.initial_leaf_level),
             pool: Pool::new(cfg.batch, cfg.reclamation),
-            events: cfg.blocking.then(|| EventBuffer::with_slots(cfg.event_slots)),
+            events: cfg
+                .blocking
+                .then(|| EventBuffer::with_slots(cfg.event_slots)),
             refill_scratch: UnsafeCell::new(Vec::with_capacity(cfg.batch)),
             stats: Stats::default(),
             cfg,
@@ -250,6 +262,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// Insert `value` with priority `prio`. Never fails; restarts
     /// internally on validation conflicts.
     pub fn insert(&self, prio: u64, value: V) {
+        det::det_point!("zmsq.insert");
         // Experimental §5 fast path: high-priority elements go straight
         // into the extraction pool when it has headroom, skipping the
         // tree entirely. Falls through to the normal path on any
@@ -444,7 +457,9 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         let (mut lo, mut hi) = (0usize, pos.0);
         while lo < hi {
             let mid = (lo + hi) / 2;
-            let node = self.tree.node((mid, Tree::<V, S, L>::ancestor_slot(pos, mid)));
+            let node = self
+                .tree
+                .node((mid, Tree::<V, S, L>::ancestor_slot(pos, mid)));
             let fits = node.count() == 0 || node.max_key() <= Some(prio);
             if fits {
                 hi = mid;
@@ -467,9 +482,8 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         // Re-validate: still nonempty, still under-full, still not a max.
         // Listing 1 line 39 fails only when `count > targetLen`, so a
         // node at exactly targetLen still accepts (filling to target+1).
-        let ok = node.count() > 0
-            && node.count() <= self.cfg.target_len
-            && Some(prio) <= node.max_key();
+        let ok =
+            node.count() > 0 && node.count() <= self.cfg.target_len && Some(prio) <= node.max_key();
         if !ok {
             node.unlock();
             return Err(value);
@@ -670,6 +684,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// (root set empty under the root lock with the pool exhausted).
     /// With `batch = 0` the result is always the exact maximum.
     pub fn extract_max(&self) -> Option<(u64, V)> {
+        det::det_point!("zmsq.extract");
         let mut backoff = Backoff::new();
         loop {
             // Fast path: claim from the shared pool.
@@ -799,6 +814,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         // The last point where a panic is recoverable by unlocking: no
         // mutation has happened yet.
         fault::fail_point!("queue.extract.locked-panic");
+        det::det_point!("zmsq.extract-root");
         drop(unwind);
         // From here to swap_down's return the window spans the root, the
         // pool and (transitively) children — unrecoverable mid-way.
@@ -910,10 +926,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// q.insert(5, 5);
     /// assert_eq!(q.extract_max_timeout(Duration::from_millis(10)), Some((5, 5)));
     /// ```
-    pub fn extract_max_timeout(
-        &self,
-        timeout: std::time::Duration,
-    ) -> Option<(u64, V)> {
+    pub fn extract_max_timeout(&self, timeout: std::time::Duration) -> Option<(u64, V)> {
         let deadline = std::time::Instant::now() + timeout;
         loop {
             if let Some(got) = self.extract_max() {
@@ -1018,8 +1031,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         }
         let sum: usize = counts.iter().sum();
         let mean = sum as f64 / n as f64;
-        let var =
-            counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         SetSizeStats {
             nonempty_nodes: n,
             mean,
@@ -1187,9 +1203,7 @@ mod tests {
         // elements. Single-threaded, quiescent: extract batch+1 and the
         // true max must be among them.
         for batch in [1usize, 4, 16] {
-            let q = ListQ::with_config(
-                ZmsqConfig::default().batch(batch).target_len(batch.max(8)),
-            );
+            let q = ListQ::with_config(ZmsqConfig::default().batch(batch).target_len(batch.max(8)));
             for i in 0..2000u64 {
                 q.insert(i, i);
             }
@@ -1233,9 +1247,16 @@ mod tests {
 
     #[test]
     fn all_reclamation_modes_roundtrip() {
-        for mode in [Reclamation::Hazard, Reclamation::ConsumerWait, Reclamation::Leak] {
+        for mode in [
+            Reclamation::Hazard,
+            Reclamation::ConsumerWait,
+            Reclamation::Leak,
+        ] {
             let q = ListQ::with_config(
-                ZmsqConfig::default().batch(4).target_len(8).reclamation(mode),
+                ZmsqConfig::default()
+                    .batch(4)
+                    .target_len(8)
+                    .reclamation(mode),
             );
             for i in 0..1000u64 {
                 q.insert(i, i);
@@ -1282,7 +1303,10 @@ mod tests {
         assert_eq!(s.extracts as usize, drained);
         assert!(s.pool_hits > 0, "relaxed mode must hit the pool");
         assert!(s.pool_refills > 0);
-        assert!(s.root_access_ratio() < 0.5, "most extractions avoid the root");
+        assert!(
+            s.root_access_ratio() < 0.5,
+            "most extractions avoid the root"
+        );
     }
 
     #[test]
@@ -1307,15 +1331,17 @@ mod tests {
                 q.extract_max();
             }
         }
-        assert_eq!(live.load(Ordering::SeqCst), 0, "tree + pool values all dropped");
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "tree + pool values all dropped"
+        );
     }
 
     #[test]
     fn spinning_extraction_waits_for_producer() {
         use std::sync::atomic::{AtomicU64, Ordering};
-        let q = ListQ::with_config(
-            ZmsqConfig::default().batch(4).target_len(8).blocking(true),
-        );
+        let q = ListQ::with_config(ZmsqConfig::default().batch(4).target_len(8).blocking(true));
         let got = AtomicU64::new(0);
         std::thread::scope(|s| {
             let (q2, got2) = (&q, &got);
@@ -1341,9 +1367,8 @@ mod tests {
     #[test]
     fn blocking_misconfiguration_panics() {
         let q = ListQ::new();
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            q.extract_max_blocking()
-        }));
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.extract_max_blocking()));
         assert!(err.is_err());
     }
 
@@ -1365,8 +1390,7 @@ mod tests {
     #[test]
     fn insert_batch_roundtrip_and_order() {
         let q: ListQ = Zmsq::with_config(ZmsqConfig::strict().target_len(8));
-        let mut items: Vec<(u64, u64)> =
-            (0..1000u64).map(|i| ((i * 7919) % 5000, i)).collect();
+        let mut items: Vec<(u64, u64)> = (0..1000u64).map(|i| ((i * 7919) % 5000, i)).collect();
         let mut expect: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
         q.insert_batch(&mut items);
         assert!(items.is_empty(), "batch must be drained");
@@ -1456,7 +1480,10 @@ mod tests {
     #[test]
     fn fast_pool_insert_extracted_immediately() {
         let q = ListQ::with_config(
-            ZmsqConfig::default().batch(8).target_len(8).pool_fast_insert(true),
+            ZmsqConfig::default()
+                .batch(8)
+                .target_len(8)
+                .pool_fast_insert(true),
         );
         for i in 0..500u64 {
             q.insert(i, i);
@@ -1478,7 +1505,11 @@ mod tests {
     #[test]
     fn fast_pool_insert_conserves_under_concurrency() {
         use std::sync::atomic::{AtomicU64, Ordering};
-        for mode in [Reclamation::Hazard, Reclamation::ConsumerWait, Reclamation::Leak] {
+        for mode in [
+            Reclamation::Hazard,
+            Reclamation::ConsumerWait,
+            Reclamation::Leak,
+        ] {
             let q = ListQ::with_config(
                 ZmsqConfig::default()
                     .batch(8)
@@ -1526,7 +1557,10 @@ mod tests {
         let live = Arc::new(AtomicI64::new(0));
         {
             let q: Zmsq<D> = Zmsq::with_config(
-                ZmsqConfig::default().batch(4).target_len(6).pool_fast_insert(true),
+                ZmsqConfig::default()
+                    .batch(4)
+                    .target_len(6)
+                    .pool_fast_insert(true),
             );
             for i in 0..500u64 {
                 live.fetch_add(1, Ordering::SeqCst);
@@ -1537,7 +1571,11 @@ mod tests {
             }
             // Queue drops with elements in tree + pool (some fast-inserted).
         }
-        assert_eq!(live.load(Ordering::SeqCst), 0, "no value leaked via fast path");
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "no value leaked via fast path"
+        );
     }
 
     #[test]
@@ -1552,7 +1590,10 @@ mod tests {
             assert!(k >= 900, "below-threshold element {k} returned");
             got += 1;
         }
-        assert!(got >= 90, "most of the top 100 should be extractable: {got}");
+        assert!(
+            got >= 90,
+            "most of the top 100 should be extractable: {got}"
+        );
         // Impossible threshold: nothing comes out, nothing is lost.
         assert_eq!(q.try_extract_if(5000), None);
         assert_eq!(q.drain_count() as u64, 1000 - got);
@@ -1619,7 +1660,10 @@ mod tests {
                 below_median += 1;
             }
         }
-        assert!(below_median < 50, "{below_median} / 1000 extractions below median");
+        assert!(
+            below_median < 50,
+            "{below_median} / 1000 extractions below median"
+        );
     }
 
     /// A panic injected while an insert holds TNode locks must release
@@ -1637,8 +1681,7 @@ mod tests {
         }
         fault::configure(
             "queue.insert.locked-panic",
-            fault::Policy::new(fault::Trigger::Once)
-                .with_action(fault::Action::Panic("injected")),
+            fault::Policy::new(fault::Trigger::Once).with_action(fault::Action::Panic("injected")),
         );
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             q.insert(1000, 1000);
@@ -1664,7 +1707,7 @@ mod tests {
     fn injected_extract_panic_loses_nothing() {
         let _x = fault::exclusive();
         fault::reset();
-        fault::set_seed(0xBADE_A7);
+        fault::set_seed(0xBADEA7);
         let q = ListQ::with_config(ZmsqConfig::default().batch(4).target_len(8));
         let n = 500u64;
         for i in 0..n {
@@ -1672,8 +1715,7 @@ mod tests {
         }
         fault::configure(
             "queue.extract.locked-panic",
-            fault::Policy::new(fault::Trigger::Once)
-                .with_action(fault::Action::Panic("injected")),
+            fault::Policy::new(fault::Trigger::Once).with_action(fault::Action::Panic("injected")),
         );
         let mut panicked = 0u32;
         let mut drained = 0u64;
@@ -1713,10 +1755,16 @@ mod tests {
         let start = std::time::Instant::now();
         let got = q.extract_max_timeout(timeout);
         let elapsed = start.elapsed();
-        assert!(fault::hit_count("futex.spurious-wake") > 0, "failpoint off-path");
+        assert!(
+            fault::hit_count("futex.spurious-wake") > 0,
+            "failpoint off-path"
+        );
         fault::reset();
         assert_eq!(got, None);
-        assert!(elapsed >= timeout, "returned before the deadline: {elapsed:?}");
+        assert!(
+            elapsed >= timeout,
+            "returned before the deadline: {elapsed:?}"
+        );
         assert!(
             elapsed < timeout * 20,
             "deadline restarted under spurious wakeups: {elapsed:?}"

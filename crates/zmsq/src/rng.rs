@@ -18,10 +18,20 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// First-use seed for this thread's stream. Under the deterministic
+/// scheduler each vthread gets a seed derived from the schedule seed (a
+/// fresh OS thread is spawned per vthread, so TLS re-initializes per
+/// schedule — that is what makes leaf probes replay byte-identically);
+/// otherwise the global counter keeps real threads' streams distinct.
+fn initial_seed() -> u64 {
+    if let Some(s) = det::det_thread_seed!() {
+        return splitmix64(s);
+    }
+    splitmix64(SEED_COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed))
+}
+
 thread_local! {
-    static STATE: Cell<u64> = Cell::new(splitmix64(
-        SEED_COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
-    ));
+    static STATE: Cell<u64> = Cell::new(initial_seed());
 }
 
 /// Next pseudo-random `u64` from the calling thread's stream.
@@ -64,7 +74,10 @@ mod tests {
         for _ in 0..10_000 {
             seen[next_index(8)] = true;
         }
-        assert!(seen.iter().all(|&b| b), "all 8 slots should be hit: {seen:?}");
+        assert!(
+            seen.iter().all(|&b| b),
+            "all 8 slots should be hit: {seen:?}"
+        );
     }
 
     #[test]

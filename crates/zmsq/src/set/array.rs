@@ -92,7 +92,8 @@ impl<V: Send> NodeSet<V> for ArraySet<V> {
             return Vec::new();
         }
         // Partition so the `remove` smallest occupy the head, then split.
-        self.items.select_nth_unstable_by_key(remove - 1, |&(k, _)| k);
+        self.items
+            .select_nth_unstable_by_key(remove - 1, |&(k, _)| k);
         let upper = self.items.split_off(remove);
         std::mem::replace(&mut self.items, upper)
     }

@@ -25,7 +25,9 @@ pub struct DequeSet<V> {
 
 impl<V> Default for DequeSet<V> {
     fn default() -> Self {
-        Self { items: VecDeque::new() }
+        Self {
+            items: VecDeque::new(),
+        }
     }
 }
 

@@ -84,8 +84,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
             return self.shards[0].extract_max();
         }
         let (a, b) = (self.random_shard(), self.random_shard());
-        let pick = if self.shards[a].peek_max_hint() >= self.shards[b].peek_max_hint()
-        {
+        let pick = if self.shards[a].peek_max_hint() >= self.shards[b].peek_max_hint() {
             a
         } else {
             b

@@ -182,10 +182,7 @@ mod tests {
         let loads = s.stripe_loads();
         assert_eq!(loads.iter().sum::<u64>(), threads as u64);
         let fair = threads as u64 / obs::STRIPES as u64;
-        assert!(
-            loads.iter().all(|&l| l > 0),
-            "stripe starved: {loads:?}"
-        );
+        assert!(loads.iter().all(|&l| l > 0), "stripe starved: {loads:?}");
         // Other test threads in this process also consume ticket numbers,
         // shifting which stripes our threads land on — but round-robin
         // still bounds any stripe's load by fair + (ticket interleavers).

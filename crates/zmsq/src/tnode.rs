@@ -131,8 +131,10 @@ impl<V, S: NodeSet<V>, L: RawTryLock> TNode<V, S, L> {
         // SAFETY: caller holds the lock.
         let set = unsafe { &*self.set.get() };
         self.count.store(set.len() as u32, Ordering::Relaxed);
-        self.max.store(set.max_key().unwrap_or(EMPTY_MAX), Ordering::Relaxed);
-        self.min.store(set.min_key().unwrap_or(EMPTY_MIN), Ordering::Relaxed);
+        self.max
+            .store(set.max_key().unwrap_or(EMPTY_MAX), Ordering::Relaxed);
+        self.min
+            .store(set.min_key().unwrap_or(EMPTY_MIN), Ordering::Relaxed);
     }
 
     /// Cheaper cache update for the common insert case: one element of

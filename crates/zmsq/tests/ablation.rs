@@ -36,10 +36,13 @@ fn mechanisms_fire_when_enabled() {
 #[test]
 fn disabled_mechanisms_never_fire() {
     let q = mixed_run(
-        ZmsqConfig::default().batch(16).target_len(16).quality(QualityOpts {
-            forced_insert: false,
-            parent_min_swap: false,
-        }),
+        ZmsqConfig::default()
+            .batch(16)
+            .target_len(16)
+            .quality(QualityOpts {
+                forced_insert: false,
+                parent_min_swap: false,
+            }),
     );
     let s = q.stats();
     assert_eq!(s.forced_inserts, 0);
@@ -49,12 +52,24 @@ fn disabled_mechanisms_never_fire() {
 #[test]
 fn ablated_queue_is_still_correct() {
     for quality in [
-        QualityOpts { forced_insert: false, parent_min_swap: true },
-        QualityOpts { forced_insert: true, parent_min_swap: false },
-        QualityOpts { forced_insert: false, parent_min_swap: false },
+        QualityOpts {
+            forced_insert: false,
+            parent_min_swap: true,
+        },
+        QualityOpts {
+            forced_insert: true,
+            parent_min_swap: false,
+        },
+        QualityOpts {
+            forced_insert: false,
+            parent_min_swap: false,
+        },
     ] {
         let mut q: Zmsq<u64> = Zmsq::with_config(
-            ZmsqConfig::default().batch(8).target_len(12).quality(quality),
+            ZmsqConfig::default()
+                .batch(8)
+                .target_len(12)
+                .quality(quality),
         );
         use std::sync::atomic::{AtomicU64, Ordering};
         let got = AtomicU64::new(0);
@@ -83,7 +98,10 @@ fn quality_mechanisms_improve_set_density() {
     // them off, the structure trends toward the mound's short lists.
     let density = |quality: QualityOpts| {
         let mut q: Zmsq<u64> = Zmsq::with_config(
-            ZmsqConfig::default().batch(32).target_len(32).quality(quality),
+            ZmsqConfig::default()
+                .batch(32)
+                .target_len(32)
+                .quality(quality),
         );
         let mut x = 42u64;
         for _ in 0..50_000u64 {
@@ -102,8 +120,10 @@ fn quality_mechanisms_improve_set_density() {
         q.set_size_stats().mean
     };
     let with = density(QualityOpts::default());
-    let without =
-        density(QualityOpts { forced_insert: false, parent_min_swap: false });
+    let without = density(QualityOpts {
+        forced_insert: false,
+        parent_min_swap: false,
+    });
     assert!(
         with > without * 1.5,
         "quality mechanisms should lengthen sets: with={with:.1} without={without:.1}"
@@ -118,7 +138,10 @@ fn min_swap_drives_accuracy() {
     // collapses. Pin the direction (not the exact magnitude).
     let hit_rate = |quality: QualityOpts| {
         let q: Zmsq<u64> = Zmsq::with_config(
-            ZmsqConfig::default().batch(32).target_len(32).quality(quality),
+            ZmsqConfig::default()
+                .batch(32)
+                .target_len(32)
+                .quality(quality),
         );
         // Distinct shuffled keys.
         let n = 8192u64;
@@ -138,7 +161,10 @@ fn min_swap_drives_accuracy() {
         hits as f64 / extract as f64
     };
     let with = hit_rate(QualityOpts::default());
-    let without = hit_rate(QualityOpts { parent_min_swap: false, ..Default::default() });
+    let without = hit_rate(QualityOpts {
+        parent_min_swap: false,
+        ..Default::default()
+    });
     assert!(
         with > without + 0.15,
         "min-swap should lift accuracy decisively: with={with:.3} without={without:.3}"
@@ -151,10 +177,12 @@ fn strict_mode_unaffected_by_ablation() {
     // settings — they only affect performance/shape.
     for quality in [
         QualityOpts::default(),
-        QualityOpts { forced_insert: false, parent_min_swap: false },
+        QualityOpts {
+            forced_insert: false,
+            parent_min_swap: false,
+        },
     ] {
-        let q: Zmsq<u64> =
-            Zmsq::with_config(ZmsqConfig::strict().quality(quality));
+        let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::strict().quality(quality));
         let mut keys: Vec<u64> = (0..3000u64).map(|i| (i * 48271) % 100_000).collect();
         for &k in &keys {
             q.insert(k, k);

@@ -10,12 +10,10 @@ use zmsq::{Zmsq, ZmsqConfig};
 /// extractions shrink sets from the top.
 #[test]
 fn deep_tree_growth_under_concurrency() {
-    let mut q: Zmsq<u64> = Zmsq::with_config(
-        ZmsqConfig {
-            initial_leaf_level: 1,
-            ..ZmsqConfig::default().batch(2).target_len(2)
-        },
-    );
+    let mut q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig {
+        initial_leaf_level: 1,
+        ..ZmsqConfig::default().batch(2).target_len(2)
+    });
     const THREADS: u64 = 4;
     const PER: u64 = 15_000;
     std::thread::scope(|s| {

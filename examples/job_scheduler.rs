@@ -33,7 +33,10 @@ fn main() {
 
     // Blocking enabled: idle workers park on the circular futex buffer.
     let queue: Zmsq<Job> = Zmsq::with_config(
-        ZmsqConfig::default().batch(16).target_len(32).blocking(true),
+        ZmsqConfig::default()
+            .batch(16)
+            .target_len(32)
+            .blocking(true),
     );
     let epoch = Instant::now();
 

@@ -39,7 +39,10 @@ fn main() {
     // result (Fig. 4): slightly higher latency at low thread counts, but
     // far less CPU burned — and strictly better once threads exceed cores.
     let q: Zmsq<u64> = Zmsq::with_config(
-        ZmsqConfig::default().batch(32).target_len(48).blocking(true),
+        ZmsqConfig::default()
+            .batch(32)
+            .target_len(48)
+            .blocking(true),
     );
     let block = run_prodcons_blocking(&q, &cfg);
     assert_eq!(block.received, items);

@@ -36,7 +36,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     let reference = sequential_sssp(&graph, source);
     println!("sequential Dijkstra: {:?}", t0.elapsed());
-    let reachable = reference.iter().filter(|&&d| d != zmsq_graph::INFINITY).count();
+    let reachable = reference
+        .iter()
+        .filter(|&&d| d != zmsq_graph::INFINITY)
+        .count();
     println!("{reachable} nodes reachable from source {source}");
 
     // ZMSQ with the paper's SSSP tuning (batch=42, targetLen=64, §4.6).

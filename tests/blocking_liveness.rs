@@ -8,7 +8,10 @@ use zmsq::{Zmsq, ZmsqConfig};
 
 fn blocking_queue(batch: usize) -> Zmsq<u64> {
     Zmsq::with_config(
-        ZmsqConfig::default().batch(batch).target_len(batch.max(8) * 2).blocking(true),
+        ZmsqConfig::default()
+            .batch(batch)
+            .target_len(batch.max(8) * 2)
+            .blocking(true),
     )
 }
 
@@ -142,7 +145,10 @@ fn timed_extraction_semantics() {
 
     // Immediate when nonempty.
     q.insert(9, 9);
-    assert_eq!(q.extract_max_timeout(Duration::from_millis(1)), Some((9, 9)));
+    assert_eq!(
+        q.extract_max_timeout(Duration::from_millis(1)),
+        Some((9, 9))
+    );
 
     // Blocking disabled: degrades to one non-blocking attempt.
     let plain: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default());

@@ -61,8 +61,7 @@ struct DumpOnFail(u64);
 impl Drop for DumpOnFail {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            let path =
-                std::path::PathBuf::from(format!("target/obs-dump-{:#x}.json", self.0));
+            let path = std::path::PathBuf::from(format!("target/obs-dump-{:#x}.json", self.0));
             if obs::recorder::dump_to_file(&path).is_ok() {
                 eprintln!("chaos: flight recorder dumped to {}", path.display());
             }
@@ -72,7 +71,7 @@ impl Drop for DumpOnFail {
 
 /// XOR+sum conservation under concurrent producers/consumers: the
 /// fundamental safety property, immune to reordering by construction.
-fn run_conservation(q: &(impl ConcurrentPriorityQueue<u64> + Sync), per_thread: u64) {
+fn run_conservation(q: &impl ConcurrentPriorityQueue<u64>, per_thread: u64) {
     const PRODUCERS: u64 = 2;
     const CONSUMERS: u64 = 2;
     let inserted_xor = AtomicU64::new(0);
@@ -161,7 +160,10 @@ fn conservation_consumer_wait_under_claim_delay() {
         "pool.claim-delay",
         Policy::new(Trigger::Prob(0.2)).with_action(Action::SleepMs(1)),
     );
-    fault::configure("pool.refill-delay", Policy::new(Trigger::Prob(0.3)).with_action(Action::Yield));
+    fault::configure(
+        "pool.refill-delay",
+        Policy::new(Trigger::Prob(0.3)).with_action(Action::Yield),
+    );
     let q: Zmsq<u64> = Zmsq::with_config(
         ZmsqConfig::default()
             .batch(8)
@@ -194,7 +196,10 @@ fn conservation_hazard_and_leak_under_faults() {
             Policy::new(Trigger::Prob(0.05)).with_action(Action::Yield),
         );
         let q: Zmsq<u64> = Zmsq::with_config(
-            ZmsqConfig::default().batch(8).target_len(12).reclamation(reclamation),
+            ZmsqConfig::default()
+                .batch(8)
+                .target_len(12)
+                .reclamation(reclamation),
         );
         run_conservation(&q, 3_000);
         fault::reset();
@@ -287,9 +292,8 @@ fn blocking_liveness_under_faults() {
     );
 
     const ROUNDS: u64 = 1_000;
-    let q: Zmsq<u64> = Zmsq::with_config(
-        ZmsqConfig::default().batch(4).target_len(8).blocking(true),
-    );
+    let q: Zmsq<u64> =
+        Zmsq::with_config(ZmsqConfig::default().batch(4).target_len(8).blocking(true));
     let got = AtomicU64::new(0);
     std::thread::scope(|s| {
         let q2 = &q;
@@ -314,7 +318,10 @@ fn blocking_liveness_under_faults() {
         q.close();
         assert_eq!(consumer.join().unwrap(), ROUNDS);
     });
-    assert!(fault::hit_count("futex.spurious-wake") > 0, "spurious-wake off-path");
+    assert!(
+        fault::hit_count("futex.spurious-wake") > 0,
+        "spurious-wake off-path"
+    );
     fault::reset();
 }
 
@@ -346,8 +353,13 @@ fn insert_panic_recovery_under_faults() {
     assert!(lost > 0, "seed: panic failpoint never fired");
     fault::reset();
     let mut q = q;
-    q.validate_invariants().expect("tree invariants broken after unwinds");
-    assert_eq!(q.drain_count() as u64, N - lost, "conservation modulo lost in-flight");
+    q.validate_invariants()
+        .expect("tree invariants broken after unwinds");
+    assert_eq!(
+        q.drain_count() as u64,
+        N - lost,
+        "conservation modulo lost in-flight"
+    );
 }
 
 /// Extraction panics fire before any mutation: nothing is lost across

@@ -30,12 +30,10 @@ fn make(kind: &str, threads: usize) -> Box<dyn ConcurrentPriorityQueue<u64> + Sy
     let small = ZmsqConfig::default().batch(16).target_len(24);
     match kind {
         "zmsq" => Box::new(Zmsq::<u64>::with_config(small)),
-        "zmsq-array" => {
-            Box::new(Zmsq::<u64, ArraySet<u64>, TatasLock>::with_config(small))
-        }
-        "zmsq-leak" => {
-            Box::new(Zmsq::<u64>::with_config(small.reclamation(Reclamation::Leak)))
-        }
+        "zmsq-array" => Box::new(Zmsq::<u64, ArraySet<u64>, TatasLock>::with_config(small)),
+        "zmsq-leak" => Box::new(Zmsq::<u64>::with_config(
+            small.reclamation(Reclamation::Leak),
+        )),
         "zmsq-wait" => Box::new(Zmsq::<u64>::with_config(
             small.reclamation(Reclamation::ConsumerWait),
         )),
@@ -116,7 +114,11 @@ fn conservation_under_concurrency(kind: &str) {
     }
     assert_eq!(q.extract_max(), None, "{kind}: extra elements appeared");
     assert_eq!(extracted_n.into_inner(), THREADS * PER, "{kind}: count");
-    assert_eq!(extracted_xor.into_inner(), expect_xor, "{kind}: xor checksum");
+    assert_eq!(
+        extracted_xor.into_inner(),
+        expect_xor,
+        "{kind}: xor checksum"
+    );
     assert_eq!(
         extracted_sum.into_inner(),
         expect_sum,

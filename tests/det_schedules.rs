@@ -1,0 +1,421 @@
+//! Deterministic schedule exploration of the real queue (`--features
+//! det-sched`): ports of the core stress-matrix and blocking-liveness
+//! interleavings under the `det` scheduler, with the relaxation-quality
+//! oracles from `workloads::oracle`.
+//!
+//! Fast mode: every non-ignored test runs a fixed seed and a small
+//! schedule budget so the whole file stays well under 30 s. Override
+//! with `DET_SEED` / `DET_SCHEDULES`; replay one failing schedule with
+//! `DET_SCHEDULE=<k>` (the failure report prints the exact recipe).
+
+#![cfg(feature = "det-sched")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use det::Config;
+use workloads::oracle::{QcChecker, RankOracle};
+use zmsq::{ArraySet, ListSet, NodeSet, TatasLock, Zmsq, ZmsqConfig};
+
+/// Unique element token: producer id in the high bits, sequence in the low.
+fn token(producer: u64, i: u64) -> u64 {
+    (producer << 32) | i
+}
+
+/// Producers and consumers over a relaxed queue; every element must be
+/// extracted exactly once with its key intact (quiescent consistency),
+/// across every explored interleaving. Port of the stress-matrix
+/// conservation check.
+#[test]
+fn det_conservation_under_interleaving() {
+    for batch in [1usize, 8] {
+        let cfg = Config::from_env(0xC07E5D + batch as u64).schedules(16);
+        det::explore(&cfg, move || {
+            const PRODUCERS: u64 = 2;
+            const CONSUMERS: u64 = 2;
+            const PER: u64 = 5;
+            let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+                ZmsqConfig::default().batch(batch).target_len(8),
+            ));
+            let qc = Arc::new(QcChecker::new());
+            let taken = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for p in 0..PRODUCERS {
+                let (q, qc) = (Arc::clone(&q), Arc::clone(&qc));
+                handles.push(det::spawn(move || {
+                    let mut log = qc.handle();
+                    for i in 0..PER {
+                        // Duplicate keys across producers on purpose.
+                        // Pre-op insert records, post-op extract records
+                        // (see ThreadLog docs for why).
+                        let t = token(p, i);
+                        log.on_insert(i % 3, t);
+                        q.insert(i % 3, t);
+                    }
+                    qc.absorb(log);
+                }));
+            }
+            for _ in 0..CONSUMERS {
+                let (q, qc, taken) = (Arc::clone(&q), Arc::clone(&qc), Arc::clone(&taken));
+                handles.push(det::spawn(move || {
+                    let mut log = qc.handle();
+                    while taken.load(Ordering::SeqCst) < PRODUCERS * PER {
+                        if let Some((k, t)) = q.extract_max() {
+                            log.on_extract(k, t);
+                            taken.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    qc.absorb(log);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(q.extract_max(), None, "drained");
+            if let Err(e) = qc.check(true) {
+                panic!("quiescent-consistency violation (batch {batch}): {e}");
+            }
+        });
+    }
+}
+
+/// Rank-error oracle under det: with a prefilled queue and an
+/// extraction-only phase, each `extract_max` may skip at most O(batch)
+/// strictly greater keys. Under the serialized scheduler the oracle's
+/// shadow update is the linearization point, so the bound is tight up to
+/// the claim-window overlap between the two consumers.
+#[test]
+fn det_rank_error_is_bounded_by_batch() {
+    for batch in [1usize, 8, 64] {
+        let cfg = Config::from_env(0x4A9C + batch as u64).schedules(8);
+        det::explore(&cfg, move || {
+            const KEYS: u64 = 96;
+            let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+                ZmsqConfig::default().batch(batch).target_len(batch.max(4)),
+            ));
+            let oracle = Arc::new(RankOracle::new());
+            for k in 0..KEYS {
+                q.insert(k, k);
+                oracle.note_insert(k);
+            }
+            let taken = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let (q, oracle, taken) = (Arc::clone(&q), Arc::clone(&oracle), Arc::clone(&taken));
+                handles.push(det::spawn(move || {
+                    let mut worst = 0usize;
+                    while taken.load(Ordering::SeqCst) < KEYS {
+                        if let Some((k, _)) = q.extract_max() {
+                            worst = worst.max(oracle.note_extract(k));
+                            taken.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    worst
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            let stats = oracle.stats();
+            assert_eq!(stats.extracts, KEYS);
+            // O(batch) structural bound. Refills draw the root set's top
+            // `batch`, and the root set's non-max elements are ordered
+            // only against their own subtrees — so the constant carries
+            // the root-set capacity (2 * target_len, which this test
+            // scales with batch) on top of the batch itself; +4 covers
+            // the two consumers' claim-window overlap. The bound must
+            // NOT scale with thread count
+            // (tests/strict_and_accuracy.rs sweeps that axis).
+            let bound = batch + 2 * batch.max(4) + 4;
+            assert!(
+                stats.max_rank <= bound,
+                "batch {batch}: max rank error {} exceeds O(batch) bound {bound}",
+                stats.max_rank
+            );
+        });
+    }
+}
+
+/// Strict mode (batch = 0) has rank error exactly zero on every schedule.
+#[test]
+fn det_strict_mode_rank_error_is_zero() {
+    let cfg = Config::from_env(0x57A1C7).schedules(8);
+    det::explore(&cfg, || {
+        let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(ZmsqConfig::strict()));
+        let oracle = Arc::new(RankOracle::new());
+        for k in 0..24u64 {
+            q.insert(k, k);
+            oracle.note_insert(k);
+        }
+        let taken = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (q, oracle, taken) = (Arc::clone(&q), Arc::clone(&oracle), Arc::clone(&taken));
+                det::spawn(move || {
+                    while taken.load(Ordering::SeqCst) < 24 {
+                        if let Some((k, _)) = q.extract_max() {
+                            assert_eq!(oracle.note_extract(k), 0, "strict mode");
+                            taken.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+    });
+}
+
+/// Port of `blocking_liveness::single_item_handoffs_wake_parked_consumer`:
+/// tight one-element handoffs with the consumer parked in between. A lost
+/// wakeup surfaces as a deterministic deadlock report, not a hung test.
+/// Spurious wakeups are enabled to exercise the re-check loops.
+#[test]
+fn det_blocking_handoff_never_loses_wakeups() {
+    let cfg = Config::from_env(0xB10C).schedules(24).spurious_wakes(true);
+    det::explore(&cfg, || {
+        const ITEMS: u64 = 4;
+        let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+            ZmsqConfig::default().batch(2).target_len(4).blocking(true),
+        ));
+        let got = Arc::new(AtomicU64::new(0));
+        let (q2, got2) = (Arc::clone(&q), Arc::clone(&got));
+        let consumer = det::spawn(move || {
+            let mut n = 0u64;
+            while q2.extract_max_blocking().is_some() {
+                n += 1;
+                got2.fetch_add(1, Ordering::SeqCst);
+            }
+            n
+        });
+        for i in 0..ITEMS {
+            q.insert(i, i);
+        }
+        while got.load(Ordering::SeqCst) < ITEMS {
+            det::yield_point("test.wait-drain");
+        }
+        q.close();
+        assert_eq!(consumer.join(), ITEMS);
+    });
+}
+
+/// Port of `blocking_liveness::close_releases_parked_consumers`: close on
+/// an empty queue must release every parked consumer on every schedule.
+#[test]
+fn det_close_releases_parked_consumers() {
+    let cfg = Config::from_env(0xC105E).schedules(24).spurious_wakes(true);
+    det::explore(&cfg, || {
+        let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+            ZmsqConfig::default().batch(4).target_len(8).blocking(true),
+        ));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                det::spawn(move || q.extract_max_blocking())
+            })
+            .collect();
+        // No coordination on purpose: close races registration, spinning
+        // and parked states — all must terminate with None.
+        q.close();
+        for h in handles {
+            assert_eq!(h.join(), None, "woken by close with empty queue");
+        }
+    });
+}
+
+/// Timed extraction on an empty queue expires in *virtual* time: one
+/// virtual hour per schedule, trivial real time for the whole batch.
+#[test]
+fn det_timed_extraction_uses_virtual_time() {
+    let t0 = Instant::now();
+    let cfg = Config::from_env(0x71ED).schedules(8);
+    det::explore(&cfg, || {
+        let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+            ZmsqConfig::default().batch(2).target_len(4).blocking(true),
+        ));
+        assert_eq!(q.extract_max_timeout(Duration::from_secs(3600)), None);
+        // Delivered when an element exists: no park, no clock advance.
+        q.insert(9, 9);
+        assert_eq!(
+            q.extract_max_timeout(Duration::from_secs(3600)),
+            Some((9, 9))
+        );
+    });
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "8 virtual hours took {:?} real",
+        t0.elapsed()
+    );
+}
+
+/// Mini port of the stress matrix: set representation x batch, with
+/// invariant validation after every schedule.
+#[test]
+fn det_mini_stress_matrix() {
+    fn run<S: NodeSet<u64> + 'static>(batch: usize, seed: u64) {
+        let cfg = Config::from_env(seed).schedules(12);
+        det::explore(&cfg, move || {
+            let q: Arc<Zmsq<u64, S, TatasLock>> = Arc::new(Zmsq::with_config(
+                ZmsqConfig::default().batch(batch).target_len(6),
+            ));
+            let sum_in = Arc::new(AtomicU64::new(0));
+            let sum_out = Arc::new(AtomicU64::new(0));
+            let extracted = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2u64)
+                .map(|t| {
+                    let (q, sum_in, sum_out, extracted) = (
+                        Arc::clone(&q),
+                        Arc::clone(&sum_in),
+                        Arc::clone(&sum_out),
+                        Arc::clone(&extracted),
+                    );
+                    det::spawn(move || {
+                        for i in 0..4u64 {
+                            let v = token(t, i) | 1;
+                            q.insert((t * 31 + i * 7) % 16, v);
+                            sum_in.fetch_add(v, Ordering::Relaxed);
+                            if i % 2 == 1 {
+                                if let Some((_, v)) = q.extract_max() {
+                                    extracted.fetch_add(1, Ordering::Relaxed);
+                                    sum_out.fetch_add(v, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            while let Some((_, v)) = q.extract_max() {
+                extracted.fetch_add(1, Ordering::Relaxed);
+                sum_out.fetch_add(v, Ordering::Relaxed);
+            }
+            assert_eq!(extracted.load(Ordering::Relaxed), 8, "element count");
+            assert_eq!(
+                sum_in.load(Ordering::Relaxed),
+                sum_out.load(Ordering::Relaxed),
+                "checksum"
+            );
+            let mut q =
+                Arc::try_unwrap(q).unwrap_or_else(|_| panic!("all vthreads joined; sole owner"));
+            q.validate_invariants().unwrap();
+        });
+    }
+    run::<ListSet<u64>>(0, 0x11571);
+    run::<ListSet<u64>>(8, 0x11572);
+    run::<ArraySet<u64>>(0, 0xA5571);
+    run::<ArraySet<u64>>(8, 0xA5572);
+}
+
+/// The acceptance property on a real-queue body: a failing schedule
+/// replays byte-identically from its printed seed. The body plants a
+/// classic lost update whose race window is opened by the queue's own
+/// yield points (no synthetic `yield_point` between load and store).
+#[test]
+fn det_zmsq_failure_replays_byte_identically() {
+    fn racy_body() {
+        let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+            ZmsqConfig::default().batch(2).target_len(4),
+        ));
+        let c = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2u64)
+            .map(|t| {
+                let (q, c) = (Arc::clone(&q), Arc::clone(&c));
+                det::spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    // The insert's internal decision points are the only
+                    // preemption window for the read-modify-write race.
+                    q.insert(t, t);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update through queue ops");
+    }
+    let cfg = Config::new(0x2E91A).schedules(64).shrink_budget(16);
+    let a = det::explore_result(&cfg, racy_body).unwrap_err();
+    let b = det::explore_result(&cfg, racy_body).unwrap_err();
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(
+        format!("{a}"),
+        format!("{b}"),
+        "byte-identical failure report"
+    );
+    // The DET_SCHEDULE replay workflow: just that schedule, same trace.
+    let replay = cfg.clone().only(a.schedule).shrink_budget(0);
+    let r = det::explore_result(&replay, racy_body).unwrap_err();
+    assert_eq!(r.trace, a.trace);
+}
+
+/// Mutation check: with the pool's lagging-consumer wait compiled out
+/// (the `pool.skip-consumer-wait` failpoint armed `Always`), the det
+/// harness must catch the reintroduced overwrite race within a bounded
+/// number of schedules. `#[ignore]` by default — CI runs it explicitly
+/// (`--ignored`) with `--features "det-sched fault-inject"`.
+#[cfg(feature = "fault-inject")]
+#[test]
+#[ignore = "mutation check; run explicitly in CI with --ignored"]
+fn det_mutation_skipped_consumer_wait_is_caught() {
+    let _x = fault::exclusive();
+    fault::reset();
+    fault::configure(
+        "pool.skip-consumer-wait",
+        fault::Policy::new(fault::Trigger::Always),
+    );
+    let cfg = Config::from_env(0x5EEDBAD).schedules(10_000);
+    let result = det::explore_result(&cfg, || {
+        const ITEMS: u64 = 6;
+        let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+            ZmsqConfig::default()
+                .batch(2)
+                .target_len(4)
+                .reclamation(zmsq::Reclamation::ConsumerWait),
+        ));
+        let qc = Arc::new(QcChecker::new());
+        let taken = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        {
+            let (q, qc) = (Arc::clone(&q), Arc::clone(&qc));
+            handles.push(det::spawn(move || {
+                let mut log = qc.handle();
+                for i in 0..ITEMS {
+                    log.on_insert(i, i);
+                    q.insert(i, i);
+                }
+                qc.absorb(log);
+            }));
+        }
+        for _ in 0..2 {
+            let (q, qc, taken) = (Arc::clone(&q), Arc::clone(&qc), Arc::clone(&taken));
+            handles.push(det::spawn(move || {
+                let mut log = qc.handle();
+                while taken.load(Ordering::SeqCst) < ITEMS {
+                    if let Some((k, t)) = q.extract_max() {
+                        log.on_extract(k, t);
+                        taken.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                qc.absorb(log);
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        if let Err(e) = qc.check(true) {
+            panic!("mutation surfaced as oracle violation: {e}");
+        }
+    });
+    fault::reset();
+    let failure =
+        result.expect_err("the wait_for_consumers mutation must be caught within 10,000 schedules");
+    // The shrunk failing schedule is what CI uploads on failure; here it
+    // proves the report machinery works end to end.
+    eprintln!("mutation caught:\n{failure}");
+}

@@ -41,8 +41,7 @@ fn for_each_case(seed: u64, max_key: u64, mut f: impl FnMut(&[Op])) {
 
 /// Strict mode is a drop-in for BinaryHeap: identical results, op by op.
 fn strict_matches_heap<S: zmsq::NodeSet<u64>>(ops: &[Op], target_len: usize) {
-    let q: Zmsq<u64, S, TatasLock> =
-        Zmsq::with_config(ZmsqConfig::strict().target_len(target_len));
+    let q: Zmsq<u64, S, TatasLock> = Zmsq::with_config(ZmsqConfig::strict().target_len(target_len));
     let mut model: BinaryHeap<u64> = BinaryHeap::new();
     for op in ops {
         match op {
@@ -69,9 +68,8 @@ fn strict_matches_heap<S: zmsq::NodeSet<u64>>(ops: &[Op], target_len: usize) {
 /// multisets, emptiness observations exact, and extracted keys are
 /// always within the current top `batch + 1` ranks of the model.
 fn relaxed_respects_bound(ops: &[Op], batch: usize, target_len: usize) {
-    let mut q: Zmsq<u64> = Zmsq::with_config(
-        ZmsqConfig::default().batch(batch).target_len(target_len),
-    );
+    let mut q: Zmsq<u64> =
+        Zmsq::with_config(ZmsqConfig::default().batch(batch).target_len(target_len));
     let mut model: Vec<u64> = Vec::new(); // kept sorted ascending
     for op in ops {
         match op {
@@ -92,11 +90,11 @@ fn relaxed_respects_bound(ops: &[Op], batch: usize, target_len: usize) {
                         .rposition(|&x| x == k)
                         .unwrap_or_else(|| panic!("extracted key {k} not in model"));
                     let rank = model.len() - pos; // 1 = maximum
-                    // Quiescent single-threaded bound: served from the
-                    // pool (filled with the best batch elements at fill
-                    // time) or the root max. Elements inserted after a
-                    // fill can push the pool's entries down by at most
-                    // the number of subsequent inserts; allow that slack.
+                                                  // Quiescent single-threaded bound: served from the
+                                                  // pool (filled with the best batch elements at fill
+                                                  // time) or the root max. Elements inserted after a
+                                                  // fill can push the pool's entries down by at most
+                                                  // the number of subsequent inserts; allow that slack.
                     assert!(
                         rank <= batch + 1 + ops.len(),
                         "rank {rank} way beyond relaxation bound"
@@ -112,19 +110,25 @@ fn relaxed_respects_bound(ops: &[Op], batch: usize, target_len: usize) {
 
 #[test]
 fn strict_list_matches_binaryheap() {
-    for_each_case(0xD1F_0001, 1000, |ops| strict_matches_heap::<ListSet<u64>>(ops, 8));
+    for_each_case(0xD1F_0001, 1000, |ops| {
+        strict_matches_heap::<ListSet<u64>>(ops, 8)
+    });
 }
 
 #[test]
 fn strict_array_matches_binaryheap() {
-    for_each_case(0xD1F_0002, 1000, |ops| strict_matches_heap::<ArraySet<u64>>(ops, 8));
+    for_each_case(0xD1F_0002, 1000, |ops| {
+        strict_matches_heap::<ArraySet<u64>>(ops, 8)
+    });
 }
 
 #[test]
 fn strict_with_tiny_sets() {
     // target_len = 1 forces constant splitting — the stress case for
     // the split/swap machinery.
-    for_each_case(0xD1F_0003, 50, |ops| strict_matches_heap::<ListSet<u64>>(ops, 1));
+    for_each_case(0xD1F_0003, 50, |ops| {
+        strict_matches_heap::<ListSet<u64>>(ops, 1)
+    });
 }
 
 #[test]
@@ -149,9 +153,8 @@ fn invariants_hold_for_any_config() {
     for_each_case(0xD1F_0008, 200, |ops| {
         let batch = cfg_rng.random_range(0usize..16);
         let target_len = cfg_rng.random_range(1usize..20);
-        let mut q: Zmsq<u64> = Zmsq::with_config(
-            ZmsqConfig::default().batch(batch).target_len(target_len),
-        );
+        let mut q: Zmsq<u64> =
+            Zmsq::with_config(ZmsqConfig::default().batch(batch).target_len(target_len));
         let mut inserted = 0u64;
         let mut extracted = 0u64;
         for op in ops {
@@ -167,7 +170,10 @@ fn invariants_hold_for_any_config() {
                 }
             }
         }
-        assert!(q.validate_invariants().is_ok(), "batch={batch} target_len={target_len}");
+        assert!(
+            q.validate_invariants().is_ok(),
+            "batch={batch} target_len={target_len}"
+        );
         assert_eq!(q.drain_count() as u64, inserted - extracted);
     });
 }
@@ -177,10 +183,12 @@ fn leak_mode_equivalent_behaviour() {
     // Leak and Hazard modes must be observably identical in
     // single-threaded runs.
     for_each_case(0xD1F_0009, 500, |ops| {
-        let qa: Zmsq<u64> =
-            Zmsq::with_config(ZmsqConfig::default().batch(4).target_len(8));
+        let qa: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(4).target_len(8));
         let qb: Zmsq<u64> = Zmsq::with_config(
-            ZmsqConfig::default().batch(4).target_len(8).reclamation(Reclamation::Leak),
+            ZmsqConfig::default()
+                .batch(4)
+                .target_len(8)
+                .reclamation(Reclamation::Leak),
         );
         for op in ops {
             match op {

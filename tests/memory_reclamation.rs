@@ -25,7 +25,10 @@ impl Drop for Counted {
 
 fn churn(mode: Reclamation, live: &Arc<AtomicI64>) {
     let q: Zmsq<Counted> = Zmsq::with_config(
-        ZmsqConfig::default().batch(8).target_len(12).reclamation(mode),
+        ZmsqConfig::default()
+            .batch(8)
+            .target_len(12)
+            .reclamation(mode),
     );
     std::thread::scope(|s| {
         for t in 0..4u64 {
@@ -84,13 +87,19 @@ fn leak_mode_leaks_only_buffers_not_values() {
 #[test]
 fn leak_counter_reports_buffers() {
     let q: Zmsq<u64> = Zmsq::with_config(
-        ZmsqConfig::default().batch(4).target_len(8).reclamation(Reclamation::Leak),
+        ZmsqConfig::default()
+            .batch(4)
+            .target_len(8)
+            .reclamation(Reclamation::Leak),
     );
     for i in 0..2_000u64 {
         q.insert(i, i);
     }
     while q.extract_max().is_some() {}
-    assert!(q.leaked_buffers() > 10, "leak mode should have swapped many pools");
+    assert!(
+        q.leaked_buffers() > 10,
+        "leak mode should have swapped many pools"
+    );
 
     let q2: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(4).target_len(8));
     for i in 0..100u64 {
@@ -108,9 +117,8 @@ fn smr_domain_reclaims_under_pool_like_pattern() {
 
     let domain = Domain::new();
     let live = Arc::new(AtomicI64::new(0));
-    let slot: Arc<AtomicPtr<Counted>> = Arc::new(AtomicPtr::new(Box::into_raw(
-        Box::new(Counted::new(&live)),
-    )));
+    let slot: Arc<AtomicPtr<Counted>> =
+        Arc::new(AtomicPtr::new(Box::into_raw(Box::new(Counted::new(&live)))));
     let stop = Arc::new(AtomicI64::new(0));
 
     std::thread::scope(|s| {

@@ -46,7 +46,13 @@ fn baselines_sssp_exact() {
     for (gname, g) in graphs() {
         let reference = sequential_sssp(&g, g.max_degree_node());
         let threads = 3;
-        check(&Mound::new(), &format!("mound/{gname}"), &g, &reference, threads);
+        check(
+            &Mound::new(),
+            &format!("mound/{gname}"),
+            &g,
+            &reference,
+            threads,
+        );
         check(
             &SprayList::new(threads),
             &format!("spraylist/{gname}"),
@@ -90,8 +96,7 @@ fn relaxation_increases_waste_but_not_wrongness() {
     let rs = parallel_sssp(&g, source, &strict, 1);
     assert_eq!(rs.dist, reference);
 
-    let relaxed: Zmsq<u32> =
-        Zmsq::with_config(ZmsqConfig::default().batch(96).target_len(96));
+    let relaxed: Zmsq<u32> = Zmsq::with_config(ZmsqConfig::default().batch(96).target_len(96));
     let rr = parallel_sssp(&g, source, &relaxed, 1);
     assert_eq!(rr.dist, reference);
 

@@ -6,8 +6,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use zmsq::{
-    ArraySet, ListSet, LockStrategy, NodeSet, OsLock, RawTryLock, Reclamation, TasLock,
-    TatasLock, Zmsq, ZmsqConfig,
+    ArraySet, ListSet, LockStrategy, NodeSet, OsLock, RawTryLock, Reclamation, TasLock, TatasLock,
+    Zmsq, ZmsqConfig,
 };
 
 fn stress<S, L>(cfg: ZmsqConfig, label: &str)
@@ -56,8 +56,13 @@ where
         THREADS * PER,
         "{label}: element count"
     );
-    assert_eq!(sum_in.into_inner(), sum_out.into_inner(), "{label}: checksum");
-    q.validate_invariants().unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert_eq!(
+        sum_in.into_inner(),
+        sum_out.into_inner(),
+        "{label}: checksum"
+    );
+    q.validate_invariants()
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
 }
 
 #[test]
@@ -82,10 +87,7 @@ fn matrix_array_tatas() {
 
 #[test]
 fn matrix_locks() {
-    stress::<ListSet<u64>, TasLock>(
-        ZmsqConfig::default().batch(16).target_len(24),
-        "list/tas",
-    );
+    stress::<ListSet<u64>, TasLock>(ZmsqConfig::default().batch(16).target_len(24), "list/tas");
     stress::<ListSet<u64>, OsLock>(
         ZmsqConfig::default()
             .batch(16)
@@ -101,13 +103,23 @@ fn matrix_locks() {
 
 #[test]
 fn matrix_reclamation() {
-    for mode in [Reclamation::Hazard, Reclamation::ConsumerWait, Reclamation::Leak] {
+    for mode in [
+        Reclamation::Hazard,
+        Reclamation::ConsumerWait,
+        Reclamation::Leak,
+    ] {
         stress::<ListSet<u64>, TatasLock>(
-            ZmsqConfig::default().batch(8).target_len(16).reclamation(mode),
+            ZmsqConfig::default()
+                .batch(8)
+                .target_len(16)
+                .reclamation(mode),
             &format!("list/tatas {mode:?}"),
         );
         stress::<ArraySet<u64>, TatasLock>(
-            ZmsqConfig::default().batch(8).target_len(16).reclamation(mode),
+            ZmsqConfig::default()
+                .batch(8)
+                .target_len(16)
+                .reclamation(mode),
             &format!("array/tatas {mode:?}"),
         );
     }
@@ -137,8 +149,7 @@ fn adversarial_key_patterns() {
         KeyDist::Increasing,
         KeyDist::UniformBits { bits: 3 },
     ] {
-        let mut q: Zmsq<u64> =
-            Zmsq::with_config(ZmsqConfig::default().batch(16).target_len(16));
+        let mut q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().batch(16).target_len(16));
         std::thread::scope(|s| {
             for t in 0..3u64 {
                 let q = &q;
