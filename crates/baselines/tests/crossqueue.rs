@@ -66,6 +66,42 @@ fn relaxed_queues_permute_without_loss() {
     }
 }
 
+/// Every baseline inherits the batched entry points from the trait's
+/// default loops: `insert_batch` drains its input, `extract_batch`
+/// returns the same multiset, and a short read on an emptying queue
+/// reports the true count.
+#[test]
+fn baselines_inherit_default_batched_ops() {
+    let queues: Vec<Box<dyn ConcurrentPriorityQueue<u64> + Sync>> = vec![
+        Box::new(CoarseHeap::new()),
+        Box::new(Mound::new()),
+        Box::new(StrictSkiplistPq::new()),
+        Box::new(SprayList::new(8)),
+        Box::new(MultiQueue::new(4, 2)),
+        Box::new(FifoQueue::new()),
+    ];
+    for q in &queues {
+        let mut batch: Vec<(u64, u64)> = (0..500u64).map(|i| ((i * 31) % 997, i)).collect();
+        let mut expect: Vec<u64> = batch.iter().map(|&(k, _)| k).collect();
+        q.insert_batch(&mut batch);
+        assert!(batch.is_empty(), "{}: insert_batch must drain", q.name());
+        let mut out = Vec::new();
+        let mut stall = 0;
+        while out.len() < expect.len() {
+            if q.extract_batch(&mut out, 64) == 0 {
+                stall += 1;
+                assert!(stall < 1_000_000, "{} lost elements", q.name());
+            }
+        }
+        // Drained: a further batched read must report zero.
+        assert_eq!(q.extract_batch(&mut out, 8), 0, "{}", q.name());
+        let mut got: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(expect, got, "{}", q.name());
+    }
+}
+
 /// The rank-quality ordering the paper's Table 1 depends on: strict is
 /// perfect, relaxed queues are good, FIFO is chance-level.
 #[test]

@@ -45,8 +45,9 @@ pub fn make_zmsq_set<V: Send + 'static>(
 /// sensitive queues (SprayList spray width, MultiQueue heap count).
 ///
 /// Known names: `zmsq`, `zmsq-array`, `zmsq-deque`, `zmsq-leak`,
-/// `zmsq-wait`, `zmsq-strict`, `zmsq-sharded`, `mound`, `spraylist`,
-/// `multiqueue`, `klsm`, `coarse-heap`, `skiplist-strict`, `fifo`.
+/// `zmsq-wait`, `zmsq-strict`, `zmsq-sharded`, `zmsq-sharded-adaptive`,
+/// `mound`, `spraylist`, `multiqueue`, `klsm`, `coarse-heap`,
+/// `skiplist-strict`, `fifo`.
 pub fn make_queue<V: Send + 'static>(kind: &str, threads: usize) -> BoxedQueue<V> {
     let default = ZmsqConfig::default(); // batch=48, targetLen=72 (§4.2)
     match kind {
@@ -61,6 +62,10 @@ pub fn make_queue<V: Send + 'static>(kind: &str, threads: usize) -> BoxedQueue<V
         )),
         "zmsq-strict" => Box::new(Zmsq::<V>::with_config(ZmsqConfig::strict())),
         "zmsq-sharded" => Box::new(zmsq::ShardedZmsq::<V>::new(threads.max(2) / 2, default)),
+        "zmsq-sharded-adaptive" => Box::new(zmsq::ShardedZmsq::<V>::new(
+            threads.max(2) / 2,
+            default.batch(16).adaptive_batch(4, 64),
+        )),
         "mound" => Box::new(Mound::<V>::new()),
         "spraylist" => Box::new(SprayList::<V>::new(threads)),
         "multiqueue" => Box::new(MultiQueue::<V>::new(threads, 2)),
@@ -96,6 +101,7 @@ mod tests {
             "zmsq-wait",
             "zmsq-strict",
             "zmsq-sharded",
+            "zmsq-sharded-adaptive",
             "mound",
             "spraylist",
             "multiqueue",

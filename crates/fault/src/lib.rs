@@ -33,7 +33,7 @@
 //!
 //! The two macro forms:
 //!
-//! * `fail_point!("name")` — the effect is the armed [`Action`] alone
+//! * `fail_point!("name")` — the effect is the armed `Action` alone
 //!   (yield / sleep / panic at this program point).
 //! * `fail_point!("name", expr)` — when the point fires, additionally
 //!   evaluate `expr` in the caller's scope; `expr` may `return`,
@@ -42,7 +42,7 @@
 //!
 //! # Determinism model
 //!
-//! One global seed ([`set_seed`]) is expanded into independent
+//! One global seed (`set_seed`) is expanded into independent
 //! per-thread xoshiro streams keyed by thread first-use order. Given
 //! the same seed, policies, and thread schedule, every probabilistic
 //! trigger fires identically run over run; `EveryNth`/`Once` triggers

@@ -44,6 +44,42 @@ pub trait ConcurrentPriorityQueue<V = u64>: Send + Sync {
         0
     }
 
+    /// Bulk insertion: drain every `(priority, value)` pair out of
+    /// `items` into the queue.
+    ///
+    /// The default implementation loops [`insert`](Self::insert); queues
+    /// with a cheaper bulk path (e.g. ZMSQ's sorted-chunk insertion, or a
+    /// sharded queue scattering across shards) override it. On return
+    /// `items` is empty regardless of implementation.
+    fn insert_batch(&self, items: &mut Vec<(u64, V)>) {
+        for (prio, value) in items.drain(..) {
+            self.insert(prio, value);
+        }
+    }
+
+    /// Bulk extraction: append up to `n` high-priority elements to `out`,
+    /// returning how many were actually extracted.
+    ///
+    /// Stops early only when the queue is observed empty (the same
+    /// guarantee as [`extract_max`](Self::extract_max) — so a short count
+    /// means fewer than `n` elements were available, not contention).
+    /// Elements are appended in hand-out order, which for relaxed queues
+    /// is only approximately descending. The default implementation loops
+    /// `extract_max`; queues with a cheaper claim path override it.
+    fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
+        let mut got = 0;
+        while got < n {
+            match self.extract_max() {
+                Some(item) => {
+                    out.push(item);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
+
     /// Export the queue's internal metrics as an [`obs::Snapshot`], if the
     /// implementation collects any. Harnesses merge this into their
     /// `*.metrics.json` output; `None` (the default) simply omits the
@@ -71,6 +107,12 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for &
     fn len_hint(&self) -> usize {
         (**self).len_hint()
     }
+    fn insert_batch(&self, items: &mut Vec<(u64, V)>) {
+        (**self).insert_batch(items)
+    }
+    fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
+        (**self).extract_batch(out, n)
+    }
     fn metrics(&self) -> Option<obs::Snapshot> {
         (**self).metrics()
     }
@@ -92,6 +134,12 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for B
     fn len_hint(&self) -> usize {
         (**self).len_hint()
     }
+    fn insert_batch(&self, items: &mut Vec<(u64, V)>) {
+        (**self).insert_batch(items)
+    }
+    fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
+        (**self).extract_batch(out, n)
+    }
     fn metrics(&self) -> Option<obs::Snapshot> {
         (**self).metrics()
     }
@@ -112,6 +160,12 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for s
     }
     fn len_hint(&self) -> usize {
         (**self).len_hint()
+    }
+    fn insert_batch(&self, items: &mut Vec<(u64, V)>) {
+        (**self).insert_batch(items)
+    }
+    fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
+        (**self).extract_batch(out, n)
     }
     fn metrics(&self) -> Option<obs::Snapshot> {
         (**self).metrics()
@@ -187,6 +241,36 @@ mod tests {
         let boxed: Box<dyn ConcurrentPriorityQueue> = Box::new(m);
         let snap = boxed.metrics().expect("override forwards through Box");
         assert_eq!(snap.counter("len"), Some(1));
+    }
+
+    #[test]
+    fn default_batched_ops_loop() {
+        let q = LockedHeap(Mutex::new(BinaryHeap::new()));
+        let mut items = vec![(3, 30), (9, 90), (5, 50), (7, 70)];
+        q.insert_batch(&mut items);
+        assert!(items.is_empty(), "insert_batch must drain its input");
+        assert_eq!(q.len_hint(), 4);
+
+        let mut out = Vec::new();
+        assert_eq!(q.extract_batch(&mut out, 3), 3);
+        assert_eq!(out, vec![(9, 90), (7, 70), (5, 50)]);
+        // Short count when the queue runs dry, never an error.
+        assert_eq!(q.extract_batch(&mut out, 10), 1);
+        assert_eq!(out.last(), Some(&(3, 30)));
+        assert_eq!(q.extract_batch(&mut out, 1), 0);
+    }
+
+    #[test]
+    fn batched_ops_forward_through_blankets() {
+        let arc = std::sync::Arc::new(LockedHeap(Mutex::new(BinaryHeap::new())));
+        let mut items = vec![(1, 10), (2, 20)];
+        arc.insert_batch(&mut items);
+        let boxed: Box<dyn ConcurrentPriorityQueue> = Box::new(std::sync::Arc::clone(&arc));
+        let mut out = Vec::new();
+        assert_eq!(boxed.extract_batch(&mut out, 8), 2);
+        assert_eq!(out, vec![(2, 20), (1, 10)]);
+        let by_ref: &dyn ConcurrentPriorityQueue = &*arc;
+        assert_eq!(by_ref.extract_batch(&mut out, 1), 0);
     }
 
     #[test]

@@ -62,7 +62,19 @@ pub struct ZmsqConfig {
     /// root extraction, and therefore on relaxation: in `k * batch`
     /// consecutive extractions the top `k` elements are returned.
     /// `0` makes the queue strict (identical to the mound).
+    ///
+    /// When an adaptive range is configured (see
+    /// [`adaptive_batch`](Self::adaptive_batch)), this is only the
+    /// *starting point*: the effective refill batch moves within
+    /// `batch_min..=batch_max` at runtime.
     pub batch: usize,
+    /// Lower bound for the adaptive refill batch. Equal to `batch` by
+    /// default (adaptation disabled).
+    pub batch_min: usize,
+    /// Upper bound for the adaptive refill batch — also the capacity the
+    /// extraction pool is allocated with. Equal to `batch` by default
+    /// (adaptation disabled).
+    pub batch_max: usize,
     /// Target number of elements per `TNode` set; a set holds at most
     /// `2 * target_len` before it is split.
     pub target_len: usize,
@@ -103,6 +115,8 @@ impl ZmsqConfig {
     pub fn recommended() -> Self {
         Self {
             batch: 48,
+            batch_min: 48,
+            batch_max: 48,
             target_len: 72,
             lock_strategy: LockStrategy::TryRestart,
             reclamation: Reclamation::Hazard,
@@ -120,6 +134,8 @@ impl ZmsqConfig {
     pub fn sssp_tuned() -> Self {
         Self {
             batch: 42,
+            batch_min: 42,
+            batch_max: 42,
             target_len: 64,
             ..Self::recommended()
         }
@@ -130,15 +146,49 @@ impl ZmsqConfig {
     pub fn strict() -> Self {
         Self {
             batch: 0,
+            batch_min: 0,
+            batch_max: 0,
             target_len: 32,
             ..Self::recommended()
         }
     }
 
-    /// Set `batch` (builder style).
+    /// Set `batch` (builder style). Also collapses the adaptive range to
+    /// exactly `batch` — call [`adaptive_batch`](Self::adaptive_batch)
+    /// *after* this to re-enable adaptation around the new starting point.
     pub fn batch(mut self, batch: usize) -> Self {
         self.batch = batch;
+        self.batch_min = batch;
+        self.batch_max = batch;
         self
+    }
+
+    /// Enable adaptive batching (builder style): the effective refill
+    /// batch moves within `min..=max` at runtime, driven by the observed
+    /// root-contention signal (see `ShardedZmsq`'s batch controller). The
+    /// starting `batch` is clamped into the range; the pool is allocated
+    /// at `max` capacity.
+    ///
+    /// Incoherent ranges are a caller bug: `min > max` trips a
+    /// `debug_assert!` and is repaired by swapping; `min == 0` with
+    /// `max > 0` would flip the queue in and out of strict mode and is
+    /// clamped up to 1 during normalization.
+    pub fn adaptive_batch(mut self, min: usize, max: usize) -> Self {
+        debug_assert!(
+            min <= max,
+            "adaptive_batch: batch_min ({min}) > batch_max ({max})"
+        );
+        let (min, max) = if min <= max { (min, max) } else { (max, min) };
+        self.batch_min = min;
+        self.batch_max = max;
+        self.batch = self.batch.clamp(min, max);
+        self
+    }
+
+    /// Whether an adaptive batch range is configured (`batch_min <
+    /// batch_max`).
+    pub fn is_adaptive(&self) -> bool {
+        self.batch_min < self.batch_max
     }
 
     /// Set `target_len` (builder style).
@@ -183,7 +233,27 @@ impl ZmsqConfig {
         // The pool cannot usefully exceed what one refill can supply: a
         // full root set holds at most 2 * target_len elements (§4.2 also
         // observes batch > targetLen leaves the pool under-filled).
-        self.batch = self.batch.min(2 * self.target_len);
+        let cap = 2 * self.target_len;
+        self.batch = self.batch.min(cap);
+        // Repair incoherent adaptive ranges. A struct-literal user may
+        // have set `batch` without touching the range (or vice versa), so
+        // the range is widened around `batch` rather than moving it:
+        // `batch` always keeps its (capped) requested value.
+        if self.batch_min > self.batch_max {
+            std::mem::swap(&mut self.batch_min, &mut self.batch_max);
+        }
+        self.batch_max = self.batch_max.min(cap).max(self.batch);
+        self.batch_min = self.batch_min.min(self.batch);
+        // batch == 0 selects strict mode (no pool at all); an adaptive
+        // range reaching 0 would flip strictness at runtime. Strictness
+        // wins: a zero starting batch collapses the range, and a live
+        // range keeps its floor at 1.
+        if self.batch == 0 {
+            self.batch_min = 0;
+            self.batch_max = 0;
+        } else {
+            self.batch_min = self.batch_min.max(1);
+        }
         self.initial_leaf_level = self
             .initial_leaf_level
             .clamp(1, crate::tree::MAX_LEVELS - 1);
@@ -236,6 +306,93 @@ mod tests {
         }
         .normalized();
         assert!(c.initial_leaf_level < crate::tree::MAX_LEVELS);
+    }
+
+    #[test]
+    fn batch_builder_collapses_adaptive_range() {
+        let c = ZmsqConfig::default().adaptive_batch(4, 64).batch(8);
+        assert_eq!((c.batch_min, c.batch, c.batch_max), (8, 8, 8));
+        assert!(!c.is_adaptive());
+    }
+
+    #[test]
+    fn adaptive_batch_clamps_start_into_range() {
+        let c = ZmsqConfig::default().batch(100).adaptive_batch(4, 16);
+        assert_eq!((c.batch_min, c.batch, c.batch_max), (4, 16, 16));
+        assert!(c.is_adaptive());
+        let c = ZmsqConfig::default().batch(1).adaptive_batch(4, 16);
+        assert_eq!(c.batch, 4);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "batch_min")]
+    fn adaptive_batch_inverted_range_asserts() {
+        let _ = ZmsqConfig::default().adaptive_batch(16, 4);
+    }
+
+    #[test]
+    fn normalization_repairs_inverted_range() {
+        // Struct-literal escape hatch around the builder's debug_assert.
+        let c = ZmsqConfig {
+            batch: 8,
+            batch_min: 32,
+            batch_max: 4,
+            ..ZmsqConfig::recommended()
+        }
+        .normalized();
+        assert!(c.batch_min <= c.batch && c.batch <= c.batch_max);
+        assert_eq!((c.batch_min, c.batch, c.batch_max), (4, 8, 32));
+    }
+
+    #[test]
+    fn normalization_caps_adaptive_range_at_refill_supply() {
+        let c = ZmsqConfig::default()
+            .target_len(8)
+            .adaptive_batch(4, 10_000)
+            .normalized();
+        assert_eq!(c.batch_max, 16, "batch_max capped at 2 * target_len");
+        assert!(c.batch <= c.batch_max);
+    }
+
+    #[test]
+    fn normalization_widens_range_around_literal_batch() {
+        // A struct-literal user setting only `batch` must keep it.
+        let c = ZmsqConfig {
+            batch: 8,
+            ..ZmsqConfig::recommended()
+        }
+        .normalized();
+        assert_eq!(c.batch, 8);
+        assert!(c.batch_min <= 8 && c.batch_max >= 8);
+    }
+
+    #[test]
+    fn normalization_strict_collapses_range() {
+        let c = ZmsqConfig {
+            batch: 0,
+            batch_min: 4,
+            batch_max: 16,
+            ..ZmsqConfig::recommended()
+        }
+        .normalized();
+        assert_eq!((c.batch_min, c.batch, c.batch_max), (0, 0, 0));
+        // And a live range never adapts down into strict mode.
+        let c = ZmsqConfig {
+            batch: 8,
+            batch_min: 0,
+            batch_max: 16,
+            ..ZmsqConfig::recommended()
+        }
+        .normalized();
+        assert_eq!(c.batch_min, 1);
+    }
+
+    #[test]
+    fn adaptive_after_strict_reenables_pool() {
+        let c = ZmsqConfig::strict().adaptive_batch(4, 16).normalized();
+        assert_eq!((c.batch_min, c.batch, c.batch_max), (4, 4, 16));
+        assert!(c.is_adaptive());
     }
 
     #[test]

@@ -103,6 +103,14 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
         Zmsq::extract_max(self)
     }
 
+    fn insert_batch(&self, items: &mut Vec<(u64, V)>) {
+        Zmsq::insert_batch(self, items)
+    }
+
+    fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
+        Zmsq::extract_batch(self, out, n)
+    }
+
     fn name(&self) -> String {
         let mut n = format!("zmsq-{}", S::KIND);
         match self.config().reclamation {
@@ -127,6 +135,7 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
     fn metrics(&self) -> Option<obs::Snapshot> {
         let mut s = self.stats().to_obs();
         s.push_gauge("zmsq.len_hint", self.len_hint() as i64);
+        s.push_gauge("zmsq.batch.current", self.current_batch() as i64);
         s.push_counter("zmsq.leaked_buffers", self.leaked_buffers());
         Some(s)
     }

@@ -132,6 +132,50 @@ impl<V: Send> PoolBuf<V> {
         Some(value)
     }
 
+    /// Claim up to `want` elements in **one** `fetch_sub`, appending them
+    /// to `out` in hand-out (descending-priority) order. Returns how many
+    /// were claimed — `0` when the pool is exhausted.
+    ///
+    /// This is the batched-extraction fast path: a claimant that wants
+    /// `want` elements reserves the index range `[top - want + 1, top]`
+    /// atomically instead of issuing `want` contended RMWs. Indexes below
+    /// zero in the reserved range simply shrink the claim (exactly like a
+    /// single claim losing the race to exhaustion).
+    pub fn try_claim_many(&self, out: &mut Vec<(u64, V)>, want: usize) -> usize {
+        debug_assert!(want > 0);
+        // Same cheap pre-check as try_claim: avoid driving `next` deeply
+        // negative when the pool is dry.
+        if self.next.load(Ordering::Relaxed) < 0 {
+            return 0;
+        }
+        // AcqRel: acquire pairs with the refiller's release publish.
+        let top = self.next.fetch_sub(want as isize, Ordering::AcqRel);
+        if top < 0 {
+            return 0;
+        }
+        let got = ((top + 1) as usize).min(want);
+        // Chaos: the lagging-consumer window now spans `got` slots; the
+        // refiller's wait accounts for each via `consumed` below.
+        fault::fail_point!("pool.claim-delay");
+        det::det_point!("pool.claim-window");
+        for i in 0..got {
+            let idx = top as usize - i;
+            let slot = &self.slots[idx];
+            debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_FULL);
+            // SAFETY: the fetch_sub reserved indexes `top - want + 1..=top`
+            // exclusively for this thread this generation; each index in
+            // `0..=top` was filled before publish and is read exactly once
+            // here.
+            let value = unsafe { (*slot.value.get()).assume_init_read() };
+            slot.state.store(SLOT_EMPTY, Ordering::Relaxed);
+            out.push(value);
+        }
+        // Release: the value reads above must be ordered before the
+        // refiller (which acquires `consumed`) reuses the slots.
+        self.consumed.fetch_add(got, Ordering::Release);
+        got
+    }
+
     /// Conditional claim: take the pool's current best element only if
     /// its priority is at least `min_prio`.
     ///
@@ -385,6 +429,29 @@ impl<V: Send> Pool<V> {
         }
     }
 
+    /// Batched fast-path claim (no root lock): up to `want` elements in
+    /// one `fetch_sub`. See [`PoolBuf::try_claim_many`].
+    #[inline]
+    pub fn try_claim_many(&self, out: &mut Vec<(u64, V)>, want: usize) -> usize {
+        match self {
+            Pool::Disabled => 0,
+            Pool::Fixed(buf) => buf.try_claim_many(out, want),
+            Pool::Swapped { cur, reclaim } => match reclaim {
+                Reclaim::Hazard(domain) => {
+                    let mut hp = domain.hazard();
+                    let p = hp.protect(cur);
+                    // SAFETY: protected — cannot be freed while we read.
+                    unsafe { (*p).try_claim_many(out, want) }
+                }
+                Reclaim::Leak(_) => {
+                    let p = cur.load(Ordering::Acquire);
+                    // SAFETY: immortal buffer.
+                    unsafe { (*p).try_claim_many(out, want) }
+                }
+            },
+        }
+    }
+
     /// Conditional fast-path claim (no root lock). See
     /// [`PoolBuf::try_claim_if`].
     #[inline]
@@ -545,6 +612,65 @@ mod tests {
         assert_eq!(buf.try_claim(), Some((8, 8)));
         assert_eq!(buf.try_claim(), Some((7, 7)));
         assert_eq!(buf.try_claim(), None);
+    }
+
+    #[test]
+    fn claim_many_descending_then_short_then_zero() {
+        let buf: PoolBuf<u64> = PoolBuf::new(8);
+        let mut items: Vec<(u64, u64)> = (1..=6).map(|k| (k, k * 10)).collect();
+        buf.fill(&mut items);
+        let mut out = Vec::new();
+        assert_eq!(buf.try_claim_many(&mut out, 4), 4);
+        assert_eq!(out, vec![(6, 60), (5, 50), (4, 40), (3, 30)]);
+        // Fewer remain than requested: short claim, not a failure.
+        assert_eq!(buf.try_claim_many(&mut out, 4), 2);
+        assert_eq!(&out[4..], &[(2, 20), (1, 10)]);
+        assert_eq!(buf.try_claim_many(&mut out, 4), 0);
+        assert_eq!(buf.try_claim(), None);
+        // Accounting closed out: the refiller would not wait.
+        buf.wait_for_consumers();
+    }
+
+    #[test]
+    fn claim_many_interleaves_with_single_claims() {
+        let buf: PoolBuf<u64> = PoolBuf::new(8);
+        let mut items: Vec<(u64, u64)> = (1..=8).map(|k| (k, k)).collect();
+        buf.fill(&mut items);
+        let mut out = Vec::new();
+        assert_eq!(buf.try_claim(), Some((8, 8)));
+        assert_eq!(buf.try_claim_many(&mut out, 3), 3);
+        assert_eq!(buf.try_claim(), Some((4, 4)));
+        assert_eq!(buf.try_claim_many(&mut out, 100), 3);
+        let got: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+        assert_eq!(got, vec![7, 6, 5, 3, 2, 1]);
+        buf.wait_for_consumers();
+    }
+
+    #[test]
+    fn claim_many_concurrent_conserves() {
+        const BATCH: usize = 64;
+        let pool = Arc::new(Pool::<u64>::new(BATCH, Reclamation::ConsumerWait));
+        let mut items: Vec<(u64, u64)> = (0..BATCH as u64).map(|k| (k, k)).collect();
+        pool.refill_locked(&mut items);
+        let total = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for want in [1usize, 3, 7, 64] {
+            let (pool, total) = (Arc::clone(&pool), Arc::clone(&total));
+            handles.push(std::thread::spawn(move || {
+                let mut out = Vec::new();
+                loop {
+                    let got = pool.try_claim_many(&mut out, want);
+                    if got == 0 {
+                        break;
+                    }
+                    total.fetch_add(got as u64, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), BATCH as u64);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //!   here must release the root and lose nothing.
 
 use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use zmsq_sync::{Backoff, EventBuffer, RawTryLock, TatasLock, WaitOutcome};
 
@@ -87,6 +88,10 @@ where
     cfg: ZmsqConfig,
     events: Option<EventBuffer>,
     stats: Stats,
+    /// Effective refill batch, `cfg.batch_min ..= cfg.batch_max`. Equal
+    /// to `cfg.batch` unless an adaptive controller (see `ShardedZmsq`)
+    /// moves it at runtime.
+    batch_cur: AtomicUsize,
     /// Scratch buffer for pool refills, guarded by the root lock.
     refill_scratch: UnsafeCell<Vec<(u64, V)>>,
 }
@@ -216,11 +221,15 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         let cfg = cfg.normalized();
         Self {
             tree: Tree::new(cfg.initial_leaf_level),
-            pool: Pool::new(cfg.batch, cfg.reclamation),
+            // The pool is allocated at the top of the adaptive range so a
+            // widened batch never outgrows the (ConsumerWait) buffer;
+            // batch_max == batch when adaptation is off.
+            pool: Pool::new(cfg.batch_max, cfg.reclamation),
             events: cfg
                 .blocking
                 .then(|| EventBuffer::with_slots(cfg.event_slots)),
-            refill_scratch: UnsafeCell::new(Vec::with_capacity(cfg.batch)),
+            refill_scratch: UnsafeCell::new(Vec::with_capacity(cfg.batch_max)),
+            batch_cur: AtomicUsize::new(cfg.batch),
             stats: Stats::default(),
             cfg,
         }
@@ -253,6 +262,29 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// Pool buffers leaked so far ([`Reclamation::Leak`](crate::Reclamation::Leak) mode only).
     pub fn leaked_buffers(&self) -> u64 {
         self.pool.leaked_count()
+    }
+
+    /// The effective pool-refill batch currently in force. Equals
+    /// `config().batch` unless [`set_current_batch`](Self::set_current_batch)
+    /// moved it (e.g. `ShardedZmsq`'s adaptive controller).
+    pub fn current_batch(&self) -> usize {
+        self.batch_cur.load(Ordering::Relaxed)
+    }
+
+    /// Set the effective pool-refill batch, clamped into the configured
+    /// `batch_min ..= batch_max` range; returns the value actually
+    /// applied. A no-op (returning 0) on a strict queue (`batch == 0`).
+    ///
+    /// Safe to call at any time from any thread: the value is read once
+    /// per refill under the root lock, and the pool's buffer is allocated
+    /// at `batch_max`, so any in-range value fits.
+    pub fn set_current_batch(&self, n: usize) -> usize {
+        if self.cfg.batch_max == 0 {
+            return 0;
+        }
+        let applied = n.clamp(self.cfg.batch_min.max(1), self.cfg.batch_max);
+        self.batch_cur.store(applied, Ordering::Relaxed);
+        applied
     }
 
     // ------------------------------------------------------------------
@@ -711,6 +743,58 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         }
     }
 
+    /// Batched extraction: append up to `n` high-priority elements to
+    /// `out`, returning how many were extracted. Returns fewer than `n`
+    /// **only** when the queue was observed truly empty mid-drain (the
+    /// same guarantee as [`extract_max`](Self::extract_max)).
+    ///
+    /// ```
+    /// use zmsq::Zmsq;
+    /// let q: Zmsq<u64> = Zmsq::new();
+    /// for i in 0..100 { q.insert(i, i); }
+    /// let mut out = Vec::new();
+    /// assert_eq!(q.extract_batch(&mut out, 30), 30);
+    /// assert_eq!(q.extract_batch(&mut out, 100), 70);
+    /// assert_eq!(q.extract_batch(&mut out, 1), 0);
+    /// ```
+    ///
+    /// The fast path reserves up to `n` pool slots with a **single**
+    /// `fetch_sub` — one contended RMW instead of `n` — so consumers that
+    /// drain in bursts touch the shared pool index once per burst.
+    /// Elements arrive in hand-out order (approximately descending, same
+    /// relaxation as element-wise extraction).
+    pub fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
+        det::det_point!("zmsq.extract");
+        let mut got = 0;
+        let mut backoff = Backoff::new();
+        while got < n {
+            let claimed = self.pool.try_claim_many(out, n - got);
+            if claimed > 0 {
+                self.stats.pool_hits.add(claimed as u64);
+                self.stats.extracts.add(claimed as u64);
+                obs::trace_event!(obs::EventKind::PoolHit, claimed as u32);
+                got += claimed;
+                continue;
+            }
+            obs::trace_event!(obs::EventKind::PoolMiss);
+            match self.extract_root() {
+                RootOutcome::Got(item) => {
+                    self.stats.extracts.incr();
+                    obs::trace_event!(obs::EventKind::Extract, 0, item.0);
+                    out.push(item);
+                    got += 1;
+                }
+                RootOutcome::Empty => {
+                    self.stats.empty_observed.incr();
+                    break;
+                }
+                RootOutcome::Below => unreachable!("no threshold was given"),
+                RootOutcome::Retry => backoff.wait(),
+            }
+        }
+        got
+    }
+
     /// Conditional extraction (§1: "non-blocking conditional
     /// extraction"): take a high-priority element only if its priority is
     /// at least `min_prio`.
@@ -793,8 +877,10 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             return RootOutcome::Retry;
         }
         let unwind = UnwindUnlock::one(root);
-        // Someone may have refilled while we waited for the lock.
+        // Someone may have refilled while we waited for the lock — we
+        // raced another extractor to the same refill.
         if self.pool.has_items_locked() {
+            self.stats.refill_races.incr();
             root.unlock();
             return RootOutcome::Retry;
         }
@@ -823,8 +909,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         // SAFETY: root locked.
         let best = unsafe { root.set_mut().remove_max().expect("count > 0") };
         let remaining = root.count() - 1;
-        if self.cfg.batch > 0 && remaining > 0 {
-            let n = remaining.min(self.cfg.batch);
+        if self.cfg.batch_max > 0 && remaining > 0 {
+            // The *effective* batch: cfg.batch unless an adaptive
+            // controller has moved it. Always within batch_min..=batch_max,
+            // hence within the pool's allocated capacity.
+            let n = remaining.min(self.batch_cur.load(Ordering::Relaxed).max(1));
             // SAFETY: `refill_scratch` is guarded by the root lock.
             let scratch = unsafe { &mut *self.refill_scratch.get() };
             scratch.clear();
@@ -1453,6 +1542,111 @@ mod tests {
         });
         let rest = q.drain_count() as u64;
         assert_eq!(got.into_inner() + rest, 4 * 50 * 40);
+    }
+
+    #[test]
+    fn extract_batch_drains_and_conserves() {
+        let q = ListQ::with_config(ZmsqConfig::default().batch(8).target_len(12));
+        for i in 0..500u64 {
+            q.insert(i, i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.extract_batch(&mut out, 123), 123);
+        assert_eq!(out.len(), 123);
+        // Batched hand-out stays high-quality: the best elements come out
+        // well before the worst (same relaxation window as extract_max).
+        let mean: u64 = out.iter().map(|&(k, _)| k).sum::<u64>() / 123;
+        assert!(mean > 350, "batched extraction rank too low: mean {mean}");
+        assert_eq!(q.extract_batch(&mut out, 1_000), 377);
+        assert_eq!(q.extract_batch(&mut out, 4), 0);
+        let mut keys: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..500).collect::<Vec<_>>(), "elements lost");
+    }
+
+    #[test]
+    fn extract_batch_strict_is_exact() {
+        let q: ListQ = Zmsq::with_config(ZmsqConfig::strict());
+        for k in [3u64, 9, 1, 7] {
+            q.insert(k, k);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.extract_batch(&mut out, 10), 4);
+        let keys: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![9, 7, 3, 1], "strict mode must be exact");
+    }
+
+    #[test]
+    fn extract_batch_concurrent_conservation() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let q = ListQ::with_config(ZmsqConfig::default().batch(16).target_len(16));
+        let got = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let (q, got) = (&q, &got);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for round in 0..100u64 {
+                        for i in 0..20u64 {
+                            q.insert((t * 2000 + round * 20 + i) % 7777, i);
+                        }
+                        out.clear();
+                        got.fetch_add(q.extract_batch(&mut out, 10) as u64, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let rest = q.drain_count() as u64;
+        assert_eq!(got.into_inner() + rest, 4 * 100 * 20);
+    }
+
+    #[test]
+    fn current_batch_moves_within_configured_range() {
+        let q = ListQ::with_config(
+            ZmsqConfig::default()
+                .target_len(32)
+                .batch(8)
+                .adaptive_batch(2, 32),
+        );
+        assert_eq!(q.current_batch(), 8);
+        assert_eq!(q.set_current_batch(64), 32, "clamped to batch_max");
+        assert_eq!(q.set_current_batch(0), 2, "clamped to batch_min");
+        assert_eq!(q.set_current_batch(16), 16);
+        // The widened batch is honoured by the next refill, and the
+        // ConsumerWait buffer (allocated at batch_max) can hold it.
+        for i in 0..500u64 {
+            q.insert(i, i);
+        }
+        q.extract_max().unwrap();
+        let s = q.stats();
+        assert!(s.pool_refills >= 1);
+        // Non-adaptive queues refuse to move.
+        let fixed = ListQ::with_config(ZmsqConfig::default().batch(8));
+        assert_eq!(fixed.set_current_batch(100), 8);
+        let strict: ListQ = Zmsq::with_config(ZmsqConfig::strict());
+        assert_eq!(strict.set_current_batch(100), 0);
+        assert_eq!(strict.current_batch(), 0);
+    }
+
+    #[test]
+    fn adaptive_consumer_wait_buffer_fits_widened_batch() {
+        // ConsumerWait reuses one fixed buffer: it must be allocated at
+        // batch_max, not the starting batch, or a widened refill would
+        // overflow it.
+        let q = ListQ::with_config(
+            ZmsqConfig::default()
+                .target_len(32)
+                .reclamation(Reclamation::ConsumerWait)
+                .batch(2)
+                .adaptive_batch(2, 48),
+        );
+        q.set_current_batch(48);
+        for i in 0..500u64 {
+            q.insert(i, i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.extract_batch(&mut out, 500), 500);
+        assert!(q.stats().pool_hits > 0);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub(crate) struct Stats {
     pub swap_downs: Striped,
     pub empty_observed: Striped,
     pub trylock_fails: Striped,
+    pub refill_races: Striped,
 }
 
 /// A point-in-time copy of a queue's operation counters.
@@ -75,6 +76,11 @@ pub struct StatsSnapshot {
     pub empty_observed: u64,
     /// Trylock failures that caused an operation restart.
     pub trylock_fails: u64,
+    /// Root acquisitions that found the pool already refilled by a
+    /// concurrent extractor — direct evidence of ≥ 2 threads racing for
+    /// the same refill, and (with `trylock_fails`) the contention signal
+    /// the adaptive batch controller feeds on.
+    pub refill_races: u64,
 }
 
 impl Stats {
@@ -94,11 +100,50 @@ impl Stats {
             swap_downs: self.swap_downs.sum(),
             empty_observed: self.empty_observed.sum(),
             trylock_fails: self.trylock_fails.sum(),
+            refill_races: self.refill_races.sum(),
         }
     }
 }
 
 impl StatsSnapshot {
+    /// Accumulate `other` into `self`, field by field. Used by
+    /// [`ShardedZmsq`](crate::ShardedZmsq) to fold per-shard counters
+    /// into one queue-level view.
+    pub fn absorb(&mut self, other: &StatsSnapshot) {
+        let StatsSnapshot {
+            inserts,
+            insert_retries,
+            forced_inserts,
+            min_swap_inserts,
+            fast_pool_inserts,
+            splits,
+            tree_grows,
+            extracts,
+            pool_hits,
+            pool_refills,
+            root_extracts,
+            swap_downs,
+            empty_observed,
+            trylock_fails,
+            refill_races,
+        } = *other;
+        self.inserts += inserts;
+        self.insert_retries += insert_retries;
+        self.forced_inserts += forced_inserts;
+        self.min_swap_inserts += min_swap_inserts;
+        self.fast_pool_inserts += fast_pool_inserts;
+        self.splits += splits;
+        self.tree_grows += tree_grows;
+        self.extracts += extracts;
+        self.pool_hits += pool_hits;
+        self.pool_refills += pool_refills;
+        self.root_extracts += root_extracts;
+        self.swap_downs += swap_downs;
+        self.empty_observed += empty_observed;
+        self.trylock_fails += trylock_fails;
+        self.refill_races += refill_races;
+    }
+
     /// Fraction of successful extractions that had to touch the root
     /// (§4.2 reports ~3% with `batch = 32`). `root_extracts` counts every
     /// root critical section, strict or refilling.
@@ -128,6 +173,7 @@ impl StatsSnapshot {
         s.push_counter("zmsq.swap_downs", self.swap_downs);
         s.push_counter("zmsq.empty_observed", self.empty_observed);
         s.push_counter("zmsq.trylock_fails", self.trylock_fails);
+        s.push_counter("zmsq.refill_races", self.refill_races);
         s.push_ratio("zmsq.root_access_ratio", self.root_access_ratio());
         if self.extracts > 0 {
             s.push_ratio(

@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use fault::{Action, Policy, Trigger};
 use pq_traits::ConcurrentPriorityQueue;
-use zmsq::{Reclamation, Zmsq, ZmsqConfig};
+use zmsq::{Reclamation, ShardedZmsq, Zmsq, ZmsqConfig};
 
 /// Base seed for every schedule; override with `CHAOS_SEED`.
 fn chaos_seed() -> u64 {
@@ -204,6 +204,138 @@ fn conservation_hazard_and_leak_under_faults() {
         run_conservation(&q, 3_000);
         fault::reset();
     }
+}
+
+/// Sharded conservation under stretched pool windows: every shard's
+/// claim and refill paths hit the same failpoints, so the two-choice
+/// winner/loser steal and the cross-shard sweep run against delayed
+/// claims and racing refills. The adaptive batch controller is armed so
+/// its mid-run resizes (`set_current_batch` between refills) are also
+/// under fire.
+#[test]
+fn conservation_sharded_adaptive_under_pool_faults() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x09);
+    let _dump = DumpOnFail(seed ^ 0x09);
+    fault::configure(
+        "pool.claim-delay",
+        Policy::new(Trigger::Prob(0.1)).with_action(Action::SleepMs(1)),
+    );
+    fault::configure(
+        "pool.refill-delay",
+        Policy::new(Trigger::Prob(0.2)).with_action(Action::Yield),
+    );
+    fault::configure("trylock.spurious-fail", Policy::new(Trigger::Prob(0.05)));
+    let q: ShardedZmsq<u64> = ShardedZmsq::new(
+        4,
+        ZmsqConfig::default()
+            .batch(4)
+            .target_len(8)
+            .adaptive_batch(2, 16),
+    );
+    run_conservation(&q, 3_000);
+    assert!(
+        fault::hit_count("pool.claim-delay") > 0,
+        "seed {seed:#x}: claim-delay failpoint never evaluated"
+    );
+    fault::reset();
+}
+
+/// The batched entry points under the same pool faults: `insert_batch`
+/// scatters, `extract_batch` claims multi-slot windows (`try_claim_many`
+/// sits directly on the `pool.claim-delay` failpoint), and XOR/sum
+/// checksums must still balance.
+#[test]
+fn conservation_sharded_batched_ops_under_pool_faults() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x0A);
+    let _dump = DumpOnFail(seed ^ 0x0A);
+    fault::configure(
+        "pool.claim-delay",
+        Policy::new(Trigger::Prob(0.1)).with_action(Action::Yield),
+    );
+    fault::configure(
+        "pool.refill-delay",
+        Policy::new(Trigger::Prob(0.2)).with_action(Action::Yield),
+    );
+    let q: ShardedZmsq<u64> = ShardedZmsq::new(2, ZmsqConfig::default().batch(8).target_len(12));
+    const PRODUCERS: u64 = 2;
+    const CONSUMERS: u64 = 2;
+    const PER: u64 = 3_000;
+    let inserted_xor = AtomicU64::new(0);
+    let extracted_xor = AtomicU64::new(0);
+    let extracted_n = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let (q, xor) = (&q, &inserted_xor);
+            s.spawn(move || {
+                let mut x = 0xBA7C_4ED0 + p;
+                let mut lx = 0u64;
+                let mut batch = Vec::with_capacity(16);
+                for _ in 0..PER {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    batch.push((x % 65_536, x));
+                    lx ^= x;
+                    if batch.len() == 16 {
+                        q.insert_batch(&mut batch);
+                    }
+                }
+                q.insert_batch(&mut batch);
+                xor.fetch_xor(lx, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..CONSUMERS {
+            let (q, xor, n) = (&q, &extracted_xor, &extracted_n);
+            s.spawn(move || {
+                let mut lx = 0u64;
+                let mut ln = 0u64;
+                let mut out = Vec::with_capacity(8);
+                let budget = PER * PRODUCERS / CONSUMERS / 2;
+                let mut misses = 0u64;
+                while ln < budget && misses < 1_000_000 {
+                    out.clear();
+                    let got = q.extract_batch(&mut out, 8);
+                    if got == 0 {
+                        misses += 1;
+                        continue;
+                    }
+                    for &(_, v) in &out {
+                        lx ^= v;
+                    }
+                    ln += got as u64;
+                }
+                xor.fetch_xor(lx, Ordering::Relaxed);
+                n.fetch_add(ln, Ordering::Relaxed);
+            });
+        }
+    });
+    let mut out = Vec::new();
+    while q.extract_batch(&mut out, 64) > 0 {}
+    for &(_, v) in &out {
+        extracted_xor.fetch_xor(v, Ordering::Relaxed);
+        extracted_n.fetch_add(1, Ordering::Relaxed);
+    }
+    assert_eq!(
+        extracted_n.load(Ordering::Relaxed),
+        PER * PRODUCERS,
+        "batched element count not conserved"
+    );
+    assert_eq!(
+        extracted_xor.load(Ordering::Relaxed),
+        inserted_xor.load(Ordering::Relaxed),
+        "batched XOR checksum mismatch: elements lost or duplicated"
+    );
+    assert!(
+        fault::hit_count("pool.claim-delay") > 0,
+        "seed {seed:#x}: claim-delay failpoint never evaluated"
+    );
+    fault::reset();
 }
 
 /// Emptiness guarantee (§3.7) under faults: a credit claimed after a

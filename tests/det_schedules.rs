@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 
 use det::Config;
 use workloads::oracle::{QcChecker, RankOracle};
-use zmsq::{ArraySet, ListSet, NodeSet, TatasLock, Zmsq, ZmsqConfig};
+use zmsq::{ArraySet, ListSet, NodeSet, ShardedZmsq, TatasLock, Zmsq, ZmsqConfig};
 
 /// Unique element token: producer id in the high bits, sequence in the low.
 fn token(producer: u64, i: u64) -> u64 {
@@ -165,6 +165,97 @@ fn det_strict_mode_rank_error_is_zero() {
         for h in handles {
             h.join();
         }
+    });
+}
+
+/// Sharded conservation: producers scatter through `insert_batch`,
+/// consumers mix `extract_max` and `extract_batch`, across every
+/// explored interleaving of the per-shard pool windows. Exercises the
+/// two-choice winner/loser steal and the full sweep under preemption.
+#[test]
+fn det_sharded_conservation_under_interleaving() {
+    let cfg = Config::from_env(0x5A4DED).schedules(12);
+    det::explore(&cfg, || {
+        const PRODUCERS: u64 = 2;
+        const CONSUMERS: u64 = 2;
+        const PER: u64 = 6;
+        let q: Arc<ShardedZmsq<u64>> = Arc::new(ShardedZmsq::new(
+            2,
+            ZmsqConfig::default().batch(2).target_len(6),
+        ));
+        let qc = Arc::new(QcChecker::new());
+        let taken = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let (q, qc) = (Arc::clone(&q), Arc::clone(&qc));
+            handles.push(det::spawn(move || {
+                let mut log = qc.handle();
+                let mut batch = Vec::new();
+                for i in 0..PER {
+                    let t = token(p, i);
+                    log.on_insert(i % 3, t);
+                    batch.push((i % 3, t));
+                }
+                // Scatter path: round-robin from this vthread's home shard.
+                q.insert_batch(&mut batch);
+                qc.absorb(log);
+            }));
+        }
+        for c in 0..CONSUMERS {
+            let (q, qc, taken) = (Arc::clone(&q), Arc::clone(&qc), Arc::clone(&taken));
+            handles.push(det::spawn(move || {
+                let mut log = qc.handle();
+                let mut out = Vec::new();
+                while taken.load(Ordering::SeqCst) < PRODUCERS * PER {
+                    if c == 0 {
+                        // Gather path: cross-shard batched extraction.
+                        out.clear();
+                        q.extract_batch(&mut out, 3);
+                        for &(k, t) in &out {
+                            log.on_extract(k, t);
+                            taken.fetch_add(1, Ordering::SeqCst);
+                        }
+                    } else if let Some((k, t)) = q.extract_max() {
+                        log.on_extract(k, t);
+                        taken.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                qc.absorb(log);
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(q.extract_max(), None, "drained");
+        if let Err(e) = qc.check(true) {
+            panic!("sharded quiescent-consistency violation: {e}");
+        }
+    });
+}
+
+/// The sharded emptiness guarantee under det: one element lands in one
+/// of four shards; no matter which shards two-choice sampling picks, the
+/// sweep must find it on every schedule — for both the scalar and the
+/// batched extraction paths.
+#[test]
+fn det_sharded_sweep_finds_lone_element() {
+    let cfg = Config::from_env(0x10E1E7).schedules(24);
+    det::explore(&cfg, || {
+        let q: Arc<ShardedZmsq<u64>> = Arc::new(ShardedZmsq::new(
+            4,
+            ZmsqConfig::default().batch(2).target_len(4),
+        ));
+        let q2 = Arc::clone(&q);
+        det::spawn(move || q2.insert(7, 77)).join();
+        // The insert has completed: stale hints may point anywhere, but
+        // extraction must not report empty.
+        assert_eq!(q.extract_max(), Some((7, 77)), "sweep missed the element");
+
+        let q3 = Arc::clone(&q);
+        det::spawn(move || q3.insert(9, 99)).join();
+        let mut out = Vec::new();
+        assert_eq!(q.extract_batch(&mut out, 4), 1, "batched sweep missed");
+        assert_eq!(out, vec![(9, 99)]);
     });
 }
 
