@@ -26,6 +26,10 @@
 //! * [`sampler`] — a background thread that periodically probes
 //!   caller-supplied gauges (queue depth, pool fill, rank error) into a
 //!   time [`Series`].
+//! * [`watchdog`] — a background thread that watches progress counters
+//!   paired with busy predicates, flags subsystems that stop moving
+//!   while claiming to be busy (stalled shard, wedged producer, stuck
+//!   reclamation), and dumps the flight recorder on a sustained stall.
 //!
 //! Overhead budget: with default features a counter increment is one
 //! relaxed `fetch_add` on a thread-private cache line and a histogram
@@ -40,12 +44,14 @@ pub mod metrics;
 pub mod recorder;
 pub mod sampler;
 pub mod snapshot;
+pub mod watchdog;
 
 pub use hist::{HistSnapshot, Histogram};
 pub use metrics::{global, Counter, Gauge, Registry, STRIPES};
 pub use recorder::EventKind;
 pub use sampler::{Sampler, Series};
 pub use snapshot::Snapshot;
+pub use watchdog::{Watchdog, WatchdogBuilder};
 
 /// Whether flight-recorder call sites are compiled in.
 ///

@@ -46,6 +46,7 @@ pub enum EventKind {
     Split = 16,
     TreeGrow = 17,
     Sample = 18,
+    WatchdogStall = 19,
 }
 
 impl EventKind {
@@ -69,6 +70,7 @@ impl EventKind {
             16 => Self::Split,
             17 => Self::TreeGrow,
             18 => Self::Sample,
+            19 => Self::WatchdogStall,
             _ => return None,
         })
     }
@@ -94,6 +96,7 @@ impl EventKind {
             Self::Split => "split",
             Self::TreeGrow => "tree_grow",
             Self::Sample => "sample",
+            Self::WatchdogStall => "watchdog_stall",
         }
     }
 }

@@ -1,0 +1,356 @@
+//! Stall watchdog: a background thread that samples caller-supplied
+//! progress counters and pressure gauges, flags probes that stop moving
+//! while their subsystem claims to be busy, and dumps the flight
+//! recorder on a sustained stall.
+//!
+//! The [`sampler`](crate::sampler) answers "what did this value do over
+//! time"; the watchdog answers "is anyone still making progress". A
+//! *progress probe* pairs a monotone counter (extractions served,
+//! elements admitted, buffers reclaimed) with a *busy* predicate (queue
+//! nonempty, producers parked, retirements pending). A probe is
+//! **stalled** when the counter has not moved for
+//! [`stall_after`](WatchdogBuilder::stall_after) consecutive ticks
+//! while every one of those ticks observed `busy() == true` — an idle
+//! subsystem is never stalled, no matter how long its counter rests.
+//!
+//! On the tick a probe *becomes* stalled the watchdog increments its
+//! stall count, emits a `watchdog.stall` trace event, and — once per
+//! watchdog lifetime — calls [`recorder::dump_on_failure`] so the
+//! moments leading into the stall survive for the post-mortem (a no-op
+//! without the `obs-trace` feature, exactly like the queue's own
+//! failure paths).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! let served = Arc::new(AtomicU64::new(0));
+//! let probe = Arc::clone(&served);
+//! let wd = obs::Watchdog::builder(std::time::Duration::from_millis(1))
+//!     .stall_after(3)
+//!     .progress("served", move || probe.load(Ordering::Relaxed), || true)
+//!     .start();
+//! // `served` never moves while "busy" => the probe must stall.
+//! std::thread::sleep(std::time::Duration::from_millis(30));
+//! let report = wd.stop();
+//! assert!(report.counter("watchdog.stall.served").unwrap() >= 1);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::recorder;
+use crate::snapshot::Snapshot;
+
+/// Default consecutive no-progress ticks before a busy probe counts as
+/// stalled. At the default 10 ms tick this is half a second — far above
+/// any scheduler hiccup, far below a human noticing a hang.
+pub const DEFAULT_STALL_TICKS: u32 = 50;
+
+struct ProgressProbe {
+    name: String,
+    counter: Box<dyn FnMut() -> u64 + Send>,
+    busy: Box<dyn FnMut() -> bool + Send>,
+    last: u64,
+    /// Consecutive busy-but-unmoved ticks.
+    quiet_ticks: u32,
+    /// Whether the probe is currently past the stall threshold (so a
+    /// long stall is one event, not one per tick).
+    stalled: bool,
+    stall_count: u64,
+}
+
+struct GaugeProbe {
+    name: String,
+    read: Box<dyn FnMut() -> i64 + Send>,
+    last: i64,
+    peak: i64,
+}
+
+/// Builder for a [`Watchdog`]; see the module docs.
+pub struct WatchdogBuilder {
+    interval: Duration,
+    stall_ticks: u32,
+    progress: Vec<ProgressProbe>,
+    gauges: Vec<GaugeProbe>,
+}
+
+impl WatchdogBuilder {
+    /// Ticks of no counter movement (while busy) before a probe is
+    /// declared stalled. Clamped to at least 1.
+    pub fn stall_after(mut self, ticks: u32) -> Self {
+        self.stall_ticks = ticks.max(1);
+        self
+    }
+
+    /// Watch a monotone progress counter. `busy` gates the stall
+    /// verdict: ticks where it returns `false` reset nothing but count
+    /// nothing either — only *busy* stagnation accumulates.
+    pub fn progress(
+        mut self,
+        name: &str,
+        counter: impl FnMut() -> u64 + Send + 'static,
+        busy: impl FnMut() -> bool + Send + 'static,
+    ) -> Self {
+        self.progress.push(ProgressProbe {
+            name: name.to_string(),
+            counter: Box::new(counter),
+            busy: Box::new(busy),
+            last: 0,
+            quiet_ticks: 0,
+            stalled: false,
+            stall_count: 0,
+        });
+        self
+    }
+
+    /// Sample an instantaneous gauge each tick; the report carries its
+    /// last value (`<name>`) and observed peak (`<name>.peak`).
+    pub fn gauge(mut self, name: &str, read: impl FnMut() -> i64 + Send + 'static) -> Self {
+        self.gauges.push(GaugeProbe {
+            name: name.to_string(),
+            read: Box::new(read),
+            last: 0,
+            peak: i64::MIN,
+        });
+        self
+    }
+
+    /// Spawn the watchdog thread.
+    pub fn start(mut self) -> Watchdog {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ticks = Arc::new(AtomicU64::new(0));
+        let stalls = Arc::new(AtomicU64::new(0));
+        // Prime the progress baselines so a counter that was already
+        // moving before start() is not charged for its pre-start value.
+        for p in &mut self.progress {
+            p.last = (p.counter)();
+        }
+        let (stop2, ticks2, stalls2) = (Arc::clone(&stop), Arc::clone(&ticks), Arc::clone(&stalls));
+        let interval = self.interval;
+        let stall_ticks = self.stall_ticks;
+        let mut progress = self.progress;
+        let mut gauges = self.gauges;
+        let handle = std::thread::Builder::new()
+            .name("obs-watchdog".into())
+            .spawn(move || {
+                let mut dumped = false;
+                while !stop2.load(Ordering::Acquire) {
+                    ticks2.fetch_add(1, Ordering::Relaxed);
+                    for p in &mut progress {
+                        let now = (p.counter)();
+                        if now != p.last {
+                            p.last = now;
+                            p.quiet_ticks = 0;
+                            p.stalled = false;
+                            continue;
+                        }
+                        if !(p.busy)() {
+                            // Idle stagnation is legitimate; restart the
+                            // window so only *sustained busy* counts.
+                            p.quiet_ticks = 0;
+                            continue;
+                        }
+                        p.quiet_ticks = p.quiet_ticks.saturating_add(1);
+                        if p.quiet_ticks >= stall_ticks && !p.stalled {
+                            p.stalled = true;
+                            p.stall_count += 1;
+                            stalls2.fetch_add(1, Ordering::Relaxed);
+                            crate::trace_event!(
+                                crate::EventKind::WatchdogStall,
+                                p.quiet_ticks,
+                                now
+                            );
+                            if !dumped {
+                                dumped = true;
+                                recorder::dump_on_failure("watchdog-stall");
+                            }
+                        }
+                    }
+                    for g in &mut gauges {
+                        g.last = (g.read)();
+                        g.peak = g.peak.max(g.last);
+                    }
+                    // Short sleep slices keep stop() responsive.
+                    let mut remaining = interval;
+                    while !stop2.load(Ordering::Acquire) && !remaining.is_zero() {
+                        let slice = remaining.min(Duration::from_millis(5));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+                // Hand the probe state back through the report channel.
+                WatchdogReportState { progress, gauges }
+            })
+            .expect("spawn obs watchdog");
+        Watchdog {
+            stop,
+            ticks,
+            stalls,
+            handle: Some(handle),
+        }
+    }
+}
+
+struct WatchdogReportState {
+    progress: Vec<ProgressProbe>,
+    gauges: Vec<GaugeProbe>,
+}
+
+/// A running stall watchdog; stop it to collect the report snapshot.
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    ticks: Arc<AtomicU64>,
+    stalls: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<WatchdogReportState>>,
+}
+
+impl Watchdog {
+    /// Start building a watchdog that ticks every `interval`.
+    pub fn builder(interval: Duration) -> WatchdogBuilder {
+        WatchdogBuilder {
+            interval,
+            stall_ticks: DEFAULT_STALL_TICKS,
+            progress: Vec::new(),
+            gauges: Vec::new(),
+        }
+    }
+
+    /// Ticks elapsed so far (readable while running).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Stall events so far (readable while running). A probe that stays
+    /// stalled counts once until it makes progress again.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Whether any probe has ever stalled (readable while running).
+    pub fn saw_stall(&self) -> bool {
+        self.stalls() > 0
+    }
+
+    /// Stop the thread and return the report: `watchdog.ticks` /
+    /// `watchdog.stalls` counters, per-probe `watchdog.stall.<name>`
+    /// counters, and each gauge's last value plus `<name>.peak`.
+    pub fn stop(mut self) -> Snapshot {
+        self.stop.store(true, Ordering::Release);
+        let state = self
+            .handle
+            .take()
+            .map(|h| h.join().expect("watchdog thread panicked"));
+        let mut s = Snapshot::new();
+        s.push_counter("watchdog.ticks", self.ticks.load(Ordering::Relaxed));
+        s.push_counter("watchdog.stalls", self.stalls.load(Ordering::Relaxed));
+        if let Some(state) = state {
+            for p in &state.progress {
+                s.push_counter(&format!("watchdog.stall.{}", p.name), p.stall_count);
+            }
+            for g in &state.gauges {
+                s.push_gauge(&g.name, g.last);
+                s.push_gauge(
+                    &format!("{}.peak", g.name),
+                    if g.peak == i64::MIN { 0 } else { g.peak },
+                );
+            }
+        }
+        s
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn moving_counter_never_stalls() {
+        let n = Arc::new(AtomicU64::new(0));
+        let probe = Arc::clone(&n);
+        let wd = Watchdog::builder(Duration::from_millis(1))
+            .stall_after(2)
+            .progress(
+                "work",
+                move || probe.fetch_add(1, Ordering::Relaxed),
+                || true,
+            )
+            .start();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(wd.stalls(), 0);
+        let report = wd.stop();
+        assert_eq!(report.counter("watchdog.stall.work"), Some(0));
+        assert!(report.counter("watchdog.ticks").unwrap() > 0);
+    }
+
+    #[test]
+    fn busy_stagnation_stalls_and_recovers() {
+        let n = Arc::new(AtomicU64::new(0));
+        let probe = Arc::clone(&n);
+        let wd = Watchdog::builder(Duration::from_millis(1))
+            .stall_after(3)
+            .progress("work", move || probe.load(Ordering::Relaxed), || true)
+            .start();
+        // Frozen while busy: must stall exactly once (sustained stalls
+        // do not re-fire every tick).
+        while !wd.saw_stall() {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(wd.stalls(), 1, "one sustained stall, one event");
+        // Progress resumes, then freezes again: a second stall event.
+        n.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(30));
+        let report = wd.stop();
+        assert_eq!(report.counter("watchdog.stall.work"), Some(2));
+    }
+
+    #[test]
+    fn idle_stagnation_is_not_a_stall() {
+        let wd = Watchdog::builder(Duration::from_millis(1))
+            .stall_after(2)
+            .progress("idle", || 0, || false)
+            .start();
+        std::thread::sleep(Duration::from_millis(30));
+        let report = wd.stop();
+        assert_eq!(report.counter("watchdog.stalls"), Some(0));
+        assert_eq!(report.counter("watchdog.stall.idle"), Some(0));
+    }
+
+    #[test]
+    fn gauges_report_last_and_peak() {
+        let v = Arc::new(AtomicU64::new(7));
+        let probe = Arc::clone(&v);
+        let wd = Watchdog::builder(Duration::from_millis(1))
+            .gauge("queue.pressure.occupancy", move || {
+                probe.load(Ordering::Relaxed) as i64
+            })
+            .start();
+        std::thread::sleep(Duration::from_millis(10));
+        v.store(99, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(10));
+        v.store(3, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(10));
+        let report = wd.stop();
+        assert_eq!(report.gauge("queue.pressure.occupancy"), Some(3));
+        assert_eq!(report.gauge("queue.pressure.occupancy.peak"), Some(99));
+    }
+
+    #[test]
+    fn drop_without_stop_joins_thread() {
+        let wd = Watchdog::builder(Duration::from_millis(1))
+            .progress("x", || 0, || true)
+            .start();
+        drop(wd); // must not hang
+    }
+}

@@ -13,6 +13,69 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::Duration;
+
+/// Why a fallible insertion ([`ConcurrentPriorityQueue::try_insert`] /
+/// [`ConcurrentPriorityQueue::insert_timeout`]) did not admit its element.
+///
+/// Every variant carries the rejected value back to the caller — a bounded
+/// queue never silently drops work handed to the fallible API; callers
+/// decide whether to retry, reroute or shed it themselves.
+pub enum InsertError<V> {
+    /// The queue is at capacity and the configured policy does not admit
+    /// the element (either it refuses to evict, or the element itself was
+    /// the lowest-priority candidate).
+    Full(V),
+    /// The queue has been closed for shutdown; no new work is admitted.
+    Closed(V),
+    /// The deadline passed while waiting for capacity
+    /// ([`ConcurrentPriorityQueue::insert_timeout`] only).
+    Timeout(V),
+}
+
+impl<V> InsertError<V> {
+    /// Recover the rejected value.
+    pub fn into_value(self) -> V {
+        match self {
+            InsertError::Full(v) | InsertError::Closed(v) | InsertError::Timeout(v) => v,
+        }
+    }
+
+    /// The variant name, without the (possibly non-`Debug`) value.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InsertError::Full(_) => "Full",
+            InsertError::Closed(_) => "Closed",
+            InsertError::Timeout(_) => "Timeout",
+        }
+    }
+
+    /// Whether the rejection is permanent (the queue is closed) rather
+    /// than a transient capacity condition worth retrying.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, InsertError::Closed(_))
+    }
+}
+
+// Manual impls: the value itself need not be Debug for the error to be.
+impl<V> std::fmt::Debug for InsertError<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple(self.kind()).finish()
+    }
+}
+
+impl<V> std::fmt::Display for InsertError<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::Full(_) => write!(f, "queue full"),
+            InsertError::Closed(_) => write!(f, "queue closed"),
+            InsertError::Timeout(_) => write!(f, "timed out waiting for queue capacity"),
+        }
+    }
+}
+
+impl<V> std::error::Error for InsertError<V> {}
+
 /// A thread-safe max-priority queue storing `(priority, value)` pairs.
 ///
 /// Duplicate priorities are allowed. All methods take `&self`; queues are
@@ -21,6 +84,35 @@
 pub trait ConcurrentPriorityQueue<V = u64>: Send + Sync {
     /// Insert `value` with priority `prio`.
     fn insert(&self, prio: u64, value: V);
+
+    /// Fallible, non-blocking insertion.
+    ///
+    /// Unbounded queues (the default) always admit the element, so the
+    /// blanket implementation forwards to [`insert`](Self::insert) and
+    /// returns `Ok(())` — every existing implementation compiles
+    /// unchanged. Bounded queues (e.g. ZMSQ with
+    /// `ZmsqConfig::capacity`) override this to report
+    /// [`InsertError::Full`] / [`InsertError::Closed`] instead of
+    /// blocking or shedding; the rejected value rides back inside the
+    /// error.
+    #[must_use = "the rejected element is inside the error; dropping it loses work"]
+    fn try_insert(&self, prio: u64, value: V) -> Result<(), InsertError<V>> {
+        self.insert(prio, value);
+        Ok(())
+    }
+
+    /// Fallible insertion with a bounded wait for capacity.
+    ///
+    /// Like [`try_insert`](Self::try_insert), but a bounded queue with a
+    /// blocking shed policy may park the producer up to `timeout`
+    /// waiting for room, returning [`InsertError::Timeout`] when the
+    /// deadline passes. The blanket implementation (unbounded queues
+    /// never wait) forwards to `try_insert` and ignores the timeout.
+    #[must_use = "the rejected element is inside the error; dropping it loses work"]
+    fn insert_timeout(&self, prio: u64, value: V, timeout: Duration) -> Result<(), InsertError<V>> {
+        let _ = timeout;
+        self.try_insert(prio, value)
+    }
 
     /// Attempt to extract a high-priority element.
     ///
@@ -95,6 +187,12 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for &
     fn insert(&self, prio: u64, value: V) {
         (**self).insert(prio, value)
     }
+    fn try_insert(&self, prio: u64, value: V) -> Result<(), InsertError<V>> {
+        (**self).try_insert(prio, value)
+    }
+    fn insert_timeout(&self, prio: u64, value: V, timeout: Duration) -> Result<(), InsertError<V>> {
+        (**self).insert_timeout(prio, value, timeout)
+    }
     fn extract_max(&self) -> Option<(u64, V)> {
         (**self).extract_max()
     }
@@ -122,6 +220,12 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for B
     fn insert(&self, prio: u64, value: V) {
         (**self).insert(prio, value)
     }
+    fn try_insert(&self, prio: u64, value: V) -> Result<(), InsertError<V>> {
+        (**self).try_insert(prio, value)
+    }
+    fn insert_timeout(&self, prio: u64, value: V, timeout: Duration) -> Result<(), InsertError<V>> {
+        (**self).insert_timeout(prio, value, timeout)
+    }
     fn extract_max(&self) -> Option<(u64, V)> {
         (**self).extract_max()
     }
@@ -148,6 +252,12 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for B
 impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for std::sync::Arc<Q> {
     fn insert(&self, prio: u64, value: V) {
         (**self).insert(prio, value)
+    }
+    fn try_insert(&self, prio: u64, value: V) -> Result<(), InsertError<V>> {
+        (**self).try_insert(prio, value)
+    }
+    fn insert_timeout(&self, prio: u64, value: V, timeout: Duration) -> Result<(), InsertError<V>> {
+        (**self).insert_timeout(prio, value, timeout)
     }
     fn extract_max(&self) -> Option<(u64, V)> {
         (**self).extract_max()
@@ -271,6 +381,67 @@ mod tests {
         assert_eq!(out, vec![(2, 20), (1, 10)]);
         let by_ref: &dyn ConcurrentPriorityQueue = &*arc;
         assert_eq!(by_ref.extract_batch(&mut out, 1), 0);
+    }
+
+    #[test]
+    fn try_insert_default_always_admits() {
+        let q = LockedHeap(Mutex::new(BinaryHeap::new()));
+        q.try_insert(1, 10).unwrap();
+        q.insert_timeout(2, 20, Duration::from_millis(1)).unwrap();
+        assert_eq!(q.len_hint(), 2);
+        assert_eq!(q.extract_max(), Some((2, 20)));
+    }
+
+    #[test]
+    fn fallible_inserts_forward_through_blankets() {
+        /// A queue that is always full, to prove overrides propagate.
+        struct Full;
+        impl ConcurrentPriorityQueue for Full {
+            fn insert(&self, _prio: u64, _value: u64) {}
+            fn try_insert(&self, _prio: u64, value: u64) -> Result<(), InsertError<u64>> {
+                Err(InsertError::Full(value))
+            }
+            fn insert_timeout(
+                &self,
+                _prio: u64,
+                value: u64,
+                _timeout: Duration,
+            ) -> Result<(), InsertError<u64>> {
+                Err(InsertError::Timeout(value))
+            }
+            fn extract_max(&self) -> Option<(u64, u64)> {
+                None
+            }
+            fn name(&self) -> String {
+                "full".into()
+            }
+        }
+        let boxed: Box<dyn ConcurrentPriorityQueue> = Box::new(Full);
+        let err = boxed.try_insert(1, 42).unwrap_err();
+        assert!(matches!(err, InsertError::Full(42)));
+        assert_eq!(err.into_value(), 42);
+        let arc = std::sync::Arc::new(Full);
+        let err = arc
+            .insert_timeout(1, 7, Duration::from_millis(1))
+            .unwrap_err();
+        assert!(matches!(err, InsertError::Timeout(7)));
+        let by_ref: &dyn ConcurrentPriorityQueue = &Full;
+        assert!(by_ref.try_insert(0, 0).is_err());
+    }
+
+    #[test]
+    fn insert_error_debug_display_without_value_debug() {
+        // The value type is not Debug; the error still is.
+        struct Opaque;
+        let e: InsertError<Opaque> = InsertError::Full(Opaque);
+        assert_eq!(format!("{e:?}"), "Full");
+        assert_eq!(format!("{e}"), "queue full");
+        assert!(!e.is_closed());
+        let c: InsertError<Opaque> = InsertError::Closed(Opaque);
+        assert_eq!(c.kind(), "Closed");
+        assert!(c.is_closed());
+        let t: InsertError<Opaque> = InsertError::Timeout(Opaque);
+        assert_eq!(format!("{t}"), "timed out waiting for queue capacity");
     }
 
     #[test]

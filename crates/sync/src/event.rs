@@ -45,17 +45,41 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use crate::futex::{futex_wait, futex_wait_timeout, futex_wake_all};
 use crate::pad::CachePadded;
 
-/// `wait_until`/`wait_until_timeout` calls that registered as sleepers.
-pub(crate) static WAITS: obs::Counter = obs::Counter::new();
-/// Waits that reached the actual `futex_wait` (syscall parks).
-pub(crate) static PARKS: obs::Counter = obs::Counter::new();
-/// Parks that returned "woken" while the predicate was still false and
-/// the buffer open — the consumer will loop and wait again.
-pub(crate) static SPURIOUS_WAKEUPS: obs::Counter = obs::Counter::new();
-/// `signal` calls.
-pub(crate) static SIGNALS: obs::Counter = obs::Counter::new();
-/// Signals that saw no sleepers and skipped all futex work.
-pub(crate) static SIGNALS_NO_SLEEPER: obs::Counter = obs::Counter::new();
+/// The always-on counters one [`EventBuffer`] population reports into.
+/// Two static sets exist: the consumer-side buffer inside the queues
+/// (`event.*`) and the producer-side [`crate::ProducerWait`]
+/// (`producer.*`) — the same machinery, observed separately so pressure
+/// on one side is not mistaken for pressure on the other.
+pub(crate) struct WaitCounters {
+    /// `wait_until`/`wait_until_timeout` calls that registered as sleepers.
+    pub waits: obs::Counter,
+    /// Waits that reached the actual `futex_wait` (syscall parks).
+    pub parks: obs::Counter,
+    /// Parks that returned "woken" while the predicate was still false and
+    /// the buffer open — the caller will loop and wait again.
+    pub spurious_wakeups: obs::Counter,
+    /// `signal` calls.
+    pub signals: obs::Counter,
+    /// Signals that saw no sleepers and skipped all futex work.
+    pub signals_no_sleeper: obs::Counter,
+}
+
+impl WaitCounters {
+    const fn new() -> Self {
+        Self {
+            waits: obs::Counter::new(),
+            parks: obs::Counter::new(),
+            spurious_wakeups: obs::Counter::new(),
+            signals: obs::Counter::new(),
+            signals_no_sleeper: obs::Counter::new(),
+        }
+    }
+}
+
+/// Counters for the consumer-blocking buffers (`event.*`).
+pub(crate) static CONSUMER_COUNTERS: WaitCounters = WaitCounters::new();
+/// Counters for the producer-backpressure buffers (`producer.*`).
+pub(crate) static PRODUCER_COUNTERS: WaitCounters = WaitCounters::new();
 
 const WAITER_BIT: u32 = 1;
 
@@ -111,6 +135,9 @@ pub struct EventBuffer {
     closed: AtomicBool,
     mask: u64,
     spin_before_block: u32,
+    /// Which global counter set this buffer reports into (consumer-side
+    /// `event.*` by default; `producer.*` for [`crate::ProducerWait`]).
+    counters: &'static WaitCounters,
 }
 
 impl EventBuffer {
@@ -128,6 +155,12 @@ impl EventBuffer {
 
     /// Create a buffer with `slots` futexes (rounded up to a power of two).
     pub fn with_slots(slots: usize) -> Self {
+        Self::with_slots_and_counters(slots, &CONSUMER_COUNTERS)
+    }
+
+    /// Create a buffer reporting into an explicit counter set (the
+    /// producer-side wrapper uses `PRODUCER_COUNTERS`).
+    pub(crate) fn with_slots_and_counters(slots: usize, counters: &'static WaitCounters) -> Self {
         let n = slots.max(1).next_power_of_two();
         Self {
             slots: (0..n)
@@ -139,6 +172,7 @@ impl EventBuffer {
             closed: AtomicBool::new(false),
             mask: (n - 1) as u64,
             spin_before_block: Self::DEFAULT_SPIN,
+            counters,
         }
     }
 
@@ -157,7 +191,7 @@ impl EventBuffer {
     #[inline]
     pub fn signal(&self) {
         det::det_point!("event.signal");
-        SIGNALS.incr();
+        self.counters.signals.incr();
         let ticket = self.wake_tickets.fetch_add(1, Ordering::Relaxed);
         // Dekker handshake with `wait_until`: the producer publishes its
         // element, fences, then reads the sleeper count; the waiter bumps
@@ -166,7 +200,7 @@ impl EventBuffer {
         // producer misses the sleeper AND the sleeper misses the element.
         std::sync::atomic::fence(Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) == 0 {
-            SIGNALS_NO_SLEEPER.incr();
+            self.counters.signals_no_sleeper.incr();
             return;
         }
         self.wake_one_from((ticket & self.mask) as usize);
@@ -224,7 +258,7 @@ impl EventBuffer {
         if self.closed.load(Ordering::Acquire) {
             return WaitOutcome::Closed;
         }
-        WAITS.incr();
+        self.counters.waits.incr();
         let ticket = self.sleep_tickets.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket & self.mask) as usize];
 
@@ -281,7 +315,7 @@ impl EventBuffer {
         fault::fail_point!("event.pre-park-delay");
         det::det_point!("event.pre-park");
 
-        PARKS.incr();
+        self.counters.parks.incr();
         let woken = match timeout {
             None => {
                 futex_wait(slot, parked_word);
@@ -297,7 +331,7 @@ impl EventBuffer {
             // straight back to sleep — the spurious-wakeup rate the
             // paper's dispersal scheme is designed to keep low.
             if !nonempty() {
-                SPURIOUS_WAKEUPS.incr();
+                self.counters.spurious_wakeups.incr();
                 obs::trace_event!(obs::EventKind::SpuriousWake);
             }
             WaitOutcome::Woken

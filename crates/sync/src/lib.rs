@@ -11,13 +11,16 @@
 //!   portable mutex/condvar fallback for other platforms.
 //! * [`event`] — the circular buffer of cache-padded futexes from
 //!   Listing 3, used to block idle consumers (§3.6).
+//! * [`producer`] — the mirror image for bounded queues: producers that
+//!   find the queue full park on a [`ProducerWait`], woken by
+//!   extractions and by close.
 //! * [`backoff`] — bounded exponential backoff for optimistic retry loops.
 //! * [`pad`] — cache-line padding to stop false sharing between hot atomics.
 //!
 //! With `--features fault-inject` the substrate compiles in named
 //! failpoints (`trylock.spurious-fail`, `futex.spurious-wake`,
-//! `event.pre-park-delay`) that chaos tests arm through the `fault`
-//! crate; without the feature they expand to nothing.
+//! `event.pre-park-delay`, `producer.wake-lost`) that chaos tests arm
+//! through the `fault` crate; without the feature they expand to nothing.
 //!
 //! Always-on counters (futex waits/wakes, event parks and spurious
 //! wakeups, trylock contention) are exported by [`obs::snapshot`]; with
@@ -32,10 +35,12 @@ pub mod event;
 pub mod futex;
 pub mod obs;
 pub mod pad;
+pub mod producer;
 pub mod trylock;
 
 pub use backoff::Backoff;
 pub use event::{EventBuffer, WaitOutcome};
 pub use futex::{futex_wait, futex_wait_timeout, futex_wake, futex_wake_all};
 pub use pad::CachePadded;
+pub use producer::ProducerWait;
 pub use trylock::{LockGuard, OsLock, RawTryLock, TasLock, TatasLock};

@@ -16,11 +16,18 @@ pub fn snapshot() -> obs::Snapshot {
     s.push_counter("futex.wait_timeouts", futex::WAIT_TIMEOUTS.get());
     s.push_counter("futex.wakes", futex::WAKES.get());
     s.push_counter("futex.woken_threads", futex::WOKEN_THREADS.get());
-    s.push_counter("event.waits", event::WAITS.get());
-    s.push_counter("event.parks", event::PARKS.get());
-    s.push_counter("event.spurious_wakeups", event::SPURIOUS_WAKEUPS.get());
-    s.push_counter("event.signals", event::SIGNALS.get());
-    s.push_counter("event.signals_no_sleeper", event::SIGNALS_NO_SLEEPER.get());
+    let ev = &event::CONSUMER_COUNTERS;
+    s.push_counter("event.waits", ev.waits.get());
+    s.push_counter("event.parks", ev.parks.get());
+    s.push_counter("event.spurious_wakeups", ev.spurious_wakeups.get());
+    s.push_counter("event.signals", ev.signals.get());
+    s.push_counter("event.signals_no_sleeper", ev.signals_no_sleeper.get());
+    let pr = &event::PRODUCER_COUNTERS;
+    s.push_counter("producer.waits", pr.waits.get());
+    s.push_counter("producer.parks", pr.parks.get());
+    s.push_counter("producer.spurious_wakeups", pr.spurious_wakeups.get());
+    s.push_counter("producer.signals", pr.signals.get());
+    s.push_counter("producer.signals_no_sleeper", pr.signals_no_sleeper.get());
     let attempts = trylock::TRYLOCK_ATTEMPTS.get();
     let failures = trylock::TRYLOCK_FAILURES.get();
     s.push_counter("trylock.attempts", attempts);
@@ -65,5 +72,29 @@ mod tests {
         assert!(after.counter("futex.wakes").unwrap() > before.counter("futex.wakes").unwrap());
         assert!(after.counter("event.signals").unwrap() > before.counter("event.signals").unwrap());
         assert!(after.ratio("trylock.contention_ratio").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn producer_counters_separate_from_event_counters() {
+        use crate::ProducerWait;
+        let before = super::snapshot();
+        let pw = ProducerWait::new();
+        pw.signal(); // no sleeper: producer.signals_no_sleeper
+        pw.wait_for_room(|| true); // registers: producer.waits
+        let after = super::snapshot();
+        assert!(
+            after.counter("producer.signals").unwrap()
+                > before.counter("producer.signals").unwrap()
+        );
+        assert!(
+            after.counter("producer.waits").unwrap() > before.counter("producer.waits").unwrap()
+        );
+        // The consumer-side event.waits must NOT have moved from this
+        // producer activity (other tests may move it concurrently, so
+        // only assert the producer deltas are attributable).
+        assert!(
+            after.counter("producer.signals_no_sleeper").unwrap()
+                > before.counter("producer.signals_no_sleeper").unwrap()
+        );
     }
 }

@@ -31,6 +31,32 @@ pub enum LockStrategy {
     Blocking,
 }
 
+/// What a bounded queue does when an insertion finds it at capacity
+/// (see [`ZmsqConfig::capacity`]). Irrelevant while the queue is
+/// unbounded (the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Park the producer on a futex-based `ProducerWait` until an
+    /// extraction frees capacity (the mirror image of the §3.6 consumer
+    /// blocking). Infallible `insert` waits indefinitely; `try_insert`
+    /// returns `Full` without waiting; `insert_timeout` waits up to its
+    /// deadline. No element is ever dropped. The default.
+    #[default]
+    Block,
+    /// Refuse the incoming element. `try_insert` returns `Full` with the
+    /// value; the infallible `insert` *drops* the element and counts it
+    /// in `zmsq.shed.rejected` (open-loop producers that cannot block
+    /// must lose the newest work). Never touches admitted elements.
+    Reject,
+    /// Evict a lowest-priority element from the deepest qualifying tree
+    /// node to admit higher-priority work; if the incoming element is
+    /// itself the lowest on offer, it is the one shed. Degrades by
+    /// dropping the *least urgent* work first, which preserves the
+    /// queue's top-k window far better than rejecting fresh arrivals
+    /// (evictions count in `zmsq.shed.evicted`).
+    ShedLowest,
+}
+
 /// Ablation switches for the §3.2 insertion-quality mechanisms.
 ///
 /// Both default to enabled — disabling them degrades ZMSQ toward the
@@ -106,6 +132,16 @@ pub struct ZmsqConfig {
     /// `k × batch` window bound (the fast-inserted element displaces one
     /// pool claim). Off by default.
     pub pool_fast_insert: bool,
+    /// Upper bound on the number of live elements. `None` (the default)
+    /// is the paper's unbounded queue. `Some(n)` makes insertion subject
+    /// to admission control: when `n` elements are live, the
+    /// [`shed`](Self::shed) policy decides whether producers block, the
+    /// incoming element is refused, or a lowest-priority element is
+    /// evicted. Clamped to at least 1 during normalization.
+    pub capacity: Option<usize>,
+    /// What happens when an insertion finds the queue at
+    /// [`capacity`](Self::capacity). Ignored while unbounded.
+    pub shed: ShedPolicy,
 }
 
 impl ZmsqConfig {
@@ -126,6 +162,8 @@ impl ZmsqConfig {
             quality: QualityOpts::default(),
             probe_factor: 1,
             pool_fast_insert: false,
+            capacity: None,
+            shed: ShedPolicy::Block,
         }
     }
 
@@ -227,6 +265,28 @@ impl ZmsqConfig {
         self
     }
 
+    /// Bound the queue at `n` live elements (builder style). Insertions
+    /// beyond the bound are governed by the [`shed`](Self::shed_policy)
+    /// policy. `n` is clamped to at least 1 during normalization.
+    pub fn capacity(mut self, n: usize) -> Self {
+        self.capacity = Some(n);
+        self
+    }
+
+    /// Remove a capacity bound (builder style) — back to the paper's
+    /// unbounded queue.
+    pub fn unbounded(mut self) -> Self {
+        self.capacity = None;
+        self
+    }
+
+    /// Select the at-capacity behaviour (builder style). Only meaningful
+    /// together with [`capacity`](Self::capacity).
+    pub fn shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.shed = policy;
+        self
+    }
+
     /// Validate and normalize; called by the queue constructor.
     pub(crate) fn normalized(mut self) -> Self {
         self.target_len = self.target_len.max(1);
@@ -259,6 +319,12 @@ impl ZmsqConfig {
             .clamp(1, crate::tree::MAX_LEVELS - 1);
         self.event_slots = self.event_slots.max(1);
         self.probe_factor = self.probe_factor.max(1);
+        // A zero capacity would admit nothing — Block would deadlock the
+        // first producer forever. One live element is the smallest bound
+        // with a progress guarantee.
+        if let Some(cap) = self.capacity {
+            self.capacity = Some(cap.max(1));
+        }
         self
     }
 }
@@ -393,6 +459,23 @@ mod tests {
         let c = ZmsqConfig::strict().adaptive_batch(4, 16).normalized();
         assert_eq!((c.batch_min, c.batch, c.batch_max), (4, 4, 16));
         assert!(c.is_adaptive());
+    }
+
+    #[test]
+    fn capacity_defaults_off_and_clamps() {
+        let c = ZmsqConfig::default();
+        assert_eq!(c.capacity, None);
+        assert_eq!(c.shed, ShedPolicy::Block);
+        let c = ZmsqConfig::default().capacity(0).normalized();
+        assert_eq!(c.capacity, Some(1), "zero capacity clamped to 1");
+        let c = ZmsqConfig::default()
+            .capacity(64)
+            .shed_policy(ShedPolicy::ShedLowest)
+            .normalized();
+        assert_eq!(c.capacity, Some(64));
+        assert_eq!(c.shed, ShedPolicy::ShedLowest);
+        let c = ZmsqConfig::default().capacity(8).unbounded().normalized();
+        assert_eq!(c.capacity, None, "unbounded() removes the bound");
     }
 
     #[test]

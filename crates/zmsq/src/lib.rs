@@ -75,11 +75,15 @@ mod stats;
 mod tnode;
 mod tree;
 
-pub use config::{LockStrategy, QualityOpts, Reclamation, ZmsqConfig};
+pub use config::{LockStrategy, QualityOpts, Reclamation, ShedPolicy, ZmsqConfig};
 pub use queue::{SetSizeStats, Zmsq};
 pub use set::{ArraySet, DequeSet, ListSet, NodeSet};
 pub use sharded::ShardedZmsq;
 pub use stats::StatsSnapshot;
+
+// Re-exported so bounded-queue callers can match the fallible-insert
+// error without depending on `pq-traits` directly.
+pub use pq_traits::InsertError;
 
 // Re-exported so callers can name lock type parameters.
 pub use zmsq_sync::{OsLock, RawTryLock, TasLock, TatasLock};
@@ -111,6 +115,19 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
         Zmsq::extract_batch(self, out, n)
     }
 
+    fn try_insert(&self, prio: u64, value: V) -> Result<(), InsertError<V>> {
+        Zmsq::try_insert(self, prio, value)
+    }
+
+    fn insert_timeout(
+        &self,
+        prio: u64,
+        value: V,
+        timeout: std::time::Duration,
+    ) -> Result<(), InsertError<V>> {
+        Zmsq::insert_timeout(self, prio, value, timeout)
+    }
+
     fn name(&self) -> String {
         let mut n = format!("zmsq-{}", S::KIND);
         match self.config().reclamation {
@@ -137,6 +154,14 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
         s.push_gauge("zmsq.len_hint", self.len_hint() as i64);
         s.push_gauge("zmsq.batch.current", self.current_batch() as i64);
         s.push_counter("zmsq.leaked_buffers", self.leaked_buffers());
+        if let Some(cap) = self.capacity() {
+            s.push_gauge("queue.pressure.capacity", cap as i64);
+            s.push_gauge("queue.pressure.occupancy", self.occupancy() as i64);
+            s.push_gauge(
+                "queue.pressure.producer_waiters",
+                self.producer_waiters() as i64,
+            );
+        }
         Some(s)
     }
 }

@@ -56,9 +56,12 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use zmsq_sync::{Backoff, EventBuffer, RawTryLock, TatasLock, WaitOutcome};
+use pq_traits::InsertError;
+use zmsq_sync::{
+    Backoff, CachePadded, EventBuffer, ProducerWait, RawTryLock, TatasLock, WaitOutcome,
+};
 
-use crate::config::{LockStrategy, ZmsqConfig};
+use crate::config::{LockStrategy, ShedPolicy, ZmsqConfig};
 use crate::pool::Pool;
 use crate::rng;
 use crate::set::{ListSet, NodeSet};
@@ -87,6 +90,14 @@ where
     pool: Pool<V>,
     cfg: ZmsqConfig,
     events: Option<EventBuffer>,
+    /// Producer-side blocking, allocated iff `cfg.capacity` is set (all
+    /// shed policies share it so `close()` and the waiter gauges are
+    /// uniform; only `Block` actually parks on it).
+    producer_wait: Option<ProducerWait>,
+    /// Live-element count for capacity admission. Maintained as exactly
+    /// `admitted inserts − extractions − evictions`, so at quiescence it
+    /// equals the true queue length.
+    occupancy: CachePadded<AtomicUsize>,
     stats: Stats,
     /// Effective refill batch, `cfg.batch_min ..= cfg.batch_max`. Equal
     /// to `cfg.batch` unless an adaptive controller (see `ShardedZmsq`)
@@ -228,6 +239,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             events: cfg
                 .blocking
                 .then(|| EventBuffer::with_slots(cfg.event_slots)),
+            producer_wait: cfg
+                .capacity
+                .is_some()
+                .then(|| ProducerWait::with_slots(cfg.event_slots)),
+            occupancy: CachePadded::new(AtomicUsize::new(0)),
             refill_scratch: UnsafeCell::new(Vec::with_capacity(cfg.batch_max)),
             batch_cur: AtomicUsize::new(cfg.batch),
             stats: Stats::default(),
@@ -293,7 +309,68 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
 
     /// Insert `value` with priority `prio`. Never fails; restarts
     /// internally on validation conflicts.
+    ///
+    /// On a capacity-bounded queue ([`ZmsqConfig::capacity`]) the call
+    /// first passes admission control per the configured
+    /// [`ShedPolicy`]: `Block` parks the producer until an extraction
+    /// frees room (or the queue closes, which force-admits — an
+    /// infallible insert never silently drops its element), `Reject`
+    /// drops the incoming element, `ShedLowest` evicts a lower-priority
+    /// element from deep in the tree to make room (shedding the incoming
+    /// element instead when no victim is found). Use
+    /// [`try_insert`](Self::try_insert) or
+    /// [`insert_timeout`](Self::insert_timeout) to keep the rejected
+    /// element.
     pub fn insert(&self, prio: u64, value: V) {
+        let Some(cap) = self.cfg.capacity else {
+            self.insert_admitted(prio, value);
+            return;
+        };
+        loop {
+            if self.try_admit(cap) {
+                self.insert_admitted(prio, value);
+                return;
+            }
+            self.stats.capacity_hits.incr();
+            match self.cfg.shed {
+                ShedPolicy::Reject => {
+                    self.stats.shed_rejected.incr();
+                    obs::trace_event!(obs::EventKind::Insert, 2, prio);
+                    return; // drops `value`
+                }
+                ShedPolicy::ShedLowest => {
+                    if self.try_evict_lowest(prio) {
+                        // The victim's reservation transfers to us:
+                        // occupancy is net unchanged.
+                        self.insert_admitted(prio, value);
+                    } else {
+                        self.stats.shed_rejected.incr();
+                        obs::trace_event!(obs::EventKind::Insert, 2, prio);
+                    }
+                    return;
+                }
+                ShedPolicy::Block => {
+                    let pw = self.producer_wait.as_ref().expect("capacity set");
+                    self.stats.producer_waits.incr();
+                    match pw.wait_for_room(|| self.has_room(cap)) {
+                        WaitOutcome::Closed => {
+                            // Closed queues stop enforcing capacity: the
+                            // element is force-admitted so the infallible
+                            // contract ("never fails") holds to the end.
+                            self.occupancy.fetch_add(1, Ordering::SeqCst);
+                            self.insert_admitted(prio, value);
+                            return;
+                        }
+                        WaitOutcome::TimedOut => unreachable!("untimed wait"),
+                        WaitOutcome::Ready | WaitOutcome::Woken => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// The insertion path proper, after (or without) capacity admission.
+    fn insert_admitted(&self, prio: u64, value: V) {
         det::det_point!("zmsq.insert");
         // Experimental §5 fast path: high-priority elements go straight
         // into the extraction pool when it has headroom, skipping the
@@ -316,7 +393,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         }
         let mut consecutive_failures = 0u32;
         loop {
-            match self.try_insert(prio, value) {
+            match self.insert_attempt(prio, value) {
                 Ok(()) => break,
                 Err(v) => {
                     self.stats.insert_retries.incr();
@@ -360,6 +437,16 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// adversarial distributions, chunking can park low elements slightly
     /// higher in the tree than element-wise insertion would.
     pub fn insert_batch(&self, items: &mut Vec<(u64, V)>) {
+        if self.cfg.capacity.is_some() {
+            // Bounded queues apply admission (and the shed policy)
+            // per element; chunked placement would have to carve a
+            // multi-slot reservation out of the budget mid-shed, for a
+            // path whose point is amortizing *lock* traffic.
+            for (prio, value) in items.drain(..) {
+                self.insert(prio, value);
+            }
+            return;
+        }
         items.sort_unstable_by_key(|&(k, _)| k);
         while !items.is_empty() {
             let take = items.len().min(self.cfg.target_len.max(1));
@@ -436,7 +523,10 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         true
     }
 
-    fn try_insert(&self, prio: u64, value: V) -> Result<(), V> {
+    /// One optimistic placement attempt; `Err` hands the element back
+    /// for a restart (this is *not* the fallible capacity-aware
+    /// [`try_insert`](Self::try_insert)).
+    fn insert_attempt(&self, prio: u64, value: V) -> Result<(), V> {
         let (pos, force) = self.select_position(prio);
         if force {
             return self.forced_insert(pos, prio, value);
@@ -707,6 +797,216 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     }
 
     // ------------------------------------------------------------------
+    // Capacity, backpressure and shedding
+    // ------------------------------------------------------------------
+
+    /// Reserve one occupancy slot if the queue is below `cap`.
+    fn try_admit(&self, cap: usize) -> bool {
+        let admitted = self
+            .occupancy
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |o| {
+                (o < cap).then_some(o + 1)
+            })
+            .is_ok();
+        if admitted {
+            // Widen the window between reservation and tree insertion so
+            // chaos tests can race extractions against half-admitted
+            // elements.
+            fault::fail_point!("queue.capacity.race");
+        }
+        admitted
+    }
+
+    #[inline]
+    fn has_room(&self, cap: usize) -> bool {
+        self.occupancy.load(Ordering::SeqCst) < cap
+    }
+
+    /// Return `n` occupancy slots after extraction and wake parked
+    /// producers. The release happens *before* the signal so a woken
+    /// producer's `has_room` re-check observes the freed slots.
+    #[inline]
+    fn release_capacity(&self, n: usize) {
+        if self.cfg.capacity.is_none() || n == 0 {
+            return;
+        }
+        fault::fail_point!("queue.capacity.race");
+        self.occupancy.fetch_sub(n, Ordering::SeqCst);
+        if let Some(pw) = &self.producer_wait {
+            for _ in 0..n {
+                pw.signal();
+            }
+        }
+    }
+
+    /// `ShedLowest` eviction: drop one element with priority `< below`
+    /// from as deep in the tree as possible, freeing its occupancy slot
+    /// for the caller (a reservation transfer — occupancy is *not*
+    /// decremented). Best-effort: probes a bounded number of random
+    /// nodes per level, deepest level first; returns `false` when no
+    /// victim was validated, and the caller sheds the incoming element
+    /// instead.
+    fn try_evict_lowest(&self, below: u64) -> bool {
+        let leaf = self.tree.leaf_level();
+        for level in (0..=leaf).rev() {
+            let width = 1usize << level;
+            let probes = width.min(8 * self.cfg.probe_factor.max(1));
+            for _ in 0..probes {
+                let pos = (level, rng::next_index(width));
+                // Racy pre-screen; re-validated under the node lock.
+                if self.tree.node(pos).min_key().is_some_and(|m| m < below)
+                    && self.try_evict_at(pos, below)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Evict this node's minimum if, under the lock, it is still below
+    /// the threshold *and* removal cannot empty a node that has nonempty
+    /// children (which would break the emptiness chain). A node with one
+    /// element is only a valid victim when both children are empty —
+    /// and they stay empty while we hold this lock, because every path
+    /// that fills an empty node locks its parent first (regular/bulk
+    /// insert) or requires a nonempty target (forced insert).
+    fn try_evict_at(&self, pos: Pos, below: u64) -> bool {
+        let node = self.tree.node(pos);
+        if !self.acquire(node) {
+            return false;
+        }
+        let unwind = UnwindUnlock::one(node);
+        let viable = node.min_key().is_some_and(|m| m < below)
+            && (node.count() >= 2 || self.children_empty(pos));
+        if !viable {
+            drop(unwind);
+            node.unlock();
+            return false;
+        }
+        // SAFETY: node locked.
+        unsafe {
+            let victim = node.set_mut().remove_min().expect("count > 0");
+            drop(victim);
+            node.refresh_cache();
+        }
+        drop(unwind);
+        node.unlock();
+        self.stats.shed_evicted.incr();
+        obs::trace_event!(obs::EventKind::Extract, 2, below);
+        true
+    }
+
+    /// Whether both children of `pos` are empty. Unallocated levels
+    /// (`pos` at or below the current leaf level) count as empty: nodes
+    /// there cannot be filled while the caller holds `pos`'s lock.
+    fn children_empty(&self, pos: Pos) -> bool {
+        if pos.0 >= self.tree.leaf_level() {
+            return true;
+        }
+        let (lp, rp) = Tree::<V, S, L>::children(pos);
+        self.tree.node(lp).count() == 0 && self.tree.node(rp).count() == 0
+    }
+
+    /// Fallible insert: apply capacity admission once and hand the
+    /// element back instead of blocking or dropping it.
+    ///
+    /// * Unbounded queues always admit.
+    /// * [`InsertError::Closed`] after [`Zmsq::close`] on a bounded queue.
+    /// * Under `ShedLowest`, a successful eviction admits the element;
+    ///   otherwise [`InsertError::Full`] returns it (nothing is shed —
+    ///   the caller keeps the element, unlike [`Zmsq::insert`]).
+    /// * Under `Block`/`Reject`, a full queue returns
+    ///   [`InsertError::Full`] immediately (no parking).
+    #[must_use = "the rejected element is inside the error; dropping it loses work"]
+    pub fn try_insert(&self, prio: u64, value: V) -> Result<(), InsertError<V>> {
+        let Some(cap) = self.cfg.capacity else {
+            self.insert_admitted(prio, value);
+            return Ok(());
+        };
+        if self.producer_wait.as_ref().is_some_and(|pw| pw.is_closed()) {
+            return Err(InsertError::Closed(value));
+        }
+        if self.try_admit(cap) {
+            self.insert_admitted(prio, value);
+            return Ok(());
+        }
+        self.stats.capacity_hits.incr();
+        if self.cfg.shed == ShedPolicy::ShedLowest && self.try_evict_lowest(prio) {
+            self.insert_admitted(prio, value);
+            return Ok(());
+        }
+        Err(InsertError::Full(value))
+    }
+
+    /// [`try_insert`](Self::try_insert) that, under
+    /// [`ShedPolicy::Block`], parks the producer up to `timeout` waiting
+    /// for room. Other policies never block, so `Full` is returned
+    /// immediately as in `try_insert`.
+    #[must_use = "the rejected element is inside the error; dropping it loses work"]
+    pub fn insert_timeout(
+        &self,
+        prio: u64,
+        value: V,
+        timeout: std::time::Duration,
+    ) -> Result<(), InsertError<V>> {
+        let value = match self.try_insert(prio, value) {
+            Ok(()) => return Ok(()),
+            Err(InsertError::Full(v)) if self.cfg.shed == ShedPolicy::Block => v,
+            Err(e) => return Err(e),
+        };
+        let cap = self.cfg.capacity.expect("Full implies bounded");
+        let pw = self.producer_wait.as_ref().expect("capacity set");
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.try_admit(cap) {
+                self.insert_admitted(prio, value);
+                return Ok(());
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(InsertError::Timeout(value));
+            }
+            self.stats.producer_waits.incr();
+            match pw.wait_for_room_timeout(|| self.has_room(cap), remaining) {
+                WaitOutcome::Closed => return Err(InsertError::Closed(value)),
+                // The park consumed the whole remaining budget (timed
+                // futex waits only time out at their deadline): one last
+                // admission attempt so a last-instant release still wins,
+                // then report the timeout. Returning here rather than
+                // re-deriving from the wall clock keeps the loop finite
+                // under virtual-time schedulers (`det`).
+                WaitOutcome::TimedOut => {
+                    if self.try_admit(cap) {
+                        self.insert_admitted(prio, value);
+                        return Ok(());
+                    }
+                    return Err(InsertError::Timeout(value));
+                }
+                WaitOutcome::Ready | WaitOutcome::Woken => {}
+            }
+        }
+    }
+
+    /// The configured capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.cfg.capacity
+    }
+
+    /// Current live-element count under capacity accounting (0 on
+    /// unbounded queues — use [`len_hint`](Self::len_hint) there).
+    pub fn occupancy(&self) -> usize {
+        self.occupancy.load(Ordering::SeqCst)
+    }
+
+    /// Producers currently parked waiting for room.
+    pub fn producer_waiters(&self) -> usize {
+        self.producer_wait
+            .as_ref()
+            .map_or(0, |pw| pw.sleeper_count() as usize)
+    }
+
+    // ------------------------------------------------------------------
     // Extraction (Listing 2)
     // ------------------------------------------------------------------
 
@@ -724,6 +1024,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 self.stats.pool_hits.incr();
                 self.stats.extracts.incr();
                 obs::trace_event!(obs::EventKind::PoolHit, 0, got.0);
+                self.release_capacity(1);
                 return Some(got);
             }
             obs::trace_event!(obs::EventKind::PoolMiss);
@@ -731,6 +1032,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 RootOutcome::Got(got) => {
                     self.stats.extracts.incr();
                     obs::trace_event!(obs::EventKind::Extract, 0, got.0);
+                    self.release_capacity(1);
                     return Some(got);
                 }
                 RootOutcome::Empty => {
@@ -773,6 +1075,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 self.stats.pool_hits.add(claimed as u64);
                 self.stats.extracts.add(claimed as u64);
                 obs::trace_event!(obs::EventKind::PoolHit, claimed as u32);
+                self.release_capacity(claimed);
                 got += claimed;
                 continue;
             }
@@ -781,6 +1084,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 RootOutcome::Got(item) => {
                     self.stats.extracts.incr();
                     obs::trace_event!(obs::EventKind::Extract, 0, item.0);
+                    self.release_capacity(1);
                     out.push(item);
                     got += 1;
                 }
@@ -826,12 +1130,17 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 ClaimIf::Got(got) => {
                     // An exhaust+refill ABA between peek and claim can
                     // hand us a below-threshold element; give it back.
+                    // Straight to the admitted path: the element's
+                    // occupancy reservation was never released, so
+                    // re-running admission would double-count it (and
+                    // could block or shed an element we must not lose).
                     if got.0 < min_prio {
-                        self.insert(got.0, got.1);
+                        self.insert_admitted(got.0, got.1);
                         return None;
                     }
                     self.stats.pool_hits.incr();
                     self.stats.extracts.incr();
+                    self.release_capacity(1);
                     return Some(got);
                 }
                 ClaimIf::Below => return None,
@@ -840,6 +1149,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             match self.extract_root_cond(Some(min_prio)) {
                 RootOutcome::Got(got) => {
                     self.stats.extracts.incr();
+                    self.release_capacity(1);
                     return Some(got);
                 }
                 RootOutcome::Empty => {
@@ -1015,6 +1325,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// q.insert(5, 5);
     /// assert_eq!(q.extract_max_timeout(Duration::from_millis(10)), Some((5, 5)));
     /// ```
+    #[must_use = "a timed-out extraction returns None; ignoring it hides the stall"]
     pub fn extract_max_timeout(&self, timeout: std::time::Duration) -> Option<(u64, V)> {
         let deadline = std::time::Instant::now() + timeout;
         loop {
@@ -1055,19 +1366,25 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         }
     }
 
-    /// Wake all blocked consumers permanently (shutdown). Subsequent
-    /// [`Zmsq::extract_max_blocking`] calls drain the queue and then
-    /// return `None`.
+    /// Wake all blocked consumers *and* blocked producers permanently
+    /// (shutdown). Subsequent [`Zmsq::extract_max_blocking`] calls drain
+    /// the queue and then return `None`; producers parked on a full
+    /// [`ShedPolicy::Block`] queue wake and (for the fallible surface)
+    /// see [`InsertError::Closed`].
     pub fn close(&self) {
         if let Some(ev) = &self.events {
             ev.close();
         }
+        if let Some(pw) = &self.producer_wait {
+            pw.close();
+        }
     }
 
     /// Whether [`Zmsq::close`] has been called (always `false` when
-    /// blocking is disabled).
+    /// neither blocking nor a capacity bound is configured).
     pub fn is_closed(&self) -> bool {
         self.events.as_ref().is_some_and(|e| e.is_closed())
+            || self.producer_wait.as_ref().is_some_and(|pw| pw.is_closed())
     }
 
     // ------------------------------------------------------------------
@@ -1963,5 +2280,342 @@ mod tests {
             elapsed < timeout * 20,
             "deadline restarted under spurious wakeups: {elapsed:?}"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Capacity, backpressure and shedding
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn unbounded_queue_try_insert_always_admits() {
+        let q = ListQ::new();
+        for i in 0..100u64 {
+            q.try_insert(i, i).unwrap();
+        }
+        assert_eq!(q.capacity(), None);
+        assert_eq!(q.occupancy(), 0, "no accounting when unbounded");
+        assert_eq!(q.drain_count(), 100);
+    }
+
+    #[test]
+    fn reject_policy_sheds_overflow_and_conserves() {
+        let q = ListQ::with_config(
+            ZmsqConfig::default()
+                .batch(4)
+                .target_len(8)
+                .capacity(10)
+                .shed_policy(ShedPolicy::Reject),
+        );
+        for i in 0..50u64 {
+            q.insert(i, i);
+        }
+        assert_eq!(q.occupancy(), 10);
+        let s = q.stats();
+        assert_eq!(s.inserts, 10, "only admitted elements count as inserts");
+        assert_eq!(s.capacity_hits, 40);
+        assert_eq!(s.shed_rejected, 40);
+        assert_eq!(s.shed_evicted, 0);
+        assert_eq!(s.shed_total(), 40);
+        assert_eq!(q.drain_count(), 10);
+        assert_eq!(q.occupancy(), 0);
+        // Conservation identity: admitted − extracted − evicted == live.
+        let s = q.stats();
+        assert_eq!(s.inserts - s.extracts - s.shed_evicted, 0);
+    }
+
+    #[test]
+    fn try_insert_full_hands_the_element_back() {
+        let q: Zmsq<String> = Zmsq::with_config(
+            ZmsqConfig::default()
+                .capacity(2)
+                .shed_policy(ShedPolicy::Block),
+        );
+        q.try_insert(1, "a".into()).unwrap();
+        q.try_insert(2, "b".into()).unwrap();
+        let err = q.try_insert(3, "c".into()).unwrap_err();
+        match err {
+            InsertError::Full(v) => assert_eq!(v, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Room frees after an extraction.
+        q.extract_max().unwrap();
+        q.try_insert(3, "c".into()).unwrap();
+        assert_eq!(q.occupancy(), 2);
+    }
+
+    #[test]
+    fn shed_lowest_evicts_low_priorities_for_high() {
+        let q = ListQ::with_config(
+            ZmsqConfig::default()
+                .batch(4)
+                .target_len(8)
+                .capacity(64)
+                .shed_policy(ShedPolicy::ShedLowest),
+        );
+        // Fill with low priorities, then offer strictly higher ones.
+        for i in 0..64u64 {
+            q.insert(i, i);
+        }
+        for i in 1000..1064u64 {
+            q.insert(i, i);
+        }
+        let s = q.stats();
+        assert!(
+            s.shed_evicted > 0,
+            "high-priority arrivals must displace low ones: {s:?}"
+        );
+        assert_eq!(
+            s.inserts - s.extracts - s.shed_evicted,
+            64,
+            "reservation transfer keeps the live count at capacity"
+        );
+        assert_eq!(q.occupancy(), 64);
+        let mut keys = Vec::new();
+        while let Some((k, _)) = q.extract_max() {
+            keys.push(k);
+        }
+        assert_eq!(keys.len(), 64);
+        // Each of the 64 over-capacity arrivals either evicted a victim
+        // (and was admitted) or was shed itself — never both.
+        assert_eq!(s.shed_evicted + s.shed_rejected, 64);
+        let high = keys.iter().filter(|&&k| k >= 1000).count();
+        assert!(high > 0, "no high-priority element displaced a low one");
+    }
+
+    #[test]
+    fn shed_lowest_never_admits_below_current_floor() {
+        // try_insert under ShedLowest returns Full (keeping the element)
+        // when nothing in the queue is lower than the incoming priority.
+        let q = ListQ::with_config(
+            ZmsqConfig::default()
+                .capacity(4)
+                .shed_policy(ShedPolicy::ShedLowest),
+        );
+        for i in 10..14u64 {
+            q.insert(i, i);
+        }
+        let err = q.try_insert(5, 5).unwrap_err();
+        assert!(matches!(err, InsertError::Full(5)));
+        assert_eq!(q.stats().shed_evicted, 0);
+        assert_eq!(q.drain_count(), 4);
+    }
+
+    #[test]
+    fn shed_lowest_invariants_survive_churn() {
+        let mut q = ListQ::with_config(
+            ZmsqConfig::default()
+                .batch(8)
+                .target_len(8)
+                .capacity(200)
+                .shed_policy(ShedPolicy::ShedLowest),
+        );
+        let mut x = 0x5EED_u64;
+        for i in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if i % 4 == 3 {
+                q.extract_max();
+            } else {
+                q.insert(x % 100_000, x);
+            }
+        }
+        q.validate_invariants().unwrap();
+        let s = q.stats();
+        assert!(s.shed_evicted > 0, "churn above capacity must evict");
+        assert_eq!(
+            q.drain_count() as u64,
+            s.inserts - s.extracts - s.shed_evicted,
+            "conservation: every admitted element is extractable or evicted"
+        );
+    }
+
+    #[test]
+    fn block_policy_parks_producers_until_extraction() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let q = ListQ::with_config(
+            ZmsqConfig::default()
+                .batch(2)
+                .target_len(4)
+                .capacity(4)
+                .shed_policy(ShedPolicy::Block),
+        );
+        let produced = AtomicU64::new(0);
+        let consumed = AtomicU64::new(0);
+        const N: u64 = 2000;
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let (q, produced) = (&q, &produced);
+                s.spawn(move || {
+                    for i in 0..N / 2 {
+                        q.insert(t * 1000 + i, i);
+                        produced.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            let (q, consumed) = (&q, &consumed);
+            s.spawn(move || {
+                while consumed.load(Ordering::Relaxed) < N {
+                    if q.extract_max().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        assert_eq!(produced.into_inner(), N, "no producer lost an element");
+        assert_eq!(consumed.into_inner(), N);
+        assert_eq!(q.occupancy(), 0);
+        let s = q.stats();
+        assert_eq!(s.inserts, N);
+        assert_eq!(s.shed_rejected + s.shed_evicted, 0, "Block never sheds");
+        assert!(
+            s.producer_waits > 0,
+            "capacity 4 vs 2000 elements must park producers: {s:?}"
+        );
+    }
+
+    #[test]
+    fn insert_timeout_times_out_on_full_block_queue() {
+        let q = ListQ::with_config(
+            ZmsqConfig::default()
+                .capacity(1)
+                .shed_policy(ShedPolicy::Block),
+        );
+        q.insert(1, 1);
+        let start = std::time::Instant::now();
+        let err = q
+            .insert_timeout(2, 2, std::time::Duration::from_millis(40))
+            .unwrap_err();
+        assert!(matches!(err, InsertError::Timeout(2)), "{err:?}");
+        assert!(start.elapsed() >= std::time::Duration::from_millis(40));
+        // The failed insert must not leak an occupancy slot.
+        assert_eq!(q.occupancy(), 1);
+        assert_eq!(q.drain_count(), 1);
+        assert_eq!(q.occupancy(), 0);
+    }
+
+    /// Satellite regression: a producer parked on a full `Block`-policy
+    /// queue is woken by `close()` and reports `InsertError::Closed`.
+    #[test]
+    fn close_wakes_parked_producer_with_closed_error() {
+        let q: ListQ = Zmsq::with_config(
+            ZmsqConfig::default()
+                .capacity(1)
+                .shed_policy(ShedPolicy::Block),
+        );
+        q.insert(1, 1);
+        std::thread::scope(|s| {
+            let q2 = &q;
+            let parked =
+                s.spawn(move || q2.insert_timeout(2, 2, std::time::Duration::from_secs(60)));
+            // Wait until the producer is actually parked, then close.
+            while q.producer_waiters() == 0 {
+                std::thread::yield_now();
+            }
+            q.close();
+            let err = parked.join().unwrap().unwrap_err();
+            assert!(matches!(err, InsertError::Closed(2)), "{err:?}");
+        });
+        assert!(q.is_closed());
+        // Fallible inserts refuse outright after close.
+        assert!(matches!(
+            q.try_insert(9, 9).unwrap_err(),
+            InsertError::Closed(9)
+        ));
+        // The infallible surface force-admits rather than losing work.
+        q.insert(3, 3);
+        assert_eq!(q.drain_count(), 2);
+    }
+
+    #[test]
+    fn close_force_admits_infallible_blocked_insert() {
+        let q: ListQ = Zmsq::with_config(
+            ZmsqConfig::default()
+                .capacity(1)
+                .shed_policy(ShedPolicy::Block),
+        );
+        q.insert(1, 1);
+        std::thread::scope(|s| {
+            let q2 = &q;
+            let blocked = s.spawn(move || q2.insert(2, 2));
+            while q.producer_waiters() == 0 {
+                std::thread::yield_now();
+            }
+            q.close();
+            blocked.join().unwrap();
+        });
+        // Both elements are present: close never drops an infallible
+        // insert's element.
+        assert_eq!(q.drain_count(), 2);
+    }
+
+    #[test]
+    fn bounded_batches_conserve() {
+        let q = ListQ::with_config(
+            ZmsqConfig::default()
+                .batch(4)
+                .target_len(8)
+                .capacity(16)
+                .shed_policy(ShedPolicy::Reject),
+        );
+        let mut items: Vec<(u64, u64)> = (0..64u64).map(|i| (i, i)).collect();
+        q.insert_batch(&mut items);
+        assert!(items.is_empty());
+        assert_eq!(q.occupancy(), 16);
+        let s = q.stats();
+        assert_eq!(s.inserts, 16);
+        assert_eq!(s.shed_rejected, 48);
+        let mut out = Vec::new();
+        assert_eq!(q.extract_batch(&mut out, 64), 16);
+        assert_eq!(q.occupancy(), 0);
+    }
+
+    #[test]
+    #[cfg(feature = "fault-inject")]
+    fn injected_capacity_race_keeps_accounting_exact() {
+        let _x = fault::exclusive();
+        fault::reset();
+        fault::set_seed(0xCAFE_CA9);
+        // Stretch the admit→insert and release→signal windows while
+        // producers and consumers race at a tiny capacity.
+        fault::configure(
+            "queue.capacity.race",
+            fault::Policy::new(fault::Trigger::Prob(0.2)).with_action(fault::Action::SleepMs(1)),
+        );
+        let q = ListQ::with_config(
+            ZmsqConfig::default()
+                .batch(2)
+                .target_len(4)
+                .capacity(8)
+                .shed_policy(ShedPolicy::Reject),
+        );
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let taken = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..300u64 {
+                        let _ = q.try_insert((t * 300 + i) % 97, i);
+                    }
+                });
+            }
+            let (q, taken) = (&q, &taken);
+            s.spawn(move || {
+                for _ in 0..400 {
+                    if q.extract_max().is_some() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        });
+        assert!(fault::hit_count("queue.capacity.race") > 0, "off-path");
+        fault::reset();
+        let rest = q.drain_count() as u64;
+        let s = q.stats();
+        assert_eq!(s.inserts, taken.into_inner() + rest, "conservation");
+        assert_eq!(q.occupancy(), 0, "every slot released exactly once");
     }
 }

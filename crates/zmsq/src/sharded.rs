@@ -46,6 +46,7 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use pq_traits::InsertError;
 use zmsq_sync::{RawTryLock, TatasLock};
 
 use crate::config::ZmsqConfig;
@@ -145,6 +146,14 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// controller.
     pub fn new(shards: usize, cfg: ZmsqConfig) -> Self {
         let n = shards.max(1).next_power_of_two();
+        // A queue-level capacity bound is split evenly across shards
+        // (rounded up, so the composed bound is `>=` the requested one
+        // by at most `n - 1`). The fallible inserts spill across shards,
+        // so skewed producers still reach the full budget.
+        let mut cfg = cfg;
+        if let Some(cap) = cfg.capacity {
+            cfg = cfg.capacity(cap.div_ceil(n));
+        }
         let shards: Box<[Zmsq<V, S, L>]> = (0..n).map(|_| Zmsq::with_config(cfg.clone())).collect();
         // Read adaptivity off the *normalized* config the shards actually
         // run with (normalization may have collapsed an incoherent range).
@@ -240,8 +249,14 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
         let shard = &self.shards[s];
         let snap = shard.stats();
         let contention = snap.trylock_fails + snap.refill_races;
-        let d_ex = snap.extracts - st.last_extracts.swap(snap.extracts, Ordering::Relaxed);
-        let d_c = contention - st.last_contention.swap(contention, Ordering::Relaxed);
+        // Saturating: two threads can cross window boundaries at once,
+        // and the loser of the `swap` race would otherwise compute a
+        // negative delta. The clamped-to-zero window is simply skipped
+        // by the controller (no signal, no move).
+        let d_ex = snap
+            .extracts
+            .saturating_sub(st.last_extracts.swap(snap.extracts, Ordering::Relaxed));
+        let d_c = contention.saturating_sub(st.last_contention.swap(contention, Ordering::Relaxed));
         let cur = shard.current_batch();
         if let Some(next) = adapt_decision(cur, d_ex, d_c) {
             let applied = shard.set_current_batch(next);
@@ -255,8 +270,66 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
 
     /// Insert into the calling thread's home shard (locality; on a real
     /// NUMA machine, pin threads so the home shard's memory is local).
+    ///
+    /// On a capacity-bounded queue the insert first tries every shard
+    /// fallibly (home first — per-shard budgets are `capacity / shards`,
+    /// and a skewed producer set must still reach the whole budget)
+    /// before falling back to the home shard's infallible insert, which
+    /// applies the configured [`ShedPolicy`](crate::ShedPolicy) there.
     pub fn insert(&self, prio: u64, value: V) {
-        self.shards[self.home_shard()].insert(prio, value);
+        let home = self.home_shard();
+        if self.shards[home].capacity().is_none() {
+            self.shards[home].insert(prio, value);
+            return;
+        }
+        match self.try_insert_spill(home, prio, value) {
+            Ok(()) => {}
+            Err(e) => {
+                // Full everywhere (or closed): let the home shard's
+                // policy decide — block, drop, or evict.
+                self.shards[home].insert(prio, e.into_value());
+            }
+        }
+    }
+
+    /// Fallible insert: home shard first, spilling to the other shards
+    /// when the home budget is exhausted. Returns
+    /// [`InsertError::Full`] only after *every* shard rejected.
+    #[must_use = "the rejected element is inside the error; dropping it loses work"]
+    pub fn try_insert(&self, prio: u64, value: V) -> Result<(), InsertError<V>> {
+        self.try_insert_spill(self.home_shard(), prio, value)
+    }
+
+    fn try_insert_spill(&self, home: usize, prio: u64, value: V) -> Result<(), InsertError<V>> {
+        let n = self.shards.len();
+        let mask = n - 1;
+        let mut value = value;
+        for i in 0..n {
+            value = match self.shards[(home + i) & mask].try_insert(prio, value) {
+                Ok(()) => return Ok(()),
+                Err(InsertError::Full(v)) => v,
+                Err(e) => return Err(e),
+            };
+        }
+        Err(InsertError::Full(value))
+    }
+
+    /// [`try_insert`](Self::try_insert) that, after a full spill pass,
+    /// parks on the *home* shard (under
+    /// [`ShedPolicy::Block`](crate::ShedPolicy::Block)) up to `timeout`.
+    #[must_use = "the rejected element is inside the error; dropping it loses work"]
+    pub fn insert_timeout(
+        &self,
+        prio: u64,
+        value: V,
+        timeout: std::time::Duration,
+    ) -> Result<(), InsertError<V>> {
+        let home = self.home_shard();
+        match self.try_insert_spill(home, prio, value) {
+            Ok(()) => Ok(()),
+            Err(InsertError::Full(v)) => self.shards[home].insert_timeout(prio, v, timeout),
+            Err(e) => Err(e),
+        }
     }
 
     /// Bulk insertion: scatter `items` round-robin across the shards,
@@ -390,6 +463,36 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     pub fn mean_batch(&self) -> usize {
         self.shards.iter().map(|s| s.current_batch()).sum::<usize>() / self.shards.len()
     }
+
+    /// Total capacity across shards, if bounded. May exceed the value
+    /// passed to [`ZmsqConfig::capacity`] by up to `shards - 1`
+    /// (per-shard budgets round up).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shards[0].capacity().map(|c| c * self.shards.len())
+    }
+
+    /// Live elements under capacity accounting, summed over shards.
+    pub fn occupancy(&self) -> usize {
+        self.shards.iter().map(|s| s.occupancy()).sum()
+    }
+
+    /// Producers currently parked waiting for room, summed over shards.
+    pub fn producer_waiters(&self) -> usize {
+        self.shards.iter().map(|s| s.producer_waiters()).sum()
+    }
+
+    /// Close every shard: wakes all blocked consumers and producers
+    /// permanently (see [`Zmsq::close`]).
+    pub fn close(&self) {
+        for s in &self.shards {
+            s.close();
+        }
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.shards.iter().any(|s| s.is_closed())
+    }
 }
 
 impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
@@ -406,6 +509,17 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
     }
     fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
         ShardedZmsq::extract_batch(self, out, n)
+    }
+    fn try_insert(&self, prio: u64, value: V) -> Result<(), InsertError<V>> {
+        ShardedZmsq::try_insert(self, prio, value)
+    }
+    fn insert_timeout(
+        &self,
+        prio: u64,
+        value: V,
+        timeout: std::time::Duration,
+    ) -> Result<(), InsertError<V>> {
+        ShardedZmsq::insert_timeout(self, prio, value, timeout)
     }
     fn name(&self) -> String {
         let mut n = format!("zmsq-sharded-{}", self.shards.len());
@@ -429,6 +543,14 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
         snap.push_gauge("zmsq.batch.current", self.mean_batch() as i64);
         snap.push_counter("zmsq.batch.widens", self.widens.load(Ordering::Relaxed));
         snap.push_counter("zmsq.batch.narrows", self.narrows.load(Ordering::Relaxed));
+        if let Some(cap) = self.capacity() {
+            snap.push_gauge("queue.pressure.capacity", cap as i64);
+            snap.push_gauge("queue.pressure.occupancy", self.occupancy() as i64);
+            snap.push_gauge(
+                "queue.pressure.producer_waiters",
+                self.producer_waiters() as i64,
+            );
+        }
         for (i, sh) in self.shards.iter().enumerate() {
             let st = sh.stats();
             snap.push_gauge(&format!("zmsq.shard.{i}.batch"), sh.current_batch() as i64);
@@ -620,6 +742,74 @@ mod tests {
         let mut keys: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
         keys.sort_unstable();
         assert_eq!(keys, (0..1_000).collect::<Vec<_>>(), "elements lost");
+    }
+
+    #[test]
+    fn bounded_sharded_spills_across_shard_budgets() {
+        use crate::ShedPolicy;
+        // Total capacity 16 over 4 shards = 4 per shard. A single thread
+        // always targets its home shard, so reaching 16 admitted
+        // elements requires the spill path.
+        let q: ShardedZmsq<u64> = ShardedZmsq::new(
+            4,
+            ZmsqConfig::default()
+                .capacity(16)
+                .shed_policy(ShedPolicy::Reject),
+        );
+        assert_eq!(q.capacity(), Some(16));
+        for i in 0..16u64 {
+            q.try_insert(i, i).unwrap_or_else(|e| {
+                panic!("spill must reach the full budget, rejected at {i}: {e:?}")
+            });
+        }
+        assert_eq!(q.occupancy(), 16);
+        let err = q.try_insert(99, 99).unwrap_err();
+        assert!(matches!(err, InsertError::Full(99)));
+        // The infallible insert applies Reject at the home shard: the
+        // element is shed, never stranded half-admitted.
+        q.insert(100, 100);
+        assert_eq!(q.occupancy(), 16);
+        let snap = pq_traits::ConcurrentPriorityQueue::metrics(&q).unwrap();
+        assert_eq!(snap.gauge("queue.pressure.capacity"), Some(16));
+        assert_eq!(snap.gauge("queue.pressure.occupancy"), Some(16));
+        assert_eq!(snap.counter("queue.shed.rejected"), Some(1));
+        let mut rest = 0;
+        while q.extract_max().is_some() {
+            rest += 1;
+        }
+        assert_eq!(rest, 16);
+        assert_eq!(q.occupancy(), 0);
+    }
+
+    #[test]
+    fn bounded_sharded_close_unblocks_producer() {
+        use crate::ShedPolicy;
+        let q: ShardedZmsq<u64> = ShardedZmsq::new(
+            2,
+            ZmsqConfig::default()
+                .capacity(2)
+                .shed_policy(ShedPolicy::Block),
+        );
+        // Fill both shard budgets (1 each after the split).
+        for i in 0..2u64 {
+            q.try_insert(i, i).unwrap();
+        }
+        assert!(matches!(
+            q.try_insert(7, 7).unwrap_err(),
+            InsertError::Full(7)
+        ));
+        std::thread::scope(|s| {
+            let q2 = &q;
+            let parked =
+                s.spawn(move || q2.insert_timeout(8, 8, std::time::Duration::from_secs(60)));
+            while q.producer_waiters() == 0 {
+                std::thread::yield_now();
+            }
+            q.close();
+            let err = parked.join().unwrap().unwrap_err();
+            assert!(matches!(err, InsertError::Closed(8)), "{err:?}");
+        });
+        assert!(q.is_closed());
     }
 
     #[test]

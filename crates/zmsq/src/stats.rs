@@ -37,6 +37,10 @@ pub(crate) struct Stats {
     pub empty_observed: Striped,
     pub trylock_fails: Striped,
     pub refill_races: Striped,
+    pub capacity_hits: Striped,
+    pub shed_rejected: Striped,
+    pub shed_evicted: Striped,
+    pub producer_waits: Striped,
 }
 
 /// A point-in-time copy of a queue's operation counters.
@@ -81,6 +85,21 @@ pub struct StatsSnapshot {
     /// the same refill, and (with `trylock_fails`) the contention signal
     /// the adaptive batch controller feeds on.
     pub refill_races: u64,
+    /// Admission attempts that found the queue at capacity (bounded
+    /// queues only). Counts *attempts*, not elements: one blocked
+    /// producer retrying bumps this on every failed round.
+    pub capacity_hits: u64,
+    /// Incoming elements dropped at capacity: `ShedPolicy::Reject`
+    /// drops via the infallible `insert`, plus `ShedLowest` cases where
+    /// the incoming element was itself the lowest candidate.
+    pub shed_rejected: u64,
+    /// Admitted-then-evicted elements: `ShedPolicy::ShedLowest` removed
+    /// them from a deep tree node to make room for higher-priority work.
+    pub shed_evicted: u64,
+    /// Times a producer entered a capacity wait (`ShedPolicy::Block`
+    /// under sustained overload); each round of a blocked insert's
+    /// wait-retry loop counts once.
+    pub producer_waits: u64,
 }
 
 impl Stats {
@@ -101,6 +120,10 @@ impl Stats {
             empty_observed: self.empty_observed.sum(),
             trylock_fails: self.trylock_fails.sum(),
             refill_races: self.refill_races.sum(),
+            capacity_hits: self.capacity_hits.sum(),
+            shed_rejected: self.shed_rejected.sum(),
+            shed_evicted: self.shed_evicted.sum(),
+            producer_waits: self.producer_waits.sum(),
         }
     }
 }
@@ -126,6 +149,10 @@ impl StatsSnapshot {
             empty_observed,
             trylock_fails,
             refill_races,
+            capacity_hits,
+            shed_rejected,
+            shed_evicted,
+            producer_waits,
         } = *other;
         self.inserts += inserts;
         self.insert_retries += insert_retries;
@@ -142,6 +169,15 @@ impl StatsSnapshot {
         self.empty_observed += empty_observed;
         self.trylock_fails += trylock_fails;
         self.refill_races += refill_races;
+        self.capacity_hits += capacity_hits;
+        self.shed_rejected += shed_rejected;
+        self.shed_evicted += shed_evicted;
+        self.producer_waits += producer_waits;
+    }
+
+    /// Total elements shed at capacity, whatever the mechanism.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_rejected + self.shed_evicted
     }
 
     /// Fraction of successful extractions that had to touch the root
@@ -174,6 +210,19 @@ impl StatsSnapshot {
         s.push_counter("zmsq.empty_observed", self.empty_observed);
         s.push_counter("zmsq.trylock_fails", self.trylock_fails);
         s.push_counter("zmsq.refill_races", self.refill_races);
+        s.push_counter("queue.shed.capacity_hits", self.capacity_hits);
+        s.push_counter("queue.shed.rejected", self.shed_rejected);
+        s.push_counter("queue.shed.evicted", self.shed_evicted);
+        s.push_counter("queue.shed.producer_waits", self.producer_waits);
+        if self.inserts + self.shed_rejected > 0 {
+            // Shed ratio over *offered* load: sheds / (admitted + refused).
+            // Evicted elements were admitted first, so the denominator is
+            // inserts (which counted them) plus outright rejections.
+            s.push_ratio(
+                "queue.shed.ratio",
+                self.shed_total() as f64 / (self.inserts + self.shed_rejected) as f64,
+            );
+        }
         s.push_ratio("zmsq.root_access_ratio", self.root_access_ratio());
         if self.extracts > 0 {
             s.push_ratio(
@@ -256,6 +305,32 @@ mod tests {
     #[test]
     fn root_ratio_zero_when_idle() {
         assert_eq!(StatsSnapshot::default().root_access_ratio(), 0.0);
+    }
+
+    #[test]
+    fn shed_counters_export_and_absorb() {
+        let st = Stats::default();
+        st.inserts.add(90);
+        st.capacity_hits.add(25);
+        st.shed_rejected.add(10);
+        st.shed_evicted.add(5);
+        st.producer_waits.add(3);
+        let snap = st.snapshot();
+        assert_eq!(snap.shed_total(), 15);
+        let s = snap.to_obs();
+        assert_eq!(s.counter("queue.shed.capacity_hits"), Some(25));
+        assert_eq!(s.counter("queue.shed.rejected"), Some(10));
+        assert_eq!(s.counter("queue.shed.evicted"), Some(5));
+        assert_eq!(s.counter("queue.shed.producer_waits"), Some(3));
+        // ratio = 15 / (90 + 10)
+        assert!((s.ratio("queue.shed.ratio").unwrap() - 0.15).abs() < 1e-9);
+        let mut folded = StatsSnapshot::default();
+        folded.absorb(&snap);
+        folded.absorb(&snap);
+        assert_eq!(folded.shed_rejected, 20);
+        assert_eq!(folded.shed_evicted, 10);
+        assert_eq!(folded.capacity_hits, 50);
+        assert_eq!(folded.producer_waits, 6);
     }
 
     #[test]

@@ -16,7 +16,9 @@ use std::time::{Duration, Instant};
 
 use det::Config;
 use workloads::oracle::{QcChecker, RankOracle};
-use zmsq::{ArraySet, ListSet, NodeSet, ShardedZmsq, TatasLock, Zmsq, ZmsqConfig};
+use zmsq::{
+    ArraySet, InsertError, ListSet, NodeSet, ShardedZmsq, ShedPolicy, TatasLock, Zmsq, ZmsqConfig,
+};
 
 /// Unique element token: producer id in the high bits, sequence in the low.
 fn token(producer: u64, i: u64) -> u64 {
@@ -443,6 +445,144 @@ fn det_zmsq_failure_replays_byte_identically() {
     let replay = cfg.clone().only(a.schedule).shrink_budget(0);
     let r = det::explore_result(&replay, racy_body).unwrap_err();
     assert_eq!(r.trace, a.trace);
+}
+
+/// Producer liveness under backpressure: producers blocked on a full
+/// `ShedPolicy::Block` queue must make progress on every explored
+/// schedule (including spurious wakes) once a consumer drains — a lost
+/// producer wakeup surfaces as a deterministic deadlock report, not a
+/// hung test. Conservation and the occupancy invariant close the loop.
+#[test]
+fn det_bounded_block_producers_never_deadlock() {
+    let cfg = Config::from_env(0xB0DED).schedules(16).spurious_wakes(true);
+    det::explore(&cfg, || {
+        const PRODUCERS: u64 = 2;
+        const PER: u64 = 4;
+        let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+            ZmsqConfig::default()
+                .batch(2)
+                .target_len(4)
+                .capacity(2)
+                .shed_policy(ShedPolicy::Block),
+        ));
+        let sum_in = Arc::new(AtomicU64::new(0));
+        let sum_out = Arc::new(AtomicU64::new(0));
+        let taken = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let (q, sum_in) = (Arc::clone(&q), Arc::clone(&sum_in));
+            handles.push(det::spawn(move || {
+                for i in 0..PER {
+                    let t = token(p, i);
+                    // Infallible insert: parks whenever the 2-slot
+                    // capacity is exhausted.
+                    q.insert(i % 3, t);
+                    sum_in.fetch_add(t, Ordering::SeqCst);
+                }
+            }));
+        }
+        {
+            let (q, sum_out, taken) = (Arc::clone(&q), Arc::clone(&sum_out), Arc::clone(&taken));
+            handles.push(det::spawn(move || {
+                while taken.load(Ordering::SeqCst) < PRODUCERS * PER {
+                    if let Some((_, t)) = q.extract_max() {
+                        sum_out.fetch_add(t, Ordering::SeqCst);
+                        taken.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(q.extract_max(), None, "drained");
+        assert_eq!(q.occupancy(), 0, "occupancy must return to zero");
+        assert_eq!(
+            sum_in.load(Ordering::SeqCst),
+            sum_out.load(Ordering::SeqCst),
+            "conservation under backpressure"
+        );
+    });
+}
+
+/// Close racing blocked producers: on every schedule, `close()` must
+/// release producers parked on a full Block-policy queue. The infallible
+/// `insert` force-admits rather than dropping (it has no error channel),
+/// so every element is still present after the close; fallible inserts
+/// observe `InsertError::Closed` from then on.
+#[test]
+fn det_close_force_admits_blocked_producers() {
+    let cfg = Config::from_env(0xC10B0).schedules(24).spurious_wakes(true);
+    det::explore(&cfg, || {
+        const PRODUCERS: u64 = 2;
+        const PER: u64 = 2;
+        let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+            ZmsqConfig::default()
+                .batch(2)
+                .target_len(4)
+                .capacity(1)
+                .shed_policy(ShedPolicy::Block),
+        ));
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                det::spawn(move || {
+                    for i in 0..PER {
+                        q.insert(i, token(p, i));
+                    }
+                })
+            })
+            .collect();
+        // No coordination on purpose: close races registration, spinning
+        // and parked producers — all must terminate.
+        q.close();
+        for h in handles {
+            h.join();
+        }
+        assert!(
+            matches!(q.try_insert(9, 9), Err(InsertError::Closed(9))),
+            "fallible insert after close"
+        );
+        let mut drained = 0u64;
+        while q.extract_max().is_some() {
+            drained += 1;
+        }
+        assert_eq!(
+            drained,
+            PRODUCERS * PER,
+            "infallible inserts must never drop elements across close"
+        );
+    });
+}
+
+/// `insert_timeout` on a full Block-policy queue expires in *virtual*
+/// time, and admits without parking once room exists.
+#[test]
+fn det_insert_timeout_uses_virtual_time() {
+    let t0 = Instant::now();
+    let cfg = Config::from_env(0x71EDB).schedules(8);
+    det::explore(&cfg, || {
+        let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+            ZmsqConfig::default()
+                .batch(2)
+                .target_len(4)
+                .capacity(1)
+                .shed_policy(ShedPolicy::Block),
+        ));
+        q.insert(1, 1);
+        match q.insert_timeout(2, 2, Duration::from_secs(3600)) {
+            Err(InsertError::Timeout(v)) => assert_eq!(v, 2, "element handed back"),
+            other => panic!("expected Timeout on a full queue, got {other:?}"),
+        }
+        // Room appears: admitted immediately, no park, no clock advance.
+        assert_eq!(q.extract_max(), Some((1, 1)));
+        assert!(q.insert_timeout(3, 3, Duration::from_secs(3600)).is_ok());
+    });
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "8 virtual hours took {:?} real",
+        t0.elapsed()
+    );
 }
 
 /// Mutation check: with the pool's lagging-consumer wait compiled out
