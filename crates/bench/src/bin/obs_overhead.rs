@@ -1,19 +1,30 @@
 //! Single-threaded overhead microbench for the `obs` substrate.
 //!
 //! The observability layer's contract is that always-on recording is
-//! nearly free: one striped-counter `incr` plus one log-linear
-//! histogram `record` per queue operation must cost ≤ 5% of the
-//! operation itself (ISSUE acceptance criterion). This harness measures
-//! a fixed single-threaded insert/extract workload on a default ZMSQ
-//! twice — bare, and with the extra counter+histogram recording — and
-//! reports the marginal overhead. Medians over interleaved trials damp
-//! frequency drift.
+//! nearly free. This harness measures a fixed single-threaded
+//! insert/extract workload on a default ZMSQ in three arms —
+//!
+//! * `bare` — estimator detached (`no_rank_estimator`), no extra
+//!   recording: the baseline.
+//! * `counter+hist` — bare plus one striped-counter `incr` and one
+//!   log-linear histogram `record` per pair (the original ≤5% budget).
+//! * `estimator` — the default-on `RankEstimator` (shift 6: ~1/64 of
+//!   inserts sampled into the shadow reservoir, every extract checked
+//!   with one multiply+branch). Must also fit the ≤5% budget.
+//!
+//! — and reports each arm's marginal overhead over `bare`. Medians over
+//! interleaved trials damp frequency drift.
+//!
+//! The span layer has a stronger contract: compiled out entirely
+//! without `--features obs-trace`. On such builds this bench asserts
+//! `obs::SpanGuard` is zero-sized and has no drop glue, so every
+//! `span!` call site in the queue hot paths is provably free.
 //!
 //! Usage: obs_overhead [--ops N] [--trials T] [--budget PCT] [--assert]
 //!                     [--quick]
 //!
-//! `--assert` exits nonzero when the marginal overhead exceeds the
-//! budget (default 5%); without it the run is report-only.
+//! `--assert` exits nonzero when any arm's marginal overhead exceeds
+//! the budget (default 5%); without it the run is report-only.
 
 use std::time::Instant;
 
@@ -43,6 +54,12 @@ fn median(xs: &mut [f64]) -> f64 {
     xs[xs.len() / 2]
 }
 
+fn prefill(q: &Zmsq<u64>, n: u64) {
+    for i in 0..n {
+        q.insert((i * 2654435761) % (1 << 20), i);
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let quick = args.get_bool("quick");
@@ -50,32 +67,77 @@ fn main() {
     let trials: usize = args.get_num("trials", if quick { 5 } else { 9 });
     let budget: f64 = args.get_num("budget", 5.0);
 
-    let q: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default());
-    for i in 0..ops / 4 {
-        q.insert((i * 2654435761) % (1 << 20), i);
+    // The span layer must be a provable no-op when compiled out: a
+    // zero-sized guard with no drop glue means the optimizer erases
+    // every `span!` scope in the queue hot paths.
+    if !obs::TRACE_ENABLED {
+        assert_eq!(
+            std::mem::size_of::<obs::SpanGuard>(),
+            0,
+            "SpanGuard must be zero-sized without obs-trace"
+        );
+        assert!(
+            !std::mem::needs_drop::<obs::SpanGuard>(),
+            "SpanGuard must have no drop glue without obs-trace"
+        );
+    } else {
+        eprintln!("note: obs-trace build — span recording is compiled in and counted in `bare`");
     }
-    // Warm both paths (page in the statics, settle the pool).
-    run_trial(&q, ops / 10, false);
-    run_trial(&q, ops / 10, true);
 
-    let (mut bare, mut inst) = (Vec::new(), Vec::new());
+    let q_bare: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().no_rank_estimator());
+    let q_est: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default());
+    assert!(
+        q_est.rank_estimator().is_some(),
+        "default config must carry the rank estimator"
+    );
+    prefill(&q_bare, ops / 4);
+    prefill(&q_est, ops / 4);
+    // Warm every path (page in the statics, settle the pools).
+    run_trial(&q_bare, ops / 10, false);
+    run_trial(&q_bare, ops / 10, true);
+    run_trial(&q_est, ops / 10, false);
+
+    let (mut bare, mut inst, mut est) = (Vec::new(), Vec::new(), Vec::new());
     for _ in 0..trials {
-        bare.push(run_trial(&q, ops, false));
-        inst.push(run_trial(&q, ops, true));
+        bare.push(run_trial(&q_bare, ops, false));
+        inst.push(run_trial(&q_bare, ops, true));
+        est.push(run_trial(&q_est, ops, false));
     }
-    let (bare, inst) = (median(&mut bare), median(&mut inst));
-    let overhead_pct = (inst - bare) / bare * 100.0;
+    let (bare, inst, est) = (median(&mut bare), median(&mut inst), median(&mut est));
+    let inst_pct = (inst - bare) / bare * 100.0;
+    let est_pct = (est - bare) / bare * 100.0;
+
+    // The estimator arm must actually have sampled: at shift 6 over
+    // ~1M+ inserts the expected sample count is in the tens of
+    // thousands, so zero means the hooks are disconnected.
+    let (sampled_inserts, _, _, sampled_extracts, ..) = q_est.rank_estimator().unwrap().counters();
+    assert!(
+        sampled_inserts > 0 && sampled_extracts > 0,
+        "estimator arm never sampled (inserts {sampled_inserts}, extracts {sampled_extracts})"
+    );
 
     bench::csv_header(&["variant", "ns_per_pair", "overhead_pct"]);
     println!("bare,{bare:.1},0.0");
-    println!("counter+hist,{inst:.1},{overhead_pct:.2}");
+    println!("counter+hist,{inst:.1},{inst_pct:.2}");
+    println!("estimator,{est:.1},{est_pct:.2}");
     std::hint::black_box((COUNTER.get(), HIST.snapshot().count));
 
-    if args.get_bool("assert") && overhead_pct > budget {
-        eprintln!(
-            "obs overhead {overhead_pct:.2}% exceeds the {budget:.1}% budget \
-             (bare {bare:.1} ns/pair, instrumented {inst:.1} ns/pair)"
-        );
-        std::process::exit(1);
+    if args.get_bool("assert") {
+        let mut failed = false;
+        for (variant, pct, ns) in [
+            ("counter+hist", inst_pct, inst),
+            ("estimator", est_pct, est),
+        ] {
+            if pct > budget {
+                eprintln!(
+                    "{variant} overhead {pct:.2}% exceeds the {budget:.1}% budget \
+                     (bare {bare:.1} ns/pair, {variant} {ns:.1} ns/pair)"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

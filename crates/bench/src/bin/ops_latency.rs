@@ -10,10 +10,19 @@
 //! into a time series, and writes one merged
 //! `results/ops_latency.metrics.json` covering per-queue histograms,
 //! queue-internal counters (`ConcurrentPriorityQueue::metrics`), and
-//! the process-wide sync/SMR substrate counters.
+//! the process-wide sync/SMR substrate counters. The document's
+//! `summary` block carries the perf-gate keys
+//! (`<kind>/throughput_ops_per_s`, `<kind>/insert_p50_ns`, …,
+//! `<kind>/est_rank_p99`) that `scripts/compare_bench.py` tracks
+//! against `results/BENCH_ops_latency.json`.
+//!
+//! With `--trace [path]` (and a build carrying `--features obs-trace`)
+//! the flight-recorder rings are exported as Chrome `trace_event` JSON
+//! for chrome://tracing / Perfetto.
 //!
 //! Usage: ops_latency [--ops N] [--prefill N] [--threads T]
 //!                    [--queues a,b,c] [--quick] [--metrics \[path\]]
+//!                    [--trace \[path\]]
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -63,6 +72,7 @@ fn main() {
             )
         });
         let per_thread = ops / threads as u64;
+        let t_wall = Instant::now();
         std::thread::scope(|s| {
             for t in 0..threads as u64 {
                 let (q, ins, ext) = (&q, &ins, &ext);
@@ -95,6 +105,7 @@ fn main() {
                 });
             }
         });
+        let wall = t_wall.elapsed();
 
         let name = q.name();
         for (op, h) in [("insert", &ins), ("extract", &ext)] {
@@ -117,6 +128,15 @@ fn main() {
             if let Some(sam) = sampler {
                 all.push_series(sam.stop());
             }
+            // Perf-gate summary: stable per-kind keys compare_bench.py
+            // reads across runs.
+            let tput = ops as f64 / wall.as_secs_f64();
+            all.push_summary(&format!("{kind}/throughput_ops_per_s"), tput);
+            for (op, h) in [("insert", &ins), ("extract", &ext)] {
+                all.push_summary(&format!("{kind}/{op}_p50_ns"), h.percentile_ns(0.50) as f64);
+                all.push_summary(&format!("{kind}/{op}_p99_ns"), h.percentile_ns(0.99) as f64);
+            }
+            bench::metrics::push_rank_summary(&mut all, &format!("{kind}/"));
         }
     }
 
@@ -128,4 +148,5 @@ fn main() {
             std::process::exit(1);
         }
     }
+    bench::metrics::export_trace(&args, "ops_latency");
 }

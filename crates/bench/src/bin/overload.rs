@@ -346,6 +346,17 @@ fn main() {
         if let Some(s) = r.series {
             all_series.push(s);
         }
+        // Perf-gate summary: offered-load drain rate per policy (how
+        // fast the phase pushed its arrivals through admission), the
+        // insert-side tails (warn-only `_ns` class in compare_bench),
+        // and the estimated rank-error p99.
+        merged.push_summary(
+            &format!("{prefix}throughput_ops_per_s"),
+            r.arrivals as f64 / r.secs,
+        );
+        merged.push_summary(&format!("{prefix}insert_p50_ns"), r.p50_ns as f64);
+        merged.push_summary(&format!("{prefix}insert_p99_ns"), r.p99_ns as f64);
+        bench::metrics::push_rank_summary(&mut merged, &prefix);
     }
 
     if let Some(out) = metrics {
@@ -355,6 +366,7 @@ fn main() {
         out.write(merged, "overload", &bench::metrics::argv_line())
             .expect("write metrics JSON");
     }
+    bench::metrics::export_trace(&args, "overload");
 
     if !failures.is_empty() {
         for f in &failures {

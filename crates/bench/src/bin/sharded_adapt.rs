@@ -24,7 +24,12 @@
 //! With `--metrics`, the final configuration's queue snapshot (including
 //! the `zmsq.shard.*` gauges) is written as JSON, with one
 //! `batch.s<shards>.<on|off>` series per configuration sampling the mean
-//! effective batch over time.
+//! effective batch over time. The `summary` block carries the perf-gate
+//! keys (`s<shards>.<on|off>.throughput_ops_per_s` for the mixed50
+//! phase, `est_rank_p99` from the last configuration's quality fold)
+//! that `scripts/compare_bench.py` tracks against
+//! `results/BENCH_sharded_adapt.json`. `--trace [path]` exports a
+//! Chrome trace on `obs-trace` builds.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -224,9 +229,23 @@ fn main() {
         for s in all_series {
             snap.push_series(s);
         }
+        // Perf-gate summary: the headline mixed-phase throughput per
+        // configuration, plus the estimated rank-error p99 of the last
+        // configuration's quality fold.
+        for (shards, adaptive, mops) in &mixed_mops {
+            snap.push_summary(
+                &format!(
+                    "s{shards}.{}.throughput_ops_per_s",
+                    if *adaptive { "on" } else { "off" }
+                ),
+                mops * 1e6,
+            );
+        }
+        bench::metrics::push_rank_summary(&mut snap, "");
         out.write(snap, "sharded_adapt", &bench::metrics::argv_line())
             .expect("write metrics JSON");
     }
+    bench::metrics::export_trace(&args, "sharded_adapt");
 
     if !failures.is_empty() {
         for f in &failures {

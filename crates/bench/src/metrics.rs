@@ -62,6 +62,46 @@ impl MetricsOut {
     }
 }
 
+/// Derive the `<prefix>est_rank_p99` summary entry from the
+/// queue-exported `<prefix>quality.est_rank` histogram, when present
+/// (i.e. the queue ran a `RankEstimator`). The perf gate
+/// (`scripts/compare_bench.py`) tracks this key across runs to catch
+/// relaxation-quality regressions, so every bench that records a queue
+/// snapshot should call this after `merge_prefixed`.
+pub fn push_rank_summary(snap: &mut obs::Snapshot, prefix: &str) {
+    let p99 = snap
+        .hist(&format!("{prefix}quality.est_rank"))
+        .filter(|h| h.count > 0)
+        .map(|h| h.quantile(0.99) as f64);
+    if let Some(p99) = p99 {
+        snap.push_summary(&format!("{prefix}est_rank_p99"), p99);
+    }
+}
+
+/// `--trace [path]` plumbing: dump the merged flight-recorder rings as
+/// Chrome `trace_event` JSON. Bare `--trace` writes to
+/// `results/<bin>.trace.json`. Without the `obs-trace` feature the
+/// rings are empty, so the flag warns instead of writing a vacuous
+/// file.
+pub fn export_trace(args: &Args, bin: &str) {
+    let Some(v) = args.get_opt("trace") else {
+        return;
+    };
+    let path = if v == "true" || v == "1" {
+        format!("results/{bin}.trace.json")
+    } else {
+        v.to_string()
+    };
+    if !obs::TRACE_ENABLED {
+        eprintln!("trace: built without the obs-trace feature; rebuild with --features obs-trace");
+        return;
+    }
+    match obs::trace::export_chrome_to_file(Path::new(&path)) {
+        Ok(()) => eprintln!("trace: wrote {path}"),
+        Err(e) => eprintln!("trace: write failed: {e}"),
+    }
+}
+
 /// The always-on process-wide counters of the instrumented crates:
 /// futex / event-buffer / trylock (`zmsq-sync`) and hazard-pointer / EBR
 /// reclamation (`smr`). Names arrive pre-prefixed (`futex.*`, `event.*`,
@@ -93,6 +133,20 @@ mod tests {
         assert_eq!(bare.path(), Path::new("results/ops_latency.metrics.json"));
         let explicit = MetricsOut::from_args(&args("--metrics target/t.json"), "x").unwrap();
         assert_eq!(explicit.path(), Path::new("target/t.json"));
+    }
+
+    #[test]
+    fn push_rank_summary_requires_quality_hist() {
+        let mut s = obs::Snapshot::new();
+        push_rank_summary(&mut s, "q/");
+        assert!(s.summary("q/est_rank_p99").is_none());
+        let h = obs::Histogram::new();
+        for r in [0u64, 0, 64, 128] {
+            h.record(r);
+        }
+        s.push_hist("q/quality.est_rank", &h);
+        push_rank_summary(&mut s, "q/");
+        assert!(s.summary("q/est_rank_p99").unwrap() >= 64.0);
     }
 
     #[test]

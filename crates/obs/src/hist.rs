@@ -211,6 +211,79 @@ impl HistSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Quantile `p ∈ [0, 1]` recomputed from the sparse bucket list
+    /// (same semantics as [`Histogram::quantile`]: the floor of the
+    /// bucket holding the target rank).
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(floor, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return floor;
+            }
+        }
+        self.max
+    }
+
+    /// Fold `other` into this snapshot: merge the sparse bucket lists
+    /// (summing counts at equal floors), add counts/sums, fold min/max
+    /// exactly, and recompute the quantiles from the merged buckets.
+    /// Lets an aggregator (the sharded queue, a bench) combine per-shard
+    /// histograms into one without access to the live atomics.
+    pub fn absorb(&mut self, other: &HistSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(fa, ca)), Some(&&(fb, cb))) => {
+                    if fa == fb {
+                        merged.push((fa, ca + cb));
+                        a.next();
+                        b.next();
+                    } else if fa < fb {
+                        merged.push((fa, ca));
+                        a.next();
+                    } else {
+                        merged.push((fb, cb));
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.buckets = merged;
+        self.p50 = self.quantile(0.50);
+        self.p90 = self.quantile(0.90);
+        self.p99 = self.quantile(0.99);
+        self.p999 = self.quantile(0.999);
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +400,55 @@ mod tests {
             hd.join().unwrap();
         }
         assert_eq!(h.count(), 100_000);
+    }
+
+    #[test]
+    fn absorb_matches_live_merge() {
+        let mut rng = DetRng::seed_from_u64(0xAB50);
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for _ in 0..20_000 {
+            let v = rng.random_range(1u64..10_000_000);
+            if v.is_multiple_of(3) {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            both.record(v);
+        }
+        let mut sa = a.snapshot();
+        sa.absorb(&b.snapshot());
+        let sb = both.snapshot();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn absorb_into_and_from_empty() {
+        let h = Histogram::new();
+        for v in [5u64, 50, 500] {
+            h.record(v);
+        }
+        let live = h.snapshot();
+        // Empty absorbs full → equals full.
+        let mut empty = HistSnapshot::default();
+        empty.absorb(&live);
+        assert_eq!(empty, live);
+        // Full absorbs empty → unchanged.
+        let mut full = live.clone();
+        full.absorb(&HistSnapshot::default());
+        assert_eq!(full, live);
+    }
+
+    #[test]
+    fn snapshot_quantile_matches_live() {
+        let h = Histogram::new();
+        for v in 0..10_000u64 {
+            h.record(v * 17 + 3);
+        }
+        let s = h.snapshot();
+        for p in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile(p), h.quantile(p), "p={p}");
+        }
+        assert_eq!(HistSnapshot::default().quantile(0.5), 0);
     }
 
     #[test]

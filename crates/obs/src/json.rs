@@ -78,6 +78,22 @@ impl Value {
             _ => None,
         }
     }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object contents (sorted by key), if this is an object.
+    pub fn as_obj(&self) -> Option<&std::collections::BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 /// Parse a complete JSON document (trailing whitespace allowed).

@@ -41,16 +41,21 @@
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod quality;
 pub mod recorder;
 pub mod sampler;
 pub mod snapshot;
+pub mod span;
+pub mod trace;
 pub mod watchdog;
 
 pub use hist::{HistSnapshot, Histogram};
 pub use metrics::{global, Counter, Gauge, Registry, STRIPES};
+pub use quality::RankEstimator;
 pub use recorder::EventKind;
 pub use sampler::{Sampler, Series};
 pub use snapshot::Snapshot;
+pub use span::{SpanGuard, SpanPhase};
 pub use watchdog::{Watchdog, WatchdogBuilder};
 
 /// Whether flight-recorder call sites are compiled in.
@@ -99,4 +104,29 @@ macro_rules! trace_event {
     ($kind:expr) => {};
     ($kind:expr, $a:expr) => {};
     ($kind:expr, $a:expr, $b:expr) => {};
+}
+
+/// Open a phase span scope: evaluates to a [`span::SpanGuard`] that
+/// records a begin event now and an end event when dropped. Bind it to
+/// a named local (`let _span = obs::span!(...)`) so it lives to the end
+/// of the scope — a bare `_` drops immediately.
+///
+/// Without the `obs-trace` feature this evaluates to a zero-sized
+/// no-op guard and the phase argument is never evaluated.
+#[cfg(feature = "obs-trace")]
+#[macro_export]
+macro_rules! span {
+    ($phase:expr) => {
+        $crate::span::SpanGuard::enter($phase)
+    };
+}
+
+/// Open a phase span scope (compiled out: zero-sized no-op guard, phase
+/// argument unevaluated).
+#[cfg(not(feature = "obs-trace"))]
+#[macro_export]
+macro_rules! span {
+    ($phase:expr) => {
+        $crate::span::SpanGuard::noop()
+    };
 }

@@ -47,6 +47,12 @@ pub enum EventKind {
     TreeGrow = 17,
     Sample = 18,
     WatchdogStall = 19,
+    /// A [`crate::span!`] scope opened; `a` is the
+    /// [`crate::span::SpanPhase`] id.
+    SpanBegin = 20,
+    /// A [`crate::span!`] scope closed; `a` is the
+    /// [`crate::span::SpanPhase`] id.
+    SpanEnd = 21,
 }
 
 impl EventKind {
@@ -71,6 +77,8 @@ impl EventKind {
             17 => Self::TreeGrow,
             18 => Self::Sample,
             19 => Self::WatchdogStall,
+            20 => Self::SpanBegin,
+            21 => Self::SpanEnd,
             _ => return None,
         })
     }
@@ -97,6 +105,8 @@ impl EventKind {
             Self::TreeGrow => "tree_grow",
             Self::Sample => "sample",
             Self::WatchdogStall => "watchdog_stall",
+            Self::SpanBegin => "span_begin",
+            Self::SpanEnd => "span_end",
         }
     }
 }

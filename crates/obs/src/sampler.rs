@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 /// A sampled time series: `rows[i][0]` is milliseconds since
 /// [`Sampler::start`], remaining columns follow [`Series::columns`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Series {
     /// Series name (used in the JSON `series` array).
     pub name: String,

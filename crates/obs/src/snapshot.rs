@@ -13,7 +13,7 @@ use crate::sampler::Series;
 /// return one from `ConcurrentPriorityQueue::metrics`, instrumented
 /// crates export one for their internal counters, and the bench
 /// harness merges them all into a `results/*.metrics.json`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
     /// `(name, value)` monotone counters.
     pub counters: Vec<(String, u64)>,
@@ -23,6 +23,10 @@ pub struct Snapshot {
     pub ratios: Vec<(String, f64)>,
     /// `(name, snapshot)` histograms.
     pub hists: Vec<(String, HistSnapshot)>,
+    /// `(name, value)` headline result figures (throughput, p99 latency,
+    /// estimated rank p99) — the stable block `scripts/compare_bench.py`
+    /// gates perf trajectories on.
+    pub summary: Vec<(String, f64)>,
     /// Sampler time series.
     pub series: Vec<Series>,
     /// `(key, value)` free-form metadata (bin name, arguments, …).
@@ -60,6 +64,11 @@ impl Snapshot {
         self.hists.push((name.to_string(), h));
     }
 
+    /// Append a headline summary figure (see [`Snapshot::summary`]).
+    pub fn push_summary(&mut self, name: &str, v: f64) {
+        self.summary.push((name.to_string(), v));
+    }
+
     /// Append a sampler series.
     pub fn push_series(&mut self, s: Series) {
         self.series.push(s);
@@ -91,6 +100,9 @@ impl Snapshot {
         }
         for (n, v) in other.hists {
             self.hists.push((pre(&n), v));
+        }
+        for (n, v) in other.summary {
+            self.summary.push((pre(&n), v));
         }
         for mut s in other.series {
             s.name = pre(&s.name);
@@ -129,8 +141,17 @@ impl Snapshot {
         self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
+    /// Look up a summary figure by exact name.
+    pub fn summary(&self, name: &str) -> Option<f64> {
+        self.summary
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
     /// Serialize to a JSON document with the stable top-level keys
-    /// `meta`, `counters`, `gauges`, `ratios`, `histograms`, `series`.
+    /// `meta`, `counters`, `gauges`, `ratios`, `histograms`, `summary`,
+    /// `series`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n  \"meta\": {");
@@ -184,6 +205,13 @@ impl Snapshot {
             }
             out.push_str("]}");
         }
+        out.push_str("\n  },\n  \"summary\": {");
+        for (i, (n, v)) in self.summary.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            write_escaped(&mut out, n);
+            out.push_str(": ");
+            write_f64(&mut out, *v);
+        }
         out.push_str("\n  },\n  \"series\": [");
         for (i, s) in self.series.iter().enumerate() {
             out.push_str(if i == 0 { "\n    " } else { ",\n    " });
@@ -216,6 +244,144 @@ impl Snapshot {
         out
     }
 
+    /// Parse a document produced by [`Snapshot::to_json`] back into a
+    /// `Snapshot`.
+    ///
+    /// Inverse of the writer up to ordering: JSON objects carry no
+    /// order, so every named collection comes back **sorted by name**
+    /// (series, a JSON array, keep their order). Documents written
+    /// before the `summary` block existed parse with an empty summary.
+    /// Non-finite ratios/summaries are serialized as `null` and come
+    /// back as NaN.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        use crate::json::{parse, Value};
+
+        fn f64_of(v: &Value) -> Result<f64, String> {
+            match v {
+                Value::Num(n) => Ok(*n),
+                Value::Null => Ok(f64::NAN),
+                other => Err(format!("expected number, got {other:?}")),
+            }
+        }
+        fn u64_of(v: &Value) -> Result<u64, String> {
+            let n = f64_of(v)?;
+            if n < 0.0 || !n.is_finite() {
+                return Err(format!("expected unsigned integer, got {n}"));
+            }
+            Ok(n as u64)
+        }
+        fn obj<'v>(
+            v: &'v Value,
+            key: &str,
+        ) -> Result<&'v std::collections::BTreeMap<String, Value>, String> {
+            v.get(key)
+                .ok_or_else(|| format!("missing top-level key {key:?}"))?
+                .as_obj()
+                .ok_or_else(|| format!("top-level {key:?} is not an object"))
+        }
+
+        let v = parse(src)?;
+        let mut snap = Snapshot::new();
+        for (k, val) in obj(&v, "meta")? {
+            let s = val
+                .as_str()
+                .ok_or_else(|| format!("meta {k:?} is not a string"))?;
+            snap.meta.push((k.clone(), s.to_string()));
+        }
+        for (k, val) in obj(&v, "counters")? {
+            snap.counters.push((k.clone(), u64_of(val)?));
+        }
+        for (k, val) in obj(&v, "gauges")? {
+            snap.gauges.push((k.clone(), f64_of(val)? as i64));
+        }
+        for (k, val) in obj(&v, "ratios")? {
+            snap.ratios.push((k.clone(), f64_of(val)?));
+        }
+        for (k, val) in obj(&v, "histograms")? {
+            let field = |name: &str| {
+                val.get(name)
+                    .ok_or_else(|| format!("histogram {k:?} missing {name:?}"))
+            };
+            let mut buckets = Vec::new();
+            for pair in field("buckets")?
+                .as_arr()
+                .ok_or_else(|| format!("histogram {k:?} buckets not an array"))?
+            {
+                let pair = pair
+                    .as_arr()
+                    .ok_or_else(|| format!("histogram {k:?} bucket not a pair"))?;
+                if pair.len() != 2 {
+                    return Err(format!("histogram {k:?} bucket arity {}", pair.len()));
+                }
+                buckets.push((u64_of(&pair[0])?, u64_of(&pair[1])?));
+            }
+            snap.hists.push((
+                k.clone(),
+                HistSnapshot {
+                    count: u64_of(field("count")?)?,
+                    sum: u64_of(field("sum")?)?,
+                    min: u64_of(field("min")?)?,
+                    max: u64_of(field("max")?)?,
+                    p50: u64_of(field("p50")?)?,
+                    p90: u64_of(field("p90")?)?,
+                    p99: u64_of(field("p99")?)?,
+                    p999: u64_of(field("p999")?)?,
+                    buckets,
+                },
+            ));
+        }
+        // Absent in documents written before this block existed.
+        if let Some(summary) = v.get("summary") {
+            let summary = summary
+                .as_obj()
+                .ok_or("top-level \"summary\" is not an object")?;
+            for (k, val) in summary {
+                snap.summary.push((k.clone(), f64_of(val)?));
+            }
+        }
+        for s in v
+            .get("series")
+            .ok_or("missing top-level key \"series\"")?
+            .as_arr()
+            .ok_or("top-level \"series\" is not an array")?
+        {
+            let name = s
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("series missing name")?
+                .to_string();
+            let mut columns = Vec::new();
+            for c in s
+                .get("columns")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("series {name:?} missing columns"))?
+            {
+                columns.push(
+                    c.as_str()
+                        .ok_or_else(|| format!("series {name:?} column not a string"))?
+                        .to_string(),
+                );
+            }
+            let mut rows = Vec::new();
+            for row in s
+                .get("rows")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("series {name:?} missing rows"))?
+            {
+                let row = row
+                    .as_arr()
+                    .ok_or_else(|| format!("series {name:?} row not an array"))?;
+                rows.push(row.iter().map(f64_of).collect::<Result<Vec<_>, _>>()?);
+            }
+            snap.series.push(Series {
+                name,
+                columns,
+                rows,
+            });
+        }
+        Ok(snap)
+    }
+
     /// Human-readable multi-line rendering (aligned `name value` rows,
     /// histogram one-liners).
     pub fn pretty(&self) -> String {
@@ -226,6 +392,7 @@ impl Snapshot {
             .map(|(n, _)| n.len())
             .chain(self.gauges.iter().map(|(n, _)| n.len()))
             .chain(self.ratios.iter().map(|(n, _)| n.len()))
+            .chain(self.summary.iter().map(|(n, _)| n.len()))
             .chain(self.hists.iter().map(|(n, _)| n.len()))
             .max()
             .unwrap_or(0);
@@ -240,6 +407,9 @@ impl Snapshot {
         }
         for (n, v) in &self.ratios {
             let _ = writeln!(out, "{n:<width$}  {v:.4}");
+        }
+        for (n, v) in &self.summary {
+            let _ = writeln!(out, "{n:<width$}  {v}");
         }
         for (n, h) in &self.hists {
             let _ = writeln!(
@@ -281,6 +451,7 @@ mod tests {
         h.record(100);
         h.record(2000);
         s.push_hist("insert_ns", &h);
+        s.push_summary("zmsq.throughput_ops_per_s", 1.25e6);
         s.push_series(Series {
             name: "depth".into(),
             columns: vec!["t_ms".into(), "len".into()],
@@ -299,6 +470,7 @@ mod tests {
             "gauges",
             "ratios",
             "histograms",
+            "summary",
             "series",
         ] {
             assert!(v.get(key).is_some(), "missing top-level key {key}");
@@ -342,6 +514,56 @@ mod tests {
         assert!(root.ratio("sync.zmsq.root_access_ratio").is_some());
         assert!(root.hist("sync.insert_ns").is_some());
         assert_eq!(root.series[0].name, "sync.depth");
+    }
+
+    #[test]
+    fn summary_serializes_and_looks_up() {
+        let s = sample();
+        assert_eq!(s.summary("zmsq.throughput_ops_per_s"), Some(1.25e6));
+        assert_eq!(s.summary("missing"), None);
+        let v = json::parse(&s.to_json()).unwrap();
+        assert_eq!(
+            v.get("summary")
+                .unwrap()
+                .get("zmsq.throughput_ops_per_s")
+                .unwrap()
+                .as_f64(),
+            Some(1.25e6)
+        );
+    }
+
+    #[test]
+    fn from_json_round_trips_sample() {
+        let s = sample();
+        let back = Snapshot::from_json(&s.to_json()).expect("parse back");
+        // sample() pushes names already unique; JSON objects sort them,
+        // so compare against a name-sorted copy.
+        let mut want = s.clone();
+        want.counters.sort();
+        want.gauges.sort();
+        want.ratios.sort_by(|a, b| a.0.cmp(&b.0));
+        want.hists.sort_by(|a, b| a.0.cmp(&b.0));
+        want.summary.sort_by(|a, b| a.0.cmp(&b.0));
+        want.meta.sort();
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn from_json_accepts_pre_summary_documents() {
+        let body = r#"{"meta": {}, "counters": {"c": 1}, "gauges": {},
+                       "ratios": {}, "histograms": {}, "series": []}"#;
+        let s = Snapshot::from_json(body).unwrap();
+        assert_eq!(s.counter("c"), Some(1));
+        assert!(s.summary.is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(Snapshot::from_json("{}").is_err());
+        assert!(Snapshot::from_json("not json").is_err());
+        let bad = r#"{"meta": {}, "counters": {"c": -1}, "gauges": {},
+                      "ratios": {}, "histograms": {}, "series": []}"#;
+        assert!(Snapshot::from_json(bad).is_err(), "negative counter");
     }
 
     #[test]

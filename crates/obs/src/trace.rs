@@ -1,0 +1,208 @@
+//! Chrome `trace_event` export for the flight recorder.
+//!
+//! [`export_chrome`] converts a merged recorder trace into the JSON
+//! format understood by `chrome://tracing` and <https://ui.perfetto.dev>:
+//! span begin/end pairs ([`EventKind::SpanBegin`]/[`EventKind::SpanEnd`])
+//! become `"X"` complete events with a duration, every other event kind
+//! becomes an `"i"` instant event. Each recorder thread maps to a `tid`
+//! so the per-phase nesting renders as stacked slices.
+//!
+//! Robustness over strictness: a ring that wrapped mid-span leaves an
+//! end without a begin (dropped) or a begin without an end (dropped at
+//! the close of its thread's stream) — flight-recorder semantics, the
+//! surviving pairs are what matter.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::json::write_escaped;
+use crate::recorder::{dump, Event, EventKind};
+use crate::span::SpanPhase;
+
+/// One Chrome `trace_event` entry produced by [`pair_spans`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChromeEvent {
+    /// Slice name (span phase name or event-kind name).
+    pub name: &'static str,
+    /// `"X"` (complete, has `dur`) or `"i"` (instant).
+    pub ph: char,
+    /// Start, microseconds since the recorder epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds (complete events only).
+    pub dur_us: f64,
+    /// Recorder thread id.
+    pub tid: u32,
+}
+
+/// Pair span begin/end events per thread (a stack, matching guard drop
+/// order) and convert the merged trace into Chrome events. Events whose
+/// pair fell off a wrapped ring are dropped; non-span kinds pass
+/// through as instants.
+pub fn pair_spans(events: &[Event]) -> Vec<ChromeEvent> {
+    let mut out = Vec::with_capacity(events.len());
+    // Per-thread stack of open spans: (phase, begin ts_ns).
+    let mut open: HashMap<u32, Vec<(u32, u64)>> = HashMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::SpanBegin => open.entry(e.thread).or_default().push((e.a, e.t_ns)),
+            EventKind::SpanEnd => {
+                let stack = open.entry(e.thread).or_default();
+                // Pop until we find the matching phase: an unmatched
+                // inner begin (its end fell off the ring) is discarded
+                // rather than corrupting the nesting.
+                while let Some((phase, begin)) = stack.pop() {
+                    if phase != e.a {
+                        continue;
+                    }
+                    let name = SpanPhase::from_u32(phase).map_or("span", SpanPhase::name);
+                    out.push(ChromeEvent {
+                        name,
+                        ph: 'X',
+                        ts_us: begin as f64 / 1_000.0,
+                        dur_us: e.t_ns.saturating_sub(begin) as f64 / 1_000.0,
+                        tid: e.thread,
+                    });
+                    break;
+                }
+            }
+            kind => out.push(ChromeEvent {
+                name: kind.name(),
+                ph: 'i',
+                ts_us: e.t_ns as f64 / 1_000.0,
+                dur_us: 0.0,
+                tid: e.thread,
+            }),
+        }
+    }
+    out
+}
+
+/// Render `events` as a Chrome `trace_event` JSON document
+/// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` or
+/// Perfetto.
+pub fn export_chrome(events: &[Event]) -> String {
+    let chrome = pair_spans(events);
+    let mut out = String::with_capacity(64 + chrome.len() * 96);
+    out.push_str("{\"traceEvents\": [");
+    for (i, e) in chrome.iter().enumerate() {
+        out.push_str(if i == 0 { "\n  " } else { ",\n  " });
+        out.push_str("{\"name\": ");
+        write_escaped(&mut out, e.name);
+        let _ = write!(
+            out,
+            ", \"ph\": \"{}\", \"ts\": {:.3}, \"pid\": 1, \"tid\": {}",
+            e.ph, e.ts_us, e.tid
+        );
+        if e.ph == 'X' {
+            let _ = write!(out, ", \"dur\": {:.3}", e.dur_us);
+        }
+        if e.ph == 'i' {
+            out.push_str(", \"s\": \"t\"");
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Dump the live flight recorder and write it as a Chrome trace to
+/// `path`, creating parent directories. Meaningful only when the
+/// `obs-trace` feature compiled span/trace call sites in (otherwise the
+/// rings are empty and the file holds an empty `traceEvents` array).
+pub fn export_chrome_to_file(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, export_chrome(&dump()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, thread: u32, kind: EventKind, a: u32) -> Event {
+        Event {
+            t_ns,
+            thread,
+            kind,
+            a,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn pairs_nested_spans_per_thread() {
+        let events = vec![
+            ev(1_000, 0, EventKind::SpanBegin, SpanPhase::Insert as u32),
+            ev(2_000, 0, EventKind::SpanBegin, SpanPhase::TreeWalk as u32),
+            ev(2_500, 1, EventKind::SpanBegin, SpanPhase::Extract as u32),
+            ev(5_000, 0, EventKind::SpanEnd, SpanPhase::TreeWalk as u32),
+            ev(6_000, 0, EventKind::SpanEnd, SpanPhase::Insert as u32),
+            ev(7_000, 1, EventKind::SpanEnd, SpanPhase::Extract as u32),
+        ];
+        let chrome = pair_spans(&events);
+        assert_eq!(chrome.len(), 3);
+        let walk = chrome.iter().find(|c| c.name == "tree_walk").unwrap();
+        assert_eq!(walk.ph, 'X');
+        assert!((walk.ts_us - 2.0).abs() < 1e-9);
+        assert!((walk.dur_us - 3.0).abs() < 1e-9);
+        let ins = chrome.iter().find(|c| c.name == "insert").unwrap();
+        assert!((ins.dur_us - 5.0).abs() < 1e-9);
+        let ext = chrome.iter().find(|c| c.name == "extract").unwrap();
+        assert_eq!(ext.tid, 1);
+    }
+
+    #[test]
+    fn unmatched_ends_and_begins_are_dropped() {
+        let events = vec![
+            // End with no begin (begin fell off a wrapped ring).
+            ev(1_000, 0, EventKind::SpanEnd, SpanPhase::Extract as u32),
+            // Begin whose inner end was lost; outer end still pairs.
+            ev(2_000, 0, EventKind::SpanBegin, SpanPhase::Insert as u32),
+            ev(3_000, 0, EventKind::SpanBegin, SpanPhase::PoolClaim as u32),
+            ev(4_000, 0, EventKind::SpanEnd, SpanPhase::Insert as u32),
+            // Begin never closed.
+            ev(5_000, 0, EventKind::SpanBegin, SpanPhase::SwapDown as u32),
+        ];
+        let chrome = pair_spans(&events);
+        assert_eq!(chrome.len(), 1);
+        assert_eq!(chrome[0].name, "insert");
+        assert!((chrome[0].dur_us - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_span_events_become_instants() {
+        let events = vec![ev(500, 2, EventKind::PoolRefill, 7)];
+        let chrome = pair_spans(&events);
+        assert_eq!(chrome.len(), 1);
+        assert_eq!(chrome[0].ph, 'i');
+        assert_eq!(chrome[0].name, "pool_refill");
+    }
+
+    #[test]
+    fn export_json_parses_and_has_trace_events() {
+        let events = vec![
+            ev(1_000, 0, EventKind::SpanBegin, SpanPhase::Admission as u32),
+            ev(1_500, 0, EventKind::SpanEnd, SpanPhase::Admission as u32),
+            ev(2_000, 0, EventKind::RootAccess, 0),
+        ];
+        let body = export_chrome(&events);
+        let v = crate::json::parse(&body).expect("chrome trace JSON parses");
+        let arr = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0].get("name"),
+            Some(&crate::json::Value::Str("admission".into()))
+        );
+        assert!(arr[0].get("dur").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_trace_exports_empty_array() {
+        let body = export_chrome(&[]);
+        let v = crate::json::parse(&body).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

@@ -14,6 +14,9 @@
 //!   reporting beyond the paper's means.
 //! * [`oracle`] — quiescent-consistency and rank-error oracles shared by
 //!   the deterministic schedule suite and the stress tests.
+//! * [`quality`] — seeded estimator-vs-oracle harness validating the
+//!   queue's sampled `obs::RankEstimator` against the exact
+//!   [`oracle::RankOracle`].
 
 #![warn(missing_docs)]
 
@@ -24,3 +27,4 @@ pub mod latency;
 pub mod mixed;
 pub mod oracle;
 pub mod prodcons;
+pub mod quality;

@@ -203,6 +203,8 @@ struct Shadow {
     /// key -> extractions recorded before their matching insertion
     /// record (possible under real concurrency; impossible under det).
     debts: BTreeMap<u64, u64>,
+    /// Every per-extraction rank, in record order (for exact quantiles).
+    ranks: Vec<u32>,
     extracts: u64,
     rank_total: u64,
     max_rank: usize,
@@ -220,6 +222,7 @@ impl RankOracle {
             inner: Mutex::new(Shadow {
                 multiset: BTreeMap::new(),
                 debts: BTreeMap::new(),
+                ranks: Vec::new(),
                 extracts: 0,
                 rank_total: 0,
                 max_rank: 0,
@@ -265,7 +268,28 @@ impl RankOracle {
         s.extracts += 1;
         s.rank_total += rank as u64;
         s.max_rank = s.max_rank.max(rank);
+        s.ranks.push(rank.min(u32::MAX as usize) as u32);
         rank
+    }
+
+    /// Exact quantile over every per-extraction rank recorded so far
+    /// (`0.99` for the rank p99), using the same semantics as the live
+    /// `obs` histograms: the value at position `ceil(p * n)` (1-based)
+    /// of the sorted ranks. `None` before the first extraction.
+    ///
+    /// This is the ground truth the sampled `obs::RankEstimator`'s
+    /// `quality.est_rank` quantiles are validated against.
+    pub fn rank_quantile(&self, p: f64) -> Option<usize> {
+        let s = self.inner.lock().unwrap();
+        if s.ranks.is_empty() {
+            return None;
+        }
+        let mut sorted = s.ranks.clone();
+        sorted.sort_unstable();
+        let target = ((p * sorted.len() as f64).ceil() as usize)
+            .max(1)
+            .min(sorted.len());
+        Some(sorted[target - 1] as usize)
     }
 
     /// Elements the shadow still believes are queued.
@@ -391,6 +415,25 @@ mod tests {
         let s = ro.stats();
         assert_eq!(s.max_rank, 3);
         assert!((s.mean_rank - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn rank_quantile_matches_sorted_ranks() {
+        let ro = RankOracle::new();
+        assert_eq!(ro.rank_quantile(0.99), None);
+        // Extract ascending keys from a full shadow: element k has
+        // 99 - k strictly greater keys queued, so the recorded ranks
+        // are 99, 98, ..., 0.
+        for k in 0..100u64 {
+            ro.note_insert(k);
+        }
+        for k in 0..100u64 {
+            assert_eq!(ro.note_extract(k), (99 - k) as usize);
+        }
+        assert_eq!(ro.rank_quantile(0.50), Some(49));
+        assert_eq!(ro.rank_quantile(0.99), Some(98));
+        assert_eq!(ro.rank_quantile(1.0), Some(99));
+        assert_eq!(ro.rank_quantile(0.0), Some(0));
     }
 
     #[test]

@@ -142,6 +142,17 @@ pub struct ZmsqConfig {
     /// What happens when an insertion finds the queue at
     /// [`capacity`](Self::capacity). Ignored while unbounded.
     pub shed: ShedPolicy,
+    /// Online rank-error telemetry: `Some(shift)` attaches an
+    /// `obs::RankEstimator` sampling inserted keys at rate `1/2^shift`
+    /// and reporting estimated per-extraction rank, staleness age and
+    /// wasted-work ratio under `quality.*` in
+    /// [`metrics`](pq_traits::ConcurrentPriorityQueue::metrics).
+    /// `None` disables it (zero overhead). Defaults to `Some(6)` —
+    /// 1/64 sampling, whose cost the `obs_overhead` bench bounds below
+    /// 5% per op. The shift is clamped to `0..=32` during
+    /// normalization (`0` samples every key: exact but O(reservoir)
+    /// per op — testing only).
+    pub rank_estimator: Option<u32>,
 }
 
 impl ZmsqConfig {
@@ -164,6 +175,7 @@ impl ZmsqConfig {
             pool_fast_insert: false,
             capacity: None,
             shed: ShedPolicy::Block,
+            rank_estimator: Some(6),
         }
     }
 
@@ -287,6 +299,21 @@ impl ZmsqConfig {
         self
     }
 
+    /// Attach the online rank-error estimator sampling at rate
+    /// `1/2^shift` (builder style). `shift = 0` samples everything
+    /// (exact, slow — testing only).
+    pub fn rank_estimator(mut self, shift: u32) -> Self {
+        self.rank_estimator = Some(shift);
+        self
+    }
+
+    /// Detach the rank-error estimator (builder style): no sampling, no
+    /// `quality.*` metrics, zero per-op overhead.
+    pub fn no_rank_estimator(mut self) -> Self {
+        self.rank_estimator = None;
+        self
+    }
+
     /// Validate and normalize; called by the queue constructor.
     pub(crate) fn normalized(mut self) -> Self {
         self.target_len = self.target_len.max(1);
@@ -324,6 +351,11 @@ impl ZmsqConfig {
         // with a progress guarantee.
         if let Some(cap) = self.capacity {
             self.capacity = Some(cap.max(1));
+        }
+        // Shifts past 32 would sample (effectively) nothing while still
+        // paying the hash on every op; the estimator clamps identically.
+        if let Some(shift) = self.rank_estimator {
+            self.rank_estimator = Some(shift.min(32));
         }
         self
     }
@@ -476,6 +508,18 @@ mod tests {
         assert_eq!(c.shed, ShedPolicy::ShedLowest);
         let c = ZmsqConfig::default().capacity(8).unbounded().normalized();
         assert_eq!(c.capacity, None, "unbounded() removes the bound");
+    }
+
+    #[test]
+    fn rank_estimator_defaults_on_and_clamps() {
+        assert_eq!(ZmsqConfig::default().rank_estimator, Some(6));
+        let c = ZmsqConfig::default().no_rank_estimator();
+        assert_eq!(c.rank_estimator, None);
+        assert_eq!(c.normalized().rank_estimator, None);
+        let c = ZmsqConfig::default().rank_estimator(0).normalized();
+        assert_eq!(c.rank_estimator, Some(0));
+        let c = ZmsqConfig::default().rank_estimator(99).normalized();
+        assert_eq!(c.rank_estimator, Some(32), "shift clamped to 32");
     }
 
     #[test]

@@ -162,6 +162,9 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
                 self.producer_waiters() as i64,
             );
         }
+        if let Some(est) = self.rank_estimator() {
+            est.snapshot_into(&mut s);
+        }
         Some(s)
     }
 }

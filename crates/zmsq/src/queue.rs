@@ -99,6 +99,10 @@ where
     /// equals the true queue length.
     occupancy: CachePadded<AtomicUsize>,
     stats: Stats,
+    /// Online rank-error telemetry, allocated iff `cfg.rank_estimator`
+    /// is set: a lock-free sampled shadow reservoir fed by every
+    /// insert/extract path and exported as `quality.*` metrics.
+    rank_est: Option<obs::RankEstimator>,
     /// Effective refill batch, `cfg.batch_min ..= cfg.batch_max`. Equal
     /// to `cfg.batch` unless an adaptive controller (see `ShardedZmsq`)
     /// moves it at runtime.
@@ -247,8 +251,14 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             refill_scratch: UnsafeCell::new(Vec::with_capacity(cfg.batch_max)),
             batch_cur: AtomicUsize::new(cfg.batch),
             stats: Stats::default(),
+            rank_est: cfg.rank_estimator.map(obs::RankEstimator::new),
             cfg,
         }
+    }
+
+    /// The attached rank-error estimator, if `cfg.rank_estimator` is set.
+    pub fn rank_estimator(&self) -> Option<&obs::RankEstimator> {
+        self.rank_est.as_ref()
     }
 
     /// The queue's (normalized) configuration.
@@ -322,12 +332,17 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// [`insert_timeout`](Self::insert_timeout) to keep the rejected
     /// element.
     pub fn insert(&self, prio: u64, value: V) {
+        let _op = obs::span!(obs::SpanPhase::Insert);
         let Some(cap) = self.cfg.capacity else {
             self.insert_admitted(prio, value);
             return;
         };
         loop {
-            if self.try_admit(cap) {
+            let admitted = {
+                let _adm = obs::span!(obs::SpanPhase::Admission);
+                self.try_admit(cap)
+            };
+            if admitted {
                 self.insert_admitted(prio, value);
                 return;
             }
@@ -350,6 +365,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                     return;
                 }
                 ShedPolicy::Block => {
+                    let _adm = obs::span!(obs::SpanPhase::Admission);
                     let pw = self.producer_wait.as_ref().expect("capacity set");
                     self.stats.producer_waits.incr();
                     match pw.wait_for_room(|| self.has_room(cap)) {
@@ -372,6 +388,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// The insertion path proper, after (or without) capacity admission.
     fn insert_admitted(&self, prio: u64, value: V) {
         det::det_point!("zmsq.insert");
+        // Every path below ends with the element inserted (the retry
+        // loop is infallible), so the shadow sample is noted up front.
+        if let Some(est) = &self.rank_est {
+            est.note_insert(prio);
+        }
         // Experimental §5 fast path: high-priority elements go straight
         // into the extraction pool when it has headroom, skipping the
         // tree entirely. Falls through to the normal path on any
@@ -391,6 +412,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 Err((_, v)) => value = v,
             }
         }
+        let _walk = obs::span!(obs::SpanPhase::TreeWalk);
         let mut consecutive_failures = 0u32;
         loop {
             match self.insert_attempt(prio, value) {
@@ -452,6 +474,13 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             let take = items.len().min(self.cfg.target_len.max(1));
             let start = items.len() - take;
             let chunk_max = items.last().expect("nonempty").0;
+            if let Some(est) = &self.rank_est {
+                // The placement loop below is infallible: every chunk
+                // element will be inserted exactly once.
+                for &(k, _) in &items[start..] {
+                    est.note_insert(k);
+                }
+            }
             loop {
                 let (pos, _) = self.select_position(chunk_max);
                 let target = self.search_root_path(pos, chunk_max);
@@ -885,13 +914,20 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             return false;
         }
         // SAFETY: node locked.
-        unsafe {
+        let victim_key = unsafe {
             let victim = node.set_mut().remove_min().expect("count > 0");
+            let key = victim.0;
             drop(victim);
             node.refresh_cache();
-        }
+            key
+        };
         drop(unwind);
         node.unlock();
+        if let Some(est) = &self.rank_est {
+            // Evicted, not handed out: release the shadow slot without
+            // recording a rank sample.
+            est.note_remove(victim_key);
+        }
         self.stats.shed_evicted.incr();
         obs::trace_event!(obs::EventKind::Extract, 2, below);
         true
@@ -1017,13 +1053,19 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// With `batch = 0` the result is always the exact maximum.
     pub fn extract_max(&self) -> Option<(u64, V)> {
         det::det_point!("zmsq.extract");
+        let _op = obs::span!(obs::SpanPhase::Extract);
         let mut backoff = Backoff::new();
         loop {
             // Fast path: claim from the shared pool.
-            if let Some(got) = self.pool.try_claim() {
+            let claimed = {
+                let _claim = obs::span!(obs::SpanPhase::PoolClaim);
+                self.pool.try_claim()
+            };
+            if let Some(got) = claimed {
                 self.stats.pool_hits.incr();
                 self.stats.extracts.incr();
                 obs::trace_event!(obs::EventKind::PoolHit, 0, got.0);
+                self.note_extracted(got.0);
                 self.release_capacity(1);
                 return Some(got);
             }
@@ -1032,6 +1074,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 RootOutcome::Got(got) => {
                     self.stats.extracts.incr();
                     obs::trace_event!(obs::EventKind::Extract, 0, got.0);
+                    self.note_extracted(got.0);
                     self.release_capacity(1);
                     return Some(got);
                 }
@@ -1042,6 +1085,15 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 RootOutcome::Below => unreachable!("no threshold was given"),
                 RootOutcome::Retry => backoff.wait(),
             }
+        }
+    }
+
+    /// Shadow-sample a handed-out element (no-op when the estimator is
+    /// detached).
+    #[inline]
+    fn note_extracted(&self, key: u64) {
+        if let Some(est) = &self.rank_est {
+            est.note_extract(key);
         }
     }
 
@@ -1075,6 +1127,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 self.stats.pool_hits.add(claimed as u64);
                 self.stats.extracts.add(claimed as u64);
                 obs::trace_event!(obs::EventKind::PoolHit, claimed as u32);
+                if let Some(est) = &self.rank_est {
+                    for &(k, _) in &out[out.len() - claimed..] {
+                        est.note_extract(k);
+                    }
+                }
                 self.release_capacity(claimed);
                 got += claimed;
                 continue;
@@ -1084,6 +1141,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 RootOutcome::Got(item) => {
                     self.stats.extracts.incr();
                     obs::trace_event!(obs::EventKind::Extract, 0, item.0);
+                    self.note_extracted(item.0);
                     self.release_capacity(1);
                     out.push(item);
                     got += 1;
@@ -1135,11 +1193,20 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                     // re-running admission would double-count it (and
                     // could block or shed an element we must not lose).
                     if got.0 < min_prio {
+                        // `insert_admitted` will note the key again, so
+                        // release its existing shadow slot first (as a
+                        // removal, not a hand-out: no rank sample) —
+                        // otherwise one live element would occupy two
+                        // reservoir slots.
+                        if let Some(est) = &self.rank_est {
+                            est.note_remove(got.0);
+                        }
                         self.insert_admitted(got.0, got.1);
                         return None;
                     }
                     self.stats.pool_hits.incr();
                     self.stats.extracts.incr();
+                    self.note_extracted(got.0);
                     self.release_capacity(1);
                     return Some(got);
                 }
@@ -1149,6 +1216,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             match self.extract_root_cond(Some(min_prio)) {
                 RootOutcome::Got(got) => {
                     self.stats.extracts.incr();
+                    self.note_extracted(got.0);
                     self.release_capacity(1);
                     return Some(got);
                 }
@@ -1220,6 +1288,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         let best = unsafe { root.set_mut().remove_max().expect("count > 0") };
         let remaining = root.count() - 1;
         if self.cfg.batch_max > 0 && remaining > 0 {
+            let _refill = obs::span!(obs::SpanPhase::PoolRefill);
             // The *effective* batch: cfg.batch unless an adaptive
             // controller has moved it. Always within batch_min..=batch_max,
             // hence within the pool's allocated capacity.
@@ -1237,7 +1306,10 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         unsafe { root.refresh_cache() };
         self.stats.root_extracts.incr();
         obs::trace_event!(obs::EventKind::RootAccess);
-        self.swap_down((0, 0)); // consumes the root lock
+        {
+            let _swap = obs::span!(obs::SpanPhase::SwapDown);
+            self.swap_down((0, 0)); // consumes the root lock
+        }
         RootOutcome::Got(best)
     }
 

@@ -369,8 +369,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
             }
             return got;
         }
-        let (a, b) = self.pick_two();
-        let (winner, loser) = self.order_by_hint(a, b);
+        let (winner, loser) = {
+            let _pick = obs::span!(obs::SpanPhase::ShardPick);
+            let (a, b) = self.pick_two();
+            self.order_by_hint(a, b)
+        };
         if let Some(got) = self.shards[winner].extract_max() {
             self.note_extracts(winner, 1);
             return Some(got);
@@ -408,8 +411,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
         }
         let mut got = 0;
         while got < n {
-            let (a, b) = self.pick_two();
-            let (winner, loser) = self.order_by_hint(a, b);
+            let (winner, loser) = {
+                let _pick = obs::span!(obs::SpanPhase::ShardPick);
+                let (a, b) = self.pick_two();
+                self.order_by_hint(a, b)
+            };
             // Cap each round at the winner's effective batch: draining a
             // whole shard in one round would hand out its *low* elements
             // while a sibling shard still holds high ones, inflating the
@@ -557,6 +563,61 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
             snap.push_gauge(&format!("zmsq.shard.{i}.len_hint"), sh.len_hint() as i64);
             snap.push_counter(&format!("zmsq.shard.{i}.inserts"), st.inserts);
             snap.push_counter(&format!("zmsq.shard.{i}.extracts"), st.extracts);
+        }
+        // Fold per-shard quality telemetry into one queue-level view
+        // (same `quality.*` names as a single Zmsq, so dashboards and
+        // the perf gate read both uniformly). Per-shard ranks are
+        // measured against the shard's own population; the composed
+        // cross-shard rank error additionally carries the two-choice
+        // tail, so this fold is a *lower bound* on global rank error.
+        if self.shards[0].rank_estimator().is_some() {
+            let mut c = [0u64; 9];
+            let mut wasted = 0u64;
+            let (mut live, mut slots) = (0usize, 0usize);
+            let mut est_rank = obs::HistSnapshot::default();
+            let mut staleness = obs::HistSnapshot::default();
+            for sh in &self.shards {
+                let est = sh.rank_estimator().expect("uniform shard config");
+                let (si, st, dr, se, ma, mi, sr, rm, rs) = est.counters();
+                for (dst, v) in c.iter_mut().zip([si, st, dr, se, ma, mi, sr, rm, rs]) {
+                    *dst += v;
+                }
+                wasted += est.wasted();
+                live += est.live();
+                slots += est.slots();
+                est_rank.absorb(&est.est_rank_hist().snapshot());
+                staleness.absorb(&est.staleness_hist().snapshot());
+            }
+            snap.push_counter("quality.sampled_inserts", c[0]);
+            snap.push_counter("quality.sampled_extracts", c[3]);
+            snap.push_counter("quality.matched", c[4]);
+            snap.push_counter("quality.missed", c[5]);
+            snap.push_counter("quality.dropped", c[2]);
+            snap.push_counter("quality.stored", c[1]);
+            snap.push_counter("quality.removed", c[6]);
+            snap.push_counter("quality.removed_matched", c[7]);
+            snap.push_counter("quality.removed_missed", c[8]);
+            snap.push_gauge("quality.reservoir.live", live as i64);
+            snap.push_gauge("quality.reservoir.slots", slots as i64);
+            snap.push_gauge(
+                "quality.sample_shift",
+                u64::from(
+                    self.shards[0]
+                        .rank_estimator()
+                        .expect("checked")
+                        .sample_shift(),
+                ) as i64,
+            );
+            snap.push_ratio(
+                "quality.wasted_ratio",
+                if c[3] == 0 {
+                    0.0
+                } else {
+                    wasted as f64 / c[3] as f64
+                },
+            );
+            snap.push_hist_snapshot("quality.est_rank", est_rank);
+            snap.push_hist_snapshot("quality.staleness_ns", staleness);
         }
         Some(snap)
     }
@@ -911,6 +972,43 @@ mod tests {
             assert!(snap.counter(&format!("zmsq.shard.{i}.inserts")).is_some());
         }
         assert_eq!(snap.counter("zmsq.inserts"), Some(100));
+    }
+
+    #[test]
+    fn metrics_fold_per_shard_quality() {
+        // shift 0: every key is sampled, so the fold is exact.
+        let q: ShardedZmsq<u64> =
+            ShardedZmsq::new(4, ZmsqConfig::default().batch(4).rank_estimator(0));
+        for i in 0..200u64 {
+            q.insert(i, i);
+        }
+        for _ in 0..80 {
+            assert!(q.extract_max().is_some());
+        }
+        let snap = pq_traits::ConcurrentPriorityQueue::metrics(&q).unwrap();
+        assert_eq!(snap.counter("quality.sampled_inserts"), Some(200));
+        assert_eq!(snap.counter("quality.sampled_extracts"), Some(80));
+        assert_eq!(snap.gauge("quality.sample_shift"), Some(0));
+        let h = snap.hist("quality.est_rank").expect("folded est_rank");
+        assert_eq!(h.count, 80);
+        assert!(snap.hist("quality.staleness_ns").is_some());
+        assert!(snap.ratio("quality.wasted_ratio").is_some());
+        // Conservation across the fold: stored − matched − removed ==
+        // live (no drops possible: 200 ≤ 4 shards × default slots).
+        let stored = snap.counter("quality.stored").unwrap();
+        let matched = snap.counter("quality.matched").unwrap();
+        let removed = snap.counter("quality.removed_matched").unwrap();
+        let live = snap.gauge("quality.reservoir.live").unwrap() as u64;
+        assert_eq!(stored - matched - removed, live);
+    }
+
+    #[test]
+    fn metrics_omit_quality_when_estimator_off() {
+        let q: ShardedZmsq<u64> = ShardedZmsq::new(2, ZmsqConfig::default().no_rank_estimator());
+        q.insert(1, 1);
+        let snap = pq_traits::ConcurrentPriorityQueue::metrics(&q).unwrap();
+        assert!(snap.hist("quality.est_rank").is_none());
+        assert!(snap.counter("quality.sampled_inserts").is_none());
     }
 
     #[test]

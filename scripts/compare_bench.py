@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate over bench `summary` blocks.
+
+Compares the `summary` section of two `--metrics` JSON documents (a
+checked-in `results/BENCH_<bin>.json` baseline and a fresh run) and
+exits nonzero when the new run regresses:
+
+* **throughput keys** (name contains ``throughput`` or ends with
+  ``_ops_per_s``): higher is better; fail when the new value falls more
+  than ``--throughput-tolerance`` percent (default 10) below baseline.
+* **rank keys** (name ends with ``est_rank_p99``): lower is better;
+  fail when the new value exceeds ``baseline * --rank-factor`` (default
+  2.0) plus ``--rank-slack`` (default 128 — at the default 1/64
+  sampling rate the estimator's rank quantum is 64, so tiny baselines
+  would otherwise gate on one quantum of noise).
+* **latency keys** (name ends with ``_ns``): warn-only. Latency tails
+  on shared CI runners are too noisy to gate on; the trend is still
+  printed for the human reading the log.
+* anything else: warn-only on large moves.
+
+``--synthetic-drop PCT`` scales the new run's throughput values down
+before comparing — the CI job uses it to prove the gate actually fires
+(a gate that cannot fail is not a gate).
+
+Exit codes: 0 pass, 1 regression, 2 usage/parse error (missing file,
+missing summary block).
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(msg: str) -> "NoReturn":  # noqa: F821 - py3.8 compat, no typing import
+    print(f"compare_bench: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_summary(path: str) -> dict:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        die(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        die(f"{path} is not valid JSON: {e}")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict) or not summary:
+        die(f"{path} has no summary block (regenerate with a --metrics run)")
+    bad = {k: v for k, v in summary.items() if not isinstance(v, (int, float))}
+    if bad:
+        die(f"{path} summary has non-numeric entries: {sorted(bad)}")
+    return summary
+
+
+def is_throughput(key: str) -> bool:
+    return "throughput" in key or key.endswith("_ops_per_s")
+
+
+def is_rank(key: str) -> bool:
+    return key.endswith("est_rank_p99")
+
+
+def is_latency(key: str) -> bool:
+    return key.endswith("_ns")
+
+
+def main() -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("baseline", help="checked-in results/BENCH_<bin>.json")
+    p.add_argument("new", help="freshly produced --metrics JSON")
+    p.add_argument(
+        "--throughput-tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="max allowed throughput drop in percent (default 10)",
+    )
+    p.add_argument(
+        "--rank-factor",
+        type=float,
+        default=2.0,
+        metavar="F",
+        help="max allowed est_rank_p99 growth factor (default 2.0)",
+    )
+    p.add_argument(
+        "--rank-slack",
+        type=float,
+        default=128.0,
+        metavar="N",
+        help="additive est_rank_p99 slack on top of the factor (default 128)",
+    )
+    p.add_argument(
+        "--synthetic-drop",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="scale new throughput down PCT%% before comparing (gate self-check)",
+    )
+    args = p.parse_args()
+
+    base = load_summary(args.baseline)
+    new = load_summary(args.new)
+
+    failures = []
+    warnings = []
+
+    for key in sorted(set(base) | set(new)):
+        if key not in base or key not in new:
+            side = "baseline" if key in base else "new run"
+            warnings.append(f"{key}: only present in {side}")
+            continue
+        b, n = float(base[key]), float(new[key])
+        if is_throughput(key):
+            if args.synthetic_drop:
+                n *= 1.0 - args.synthetic_drop / 100.0
+            floor = b * (1.0 - args.throughput_tolerance / 100.0)
+            delta = (n - b) / b * 100.0 if b else 0.0
+            line = f"{key}: {b:.0f} -> {n:.0f} ({delta:+.1f}%)"
+            if n < floor:
+                failures.append(
+                    f"{line} below the {args.throughput_tolerance:.0f}% tolerance"
+                )
+            else:
+                print(f"ok   {line}")
+        elif is_rank(key):
+            ceil = b * args.rank_factor + args.rank_slack
+            line = f"{key}: {b:.0f} -> {n:.0f} (ceiling {ceil:.0f})"
+            if n > ceil:
+                failures.append(f"{line} rank error regressed past the ceiling")
+            else:
+                print(f"ok   {line}")
+        elif is_latency(key):
+            if b > 0 and n > b * 2.0:
+                warnings.append(f"{key}: {b:.0f} -> {n:.0f} ns (>2x, warn-only)")
+            else:
+                print(f"ok   {key}: {b:.0f} -> {n:.0f} ns")
+        else:
+            if b > 0 and (n > b * 2.0 or n < b * 0.5):
+                warnings.append(f"{key}: {b:.6g} -> {n:.6g} (>2x move, warn-only)")
+            else:
+                print(f"ok   {key}: {b:.6g} -> {n:.6g}")
+
+    for w in warnings:
+        print(f"warn {w}")
+    for f in failures:
+        print(f"FAIL {f}")
+    if failures:
+        print(f"compare_bench: {len(failures)} regression(s) vs {args.baseline}")
+        return 1
+    print(f"compare_bench: pass ({args.new} vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -179,6 +179,61 @@ fn conservation_consumer_wait_under_claim_delay() {
     fault::reset();
 }
 
+/// The rank estimator's shadow reservoir under stretched pool windows:
+/// the claim/refill races that `pool.claim-delay` provokes must not
+/// leak or double-release reservoir slots. Shift 0 samples every key,
+/// and the keyspace (`x % 65_536`) far exceeds the 512-slot reservoir,
+/// so drops are expected — the exact conservation identities are what
+/// must survive:
+///
+/// * `sampled_inserts == stored + dropped`
+/// * `sampled_extracts == matched + missed`
+/// * `live == stored - matched` (no removes in this workload)
+#[test]
+fn estimator_conserves_samples_under_claim_delay() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x0C);
+    let _dump = DumpOnFail(seed ^ 0x0C);
+    fault::configure(
+        "pool.claim-delay",
+        Policy::new(Trigger::Prob(0.2)).with_action(Action::SleepMs(1)),
+    );
+    fault::configure(
+        "pool.refill-delay",
+        Policy::new(Trigger::Prob(0.3)).with_action(Action::Yield),
+    );
+    let q: Zmsq<u64> = Zmsq::with_config(
+        ZmsqConfig::default()
+            .batch(8)
+            .target_len(12)
+            .rank_estimator(0),
+    );
+    run_conservation(&q, 1_500);
+    // Drain the half the consumers left behind so the identities are
+    // checked against a quiescent, empty queue.
+    while q.extract_max().is_some() {}
+    assert!(
+        fault::hit_count("pool.claim-delay") > 0,
+        "seed {seed:#x}: claim-delay failpoint never evaluated"
+    );
+    let est = q.rank_estimator().expect("estimator configured on");
+    let (si, st, dr, se, ma, mi, sr, rm, rs) = est.counters();
+    assert_eq!(si, 3_000, "shift 0 samples every insert");
+    assert_eq!(se, 3_000, "shift 0 samples every extract (full drain)");
+    assert_eq!(si, st + dr, "insert conservation broken (seed {seed:#x})");
+    assert!(dr > 0, "3000 live keys must overflow 512 slots");
+    assert_eq!(se, ma + mi, "extract conservation broken (seed {seed:#x})");
+    assert_eq!((sr, rm, rs), (0, 0, 0), "nothing removes in this workload");
+    assert_eq!(
+        est.live() as u64,
+        st - ma,
+        "slots leaked or double-released (seed {seed:#x})"
+    );
+    fault::reset();
+}
+
 /// Conservation for the hazard-pointer (default) and leak reclamation
 /// modes under spurious trylock failures, forced SMR protect retries and
 /// stretched pool windows.

@@ -170,6 +170,81 @@ fn det_strict_mode_rank_error_is_zero() {
     });
 }
 
+/// The queue's built-in `obs::RankEstimator` at shift 0 (sample every
+/// key) against the exact [`RankOracle`], across every explored
+/// schedule and the same batch sweep as the rank-bound test.
+///
+/// With 96 distinct keys the 512-slot reservoir never overflows, so
+/// the conservation counters are exact. The rank comparison rides on a
+/// monotonicity argument: in an extraction-only phase the live
+/// population only shrinks, the estimator's count is taken *inside*
+/// `extract_max` and the oracle's just after it returns, so per
+/// extraction the estimate dominates the oracle's exact rank — and
+/// both obey the structural O(batch) bound.
+#[test]
+fn det_estimator_tracks_rank_oracle() {
+    for batch in [1usize, 8, 64] {
+        let cfg = Config::from_env(0xE57A + batch as u64).schedules(8);
+        det::explore(&cfg, move || {
+            const KEYS: u64 = 96;
+            let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
+                ZmsqConfig::default()
+                    .batch(batch)
+                    .target_len(batch.max(4))
+                    .rank_estimator(0),
+            ));
+            let oracle = Arc::new(RankOracle::new());
+            for k in 0..KEYS {
+                q.insert(k, k);
+                oracle.note_insert(k);
+            }
+            let taken = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let (q, oracle, taken) =
+                        (Arc::clone(&q), Arc::clone(&oracle), Arc::clone(&taken));
+                    det::spawn(move || {
+                        while taken.load(Ordering::SeqCst) < KEYS {
+                            if let Some((k, _)) = q.extract_max() {
+                                oracle.note_extract(k);
+                                taken.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            let est = q.rank_estimator().expect("estimator configured on");
+            let (si, st, dr, se, ma, mi, ..) = est.counters();
+            assert_eq!((si, st, dr), (KEYS, KEYS, 0), "96 keys fit the reservoir");
+            assert_eq!(se, KEYS, "shift 0 samples every extraction");
+            assert_eq!(ma + mi, se, "every sampled extract matched or missed");
+            assert_eq!(mi, 0, "distinct keys always find their slot");
+            assert_eq!(est.live(), 0, "drained run leaves no live samples");
+            // p99 comparison. The estimator quantizes through its
+            // log-linear histogram, so push the oracle's exact value
+            // through the same bucketing (quantiles commute with the
+            // monotone bucket-floor mapping) for the lower bound; the
+            // upper bound is the rank-bound test's structural ceiling.
+            let oracle_p99 = oracle.rank_quantile(0.99).unwrap() as u64;
+            let est_p99 = est.rank_quantile(0.99);
+            let quantized = obs::Histogram::new();
+            quantized.record(oracle_p99);
+            assert!(
+                est_p99 >= quantized.quantile(1.0),
+                "batch {batch}: estimator p99 {est_p99} undercounts oracle p99 {oracle_p99}"
+            );
+            let bound = (batch + 2 * batch.max(4) + 8) as u64;
+            assert!(
+                est_p99 <= bound,
+                "batch {batch}: estimator p99 {est_p99} exceeds structural bound {bound}"
+            );
+        });
+    }
+}
+
 /// Sharded conservation: producers scatter through `insert_batch`,
 /// consumers mix `extract_max` and `extract_batch`, across every
 /// explored interleaving of the per-shard pool windows. Exercises the
