@@ -2,15 +2,19 @@
 //!
 //! The observability layer's contract is that always-on recording is
 //! nearly free. This harness measures a fixed single-threaded
-//! insert/extract workload on a default ZMSQ in three arms —
+//! insert/extract workload on a default ZMSQ in four arms —
 //!
-//! * `bare` — estimator detached (`no_rank_estimator`), no extra
-//!   recording: the baseline.
+//! * `bare` — estimator and sojourn tracker detached
+//!   (`no_rank_estimator().no_sojourn()`), no extra recording: the
+//!   baseline.
 //! * `counter+hist` — bare plus one striped-counter `incr` and one
 //!   log-linear histogram `record` per pair (the original ≤5% budget).
 //! * `estimator` — the default-on `RankEstimator` (shift 6: ~1/64 of
 //!   inserts sampled into the shadow reservoir, every extract checked
 //!   with one multiply+branch). Must also fit the ≤5% budget.
+//! * `sojourn` — the default-on `SojournTracker` (shift 6: ~1/64 of
+//!   keys stamped at insert, every extract/evict checked with one
+//!   multiply+shift before the cold matching path). Same ≤5% budget.
 //!
 //! — and reports each arm's marginal overhead over `bare`. Medians over
 //! interleaved trials damp frequency drift.
@@ -84,28 +88,43 @@ fn main() {
         eprintln!("note: obs-trace build — span recording is compiled in and counted in `bare`");
     }
 
-    let q_bare: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().no_rank_estimator());
-    let q_est: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default());
+    let q_bare: Zmsq<u64> =
+        Zmsq::with_config(ZmsqConfig::default().no_rank_estimator().no_sojourn());
+    let q_est: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().no_sojourn());
+    let q_soj: Zmsq<u64> = Zmsq::with_config(ZmsqConfig::default().no_rank_estimator());
     assert!(
         q_est.rank_estimator().is_some(),
         "default config must carry the rank estimator"
     );
+    assert!(
+        q_soj.sojourn_tracker().is_some(),
+        "default config must carry the sojourn tracker"
+    );
     prefill(&q_bare, ops / 4);
     prefill(&q_est, ops / 4);
+    prefill(&q_soj, ops / 4);
     // Warm every path (page in the statics, settle the pools).
     run_trial(&q_bare, ops / 10, false);
     run_trial(&q_bare, ops / 10, true);
     run_trial(&q_est, ops / 10, false);
+    run_trial(&q_soj, ops / 10, false);
 
-    let (mut bare, mut inst, mut est) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut bare, mut inst, mut est, mut soj) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for _ in 0..trials {
         bare.push(run_trial(&q_bare, ops, false));
         inst.push(run_trial(&q_bare, ops, true));
         est.push(run_trial(&q_est, ops, false));
+        soj.push(run_trial(&q_soj, ops, false));
     }
-    let (bare, inst, est) = (median(&mut bare), median(&mut inst), median(&mut est));
+    let (bare, inst, est, soj) = (
+        median(&mut bare),
+        median(&mut inst),
+        median(&mut est),
+        median(&mut soj),
+    );
     let inst_pct = (inst - bare) / bare * 100.0;
     let est_pct = (est - bare) / bare * 100.0;
+    let soj_pct = (soj - bare) / bare * 100.0;
 
     // The estimator arm must actually have sampled: at shift 6 over
     // ~1M+ inserts the expected sample count is in the tens of
@@ -115,11 +134,19 @@ fn main() {
         sampled_inserts > 0 && sampled_extracts > 0,
         "estimator arm never sampled (inserts {sampled_inserts}, extracts {sampled_extracts})"
     );
+    // Same for the sojourn arm: zero stamps or matches means the
+    // insert/extract hooks are disconnected, not that stamping is fast.
+    let (stamped, matched, ..) = q_soj.sojourn_tracker().unwrap().counters();
+    assert!(
+        stamped > 0 && matched > 0,
+        "sojourn arm never stamped (stamped {stamped}, matched {matched})"
+    );
 
     bench::csv_header(&["variant", "ns_per_pair", "overhead_pct"]);
     println!("bare,{bare:.1},0.0");
     println!("counter+hist,{inst:.1},{inst_pct:.2}");
     println!("estimator,{est:.1},{est_pct:.2}");
+    println!("sojourn,{soj:.1},{soj_pct:.2}");
     std::hint::black_box((COUNTER.get(), HIST.snapshot().count));
 
     if args.get_bool("assert") {
@@ -127,6 +154,7 @@ fn main() {
         for (variant, pct, ns) in [
             ("counter+hist", inst_pct, inst),
             ("estimator", est_pct, est),
+            ("sojourn", soj_pct, soj),
         ] {
             if pct > budget {
                 eprintln!(

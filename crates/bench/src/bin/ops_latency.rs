@@ -20,9 +20,17 @@
 //! the flight-recorder rings are exported as Chrome `trace_event` JSON
 //! for chrome://tracing / Perfetto.
 //!
+//! With `--serve [addr]` (default `127.0.0.1:9898`; `:0` for an
+//! ephemeral port, printed to stderr) a zero-dep HTTP listener exposes
+//! the live run at `/metrics` (Prometheus text), `/snapshot.json` and
+//! `/healthz` — point `zmsq-top` or `curl` at it while the bench runs.
+//! `--serve-hold-ms N` keeps the listener up N ms after the last queue
+//! finishes so slow scrapers (CI) still see the final state.
+//!
 //! Usage: ops_latency [--ops N] [--prefill N] [--threads T]
 //!                    [--queues a,b,c] [--quick] [--metrics \[path\]]
-//!                    [--trace \[path\]]
+//!                    [--trace \[path\]] [--serve \[addr\]]
+//!                    [--serve-hold-ms N]
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -44,6 +52,9 @@ fn main() {
         "zmsq,zmsq-array,zmsq-strict,mound,spraylist,multiqueue,coarse-heap",
     );
     let metrics = MetricsOut::from_args(&args, "ops_latency");
+    let server = bench::metrics::serve_from_args(&args, "ops_latency");
+    let serving = server.is_some();
+    let observing = metrics.is_some() || serving;
     let mut all = obs::Snapshot::new();
 
     bench::csv_header(&[
@@ -55,14 +66,14 @@ fn main() {
             Arc::from(make_queue::<u64>(kind, threads));
         let ins = LatencyHistogram::new();
         let ext = LatencyHistogram::new();
-        let obs_ins = obs::Histogram::new();
-        let obs_ext = obs::Histogram::new();
-        let record_obs = metrics.is_some();
+        let obs_ins = Arc::new(obs::Histogram::new());
+        let obs_ext = Arc::new(obs::Histogram::new());
+        let record_obs = observing;
 
         for i in 0..prefill {
             q.insert((i * 2654435761) % (1 << 20), i);
         }
-        let sampler = metrics.as_ref().map(|_| {
+        let sampler = observing.then(|| {
             let qs = Arc::clone(&q);
             obs::Sampler::start(
                 &format!("{kind}/depth"),
@@ -71,6 +82,44 @@ fn main() {
                 move || vec![qs.len_hint() as f64],
             )
         });
+        // Retained relaxation-quality series: p99 of the queue's live
+        // `quality.est_rank` histogram, held in the fixed-memory
+        // 2s/1m/1h tiers so `/metrics` scrapes see recent history.
+        let rank_sampler = observing.then(|| {
+            let qs = Arc::clone(&q);
+            obs::Sampler::start_retained(
+                &format!("{kind}/quality.est_rank"),
+                Duration::from_millis(20),
+                &["p99"],
+                move || {
+                    vec![qs
+                        .metrics()
+                        .and_then(|m| {
+                            m.hist("quality.est_rank")
+                                .filter(|h| h.count > 0)
+                                .map(|h| h.quantile(0.99) as f64)
+                        })
+                        .unwrap_or(0.0)]
+                },
+            )
+        });
+        if serving {
+            // Live view of the queue currently under test: its internal
+            // metrics (incl. `quality.est_rank` and `queue.sojourn_ns`)
+            // plus the in-flight per-op latency histograms, namespaced
+            // exactly like the final `--metrics` document.
+            let (qs, ins_h, ext_h) = (Arc::clone(&q), Arc::clone(&obs_ins), Arc::clone(&obs_ext));
+            let prefix = format!("{kind}/");
+            bench::metrics::set_live_source(move || {
+                let mut s = obs::Snapshot::new();
+                if let Some(qm) = qs.metrics() {
+                    s.merge_prefixed(&prefix, qm);
+                }
+                s.push_hist(&format!("{prefix}insert_ns"), &ins_h);
+                s.push_hist(&format!("{prefix}extract_ns"), &ext_h);
+                s
+            });
+        }
         let per_thread = ops / threads as u64;
         let t_wall = Instant::now();
         std::thread::scope(|s| {
@@ -119,14 +168,21 @@ fn main() {
                 h.max_ns()
             );
         }
+        // Stop the samplers even when only serving (no `--metrics`):
+        // their threads capture the queue and must not outlive the kind.
+        let depth_series = sampler.map(|s| s.stop());
+        let rank_series = rank_sampler.map(|(s, _retain)| s.stop());
         if metrics.is_some() {
             all.push_hist(&format!("{kind}/insert_ns"), &obs_ins);
             all.push_hist(&format!("{kind}/extract_ns"), &obs_ext);
             if let Some(qm) = q.metrics() {
                 all.merge_prefixed(&format!("{kind}/"), qm);
             }
-            if let Some(sam) = sampler {
-                all.push_series(sam.stop());
+            if let Some(s) = depth_series {
+                all.push_series(s);
+            }
+            if let Some(s) = rank_series {
+                all.push_series(s);
             }
             // Perf-gate summary: stable per-kind keys compare_bench.py
             // reads across runs.
@@ -149,4 +205,13 @@ fn main() {
         }
     }
     bench::metrics::export_trace(&args, "ops_latency");
+
+    if let Some(server) = server {
+        let hold: u64 = args.get_num("serve-hold-ms", 0);
+        if hold > 0 {
+            eprintln!("serve: holding listener for {hold} ms after run");
+            std::thread::sleep(Duration::from_millis(hold));
+        }
+        server.stop();
+    }
 }

@@ -17,10 +17,18 @@
 //! the per-policy `queue.shed.*` counters, `queue.pressure.*` gauges
 //! and an occupancy time [`obs::Series`].
 //!
+//! With `--serve [addr]` (default `127.0.0.1:9898`) a zero-dep HTTP
+//! listener exposes the phase currently running at `/metrics`
+//! (Prometheus text), `/snapshot.json` and `/healthz`; the occupancy
+//! sampler is additionally retained in fixed-memory 2s/1m/1h tiers so
+//! scrapes see recent history. `--serve-hold-ms N` keeps the listener
+//! up N ms after the last phase.
+//!
 //! ```text
 //! overload [--producers N] [--consumers N] [--capacity N] [--ops N]
 //!          [--service-ns N] [--policies block,reject,shed]
 //!          [--quick] [--assert] [--metrics [path]]
+//!          [--serve [addr]] [--serve-hold-ms N]
 //! ```
 //!
 //! CSV columns: policy, producers, consumers, capacity, secs, arrivals,
@@ -73,11 +81,26 @@ fn run_phase(
     ops_per_producer: u64,
     service_ns: u64,
     with_series: bool,
+    serving: bool,
 ) -> PhaseResult {
     let q: Arc<Zmsq<u64>> = Arc::new(Zmsq::with_config(
         ZmsqConfig::default().capacity(capacity).shed_policy(policy),
     ));
     let insert_lat = Arc::new(obs::Histogram::new());
+    if serving {
+        // Live view of the phase in flight, namespaced exactly like the
+        // final `--metrics` document (`overload.<policy>.<metric>`).
+        let (qs, lat) = (Arc::clone(&q), Arc::clone(&insert_lat));
+        let prefix = format!("overload.{policy_name}.");
+        bench::metrics::set_live_source(move || {
+            let mut s = obs::Snapshot::new();
+            if let Some(qm) = ConcurrentPriorityQueue::metrics(&*qs) {
+                s.merge_prefixed(&prefix, qm);
+            }
+            s.push_hist(&format!("{prefix}insert_latency_ns"), &lat);
+            s
+        });
+    }
     let extracted = Arc::new(AtomicU64::new(0));
     let producing = Arc::new(AtomicBool::new(true));
     let max_occupancy = Arc::new(AtomicU64::new(0));
@@ -103,9 +126,11 @@ fn run_phase(
             })
             .start()
     };
+    // Retained (2s/1m/1h tiers) so `--serve` scrapes see occupancy
+    // history; the full-resolution series still lands in `--metrics`.
     let sampler = with_series.then(|| {
         let probe_q = Arc::clone(&q);
-        obs::Sampler::start(
+        obs::Sampler::start_retained(
             &format!("overload.{policy_name}.occupancy"),
             Duration::from_millis(2),
             &["occupancy", "producer_waiters"],
@@ -213,7 +238,7 @@ fn run_phase(
         p99_ns: hist.p99,
         max_occupancy: max_occupancy.load(Ordering::Relaxed) as i64,
         snapshot,
-        series: sampler.map(|s| s.stop()),
+        series: sampler.map(|(s, _retain)| s.stop()),
         watchdog: wd.stop(),
     }
 }
@@ -231,6 +256,8 @@ fn main() {
     let service_ns: u64 = args.get_num("service-ns", 2_000);
     let do_assert = args.get_bool("assert");
     let metrics = MetricsOut::from_args(&args, "overload");
+    let server = bench::metrics::serve_from_args(&args, "overload");
+    let serving = server.is_some();
 
     let policy_list = args.get("policies", "block,reject,shed");
     let mut phases: Vec<(ShedPolicy, &'static str)> = Vec::new();
@@ -273,7 +300,8 @@ fn main() {
             capacity,
             ops,
             service_ns,
-            metrics.is_some(),
+            metrics.is_some() || serving,
+            serving,
         );
         println!(
             "{},{producers},{consumers},{capacity},{:.3},{},{},{},{},{},{:.4},{},{},{}",
@@ -367,6 +395,15 @@ fn main() {
             .expect("write metrics JSON");
     }
     bench::metrics::export_trace(&args, "overload");
+
+    if let Some(server) = server {
+        let hold: u64 = args.get_num("serve-hold-ms", 0);
+        if hold > 0 {
+            eprintln!("serve: holding listener for {hold} ms after run");
+            std::thread::sleep(Duration::from_millis(hold));
+        }
+        server.stop();
+    }
 
     if !failures.is_empty() {
         for f in &failures {

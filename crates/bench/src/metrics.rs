@@ -7,6 +7,7 @@
 //! [`crate::harness::flush_metrics`]).
 
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use crate::cli::Args;
 
@@ -102,6 +103,76 @@ pub fn export_trace(args: &Args, bin: &str) {
     }
 }
 
+type LiveFn = Arc<dyn Fn() -> obs::Snapshot + Send + Sync>;
+
+/// The bench-specific half of the live snapshot: a closure the harness
+/// swaps in as it moves between queues/phases so `--serve` scrapes see
+/// the *currently running* workload, not a stale one.
+static LIVE_SOURCE: Mutex<Option<LiveFn>> = Mutex::new(None);
+
+/// Register (or replace) the bench-specific live-snapshot source. The
+/// closure runs on the exporter's handler thread, so it must only read
+/// concurrently-safe state (queue `metrics()`, `Arc`'d histograms, …).
+pub fn set_live_source<F: Fn() -> obs::Snapshot + Send + Sync + 'static>(f: F) {
+    *LIVE_SOURCE.lock().unwrap() = Some(Arc::new(f));
+}
+
+/// Drop the bench-specific source (e.g. between phases, while the
+/// queue it captured is being torn down). Scrapes still see the global
+/// registry, substrate counters and retained series.
+pub fn clear_live_source() {
+    *LIVE_SOURCE.lock().unwrap() = None;
+}
+
+/// One consistent live snapshot for `/metrics` and `/snapshot.json`:
+/// the global `obs` registry, the always-on sync/SMR substrate
+/// counters, whatever [`set_live_source`] currently provides, and the
+/// fixed-memory retention tiers (`obs::retain`).
+pub fn live_snapshot() -> obs::Snapshot {
+    let mut s = obs::global().snapshot();
+    s.merge(substrate_snapshot());
+    let src = LIVE_SOURCE.lock().unwrap().clone();
+    if let Some(f) = src {
+        s.merge(f());
+    }
+    obs::retain::collect_into(&mut s);
+    s
+}
+
+/// `--serve [addr]` plumbing: start the zero-dep introspection
+/// listener ([`obs::serve`]) backed by [`live_snapshot`]. Bare
+/// `--serve` binds `127.0.0.1:9898`; `--serve 127.0.0.1:0` picks an
+/// ephemeral port. The **bound** address is printed to stderr (stdout
+/// stays CSV-clean) so scripts can scrape `:0` binds. Keep the
+/// returned guard alive for the duration of the run; a failed bind
+/// warns and returns `None` rather than aborting the bench.
+pub fn serve_from_args(args: &Args, bin: &str) -> Option<obs::MetricsServer> {
+    let v = args.get_opt("serve")?;
+    let addr = if v == "true" || v == "1" {
+        "127.0.0.1:9898"
+    } else {
+        v
+    };
+    let bin = bin.to_string();
+    match obs::serve(addr, move || {
+        let mut s = live_snapshot();
+        s.push_meta("bin", &bin);
+        s
+    }) {
+        Ok(server) => {
+            eprintln!(
+                "serve: listening on http://{}/  (endpoints: /metrics /snapshot.json /healthz)",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        Err(e) => {
+            eprintln!("serve: bind {addr} failed: {e}");
+            None
+        }
+    }
+}
+
 /// The always-on process-wide counters of the instrumented crates:
 /// futex / event-buffer / trylock (`zmsq-sync`) and hazard-pointer / EBR
 /// reclamation (`smr`). Names arrive pre-prefixed (`futex.*`, `event.*`,
@@ -161,6 +232,36 @@ mod tests {
         ] {
             assert!(s.counter(key).is_some(), "missing substrate counter {key}");
         }
+    }
+
+    #[test]
+    fn live_snapshot_merges_source_substrate_and_retention() {
+        set_live_source(|| {
+            let mut s = obs::Snapshot::new();
+            s.push_gauge("live.test.gauge", 42);
+            s
+        });
+        let s = live_snapshot();
+        assert_eq!(s.gauge("live.test.gauge"), Some(42));
+        assert!(s.counter("trylock.attempts").is_some(), "substrate missing");
+        clear_live_source();
+        assert!(live_snapshot().gauge("live.test.gauge").is_none());
+    }
+
+    #[test]
+    fn serve_from_args_binds_and_reports_ephemeral_port() {
+        assert!(serve_from_args(&args(""), "unit").is_none());
+        let server = serve_from_args(&args("--serve 127.0.0.1:0"), "unit").expect("bind");
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0, "ephemeral port must be resolved");
+        // The served body must carry the bin meta stamped by the wrapper.
+        use std::io::{Read as _, Write as _};
+        let mut c = std::net::TcpStream::connect(addr).unwrap();
+        write!(c, "GET /snapshot.json HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        c.read_to_string(&mut body).unwrap();
+        assert!(body.contains("\"bin\""), "{body}");
+        server.stop();
     }
 
     #[test]

@@ -1,0 +1,546 @@
+//! Live export: Prometheus text rendering and a tiny zero-dependency
+//! HTTP endpoint.
+//!
+//! Two halves:
+//!
+//! * [`render_prometheus`] — renders a [`Snapshot`] in the Prometheus
+//!   text exposition format (version 0.0.4): counters as `counter`
+//!   families, gauges/ratios/summaries as `gauge`, histograms as
+//!   cumulative `_bucket{le=…}` series plus `_sum`/`_count`.
+//! * [`serve`] — a deliberately small HTTP/1.0 listener on a raw
+//!   [`std::net::TcpListener`] with one handler thread and three
+//!   endpoints: `/metrics` (Prometheus text), `/snapshot.json` (the
+//!   snapshot's canonical JSON) and `/healthz`. It exists so a bench or
+//!   service can be scraped *while running*, without pulling an HTTP
+//!   stack into the dependency graph.
+//!
+//! # Name and label conventions
+//!
+//! Snapshot metric names are dotted (`quality.est_rank`); Prometheus
+//! names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`. Every invalid character
+//! is mangled to `_` (a leading digit gets a `_` prefix).
+//!
+//! A snapshot name may carry an inline label suffix in braces —
+//! `sync.wait_ns{site=zmsq.root}` — which the renderer parses into
+//! proper Prometheus labels with quoted, escaped values:
+//! `sync_wait_ns_bucket{site="zmsq.root",le="255"}`. Label *values* are
+//! kept verbatim (only escaped); label *names* are mangled like metric
+//! names. JSON output keeps the literal braced name.
+//!
+//! # Histogram buckets
+//!
+//! The snapshot's sparse `(floor, count)` buckets become cumulative
+//! `le` boundaries: bucket *j*'s samples all lie below the next present
+//! floor, so the boundary emitted for bucket *j* is
+//! `next_floor - 1` (exact: samples are integers), and the final
+//! boundary is `+Inf`. Boundaries are strictly increasing and the
+//! cumulative counts are nondecreasing — the golden test pins both.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::snapshot::Snapshot;
+
+/// Mangle one character for a Prometheus metric or label name.
+fn mangle_char(c: char) -> char {
+    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+        c
+    } else {
+        '_'
+    }
+}
+
+/// Mangle a dotted snapshot name into a valid Prometheus name.
+fn mangle_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_digit() => {
+            out.push('_');
+            out.push(c);
+        }
+        Some(c) => out.push(mangle_char(c)),
+        None => return "_".to_string(),
+    }
+    out.extend(chars.map(mangle_char));
+    out
+}
+
+/// Escape a label value per the exposition format: `\`, `"`, newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Split `name{k=v,k2=v2}` into the base name and its label pairs.
+/// Names without a well-formed `{…}` suffix have no labels.
+fn split_labels(name: &str) -> (&str, Vec<(String, String)>) {
+    let Some(open) = name.find('{') else {
+        return (name, Vec::new());
+    };
+    if !name.ends_with('}') {
+        return (name, Vec::new());
+    }
+    let base = &name[..open];
+    let body = &name[open + 1..name.len() - 1];
+    let mut labels = Vec::new();
+    for pair in body.split(',') {
+        let Some((k, v)) = pair.split_once('=') else {
+            // Malformed pair: treat the whole suffix as part of the name
+            // (it will be mangled) rather than guessing.
+            return (name, Vec::new());
+        };
+        labels.push((mangle_name(k.trim()), v.trim().to_string()));
+    }
+    (base, labels)
+}
+
+/// Render a label set (possibly with an extra `le` pair) as
+/// `{k="v",…}`, or the empty string when there are no labels.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Format an `f64` the way Prometheus expects (`+Inf`, `-Inf`, `NaN`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One family: `# TYPE` header plus its sample lines, grouped so a
+/// family with several label sets gets exactly one header.
+struct Family {
+    kind: &'static str,
+    lines: Vec<String>,
+}
+
+fn push_sample(
+    families: &mut Vec<(String, Family)>,
+    family: &str,
+    kind: &'static str,
+    line: String,
+) {
+    if let Some((_, f)) = families.iter_mut().find(|(n, _)| n == family) {
+        f.lines.push(line);
+    } else {
+        families.push((
+            family.to_string(),
+            Family {
+                kind,
+                lines: vec![line],
+            },
+        ));
+    }
+}
+
+/// Render a [`Snapshot`] in the Prometheus text exposition format.
+///
+/// Ordering is deterministic: families appear in first-encounter order
+/// (counters, gauges, ratios, summaries, histograms, then series
+/// digests), each with a single `# TYPE` line.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut families: Vec<(String, Family)> = Vec::new();
+
+    for (name, v) in &snap.counters {
+        let (base, labels) = split_labels(name);
+        let fam = mangle_name(base);
+        let line = format!("{fam}{} {v}", render_labels(&labels, None));
+        push_sample(&mut families, &fam, "counter", line);
+    }
+    for (name, v) in &snap.gauges {
+        let (base, labels) = split_labels(name);
+        let fam = mangle_name(base);
+        let line = format!("{fam}{} {v}", render_labels(&labels, None));
+        push_sample(&mut families, &fam, "gauge", line);
+    }
+    for (name, v) in &snap.ratios {
+        let (base, labels) = split_labels(name);
+        let fam = mangle_name(base);
+        let line = format!("{fam}{} {}", render_labels(&labels, None), fmt_f64(*v));
+        push_sample(&mut families, &fam, "gauge", line);
+    }
+    for (name, v) in &snap.summary {
+        let (base, labels) = split_labels(name);
+        let fam = mangle_name(base);
+        let line = format!("{fam}{} {}", render_labels(&labels, None), fmt_f64(*v));
+        push_sample(&mut families, &fam, "gauge", line);
+    }
+    for (name, h) in &snap.hists {
+        let (base, labels) = split_labels(name);
+        let fam = mangle_name(base);
+        let mut cum = 0u64;
+        for (j, (_, count)) in h.buckets.iter().enumerate() {
+            cum += count;
+            // Bucket j's samples all lie strictly below the next present
+            // floor (gap buckets are empty); samples are integers, so
+            // `next_floor - 1` is an exact inclusive boundary.
+            let le = match h.buckets.get(j + 1) {
+                Some((next_floor, _)) => fmt_f64((next_floor - 1) as f64),
+                None => continue, // last finite bucket folds into +Inf
+            };
+            let line = format!("{fam}_bucket{} {cum}", render_labels(&labels, Some(&le)));
+            push_sample(&mut families, &fam, "histogram", line);
+        }
+        let inf = format!(
+            "{fam}_bucket{} {}",
+            render_labels(&labels, Some("+Inf")),
+            h.count
+        );
+        push_sample(&mut families, &fam, "histogram", inf);
+        let lbl = render_labels(&labels, None);
+        push_sample(
+            &mut families,
+            &fam,
+            "histogram",
+            format!("{fam}_sum{lbl} {}", h.sum),
+        );
+        push_sample(
+            &mut families,
+            &fam,
+            "histogram",
+            format!("{fam}_count{lbl} {}", h.count),
+        );
+    }
+    // Retained/collected time series: per-scrape duplicate timestamps
+    // are invalid Prometheus, so each series is digested into labeled
+    // gauges — the latest value per column plus the retained row count.
+    // Full history is available from `/snapshot.json`.
+    for s in &snap.series {
+        if let Some(last) = s.rows.last() {
+            for (col, v) in s.columns.iter().zip(last.iter()).skip(1) {
+                let labels = vec![
+                    ("series".to_string(), s.name.clone()),
+                    ("column".to_string(), col.clone()),
+                ];
+                let line = format!(
+                    "obs_series_last{} {}",
+                    render_labels(&labels, None),
+                    fmt_f64(*v)
+                );
+                push_sample(&mut families, "obs_series_last", "gauge", line);
+            }
+        }
+        let labels = vec![("series".to_string(), s.name.clone())];
+        let line = format!(
+            "obs_series_rows{} {}",
+            render_labels(&labels, None),
+            s.rows.len()
+        );
+        push_sample(&mut families, "obs_series_rows", "gauge", line);
+    }
+
+    let mut out = String::new();
+    for (k, v) in &snap.meta {
+        out.push_str(&format!("# meta {k}={}\n", v.replace('\n', " ")));
+    }
+    for (name, fam) in &families {
+        out.push_str(&format!("# TYPE {name} {}\n", fam.kind));
+        for line in &fam.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Handle on the background listener thread; dropping (or calling
+/// [`stop`](Self::stop)) shuts it down.
+pub struct MetricsServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address — useful with `:0` (ephemeral port) binds.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start the introspection endpoint on `addr` (e.g. `127.0.0.1:9901`
+/// or `127.0.0.1:0` for an ephemeral port).
+///
+/// `source` is called once per request to produce the snapshot served
+/// at both `/metrics` (Prometheus text) and `/snapshot.json`.
+/// `/healthz` answers `ok` without calling the source. The server is
+/// HTTP/1.0, one connection at a time, `Connection: close` — it is an
+/// introspection hatch, not a web server.
+pub fn serve<A, F>(addr: A, source: F) -> std::io::Result<MetricsServer>
+where
+    A: ToSocketAddrs,
+    F: Fn() -> Snapshot + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("obs-serve".to_string())
+        .spawn(move || {
+            while !stop2.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => handle_conn(stream, &source),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        // Nonblocking accept so stop() stays responsive.
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: bound,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_conn<F: Fn() -> Snapshot>(mut stream: std::net::TcpStream, source: &F) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_nodelay(true);
+    // One read is enough for a GET request line; anything beyond the
+    // first line (headers, body) is ignored.
+    let mut buf = [0u8; 1024];
+    let n = match stream.read(&mut buf) {
+        Ok(0) | Err(_) => return,
+        Ok(n) => n,
+    };
+    let req = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = req.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, ctype, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                render_prometheus(&source()),
+            ),
+            "/snapshot.json" => ("200 OK", "application/json", source().to_json()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    fn synthetic() -> Snapshot {
+        let mut s = Snapshot::new();
+        s.push_counter("zmsq.inserts", 100);
+        s.push_counter("sync.trylock_fails{site=zmsq.root}", 7);
+        s.push_counter("sync.trylock_fails{site=zmsq.node}", 3);
+        s.push_gauge("queue.pressure.occupancy", -2);
+        s.push_ratio("trylock.contention_ratio", 0.25);
+        s.push_summary("zmsq/throughput_ops_per_s", 1.5e6);
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 10_000] {
+            h.record(v);
+        }
+        s.push_hist("queue.sojourn_ns", &h);
+        s.push_meta("bench", "golden");
+        s
+    }
+
+    #[test]
+    fn name_mangling() {
+        assert_eq!(mangle_name("quality.est_rank"), "quality_est_rank");
+        assert_eq!(mangle_name("9lives"), "_9lives");
+        assert_eq!(mangle_name("a-b c/d"), "a_b_c_d");
+        assert_eq!(mangle_name(""), "_");
+    }
+
+    #[test]
+    fn label_splitting_and_escaping() {
+        let (base, labels) = split_labels("sync.wait_ns{site=zmsq.root}");
+        assert_eq!(base, "sync.wait_ns");
+        assert_eq!(labels, vec![("site".to_string(), "zmsq.root".to_string())]);
+        // Malformed suffixes degrade to a plain (mangled) name.
+        let (base, labels) = split_labels("odd{notapair}");
+        assert_eq!(base, "odd{notapair}");
+        assert!(labels.is_empty());
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn golden_render() {
+        let text = render_prometheus(&synthetic());
+        // Counter family with label sets under one TYPE header.
+        assert!(text.contains("# TYPE sync_trylock_fails counter"));
+        assert!(text.contains("sync_trylock_fails{site=\"zmsq.root\"} 7"));
+        assert!(text.contains("sync_trylock_fails{site=\"zmsq.node\"} 3"));
+        assert_eq!(
+            text.matches("# TYPE sync_trylock_fails counter").count(),
+            1,
+            "one TYPE line per family"
+        );
+        assert!(text.contains("zmsq_inserts 100"));
+        assert!(text.contains("queue_pressure_occupancy -2"));
+        assert!(text.contains("trylock_contention_ratio 0.25"));
+        assert!(text.contains("zmsq_throughput_ops_per_s 1500000"));
+        // Histogram: TYPE, +Inf bucket carrying the total, sum, count.
+        assert!(text.contains("# TYPE queue_sojourn_ns histogram"));
+        assert!(text.contains("queue_sojourn_ns_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("queue_sojourn_ns_count 5"));
+        assert!(text.contains("queue_sojourn_ns_sum 10106"));
+        assert!(text.contains("# meta bench=golden"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let text = render_prometheus(&synthetic());
+        let mut les = Vec::new();
+        let mut cums = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("queue_sojourn_ns_bucket{le=\"") {
+                let (le, rest) = rest.split_once('"').unwrap();
+                let cum: u64 = rest.trim_start_matches('}').trim().parse().unwrap();
+                les.push(le.to_string());
+                cums.push(cum);
+            }
+        }
+        assert!(les.len() >= 2, "expected finite buckets plus +Inf");
+        assert_eq!(les.last().unwrap(), "+Inf");
+        let finite: Vec<f64> = les[..les.len() - 1]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(
+            finite.windows(2).all(|w| w[0] < w[1]),
+            "le boundaries strictly increasing: {finite:?}"
+        );
+        assert!(
+            cums.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative counts nondecreasing: {cums:?}"
+        );
+        assert_eq!(*cums.last().unwrap(), 5, "+Inf bucket holds the total");
+    }
+
+    #[test]
+    fn series_digest_renders_as_labeled_gauges() {
+        let mut s = Snapshot::new();
+        s.push_series(crate::Series {
+            name: "retain/quality.est_rank/2s".to_string(),
+            columns: vec!["t_ms".into(), "p99".into()],
+            rows: vec![vec![0.0, 4.0], vec![20.0, 6.0]],
+        });
+        let text = render_prometheus(&s);
+        assert!(text
+            .contains("obs_series_last{series=\"retain/quality.est_rank/2s\",column=\"p99\"} 6"));
+        assert!(text.contains("obs_series_rows{series=\"retain/quality.est_rank/2s\"} 2"));
+    }
+
+    #[test]
+    fn serve_endpoints_roundtrip() {
+        let srv = serve("127.0.0.1:0", synthetic).expect("bind ephemeral");
+        let addr = srv.local_addr();
+        let get = |path: &str| -> (String, String) {
+            let mut c = std::net::TcpStream::connect(addr).expect("connect");
+            write!(c, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+            let mut resp = String::new();
+            c.read_to_string(&mut resp).expect("read");
+            let (head, body) = resp.split_once("\r\n\r\n").expect("header split");
+            (head.to_string(), body.to_string())
+        };
+        let (head, body) = get("/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert_eq!(body, "ok\n");
+        let (head, body) = get("/metrics");
+        assert!(head.contains("200"));
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("zmsq_inserts 100"));
+        let (head, body) = get("/snapshot.json");
+        assert!(head.contains("application/json"));
+        let parsed = Snapshot::from_json(&body).expect("snapshot json parses");
+        assert_eq!(parsed.counter("zmsq.inserts"), Some(100));
+        let (head, _) = get("/nope");
+        assert!(head.contains("404"));
+        srv.stop();
+    }
+
+    #[test]
+    fn serve_rejects_non_get() {
+        let srv = serve("127.0.0.1:0", Snapshot::new).unwrap();
+        let mut c = std::net::TcpStream::connect(srv.local_addr()).unwrap();
+        write!(c, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        c.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 405"));
+    }
+}

@@ -30,6 +30,16 @@
 //!   paired with busy predicates, flags subsystems that stop moving
 //!   while claiming to be busy (stalled shard, wedged producer, stuck
 //!   reclamation), and dumps the flight recorder on a sustained stall.
+//! * [`export`] — live introspection: a Prometheus text renderer for
+//!   [`Snapshot`] and a tiny zero-dependency HTTP/1.0 endpoint
+//!   ([`serve`]) exposing `/metrics`, `/snapshot.json` and `/healthz`
+//!   while a process is running.
+//! * [`retain`] — fixed-memory multi-tier time-series retention rings
+//!   (2s/1m/1h by default) fed by [`Sampler::start_retained`], so a
+//!   scrape sees downsampled history rather than a single point.
+//! * [`sojourn`] — sampled per-element enqueue→extract sojourn-time
+//!   histograms ([`SojournTracker`]), the queueing-delay complement to
+//!   [`RankEstimator`]'s rank error.
 //!
 //! Overhead budget: with default features a counter increment is one
 //! relaxed `fetch_add` on a thread-private cache line and a histogram
@@ -38,23 +48,29 @@
 
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod quality;
 pub mod recorder;
+pub mod retain;
 pub mod sampler;
 pub mod snapshot;
+pub mod sojourn;
 pub mod span;
 pub mod trace;
 pub mod watchdog;
 
+pub use export::{render_prometheus, serve, MetricsServer};
 pub use hist::{HistSnapshot, Histogram};
 pub use metrics::{global, Counter, Gauge, Registry, STRIPES};
 pub use quality::RankEstimator;
 pub use recorder::EventKind;
+pub use retain::Retention;
 pub use sampler::{Sampler, Series};
 pub use snapshot::Snapshot;
+pub use sojourn::SojournTracker;
 pub use span::{SpanGuard, SpanPhase};
 pub use watchdog::{Watchdog, WatchdogBuilder};
 

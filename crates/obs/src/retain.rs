@@ -1,0 +1,334 @@
+//! Fixed-memory time-series retention: multi-resolution rings fed by
+//! the background [`Sampler`](crate::Sampler), so a live scrape sees
+//! *history*, not just the current instant.
+//!
+//! A [`Retention`] holds one ring per [`TierSpec`] — by default a
+//! high-resolution short window plus two downsampled long windows
+//! (see [`default_tiers`]):
+//!
+//! | tier | bucket | capacity | window | memory (3 columns) |
+//! |------|--------|----------|--------|--------------------|
+//! | `2s` | 20 ms  | 100 rows | 2 s    | ≈ 3.2 KiB          |
+//! | `1m` | 1 s    | 60 rows  | 1 min  | ≈ 1.9 KiB          |
+//! | `1h` | 60 s   | 60 rows  | 1 h    | ≈ 1.9 KiB          |
+//!
+//! (Each row is `1 + columns` `f64`s; memory is
+//! `rows × (columns + 1) × 8` bytes per tier, fixed for the process
+//! lifetime — the rings never grow.)
+//!
+//! Every [`push`](Retention::push) feeds *all* tiers: samples falling
+//! inside a tier's current bucket are averaged (downsampled merge);
+//! when a sample crosses the bucket boundary the mean row is sealed
+//! into the ring, evicting the oldest row once the ring is full.
+//!
+//! Retentions registered with [`keep`] are exported by
+//! [`collect_into`] as ordinary snapshot `series` named
+//! `<name>/<tier>` — visible in the JSON dump, `/snapshot.json`, and
+//! (digested) `/metrics`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::sampler::Series;
+
+/// One retention tier: bucket `interval` × ring `capacity`.
+#[derive(Clone, Debug)]
+pub struct TierSpec {
+    /// Short display label (`2s`, `1m`, `1h`) suffixed onto the series
+    /// name.
+    pub label: &'static str,
+    /// Downsampling bucket width: all samples within one interval merge
+    /// into a single mean row.
+    pub interval: Duration,
+    /// Ring capacity in rows; the retained window is
+    /// `interval * capacity`.
+    pub capacity: usize,
+}
+
+/// The default 2s/1m/1h tier ladder (see the module table).
+pub fn default_tiers() -> Vec<TierSpec> {
+    vec![
+        TierSpec {
+            label: "2s",
+            interval: Duration::from_millis(20),
+            capacity: 100,
+        },
+        TierSpec {
+            label: "1m",
+            interval: Duration::from_secs(1),
+            capacity: 60,
+        },
+        TierSpec {
+            label: "1h",
+            interval: Duration::from_secs(60),
+            capacity: 60,
+        },
+    ]
+}
+
+struct Tier {
+    spec: TierSpec,
+    /// Sealed mean rows, oldest first; `rows.len() <= spec.capacity`.
+    rows: VecDeque<Vec<f64>>,
+    /// Start of the bucket currently accumulating, ms.
+    bucket_start_ms: f64,
+    /// Per-column sums of the open bucket (t_ms column included).
+    acc: Vec<f64>,
+    acc_n: u64,
+}
+
+impl Tier {
+    fn new(spec: TierSpec, width: usize) -> Self {
+        Self {
+            spec,
+            rows: VecDeque::new(),
+            bucket_start_ms: 0.0,
+            acc: vec![0.0; width],
+            acc_n: 0,
+        }
+    }
+
+    fn seal(&mut self) {
+        if self.acc_n == 0 {
+            return;
+        }
+        let n = self.acc_n as f64;
+        let row: Vec<f64> = self.acc.iter().map(|s| s / n).collect();
+        if self.rows.len() == self.spec.capacity {
+            self.rows.pop_front();
+        }
+        self.rows.push_back(row);
+        self.acc.iter_mut().for_each(|s| *s = 0.0);
+        self.acc_n = 0;
+    }
+
+    fn push(&mut self, row: &[f64]) {
+        let t_ms = row[0];
+        let width = self.spec.interval.as_secs_f64() * 1e3;
+        if self.acc_n > 0 && t_ms - self.bucket_start_ms >= width {
+            self.seal();
+        }
+        if self.acc_n == 0 {
+            // Align the bucket start to the tier grid so idle gaps do
+            // not smear one bucket across them.
+            self.bucket_start_ms = if width > 0.0 {
+                (t_ms / width).floor() * width
+            } else {
+                t_ms
+            };
+        }
+        for (s, v) in self.acc.iter_mut().zip(row) {
+            *s += v;
+        }
+        self.acc_n += 1;
+    }
+
+    /// Ring rows plus the open (partial) bucket's running mean, so
+    /// short runs still show data in coarse tiers.
+    fn rows_with_partial(&self) -> Vec<Vec<f64>> {
+        let mut out: Vec<Vec<f64>> = self.rows.iter().cloned().collect();
+        if self.acc_n > 0 {
+            let n = self.acc_n as f64;
+            out.push(self.acc.iter().map(|s| s / n).collect());
+        }
+        out
+    }
+}
+
+struct Inner {
+    columns: Vec<String>,
+    tiers: Vec<Tier>,
+}
+
+/// Multi-tier fixed-memory retention for one sampled series.
+pub struct Retention {
+    name: String,
+    inner: Mutex<Inner>,
+}
+
+impl Retention {
+    /// Build a retention named `name` over `columns` (without the
+    /// implicit leading `t_ms`), with the given tier ladder.
+    pub fn new(name: &str, columns: &[&str], tiers: &[TierSpec]) -> Self {
+        let mut cols = vec!["t_ms".to_string()];
+        cols.extend(columns.iter().map(|c| c.to_string()));
+        let width = cols.len();
+        Self {
+            name: name.to_string(),
+            inner: Mutex::new(Inner {
+                columns: cols,
+                tiers: tiers.iter().map(|t| Tier::new(t.clone(), width)).collect(),
+            }),
+        }
+    }
+
+    /// The retained series' base name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Feed one sample row: `t_ms` since the feeding sampler's epoch
+    /// plus one value per column. Rows with the wrong arity are
+    /// ignored (a probe bug must not poison the rings).
+    pub fn push(&self, t_ms: f64, values: &[f64]) {
+        let mut inner = self.inner.lock().unwrap();
+        if values.len() + 1 != inner.columns.len() {
+            return;
+        }
+        let mut row = Vec::with_capacity(values.len() + 1);
+        row.push(t_ms);
+        row.extend_from_slice(values);
+        for tier in &mut inner.tiers {
+            tier.push(&row);
+        }
+    }
+
+    /// Export one [`Series`] per tier, named `<name>/<tier>`, each
+    /// including the open partial bucket as its last row.
+    pub fn series(&self) -> Vec<Series> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .tiers
+            .iter()
+            .map(|t| Series {
+                name: format!("{}/{}", self.name, t.spec.label),
+                columns: inner.columns.clone(),
+                rows: t.rows_with_partial(),
+            })
+            .collect()
+    }
+}
+
+fn global() -> &'static Mutex<Vec<Arc<Retention>>> {
+    static GLOBAL: OnceLock<Mutex<Vec<Arc<Retention>>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register a retention with the process-global export list read by
+/// [`collect_into`] (and therefore by `/metrics` / `/snapshot.json`).
+pub fn keep(r: Arc<Retention>) {
+    global().lock().unwrap().push(r);
+}
+
+/// Drop every globally registered retention (test isolation).
+pub fn clear_global() {
+    global().lock().unwrap().clear();
+}
+
+/// Append every registered retention's tier series to `snap`.
+pub fn collect_into(snap: &mut crate::Snapshot) {
+    let list = global().lock().unwrap();
+    for r in list.iter() {
+        for s in r.series() {
+            snap.push_series(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tier() -> Retention {
+        Retention::new(
+            "t/depth",
+            &["len"],
+            &[
+                TierSpec {
+                    label: "fast",
+                    interval: Duration::from_millis(10),
+                    capacity: 4,
+                },
+                TierSpec {
+                    label: "slow",
+                    interval: Duration::from_millis(100),
+                    capacity: 2,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn downsamples_into_bucket_means() {
+        let r = two_tier();
+        // Two samples inside one 10ms bucket, then one in the next.
+        r.push(1.0, &[10.0]);
+        r.push(5.0, &[20.0]);
+        r.push(12.0, &[40.0]);
+        let s = r.series();
+        assert_eq!(s[0].name, "t/depth/fast");
+        assert_eq!(s[0].columns, ["t_ms", "len"]);
+        // Sealed mean of the first bucket plus the open partial bucket.
+        assert_eq!(s[0].rows.len(), 2);
+        assert_eq!(s[0].rows[0][1], 15.0, "mean of 10 and 20");
+        assert_eq!(s[0].rows[1][1], 40.0, "partial bucket");
+        // The slow tier still has everything in one open bucket.
+        assert_eq!(s[1].name, "t/depth/slow");
+        assert_eq!(s[1].rows.len(), 1);
+        assert!((s[1].rows[0][1] - 70.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest() {
+        let r = two_tier();
+        // 8 sealed fast-tier buckets into a capacity-4 ring (push a
+        // trailing sample so the 8th bucket seals too).
+        for i in 0..9 {
+            r.push(i as f64 * 10.0, &[i as f64]);
+        }
+        let s = &r.series()[0];
+        // 4 sealed + 1 partial.
+        assert_eq!(s.rows.len(), 5);
+        assert_eq!(s.rows[0][1], 4.0, "oldest sealed rows evicted");
+        // Time column nondecreasing.
+        assert!(s.rows.windows(2).all(|w| w[0][0] <= w[1][0]));
+    }
+
+    #[test]
+    fn wrong_arity_rows_are_ignored() {
+        let r = two_tier();
+        r.push(0.0, &[1.0, 2.0]); // too many columns
+        r.push(0.0, &[]); // too few
+        assert!(r.series()[0].rows.is_empty());
+    }
+
+    #[test]
+    fn idle_gap_starts_a_fresh_bucket() {
+        let r = two_tier();
+        r.push(0.0, &[10.0]);
+        r.push(1000.0, &[50.0]); // long gap: seals bucket 0, opens a new one
+        let s = &r.series()[0];
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[0][1], 10.0);
+        assert_eq!(s.rows[1][1], 50.0);
+        // The fresh bucket is aligned to the tier grid, not smeared.
+        assert_eq!(s.rows[1][0], 1000.0);
+    }
+
+    #[test]
+    fn global_registry_collects() {
+        // Other tests share the global list; use a unique name.
+        let r = Arc::new(Retention::new(
+            "global-collect-test",
+            &["x"],
+            &default_tiers(),
+        ));
+        r.push(0.0, &[7.0]);
+        keep(Arc::clone(&r));
+        let mut snap = crate::Snapshot::new();
+        collect_into(&mut snap);
+        assert!(snap
+            .series
+            .iter()
+            .any(|s| s.name == "global-collect-test/2s" && s.rows[0][1] == 7.0));
+    }
+
+    #[test]
+    fn default_tiers_memory_is_bounded() {
+        // The DESIGN.md math: rows × (cols + 1) × 8 bytes per tier.
+        let tiers = default_tiers();
+        let bytes: usize = tiers.iter().map(|t| t.capacity * (2 + 1) * 8).sum();
+        assert!(bytes < 8 * 1024, "3-column ladder stays under 8 KiB");
+    }
+}

@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::retain::Retention;
+
 /// A sampled time series: `rows[i][0]` is milliseconds since
 /// [`Sampler::start`], remaining columns follow [`Series::columns`].
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -45,7 +47,39 @@ impl Sampler {
         name: &str,
         interval: Duration,
         columns: &[&str],
+        probe: impl FnMut() -> Vec<f64> + Send + 'static,
+    ) -> Self {
+        Self::start_inner(name, interval, columns, probe, None)
+    }
+
+    /// As [`start`](Self::start), additionally feeding every sample
+    /// into a fresh multi-tier [`Retention`]
+    /// ([`default_tiers`](crate::retain::default_tiers)) that is
+    /// registered with the global [`crate::retain`] export list — so a
+    /// live scrape sees the downsampled history while the run is still
+    /// going. The retention handle is also returned for direct use.
+    pub fn start_retained(
+        name: &str,
+        interval: Duration,
+        columns: &[&str],
+        probe: impl FnMut() -> Vec<f64> + Send + 'static,
+    ) -> (Self, Arc<Retention>) {
+        let retain = Arc::new(Retention::new(
+            name,
+            columns,
+            &crate::retain::default_tiers(),
+        ));
+        crate::retain::keep(Arc::clone(&retain));
+        let sampler = Self::start_inner(name, interval, columns, probe, Some(Arc::clone(&retain)));
+        (sampler, retain)
+    }
+
+    fn start_inner(
+        name: &str,
+        interval: Duration,
+        columns: &[&str],
         mut probe: impl FnMut() -> Vec<f64> + Send + 'static,
+        retain: Option<Arc<Retention>>,
     ) -> Self {
         let mut cols = vec!["t_ms".to_string()];
         cols.extend(columns.iter().map(|c| c.to_string()));
@@ -64,6 +98,9 @@ impl Sampler {
                 while !stop2.load(Ordering::Acquire) {
                     let mut row = vec![t0.elapsed().as_secs_f64() * 1e3];
                     row.extend(probe());
+                    if let Some(r) = &retain {
+                        r.push(row[0], &row[1..]);
+                    }
                     out2.lock().unwrap().rows.push(row);
                     next += interval;
                     // Sleep in short slices so stop() is responsive even
@@ -120,6 +157,30 @@ mod tests {
         assert!(series.rows.iter().all(|r| r.len() == 3));
         // Time column is nondecreasing.
         assert!(series.rows.windows(2).all(|w| w[0][0] <= w[1][0]));
+    }
+
+    #[test]
+    fn retained_sampler_feeds_tiers() {
+        let (s, r) = Sampler::start_retained(
+            "retained-sampler-test",
+            Duration::from_millis(2),
+            &["v"],
+            || vec![3.0],
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        let series = s.stop();
+        assert!(!series.rows.is_empty());
+        let tiers = r.series();
+        assert_eq!(tiers[0].name, "retained-sampler-test/2s");
+        assert!(!tiers[0].rows.is_empty(), "fast tier saw the samples");
+        assert_eq!(tiers[0].rows[0][1], 3.0);
+        // And the global export list can see it too.
+        let mut snap = crate::Snapshot::new();
+        crate::retain::collect_into(&mut snap);
+        assert!(snap
+            .series
+            .iter()
+            .any(|t| t.name.starts_with("retained-sampler-test/")));
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Property test: every metric registered in a [`obs::Registry`]
+//! appears in the rendered `/metrics` Prometheus text exactly once
+//! (counters/gauges as one sample line, histograms as one family with
+//! one `_sum` and one `_count`), across randomly generated metric
+//! names including the characters the renderer must mangle and label
+//! suffixes it must parse.
+//!
+//! Seeded xorshift generator — failures print the seed so a run is
+//! reproducible, and CI sees a deterministic default.
+
+use obs::{render_prometheus, Registry};
+
+/// xorshift64* — the same generator family the queue's random-leaf
+/// probe uses; good enough for name shuffling.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[(self.next() % xs.len() as u64) as usize]
+    }
+}
+
+/// A random dotted metric name, sometimes with characters that need
+/// mangling (`-`, `/`) or an inline label suffix (`{k=v}`).
+fn random_name(rng: &mut Rng, i: usize) -> String {
+    let stems = ["queue", "sync", "pool", "zmsq", "7seg", "very-hot"];
+    let mids = ["sojourn", "wait", "est_rank", "shed/ratio", "x"];
+    let mut name = format!("{}.{}.m{}", rng.pick(&stems), rng.pick(&mids), i);
+    if rng.next().is_multiple_of(3) {
+        name.push_str(&format!("{{site=s{}}}", rng.next() % 4));
+    }
+    name
+}
+
+/// Count non-comment lines in `text` whose sample name equals `name`
+/// (exact match on the text before the first `{` or space).
+fn sample_lines(text: &str, name: &str) -> usize {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .filter(|l| {
+            let head = l.split([' ', '{']).next().unwrap_or("");
+            head == name
+        })
+        .count()
+}
+
+/// The renderer's name mangling, reimplemented for the assertion side:
+/// strip an inline `{k=v}` label suffix, then map every character
+/// outside `[a-zA-Z0-9_:]` to `_`, prefixing a leading digit.
+fn expected_base(name: &str) -> String {
+    let base = match name.find('{') {
+        Some(i) if name.ends_with('}') && name[i..].contains('=') => &name[..i],
+        _ => name,
+    };
+    let mut out = String::new();
+    for (i, c) in base.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[test]
+fn every_registry_metric_renders_exactly_once() {
+    let seed = std::env::var("PROM_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CAFE_u64);
+    let mut rng = Rng(seed | 1);
+
+    for round in 0..20 {
+        let reg = Registry::new();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        let n = 1 + (rng.next() % 12) as usize;
+        for i in 0..n {
+            // Distinct index per metric: the registry dedupes by name,
+            // and a name that is both a counter and a gauge would be
+            // invalid Prometheus output anyway.
+            match rng.next() % 3 {
+                0 => {
+                    let name = random_name(&mut rng, i);
+                    reg.counter(&name).add(rng.next() % 1000);
+                    counters.push(name);
+                }
+                1 => {
+                    let name = random_name(&mut rng, i);
+                    reg.gauge(&name).set((rng.next() % 1000) as i64);
+                    gauges.push(name);
+                }
+                _ => {
+                    let name = random_name(&mut rng, i);
+                    let h = reg.histogram(&name);
+                    for _ in 0..(rng.next() % 5) {
+                        h.record(rng.next() % 100_000);
+                    }
+                    hists.push(name);
+                }
+            }
+        }
+
+        let text = render_prometheus(&reg.snapshot());
+        let ctx = |name: &str| format!("seed {seed:#x} round {round} metric {name:?}:\n{text}");
+
+        for name in &counters {
+            let base = expected_base(name);
+            assert_eq!(sample_lines(&text, &base), 1, "{}", ctx(name));
+            assert_eq!(
+                text.matches(&format!("# TYPE {base} counter")).count(),
+                1,
+                "{}",
+                ctx(name)
+            );
+        }
+        for name in &gauges {
+            let base = expected_base(name);
+            assert_eq!(sample_lines(&text, &base), 1, "{}", ctx(name));
+        }
+        for name in &hists {
+            let base = expected_base(name);
+            // One family: exactly one _sum, one _count, and at least
+            // the +Inf bucket; exactly one TYPE line.
+            assert_eq!(
+                sample_lines(&text, &format!("{base}_sum")),
+                1,
+                "{}",
+                ctx(name)
+            );
+            assert_eq!(
+                sample_lines(&text, &format!("{base}_count")),
+                1,
+                "{}",
+                ctx(name)
+            );
+            assert!(
+                sample_lines(&text, &format!("{base}_bucket")) >= 1,
+                "{}",
+                ctx(name)
+            );
+            assert_eq!(
+                text.matches(&format!("# TYPE {base} histogram")).count(),
+                1,
+                "{}",
+                ctx(name)
+            );
+        }
+    }
+}

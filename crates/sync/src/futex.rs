@@ -23,7 +23,9 @@
 //! Always-on counters `futex.waits`, `futex.wait_timeouts`,
 //! `futex.wakes`, `futex.woken_threads` (exported through
 //! [`crate::obs::snapshot`]) and, under `obs-trace`, `futex_wait` /
-//! `futex_wake` flight-recorder events.
+//! `futex_wake` flight-recorder events. Park durations are recorded
+//! into the caller's current [`crate::site`] as
+//! `sync.futex_wait_ns{site=…}`.
 
 use std::sync::atomic::AtomicU32;
 
@@ -49,7 +51,9 @@ pub fn futex_wait(atom: &AtomicU32, expected: u32) {
     if det::det_futex_wait!(atom, expected, None).is_some() {
         return;
     }
+    let t0 = obs::recorder::now_ns();
     imp::wait(atom, None, expected);
+    crate::site::record_futex_wait(obs::recorder::now_ns().saturating_sub(t0));
 }
 
 /// Like [`futex_wait`], with a relative timeout. Returns `false` if the
@@ -65,7 +69,9 @@ pub fn futex_wait_timeout(atom: &AtomicU32, expected: u32, timeout: std::time::D
         }
         return woken;
     }
+    let t0 = obs::recorder::now_ns();
     let woken = imp::wait(atom, Some(timeout), expected);
+    crate::site::record_futex_wait(obs::recorder::now_ns().saturating_sub(t0));
     if !woken {
         WAIT_TIMEOUTS.incr();
     }

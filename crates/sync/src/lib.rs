@@ -16,6 +16,9 @@
 //!   extractions and by close.
 //! * [`backoff`] — bounded exponential backoff for optimistic retry loops.
 //! * [`pad`] — cache-line padding to stop false sharing between hot atomics.
+//! * [`site`] — per-site lock-wait attribution: named [`site::SiteId`]
+//!   scopes charge contended-acquisition and futex-park time to the
+//!   subsystem that paid it (`sync.wait_ns{site=…}`).
 //!
 //! With `--features fault-inject` the substrate compiles in named
 //! failpoints (`trylock.spurious-fail`, `futex.spurious-wake`,
@@ -36,6 +39,7 @@ pub mod futex;
 pub mod obs;
 pub mod pad;
 pub mod producer;
+pub mod site;
 pub mod trylock;
 
 pub use backoff::Backoff;
@@ -43,4 +47,5 @@ pub use event::{EventBuffer, WaitOutcome};
 pub use futex::{futex_wait, futex_wait_timeout, futex_wake, futex_wake_all};
 pub use pad::CachePadded;
 pub use producer::ProducerWait;
+pub use site::{SiteId, SiteScope};
 pub use trylock::{LockGuard, OsLock, RawTryLock, TasLock, TatasLock};

@@ -9,9 +9,12 @@ use crate::{event, futex, trylock};
 
 /// Point-in-time copy of every sync-substrate counter, plus the derived
 /// `trylock.contention_ratio` (failed / attempted `try_lock`s — the
-/// restart pressure §4.1's trylock-and-restart policy responds to).
+/// restart pressure §4.1's trylock-and-restart policy responds to) and
+/// the per-site wait attribution (`sync.wait_ns{site=…}`,
+/// `sync.futex_wait_ns{site=…}`, `sync.trylock_fails{site=…}`).
 pub fn snapshot() -> obs::Snapshot {
     let mut s = obs::Snapshot::new();
+    crate::site::snapshot_into(&mut s);
     s.push_counter("futex.waits", futex::WAITS.get());
     s.push_counter("futex.wait_timeouts", futex::WAIT_TIMEOUTS.get());
     s.push_counter("futex.wakes", futex::WAKES.get());

@@ -1,0 +1,212 @@
+//! Per-site lock-wait attribution.
+//!
+//! The substrate's process-global trylock/futex counters say *how much*
+//! contention there is, but not *where*: under load an operator needs to
+//! know whether the root lock, the pool refill, or a shard's node locks
+//! are burning the time. This module adds a small static table of
+//! **sites** — named call-site categories (`zmsq.root`, `zmsq.node`,
+//! …) — with, per site:
+//!
+//! * `sync.wait_ns{site=…}` — a histogram of nanoseconds spent in
+//!   *contended blocking acquisition* (the slow paths of all three
+//!   [`RawTryLock`](crate::RawTryLock) impls);
+//! * `sync.futex_wait_ns{site=…}` — a histogram of time parked in
+//!   [`crate::futex_wait`] / [`crate::futex_wait_timeout`] (kept as a
+//!   separate family because an `OsLock` contended acquisition already
+//!   covers its own futex parks — summing the two would double-count);
+//! * `sync.trylock_fails{site=…}` — failed `try_lock` attempts, the
+//!   restart-pressure signal for §4.1's trylock-and-restart paths
+//!   (which never block, so fail counts are their contention metric).
+//!
+//! A thread declares its current site with an RAII [`enter`] scope;
+//! recording reads a thread-local `u8` — no atomics, no allocation.
+//! Code that never enters a scope records under the implicit site 0,
+//! `other`. The table is fixed-size: registrations beyond
+//! [`MAX_SITES`] fold into `other` rather than failing, so
+//! instrumentation can never break the build of a caller that got too
+//! enthusiastic.
+
+use std::cell::Cell;
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum distinct sites (including the implicit `other` at index 0).
+pub const MAX_SITES: usize = 16;
+
+static WAIT_NS: [obs::Histogram; MAX_SITES] = [const { obs::Histogram::new() }; MAX_SITES];
+static FUTEX_WAIT_NS: [obs::Histogram; MAX_SITES] = [const { obs::Histogram::new() }; MAX_SITES];
+static TRYLOCK_FAILS: [obs::Counter; MAX_SITES] = [const { obs::Counter::new() }; MAX_SITES];
+
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(vec!["other"]))
+}
+
+thread_local! {
+    static CURRENT: Cell<u8> = const { Cell::new(0) };
+}
+
+/// A registered wait-attribution site. Cheap to copy; obtain one with
+/// [`register`] (idempotent by name) and store it in a `static`/field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteId(u8);
+
+impl SiteId {
+    /// The implicit catch-all site.
+    pub const OTHER: SiteId = SiteId(0);
+
+    /// The site's registered name.
+    pub fn name(self) -> &'static str {
+        names().lock().unwrap()[self.0 as usize]
+    }
+}
+
+/// Register (or look up) a site by name. Idempotent: the same name
+/// always maps to the same id. When the table is full the id of
+/// [`SiteId::OTHER`] is returned — attribution degrades, nothing
+/// breaks.
+pub fn register(name: &'static str) -> SiteId {
+    let mut list = names().lock().unwrap();
+    if let Some(i) = list.iter().position(|n| *n == name) {
+        return SiteId(i as u8);
+    }
+    if list.len() >= MAX_SITES {
+        return SiteId::OTHER;
+    }
+    list.push(name);
+    SiteId((list.len() - 1) as u8)
+}
+
+/// RAII scope marking the calling thread's current site; restores the
+/// previous site on drop (scopes nest). `!Send` — the scope must drop
+/// on the thread that entered it.
+pub struct SiteScope {
+    prev: u8,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Enter `site` on this thread until the returned scope drops.
+#[inline]
+pub fn enter(site: SiteId) -> SiteScope {
+    let prev = CURRENT.with(|c| c.replace(site.0));
+    SiteScope {
+        prev,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for SiteScope {
+    #[inline]
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[inline]
+fn current() -> usize {
+    CURRENT.with(|c| c.get()) as usize
+}
+
+/// Record contended blocking-acquisition wait time for the current
+/// site (called from the lock slow paths).
+#[inline]
+pub(crate) fn record_wait(ns: u64) {
+    WAIT_NS[current()].record(ns);
+}
+
+/// Record futex park time for the current site.
+#[inline]
+pub(crate) fn record_futex_wait(ns: u64) {
+    FUTEX_WAIT_NS[current()].record(ns);
+}
+
+/// Count a failed `try_lock` against the current site.
+#[inline]
+pub(crate) fn note_trylock_fail() {
+    TRYLOCK_FAILS[current()].incr();
+}
+
+/// Export every registered site's histograms and fail counters into
+/// `s`, using the renderer's inline-label convention
+/// (`sync.wait_ns{site=NAME}`). Registered sites are always exported —
+/// even with zero samples — so a scrape's metric families are stable
+/// from the first request.
+pub fn snapshot_into(s: &mut obs::Snapshot) {
+    let list = names().lock().unwrap();
+    for (i, name) in list.iter().enumerate() {
+        s.push_hist(&format!("sync.wait_ns{{site={name}}}"), &WAIT_NS[i]);
+        s.push_hist(
+            &format!("sync.futex_wait_ns{{site={name}}}"),
+            &FUTEX_WAIT_NS[i],
+        );
+        s.push_counter(
+            &format!("sync.trylock_fails{{site={name}}}"),
+            TRYLOCK_FAILS[i].get(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The site table is process-global and registrations are permanent,
+    /// so everything that depends on free slots runs in one ordered test
+    /// (filling the table last).
+    #[test]
+    fn site_table_behavior() {
+        // Registration is idempotent.
+        let a = register("test.site.a");
+        let b = register("test.site.a");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "test.site.a");
+        assert_ne!(a, SiteId::OTHER);
+
+        // Scopes nest and restore.
+        let n2 = register("test.site.nest2");
+        assert_eq!(current(), 0);
+        {
+            let _s1 = enter(a);
+            assert_eq!(current(), a.0 as usize);
+            {
+                let _s2 = enter(n2);
+                assert_eq!(current(), n2.0 as usize);
+            }
+            assert_eq!(current(), a.0 as usize);
+        }
+        assert_eq!(current(), 0);
+
+        // Records attribute to the scoped site.
+        let site = register("test.site.record");
+        let wait_before = WAIT_NS[site.0 as usize].count();
+        let fails_before = TRYLOCK_FAILS[site.0 as usize].get();
+        {
+            let _s = enter(site);
+            record_wait(1234);
+            record_futex_wait(55);
+            note_trylock_fail();
+        }
+        assert_eq!(WAIT_NS[site.0 as usize].count(), wait_before + 1);
+        assert_eq!(TRYLOCK_FAILS[site.0 as usize].get(), fails_before + 1);
+
+        // Snapshot exports the renderer's inline-label names, including
+        // the always-present catch-all.
+        let mut s = obs::Snapshot::new();
+        snapshot_into(&mut s);
+        assert!(s.hist("sync.wait_ns{site=test.site.record}").is_some());
+        assert!(s
+            .hist("sync.futex_wait_ns{site=test.site.record}")
+            .is_some());
+        assert!(s
+            .counter("sync.trylock_fails{site=test.site.record}")
+            .is_some());
+        assert!(s.hist("sync.wait_ns{site=other}").is_some());
+
+        // A full table degrades to `other` instead of failing.
+        for i in 0..MAX_SITES {
+            let _ = register(Box::leak(format!("test.site.fill{i}").into_boxed_str()));
+        }
+        let overflow = register("test.site.overflow");
+        assert_eq!(overflow, SiteId::OTHER);
+        assert_eq!(overflow.name(), "other");
+    }
+}

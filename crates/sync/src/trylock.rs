@@ -38,12 +38,14 @@ pub(crate) static TRYLOCK_ATTEMPTS: obs::Counter = obs::Counter::new();
 pub(crate) static TRYLOCK_FAILURES: obs::Counter = obs::Counter::new();
 
 /// Count one attempt/outcome pair and emit the `lock_fail` trace event
-/// on failure.
+/// on failure. Failures are also charged to the caller's current
+/// [`crate::site`] so restart pressure is attributable.
 #[inline]
 fn note_try_lock(ok: bool) -> bool {
     TRYLOCK_ATTEMPTS.incr();
     if !ok {
         TRYLOCK_FAILURES.incr();
+        crate::site::note_trylock_fail();
         obs::trace_event!(obs::EventKind::LockFail);
     }
     ok
@@ -122,6 +124,18 @@ pub struct TasLock {
     held: AtomicBool,
 }
 
+impl TasLock {
+    #[cold]
+    fn lock_contended(&self) {
+        let t0 = obs::recorder::now_ns();
+        let mut backoff = Backoff::new();
+        while self.held.swap(true, Ordering::Acquire) {
+            backoff.wait();
+        }
+        crate::site::record_wait(obs::recorder::now_ns().saturating_sub(t0));
+    }
+}
+
 impl RawTryLock for TasLock {
     const NAME: &'static str = "tas";
 
@@ -136,10 +150,11 @@ impl RawTryLock for TasLock {
 
     #[inline]
     fn lock(&self) {
-        let mut backoff = Backoff::new();
-        while self.held.swap(true, Ordering::Acquire) {
-            backoff.wait();
+        // Uncontended fast path: one swap, no clock reads.
+        if !self.held.swap(true, Ordering::Acquire) {
+            return;
         }
+        self.lock_contended();
     }
 
     #[inline]
@@ -163,6 +178,23 @@ pub struct TatasLock {
     held: AtomicBool,
 }
 
+impl TatasLock {
+    #[cold]
+    fn lock_contended(&self) {
+        let t0 = obs::recorder::now_ns();
+        let mut backoff = Backoff::new();
+        loop {
+            while self.held.load(Ordering::Relaxed) {
+                backoff.wait();
+            }
+            if !self.held.swap(true, Ordering::Acquire) {
+                crate::site::record_wait(obs::recorder::now_ns().saturating_sub(t0));
+                return;
+            }
+        }
+    }
+}
+
 impl RawTryLock for TatasLock {
     const NAME: &'static str = "tatas";
 
@@ -179,15 +211,11 @@ impl RawTryLock for TatasLock {
 
     #[inline]
     fn lock(&self) {
-        let mut backoff = Backoff::new();
-        loop {
-            while self.held.load(Ordering::Relaxed) {
-                backoff.wait();
-            }
-            if !self.held.swap(true, Ordering::Acquire) {
-                return;
-            }
+        // Uncontended fast path: load + swap, no clock reads.
+        if !self.held.load(Ordering::Relaxed) && !self.held.swap(true, Ordering::Acquire) {
+            return;
         }
+        self.lock_contended();
     }
 
     #[inline]
@@ -221,6 +249,7 @@ pub struct OsLock {
 impl OsLock {
     #[cold]
     fn lock_contended(&self) {
+        let t0 = obs::recorder::now_ns();
         // Brief spin: crossing into the kernel costs more than a short
         // critical section. Only loads, so waiters share the line.
         let mut backoff = Backoff::new();
@@ -231,6 +260,7 @@ impl OsLock {
                     .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                crate::site::record_wait(obs::recorder::now_ns().saturating_sub(t0));
                 return;
             }
             backoff.wait();
@@ -242,6 +272,7 @@ impl OsLock {
             // state at 2 even when we might be the only waiter — a spare
             // wake later is benign, a missed wake is not.
             if self.state.swap(2, Ordering::Acquire) == 0 {
+                crate::site::record_wait(obs::recorder::now_ns().saturating_sub(t0));
                 return;
             }
             futex_wait(&self.state, 2);

@@ -153,6 +153,17 @@ pub struct ZmsqConfig {
     /// normalization (`0` samples every key: exact but O(reservoir)
     /// per op — testing only).
     pub rank_estimator: Option<u32>,
+    /// Sampled sojourn-time telemetry: `Some(shift)` attaches an
+    /// [`obs::SojournTracker`] stamping inserted keys at rate
+    /// `1/2^shift` and recording enqueue→extract wall time into the
+    /// `queue.sojourn_ns` histogram surfaced by
+    /// [`metrics`](pq_traits::ConcurrentPriorityQueue::metrics).
+    /// `None` disables it (zero overhead). Defaults to `Some(6)` —
+    /// the same 1/64 rate as the rank estimator; the combined cost is
+    /// bounded by the `obs_overhead` bench's per-op budget. Clamped to
+    /// `0..=32` during normalization (`0` stamps every key — testing
+    /// only).
+    pub sojourn: Option<u32>,
 }
 
 impl ZmsqConfig {
@@ -176,6 +187,7 @@ impl ZmsqConfig {
             capacity: None,
             shed: ShedPolicy::Block,
             rank_estimator: Some(6),
+            sojourn: Some(6),
         }
     }
 
@@ -314,6 +326,20 @@ impl ZmsqConfig {
         self
     }
 
+    /// Attach the sojourn-time tracker stamping at rate `1/2^shift`
+    /// (builder style). `shift = 0` stamps everything (testing only).
+    pub fn sojourn(mut self, shift: u32) -> Self {
+        self.sojourn = Some(shift);
+        self
+    }
+
+    /// Detach the sojourn-time tracker (builder style): no stamping,
+    /// no `queue.sojourn_ns` histogram, zero per-op overhead.
+    pub fn no_sojourn(mut self) -> Self {
+        self.sojourn = None;
+        self
+    }
+
     /// Validate and normalize; called by the queue constructor.
     pub(crate) fn normalized(mut self) -> Self {
         self.target_len = self.target_len.max(1);
@@ -356,6 +382,9 @@ impl ZmsqConfig {
         // paying the hash on every op; the estimator clamps identically.
         if let Some(shift) = self.rank_estimator {
             self.rank_estimator = Some(shift.min(32));
+        }
+        if let Some(shift) = self.sojourn {
+            self.sojourn = Some(shift.min(32));
         }
         self
     }
@@ -508,6 +537,18 @@ mod tests {
         assert_eq!(c.shed, ShedPolicy::ShedLowest);
         let c = ZmsqConfig::default().capacity(8).unbounded().normalized();
         assert_eq!(c.capacity, None, "unbounded() removes the bound");
+    }
+
+    #[test]
+    fn sojourn_defaults_on_and_clamps() {
+        assert_eq!(ZmsqConfig::default().sojourn, Some(6));
+        let c = ZmsqConfig::default().no_sojourn();
+        assert_eq!(c.sojourn, None);
+        assert_eq!(c.normalized().sojourn, None);
+        let c = ZmsqConfig::default().sojourn(0).normalized();
+        assert_eq!(c.sojourn, Some(0));
+        let c = ZmsqConfig::default().sojourn(99).normalized();
+        assert_eq!(c.sojourn, Some(32), "shift clamped to 32");
     }
 
     #[test]

@@ -165,6 +165,9 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
         if let Some(est) = self.rank_estimator() {
             est.snapshot_into(&mut s);
         }
+        if let Some(soj) = self.sojourn_tracker() {
+            soj.snapshot_into(&mut s);
+        }
         Some(s)
     }
 }

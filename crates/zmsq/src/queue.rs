@@ -74,6 +74,21 @@ use crate::tree::{Pos, Tree};
 /// high in the tree would let it reach the pool too early.
 const FORCE_MIN_LEVEL: usize = 3;
 
+/// Lock-wait attribution site for the root lock (see
+/// [`zmsq_sync::site`]): the root is the queue's serialization point,
+/// so `sync.wait_ns{site=zmsq.root}` is the headline contention signal.
+fn root_site() -> zmsq_sync::SiteId {
+    static S: std::sync::OnceLock<zmsq_sync::SiteId> = std::sync::OnceLock::new();
+    *S.get_or_init(|| zmsq_sync::site::register("zmsq.root"))
+}
+
+/// Lock-wait attribution site for non-root tree-node locks (insertion
+/// probing, splits).
+fn node_site() -> zmsq_sync::SiteId {
+    static S: std::sync::OnceLock<zmsq_sync::SiteId> = std::sync::OnceLock::new();
+    *S.get_or_init(|| zmsq_sync::site::register("zmsq.node"))
+}
+
 /// A practical, scalable, relaxed concurrent priority queue.
 ///
 /// See the [crate docs](crate) for the algorithm overview. Type
@@ -103,6 +118,10 @@ where
     /// is set: a lock-free sampled shadow reservoir fed by every
     /// insert/extract path and exported as `quality.*` metrics.
     rank_est: Option<obs::RankEstimator>,
+    /// Sampled sojourn-time telemetry, allocated iff `cfg.sojourn` is
+    /// set: a lock-free stamp table recording enqueue→extract wall time
+    /// into the `queue.sojourn_ns` histogram.
+    sojourn: Option<obs::SojournTracker>,
     /// Effective refill batch, `cfg.batch_min ..= cfg.batch_max`. Equal
     /// to `cfg.batch` unless an adaptive controller (see `ShardedZmsq`)
     /// moves it at runtime.
@@ -252,6 +271,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             batch_cur: AtomicUsize::new(cfg.batch),
             stats: Stats::default(),
             rank_est: cfg.rank_estimator.map(obs::RankEstimator::new),
+            sojourn: cfg.sojourn.map(obs::SojournTracker::new),
             cfg,
         }
     }
@@ -259,6 +279,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// The attached rank-error estimator, if `cfg.rank_estimator` is set.
     pub fn rank_estimator(&self) -> Option<&obs::RankEstimator> {
         self.rank_est.as_ref()
+    }
+
+    /// The attached sojourn-time tracker, if `cfg.sojourn` is set.
+    pub fn sojourn_tracker(&self) -> Option<&obs::SojournTracker> {
+        self.sojourn.as_ref()
     }
 
     /// The queue's (normalized) configuration.
@@ -393,6 +418,9 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         if let Some(est) = &self.rank_est {
             est.note_insert(prio);
         }
+        if let Some(soj) = &self.sojourn {
+            soj.note_insert(prio);
+        }
         // Experimental §5 fast path: high-priority elements go straight
         // into the extraction pool when it has headroom, skipping the
         // tree entirely. Falls through to the normal path on any
@@ -479,6 +507,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 // element will be inserted exactly once.
                 for &(k, _) in &items[start..] {
                     est.note_insert(k);
+                }
+            }
+            if let Some(soj) = &self.sojourn {
+                for &(k, _) in &items[start..] {
+                    soj.note_insert(k);
                 }
             }
             loop {
@@ -779,6 +812,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         let (left, right) = (self.tree.node(lp), self.tree.node(rp));
         // Blocking acquisition is deadlock-free here: we hold the parent
         // and every lock sequence in the queue descends the tree.
+        let _site = zmsq_sync::site::enter(node_site());
         left.lock();
         right.lock();
 
@@ -927,6 +961,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             // Evicted, not handed out: release the shadow slot without
             // recording a rank sample.
             est.note_remove(victim_key);
+        }
+        if let Some(soj) = &self.sojourn {
+            // Likewise: an eviction is not a service completion, so the
+            // stamp is released without recording a sojourn.
+            soj.note_remove(victim_key);
         }
         self.stats.shed_evicted.incr();
         obs::trace_event!(obs::EventKind::Extract, 2, below);
@@ -1088,12 +1127,15 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         }
     }
 
-    /// Shadow-sample a handed-out element (no-op when the estimator is
-    /// detached).
+    /// Shadow-sample a handed-out element and close its sojourn stamp
+    /// (no-ops when the respective telemetry is detached).
     #[inline]
     fn note_extracted(&self, key: u64) {
         if let Some(est) = &self.rank_est {
             est.note_extract(key);
+        }
+        if let Some(soj) = &self.sojourn {
+            soj.note_extract(key);
         }
     }
 
@@ -1127,10 +1169,9 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 self.stats.pool_hits.add(claimed as u64);
                 self.stats.extracts.add(claimed as u64);
                 obs::trace_event!(obs::EventKind::PoolHit, claimed as u32);
-                if let Some(est) = &self.rank_est {
-                    for &(k, _) in &out[out.len() - claimed..] {
-                        est.note_extract(k);
-                    }
+                let start = out.len() - claimed;
+                for key in out[start..].iter().map(|(k, _)| *k) {
+                    self.note_extracted(key);
                 }
                 self.release_capacity(claimed);
                 got += claimed;
@@ -1201,6 +1242,13 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                         if let Some(est) = &self.rank_est {
                             est.note_remove(got.0);
                         }
+                        if let Some(soj) = &self.sojourn {
+                            // The give-back re-inserts via
+                            // `insert_admitted`, which will re-stamp;
+                            // release the original stamp as a removal so
+                            // the rollback never records a sojourn.
+                            soj.note_remove(got.0);
+                        }
                         self.insert_admitted(got.0, got.1);
                         return None;
                     }
@@ -1242,6 +1290,9 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// `min`.
     fn extract_root_cond(&self, min_prio: Option<u64>) -> RootOutcome<V> {
         let root = self.tree.root();
+        // Attribute the whole root critical section (acquisition, refill,
+        // swap-down and their nested lock waits) to the root site.
+        let _site = zmsq_sync::site::enter(root_site());
         let acquired = match self.cfg.lock_strategy {
             LockStrategy::TryRestart => root.try_lock(),
             LockStrategy::Blocking => {
@@ -1465,6 +1516,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
 
     #[inline]
     fn acquire(&self, node: &TNode<V, S, L>) -> bool {
+        let _site = zmsq_sync::site::enter(node_site());
         match self.cfg.lock_strategy {
             LockStrategy::TryRestart => {
                 if node.try_lock() {

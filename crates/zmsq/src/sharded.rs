@@ -619,6 +619,41 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
             snap.push_hist_snapshot("quality.est_rank", est_rank);
             snap.push_hist_snapshot("quality.staleness_ns", staleness);
         }
+        // Fold per-shard sojourn telemetry the same way: one queue-level
+        // `queue.sojourn_ns` histogram (per-shard sojourns are true
+        // end-to-end waits regardless of which shard served the key).
+        if self.shards[0].sojourn_tracker().is_some() {
+            let mut c = [0u64; 5];
+            let (mut live, mut slots) = (0usize, 0usize);
+            let mut sojourn = obs::HistSnapshot::default();
+            for sh in &self.shards {
+                let soj = sh.sojourn_tracker().expect("uniform shard config");
+                let (st, ma, mi, dr, rm) = soj.counters();
+                for (dst, v) in c.iter_mut().zip([st, ma, mi, dr, rm]) {
+                    *dst += v;
+                }
+                live += soj.live();
+                slots += soj.slots();
+                sojourn.absorb(&soj.hist().snapshot());
+            }
+            snap.push_hist_snapshot("queue.sojourn_ns", sojourn);
+            snap.push_counter("sojourn.stamped", c[0]);
+            snap.push_counter("sojourn.matched", c[1]);
+            snap.push_counter("sojourn.missed", c[2]);
+            snap.push_counter("sojourn.dropped", c[3]);
+            snap.push_counter("sojourn.removed", c[4]);
+            snap.push_gauge(
+                "sojourn.sample_shift",
+                i64::from(
+                    self.shards[0]
+                        .sojourn_tracker()
+                        .expect("checked")
+                        .sample_shift(),
+                ),
+            );
+            snap.push_gauge("sojourn.table.live", live as i64);
+            snap.push_gauge("sojourn.table.slots", slots as i64);
+        }
         Some(snap)
     }
 }
@@ -1000,6 +1035,30 @@ mod tests {
         let removed = snap.counter("quality.removed_matched").unwrap();
         let live = snap.gauge("quality.reservoir.live").unwrap() as u64;
         assert_eq!(stored - matched - removed, live);
+    }
+
+    #[test]
+    fn metrics_fold_per_shard_sojourn() {
+        // shift 0: every key is stamped, so the folded counters are exact.
+        let q: ShardedZmsq<u64> = ShardedZmsq::new(4, ZmsqConfig::default().batch(4).sojourn(0));
+        for i in 0..200u64 {
+            q.insert(i, i);
+        }
+        for _ in 0..80 {
+            assert!(q.extract_max().is_some());
+        }
+        let snap = pq_traits::ConcurrentPriorityQueue::metrics(&q).unwrap();
+        assert_eq!(snap.counter("sojourn.stamped"), Some(200));
+        assert_eq!(snap.counter("sojourn.matched"), Some(80));
+        assert_eq!(snap.gauge("sojourn.sample_shift"), Some(0));
+        let h = snap.hist("queue.sojourn_ns").expect("folded sojourn hist");
+        assert_eq!(h.count, 80);
+        // Conservation across the fold: stamped − matched − removed == live.
+        let stamped = snap.counter("sojourn.stamped").unwrap();
+        let matched = snap.counter("sojourn.matched").unwrap();
+        let removed = snap.counter("sojourn.removed").unwrap();
+        let live = snap.gauge("sojourn.table.live").unwrap() as u64;
+        assert_eq!(stamped - matched - removed, live);
     }
 
     #[test]

@@ -22,8 +22,15 @@ exits nonzero when the new run regresses:
 before comparing — the CI job uses it to prove the gate actually fires
 (a gate that cannot fail is not a gate).
 
-Exit codes: 0 pass, 1 regression, 2 usage/parse error (missing file,
-missing summary block).
+``--self-test`` runs the script's own unit checks (missing baseline,
+one-sided keys, regression detection, clean pass) against synthetic
+documents in a temp directory and exits 0/1; CI runs it before the
+real comparison so gate bugs fail loudly instead of green.
+
+Exit codes: 0 pass, 1 regression, 2 usage/parse error (missing or
+unreadable file, missing summary block, or a summary key present on
+only one side — a one-sided key means the bench matrix changed and the
+baseline must be regenerated, not silently skipped).
 """
 
 import argparse
@@ -65,7 +72,7 @@ def is_latency(key: str) -> bool:
     return key.endswith("_ns")
 
 
-def main() -> int:
+def main(argv=None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("baseline", help="checked-in results/BENCH_<bin>.json")
     p.add_argument("new", help="freshly produced --metrics JSON")
@@ -97,19 +104,29 @@ def main() -> int:
         metavar="PCT",
         help="scale new throughput down PCT%% before comparing (gate self-check)",
     )
-    args = p.parse_args()
+    args = p.parse_args(argv)
 
     base = load_summary(args.baseline)
     new = load_summary(args.new)
 
+    # A key on only one side means the two documents do not describe
+    # the same bench matrix (a queue kind was added/removed, a summary
+    # key was renamed, or the baseline is stale). Comparing the
+    # intersection would silently un-gate whatever moved, so this is a
+    # usage error, not a warning.
+    only_base = sorted(set(base) - set(new))
+    only_new = sorted(set(new) - set(base))
+    if only_base or only_new:
+        die(
+            "summary keys present on only one side — "
+            f"baseline only: {only_base or '[]'}, new run only: {only_new or '[]'} "
+            "(bench matrix changed; regenerate the baseline)"
+        )
+
     failures = []
     warnings = []
 
-    for key in sorted(set(base) | set(new)):
-        if key not in base or key not in new:
-            side = "baseline" if key in base else "new run"
-            warnings.append(f"{key}: only present in {side}")
-            continue
+    for key in sorted(base):
         b, n = float(base[key]), float(new[key])
         if is_throughput(key):
             if args.synthetic_drop:
@@ -152,5 +169,76 @@ def main() -> int:
     return 0
 
 
+def self_test() -> int:
+    """Unit checks for the gate itself: each case invokes ``main`` on
+    synthetic documents and asserts the exit code. Prints one line per
+    case and returns 0 (all pass) or 1."""
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    def doc(path: str, summary) -> str:
+        with open(path, "w") as f:
+            json.dump({"summary": summary}, f)
+        return path
+
+    def run(*argv) -> int:
+        out = io.StringIO()
+        try:
+            with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+                return main(list(argv))
+        except SystemExit as e:  # die() and argparse errors land here
+            return int(e.code or 0)
+
+    ok = [2_000_000.0, 150.0]  # throughput, est_rank_p99
+    failed = 0
+    with tempfile.TemporaryDirectory() as d:
+        base = doc(
+            os.path.join(d, "base.json"),
+            {"q/throughput_ops_per_s": ok[0], "q/est_rank_p99": ok[1]},
+        )
+        same = doc(
+            os.path.join(d, "same.json"),
+            {"q/throughput_ops_per_s": ok[0], "q/est_rank_p99": ok[1]},
+        )
+        slow = doc(
+            os.path.join(d, "slow.json"),
+            {"q/throughput_ops_per_s": ok[0] * 0.5, "q/est_rank_p99": ok[1]},
+        )
+        extra = doc(
+            os.path.join(d, "extra.json"),
+            {
+                "q/throughput_ops_per_s": ok[0],
+                "q/est_rank_p99": ok[1],
+                "q2/throughput_ops_per_s": 1.0,
+            },
+        )
+        bad = os.path.join(d, "bad.json")
+        with open(bad, "w") as f:
+            f.write("{not json")
+        cases = [
+            ("identical summaries pass", run(base, same), 0),
+            ("throughput drop fails", run(base, slow), 1),
+            ("synthetic drop trips the gate", run(base, same, "--synthetic-drop", "50"), 1),
+            ("missing baseline is a usage error", run(os.path.join(d, "nope.json"), same), 2),
+            ("unparseable JSON is a usage error", run(bad, same), 2),
+            ("one-sided summary key is a usage error", run(base, extra), 2),
+            ("one-sided key (baseline side) is a usage error", run(extra, same), 2),
+        ]
+    for name, got, want in cases:
+        status = "ok  " if got == want else "FAIL"
+        if got != want:
+            failed += 1
+        print(f"{status} self-test: {name} (exit {got}, want {want})")
+    if failed:
+        print(f"compare_bench: self-test: {failed} case(s) failed")
+        return 1
+    print("compare_bench: self-test passed")
+    return 0
+
+
 if __name__ == "__main__":
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(self_test())
     sys.exit(main())

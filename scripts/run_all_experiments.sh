@@ -39,5 +39,7 @@ cargo run --release -q -p bench --bin ablation        -- $QUICK                 
 cargo run --release -q -p bench --bin ops_latency     -- $QUICK                              | tee results/ops_latency.csv
 cargo run --release -q -p bench --bin insert_profile                                          | tee results/insert_profile.txt
 cargo run --release -q -p bench --bin accuracy_transient -- $QUICK                            | tee results/accuracy_transient.csv
+cargo run --release -q -p bench --bin sharded_adapt   -- $QUICK                              | tee results/sharded_adapt.csv
+cargo run --release -q -p bench --bin overload        -- $QUICK --assert --metrics results/overload.metrics.json | tee results/overload.csv
 
 echo "done — CSVs in results/"

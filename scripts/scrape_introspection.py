@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Scrape and validate a bench's live introspection endpoints.
+
+Stdlib-only (urllib + json). Hits a `--serve` listener's three
+endpoints and validates:
+
+* ``/healthz`` returns ``ok``.
+* ``/metrics`` is well-formed Prometheus text exposition: one ``# TYPE``
+  line per family, histogram bucket counts cumulative and monotone in
+  ``le`` with the ``+Inf`` bucket equal to ``_count``, and the required
+  introspection families present — sojourn histograms
+  (``*queue_sojourn_ns``), per-site lock-wait attribution
+  (``sync_wait_ns{site=...}``) and retained rank-error series digests
+  (``obs_series_last{series=...quality.est_rank...}``).
+* ``/snapshot.json`` parses and carries the snapshot's top-level keys.
+
+Usage: scrape_introspection.py HOST:PORT [--metrics-out F]
+                               [--snapshot-out F] [--require-sojourn-samples]
+
+Exit codes: 0 valid, 1 validation failure, 2 endpoint unreachable.
+"""
+
+import argparse
+import json
+import re
+import sys
+import urllib.error
+import urllib.request
+
+
+def fetch(addr: str, path: str) -> str:
+    url = f"http://{addr}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as r:
+            if r.status != 200:
+                print(f"scrape: {url} returned HTTP {r.status}", file=sys.stderr)
+                sys.exit(2)
+            return r.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as e:
+        print(f"scrape: cannot reach {url}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+SAMPLE_RE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (\S+)$")
+
+
+def validate_metrics(text: str, require_sojourn_samples: bool) -> list:
+    errors = []
+    types = {}  # family -> kind
+    samples = []  # (name, labels, value)
+    for ln, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("# meta ") or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {ln}: malformed TYPE line: {line!r}")
+                continue
+            _, _, fam, kind = parts
+            if fam in types:
+                errors.append(f"line {ln}: duplicate # TYPE for family {fam}")
+            types[fam] = kind
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {ln}: unexpected comment: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {ln}: unparseable sample: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"line {ln}: non-numeric value {value!r} in {line!r}")
+        samples.append((name, labels, value))
+
+    # Histogram shape: per (family, labels-minus-le) the bucket counts
+    # must be cumulative (non-decreasing as le grows, +Inf last and
+    # equal to _count).
+    buckets = {}
+    for name, labels, value in samples:
+        if not name.endswith("_bucket"):
+            continue
+        fam = name[: -len("_bucket")]
+        le_m = re.search(r'le="([^"]*)"', labels)
+        if not le_m:
+            errors.append(f"{name}{labels}: bucket sample without le label")
+            continue
+        rest = re.sub(r',?le="[^"]*"', "", labels)
+        if rest == "{}":  # le was the only label: match the bare _count name
+            rest = ""
+        le = float("inf") if le_m.group(1) == "+Inf" else float(le_m.group(1))
+        buckets.setdefault((fam, rest), []).append((le, float(value)))
+    counts = {
+        (n[: -len("_count")], l): float(v)
+        for n, l, v in samples
+        if n.endswith("_count")
+    }
+    for (fam, rest), bs in buckets.items():
+        bs.sort()
+        if bs != sorted(bs, key=lambda x: (x[0], x[1])) or any(
+            b2[1] < b1[1] for b1, b2 in zip(bs, bs[1:])
+        ):
+            errors.append(f"{fam}{rest}: bucket counts not cumulative: {bs}")
+        if bs[-1][0] != float("inf"):
+            errors.append(f"{fam}{rest}: missing +Inf bucket")
+        elif (fam, rest) in counts and bs[-1][1] != counts[(fam, rest)]:
+            errors.append(
+                f"{fam}{rest}: +Inf bucket {bs[-1][1]} != _count {counts[(fam, rest)]}"
+            )
+
+    # Required introspection families.
+    sojourn = [
+        (f, r) for (f, r) in buckets if f.endswith("queue_sojourn_ns")
+    ]
+    if not sojourn:
+        errors.append("no queue_sojourn_ns histogram family in /metrics")
+    elif require_sojourn_samples and all(
+        counts.get(k, 0) == 0 for k in sojourn
+    ):
+        errors.append("queue_sojourn_ns present but has zero samples")
+    if not any(
+        f == "sync_wait_ns" and "site=" in r for (f, r) in buckets
+    ):
+        errors.append("no sync_wait_ns{site=...} attribution family in /metrics")
+    if not any(
+        n == "obs_series_last" and "quality.est_rank" in l for n, l, _ in samples
+    ):
+        errors.append("no retained quality.est_rank series digest in /metrics")
+    return errors
+
+
+def main() -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("addr", help="host:port of a bench running with --serve")
+    p.add_argument("--metrics-out", help="save the scraped /metrics text here")
+    p.add_argument("--snapshot-out", help="save the scraped /snapshot.json here")
+    p.add_argument(
+        "--require-sojourn-samples",
+        action="store_true",
+        help="fail if the sojourn histograms are present but empty",
+    )
+    args = p.parse_args()
+
+    health = fetch(args.addr, "/healthz").strip()
+    if health != "ok":
+        print(f"scrape: /healthz returned {health!r}, want 'ok'", file=sys.stderr)
+        return 1
+
+    metrics = fetch(args.addr, "/metrics")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as f:
+            f.write(metrics)
+    errors = validate_metrics(metrics, args.require_sojourn_samples)
+
+    snap_text = fetch(args.addr, "/snapshot.json")
+    if args.snapshot_out:
+        with open(args.snapshot_out, "w") as f:
+            f.write(snap_text)
+    try:
+        snap = json.loads(snap_text)
+        for key in ("meta", "counters", "gauges", "ratios", "histograms", "series"):
+            if key not in snap:
+                errors.append(f"/snapshot.json missing top-level key {key!r}")
+    except json.JSONDecodeError as e:
+        errors.append(f"/snapshot.json is not valid JSON: {e}")
+
+    for e in errors:
+        print(f"FAIL {e}")
+    if errors:
+        print(f"scrape: {len(errors)} validation failure(s) against {args.addr}")
+        return 1
+    n_fams = metrics.count("# TYPE ")
+    print(f"scrape: OK — /healthz, /snapshot.json and {n_fams} metric families valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
