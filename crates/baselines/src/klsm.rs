@@ -73,7 +73,7 @@ pub struct KLsm<V> {
     k: usize,
     /// All locals are owned by the queue (so drop and whole-queue drains
     /// work); each is used by the one thread that registered the slot.
-    locals: boxcar_like::SlotVec<Mutex<Local<V>>>,
+    locals: zmsq_sync::SlotVec<Mutex<Local<V>>>,
     /// Lock-free global component: a stack of immutable sorted runs.
     global: RunStack<V>,
     id: usize,
@@ -86,7 +86,7 @@ impl<V: Send> KLsm<V> {
     pub fn new(k: usize) -> Self {
         Self {
             k: k.max(1),
-            locals: boxcar_like::SlotVec::new(),
+            locals: zmsq_sync::SlotVec::new(),
             global: RunStack::new(),
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
         }
@@ -480,164 +480,6 @@ mod runstack {
                 0,
                 "claimed + dropped + chained all freed"
             );
-        }
-    }
-}
-
-/// A tiny append-only concurrent slot vector (enough of `boxcar` for our
-/// needs): `push` returns a stable index; `get` is lock-free. Slots are
-/// never moved — storage is a chain of fixed-size chunks.
-mod boxcar_like {
-    use std::cell::UnsafeCell;
-    use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    const CHUNK: usize = 32;
-
-    struct Chunk<T> {
-        /// Capacity CHUNK, only grown under the push lock; readers access
-        /// initialized prefix elements by shared reference.
-        items: UnsafeCell<Vec<T>>,
-        next: AtomicPtr<Chunk<T>>,
-    }
-
-    /// Append-only vector with stable references.
-    pub struct SlotVec<T> {
-        head: AtomicPtr<Chunk<T>>,
-        len: AtomicUsize,
-        push_lock: Mutex<()>,
-    }
-
-    impl<T> SlotVec<T> {
-        pub fn new() -> Self {
-            Self {
-                head: AtomicPtr::new(std::ptr::null_mut()),
-                len: AtomicUsize::new(0),
-                push_lock: Mutex::new(()),
-            }
-        }
-
-        pub fn len(&self) -> usize {
-            self.len.load(Ordering::Acquire)
-        }
-
-        pub fn push(&self, value: T) -> usize {
-            let _g = self.push_lock.lock().unwrap();
-            let idx = self.len.load(Ordering::Relaxed);
-            // Walk to the chunk that should hold `idx`.
-            let mut link = &self.head;
-            let mut base = 0usize;
-            loop {
-                let p = link.load(Ordering::Acquire);
-                if p.is_null() {
-                    let chunk = Box::into_raw(Box::new(Chunk {
-                        items: UnsafeCell::new(Vec::with_capacity(CHUNK)),
-                        next: AtomicPtr::new(std::ptr::null_mut()),
-                    }));
-                    link.store(chunk, Ordering::Release);
-                    continue;
-                }
-                // SAFETY: chunks are never freed before Drop.
-                let chunk = unsafe { &*p };
-                if idx < base + CHUNK {
-                    // SAFETY: single pusher (lock held); the Vec has spare
-                    // capacity (len within chunk < CHUNK) so pushing never
-                    // reallocates, keeping references from `get` stable.
-                    let items = unsafe { &mut *chunk.items.get() };
-                    debug_assert!(items.len() < CHUNK);
-                    items.push(value);
-                    break;
-                }
-                base += CHUNK;
-                link = &chunk.next;
-            }
-            self.len.store(idx + 1, Ordering::Release);
-            idx
-        }
-
-        pub fn get(&self, idx: usize) -> &T {
-            assert!(idx < self.len(), "slot {idx} out of bounds");
-            let mut p = self.head.load(Ordering::Acquire);
-            let mut base = 0usize;
-            loop {
-                // SAFETY: idx < len implies the chunk chain covers it.
-                let chunk = unsafe { &*p };
-                if idx < base + CHUNK {
-                    // SAFETY: idx < len (checked above) means this element
-                    // was fully initialized before `len`'s release store,
-                    // and it will never move or be mutated again.
-                    let items: &Vec<T> = unsafe { &*chunk.items.get() };
-                    return &items[idx - base];
-                }
-                base += CHUNK;
-                p = chunk.next.load(Ordering::Acquire);
-            }
-        }
-    }
-
-    impl<T> Drop for SlotVec<T> {
-        fn drop(&mut self) {
-            let mut p = *self.head.get_mut();
-            while !p.is_null() {
-                // SAFETY: chunks allocated via Box::into_raw, freed once.
-                let chunk = unsafe { Box::from_raw(p) };
-                p = chunk.next.load(Ordering::Relaxed);
-            }
-        }
-    }
-
-    // SAFETY: SlotVec hands out &T only; interior growth is serialized by
-    // the push lock and never invalidates existing &T.
-    unsafe impl<T: Send + Sync> Sync for SlotVec<T> {}
-    unsafe impl<T: Send> Send for SlotVec<T> {}
-
-    #[cfg(test)]
-    mod tests {
-        use super::*;
-
-        #[test]
-        fn push_get_across_chunks() {
-            let v = SlotVec::new();
-            for i in 0..100usize {
-                assert_eq!(v.push(i * 10), i);
-            }
-            for i in 0..100usize {
-                assert_eq!(*v.get(i), i * 10);
-            }
-            assert_eq!(v.len(), 100);
-        }
-
-        #[test]
-        fn references_stay_stable_across_growth() {
-            let v = SlotVec::new();
-            v.push(String::from("hello"));
-            let r = v.get(0) as *const String;
-            for i in 0..200 {
-                v.push(format!("x{i}"));
-            }
-            assert_eq!(r, v.get(0) as *const String, "slot 0 must not move");
-            assert_eq!(v.get(0), "hello");
-        }
-
-        #[test]
-        fn concurrent_push() {
-            use std::sync::Arc;
-            let v = Arc::new(SlotVec::new());
-            let mut handles = Vec::new();
-            for t in 0..4usize {
-                let v = Arc::clone(&v);
-                handles.push(std::thread::spawn(move || {
-                    (0..50).map(|i| v.push(t * 1000 + i)).collect::<Vec<_>>()
-                }));
-            }
-            let mut all: Vec<usize> = handles
-                .into_iter()
-                .flat_map(|h| h.join().unwrap())
-                .collect();
-            all.sort_unstable();
-            all.dedup();
-            assert_eq!(all.len(), 200, "indices must be unique");
-            assert_eq!(v.len(), 200);
         }
     }
 }

@@ -6,16 +6,40 @@
 //! choices argument bounds the rank error probabilistically. Like the
 //! k-LSM it is cited in §1/§2.1 as a thread-local-flavored relaxed queue
 //! whose accuracy depends on the configuration size.
+//!
+//! [`MultiQueue::with_tuning`] adds the two optimizations from
+//! "Engineering MultiQueues" (Williams & Sanders): *stickiness* (a
+//! thread reuses its sampled heap for `c` consecutive operations) and
+//! per-thread *insertion/deletion buffers* (staged thread-locally,
+//! moved to/from the heaps in batches), so the shootout against the
+//! tuned `ShardedZmsq` is apples-to-apples. Buffers flush on overflow,
+//! on re-sample, and through the
+//! [`flush`](ConcurrentPriorityQueue::flush) escape hatch; before an
+//! empty report every thread's staged operations are published and the
+//! sweep retried (flush-before-report), so `None` keeps its meaning.
 
+use std::cell::RefCell;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pq_traits::ConcurrentPriorityQueue;
-use zmsq_sync::CachePadded;
+use zmsq_sync::{CachePadded, SlotVec};
 
 /// Sentinel top for an empty sub-heap (so comparisons need no lock).
 const EMPTY_TOP: u64 = 0;
+
+/// Source of unique instance ids keying the per-thread buffer-slot
+/// cache (same discipline as `ShardedZmsq`).
+static MQ_IDS: AtomicU64 = AtomicU64::new(1);
+
+const SLOT_CACHE_CAP: usize = 64;
+thread_local! {
+    /// Per-thread `(instance id, buffer slot)` cache. Eviction is safe:
+    /// the slot and its staged elements stay owned by the queue's
+    /// `SlotVec`, where flush-all recovers them.
+    static MQ_SLOTS: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Heap entry ordered by `(priority, insertion sequence)`; `V` is never
 /// compared so it needs no `Ord`.
@@ -58,21 +82,90 @@ impl<V> SubQueue<V> {
     }
 }
 
+/// Per-`(thread, instance)` operation buffer (the k-LSM spill model:
+/// queue-owned so flush-all reaches it without the thread's help).
+struct OpBuf<V> {
+    /// Staged inserts bound for heap `ins_at`.
+    ins: Vec<(u64, V)>,
+    /// Prefetched extractions, ascending by priority (pop from the end).
+    del: Vec<(u64, V)>,
+    ins_at: usize,
+    ins_left: usize,
+    del_at: usize,
+    del_left: usize,
+}
+
+impl<V> Default for OpBuf<V> {
+    fn default() -> Self {
+        Self {
+            ins: Vec::new(),
+            del: Vec::new(),
+            ins_at: 0,
+            ins_left: 0,
+            del_at: 0,
+            del_left: 0,
+        }
+    }
+}
+
 /// The MultiQueue relaxed priority queue.
 pub struct MultiQueue<V> {
     queues: Box<[CachePadded<SubQueue<V>>]>,
     seq: AtomicU64,
+    id: u64,
+    /// Sticky run length (`0` = classic fresh sample per operation).
+    stickiness: usize,
+    /// Buffer depths (`0`/`1` = unbuffered).
+    insert_buffer: usize,
+    delete_buffer: usize,
+    /// Whether any tuning knob departs from the classic behaviour.
+    tuned: bool,
+    bufs: SlotVec<Mutex<OpBuf<V>>>,
+    pending_ins: AtomicUsize,
+    pending_del: AtomicUsize,
+    /// Live rank-error estimator measured at the heap boundary
+    /// (optional; armed for the shootout's cheap rank axis).
+    est: Option<obs::RankEstimator>,
 }
 
 impl<V: Send> MultiQueue<V> {
     /// Create with `c * threads` internal heaps (the usual setting is
     /// `c = 2`).
     pub fn new(threads: usize, c: usize) -> Self {
+        Self::with_tuning(threads, c, 0, 0, 0)
+    }
+
+    /// [`new`](Self::new) plus stickiness and per-thread operation
+    /// buffers. All-zero tuning is exactly `new`.
+    pub fn with_tuning(
+        threads: usize,
+        c: usize,
+        stickiness: usize,
+        insert_buffer: usize,
+        delete_buffer: usize,
+    ) -> Self {
         let n = (threads.max(1) * c.max(1)).next_power_of_two();
+        let tuned = stickiness >= 1 || insert_buffer > 1 || delete_buffer > 1;
         Self {
             queues: (0..n).map(|_| CachePadded::new(SubQueue::new())).collect(),
             seq: AtomicU64::new(0),
+            id: MQ_IDS.fetch_add(1, Ordering::Relaxed),
+            stickiness,
+            insert_buffer,
+            delete_buffer,
+            tuned,
+            bufs: SlotVec::new(),
+            pending_ins: AtomicUsize::new(0),
+            pending_del: AtomicUsize::new(0),
+            est: None,
         }
+    }
+
+    /// Arm the live rank-error estimator (`quality.est_rank` etc.) with
+    /// the given sampling shift (`0` samples every key).
+    pub fn rank_estimator(mut self, shift: u32) -> Self {
+        self.est = Some(obs::RankEstimator::new(shift));
+        self
     }
 
     #[inline]
@@ -95,10 +188,81 @@ impl<V: Send> MultiQueue<V> {
         let top = heap.peek().map_or(EMPTY_TOP, |e| e.prio.saturating_add(1));
         q.top.store(top, Ordering::Relaxed);
     }
-}
 
-impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
-    fn insert(&self, prio: u64, value: V) {
+    /// The calling thread's buffer slot for this instance.
+    fn buf_slot(&self) -> usize {
+        MQ_SLOTS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(&(_, slot)) = cache.iter().find(|&&(id, _)| id == self.id) {
+                return slot;
+            }
+            let slot = self.bufs.push(Mutex::new(OpBuf::default()));
+            if cache.len() >= SLOT_CACHE_CAP {
+                cache.remove(0);
+            }
+            cache.push((self.id, slot));
+            slot
+        })
+    }
+
+    /// Push staged inserts into heap `b.ins_at` under one lock
+    /// acquisition, assigning sequence numbers at publish time.
+    fn flush_ins(&self, b: &mut OpBuf<V>) {
+        if b.ins.is_empty() {
+            return;
+        }
+        fault::fail_point!("shard.flush-delay");
+        self.pending_ins.fetch_sub(b.ins.len(), Ordering::Relaxed);
+        let q = &self.queues[b.ins_at & (self.queues.len() - 1)];
+        let mut heap = q.heap.lock().unwrap();
+        for (prio, value) in b.ins.drain(..) {
+            if let Some(est) = &self.est {
+                est.note_insert(prio);
+            }
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            heap.push(Entry { prio, seq, value });
+        }
+        Self::update_top(q, &heap);
+    }
+
+    /// Return prefetched-but-unclaimed extractions to the heap they came
+    /// from, making them claimable by other threads.
+    fn unprefetch_del(&self, b: &mut OpBuf<V>) {
+        if b.del.is_empty() {
+            return;
+        }
+        fault::fail_point!("shard.flush-delay");
+        self.pending_del.fetch_sub(b.del.len(), Ordering::Relaxed);
+        let q = &self.queues[b.del_at & (self.queues.len() - 1)];
+        let mut heap = q.heap.lock().unwrap();
+        for (prio, value) in b.del.drain(..) {
+            if let Some(est) = &self.est {
+                est.note_insert(prio);
+            }
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            heap.push(Entry { prio, seq, value });
+        }
+        Self::update_top(q, &heap);
+        b.del_left = 0;
+    }
+
+    /// Publish every thread's staged operations; returns elements moved.
+    /// Locks one slot at a time; the caller must not hold a slot lock.
+    fn flush_all(&self) -> usize {
+        let mut moved = 0;
+        for buf in self.bufs.iter() {
+            let mut b = buf.lock().unwrap();
+            moved += b.ins.len() + b.del.len();
+            self.flush_ins(&mut b);
+            self.unprefetch_del(&mut b);
+        }
+        moved
+    }
+
+    fn insert_direct(&self, prio: u64, value: V) {
+        if let Some(est) = &self.est {
+            est.note_insert(prio);
+        }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         // Lock a random heap; on contention just try another (wait-free
         // against any single hot heap).
@@ -112,7 +276,40 @@ impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
         }
     }
 
-    fn extract_max(&self) -> Option<(u64, V)> {
+    fn fast_insert(&self, prio: u64, value: V) {
+        let buf = self.bufs.get(self.buf_slot());
+        let mut b = buf.lock().unwrap();
+        if b.ins_left == 0 {
+            self.flush_ins(&mut b); // flush-on-resample
+            b.ins_at = self.random_index();
+            b.ins_left = match self.stickiness {
+                0 => usize::MAX, // buffering only: target never expires
+                c => c,
+            };
+        }
+        b.ins_left -= 1;
+        if self.insert_buffer > 1 {
+            b.ins.push((prio, value));
+            self.pending_ins.fetch_add(1, Ordering::Relaxed);
+            if b.ins.len() >= self.insert_buffer {
+                self.flush_ins(&mut b); // flush-on-overflow
+            }
+        } else {
+            // Sticky unbuffered insert: push straight into the sticky
+            // heap (blocking — stickiness trades the try-elsewhere loop
+            // for locality).
+            if let Some(est) = &self.est {
+                est.note_insert(prio);
+            }
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let q = &self.queues[b.ins_at];
+            let mut heap = q.heap.lock().unwrap();
+            heap.push(Entry { prio, seq, value });
+            Self::update_top(q, &heap);
+        }
+    }
+
+    fn extract_direct(&self) -> Option<(u64, V)> {
         // Two random choices, pop the better; a few rounds before
         // concluding empty (misses are possible by design, the rounds
         // bound how often).
@@ -130,6 +327,9 @@ impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
             if let Ok(mut heap) = pick.heap.try_lock() {
                 if let Some(e) = heap.pop() {
                     Self::update_top(pick, &heap);
+                    if let Some(est) = &self.est {
+                        est.note_extract(e.prio);
+                    }
                     return Some((e.prio, e.value));
                 }
             }
@@ -140,21 +340,145 @@ impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
             let mut heap = q.heap.lock().unwrap();
             if let Some(e) = heap.pop() {
                 Self::update_top(q, &heap);
+                if let Some(est) = &self.est {
+                    est.note_extract(e.prio);
+                }
                 return Some((e.prio, e.value));
             }
         }
         None
     }
 
+    /// Pop up to `want` entries from heap `at` into `b.del` (ascending
+    /// order). Returns how many were taken.
+    fn refill_from(&self, b: &mut OpBuf<V>, at: usize, want: usize) -> usize {
+        let q = &self.queues[at];
+        let mut heap = match q.heap.try_lock() {
+            Ok(h) => h,
+            Err(_) => return 0, // contended: caller re-picks
+        };
+        let mut got = 0;
+        while got < want {
+            match heap.pop() {
+                Some(e) => {
+                    if let Some(est) = &self.est {
+                        est.note_extract(e.prio);
+                    }
+                    b.del.push((e.prio, e.value));
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        if got > 0 {
+            Self::update_top(q, &heap);
+            // Heap pops come out descending; the buffer serves from the
+            // end, so reverse the freshly appended run.
+            let len = b.del.len();
+            b.del[len - got..].reverse();
+        }
+        got
+    }
+
+    fn fast_extract(&self) -> Option<(u64, V)> {
+        let buf = self.bufs.get(self.buf_slot());
+        let mut b = buf.lock().unwrap();
+        if let Some(got) = b.del.pop() {
+            self.pending_del.fetch_sub(1, Ordering::Relaxed);
+            return Some(got);
+        }
+        if b.del_left == 0 {
+            // Fresh run: two-choice pick by cached tops.
+            let (i, j) = (self.random_index(), self.random_index());
+            let (ti, tj) = (
+                self.queues[i].top.load(Ordering::Relaxed),
+                self.queues[j].top.load(Ordering::Relaxed),
+            );
+            b.del_at = if ti >= tj { i } else { j };
+            b.del_left = self.stickiness.max(1);
+        }
+        b.del_left -= 1;
+        let want = self.delete_buffer.max(1);
+        let at = b.del_at;
+        let got = self.refill_from(&mut b, at, want);
+        if got == 0 {
+            // Sticky heap dry or contended: drop the run, fall back to
+            // the classic two-choice extract, then flush-before-report.
+            b.del_left = 0;
+            drop(b);
+            if let Some(got) = self.extract_direct() {
+                return Some(got);
+            }
+            loop {
+                let moved = self.flush_all();
+                if let Some(got) = self.extract_direct() {
+                    return Some(got);
+                }
+                if moved == 0 {
+                    return None;
+                }
+            }
+        }
+        self.pending_del.fetch_add(got - 1, Ordering::Relaxed);
+        Some(b.del.pop().expect("refill returned > 0"))
+    }
+}
+
+impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
+    fn insert(&self, prio: u64, value: V) {
+        if self.tuned {
+            return self.fast_insert(prio, value);
+        }
+        self.insert_direct(prio, value)
+    }
+
+    fn extract_max(&self) -> Option<(u64, V)> {
+        if self.tuned {
+            return self.fast_extract();
+        }
+        self.extract_direct()
+    }
+
     fn name(&self) -> String {
-        format!("multiqueue-{}", self.queues.len())
+        let mut n = format!("multiqueue-{}", self.queues.len());
+        if self.tuned {
+            n.push_str(&format!(
+                "-c{}-i{}-d{}",
+                self.stickiness, self.insert_buffer, self.delete_buffer
+            ));
+        }
+        n
     }
 
     fn len_hint(&self) -> usize {
         self.queues
             .iter()
             .map(|q| q.heap.lock().unwrap().len())
-            .sum()
+            .sum::<usize>()
+            + self.pending_ins.load(Ordering::Relaxed)
+            + self.pending_del.load(Ordering::Relaxed)
+    }
+
+    fn flush(&self) {
+        self.flush_all();
+    }
+
+    fn metrics(&self) -> Option<obs::Snapshot> {
+        let est = self.est.as_ref()?;
+        let mut snap = obs::Snapshot::default();
+        est.snapshot_into(&mut snap);
+        if self.tuned {
+            snap.push_gauge("buf.threads", self.bufs.len() as i64);
+            snap.push_gauge(
+                "buf.pending_inserts",
+                self.pending_ins.load(Ordering::Relaxed) as i64,
+            );
+            snap.push_gauge(
+                "buf.pending_deletes",
+                self.pending_del.load(Ordering::Relaxed) as i64,
+            );
+        }
+        Some(snap)
     }
 }
 
@@ -227,5 +551,98 @@ mod tests {
         q.insert(5, 5);
         assert_eq!(q.extract_max(), Some((5, 5)));
         assert_eq!(q.extract_max(), None);
+    }
+
+    #[test]
+    fn untuned_name_and_paths_unchanged() {
+        let q: MultiQueue<u64> = MultiQueue::new(4, 2);
+        assert_eq!(q.name(), "multiqueue-8");
+        assert!(!q.tuned);
+        q.insert(1, 1);
+        assert_eq!(q.bufs.len(), 0, "classic path must not register slots");
+        let tuned: MultiQueue<u64> = MultiQueue::with_tuning(4, 2, 8, 16, 4);
+        assert_eq!(tuned.name(), "multiqueue-8-c8-i16-d4");
+    }
+
+    #[test]
+    fn tuned_roundtrip_conserves() {
+        let q = Arc::new(MultiQueue::with_tuning(4, 2, 8, 8, 8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                for i in 0..4000u64 {
+                    q.insert(t * 10_000 + i, i);
+                    if i % 2 == 0 && q.extract_max().is_some() {
+                        got += 1;
+                    }
+                }
+                got
+            }));
+        }
+        let extracted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let mut rest = 0u64;
+        while q.extract_max().is_some() {
+            rest += 1;
+        }
+        assert_eq!(extracted + rest, 16_000, "tuned fast path lost elements");
+        assert_eq!(q.len_hint(), 0);
+    }
+
+    #[test]
+    fn flush_publishes_staged_inserts() {
+        let q: MultiQueue<u64> = MultiQueue::with_tuning(2, 2, 0, 64, 0);
+        for i in 0..5u64 {
+            q.insert(i, i);
+        }
+        assert_eq!(q.pending_ins.load(Ordering::Relaxed), 5);
+        // Invisible to the heaps until flushed…
+        let heaped: usize = q.queues.iter().map(|h| h.heap.lock().unwrap().len()).sum();
+        assert_eq!(heaped, 0);
+        assert_eq!(q.len_hint(), 5);
+        q.flush();
+        assert_eq!(q.pending_ins.load(Ordering::Relaxed), 0);
+        let heaped: usize = q.queues.iter().map(|h| h.heap.lock().unwrap().len()).sum();
+        assert_eq!(heaped, 5);
+    }
+
+    #[test]
+    fn empty_report_reclaims_foreign_buffers() {
+        let q = Arc::new(MultiQueue::with_tuning(2, 2, 4, 4, 4));
+        for i in 0..10u64 {
+            q.insert(i, i);
+        }
+        q.flush();
+        let q2 = Arc::clone(&q);
+        std::thread::spawn(move || {
+            let _ = q2.extract_max().expect("elements present"); // prefetches
+            q2.insert(99, 99); // stays staged
+        })
+        .join()
+        .unwrap();
+        let mut got = 0;
+        while q.extract_max().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 10, "elements stranded in a foreign buffer");
+        assert_eq!(q.len_hint(), 0);
+    }
+
+    #[test]
+    fn estimator_exports_quality_metrics() {
+        let q: MultiQueue<u64> = MultiQueue::with_tuning(2, 2, 4, 4, 4).rank_estimator(0);
+        for i in 0..500u64 {
+            q.insert(i, i);
+        }
+        q.flush();
+        for _ in 0..200 {
+            assert!(q.extract_max().is_some());
+        }
+        let snap = q.metrics().expect("estimator armed");
+        assert!(snap.counter("quality.sampled_extracts").unwrap() >= 200);
+        let h = snap.hist("quality.est_rank").expect("est_rank hist");
+        assert!(h.count >= 200);
+        assert!(snap.gauge("buf.threads").unwrap() >= 1);
     }
 }

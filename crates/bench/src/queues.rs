@@ -77,6 +77,47 @@ pub fn make_queue<V: Send + 'static>(kind: &str, threads: usize) -> BoxedQueue<V
     }
 }
 
+/// Construct one of the shootout's tunable bases with explicit
+/// stickiness / buffer depths (0 = knob off). Known bases:
+/// `zmsq-sharded`, `zmsq-sharded-adaptive`, `multiqueue`. Every queue
+/// comes with its live rank estimator armed (sampling shift 6, the
+/// `ZmsqConfig` default) so the sweep can read `quality.est_rank`
+/// without an oracle in the hot path.
+pub fn make_tuned_queue<V: Send + 'static>(
+    base: &str,
+    threads: usize,
+    stickiness: usize,
+    insert_buffer: usize,
+    delete_buffer: usize,
+) -> BoxedQueue<V> {
+    let tuning = zmsq::ShardedConfig::new()
+        .stickiness(stickiness)
+        .insert_buffer(insert_buffer)
+        .delete_buffer(delete_buffer);
+    let default = ZmsqConfig::default();
+    match base {
+        "zmsq-sharded" => Box::new(zmsq::ShardedZmsq::<V>::with_tuning(
+            threads.max(2) / 2,
+            default,
+            tuning,
+        )),
+        "zmsq-sharded-adaptive" => Box::new(zmsq::ShardedZmsq::<V>::with_tuning(
+            threads.max(2) / 2,
+            default.batch(16).adaptive_batch(4, 64),
+            tuning,
+        )),
+        "multiqueue" => Box::new(
+            MultiQueue::<V>::with_tuning(threads, 2, stickiness, insert_buffer, delete_buffer)
+                .rank_estimator(6),
+        ),
+        other => panic!("unknown tunable base {other:?}"),
+    }
+}
+
+/// The shootout's tunable bases (each accepts stickiness and buffer
+/// depths through [`make_tuned_queue`]).
+pub const SHOOTOUT_BASES: &[&str] = &["zmsq-sharded", "zmsq-sharded-adaptive", "multiqueue"];
+
 /// The paper's Fig. 5 lineup.
 pub const FIG5_QUEUES: &[&str] = &[
     "zmsq",
@@ -127,6 +168,28 @@ mod tests {
     #[should_panic(expected = "unknown queue kind")]
     fn unknown_kind_panics() {
         let _ = make_queue::<u64>("nope", 1);
+    }
+
+    #[test]
+    fn tuned_bases_construct_and_roundtrip() {
+        for base in SHOOTOUT_BASES {
+            for (c, ins, del) in [(0, 0, 0), (1, 8, 8), (16, 64, 64)] {
+                let q: BoxedQueue<u64> = make_tuned_queue(base, 4, c, ins, del);
+                for i in 0..200u64 {
+                    q.insert(i, i);
+                }
+                q.flush();
+                let mut got = 0;
+                while q.extract_max().is_some() {
+                    got += 1;
+                }
+                assert_eq!(got, 200, "{base} c{c} i{ins} d{del} lost elements");
+                assert!(
+                    q.metrics().is_some(),
+                    "{base} must expose metrics for the rank axis"
+                );
+            }
+        }
     }
 
     #[test]

@@ -172,6 +172,22 @@ pub trait ConcurrentPriorityQueue<V = u64>: Send + Sync {
         got
     }
 
+    /// Publish any operations the calling thread (or any thread) has
+    /// buffered locally, making them globally visible.
+    ///
+    /// Queues with per-thread operation buffers (e.g. `ShardedZmsq` or
+    /// `MultiQueue` with insertion/deletion buffers configured) override
+    /// this to push pending buffered inserts into the shared structure
+    /// and return prefetched-but-unconsumed elements to it, so that a
+    /// subsequent `extract_max` from *any* thread observes them. The
+    /// default is a no-op: unbuffered queues have nothing to publish.
+    ///
+    /// `flush` is an escape hatch for quiescence points (checkpointing,
+    /// draining, handing a queue across a thread-pool generation); the
+    /// buffered queues also flush automatically on buffer overflow, on
+    /// sticky re-sampling, on `close()`, and before reporting emptiness.
+    fn flush(&self) {}
+
     /// Export the queue's internal metrics as an [`obs::Snapshot`], if the
     /// implementation collects any. Harnesses merge this into their
     /// `*.metrics.json` output; `None` (the default) simply omits the
@@ -211,6 +227,9 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for &
     fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
         (**self).extract_batch(out, n)
     }
+    fn flush(&self) {
+        (**self).flush()
+    }
     fn metrics(&self) -> Option<obs::Snapshot> {
         (**self).metrics()
     }
@@ -244,6 +263,9 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for B
     fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
         (**self).extract_batch(out, n)
     }
+    fn flush(&self) {
+        (**self).flush()
+    }
     fn metrics(&self) -> Option<obs::Snapshot> {
         (**self).metrics()
     }
@@ -276,6 +298,9 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for s
     }
     fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
         (**self).extract_batch(out, n)
+    }
+    fn flush(&self) {
+        (**self).flush()
     }
     fn metrics(&self) -> Option<obs::Snapshot> {
         (**self).metrics()
@@ -381,6 +406,39 @@ mod tests {
         assert_eq!(out, vec![(2, 20), (1, 10)]);
         let by_ref: &dyn ConcurrentPriorityQueue = &*arc;
         assert_eq!(by_ref.extract_batch(&mut out, 1), 0);
+    }
+
+    #[test]
+    fn flush_default_is_noop_and_forwards() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // Default: nothing to publish, nothing happens.
+        let q = LockedHeap(Mutex::new(BinaryHeap::new()));
+        q.insert(1, 10);
+        q.flush();
+        assert_eq!(q.len_hint(), 1);
+
+        // Override must propagate through &Q, Box<Q> and Arc<Q>.
+        struct Flushy(AtomicU64);
+        impl ConcurrentPriorityQueue for Flushy {
+            fn insert(&self, _prio: u64, _value: u64) {}
+            fn extract_max(&self) -> Option<(u64, u64)> {
+                None
+            }
+            fn name(&self) -> String {
+                "flushy".into()
+            }
+            fn flush(&self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let arc = std::sync::Arc::new(Flushy(AtomicU64::new(0)));
+        arc.flush();
+        let by_ref: &dyn ConcurrentPriorityQueue = &*arc;
+        by_ref.flush();
+        let boxed: Box<dyn ConcurrentPriorityQueue> = Box::new(std::sync::Arc::clone(&arc));
+        boxed.flush();
+        assert_eq!(arc.0.load(Ordering::Relaxed), 3);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`site`] — per-site lock-wait attribution: named [`site::SiteId`]
 //!   scopes charge contended-acquisition and futex-park time to the
 //!   subsystem that paid it (`sync.wait_ns{site=…}`).
+//! * [`slotvec`] — an append-only concurrent slot vector with stable
+//!   references, the registry behind every thread-local-component queue
+//!   (k-LSM locals, sticky/buffered operation buffers).
 //!
 //! With `--features fault-inject` the substrate compiles in named
 //! failpoints (`trylock.spurious-fail`, `futex.spurious-wake`,
@@ -40,6 +43,7 @@ pub mod obs;
 pub mod pad;
 pub mod producer;
 pub mod site;
+pub mod slotvec;
 pub mod trylock;
 
 pub use backoff::Backoff;
@@ -48,4 +52,5 @@ pub use futex::{futex_wait, futex_wait_timeout, futex_wake, futex_wake_all};
 pub use pad::CachePadded;
 pub use producer::ProducerWait;
 pub use site::{SiteId, SiteScope};
+pub use slotvec::SlotVec;
 pub use trylock::{LockGuard, OsLock, RawTryLock, TasLock, TatasLock};

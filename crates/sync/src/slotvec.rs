@@ -1,0 +1,190 @@
+//! A tiny append-only concurrent slot vector (enough of `boxcar` for
+//! this workspace): `push` returns a stable index; `get` is lock-free.
+//! Slots are never moved — storage is a chain of fixed-size chunks.
+//!
+//! Shared by the thread-local-component queues: the k-LSM's per-thread
+//! locals and the sticky/buffered fast paths of `ShardedZmsq` and
+//! `MultiQueue` all register one slot per `(thread, queue instance)`
+//! and need `&T` references that survive concurrent registration.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const CHUNK: usize = 32;
+
+struct Chunk<T> {
+    /// Capacity CHUNK, only grown under the push lock; readers access
+    /// initialized prefix elements by shared reference.
+    items: UnsafeCell<Vec<T>>,
+    next: AtomicPtr<Chunk<T>>,
+}
+
+/// Append-only vector with stable references.
+pub struct SlotVec<T> {
+    head: AtomicPtr<Chunk<T>>,
+    len: AtomicUsize,
+    push_lock: Mutex<()>,
+}
+
+impl<T> SlotVec<T> {
+    /// An empty vector (allocates nothing until the first push).
+    pub fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            len: AtomicUsize::new(0),
+            push_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of slots pushed so far.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether no slot has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a slot, returning its stable index.
+    pub fn push(&self, value: T) -> usize {
+        let _g = self.push_lock.lock().unwrap();
+        let idx = self.len.load(Ordering::Relaxed);
+        // Walk to the chunk that should hold `idx`.
+        let mut link = &self.head;
+        let mut base = 0usize;
+        loop {
+            let p = link.load(Ordering::Acquire);
+            if p.is_null() {
+                let chunk = Box::into_raw(Box::new(Chunk {
+                    items: UnsafeCell::new(Vec::with_capacity(CHUNK)),
+                    next: AtomicPtr::new(std::ptr::null_mut()),
+                }));
+                link.store(chunk, Ordering::Release);
+                continue;
+            }
+            // SAFETY: chunks are never freed before Drop.
+            let chunk = unsafe { &*p };
+            if idx < base + CHUNK {
+                // SAFETY: single pusher (lock held); the Vec has spare
+                // capacity (len within chunk < CHUNK) so pushing never
+                // reallocates, keeping references from `get` stable.
+                let items = unsafe { &mut *chunk.items.get() };
+                debug_assert!(items.len() < CHUNK);
+                items.push(value);
+                break;
+            }
+            base += CHUNK;
+            link = &chunk.next;
+        }
+        self.len.store(idx + 1, Ordering::Release);
+        idx
+    }
+
+    /// A stable reference to slot `idx`. Panics when out of bounds.
+    pub fn get(&self, idx: usize) -> &T {
+        assert!(idx < self.len(), "slot {idx} out of bounds");
+        let mut p = self.head.load(Ordering::Acquire);
+        let mut base = 0usize;
+        loop {
+            // SAFETY: idx < len implies the chunk chain covers it.
+            let chunk = unsafe { &*p };
+            if idx < base + CHUNK {
+                // SAFETY: idx < len (checked above) means this element
+                // was fully initialized before `len`'s release store,
+                // and it will never move or be mutated again.
+                let items: &Vec<T> = unsafe { &*chunk.items.get() };
+                return &items[idx - base];
+            }
+            base += CHUNK;
+            p = chunk.next.load(Ordering::Acquire);
+        }
+    }
+
+    /// Iterate over every slot pushed so far.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+impl<T> Default for SlotVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for SlotVec<T> {
+    fn drop(&mut self) {
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            // SAFETY: chunks allocated via Box::into_raw, freed once.
+            let chunk = unsafe { Box::from_raw(p) };
+            p = chunk.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+// SAFETY: SlotVec hands out &T only; interior growth is serialized by
+// the push lock and never invalidates existing &T.
+unsafe impl<T: Send + Sync> Sync for SlotVec<T> {}
+unsafe impl<T: Send> Send for SlotVec<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_across_chunks() {
+        let v: SlotVec<usize> = SlotVec::new();
+        assert!(v.is_empty());
+        for i in 0..(CHUNK * 3 + 5) {
+            assert_eq!(v.push(i), i);
+        }
+        assert_eq!(v.len(), CHUNK * 3 + 5);
+        for i in 0..v.len() {
+            assert_eq!(*v.get(i), i);
+        }
+        assert_eq!(v.iter().copied().sum::<usize>(), (0..v.len()).sum());
+    }
+
+    #[test]
+    fn references_stay_stable_across_growth() {
+        let v: SlotVec<u64> = SlotVec::new();
+        v.push(7);
+        let first = v.get(0) as *const u64;
+        for i in 0..(CHUNK * 4) as u64 {
+            v.push(i);
+        }
+        assert_eq!(first, v.get(0) as *const u64, "slot 0 moved");
+        assert_eq!(*v.get(0), 7);
+    }
+
+    #[test]
+    fn concurrent_push_assigns_unique_slots() {
+        use std::sync::Arc;
+        let v: Arc<SlotVec<u64>> = Arc::new(SlotVec::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let v = Arc::clone(&v);
+            handles.push(std::thread::spawn(move || {
+                (0..50).map(|i| v.push(t * 1_000 + i)).collect::<Vec<_>>()
+            }));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for h in handles {
+            for idx in h.join().unwrap() {
+                assert!(seen.insert(idx), "index {idx} handed out twice");
+            }
+        }
+        assert_eq!(v.len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let v: SlotVec<u8> = SlotVec::new();
+        v.push(1);
+        let _ = v.get(1);
+    }
+}

@@ -78,7 +78,7 @@ mod tree;
 pub use config::{LockStrategy, QualityOpts, Reclamation, ShedPolicy, ZmsqConfig};
 pub use queue::{SetSizeStats, Zmsq};
 pub use set::{ArraySet, DequeSet, ListSet, NodeSet};
-pub use sharded::ShardedZmsq;
+pub use sharded::{ShardedConfig, ShardedZmsq};
 pub use stats::StatsSnapshot;
 
 // Re-exported so bounded-queue callers can match the fallible-insert

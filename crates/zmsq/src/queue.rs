@@ -515,7 +515,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 }
             }
             loop {
-                let (pos, _) = self.select_position(chunk_max);
+                // `allow_force = false`: a forced position only admits
+                // *non-max* elements one at a time, which the chunked
+                // placement below cannot honour — accepting one here
+                // would spin forever re-validating an impossible fit.
+                let (pos, _) = self.select_position(chunk_max, false);
                 let target = self.search_root_path(pos, chunk_max);
                 if self.bulk_insert_at(target, chunk_max, items, start) {
                     break;
@@ -589,7 +593,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
     /// for a restart (this is *not* the fallible capacity-aware
     /// [`try_insert`](Self::try_insert)).
     fn insert_attempt(&self, prio: u64, value: V) -> Result<(), V> {
-        let (pos, force) = self.select_position(prio);
+        let (pos, force) = self.select_position(prio, true);
         if force {
             return self.forced_insert(pos, prio, value);
         }
@@ -599,9 +603,15 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
 
     /// `selectPosition`: probe random leaves for either (a) a leaf whose
     /// max is `<= prio` — then a binary search up the root path finds the
-    /// insertion node — or (b) a deep, under-full leaf accepting `prio`
-    /// as a non-max element. After `leaf_level` failed probes, expand.
-    fn select_position(&self, prio: u64) -> (Pos, bool) {
+    /// insertion node — or (b) with `allow_force`, a deep, under-full
+    /// leaf accepting `prio` as a non-max element. After `leaf_level`
+    /// failed probes, expand. Callers that cannot perform a forced
+    /// (non-max) placement — the chunked [`insert_batch`] path — pass
+    /// `allow_force = false` so the probe loop keeps searching (and
+    /// growing) instead of handing them a position they cannot use.
+    ///
+    /// [`insert_batch`]: Self::insert_batch
+    fn select_position(&self, prio: u64, allow_force: bool) -> (Pos, bool) {
         loop {
             let leaf = self.tree.leaf_level();
             for _ in 0..leaf.max(1) * self.cfg.probe_factor {
@@ -611,7 +621,8 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                 if node.max_key() <= Some(prio) || node.count() == 0 {
                     return ((leaf, slot), false);
                 }
-                if self.cfg.quality.forced_insert
+                if allow_force
+                    && self.cfg.quality.forced_insert
                     && leaf > FORCE_MIN_LEVEL
                     && node.count() < self.cfg.target_len
                 {
@@ -1725,6 +1736,30 @@ mod tests {
         }
         assert_eq!(got_n, n);
         assert_eq!(got_sum, expect_sum);
+    }
+
+    #[test]
+    fn insert_batch_of_low_keys_terminates() {
+        // Regression: `select_position` may only hand out *forced*
+        // positions (deep under-full leaves whose max exceeds the key —
+        // valid solely for single non-max placements). The chunked bulk
+        // path used to accept one and retry the impossible regular
+        // placement forever. Build that state — a grown tree where every
+        // leaf holds a few high keys — then bulk-insert keys below all
+        // of them.
+        let q = ListQ::with_config(ZmsqConfig::default().batch(4).target_len(6));
+        for i in 0..600u64 {
+            q.insert(10_000 + (i * 48271) % 50_000, i);
+        }
+        let mut low: Vec<(u64, u64)> = (0..32).map(|i| (i, i)).collect();
+        q.insert_batch(&mut low);
+        assert!(low.is_empty());
+        assert_eq!(q.len_hint(), 632);
+        let mut got = 0;
+        while q.extract_max().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 632);
     }
 
     #[test]

@@ -45,14 +45,122 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use pq_traits::InsertError;
-use zmsq_sync::{RawTryLock, TatasLock};
+use zmsq_sync::{RawTryLock, SlotVec, TatasLock};
 
 use crate::config::ZmsqConfig;
 use crate::queue::Zmsq;
 use crate::set::{ListSet, NodeSet};
 use crate::StatsSnapshot;
+
+/// Tuning knobs for the MultiQueue-grade fast path: *stickiness* (a
+/// thread reuses its sampled shard for `c` consecutive operations) and
+/// per-thread *operation buffers* (inserts and prefetched deletions are
+/// staged thread-locally and moved in batches), per "Engineering
+/// MultiQueues" (Williams & Sanders). Both default to off, which keeps
+/// the legacy home-affine / two-choice-per-op behaviour byte-identical.
+///
+/// Accuracy composes: stickiness `c` and a delete buffer of depth
+/// `k_del` add (at most) a `(S − 1) · c · k_del` deterministic term on
+/// top of the per-shard top-`k` window — each of the other `S − 1`
+/// threads' sticky runs can route up to `c` refills of `k_del` elements
+/// past a higher-priority element. See DESIGN.md "Stickiness &
+/// operation buffers" for the composed bound and the flush triggers.
+///
+/// Buffers are *invisible* to the capacity/shedding machinery, so the
+/// fast path disarms itself when [`ZmsqConfig::capacity`] is set: a
+/// bounded queue always runs the legacy admission path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardedConfig {
+    stickiness: usize,
+    insert_buffer: usize,
+    delete_buffer: usize,
+}
+
+impl ShardedConfig {
+    /// All knobs off (legacy behaviour).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reuse the sampled shard for `c` consecutive operations before
+    /// re-sampling. `0` keeps the legacy policy (home-affine inserts,
+    /// fresh two-choice pick per extraction); `1` re-samples a random
+    /// shard every operation (the classic MultiQueue), larger values
+    /// amortize the pick and improve locality at a bounded rank cost.
+    pub fn stickiness(mut self, c: usize) -> Self {
+        self.stickiness = c;
+        self
+    }
+
+    /// Stage up to `k` inserts thread-locally before publishing them to
+    /// the sticky shard in one batch. `0`/`1` disable staging.
+    pub fn insert_buffer(mut self, k: usize) -> Self {
+        self.insert_buffer = k;
+        self
+    }
+
+    /// Prefetch up to `k` elements from the sticky shard per refill and
+    /// serve extractions from the thread-local buffer. `0`/`1` disable
+    /// prefetching.
+    pub fn delete_buffer(mut self, k: usize) -> Self {
+        self.delete_buffer = k;
+        self
+    }
+
+    /// Configured stickiness run length.
+    pub fn stickiness_len(&self) -> usize {
+        self.stickiness
+    }
+
+    /// Configured insert-buffer depth.
+    pub fn insert_buffer_depth(&self) -> usize {
+        self.insert_buffer
+    }
+
+    /// Configured delete-buffer depth.
+    pub fn delete_buffer_depth(&self) -> usize {
+        self.delete_buffer
+    }
+
+    /// Whether any knob departs from the legacy behaviour.
+    pub fn is_tuned(&self) -> bool {
+        self.stickiness >= 1 || self.insert_buffer > 1 || self.delete_buffer > 1
+    }
+}
+
+/// Per-`(thread, instance)` operation buffer, owned by the queue (in a
+/// [`SlotVec`]) so `close()`/`flush()`/empty-reporting can reach every
+/// thread's staged elements without that thread's cooperation — the
+/// k-LSM thread-local-spill model.
+struct OpBuf<V> {
+    /// Staged inserts bound for `ins_shard`.
+    ins: Vec<(u64, V)>,
+    /// Prefetched extractions, sorted ascending by priority (pop from
+    /// the end yields the buffer's max).
+    del: Vec<(u64, V)>,
+    /// Sticky insert target and operations left in the current run.
+    ins_shard: usize,
+    ins_left: usize,
+    /// Sticky extract source and operations left in the current run.
+    del_shard: usize,
+    del_left: usize,
+}
+
+impl<V> Default for OpBuf<V> {
+    fn default() -> Self {
+        Self {
+            ins: Vec::new(),
+            del: Vec::new(),
+            ins_shard: 0,
+            ins_left: 0,
+            del_shard: 0,
+            del_left: 0,
+        }
+    }
+}
 
 /// Source of unique instance ids. A module-level (non-generic) static:
 /// ids are process-unique across every monomorphization, which is what
@@ -68,6 +176,16 @@ static INSTANCE_IDS: AtomicU64 = AtomicU64::new(1);
 const HOME_CACHE_CAP: usize = 64;
 thread_local! {
     static HOMES: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+thread_local! {
+    /// Per-thread cache of `(instance id, buffer slot)` assignments,
+    /// mirror of [`HOMES`]. Eviction is safe for the same reason: the
+    /// slot (and any elements staged in it) stays owned by the queue's
+    /// [`SlotVec`], where `flush()`/`close()`/empty-reporting recover
+    /// it; the evicted thread merely registers a fresh slot on its next
+    /// operation.
+    static BUF_SLOTS: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// How many successful extractions a shard serves between two runs of
@@ -137,6 +255,22 @@ where
     /// Controller moves, for observability (`zmsq.batch.widens/narrows`).
     widens: AtomicU64,
     narrows: AtomicU64,
+    /// Stickiness / operation-buffer tuning (all-zero = legacy paths).
+    tuning: ShardedConfig,
+    /// Whether the insert / extract fast paths are armed (tuned AND
+    /// unbounded — buffers are invisible to capacity accounting).
+    fast_ins: bool,
+    fast_del: bool,
+    /// One operation buffer per registered `(thread, instance)` pair.
+    bufs: SlotVec<Mutex<OpBuf<V>>>,
+    /// Elements currently staged in insert / delete buffers (folded into
+    /// `len_hint` and exported as `buf.pending_*` gauges).
+    pending_ins: AtomicUsize,
+    pending_del: AtomicUsize,
+    /// Fast-path activity counters (`buf.insert_flushes`,
+    /// `buf.delete_refills`).
+    insert_flushes: AtomicU64,
+    delete_refills: AtomicU64,
 }
 
 impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
@@ -145,6 +279,13 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// ([`ZmsqConfig::adaptive_batch`]) arms the per-shard batch
     /// controller.
     pub fn new(shards: usize, cfg: ZmsqConfig) -> Self {
+        Self::with_tuning(shards, cfg, ShardedConfig::default())
+    }
+
+    /// [`new`](Self::new) plus a [`ShardedConfig`] arming stickiness and
+    /// per-thread operation buffers. With an all-default tuning this is
+    /// exactly `new`.
+    pub fn with_tuning(shards: usize, cfg: ZmsqConfig, tuning: ShardedConfig) -> Self {
         let n = shards.max(1).next_power_of_two();
         // A queue-level capacity bound is split evenly across shards
         // (rounded up, so the composed bound is `>=` the requested one
@@ -158,6 +299,12 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
         // Read adaptivity off the *normalized* config the shards actually
         // run with (normalization may have collapsed an incoherent range).
         let adaptive = shards[0].config().is_adaptive();
+        // Buffered elements are invisible to capacity/occupancy
+        // accounting and to shed policies, so a bounded queue keeps the
+        // legacy admission paths regardless of tuning.
+        let unbounded = shards[0].capacity().is_none();
+        let fast_ins = unbounded && (tuning.stickiness >= 1 || tuning.insert_buffer > 1);
+        let fast_del = unbounded && (tuning.stickiness >= 1 || tuning.delete_buffer > 1);
         Self {
             shards,
             instance_id: INSTANCE_IDS.fetch_add(1, Ordering::Relaxed),
@@ -165,7 +312,20 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
             adapt: adaptive.then(|| (0..n).map(|_| ShardAdapt::default()).collect()),
             widens: AtomicU64::new(0),
             narrows: AtomicU64::new(0),
+            tuning,
+            fast_ins,
+            fast_del,
+            bufs: SlotVec::new(),
+            pending_ins: AtomicUsize::new(0),
+            pending_del: AtomicUsize::new(0),
+            insert_flushes: AtomicU64::new(0),
+            delete_refills: AtomicU64::new(0),
         }
+    }
+
+    /// The stickiness / buffer tuning this instance runs with.
+    pub fn tuning(&self) -> ShardedConfig {
+        self.tuning
     }
 
     /// Number of shards.
@@ -268,8 +428,208 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
         }
     }
 
+    /// Acquire a slot lock without OS-blocking: the critical sections
+    /// include shard operations with det yield points, so under a det
+    /// schedule the holder may be a parked vthread that can only run
+    /// again if this thread yields — a blocking `lock()` would deadlock
+    /// the scheduler's token gate. Outside det the loop is a plain spin;
+    /// contention is rare (a thread meets a foreign slot only through
+    /// [`flush_all`](Self::flush_all)). A poisoned slot (injected panic
+    /// mid-flush) is taken over rather than propagated: the buffer's
+    /// contents are still valid, only the in-flight element was lost.
+    fn lock_slot(m: &Mutex<OpBuf<V>>) -> std::sync::MutexGuard<'_, OpBuf<V>> {
+        loop {
+            match m.try_lock() {
+                Ok(g) => return g,
+                Err(std::sync::TryLockError::Poisoned(p)) => return p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    det::det_point!("shard.buf-wait");
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// The calling thread's operation-buffer slot for this instance,
+    /// registering one on first touch. Mirrors [`home_shard`]'s cache
+    /// discipline (and eviction-safety argument).
+    ///
+    /// [`home_shard`]: Self::home_shard
+    fn buf_slot(&self) -> usize {
+        BUF_SLOTS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(&(_, slot)) = cache.iter().find(|&&(id, _)| id == self.instance_id) {
+                return slot;
+            }
+            let slot = self.bufs.push(Mutex::new(OpBuf::default()));
+            if cache.len() >= HOME_CACHE_CAP {
+                cache.remove(0); // evict oldest; the slot stays queue-owned
+            }
+            cache.push((self.instance_id, slot));
+            slot
+        })
+    }
+
+    /// Publish a buffer's staged inserts to its sticky shard. No-op when
+    /// empty. Called with the slot lock held (`b` is behind it).
+    fn flush_ins(&self, b: &mut OpBuf<V>) {
+        if b.ins.is_empty() {
+            return;
+        }
+        fault::fail_point!("shard.flush-delay");
+        self.pending_ins.fetch_sub(b.ins.len(), Ordering::Relaxed);
+        self.shards[b.ins_shard & (self.shards.len() - 1)].insert_batch(&mut b.ins);
+        self.insert_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Return a buffer's prefetched-but-unclaimed extractions to the
+    /// shard they came from, making them claimable by other threads.
+    fn unprefetch_del(&self, b: &mut OpBuf<V>) {
+        if b.del.is_empty() {
+            return;
+        }
+        fault::fail_point!("shard.flush-delay");
+        self.pending_del.fetch_sub(b.del.len(), Ordering::Relaxed);
+        self.shards[b.del_shard & (self.shards.len() - 1)].insert_batch(&mut b.del);
+        // The sticky run is stale once its prefetch was stolen back.
+        b.del_left = 0;
+    }
+
+    /// Publish every thread's staged operations: staged inserts go to
+    /// their sticky shards, prefetched extractions return to theirs.
+    /// Returns how many elements moved. Locks one slot at a time (never
+    /// two), so concurrent flushers cannot deadlock; the caller must not
+    /// hold a slot lock.
+    fn flush_all(&self) -> usize {
+        let mut moved = 0;
+        for buf in self.bufs.iter() {
+            let mut b = Self::lock_slot(buf);
+            moved += b.ins.len() + b.del.len();
+            self.flush_ins(&mut b);
+            self.unprefetch_del(&mut b);
+        }
+        moved
+    }
+
+    /// Flush staged operations before `close()` tears the shards down.
+    /// The `shard.skip-close-flush` failpoint deletes exactly this step,
+    /// so the det mutation check can prove the close-flush is what keeps
+    /// buffered elements from being stranded.
+    fn flush_for_close(&self) {
+        fault::fail_point!("shard.skip-close-flush", return);
+        self.flush_all();
+    }
+
+    /// Sticky insert target for a fresh run: random under stickiness
+    /// (the MultiQueue policy — spreads each thread's runs over all
+    /// shards), home-affine when only buffering is armed.
+    fn pick_insert_shard(&self) -> usize {
+        if self.tuning.stickiness >= 1 && self.shards.len() > 1 {
+            self.random_shard()
+        } else {
+            self.home_shard()
+        }
+    }
+
+    /// Sticky extract source for a fresh run: the two-choice winner by
+    /// root hint (degenerates to shard 0 on a single shard).
+    fn pick_extract_shard(&self) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let _pick = obs::span!(obs::SpanPhase::ShardPick);
+        let (a, b) = self.pick_two();
+        self.order_by_hint(a, b).0
+    }
+
+    /// Fast-path insert: sticky shard choice plus (optionally) staging
+    /// in the thread-local insert buffer. Flush triggers: overflow
+    /// (buffer reached its depth) and re-sample (the sticky run ended,
+    /// so pending elements are published to the shard they were staged
+    /// for before the target moves).
+    fn fast_insert(&self, prio: u64, value: V) {
+        let buf = self.bufs.get(self.buf_slot());
+        let mut b = Self::lock_slot(buf);
+        if b.ins_left == 0 {
+            self.flush_ins(&mut b); // flush-on-resample
+            b.ins_shard = self.pick_insert_shard();
+            // Stickiness off = home-affine: the target never moves, so
+            // the run never expires (overflow still bounds the buffer).
+            b.ins_left = match self.tuning.stickiness {
+                0 => usize::MAX,
+                c => c,
+            };
+        }
+        b.ins_left -= 1;
+        if self.tuning.insert_buffer > 1 {
+            b.ins.push((prio, value));
+            self.pending_ins.fetch_add(1, Ordering::Relaxed);
+            if b.ins.len() >= self.tuning.insert_buffer {
+                self.flush_ins(&mut b); // flush-on-overflow
+            }
+        } else {
+            let s = b.ins_shard;
+            drop(b); // don't hold the slot lock across the shard insert
+            self.shards[s].insert(prio, value);
+        }
+    }
+
+    /// Fast-path extract: serve from the thread-local delete buffer,
+    /// refilling it from the sticky shard (two-choice winner, re-picked
+    /// every `stickiness` refills). When the sticky shard runs dry the
+    /// legacy steal/sweep runs, and before concluding empty every
+    /// thread's buffers are flushed and the sweep retried — an element
+    /// staged in *any* buffer keeps `None` off the table.
+    fn fast_extract(&self) -> Option<(u64, V)> {
+        let buf = self.bufs.get(self.buf_slot());
+        let mut b = Self::lock_slot(buf);
+        if let Some(got) = b.del.pop() {
+            self.pending_del.fetch_sub(1, Ordering::Relaxed);
+            return Some(got);
+        }
+        if b.del_left == 0 {
+            b.del_shard = self.pick_extract_shard();
+            b.del_left = self.tuning.stickiness.max(1);
+        }
+        b.del_left -= 1;
+        let s = b.del_shard;
+        let want = self.tuning.delete_buffer.max(1);
+        let mut got = self.shards[s].extract_batch(&mut b.del, want);
+        if got > 0 {
+            self.note_extracts(s, got as u64);
+        } else {
+            // Sticky shard dry: drop the run and refill through the
+            // legacy two-choice/steal/sweep (which does its own
+            // controller bookkeeping).
+            b.del_left = 0;
+            got = self.extract_batch_direct(&mut b.del, want);
+        }
+        if got > 0 {
+            self.delete_refills.fetch_add(1, Ordering::Relaxed);
+            if got > 1 {
+                b.del.sort_unstable_by_key(|&(p, _)| p);
+            }
+            self.pending_del.fetch_add(got - 1, Ordering::Relaxed);
+            return Some(b.del.pop().expect("refill returned > 0"));
+        }
+        // Every shard individually reported empty; elements may still be
+        // hiding in (other threads') buffers — flush-before-report.
+        drop(b);
+        loop {
+            let moved = self.flush_all();
+            if let Some(got) = self.extract_direct() {
+                return Some(got);
+            }
+            if moved == 0 {
+                return None;
+            }
+        }
+    }
+
     /// Insert into the calling thread's home shard (locality; on a real
-    /// NUMA machine, pin threads so the home shard's memory is local).
+    /// NUMA machine, pin threads so the home shard's memory is local) —
+    /// or, with a [`ShardedConfig`], into the sticky shard via the
+    /// thread-local insert buffer.
     ///
     /// On a capacity-bounded queue the insert first tries every shard
     /// fallibly (home first — per-shard budgets are `capacity / shards`,
@@ -277,6 +637,13 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// before falling back to the home shard's infallible insert, which
     /// applies the configured [`ShedPolicy`](crate::ShedPolicy) there.
     pub fn insert(&self, prio: u64, value: V) {
+        if self.fast_ins {
+            return self.fast_insert(prio, value);
+        }
+        self.insert_direct(prio, value);
+    }
+
+    fn insert_direct(&self, prio: u64, value: V) {
         let home = self.home_shard();
         if self.shards[home].capacity().is_none() {
             self.shards[home].insert(prio, value);
@@ -360,8 +727,22 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
 
     /// Extract from the better of two distinct random shards (by
     /// optimistic root max), stealing once from the loser if the winner's
-    /// hint was stale, and sweeping every shard before concluding empty.
+    /// hint was stale, and sweeping every shard before concluding empty —
+    /// or, with a [`ShardedConfig`], from the thread-local delete buffer
+    /// refilled from the sticky shard.
+    ///
+    /// The emptiness guarantee survives tuning: before returning `None`
+    /// every thread's staged operations are flushed back to the shards
+    /// and the sweep retried, so `None` still means every shard
+    /// individually reported empty *with no element hiding in a buffer*.
     pub fn extract_max(&self) -> Option<(u64, V)> {
+        if self.fast_del {
+            return self.fast_extract();
+        }
+        self.extract_direct()
+    }
+
+    fn extract_direct(&self) -> Option<(u64, V)> {
         if self.shards.len() == 1 {
             let got = self.shards[0].extract_max();
             if got.is_some() {
@@ -400,8 +781,48 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// Batched extraction: gather up to `n` elements, routing each round
     /// through the same two-choice / steal / sweep policy as
     /// [`extract_max`](Self::extract_max) and draining the chosen shard's
-    /// pool with single-`fetch_sub` batched claims.
+    /// pool with single-`fetch_sub` batched claims. With a
+    /// [`ShardedConfig`], the calling thread's delete buffer is served
+    /// first and buffers are flushed before an empty report, mirroring
+    /// `extract_max`.
     pub fn extract_batch(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
+        if !self.fast_del {
+            return self.extract_batch_direct(out, n);
+        }
+        let mut got = 0;
+        {
+            let buf = self.bufs.get(self.buf_slot());
+            let mut b = Self::lock_slot(buf);
+            while got < n {
+                match b.del.pop() {
+                    Some(e) => {
+                        out.push(e);
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+            if got > 0 {
+                self.pending_del.fetch_sub(got, Ordering::Relaxed);
+            }
+        }
+        if got < n {
+            got += self.extract_batch_direct(out, n - got);
+        }
+        if got == 0 && n > 0 {
+            // Flush-before-report, as in `fast_extract`.
+            loop {
+                let moved = self.flush_all();
+                got = self.extract_batch_direct(out, n);
+                if got > 0 || moved == 0 {
+                    break;
+                }
+            }
+        }
+        got
+    }
+
+    fn extract_batch_direct(&self, out: &mut Vec<(u64, V)>, n: usize) -> usize {
         if self.shards.len() == 1 {
             let got = self.shards[0].extract_batch(out, n);
             if got > 0 {
@@ -454,9 +875,24 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
         got
     }
 
-    /// Sum of shard size hints.
+    /// Sum of shard size hints plus elements staged in operation
+    /// buffers (staged inserts are not yet in any shard; prefetched
+    /// deletions are already out of theirs but not yet handed to a
+    /// caller — both are still *in the queue*).
     pub fn len_hint(&self) -> usize {
-        self.shards.iter().map(|s| s.len_hint()).sum()
+        self.shards.iter().map(|s| s.len_hint()).sum::<usize>()
+            + self.pending_ins.load(Ordering::Relaxed)
+            + self.pending_del.load(Ordering::Relaxed)
+    }
+
+    /// Publish every thread's staged operations (see
+    /// [`ConcurrentPriorityQueue::flush`](pq_traits::ConcurrentPriorityQueue::flush)):
+    /// staged inserts reach their sticky shards, prefetched deletions
+    /// return to theirs. The escape hatch for checkpoints and for
+    /// consumers that need cross-thread visibility *now* rather than at
+    /// the next flush trigger.
+    pub fn flush(&self) {
+        self.flush_all();
     }
 
     /// Access a shard directly (diagnostics, per-shard stats).
@@ -488,8 +924,16 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     }
 
     /// Close every shard: wakes all blocked consumers and producers
-    /// permanently (see [`Zmsq::close`]).
+    /// permanently (see [`Zmsq::close`]). Staged operations are flushed
+    /// first so no element is stranded in a thread-local buffer after
+    /// close — drain loops observe everything that was inserted.
+    ///
+    /// An insert racing `close()` may still be staged after the flush;
+    /// it is published at that thread's next flush trigger or by an
+    /// explicit [`flush`](Self::flush), the same window a linearizable
+    /// queue gives an insert that linearizes after close.
     pub fn close(&self) {
+        self.flush_for_close();
         for s in &self.shards {
             s.close();
         }
@@ -532,10 +976,19 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
         if self.is_adaptive() {
             n.push_str("-adaptive");
         }
+        if self.tuning.is_tuned() {
+            n.push_str(&format!(
+                "-c{}-i{}-d{}",
+                self.tuning.stickiness, self.tuning.insert_buffer, self.tuning.delete_buffer
+            ));
+        }
         n
     }
     fn len_hint(&self) -> usize {
         self.len_hint()
+    }
+    fn flush(&self) {
+        ShardedZmsq::flush(self)
     }
     fn metrics(&self) -> Option<obs::Snapshot> {
         // Fold the per-shard operation counters into one queue-level view,
@@ -549,6 +1002,25 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
         snap.push_gauge("zmsq.batch.current", self.mean_batch() as i64);
         snap.push_counter("zmsq.batch.widens", self.widens.load(Ordering::Relaxed));
         snap.push_counter("zmsq.batch.narrows", self.narrows.load(Ordering::Relaxed));
+        if self.fast_ins || self.fast_del {
+            snap.push_gauge("buf.threads", self.bufs.len() as i64);
+            snap.push_gauge(
+                "buf.pending_inserts",
+                self.pending_ins.load(Ordering::Relaxed) as i64,
+            );
+            snap.push_gauge(
+                "buf.pending_deletes",
+                self.pending_del.load(Ordering::Relaxed) as i64,
+            );
+            snap.push_counter(
+                "buf.insert_flushes",
+                self.insert_flushes.load(Ordering::Relaxed),
+            );
+            snap.push_counter(
+                "buf.delete_refills",
+                self.delete_refills.load(Ordering::Relaxed),
+            );
+        }
         if let Some(cap) = self.capacity() {
             snap.push_gauge("queue.pressure.capacity", cap as i64);
             snap.push_gauge("queue.pressure.occupancy", self.occupancy() as i64);
@@ -1078,5 +1550,226 @@ mod tests {
         let adaptive: ShardedZmsq<u64> =
             ShardedZmsq::new(4, ZmsqConfig::default().adaptive_batch(4, 64));
         assert_eq!(Pq::name(&adaptive), "zmsq-sharded-4-adaptive");
+        let tuned: ShardedZmsq<u64> = ShardedZmsq::with_tuning(
+            4,
+            ZmsqConfig::default(),
+            ShardedConfig::new()
+                .stickiness(8)
+                .insert_buffer(16)
+                .delete_buffer(4),
+        );
+        assert_eq!(Pq::name(&tuned), "zmsq-sharded-4-c8-i16-d4");
+    }
+
+    fn tuned_q(stick: usize, ins: usize, del: usize) -> ShardedZmsq<u64> {
+        ShardedZmsq::with_tuning(
+            4,
+            ZmsqConfig::default().batch(8).target_len(12),
+            ShardedConfig::new()
+                .stickiness(stick)
+                .insert_buffer(ins)
+                .delete_buffer(del),
+        )
+    }
+
+    #[test]
+    fn default_tuning_keeps_legacy_paths() {
+        let q: ShardedZmsq<u64> = ShardedZmsq::new(4, ZmsqConfig::default());
+        assert!(!q.fast_ins && !q.fast_del);
+        assert!(!q.tuning().is_tuned());
+        // No buffer slot is ever registered on the legacy paths.
+        q.insert(1, 1);
+        assert_eq!(q.extract_max(), Some((1, 1)));
+        assert_eq!(q.bufs.len(), 0);
+    }
+
+    #[test]
+    fn capacity_disarms_fast_path() {
+        let q: ShardedZmsq<u64> = ShardedZmsq::with_tuning(
+            4,
+            ZmsqConfig::default().capacity(16),
+            ShardedConfig::new().stickiness(8).insert_buffer(8),
+        );
+        assert!(!q.fast_ins && !q.fast_del, "bounded queue must stay legacy");
+    }
+
+    #[test]
+    fn buffered_insert_publishes_on_overflow() {
+        let q = tuned_q(0, 4, 0);
+        assert!(q.fast_ins && !q.fast_del);
+        for i in 0..3u64 {
+            q.insert(i, i);
+        }
+        // Below the buffer depth: staged, counted by len_hint, invisible
+        // to the shards.
+        assert_eq!(q.pending_ins.load(Ordering::Relaxed), 3);
+        assert_eq!(q.shards.iter().map(|s| s.len_hint()).sum::<usize>(), 0);
+        assert_eq!(q.len_hint(), 3);
+        q.insert(3, 3); // overflow: the whole buffer flushes
+        assert_eq!(q.pending_ins.load(Ordering::Relaxed), 0);
+        assert_eq!(q.len_hint(), 4);
+        let snap = pq_traits::ConcurrentPriorityQueue::metrics(&q).unwrap();
+        assert_eq!(snap.counter("buf.insert_flushes"), Some(1));
+        assert_eq!(snap.gauge("buf.pending_inserts"), Some(0));
+        let mut got = 0;
+        while q.extract_max().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 4);
+    }
+
+    #[test]
+    fn flush_publishes_partial_buffers() {
+        let q = tuned_q(0, 64, 0);
+        for i in 0..5u64 {
+            q.insert(i, i);
+        }
+        assert_eq!(q.pending_ins.load(Ordering::Relaxed), 5);
+        q.flush();
+        assert_eq!(q.pending_ins.load(Ordering::Relaxed), 0);
+        assert_eq!(q.shards.iter().map(|s| s.len_hint()).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn close_flushes_buffers() {
+        let q = tuned_q(4, 16, 0);
+        for i in 0..7u64 {
+            q.insert(i, i);
+        }
+        assert!(q.pending_ins.load(Ordering::Relaxed) > 0);
+        q.close();
+        assert_eq!(q.pending_ins.load(Ordering::Relaxed), 0);
+        let mut got = 0;
+        while q.extract_max().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 7, "close must not strand staged inserts");
+    }
+
+    #[test]
+    fn delete_buffer_serves_in_priority_order() {
+        let q = tuned_q(0, 0, 8);
+        assert!(q.fast_del);
+        for i in 0..8u64 {
+            q.shard(0).insert(i, i);
+        }
+        // One refill prefetches several elements; successive pops come
+        // out highest-first from the buffer.
+        let first = q.extract_max().unwrap().0;
+        assert!(q.pending_del.load(Ordering::Relaxed) > 0, "no prefetch");
+        let second = q.extract_max().unwrap().0;
+        assert!(first >= second, "buffer served out of order");
+        let snap = pq_traits::ConcurrentPriorityQueue::metrics(&q).unwrap();
+        assert_eq!(snap.counter("buf.delete_refills"), Some(1));
+    }
+
+    #[test]
+    fn empty_report_reclaims_foreign_buffers() {
+        // A thread that prefetched elements into its delete buffer (and
+        // staged an insert) then went idle must not make the queue lie
+        // about emptiness to other threads.
+        let q = std::sync::Arc::new(tuned_q(4, 4, 4));
+        for i in 0..10u64 {
+            q.shard(0).insert(i, i);
+        }
+        let q2 = std::sync::Arc::clone(&q);
+        std::thread::spawn(move || {
+            let _ = q2.extract_max().expect("elements present"); // prefetches
+            q2.insert(99, 99); // stays staged (buffer depth 4 not reached)
+        })
+        .join()
+        .unwrap();
+        assert!(
+            q.pending_del.load(Ordering::Relaxed) > 0 || q.pending_ins.load(Ordering::Relaxed) > 0,
+            "test setup: something must be staged in the idle thread's buffer"
+        );
+        // 9 original elements + the staged 99 remain; this thread must
+        // see every one of them before None.
+        let mut got = 0;
+        while q.extract_max().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 10, "elements stranded in a foreign buffer");
+        assert_eq!(q.len_hint(), 0);
+    }
+
+    #[test]
+    fn tuned_roundtrip_conserves_across_threads() {
+        let q = tuned_q(8, 8, 8);
+        let got = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let (q, got) = (&q, &got);
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        q.insert((t * 5000 + i) % 7777, i);
+                        if i % 2 == 0 && q.extract_max().is_some() {
+                            got.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let mut rest = 0u64;
+        while q.extract_max().is_some() {
+            rest += 1;
+        }
+        assert_eq!(got.into_inner() + rest, 20_000);
+        assert_eq!(q.len_hint(), 0);
+    }
+
+    #[test]
+    fn tuned_extract_batch_conserves() {
+        let q = tuned_q(4, 8, 8);
+        for i in 0..1_000u64 {
+            q.insert(i, i);
+        }
+        let mut out = Vec::new();
+        loop {
+            let n = q.extract_batch(&mut out, 37);
+            if n == 0 {
+                break;
+            }
+        }
+        let mut keys: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..1_000).collect::<Vec<_>>(), "elements lost");
+        assert_eq!(q.len_hint(), 0);
+    }
+
+    #[test]
+    fn sticky_insert_reuses_then_resamples() {
+        // stickiness 16, no buffering: 16 consecutive inserts land on
+        // one shard before the target can move.
+        let q = tuned_q(16, 0, 0);
+        std::thread::spawn(move || {
+            for i in 0..16u64 {
+                q.insert(i, i);
+            }
+            let populated = (0..4).filter(|&s| q.shard(s).len_hint() > 0).count();
+            assert_eq!(populated, 1, "sticky run split across shards");
+            // Across many runs the random re-sample spreads the load.
+            for i in 0..16 * 64u64 {
+                q.insert(i, i);
+            }
+            let populated = (0..4).filter(|&s| q.shard(s).len_hint() > 0).count();
+            assert!(populated > 1, "re-sample never moved off one shard");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn tuned_returns_highish_elements() {
+        let q = tuned_q(8, 8, 8);
+        for i in 0..20_000u64 {
+            q.insert(i, i);
+        }
+        q.flush();
+        let mut sum = 0u64;
+        for _ in 0..200 {
+            sum += q.extract_max().unwrap().0;
+        }
+        assert!(sum / 200 > 15_000, "tuned extraction rank too low");
     }
 }

@@ -41,5 +41,6 @@ cargo run --release -q -p bench --bin insert_profile                            
 cargo run --release -q -p bench --bin accuracy_transient -- $QUICK                            | tee results/accuracy_transient.csv
 cargo run --release -q -p bench --bin sharded_adapt   -- $QUICK                              | tee results/sharded_adapt.csv
 cargo run --release -q -p bench --bin overload        -- $QUICK --assert --metrics results/overload.metrics.json | tee results/overload.csv
+cargo run --release -q -p bench --bin shootout        -- $QUICK --assert --metrics results/shootout.metrics.json | tee results/shootout.csv
 
 echo "done — CSVs in results/"

@@ -32,10 +32,10 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
-use baselines::{KLsm, Mound, SprayList};
+use baselines::{KLsm, Mound, MultiQueue, SprayList};
 use fault::{Action, Policy, Trigger};
 use pq_traits::ConcurrentPriorityQueue;
-use zmsq::{Reclamation, ShardedZmsq, ShedPolicy, Zmsq, ZmsqConfig};
+use zmsq::{Reclamation, ShardedConfig, ShardedZmsq, ShedPolicy, Zmsq, ZmsqConfig};
 
 /// Base seed for every schedule; override with `CHAOS_SEED`.
 fn chaos_seed() -> u64 {
@@ -1098,4 +1098,74 @@ fn conservation_klsm_batched_under_faults() {
         "k-lsm: element count not conserved"
     );
     assert_eq!(ext_xor, ins_xor, "k-lsm: elements lost or duplicated");
+}
+
+/// Tuned (sticky + buffered) sharded conservation under stretched
+/// flush and pool windows: operation buffers stage elements in shared
+/// per-thread slots, and every overflow/re-sample flush crosses the
+/// `shard.flush-delay` failpoint while the underlying pool claims and
+/// refills are delayed too. Conservation must hold through the
+/// flush-before-report path that publishes slot buffers when a consumer
+/// would otherwise report empty — including the final single-threaded
+/// drain of elements the worker threads left staged.
+#[test]
+fn conservation_tuned_sharded_under_flush_faults() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x0E);
+    let _dump = DumpOnFail(seed ^ 0x0E);
+    fault::configure(
+        "shard.flush-delay",
+        Policy::new(Trigger::Prob(0.05)).with_action(Action::SleepMs(1)),
+    );
+    fault::configure(
+        "pool.claim-delay",
+        Policy::new(Trigger::Prob(0.1)).with_action(Action::Yield),
+    );
+    fault::configure(
+        "pool.refill-delay",
+        Policy::new(Trigger::Prob(0.2)).with_action(Action::Yield),
+    );
+    fault::configure("trylock.spurious-fail", Policy::new(Trigger::Prob(0.05)));
+    let q: ShardedZmsq<u64> = ShardedZmsq::with_tuning(
+        4,
+        ZmsqConfig::default().batch(4).target_len(8),
+        ShardedConfig::new()
+            .stickiness(8)
+            .insert_buffer(8)
+            .delete_buffer(8),
+    );
+    run_conservation(&q, 3_000);
+    assert!(
+        fault::hit_count("shard.flush-delay") > 0,
+        "seed {seed:#x}: flush-delay failpoint never evaluated"
+    );
+    fault::reset();
+}
+
+/// Tuned MultiQueue conservation under delayed buffer flushes: the
+/// baseline's operation buffers share the `shard.flush-delay` failpoint,
+/// so a yield right before each publish widens the window in which a
+/// racing consumer sees the sub-heaps empty while elements sit staged.
+/// The retry/drain logic in `run_conservation` must still account for
+/// every element.
+#[test]
+fn conservation_tuned_multiqueue_under_flush_faults() {
+    let _x = fault::exclusive();
+    fault::reset();
+    let seed = chaos_seed();
+    fault::set_seed(seed ^ 0x0F);
+    let _dump = DumpOnFail(seed ^ 0x0F);
+    fault::configure(
+        "shard.flush-delay",
+        Policy::new(Trigger::Prob(0.1)).with_action(Action::Yield),
+    );
+    let q: MultiQueue<u64> = MultiQueue::with_tuning(4, 2, 8, 8, 8);
+    run_conservation(&q, 3_000);
+    assert!(
+        fault::hit_count("shard.flush-delay") > 0,
+        "seed {seed:#x}: flush-delay failpoint never evaluated"
+    );
+    fault::reset();
 }

@@ -17,7 +17,8 @@ use std::time::{Duration, Instant};
 use det::Config;
 use workloads::oracle::{QcChecker, RankOracle};
 use zmsq::{
-    ArraySet, InsertError, ListSet, NodeSet, ShardedZmsq, ShedPolicy, TatasLock, Zmsq, ZmsqConfig,
+    ArraySet, InsertError, ListSet, NodeSet, ShardedConfig, ShardedZmsq, ShedPolicy, TatasLock,
+    Zmsq, ZmsqConfig,
 };
 
 /// Unique element token: producer id in the high bits, sequence in the low.
@@ -658,6 +659,193 @@ fn det_insert_timeout_uses_virtual_time() {
         "8 virtual hours took {:?} real",
         t0.elapsed()
     );
+}
+
+/// A two-shard tuned queue for the buffered-window det tests: small
+/// pool windows so shard preemption points are dense, with the
+/// stickiness / buffer depths chosen per test to isolate one flush
+/// trigger.
+fn tuned_det_q(stickiness: usize, insert_buffer: usize, delete_buffer: usize) -> ShardedZmsq<u64> {
+    ShardedZmsq::with_tuning(
+        2,
+        ZmsqConfig::default().batch(2).target_len(6),
+        ShardedConfig::new()
+            .stickiness(stickiness)
+            .insert_buffer(insert_buffer)
+            .delete_buffer(delete_buffer),
+    )
+}
+
+/// Buffered producers and consumers over a tuned queue; every element
+/// must be extracted exactly once with its key intact, across every
+/// explored interleaving. `PER` is odd on purpose: each producer exits
+/// with an element still staged in its insert buffer, so conservation
+/// additionally proves the consumers' flush-before-report reclaims
+/// foreign buffers (and consumers' prefetched-but-unserved deletions
+/// are likewise reclaimed via `unprefetch`).
+fn run_det_buffered_conservation(q: Arc<ShardedZmsq<u64>>) {
+    const PRODUCERS: u64 = 2;
+    const CONSUMERS: u64 = 2;
+    const PER: u64 = 5;
+    let qc = Arc::new(QcChecker::new());
+    let taken = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS {
+        let (q, qc) = (Arc::clone(&q), Arc::clone(&qc));
+        handles.push(det::spawn(move || {
+            let mut log = qc.handle();
+            for i in 0..PER {
+                let t = token(p, i);
+                log.on_insert(i % 3, t);
+                q.insert(i % 3, t);
+            }
+            qc.absorb(log);
+        }));
+    }
+    for _ in 0..CONSUMERS {
+        let (q, qc, taken) = (Arc::clone(&q), Arc::clone(&qc), Arc::clone(&taken));
+        handles.push(det::spawn(move || {
+            let mut log = qc.handle();
+            while taken.load(Ordering::SeqCst) < PRODUCERS * PER {
+                if let Some((k, t)) = q.extract_max() {
+                    log.on_extract(k, t);
+                    taken.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            qc.absorb(log);
+        }));
+    }
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(q.extract_max(), None, "drained");
+    assert_eq!(q.len_hint(), 0, "no element left staged or prefetched");
+    if let Err(e) = qc.check(true) {
+        panic!("buffered quiescent-consistency violation: {e}");
+    }
+}
+
+/// Flush-on-overflow window: stickiness off and insert buffer depth 2,
+/// so the *only* in-run publish trigger is the buffer reaching its
+/// depth. Conservation across every explored interleaving of the
+/// overflow flush with concurrent extraction.
+#[test]
+fn det_buffered_flush_on_overflow_conserves() {
+    let cfg = Config::from_env(0xB0FF10).schedules(16);
+    det::explore(&cfg, || {
+        run_det_buffered_conservation(Arc::new(tuned_det_q(0, 2, 2)));
+    });
+}
+
+/// Flush-on-resample window: stickiness 2 with an insert buffer deeper
+/// than any producer's whole run, so the *only* in-run publish trigger
+/// is the sticky run expiring (re-sample flushes the buffer before the
+/// target shard moves).
+#[test]
+fn det_buffered_flush_on_resample_conserves() {
+    let cfg = Config::from_env(0xF1054).schedules(16);
+    det::explore(&cfg, || {
+        run_det_buffered_conservation(Arc::new(tuned_det_q(2, 8, 1)));
+    });
+}
+
+/// Flush-on-close window: producers stage everything (stickiness off,
+/// buffer deeper than the run — no overflow, no resample), so `close()`
+/// is the only publish trigger. Its contract: staged inserts reach the
+/// shards *before* the shards close, observable as per-shard occupancy
+/// and as a complete drain.
+#[test]
+fn det_close_flush_publishes_buffers() {
+    let cfg = Config::from_env(0xC7055).schedules(16);
+    det::explore(&cfg, || {
+        const PRODUCERS: u64 = 2;
+        const PER: u64 = 4;
+        let q = Arc::new(tuned_det_q(0, 16, 1));
+        let qc = Arc::new(QcChecker::new());
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let (q, qc) = (Arc::clone(&q), Arc::clone(&qc));
+                det::spawn(move || {
+                    let mut log = qc.handle();
+                    for i in 0..PER {
+                        let t = token(p, i);
+                        log.on_insert(i % 3, t);
+                        q.insert(i % 3, t);
+                    }
+                    qc.absorb(log);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        q.close();
+        // The close-flush published every staged insert into the shards
+        // themselves (not merely somewhere reachable): a blocking drain
+        // loop woken by close must see them without further flushes.
+        let in_shards: usize = (0..2).map(|i| q.shard(i).len_hint()).sum();
+        assert_eq!(
+            in_shards,
+            (PRODUCERS * PER) as usize,
+            "close() stranded staged inserts in thread-local buffers"
+        );
+        let mut log = qc.handle();
+        while let Some((k, t)) = q.extract_max() {
+            log.on_extract(k, t);
+        }
+        qc.absorb(log);
+        if let Err(e) = qc.check(true) {
+            panic!("close-flush quiescent-consistency violation: {e}");
+        }
+    });
+}
+
+/// Mutation check: with the close-flush deleted (the
+/// `shard.skip-close-flush` failpoint armed `Always`), the close-window
+/// det test's occupancy assertion must fail — staged inserts stay
+/// stranded in thread-local buffers on every schedule, deterministically.
+/// `#[ignore]` by default — CI runs it explicitly (`--ignored`) with
+/// `--features "det-sched fault-inject"`.
+#[cfg(feature = "fault-inject")]
+#[test]
+#[ignore = "mutation check; run explicitly in CI with --ignored"]
+fn det_mutation_skipped_close_flush_is_caught() {
+    let _x = fault::exclusive();
+    fault::reset();
+    fault::configure(
+        "shard.skip-close-flush",
+        fault::Policy::new(fault::Trigger::Always),
+    );
+    let cfg = Config::from_env(0xBADC705).schedules(16);
+    let result = det::explore_result(&cfg, || {
+        const PRODUCERS: u64 = 2;
+        const PER: u64 = 4;
+        let q = Arc::new(tuned_det_q(0, 16, 1));
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                det::spawn(move || {
+                    for i in 0..PER {
+                        q.insert(i % 3, token(p, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        q.close();
+        let in_shards: usize = (0..2).map(|i| q.shard(i).len_hint()).sum();
+        assert_eq!(
+            in_shards,
+            (PRODUCERS * PER) as usize,
+            "close() stranded staged inserts in thread-local buffers"
+        );
+    });
+    fault::reset();
+    let failure = result
+        .expect_err("deleting the close-flush must strand every staged insert, deterministically");
+    eprintln!("mutation caught:\n{failure}");
 }
 
 /// Mutation check: with the pool's lagging-consumer wait compiled out
