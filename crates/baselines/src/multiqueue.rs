@@ -37,7 +37,9 @@ const SLOT_CACHE_CAP: usize = 64;
 thread_local! {
     /// Per-thread `(instance id, buffer slot)` cache. Eviction is safe:
     /// the slot and its staged elements stay owned by the queue's
-    /// `SlotVec`, where flush-all recovers them.
+    /// `SlotVec`, where flush-all recovers them, and the evicted thread
+    /// reuses its old slot (found by owner tag) on re-registration, so
+    /// the slot count stays bounded by the number of distinct threads.
     static MQ_SLOTS: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
 }
 
@@ -108,6 +110,14 @@ impl<V> Default for OpBuf<V> {
     }
 }
 
+/// One registered `(thread, instance)` buffer slot; the owner tag
+/// (immutable after registration) lets a thread whose cache entry was
+/// evicted find and reuse its old slot — see [`MultiQueue::buf_slot`].
+struct BufSlot<V> {
+    owner: u64,
+    buf: Mutex<OpBuf<V>>,
+}
+
 /// The MultiQueue relaxed priority queue.
 pub struct MultiQueue<V> {
     queues: Box<[CachePadded<SubQueue<V>>]>,
@@ -120,7 +130,7 @@ pub struct MultiQueue<V> {
     delete_buffer: usize,
     /// Whether any tuning knob departs from the classic behaviour.
     tuned: bool,
-    bufs: SlotVec<Mutex<OpBuf<V>>>,
+    bufs: SlotVec<BufSlot<V>>,
     pending_ins: AtomicUsize,
     pending_del: AtomicUsize,
     /// Live rank-error estimator measured at the heap boundary
@@ -189,14 +199,24 @@ impl<V: Send> MultiQueue<V> {
         q.top.store(top, Ordering::Relaxed);
     }
 
-    /// The calling thread's buffer slot for this instance.
+    /// The calling thread's buffer slot for this instance, reusing the
+    /// thread's previous slot if cache eviction dropped the mapping
+    /// (same discipline as `ShardedZmsq::buf_slot`).
     fn buf_slot(&self) -> usize {
         MQ_SLOTS.with(|cache| {
             let mut cache = cache.borrow_mut();
             if let Some(&(_, slot)) = cache.iter().find(|&&(id, _)| id == self.id) {
                 return slot;
             }
-            let slot = self.bufs.push(Mutex::new(OpBuf::default()));
+            let me = zmsq_sync::thread_tag();
+            let slot = (0..self.bufs.len())
+                .find(|&i| self.bufs.get(i).owner == me)
+                .unwrap_or_else(|| {
+                    self.bufs.push(BufSlot {
+                        owner: me,
+                        buf: Mutex::new(OpBuf::default()),
+                    })
+                });
             if cache.len() >= SLOT_CACHE_CAP {
                 cache.remove(0);
             }
@@ -212,7 +232,7 @@ impl<V: Send> MultiQueue<V> {
             return;
         }
         fault::fail_point!("shard.flush-delay");
-        self.pending_ins.fetch_sub(b.ins.len(), Ordering::Relaxed);
+        let n = b.ins.len();
         let q = &self.queues[b.ins_at & (self.queues.len() - 1)];
         let mut heap = q.heap.lock().unwrap();
         for (prio, value) in b.ins.drain(..) {
@@ -223,6 +243,10 @@ impl<V: Send> MultiQueue<V> {
             heap.push(Entry { prio, seq, value });
         }
         Self::update_top(q, &heap);
+        // Decrement only after the heap publish: a racing `len_hint`
+        // then transiently overcounts (safe for an emptiness hint)
+        // instead of reporting 0 on a non-empty queue.
+        self.pending_ins.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Return prefetched-but-unclaimed extractions to the heap they came
@@ -232,7 +256,7 @@ impl<V: Send> MultiQueue<V> {
             return;
         }
         fault::fail_point!("shard.flush-delay");
-        self.pending_del.fetch_sub(b.del.len(), Ordering::Relaxed);
+        let n = b.del.len();
         let q = &self.queues[b.del_at & (self.queues.len() - 1)];
         let mut heap = q.heap.lock().unwrap();
         for (prio, value) in b.del.drain(..) {
@@ -243,6 +267,8 @@ impl<V: Send> MultiQueue<V> {
             heap.push(Entry { prio, seq, value });
         }
         Self::update_top(q, &heap);
+        // After the publish, for the same reason as `flush_ins`.
+        self.pending_del.fetch_sub(n, Ordering::Relaxed);
         b.del_left = 0;
     }
 
@@ -250,8 +276,8 @@ impl<V: Send> MultiQueue<V> {
     /// Locks one slot at a time; the caller must not hold a slot lock.
     fn flush_all(&self) -> usize {
         let mut moved = 0;
-        for buf in self.bufs.iter() {
-            let mut b = buf.lock().unwrap();
+        for slot in self.bufs.iter() {
+            let mut b = slot.buf.lock().unwrap();
             moved += b.ins.len() + b.del.len();
             self.flush_ins(&mut b);
             self.unprefetch_del(&mut b);
@@ -277,7 +303,7 @@ impl<V: Send> MultiQueue<V> {
     }
 
     fn fast_insert(&self, prio: u64, value: V) {
-        let buf = self.bufs.get(self.buf_slot());
+        let buf = &self.bufs.get(self.buf_slot()).buf;
         let mut b = buf.lock().unwrap();
         if b.ins_left == 0 {
             self.flush_ins(&mut b); // flush-on-resample
@@ -381,7 +407,7 @@ impl<V: Send> MultiQueue<V> {
     }
 
     fn fast_extract(&self) -> Option<(u64, V)> {
-        let buf = self.bufs.get(self.buf_slot());
+        let buf = &self.bufs.get(self.buf_slot()).buf;
         let mut b = buf.lock().unwrap();
         if let Some(got) = b.del.pop() {
             self.pending_del.fetch_sub(1, Ordering::Relaxed);

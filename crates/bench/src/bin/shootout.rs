@@ -64,6 +64,10 @@ fn run_workload(
     let inserted = AtomicU64::new(0);
     let extracted = AtomicU64::new(0);
     let per_thread = ops / threads as u64;
+    // Only this many operations actually execute (integer division
+    // truncates); using the raw `ops` would inflate the reported
+    // throughput whenever `ops % threads != 0`.
+    let total_ops = per_thread * threads as u64;
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for t in 0..threads as u64 {
@@ -99,7 +103,7 @@ fn run_workload(
     });
     let wall = t0.elapsed();
     (
-        ops as f64 / wall.as_secs_f64(),
+        total_ops as f64 / wall.as_secs_f64(),
         inserted.into_inner(),
         extracted.into_inner(),
     )

@@ -52,5 +52,5 @@ pub use futex::{futex_wait, futex_wait_timeout, futex_wake, futex_wake_all};
 pub use pad::CachePadded;
 pub use producer::ProducerWait;
 pub use site::{SiteId, SiteScope};
-pub use slotvec::SlotVec;
+pub use slotvec::{thread_tag, SlotVec};
 pub use trylock::{LockGuard, OsLock, RawTryLock, TasLock, TatasLock};

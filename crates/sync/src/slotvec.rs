@@ -6,18 +6,59 @@
 //! locals and the sticky/buffered fast paths of `ShardedZmsq` and
 //! `MultiQueue` all register one slot per `(thread, queue instance)`
 //! and need `&T` references that survive concurrent registration.
+//!
+//! Memory-model discipline: readers are gated *solely* on the
+//! acquire-loaded `len` — a chunk is a fixed array of
+//! `UnsafeCell<MaybeUninit<T>>`, so `get` never touches state a
+//! concurrent `push` mutates (an earlier revision grew a `Vec<T>` per
+//! chunk under the push lock, which made every `get` read the `Vec`
+//! header racily — UB under the Rust memory model even though the
+//! element itself was fenced by `len`'s release store).
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 const CHUNK: usize = 32;
 
+/// A process-unique, never-reused tag for the calling thread. Unlike
+/// `std::thread::ThreadId` it is a plain dense `u64`, cheap to compare
+/// and store next to a slot: the registries built on [`SlotVec`] tag
+/// each slot with its owner so a thread whose `(instance, slot)` cache
+/// entry was evicted can *reuse* its old slot on re-registration
+/// instead of leaking a fresh one per return.
+pub fn thread_tag() -> u64 {
+    use std::cell::Cell;
+    static NEXT_TAG: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TAG: Cell<u64> = const { Cell::new(0) };
+    }
+    TAG.with(|t| {
+        let mut tag = t.get();
+        if tag == 0 {
+            tag = NEXT_TAG.fetch_add(1, Ordering::Relaxed);
+            t.set(tag);
+        }
+        tag
+    })
+}
+
 struct Chunk<T> {
-    /// Capacity CHUNK, only grown under the push lock; readers access
-    /// initialized prefix elements by shared reference.
-    items: UnsafeCell<Vec<T>>,
+    /// Fixed storage; slot `i` is written exactly once (by the pusher
+    /// holding the lock, before `len`'s release store publishes it) and
+    /// never mutated or moved afterwards.
+    slots: [UnsafeCell<MaybeUninit<T>>; CHUNK],
     next: AtomicPtr<Chunk<T>>,
+}
+
+impl<T> Chunk<T> {
+    fn alloc() -> *mut Self {
+        Box::into_raw(Box::new(Self {
+            slots: std::array::from_fn(|_| UnsafeCell::new(MaybeUninit::uninit())),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }))
+    }
 }
 
 /// Append-only vector with stable references.
@@ -57,22 +98,16 @@ impl<T> SlotVec<T> {
         loop {
             let p = link.load(Ordering::Acquire);
             if p.is_null() {
-                let chunk = Box::into_raw(Box::new(Chunk {
-                    items: UnsafeCell::new(Vec::with_capacity(CHUNK)),
-                    next: AtomicPtr::new(std::ptr::null_mut()),
-                }));
-                link.store(chunk, Ordering::Release);
+                link.store(Chunk::alloc(), Ordering::Release);
                 continue;
             }
             // SAFETY: chunks are never freed before Drop.
             let chunk = unsafe { &*p };
             if idx < base + CHUNK {
-                // SAFETY: single pusher (lock held); the Vec has spare
-                // capacity (len within chunk < CHUNK) so pushing never
-                // reallocates, keeping references from `get` stable.
-                let items = unsafe { &mut *chunk.items.get() };
-                debug_assert!(items.len() < CHUNK);
-                items.push(value);
+                // SAFETY: single pusher (lock held); slot `idx` is above
+                // the published `len`, so no reader aliases it yet, and
+                // it was never written before (len only grows).
+                unsafe { (*chunk.slots[idx - base].get()).write(value) };
                 break;
             }
             base += CHUNK;
@@ -91,11 +126,10 @@ impl<T> SlotVec<T> {
             // SAFETY: idx < len implies the chunk chain covers it.
             let chunk = unsafe { &*p };
             if idx < base + CHUNK {
-                // SAFETY: idx < len (checked above) means this element
-                // was fully initialized before `len`'s release store,
-                // and it will never move or be mutated again.
-                let items: &Vec<T> = unsafe { &*chunk.items.get() };
-                return &items[idx - base];
+                // SAFETY: idx < len (acquire, checked above) means this
+                // slot was fully initialized before `len`'s release
+                // store, and it is never moved or written again.
+                return unsafe { (*chunk.slots[idx - base].get()).assume_init_ref() };
             }
             base += CHUNK;
             p = chunk.next.load(Ordering::Acquire);
@@ -116,17 +150,24 @@ impl<T> Default for SlotVec<T> {
 
 impl<T> Drop for SlotVec<T> {
     fn drop(&mut self) {
+        let mut remaining = *self.len.get_mut();
         let mut p = *self.head.get_mut();
         while !p.is_null() {
-            // SAFETY: chunks allocated via Box::into_raw, freed once.
+            // SAFETY: chunks allocated via Box::into_raw, freed once;
+            // exactly the first `len` slots (chain-wide) were initialized.
             let chunk = unsafe { Box::from_raw(p) };
+            for slot in chunk.slots.iter().take(remaining) {
+                unsafe { (*slot.get()).assume_init_drop() };
+            }
+            remaining = remaining.saturating_sub(CHUNK);
             p = chunk.next.load(Ordering::Relaxed);
         }
     }
 }
 
-// SAFETY: SlotVec hands out &T only; interior growth is serialized by
-// the push lock and never invalidates existing &T.
+// SAFETY: SlotVec hands out &T only; slot initialization is serialized
+// by the push lock, published by `len`'s release store, and never
+// invalidates existing &T.
 unsafe impl<T: Send + Sync> Sync for SlotVec<T> {}
 unsafe impl<T: Send> Send for SlotVec<T> {}
 
@@ -178,6 +219,63 @@ mod tests {
             }
         }
         assert_eq!(v.len(), 200);
+    }
+
+    #[test]
+    fn concurrent_readers_while_pushing() {
+        use std::sync::Arc;
+        let v: Arc<SlotVec<u64>> = Arc::new(SlotVec::new());
+        v.push(0);
+        let writer = {
+            let v = Arc::clone(&v);
+            std::thread::spawn(move || {
+                for i in 1..(CHUNK as u64 * 8) {
+                    v.push(i);
+                }
+            })
+        };
+        let reader = {
+            let v = Arc::clone(&v);
+            std::thread::spawn(move || {
+                // Only indices below the acquire-loaded len are touched;
+                // each must read back its own pushed value.
+                for _ in 0..10_000 {
+                    let n = v.len();
+                    assert_eq!(*v.get(n - 1), (n - 1) as u64);
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn drop_runs_destructors_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let n = CHUNK * 2 + 3; // partial final chunk
+        {
+            let v: SlotVec<D> = SlotVec::new();
+            for _ in 0..n {
+                v.push(D);
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn thread_tags_are_stable_and_distinct() {
+        let mine = thread_tag();
+        assert_ne!(mine, 0);
+        assert_eq!(mine, thread_tag(), "tag must be stable per thread");
+        let other = std::thread::spawn(thread_tag).join().unwrap();
+        assert_ne!(mine, other, "tags must be distinct across threads");
     }
 
     #[test]

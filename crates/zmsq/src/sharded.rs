@@ -162,6 +162,14 @@ impl<V> Default for OpBuf<V> {
     }
 }
 
+/// One registered `(thread, instance)` buffer slot. The owner tag
+/// (immutable after registration) lets a thread whose cache entry was
+/// evicted find and reuse its old slot — see [`ShardedZmsq::buf_slot`].
+struct BufSlot<V> {
+    owner: u64,
+    buf: Mutex<OpBuf<V>>,
+}
+
 /// Source of unique instance ids. A module-level (non-generic) static:
 /// ids are process-unique across every monomorphization, which is what
 /// makes the per-thread home cache collision-free.
@@ -183,8 +191,10 @@ thread_local! {
     /// mirror of [`HOMES`]. Eviction is safe for the same reason: the
     /// slot (and any elements staged in it) stays owned by the queue's
     /// [`SlotVec`], where `flush()`/`close()`/empty-reporting recover
-    /// it; the evicted thread merely registers a fresh slot on its next
-    /// operation.
+    /// it; the evicted thread *reuses* its old slot on the next
+    /// operation (slots are tagged with their owner's
+    /// [`zmsq_sync::thread_tag`]), so the slot count stays bounded by
+    /// the number of distinct threads that ever touched the instance.
     static BUF_SLOTS: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
 }
 
@@ -262,7 +272,7 @@ where
     fast_ins: bool,
     fast_del: bool,
     /// One operation buffer per registered `(thread, instance)` pair.
-    bufs: SlotVec<Mutex<OpBuf<V>>>,
+    bufs: SlotVec<BufSlot<V>>,
     /// Elements currently staged in insert / delete buffers (folded into
     /// `len_hint` and exported as `buf.pending_*` gauges).
     pending_ins: AtomicUsize,
@@ -304,7 +314,11 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
         // legacy admission paths regardless of tuning.
         let unbounded = shards[0].capacity().is_none();
         let fast_ins = unbounded && (tuning.stickiness >= 1 || tuning.insert_buffer > 1);
-        let fast_del = unbounded && (tuning.stickiness >= 1 || tuning.delete_buffer > 1);
+        // *Any* tuning arms the extract side: even insert-only buffering
+        // stages elements the direct sweep cannot see, so extract_max /
+        // extract_batch must run the flush-before-report loop for `None`
+        // to keep meaning "no element is hiding in a buffer".
+        let fast_del = unbounded && tuning.is_tuned();
         Self {
             shards,
             instance_id: INSTANCE_IDS.fetch_add(1, Ordering::Relaxed),
@@ -452,7 +466,13 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
 
     /// The calling thread's operation-buffer slot for this instance,
     /// registering one on first touch. Mirrors [`home_shard`]'s cache
-    /// discipline (and eviction-safety argument).
+    /// discipline (and eviction-safety argument) — with one addition:
+    /// on a cache miss the thread first looks for a slot it already
+    /// owns in this instance (its cache entry may merely have been
+    /// evicted). Slots are never reclaimed, so without reuse a thread
+    /// cycling through more than [`HOME_CACHE_CAP`] live instances
+    /// would register a fresh slot on every return, growing `bufs` —
+    /// and every [`flush_all`](Self::flush_all) scan — without bound.
     ///
     /// [`home_shard`]: Self::home_shard
     fn buf_slot(&self) -> usize {
@@ -461,7 +481,15 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
             if let Some(&(_, slot)) = cache.iter().find(|&&(id, _)| id == self.instance_id) {
                 return slot;
             }
-            let slot = self.bufs.push(Mutex::new(OpBuf::default()));
+            let me = zmsq_sync::thread_tag();
+            let slot = (0..self.bufs.len())
+                .find(|&i| self.bufs.get(i).owner == me)
+                .unwrap_or_else(|| {
+                    self.bufs.push(BufSlot {
+                        owner: me,
+                        buf: Mutex::new(OpBuf::default()),
+                    })
+                });
             if cache.len() >= HOME_CACHE_CAP {
                 cache.remove(0); // evict oldest; the slot stays queue-owned
             }
@@ -477,8 +505,12 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
             return;
         }
         fault::fail_point!("shard.flush-delay");
-        self.pending_ins.fetch_sub(b.ins.len(), Ordering::Relaxed);
+        let n = b.ins.len();
         self.shards[b.ins_shard & (self.shards.len() - 1)].insert_batch(&mut b.ins);
+        // Decrement only after the shard publish: a `len_hint` racing
+        // the flush then transiently *over*counts (both sides visible)
+        // instead of reporting 0 on a non-empty queue.
+        self.pending_ins.fetch_sub(n, Ordering::Relaxed);
         self.insert_flushes.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -489,8 +521,10 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
             return;
         }
         fault::fail_point!("shard.flush-delay");
-        self.pending_del.fetch_sub(b.del.len(), Ordering::Relaxed);
+        let n = b.del.len();
         self.shards[b.del_shard & (self.shards.len() - 1)].insert_batch(&mut b.del);
+        // After the publish, for the same reason as `flush_ins`.
+        self.pending_del.fetch_sub(n, Ordering::Relaxed);
         // The sticky run is stale once its prefetch was stolen back.
         b.del_left = 0;
     }
@@ -502,8 +536,8 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// hold a slot lock.
     fn flush_all(&self) -> usize {
         let mut moved = 0;
-        for buf in self.bufs.iter() {
-            let mut b = Self::lock_slot(buf);
+        for slot in self.bufs.iter() {
+            let mut b = Self::lock_slot(&slot.buf);
             moved += b.ins.len() + b.del.len();
             self.flush_ins(&mut b);
             self.unprefetch_del(&mut b);
@@ -548,7 +582,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// so pending elements are published to the shard they were staged
     /// for before the target moves).
     fn fast_insert(&self, prio: u64, value: V) {
-        let buf = self.bufs.get(self.buf_slot());
+        let buf = &self.bufs.get(self.buf_slot()).buf;
         let mut b = Self::lock_slot(buf);
         if b.ins_left == 0 {
             self.flush_ins(&mut b); // flush-on-resample
@@ -581,7 +615,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// thread's buffers are flushed and the sweep retried — an element
     /// staged in *any* buffer keeps `None` off the table.
     fn fast_extract(&self) -> Option<(u64, V)> {
-        let buf = self.bufs.get(self.buf_slot());
+        let buf = &self.bufs.get(self.buf_slot()).buf;
         let mut b = Self::lock_slot(buf);
         if let Some(got) = b.del.pop() {
             self.pending_del.fetch_sub(1, Ordering::Relaxed);
@@ -791,7 +825,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
         }
         let mut got = 0;
         {
-            let buf = self.bufs.get(self.buf_slot());
+            let buf = &self.bufs.get(self.buf_slot()).buf;
             let mut b = Self::lock_slot(buf);
             while got < n {
                 match b.del.pop() {
@@ -1596,7 +1630,10 @@ mod tests {
     #[test]
     fn buffered_insert_publishes_on_overflow() {
         let q = tuned_q(0, 4, 0);
-        assert!(q.fast_ins && !q.fast_del);
+        // Insert-only buffering still arms the extract side: the
+        // flush-before-report loop is what keeps `None` honest while
+        // elements are staged in insert buffers.
+        assert!(q.fast_ins && q.fast_del);
         for i in 0..3u64 {
             q.insert(i, i);
         }
@@ -1616,6 +1653,44 @@ mod tests {
             got += 1;
         }
         assert_eq!(got, 4);
+    }
+
+    #[test]
+    fn insert_buffer_only_tuning_keeps_emptiness_honest() {
+        // Regression: with stickiness 0, insert_buffer > 1 and no delete
+        // buffer, extract_max used to run the direct path with no
+        // flush-before-report — insert(1, 1) then extract_max() returned
+        // None while the element sat staged in the thread-local buffer.
+        let q = tuned_q(0, 8, 0);
+        q.insert(1, 1);
+        assert_eq!(q.pending_ins.load(Ordering::Relaxed), 1, "staged");
+        assert_eq!(q.extract_max(), Some((1, 1)), "staged element invisible");
+        assert_eq!(q.extract_max(), None);
+        // Same guarantee through the batch API.
+        q.insert(2, 2);
+        let mut out = Vec::new();
+        assert_eq!(q.extract_batch(&mut out, 4), 1);
+        assert_eq!(out, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn evicted_thread_reuses_its_buffer_slot() {
+        // Regression: a thread whose `(instance, slot)` cache entry was
+        // evicted used to register a brand-new slot on each return,
+        // growing `bufs` (and every flush_all scan) without bound.
+        let q = tuned_q(0, 8, 0);
+        q.insert(1, 1);
+        assert_eq!(q.bufs.len(), 1);
+        // Simulate eviction: blow this thread's cache entry away.
+        BUF_SLOTS.with(|c| c.borrow_mut().clear());
+        q.insert(2, 2);
+        assert_eq!(q.bufs.len(), 1, "re-registration must reuse the slot");
+        // Both staged elements live in the one slot and drain out.
+        let mut got = 0;
+        while q.extract_max().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 2);
     }
 
     #[test]
