@@ -136,6 +136,14 @@ pub trait ConcurrentPriorityQueue<V = u64>: Send + Sync {
         0
     }
 
+    /// Configured element capacity for bounded queues, `None` (the
+    /// default) when unbounded. Like [`len_hint`](Self::len_hint), a
+    /// reporting aid: harnesses use it to size workloads that must stay
+    /// within a bounded queue's admission limit.
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
     /// Bulk insertion: drain every `(priority, value)` pair out of
     /// `items` into the queue.
     ///
@@ -221,6 +229,9 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for &
     fn len_hint(&self) -> usize {
         (**self).len_hint()
     }
+    fn capacity(&self) -> Option<usize> {
+        (**self).capacity()
+    }
     fn insert_batch(&self, items: &mut Vec<(u64, V)>) {
         (**self).insert_batch(items)
     }
@@ -257,6 +268,9 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for B
     fn len_hint(&self) -> usize {
         (**self).len_hint()
     }
+    fn capacity(&self) -> Option<usize> {
+        (**self).capacity()
+    }
     fn insert_batch(&self, items: &mut Vec<(u64, V)>) {
         (**self).insert_batch(items)
     }
@@ -292,6 +306,9 @@ impl<V, Q: ConcurrentPriorityQueue<V> + ?Sized> ConcurrentPriorityQueue<V> for s
     }
     fn len_hint(&self) -> usize {
         (**self).len_hint()
+    }
+    fn capacity(&self) -> Option<usize> {
+        (**self).capacity()
     }
     fn insert_batch(&self, items: &mut Vec<(u64, V)>) {
         (**self).insert_batch(items)

@@ -8,10 +8,25 @@
 //! disperse threads across the buffer so that (i) there is low contention
 //! on any single futex word, and (ii) a signal wakes few threads.
 //!
-//! Each futex word encodes `(epoch << 1) | waiters_bit`: reading the low
-//! bit from userspace tells a producer whether anyone sleeps there, so the
+//! Each futex word encodes `(epoch << 8) | waiter_count`: reading the low
+//! byte from userspace tells a producer whether anyone sleeps there, so the
 //! common-case signal is one `fetch_add` plus two uncontended loads and no
 //! syscall.
+//!
+//! The low byte is a *count*, not a bit, and that is load-bearing for
+//! liveness. Every thread that registers on a slot increments the count
+//! and — on **every** exit path (ready, woken, closed, timed out) —
+//! decrements it again. A nonzero count therefore always means a live
+//! thread that either holds an element already or will re-check the
+//! predicate before parking again. With a single shared bit (the original
+//! design), an early-exiting waiter left the bit set with nobody behind
+//! it; a later signal would spend its one wake clearing that *ghost* bit
+//! (waking nobody) while a genuinely parked thread on a later slot
+//! starved. Consumers survived ghosts because insert-side signals are
+//! plentiful; the producer-backpressure mirror ([`crate::ProducerWait`])
+//! emits exactly one signal per freed capacity slot, so one eaten signal
+//! became a permanent hang (the `producer_liveness_under_wake_lost`
+//! chaos test).
 //!
 //! One deviation from the paper's sketch, for liveness: a signal whose own
 //! slot has no sleepers sweeps forward to the next slot that does (bounded
@@ -81,7 +96,16 @@ pub(crate) static CONSUMER_COUNTERS: WaitCounters = WaitCounters::new();
 /// Counters for the producer-backpressure buffers (`producer.*`).
 pub(crate) static PRODUCER_COUNTERS: WaitCounters = WaitCounters::new();
 
-const WAITER_BIT: u32 = 1;
+/// Low byte of each futex word: the number of threads currently
+/// registered on the slot (inside `wait_until`, between increment and
+/// their exit-path decrement).
+const WAITER_MASK: u32 = 0xFF;
+/// One epoch step. The epoch lives in the high 24 bits so a signal can
+/// bump it without disturbing the waiter count. 24 bits of epoch wrap
+/// after ~16M signals to one slot; a wrap is only observable if a waiter
+/// stalls between its slot load and `futex_wait` across the entire wrap,
+/// and even then the failure mode is one extra spurious park-and-retry.
+const EPOCH_ONE: u32 = 0x100;
 
 /// Result of [`EventBuffer::wait_until`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,17 +231,21 @@ impl EventBuffer {
     }
 
     /// Wake at most one slot's worth of sleepers, starting at `start` and
-    /// sweeping forward until a slot with the waiter bit is found.
+    /// sweeping forward until a slot with a nonzero waiter count is found.
     fn wake_one_from(&self, start: usize) {
         let n = self.slots.len();
         for i in 0..n {
             let slot = &self.slots[(start + i) & self.mask as usize];
             let mut w = slot.load(Ordering::Relaxed);
-            while w & WAITER_BIT != 0 {
-                // Bump the epoch and clear the waiter bit so parked threads
-                // (and threads between CAS-registration and futex_wait)
-                // observe a changed word.
-                let next = w.wrapping_add(2) & !WAITER_BIT;
+            while w & WAITER_MASK != 0 {
+                // Bump the epoch, leaving the waiter count untouched — the
+                // registered threads deregister themselves on exit. Parked
+                // threads (and threads between registration and
+                // futex_wait) observe a changed word and retry their
+                // admission; because the count only ever reflects live
+                // registrants, this wake can never be spent on a slot
+                // nobody is behind.
+                let next = w.wrapping_add(EPOCH_ONE);
                 match slot.compare_exchange_weak(w, next, Ordering::AcqRel, Ordering::Relaxed) {
                     Ok(_) => {
                         futex_wake_all(slot);
@@ -274,18 +302,44 @@ impl EventBuffer {
         }
         let _dereg = Dereg(&self.sleepers);
 
-        // Set the waiter bit and remember the word we will park on.
+        // Register on the slot: bump the waiter count and remember the word
+        // we will park on. The count (unlike the original shared bit) is
+        // per-registrant state, so every exit path below must undo it —
+        // that is the whole liveness fix: a signal sweeping for a nonzero
+        // count can never land on a slot whose waiters have all left.
         let mut w = slot.load(Ordering::Relaxed);
-        let parked_word = loop {
-            if w & WAITER_BIT != 0 {
-                break w;
+        let (parked_word, registered) = loop {
+            if w & WAITER_MASK == WAITER_MASK {
+                // Count saturated (>255 registrants on one slot): share the
+                // word without incrementing. Degrades to the old shared-bit
+                // semantics for the excess threads only; the 255 counted
+                // registrants still keep the slot live.
+                break (w, false);
             }
-            match slot.compare_exchange_weak(w, w | WAITER_BIT, Ordering::AcqRel, Ordering::Relaxed)
-            {
-                Ok(_) => break w | WAITER_BIT,
+            match slot.compare_exchange_weak(
+                w,
+                w.wrapping_add(1),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break (w.wrapping_add(1), true),
                 Err(cur) => w = cur,
             }
         };
+        // Slot-level drop-guard: every return below deregisters from the
+        // slot word (the counterpart of `_dereg` for the global count).
+        struct SlotDereg<'a>(&'a AtomicU32, bool);
+        impl Drop for SlotDereg<'_> {
+            fn drop(&mut self) {
+                if self.1 {
+                    // Our registration incremented the count, so it is
+                    // nonzero until this decrement; the subtraction cannot
+                    // borrow into the epoch bits.
+                    self.0.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+        }
+        let _slot_dereg = SlotDereg(slot, registered);
 
         // Predicate re-check after registration: a concurrent signal either
         // sees our sleeper count or we see its element here.
@@ -293,10 +347,13 @@ impl EventBuffer {
             return WaitOutcome::Ready;
         }
 
-        // trySpinBeforeBlock: absorb short gaps without a syscall.
+        // trySpinBeforeBlock: absorb short gaps without a syscall. Compare
+        // epoch bits only — other waiters registering/deregistering churn
+        // the count byte, and treating that as a wake would turn
+        // contention into spurious retries.
         for _ in 0..self.spin_before_block {
             std::hint::spin_loop();
-            if slot.load(Ordering::Acquire) != parked_word {
+            if (slot.load(Ordering::Acquire) ^ parked_word) & !WAITER_MASK != 0 {
                 return WaitOutcome::Woken;
             }
             if nonempty() {
@@ -316,6 +373,9 @@ impl EventBuffer {
         det::det_point!("event.pre-park");
 
         self.counters.parks.incr();
+        // The kernel compares the full word, so count churn from other
+        // registrants can make the park return immediately — that surfaces
+        // as a spurious wake (caller loops), never a missed one.
         let woken = match timeout {
             None => {
                 futex_wait(slot, parked_word);
@@ -345,9 +405,10 @@ impl EventBuffer {
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
         for slot in self.slots.iter() {
-            // Unconditionally bump the epoch so even threads that
-            // registered concurrently with close observe a changed word.
-            slot.fetch_add(2, Ordering::AcqRel);
+            // Unconditionally bump the epoch (leaving the waiter count to
+            // the registrants themselves) so even threads that registered
+            // concurrently with close observe a changed word.
+            slot.fetch_add(EPOCH_ONE, Ordering::AcqRel);
             futex_wake_all(slot);
         }
     }
@@ -585,6 +646,62 @@ mod tests {
         ev.signal();
         h.join().unwrap();
         assert_eq!(woken.load(Ordering::SeqCst), 1);
+    }
+
+    /// Regression for the `producer_liveness_under_wake_lost` hang: a
+    /// deterministic replay of the captured bad state. Early-exiting
+    /// waiters (Ready and TimedOut returns) pass through slots 0–2; a real
+    /// waiter then parks on slot 3; exactly ONE signal is sent with a wake
+    /// ticket landing on slot 0, so the sweep crosses the residue slots
+    /// first. Under the original shared-waiter-bit protocol the early
+    /// exits left ghost bits behind and the signal was spent clearing the
+    /// slot-0 ghost (waking nobody) — the memory dump of the hung chaos
+    /// run showed exactly that shape: residue slots one epoch ahead, the
+    /// parked slot's bit still set. With per-registrant waiter counts the
+    /// residue slots read zero and the sweep must reach the parked waiter.
+    #[test]
+    fn early_exit_residue_cannot_eat_a_scarce_signal() {
+        let ev = Arc::new(EventBuffer::with_slots(8));
+        // Sleep tickets 0 and 1 → slots 0 and 1: Ready exits (predicate
+        // true at the post-registration re-check).
+        assert_eq!(ev.wait_until(|| true), WaitOutcome::Ready);
+        assert_eq!(ev.wait_until(|| true), WaitOutcome::Ready);
+        // Sleep ticket 2 → slot 2: a timed-out park.
+        assert_eq!(
+            ev.wait_until_timeout(|| false, Duration::from_millis(1)),
+            WaitOutcome::TimedOut
+        );
+        // Sleep ticket 3 → slot 3: a genuine waiter, parked for real.
+        let flag = Arc::new(AtomicU64::new(0));
+        let (ev2, flag2) = (Arc::clone(&ev), Arc::clone(&flag));
+        let h = std::thread::spawn(move || ev2.wait_until(|| flag2.load(Ordering::SeqCst) > 0));
+        while ev.sleeper_count() == 0 {
+            std::thread::yield_now();
+        }
+        // Get it past the bounded spin and into the futex.
+        std::thread::sleep(Duration::from_millis(20));
+        // Publish, then exactly one signal. Wake ticket 0 starts the sweep
+        // at slot 0, crossing every residue slot before the parked one —
+        // the scarce-signal shape of the producer-backpressure path.
+        flag.store(1, Ordering::SeqCst);
+        ev.signal();
+        // Join with a deadline: on a lost wake, unstick the thread so the
+        // test fails instead of hanging the suite.
+        let t0 = std::time::Instant::now();
+        while !h.is_finished() {
+            if t0.elapsed() > Duration::from_secs(10) {
+                ev.close();
+                let _ = h.join();
+                panic!("single signal never reached the parked waiter (ghost residue ate it)");
+            }
+            std::thread::yield_now();
+        }
+        let out = h.join().unwrap();
+        assert!(
+            matches!(out, WaitOutcome::Woken | WaitOutcome::Ready),
+            "unexpected outcome {out:?}"
+        );
+        assert_eq!(ev.sleeper_count(), 0);
     }
 
     /// close() must wake threads at *every* stage of wait_until —

@@ -61,11 +61,19 @@ impl<T> Chunk<T> {
     }
 }
 
-/// Append-only vector with stable references.
+/// Append-only vector with stable references, plus an index free-list
+/// for registries whose slots outlive their logical owners: storage is
+/// never reclaimed (references stay stable), but a slot whose contents
+/// were reset can be [`release`](Self::release)d and handed to the next
+/// registrant by [`try_acquire`](Self::try_acquire) instead of growing
+/// the vector.
 pub struct SlotVec<T> {
     head: AtomicPtr<Chunk<T>>,
     len: AtomicUsize,
     push_lock: Mutex<()>,
+    /// Released slot indices awaiting reuse. A plain mutexed vec: both
+    /// ends are registration-path cold (eviction / first touch).
+    free: Mutex<Vec<usize>>,
 }
 
 impl<T> SlotVec<T> {
@@ -75,6 +83,7 @@ impl<T> SlotVec<T> {
             head: AtomicPtr::new(std::ptr::null_mut()),
             len: AtomicUsize::new(0),
             push_lock: Mutex::new(()),
+            free: Mutex::new(Vec::new()),
         }
     }
 
@@ -139,6 +148,29 @@ impl<T> SlotVec<T> {
     /// Iterate over every slot pushed so far.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Mark slot `idx` reusable. The caller must have reset the slot's
+    /// contents to a state safe for a new owner (slots are `&T`-shared,
+    /// so "reset" means through the slot's own interior mutability) and
+    /// must not use its own references to the slot afterwards. Releasing
+    /// an index twice, or one still in use, hands the same slot to two
+    /// registrants — a logic error, though never memory-unsafe.
+    pub fn release(&self, idx: usize) {
+        debug_assert!(idx < self.len(), "releasing unpushed slot {idx}");
+        self.free.lock().unwrap().push(idx);
+    }
+
+    /// Claim a previously [`release`](Self::release)d slot, if any. The
+    /// returned index is owned exclusively by the caller (each release
+    /// is handed out once).
+    pub fn try_acquire(&self) -> Option<usize> {
+        self.free.lock().unwrap().pop()
+    }
+
+    /// Released slots currently awaiting reuse.
+    pub fn free_count(&self) -> usize {
+        self.free.lock().unwrap().len()
     }
 }
 
@@ -284,5 +316,25 @@ mod tests {
         let v: SlotVec<u8> = SlotVec::new();
         v.push(1);
         let _ = v.get(1);
+    }
+
+    #[test]
+    fn release_acquire_recycles_indices() {
+        let v: SlotVec<u64> = SlotVec::new();
+        assert_eq!(v.try_acquire(), None);
+        let a = v.push(10);
+        let b = v.push(20);
+        v.release(a);
+        assert_eq!(v.free_count(), 1);
+        assert_eq!(v.try_acquire(), Some(a));
+        assert_eq!(v.try_acquire(), None, "each release hands out once");
+        v.release(b);
+        v.release(a);
+        let mut got = [v.try_acquire().unwrap(), v.try_acquire().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, [a, b]);
+        // Recycling never shrinks storage: references stay valid.
+        assert_eq!(v.len(), 2);
+        assert_eq!(*v.get(a), 10);
     }
 }

@@ -104,6 +104,10 @@ where
     tree: Tree<V, S, L>,
     pool: Pool<V>,
     cfg: ZmsqConfig,
+    /// Queue-wide node-storage arena. `()` for plain sets; the shared
+    /// recycling slab for [`SlabSet`](crate::SlabSet), pre-sized to
+    /// `cfg.capacity` so a bounded queue never grows it in steady state.
+    arena: S::Arena,
     events: Option<EventBuffer>,
     /// Producer-side blocking, allocated iff `cfg.capacity` is set (all
     /// shed policies share it so `close()` and the waiter gauges are
@@ -250,11 +254,23 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         Self::with_config(ZmsqConfig::default())
     }
 
+    /// Create a fixed-capacity queue whose slab (for slab-backed sets)
+    /// is pre-allocated to `n` elements: with admission control keeping
+    /// occupancy at or below `n`, steady-state operation performs zero
+    /// allocator calls (`alloc.slab_grows` stays 0 — see
+    /// [`slab_stats`](Self::slab_stats)). Admission defaults to
+    /// [`ShedPolicy::Block`](crate::ShedPolicy::Block); compose with
+    /// [`ZmsqConfig::shed_policy`] via `with_config` for other policies.
+    pub fn bounded(n: usize) -> Self {
+        Self::with_config(ZmsqConfig::default().capacity(n))
+    }
+
     /// Create a queue with an explicit configuration.
     pub fn with_config(cfg: ZmsqConfig) -> Self {
         let cfg = cfg.normalized();
+        let arena = S::new_arena(cfg.capacity.unwrap_or(0));
         Self {
-            tree: Tree::new(cfg.initial_leaf_level),
+            tree: Tree::new(cfg.initial_leaf_level, &arena),
             // The pool is allocated at the top of the adaptive range so a
             // widened batch never outgrows the (ConsumerWait) buffer;
             // batch_max == batch when adaptation is off.
@@ -273,6 +289,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
             rank_est: cfg.rank_estimator.map(obs::RankEstimator::new),
             sojourn: cfg.sojourn.map(obs::SojournTracker::new),
             cfg,
+            arena,
         }
     }
 
@@ -291,9 +308,22 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         &self.cfg
     }
 
-    /// Snapshot of the operation counters.
+    /// Snapshot of the operation counters. For slab-backed sets the
+    /// arena's allocation counters are merged in (`slab_hits`,
+    /// `slab_grows`).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        if let Some(sl) = S::arena_stats(&self.arena) {
+            s.slab_hits = sl.hits;
+            s.slab_grows = sl.grows;
+        }
+        s
+    }
+
+    /// Allocation counters of the node-storage slab, or `None` for set
+    /// representations that allocate per element (list/array/deque).
+    pub fn slab_stats(&self) -> Option<crate::slab::SlabStats> {
+        S::arena_stats(&self.arena)
     }
 
     /// Best-effort size (inserts minus extractions; exact when quiescent).
@@ -629,7 +659,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
                     return ((leaf, slot), true);
                 }
             }
-            let grown = self.tree.grow(leaf);
+            let grown = self.tree.grow(leaf, &self.arena);
             if grown > leaf {
                 self.stats.tree_grows.incr();
                 obs::trace_event!(obs::EventKind::TreeGrow, grown as u32);
@@ -813,7 +843,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> Zmsq<V, S, L> {
         // never a correctness one.
         while self.tree.leaf_level() <= pos.0 {
             let before = self.tree.leaf_level();
-            if self.tree.grow(before) == before {
+            if self.tree.grow(before, &self.arena) == before {
                 node.unlock();
                 return;
             }

@@ -41,6 +41,7 @@ impl<V> DequeSet<V> {
 
 impl<V: Send> NodeSet<V> for DequeSet<V> {
     const KIND: &'static str = "deque";
+    type Arena = ();
 
     #[inline]
     fn len(&self) -> usize {

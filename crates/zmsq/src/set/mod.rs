@@ -12,10 +12,12 @@
 mod array;
 mod deque;
 mod list;
+mod slab;
 
 pub use array::ArraySet;
 pub use deque::DequeSet;
 pub use list::ListSet;
+pub use slab::SlabSet;
 
 /// The multiset stored in each tree node.
 ///
@@ -33,6 +35,31 @@ pub use list::ListSet;
 pub trait NodeSet<V>: Default + Send {
     /// Short tag used in queue names: `"list"` or `"array"`.
     const KIND: &'static str;
+
+    /// Shared storage arena for set representations that draw node
+    /// storage from a queue-wide slab instead of the allocator. Plain
+    /// sets use `()`; [`SlabSet`] uses an `Arc<Slab<V>>`.
+    type Arena: Send + Sync + Default;
+
+    /// Build the queue-wide arena, pre-sized for `prealloc` elements
+    /// (0 = grow on demand). Called once per queue at construction.
+    fn new_arena(prealloc: usize) -> Self::Arena {
+        let _ = prealloc;
+        Default::default()
+    }
+
+    /// Attach a node's set to the queue's arena. Called while the node
+    /// is still exclusively owned (before it is published into the
+    /// tree), so a plain `&mut self` suffices.
+    fn attach(&mut self, arena: &Self::Arena) {
+        let _ = arena;
+    }
+
+    /// Allocation counters for the arena, if it keeps any.
+    fn arena_stats(arena: &Self::Arena) -> Option<crate::slab::SlabStats> {
+        let _ = arena;
+        None
+    }
 
     /// Number of stored pairs.
     fn len(&self) -> usize;
@@ -206,6 +233,7 @@ pub(crate) mod tests {
     set_suite!(list_suite, ListSet<u64>);
     set_suite!(array_suite, ArraySet<u64>);
     set_suite!(deque_suite, DequeSet<u64>);
+    set_suite!(slab_suite, SlabSet<u64>);
 
     /// Reference model: a sorted Vec with identical semantics.
     #[derive(Default)]
@@ -323,5 +351,10 @@ pub(crate) mod tests {
     #[test]
     fn deque_matches_model() {
         check_against_model::<DequeSet<u64>>(0x5E7_33D5);
+    }
+
+    #[test]
+    fn slab_matches_model() {
+        check_against_model::<SlabSet<u64>>(0x5E7_44D5);
     }
 }

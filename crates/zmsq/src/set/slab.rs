@@ -1,0 +1,324 @@
+//! Slab-backed sorted set with u32 index links — allocation-free inserts.
+//!
+//! Semantically identical to [`ListSet`](super::ListSet) (descending
+//! sorted singly linked list), but node storage comes from the queue-wide
+//! recycling [`Slab`] and links are u32 slot indices instead of
+//! `Box` pointers: half the link width, and a freed element's storage is
+//! recycled to the next insert rather than returned to the allocator.
+//!
+//! Sets are accessed only under their `TNode`'s lock, so the fields here
+//! are plain values; only the arena itself is shared. `swap_contents`
+//! (parent/child set exchange) swaps the whole struct with `ptr::swap`,
+//! which is sound precisely because every set in a queue shares one
+//! arena — an index means the same slot before and after the swap.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use super::NodeSet;
+use crate::slab::{Slab, SlabStats, NIL};
+
+/// A multiset as a descending sorted list of slab slots linked by index.
+pub struct SlabSet<V> {
+    /// Lazily self-provisioned when unattached (standalone tests); every
+    /// set in a queue shares the queue's arena via [`NodeSet::attach`].
+    arena: Option<Arc<Slab<V>>>,
+    head: u32,
+    len: usize,
+}
+
+impl<V> Default for SlabSet<V> {
+    fn default() -> Self {
+        Self {
+            arena: None,
+            head: NIL,
+            len: 0,
+        }
+    }
+}
+
+impl<V> SlabSet<V> {
+    #[inline]
+    fn arena(&mut self) -> &Arc<Slab<V>> {
+        self.arena.get_or_insert_with(|| Arc::new(Slab::new()))
+    }
+
+    #[inline]
+    fn prio_of(&self, idx: u32) -> u64 {
+        self.arena
+            .as_ref()
+            .unwrap()
+            .slot(idx)
+            .meta
+            .load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn next_of(&self, idx: u32) -> u32 {
+        self.arena
+            .as_ref()
+            .unwrap()
+            .slot(idx)
+            .next
+            .load(Ordering::Relaxed)
+    }
+
+    /// Unlink `idx` (already detached from the list), take its value and
+    /// free the slot.
+    #[inline]
+    fn take(&self, idx: u32) -> (u64, V) {
+        let arena = self.arena.as_ref().unwrap();
+        let slot = arena.slot(idx);
+        let prio = slot.meta.load(Ordering::Relaxed);
+        // SAFETY: the slot is live and this set is its exclusive owner
+        // (node lock held by the caller of the public method); the value
+        // was written by `alloc` and is taken exactly once, here, before
+        // the slot is freed.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        arena.free(idx);
+        (prio, value)
+    }
+}
+
+impl<V: Send> NodeSet<V> for SlabSet<V> {
+    const KIND: &'static str = "slab";
+    type Arena = Arc<Slab<V>>;
+
+    fn new_arena(prealloc: usize) -> Self::Arena {
+        Arc::new(Slab::with_capacity(prealloc))
+    }
+
+    fn attach(&mut self, arena: &Self::Arena) {
+        debug_assert!(self.head == NIL, "attach must precede first insert");
+        self.arena = Some(Arc::clone(arena));
+    }
+
+    fn arena_stats(arena: &Self::Arena) -> Option<SlabStats> {
+        Some(arena.stats())
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn max_key(&self) -> Option<u64> {
+        (self.head != NIL).then(|| self.prio_of(self.head))
+    }
+
+    fn min_key(&self) -> Option<u64> {
+        if self.head == NIL {
+            return None;
+        }
+        let mut cur = self.head;
+        loop {
+            let next = self.next_of(cur);
+            if next == NIL {
+                return Some(self.prio_of(cur));
+            }
+            cur = next;
+        }
+    }
+
+    fn insert(&mut self, prio: u64, value: V) {
+        let idx = self.arena().alloc(prio, value);
+        let arena = self.arena.as_ref().unwrap();
+        // Walk to the first position whose priority is <= ours
+        // (descending order, same walk as ListSet).
+        if self.head == NIL || self.prio_of(self.head) <= prio {
+            arena.slot(idx).next.store(self.head, Ordering::Relaxed);
+            self.head = idx;
+        } else {
+            let mut prev = self.head;
+            loop {
+                let next = self.next_of(prev);
+                if next == NIL || self.prio_of(next) <= prio {
+                    arena.slot(idx).next.store(next, Ordering::Relaxed);
+                    arena.slot(prev).next.store(idx, Ordering::Relaxed);
+                    break;
+                }
+                prev = next;
+            }
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    fn remove_max(&mut self) -> Option<(u64, V)> {
+        if self.head == NIL {
+            return None;
+        }
+        let idx = self.head;
+        self.head = self.next_of(idx);
+        self.len -= 1;
+        Some(self.take(idx))
+    }
+
+    fn remove_min(&mut self) -> Option<(u64, V)> {
+        if self.head == NIL {
+            return None;
+        }
+        self.len -= 1;
+        // Find the last node and its predecessor.
+        let (mut prev, mut cur) = (NIL, self.head);
+        loop {
+            let next = self.next_of(cur);
+            if next == NIL {
+                break;
+            }
+            prev = cur;
+            cur = next;
+        }
+        if prev == NIL {
+            self.head = NIL;
+        } else {
+            self.arena
+                .as_ref()
+                .unwrap()
+                .slot(prev)
+                .next
+                .store(NIL, Ordering::Relaxed);
+        }
+        Some(self.take(cur))
+    }
+
+    fn drain_top(&mut self, n: usize, out: &mut Vec<(u64, V)>) {
+        let take = n.min(self.len);
+        let start = out.len();
+        for _ in 0..take {
+            let idx = self.head;
+            self.head = self.next_of(idx);
+            out.push(self.take(idx));
+        }
+        self.len -= take;
+        // Heads came off in descending order; the contract is ascending.
+        out[start..].reverse();
+    }
+
+    fn split_lower_half(&mut self) -> Vec<(u64, V)> {
+        let remove = self.len / 2;
+        if remove == 0 {
+            return Vec::new();
+        }
+        let keep = self.len - remove;
+        // Walk to the last kept node and detach its tail.
+        let mut cursor = self.head;
+        for _ in 1..keep {
+            cursor = self.next_of(cursor);
+        }
+        let mut tail = self.next_of(cursor);
+        self.arena
+            .as_ref()
+            .unwrap()
+            .slot(cursor)
+            .next
+            .store(NIL, Ordering::Relaxed);
+        self.len = keep;
+        let mut out = Vec::with_capacity(remove);
+        while tail != NIL {
+            let next = self.next_of(tail);
+            out.push(self.take(tail));
+            tail = next;
+        }
+        out
+    }
+
+    fn drain_all(&mut self, out: &mut Vec<(u64, V)>) {
+        let mut cur = self.head;
+        self.head = NIL;
+        self.len = 0;
+        while cur != NIL {
+            let next = self.next_of(cur);
+            out.push(self.take(cur));
+            cur = next;
+        }
+    }
+}
+
+impl<V> Drop for SlabSet<V> {
+    fn drop(&mut self) {
+        let mut cur = self.head;
+        while cur != NIL {
+            let next = self.next_of(cur);
+            // Take-and-drop the value, returning the slot to the arena.
+            let arena = self.arena.as_ref().unwrap();
+            // SAFETY: live slot exclusively owned by this set.
+            unsafe { drop((*arena.slot(cur).value.get()).assume_init_read()) };
+            arena.free(cur);
+            cur = next;
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for SlabSet<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut keys = Vec::new();
+        let mut cur = self.head;
+        while cur != NIL {
+            keys.push(self.prio_of(cur));
+            cur = self.next_of(cur);
+        }
+        f.debug_struct("SlabSet").field("keys", &keys).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_descending_order() {
+        let mut s: SlabSet<()> = SlabSet::default();
+        for k in [5u64, 2, 8, 8, 1, 9] {
+            s.insert(k, ());
+        }
+        let mut prev = u64::MAX;
+        let mut cur = s.head;
+        while cur != NIL {
+            assert!(s.prio_of(cur) <= prev, "list must be descending");
+            prev = s.prio_of(cur);
+            cur = s.next_of(cur);
+        }
+    }
+
+    #[test]
+    fn shared_arena_sets_recycle_each_others_slots() {
+        let arena: Arc<Slab<u64>> = <SlabSet<u64> as NodeSet<u64>>::new_arena(0);
+        let mut a: SlabSet<u64> = SlabSet::default();
+        let mut b: SlabSet<u64> = SlabSet::default();
+        a.attach(&arena);
+        b.attach(&arena);
+        for k in 0..32u64 {
+            a.insert(k, k);
+        }
+        let mut out = Vec::new();
+        a.drain_all(&mut out);
+        assert_eq!(out.len(), 32);
+        let before = arena.stats();
+        // b's inserts reuse a's freed slots: no growth, all hits.
+        for k in 0..32u64 {
+            b.insert(k, k);
+        }
+        let after = arena.stats();
+        assert_eq!(after.grows, before.grows, "no chunk growth on reuse");
+        assert_eq!(after.hits - before.hits, 32);
+        assert_eq!(after.live, 32);
+        drop(b);
+        assert_eq!(arena.live(), 0, "drop returns every slot");
+    }
+
+    #[test]
+    fn values_survive_take_paths() {
+        let mut s: SlabSet<String> = SlabSet::default();
+        for k in [3u64, 1, 4, 1, 5] {
+            s.insert(k, format!("v{k}"));
+        }
+        assert_eq!(s.remove_max(), Some((5, "v5".to_string())));
+        assert_eq!(s.remove_min(), Some((1, "v1".to_string())));
+        let lower = s.split_lower_half();
+        assert_eq!(lower.len(), 1);
+        assert_eq!(lower[0].0, 1);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -45,7 +45,7 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, Weak};
 
 use pq_traits::InsertError;
 use zmsq_sync::{RawTryLock, SlotVec, TatasLock};
@@ -162,12 +162,59 @@ impl<V> Default for OpBuf<V> {
     }
 }
 
-/// One registered `(thread, instance)` buffer slot. The owner tag
-/// (immutable after registration) lets a thread whose cache entry was
-/// evicted find and reuse its old slot — see [`ShardedZmsq::buf_slot`].
+/// One registered `(thread, instance)` buffer slot. The owner tag lets
+/// a thread whose cache entry was evicted find and reuse its old slot —
+/// see [`ShardedZmsq::buf_slot`]. `owner` is [`FREE_SLOT`] while the
+/// slot sits on the registry's free list awaiting a new registrant;
+/// transitions to `FREE_SLOT` happen only under the slot's `buf` mutex
+/// (see [`SlotTryFree::try_free`]), which is what makes the users' lock-
+/// then-revalidate protocol race-free.
 struct BufSlot<V> {
-    owner: u64,
+    owner: AtomicU64,
     buf: Mutex<OpBuf<V>>,
+}
+
+/// `owner` value of an unowned slot. [`zmsq_sync::thread_tag`] starts
+/// at 1, so 0 never collides with a real thread.
+const FREE_SLOT: u64 = 0;
+
+/// Type-erased hook for returning an evicted buffer slot to its
+/// registry. The per-thread slot cache ([`BUF_SLOTS`]) is shared across
+/// every monomorphization of [`ShardedZmsq`], so eviction can only reach
+/// the owning registry through a `dyn` handle; a dead `Weak` (instance
+/// already dropped) makes the eviction a no-op.
+trait SlotTryFree: Send + Sync {
+    /// Release `slot` to the free list iff both its buffers are empty
+    /// and it is still owned by `owner`. Returns whether it was freed.
+    /// A slot with staged elements is left owned — this hook has no
+    /// shard access to flush into, and the owner can still rediscover
+    /// the slot by tag scan on its next registration.
+    fn try_free(&self, slot: usize, owner: u64) -> bool;
+}
+
+impl<V: Send + 'static> SlotTryFree for SlotVec<BufSlot<V>> {
+    fn try_free(&self, slot: usize, owner: u64) -> bool {
+        if slot >= self.len() {
+            return false;
+        }
+        let s = self.get(slot);
+        let b = lock_buf(&s.buf);
+        if !b.ins.is_empty() || !b.del.is_empty() {
+            return false;
+        }
+        // Ownership change under the buf mutex: a user that locked the
+        // slot before us re-validates `owner` after its lock and backs
+        // off when it lost this race.
+        if s.owner
+            .compare_exchange(owner, FREE_SLOT, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        drop(b);
+        self.release(slot);
+        true
+    }
 }
 
 /// Source of unique instance ids. A module-level (non-generic) static:
@@ -186,16 +233,47 @@ thread_local! {
     static HOMES: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
 }
 
+/// One entry of the per-thread buffer-slot cache: which slot of which
+/// instance's registry this thread owns, plus the type-erased handle
+/// eviction uses to give the slot back.
+struct CachedBufSlot {
+    instance: u64,
+    slot: usize,
+    registry: Weak<dyn SlotTryFree>,
+}
+
 thread_local! {
-    /// Per-thread cache of `(instance id, buffer slot)` assignments,
-    /// mirror of [`HOMES`]. Eviction is safe for the same reason: the
-    /// slot (and any elements staged in it) stays owned by the queue's
-    /// [`SlotVec`], where `flush()`/`close()`/empty-reporting recover
-    /// it; the evicted thread *reuses* its old slot on the next
-    /// operation (slots are tagged with their owner's
-    /// [`zmsq_sync::thread_tag`]), so the slot count stays bounded by
-    /// the number of distinct threads that ever touched the instance.
-    static BUF_SLOTS: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread cache of instance → buffer-slot assignments, mirror
+    /// of [`HOMES`]. Evicting an entry returns its (empty) slot to the
+    /// registry's free list via [`SlotTryFree`], so a thread cycling
+    /// through many live instances no longer strands one dead slot per
+    /// instance for `flush_all` to scan forever; a slot with staged
+    /// elements stays owned by the queue's [`SlotVec`], where
+    /// `flush()`/`close()`/empty-reporting recover it and the evicted
+    /// thread rediscovers it by owner tag on its next operation.
+    static BUF_SLOTS: RefCell<Vec<CachedBufSlot>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Acquire a buffer-slot lock without OS-blocking: the critical sections
+/// include shard operations with det yield points, so under a det
+/// schedule the holder may be a parked vthread that can only run again
+/// if this thread yields — a blocking `lock()` would deadlock the
+/// scheduler's token gate. Outside det the loop is a plain spin;
+/// contention is rare (a thread meets a foreign slot only through
+/// `flush_all` or slot reaping). A poisoned slot (injected panic
+/// mid-flush) is taken over rather than propagated: the buffer's
+/// contents are still valid, only the in-flight element was lost.
+fn lock_buf<V>(m: &Mutex<OpBuf<V>>) -> std::sync::MutexGuard<'_, OpBuf<V>> {
+    loop {
+        match m.try_lock() {
+            Ok(g) => return g,
+            Err(std::sync::TryLockError::Poisoned(p)) => return p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                det::det_point!("shard.buf-wait");
+                std::hint::spin_loop();
+            }
+        }
+    }
 }
 
 /// How many successful extractions a shard serves between two runs of
@@ -272,7 +350,10 @@ where
     fast_ins: bool,
     fast_del: bool,
     /// One operation buffer per registered `(thread, instance)` pair.
-    bufs: SlotVec<BufSlot<V>>,
+    /// `Arc` so evicted cache entries can hold a [`Weak`] back-reference
+    /// for eviction-time slot freeing without keeping a dropped
+    /// instance's registry alive.
+    bufs: Arc<SlotVec<BufSlot<V>>>,
     /// Elements currently staged in insert / delete buffers (folded into
     /// `len_hint` and exported as `buf.pending_*` gauges).
     pending_ins: AtomicUsize,
@@ -283,7 +364,7 @@ where
     delete_refills: AtomicU64,
 }
 
-impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
+impl<V: Send + 'static, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// Create `shards` queues (rounded up to a power of two), each with
     /// the given configuration. An adaptive configuration
     /// ([`ZmsqConfig::adaptive_batch`]) arms the per-shard batch
@@ -329,7 +410,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
             tuning,
             fast_ins,
             fast_del,
-            bufs: SlotVec::new(),
+            bufs: Arc::new(SlotVec::new()),
             pending_ins: AtomicUsize::new(0),
             pending_del: AtomicUsize::new(0),
             insert_flushes: AtomicU64::new(0),
@@ -442,60 +523,86 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
         }
     }
 
-    /// Acquire a slot lock without OS-blocking: the critical sections
-    /// include shard operations with det yield points, so under a det
-    /// schedule the holder may be a parked vthread that can only run
-    /// again if this thread yields — a blocking `lock()` would deadlock
-    /// the scheduler's token gate. Outside det the loop is a plain spin;
-    /// contention is rare (a thread meets a foreign slot only through
-    /// [`flush_all`](Self::flush_all)). A poisoned slot (injected panic
-    /// mid-flush) is taken over rather than propagated: the buffer's
-    /// contents are still valid, only the in-flight element was lost.
-    fn lock_slot(m: &Mutex<OpBuf<V>>) -> std::sync::MutexGuard<'_, OpBuf<V>> {
-        loop {
-            match m.try_lock() {
-                Ok(g) => return g,
-                Err(std::sync::TryLockError::Poisoned(p)) => return p.into_inner(),
-                Err(std::sync::TryLockError::WouldBlock) => {
-                    det::det_point!("shard.buf-wait");
-                    std::hint::spin_loop();
-                }
-            }
-        }
-    }
-
     /// The calling thread's operation-buffer slot for this instance,
     /// registering one on first touch. Mirrors [`home_shard`]'s cache
-    /// discipline (and eviction-safety argument) — with one addition:
-    /// on a cache miss the thread first looks for a slot it already
-    /// owns in this instance (its cache entry may merely have been
-    /// evicted). Slots are never reclaimed, so without reuse a thread
-    /// cycling through more than [`HOME_CACHE_CAP`] live instances
-    /// would register a fresh slot on every return, growing `bufs` —
-    /// and every [`flush_all`](Self::flush_all) scan — without bound.
+    /// discipline — with two additions. On a cache miss the thread
+    /// first looks for a slot it already owns in this instance (its
+    /// cache entry may merely have been evicted), then claims a freed
+    /// slot off the registry's free list, and only then grows the
+    /// registry. On *eviction* the outgoing entry's slot is returned to
+    /// its registry's free list if its buffers are empty
+    /// ([`SlotTryFree`]), so cycling through more than
+    /// [`HOME_CACHE_CAP`] live instances neither leaks a dead slot per
+    /// instance (the pre-reclamation behaviour, which left `flush_all`
+    /// scanning them forever) nor re-registers fresh ones per return.
+    ///
+    /// The returned index is a *hint*: the close-time reaper can free
+    /// the slot concurrently, so lock-holding users go through
+    /// [`my_buf`](Self::my_buf), which re-validates ownership under the
+    /// slot lock.
     ///
     /// [`home_shard`]: Self::home_shard
     fn buf_slot(&self) -> usize {
+        let me = zmsq_sync::thread_tag();
         BUF_SLOTS.with(|cache| {
             let mut cache = cache.borrow_mut();
-            if let Some(&(_, slot)) = cache.iter().find(|&&(id, _)| id == self.instance_id) {
-                return slot;
+            if let Some(pos) = cache.iter().position(|e| e.instance == self.instance_id) {
+                let slot = cache[pos].slot;
+                if self.bufs.get(slot).owner.load(Ordering::Acquire) == me {
+                    return slot;
+                }
+                // Reaped out from under us (close-time): the entry is
+                // stale; drop it and re-register.
+                cache.remove(pos);
             }
-            let me = zmsq_sync::thread_tag();
             let slot = (0..self.bufs.len())
-                .find(|&i| self.bufs.get(i).owner == me)
+                .find(|&i| self.bufs.get(i).owner.load(Ordering::Acquire) == me)
+                .or_else(|| {
+                    self.bufs.try_acquire().inspect(|&i| {
+                        // The free-list pop is an exclusive claim; the
+                        // slot was parked at FREE_SLOT.
+                        self.bufs.get(i).owner.store(me, Ordering::Release);
+                    })
+                })
                 .unwrap_or_else(|| {
                     self.bufs.push(BufSlot {
-                        owner: me,
+                        owner: AtomicU64::new(me),
                         buf: Mutex::new(OpBuf::default()),
                     })
                 });
             if cache.len() >= HOME_CACHE_CAP {
-                cache.remove(0); // evict oldest; the slot stays queue-owned
+                // Evict the oldest entry, returning its slot if empty.
+                let old = cache.remove(0);
+                if let Some(reg) = old.registry.upgrade() {
+                    reg.try_free(old.slot, me);
+                }
             }
-            cache.push((self.instance_id, slot));
+            cache.push(CachedBufSlot {
+                instance: self.instance_id,
+                slot,
+                registry: Arc::downgrade(&self.bufs) as Weak<dyn SlotTryFree>,
+            });
             slot
         })
+    }
+
+    /// Lock the calling thread's buffer slot, re-validating ownership
+    /// under the lock: the close-time reaper frees slots only while
+    /// holding the slot mutex, so an `owner == me` check made *after*
+    /// locking is authoritative. On a lost race (slot reaped, possibly
+    /// already re-owned by another thread) the stale cache entry is
+    /// dropped and registration retried.
+    fn my_buf(&self) -> std::sync::MutexGuard<'_, OpBuf<V>> {
+        let me = zmsq_sync::thread_tag();
+        loop {
+            let slot = self.bufs.get(self.buf_slot());
+            let b = lock_buf(&slot.buf);
+            if slot.owner.load(Ordering::Acquire) == me {
+                return b;
+            }
+            drop(b);
+            BUF_SLOTS.with(|c| c.borrow_mut().retain(|e| e.instance != self.instance_id));
+        }
     }
 
     /// Publish a buffer's staged inserts to its sticky shard. No-op when
@@ -537,7 +644,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     fn flush_all(&self) -> usize {
         let mut moved = 0;
         for slot in self.bufs.iter() {
-            let mut b = Self::lock_slot(&slot.buf);
+            let mut b = lock_buf(&slot.buf);
             moved += b.ins.len() + b.del.len();
             self.flush_ins(&mut b);
             self.unprefetch_del(&mut b);
@@ -549,9 +656,33 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// The `shard.skip-close-flush` failpoint deletes exactly this step,
     /// so the det mutation check can prove the close-flush is what keeps
     /// buffered elements from being stranded.
+    ///
+    /// After the flush every buffer is (momentarily) empty, so the slots
+    /// themselves are reaped onto the free list — a closing instance in
+    /// a long-lived process hands its storage to whatever threads touch
+    /// it next instead of stranding one dead slot per thread. Owners
+    /// with live cache entries re-validate under the slot lock
+    /// ([`my_buf`](Self::my_buf)) and re-register, so reaping out from
+    /// under them is safe.
     fn flush_for_close(&self) {
         fault::fail_point!("shard.skip-close-flush", return);
         self.flush_all();
+        self.reap_empty_slots();
+    }
+
+    /// Return every empty, owned buffer slot to the free list. Cold
+    /// path: called at close, not from the hot flush-before-report loop
+    /// (reaping there would thrash active threads' slots, forcing a
+    /// re-registration per emptiness check).
+    fn reap_empty_slots(&self) -> usize {
+        let mut freed = 0;
+        for i in 0..self.bufs.len() {
+            let owner = self.bufs.get(i).owner.load(Ordering::Acquire);
+            if owner != FREE_SLOT && self.bufs.try_free(i, owner) {
+                freed += 1;
+            }
+        }
+        freed
     }
 
     /// Sticky insert target for a fresh run: random under stickiness
@@ -582,8 +713,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// so pending elements are published to the shard they were staged
     /// for before the target moves).
     fn fast_insert(&self, prio: u64, value: V) {
-        let buf = &self.bufs.get(self.buf_slot()).buf;
-        let mut b = Self::lock_slot(buf);
+        let mut b = self.my_buf();
         if b.ins_left == 0 {
             self.flush_ins(&mut b); // flush-on-resample
             b.ins_shard = self.pick_insert_shard();
@@ -615,8 +745,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
     /// thread's buffers are flushed and the sweep retried — an element
     /// staged in *any* buffer keeps `None` off the table.
     fn fast_extract(&self) -> Option<(u64, V)> {
-        let buf = &self.bufs.get(self.buf_slot()).buf;
-        let mut b = Self::lock_slot(buf);
+        let mut b = self.my_buf();
         if let Some(got) = b.del.pop() {
             self.pending_del.fetch_sub(1, Ordering::Relaxed);
             return Some(got);
@@ -825,8 +954,7 @@ impl<V: Send, S: NodeSet<V>, L: RawTryLock> ShardedZmsq<V, S, L> {
         }
         let mut got = 0;
         {
-            let buf = &self.bufs.get(self.buf_slot()).buf;
-            let mut b = Self::lock_slot(buf);
+            let mut b = self.my_buf();
             while got < n {
                 match b.del.pop() {
                     Some(e) => {
@@ -1038,6 +1166,7 @@ impl<V: Send + 'static, S: NodeSet<V> + 'static, L: RawTryLock + 'static>
         snap.push_counter("zmsq.batch.narrows", self.narrows.load(Ordering::Relaxed));
         if self.fast_ins || self.fast_del {
             snap.push_gauge("buf.threads", self.bufs.len() as i64);
+            snap.push_gauge("buf.free_slots", self.bufs.free_count() as i64);
             snap.push_gauge(
                 "buf.pending_inserts",
                 self.pending_ins.load(Ordering::Relaxed) as i64,
@@ -1691,6 +1820,92 @@ mod tests {
             got += 1;
         }
         assert_eq!(got, 2);
+    }
+
+    #[test]
+    fn eviction_frees_empty_slot_for_other_threads() {
+        // Regression (PR 9 review): eviction used to leave one dead slot
+        // per (thread, instance) forever; a thread cycling through many
+        // live instances grew every instance's `flush_all` scan without
+        // bound. Now eviction returns an empty slot to the free list,
+        // and the next registrant claims it instead of growing `bufs`.
+        let q = tuned_q(0, 8, 0);
+        q.insert(1, 1);
+        assert_eq!(q.extract_max(), Some((1, 1)));
+        assert_eq!(q.bufs.len(), 1);
+        assert_eq!(q.bufs.free_count(), 0);
+        // Touch HOME_CACHE_CAP more instances: q's entry is the oldest
+        // and gets evicted, freeing its (empty) slot.
+        let others: Vec<_> = (0..HOME_CACHE_CAP).map(|_| tuned_q(0, 8, 0)).collect();
+        for (i, o) in others.iter().enumerate() {
+            o.insert(i as u64, 0);
+            assert_eq!(o.extract_max(), Some((i as u64, 0)));
+        }
+        assert_eq!(
+            q.bufs.free_count(),
+            1,
+            "evicted empty slot must return to the free list"
+        );
+        // A fresh thread claims the freed slot instead of growing.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                q.insert(2, 2);
+                assert_eq!(q.extract_max(), Some((2, 2)));
+            });
+        });
+        assert_eq!(
+            q.bufs.len(),
+            1,
+            "freed slot recycled, registry did not grow"
+        );
+        assert_eq!(q.bufs.free_count(), 0);
+        // The original thread, returning after eviction, re-registers
+        // (scan finds the slot now foreign-owned, so it grows by one —
+        // bounded by live threads, not by instances visited).
+        q.insert(3, 3);
+        assert_eq!(q.extract_max(), Some((3, 3)));
+        assert!(q.bufs.len() <= 2);
+    }
+
+    #[test]
+    fn eviction_keeps_nonempty_slot_owned() {
+        // A slot with staged elements cannot be freed from the eviction
+        // hook (no shard access there): it must stay owned so flushes
+        // still reach the staged elements and the owner rediscovers the
+        // slot by tag scan.
+        let q = tuned_q(0, 8, 0);
+        q.insert(1, 1); // staged, buffer non-empty
+        assert_eq!(q.pending_ins.load(Ordering::Relaxed), 1);
+        let others: Vec<_> = (0..HOME_CACHE_CAP).map(|_| tuned_q(0, 8, 0)).collect();
+        for (i, o) in others.iter().enumerate() {
+            o.insert(i as u64, 0);
+            assert_eq!(o.extract_max(), Some((i as u64, 0)));
+        }
+        assert_eq!(q.bufs.free_count(), 0, "non-empty slot must not be freed");
+        // The staged element is still reachable (flush-before-report)...
+        assert_eq!(q.extract_max(), Some((1, 1)));
+        // ...and the owner reused its old slot rather than registering anew.
+        assert_eq!(q.bufs.len(), 1);
+    }
+
+    #[test]
+    fn close_reaps_slots_and_survivors_reregister() {
+        let q = tuned_q(0, 8, 0);
+        q.insert(1, 1);
+        assert_eq!(q.extract_max(), Some((1, 1)));
+        assert_eq!(q.bufs.len(), 1);
+        q.close();
+        assert_eq!(
+            q.bufs.free_count(),
+            1,
+            "close must reap the emptied buffer slots"
+        );
+        // This thread's cache entry is now stale; the lock-then-revalidate
+        // path must re-register (reclaiming the freed slot) rather than
+        // share a slot with a future foreign owner.
+        q.insert(2, 2); // staged/inserted into a closed queue: still flushable
+        q.flush();
+        assert_eq!(q.bufs.len(), 1, "re-registration reuses the reaped slot");
     }
 
     #[test]

@@ -1,0 +1,605 @@
+//! Chunked, lock-free slab of node storage (ROADMAP open item 2).
+//!
+//! The paper's default linked-list sets pay one heap allocation per
+//! inserted element — the k-LSM's block arrays and the coordination-free
+//! *No Cords Attached* designs avoid exactly that by recycling fixed
+//! storage. This module supplies the storage layer: a [`Slab`] hands out
+//! **u32 indices** into chunked, never-moving slot arrays, so set links
+//! are 4-byte indices instead of 8-byte pointers (cache density on the
+//! tree walk) and steady-state operation touches the allocator zero
+//! times (proven by the `alloc.slab_{hits,grows}` counter pair and the
+//! `ops_latency --assert` recipe in EXPERIMENTS.md).
+//!
+//! # Layout
+//!
+//! Slots live in geometrically growing chunks: chunk `c` holds
+//! `BASE << c` slots, so 24 chunks cover the entire u32 index space and
+//! a slot's address is two shifts away from its index. Chunks are
+//! allocated at most once, published with a CAS, and never freed until
+//! the slab drops — an index, once handed out, names the same memory
+//! forever (the property the tree relies on for lock-free walks).
+//!
+//! # Recycling and the retire-epoch rule
+//!
+//! Freed slots pass through a two-stage recycler, both stages
+//! tag-counted Treiber stacks (the tag in the upper 32 bits of the head
+//! makes the pop CAS ABA-safe):
+//!
+//! 1. [`Slab::free`] stamps the slot with the current
+//!    [`smr::ebr::global_epoch`] and pushes it onto the **quarantine**
+//!    stack.
+//! 2. When the **ready** stack runs dry, the allocating thread swaps the
+//!    quarantine out wholesale and splices every slot whose stamp is
+//!    strictly below [`smr::ebr::reclaim_bound`] onto the ready stack —
+//!    the same `stamp < bound` rule the EBR collector applies to
+//!    deferred closures. A slot retired while some thread was pinned is
+//!    therefore never reused until that critical section ends.
+//!
+//! The queue's own set operations run under node locks and never hold an
+//! EBR pin, so in ZMSQ the quarantine drains on the next allocation; the
+//! epoch gate is defense-in-depth for callers that *do* traverse slots
+//! under a pin, plus a second ABA shield behind the tag counter.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+use crate::stats::Striped;
+
+/// Slots in chunk 0; chunk `c` holds `BASE << c`.
+const BASE: usize = 256;
+/// Chunk count: `256 * (2^24 - 1) = 2^32 - 256` slots, the whole u32
+/// index space short of the sentinel range.
+const NUM_CHUNKS: usize = 24;
+/// Null index (no chunk ever grows far enough to hand it out).
+pub(crate) const NIL: u32 = u32::MAX;
+/// Total addressable slots.
+const MAX_SLOTS: u64 = (BASE as u64) * ((1 << NUM_CHUNKS) - 1);
+/// Low half of a packed list head: the index.
+const IDX_MASK: u64 = u32::MAX as u64;
+
+/// One slot of storage.
+///
+/// `next` is the u32 link: a set link while the slot is live, a
+/// free-list link while it sits on the ready or quarantine stack.
+/// `meta` is the element's priority while live, the retire epoch while
+/// quarantined. Both are atomics for the benefit of the lock-free
+/// recycler (a Treiber pop reads `next` of a slot it does not yet own);
+/// live-slot accesses are all `Relaxed`, ordered by the owning node's
+/// lock.
+pub(crate) struct Slot<V> {
+    pub(crate) next: AtomicU32,
+    pub(crate) meta: AtomicU64,
+    pub(crate) value: UnsafeCell<MaybeUninit<V>>,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Self {
+        Self {
+            next: AtomicU32::new(NIL),
+            meta: AtomicU64::new(0),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+}
+
+/// Allocation counters for a [`Slab`], snapshotted by
+/// [`Slab::stats`] and surfaced as the `alloc.slab_*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlabStats {
+    /// Allocations served by recycling a freed slot (no allocator call).
+    pub hits: u64,
+    /// Chunk publications — the only events that touch the system
+    /// allocator after construction. Zero after warmup is the
+    /// alloc-free-steady-state proof.
+    pub grows: u64,
+    /// Total slot allocations.
+    pub allocs: u64,
+    /// Total slot frees.
+    pub frees: u64,
+    /// Slots currently live (`allocs - frees`).
+    pub live: u64,
+}
+
+/// A chunked, lock-free slab of `(priority, value)` node storage with a
+/// Treiber free-list recycler gated on the EBR epoch (module docs).
+pub struct Slab<V> {
+    chunks: [AtomicPtr<Slot<V>>; NUM_CHUNKS],
+    /// Next never-used index. u64 so a torn race past `MAX_SLOTS` cannot
+    /// wrap into valid indices.
+    bump: AtomicU64,
+    /// Recycled slots ready for reuse: `(tag << 32) | head_idx`.
+    ready: AtomicU64,
+    /// Freed slots awaiting their retire epoch: `(tag << 32) | head_idx`.
+    quarantine: AtomicU64,
+    hits: Striped,
+    grows: Striped,
+    allocs: Striped,
+    frees: Striped,
+}
+
+// SAFETY: the slab hands out indices; slot *values* are only accessed by
+// the slot's current exclusive owner (the allocating thread before the
+// index is published, the set holder under its node lock, the freeing
+// thread after unlinking). All shared state is atomic, and ownership
+// handoffs ride the Release/Acquire pairs of the list CASes (or the node
+// locks above us). V crosses threads by value, hence `V: Send`.
+unsafe impl<V: Send> Send for Slab<V> {}
+unsafe impl<V: Send> Sync for Slab<V> {}
+
+impl<V> Default for Slab<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> Slab<V> {
+    /// An empty slab; the first allocation publishes chunk 0.
+    pub fn new() -> Self {
+        Self {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            bump: AtomicU64::new(0),
+            ready: AtomicU64::new(NIL as u64),
+            quarantine: AtomicU64::new(NIL as u64),
+            hits: Striped::default(),
+            grows: Striped::default(),
+            allocs: Striped::default(),
+            frees: Striped::default(),
+        }
+    }
+
+    /// A slab with chunks covering at least `n` slots pre-published, so
+    /// the first `n` live elements never touch the allocator (the
+    /// [`Zmsq::bounded`](crate::Zmsq::bounded) construction).
+    /// Pre-publication does not count as growth in [`SlabStats::grows`].
+    pub fn with_capacity(n: usize) -> Self {
+        let slab = Self::new();
+        let mut covered = 0usize;
+        for c in 0..NUM_CHUNKS {
+            if covered >= n {
+                break;
+            }
+            slab.chunks[c].store(Self::alloc_chunk(c), Ordering::Relaxed);
+            covered += BASE << c;
+        }
+        slab
+    }
+
+    /// Chunk and in-chunk offset of a global index.
+    #[inline]
+    fn locate(idx: u32) -> (usize, usize) {
+        // Chunk sizes are BASE << c, so index g falls in chunk
+        // floor(log2(g / BASE + 1)), at offset g - (2^c - 1) * BASE.
+        let adj = (idx as u64 >> 8) + 1;
+        let c = (63 - adj.leading_zeros()) as usize;
+        let off = idx as usize - (((1usize << c) - 1) * BASE);
+        (c, off)
+    }
+
+    fn alloc_chunk(c: usize) -> *mut Slot<V> {
+        let n = BASE << c;
+        let mut slots: Vec<Slot<V>> = Vec::with_capacity(n);
+        slots.resize_with(n, Slot::new);
+        Box::into_raw(slots.into_boxed_slice()).cast()
+    }
+
+    /// Borrow the slot at `idx`. The chunk must have been published,
+    /// which holds for every index previously returned by [`alloc`]
+    /// (publication happens-before the index escapes).
+    ///
+    /// [`alloc`]: Self::alloc
+    #[inline]
+    pub(crate) fn slot(&self, idx: u32) -> &Slot<V> {
+        let (c, off) = Self::locate(idx);
+        let base = self.chunks[c].load(Ordering::Acquire);
+        debug_assert!(!base.is_null(), "slot {idx}: chunk {c} not published");
+        // SAFETY: published chunks are never freed until Drop and `off`
+        // is within the chunk by construction of `locate`.
+        unsafe { &*base.add(off) }
+    }
+
+    /// Allocate a slot holding `(prio, value)`, preferring recycled
+    /// storage; returns its index. The caller owns the slot exclusively
+    /// until it frees it (directly or by publishing it into a structure
+    /// with its own ownership discipline).
+    pub fn alloc(&self, prio: u64, value: V) -> u32 {
+        self.allocs.incr();
+        let idx = match self.pop_recycled() {
+            Some(idx) => {
+                self.hits.incr();
+                idx
+            }
+            None => self.bump_alloc(),
+        };
+        let slot = self.slot(idx);
+        slot.meta.store(prio, Ordering::Relaxed);
+        // SAFETY: exclusive owner of a just-allocated slot; prior value
+        // (if any) was taken by the freeing owner, so plain write.
+        unsafe { (*slot.value.get()).write(value) };
+        idx
+    }
+
+    /// Move a slot's `(prio, value)` out, in preparation for
+    /// [`free`](Self::free). The caller must own the slot (it came from
+    /// [`alloc`](Self::alloc) and was not freed since) and must call
+    /// this at most once per ownership: the value is moved, so a second
+    /// `take` would duplicate it — the same ownership contract `free`
+    /// carries, enforced by the caller's structure, not the slab.
+    pub fn take(&self, idx: u32) -> (u64, V) {
+        let slot = self.slot(idx);
+        let prio = slot.meta.load(Ordering::Relaxed);
+        // SAFETY: exclusive owner (contract above); the value was
+        // written by `alloc` and not taken since.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        (prio, value)
+    }
+
+    /// Retire a slot. The caller must have unlinked it and taken its
+    /// value out (the slab never drops values); the slot becomes
+    /// reusable once the current epoch passes (module docs).
+    pub fn free(&self, idx: u32) {
+        self.frees.incr();
+        let slot = self.slot(idx);
+        slot.meta.store(smr::ebr::global_epoch(), Ordering::Relaxed);
+        self.push(&self.quarantine, idx);
+    }
+
+    /// Pop a ready slot, migrating ripe quarantined slots on a miss.
+    fn pop_recycled(&self) -> Option<u32> {
+        if let Some(idx) = self.pop(&self.ready) {
+            return Some(idx);
+        }
+        if self.migrate_quarantine() {
+            return self.pop(&self.ready);
+        }
+        None
+    }
+
+    /// Hand out a never-used index, publishing its chunk if this thread
+    /// gets there first.
+    fn bump_alloc(&self) -> u32 {
+        let g = self.bump.fetch_add(1, Ordering::Relaxed);
+        assert!(g < MAX_SLOTS, "slab exhausted ({MAX_SLOTS} slots)");
+        let idx = g as u32;
+        let (c, _) = Self::locate(idx);
+        if self.chunks[c].load(Ordering::Acquire).is_null() {
+            let fresh = Self::alloc_chunk(c);
+            match self.chunks[c].compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => self.grows.incr(),
+                // Another thread published the chunk first.
+                // SAFETY: `fresh` never escaped this thread.
+                Err(_) => unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        fresh,
+                        BASE << c,
+                    )));
+                },
+            }
+        }
+        idx
+    }
+
+    /// Tagged-Treiber pop. Reading `next` of a slot we do not own is the
+    /// classic ABA window — the tag in the upper head bits fails the CAS
+    /// if the stack changed underneath us, and the epoch quarantine keeps
+    /// the window short. `slab.free-pop` lets the det harness schedule a
+    /// full free/realloc cycle inside the window.
+    fn pop(&self, head: &AtomicU64) -> Option<u32> {
+        let mut cur = head.load(Ordering::Acquire);
+        loop {
+            let idx = (cur & IDX_MASK) as u32;
+            if idx == NIL {
+                return None;
+            }
+            let next = self.slot(idx).next.load(Ordering::Relaxed);
+            det::det_point!("slab.free-pop");
+            let new = ((cur >> 32).wrapping_add(1) << 32) | next as u64;
+            match head.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Some(idx),
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Tagged-Treiber push of a single slot.
+    fn push(&self, head: &AtomicU64, idx: u32) {
+        let slot = self.slot(idx);
+        let mut cur = head.load(Ordering::Relaxed);
+        loop {
+            slot.next.store((cur & IDX_MASK) as u32, Ordering::Relaxed);
+            let new = ((cur >> 32).wrapping_add(1) << 32) | idx as u64;
+            match head.compare_exchange_weak(cur, new, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Splice a privately linked chain (`chain_head ..= chain_tail`)
+    /// onto `head` with one CAS.
+    fn splice(&self, head: &AtomicU64, chain_head: u32, chain_tail: u32) {
+        let tail = self.slot(chain_tail);
+        let mut cur = head.load(Ordering::Relaxed);
+        loop {
+            tail.next.store((cur & IDX_MASK) as u32, Ordering::Relaxed);
+            let new = ((cur >> 32).wrapping_add(1) << 32) | chain_head as u64;
+            match head.compare_exchange_weak(cur, new, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Swap the quarantine out wholesale and move every slot whose
+    /// retire stamp is strictly below the EBR reclaim bound onto the
+    /// ready stack; unripe slots go back to quarantine. Returns whether
+    /// anything became ready.
+    fn migrate_quarantine(&self) -> bool {
+        let mut cur = self.quarantine.load(Ordering::Acquire);
+        loop {
+            if (cur & IDX_MASK) as u32 == NIL {
+                return false;
+            }
+            let emptied = ((cur >> 32).wrapping_add(1) << 32) | NIL as u64;
+            match self.quarantine.compare_exchange_weak(
+                cur,
+                emptied,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        // The chain is now exclusively ours.
+        let bound = smr::ebr::reclaim_bound();
+        let mut walk = (cur & IDX_MASK) as u32;
+        let (mut ripe_head, mut ripe_tail) = (NIL, NIL);
+        while walk != NIL {
+            let slot = self.slot(walk);
+            let next = slot.next.load(Ordering::Relaxed);
+            if slot.meta.load(Ordering::Relaxed) < bound {
+                slot.next.store(ripe_head, Ordering::Relaxed);
+                if ripe_head == NIL {
+                    ripe_tail = walk;
+                }
+                ripe_head = walk;
+            } else {
+                // Still covered by a pinned critical section: back into
+                // quarantine for a later pass.
+                self.push(&self.quarantine, walk);
+            }
+            walk = next;
+        }
+        if ripe_head == NIL {
+            return false;
+        }
+        self.splice(&self.ready, ripe_head, ripe_tail);
+        true
+    }
+
+    /// Point-in-time counter snapshot.
+    pub fn stats(&self) -> SlabStats {
+        let allocs = self.allocs.sum();
+        let frees = self.frees.sum();
+        SlabStats {
+            hits: self.hits.sum(),
+            grows: self.grows.sum(),
+            allocs,
+            frees,
+            live: allocs.saturating_sub(frees),
+        }
+    }
+
+    /// Slots currently live (`allocs - frees`); exact at quiescence.
+    pub fn live(&self) -> u64 {
+        self.stats().live
+    }
+}
+
+impl<V> Drop for Slab<V> {
+    fn drop(&mut self) {
+        for (c, chunk) in self.chunks.iter_mut().enumerate() {
+            let base = *chunk.get_mut();
+            if base.is_null() {
+                continue;
+            }
+            // SAFETY: published chunks come from `alloc_chunk`'s boxed
+            // slice of exactly `BASE << c` slots, freed exactly once
+            // here. Values are MaybeUninit (no drop glue): every live V
+            // was taken by its owning set before the slab can drop.
+            unsafe {
+                drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                    base,
+                    BASE << c,
+                )));
+            }
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for Slab<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("Slab")
+            .field("live", &s.live)
+            .field("hits", &s.hits)
+            .field("grows", &s.grows)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// EBR epoch/pin state is process-global; tests that assert on the
+    /// quarantine gate must not overlap other pinning tests.
+    fn ebr_serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn take(slab: &Slab<u64>, idx: u32) -> u64 {
+        // SAFETY: test is the exclusive owner of its live slots.
+        let v = unsafe { (*slab.slot(idx).value.get()).assume_init_read() };
+        slab.free(idx);
+        v
+    }
+
+    #[test]
+    fn locate_maps_chunk_boundaries() {
+        assert_eq!(Slab::<u64>::locate(0), (0, 0));
+        assert_eq!(Slab::<u64>::locate(255), (0, 255));
+        assert_eq!(Slab::<u64>::locate(256), (1, 0));
+        assert_eq!(Slab::<u64>::locate(767), (1, 511));
+        assert_eq!(Slab::<u64>::locate(768), (2, 0));
+        assert_eq!(Slab::<u64>::locate(768 + 1024), (3, 0));
+        // The deepest addressable index lands at the end of the last chunk.
+        let last = (MAX_SLOTS - 1) as u32;
+        let (c, off) = Slab::<u64>::locate(last);
+        assert_eq!(c, NUM_CHUNKS - 1);
+        assert_eq!(off, (BASE << c) - 1);
+    }
+
+    #[test]
+    fn alloc_roundtrips_prio_and_value() {
+        let slab: Slab<u64> = Slab::new();
+        let a = slab.alloc(7, 70);
+        let b = slab.alloc(9, 90);
+        assert_ne!(a, b);
+        assert_eq!(slab.slot(a).meta.load(Ordering::Relaxed), 7);
+        assert_eq!(slab.slot(b).meta.load(Ordering::Relaxed), 9);
+        assert_eq!(take(&slab, a), 70);
+        assert_eq!(take(&slab, b), 90);
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn freed_slots_recycle_without_growth() {
+        let _g = ebr_serial();
+        let slab: Slab<u64> = Slab::new();
+        let first: Vec<u32> = (0..8).map(|i| slab.alloc(i, i)).collect();
+        let grows_before = slab.stats().grows;
+        for &idx in &first {
+            let _ = take(&slab, idx);
+        }
+        // With no thread pinned the quarantine is immediately ripe.
+        let second: Vec<u32> = (0..8).map(|i| slab.alloc(i, i)).collect();
+        let s = slab.stats();
+        assert_eq!(s.grows, grows_before, "recycling must not grow");
+        assert_eq!(s.hits, 8, "all eight came from the free list");
+        let mut reused: Vec<u32> = second.clone();
+        reused.sort_unstable();
+        let mut orig = first.clone();
+        orig.sort_unstable();
+        assert_eq!(reused, orig, "exactly the freed slots were reused");
+    }
+
+    #[test]
+    fn with_capacity_prepublishes_chunks() {
+        let slab: Slab<u64> = Slab::with_capacity(300);
+        // 300 > 256 needs chunks 0 and 1 = 768 slots.
+        let idxs: Vec<u32> = (0..768).map(|i| slab.alloc(i, i)).collect();
+        assert_eq!(slab.stats().grows, 0, "pre-published chunks never grow");
+        assert_eq!(slab.live(), 768);
+        for idx in idxs {
+            let _ = take(&slab, idx);
+        }
+    }
+
+    #[test]
+    fn pinned_epoch_defers_reuse() {
+        let _g = ebr_serial();
+        let slab: Slab<u64> = Slab::new();
+        let idx = slab.alloc(1, 1);
+        let pin = smr::ebr::pin();
+        let _ = take(&slab, idx); // quarantined at the pinned epoch
+        let other = slab.alloc(2, 2);
+        assert_ne!(
+            other, idx,
+            "slot freed under a live pin must not be recycled"
+        );
+        assert_eq!(slab.stats().hits, 0);
+        drop(pin);
+        // Bound can lag one migration attempt behind a pin storm from
+        // concurrent tests; poll briefly.
+        let mut reused = slab.alloc(3, 3);
+        for _ in 0..1_000 {
+            if reused == idx {
+                break;
+            }
+            let _ = take(&slab, reused);
+            std::thread::yield_now();
+            reused = slab.alloc(3, 3);
+        }
+        assert_eq!(reused, idx, "slot reusable once the pin ended");
+        let _ = take(&slab, reused);
+        let _ = take(&slab, other);
+    }
+
+    #[test]
+    fn stats_live_tracks_alloc_minus_free() {
+        let slab: Slab<u64> = Slab::new();
+        let mut held = Vec::new();
+        for i in 0..100u64 {
+            held.push(slab.alloc(i, i));
+            if i % 3 == 0 {
+                let idx = held.swap_remove((i as usize * 7) % held.len());
+                let _ = take(&slab, idx);
+            }
+        }
+        let s = slab.stats();
+        assert_eq!(s.live, held.len() as u64);
+        assert_eq!(s.allocs - s.frees, s.live);
+        for idx in held {
+            let _ = take(&slab, idx);
+        }
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn concurrent_alloc_free_conserves_slots() {
+        let _g = ebr_serial();
+        use std::sync::Arc;
+        let slab: Arc<Slab<u64>> = Arc::new(Slab::new());
+        let threads = 4;
+        let per = if cfg!(miri) { 40 } else { 2_000 };
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let slab = Arc::clone(&slab);
+            handles.push(std::thread::spawn(move || {
+                let mut held: Vec<u32> = Vec::new();
+                for i in 0..per {
+                    let tagged = ((t as u64) << 32) | i as u64;
+                    held.push(slab.alloc(i as u64, tagged));
+                    if i % 2 == 1 {
+                        let idx = held.swap_remove(i % held.len());
+                        // SAFETY: this thread owns every index in `held`.
+                        let v = unsafe { (*slab.slot(idx).value.get()).assume_init_read() };
+                        assert_eq!(v >> 32, t as u64, "slot value crossed owners");
+                        slab.free(idx);
+                    }
+                }
+                for idx in held {
+                    // SAFETY: owned.
+                    let v = unsafe { (*slab.slot(idx).value.get()).assume_init_read() };
+                    assert_eq!(v >> 32, t as u64);
+                    slab.free(idx);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = slab.stats();
+        assert_eq!(s.live, 0);
+        assert_eq!(s.allocs, (threads * per) as u64);
+        assert_eq!(s.frees, s.allocs);
+    }
+}

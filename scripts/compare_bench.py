@@ -13,9 +13,14 @@ exits nonzero when the new run regresses:
   2.0) plus ``--rank-slack`` (default 128 — at the default 1/64
   sampling rate the estimator's rank quantum is 64, so tiny baselines
   would otherwise gate on one quantum of noise).
-* **latency keys** (name ends with ``_ns``): warn-only. Latency tails
-  on shared CI runners are too noisy to gate on; the trend is still
-  printed for the human reading the log.
+* **insert-p50 keys** (name ends with ``insert_p50_ns``): lower is
+  better; fail when the new value rises more than ``--p50-tolerance``
+  percent (default 10) above baseline. The median is stable enough to
+  gate on (unlike the tails) and is where an allocation slipped back
+  onto the hot path shows first — the slab arm exists to keep it flat.
+* **other latency keys** (name ends with ``_ns``): warn-only. Latency
+  tails on shared CI runners are too noisy to gate on; the trend is
+  still printed for the human reading the log.
 * anything else: warn-only on large moves.
 
 ``--synthetic-drop PCT`` scales the new run's throughput values down
@@ -68,6 +73,10 @@ def is_rank(key: str) -> bool:
     return key.endswith("est_rank_p99")
 
 
+def is_insert_p50(key: str) -> bool:
+    return key.endswith("insert_p50_ns")
+
+
 def is_latency(key: str) -> bool:
     return key.endswith("_ns")
 
@@ -82,6 +91,13 @@ def main(argv=None) -> int:
         default=10.0,
         metavar="PCT",
         help="max allowed throughput drop in percent (default 10)",
+    )
+    p.add_argument(
+        "--p50-tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="max allowed insert-p50 latency rise in percent (default 10)",
     )
     p.add_argument(
         "--rank-factor",
@@ -147,6 +163,16 @@ def main(argv=None) -> int:
                 failures.append(f"{line} rank error regressed past the ceiling")
             else:
                 print(f"ok   {line}")
+        elif is_insert_p50(key):
+            ceil = b * (1.0 + args.p50_tolerance / 100.0)
+            delta = (n - b) / b * 100.0 if b else 0.0
+            line = f"{key}: {b:.0f} -> {n:.0f} ns ({delta:+.1f}%)"
+            if b > 0 and n > ceil:
+                failures.append(
+                    f"{line} above the {args.p50_tolerance:.0f}% insert-p50 tolerance"
+                )
+            else:
+                print(f"ok   {line}")
         elif is_latency(key):
             if b > 0 and n > b * 2.0:
                 warnings.append(f"{key}: {b:.0f} -> {n:.0f} ns (>2x, warn-only)")
@@ -194,23 +220,45 @@ def self_test() -> int:
     ok = [2_000_000.0, 150.0]  # throughput, est_rank_p99
     failed = 0
     with tempfile.TemporaryDirectory() as d:
+        P50 = 120.0
         base = doc(
             os.path.join(d, "base.json"),
-            {"q/throughput_ops_per_s": ok[0], "q/est_rank_p99": ok[1]},
+            {
+                "q/throughput_ops_per_s": ok[0],
+                "q/est_rank_p99": ok[1],
+                "q/insert_p50_ns": P50,
+            },
         )
         same = doc(
             os.path.join(d, "same.json"),
-            {"q/throughput_ops_per_s": ok[0], "q/est_rank_p99": ok[1]},
+            {
+                "q/throughput_ops_per_s": ok[0],
+                "q/est_rank_p99": ok[1],
+                "q/insert_p50_ns": P50,
+            },
         )
         slow = doc(
             os.path.join(d, "slow.json"),
-            {"q/throughput_ops_per_s": ok[0] * 0.5, "q/est_rank_p99": ok[1]},
+            {
+                "q/throughput_ops_per_s": ok[0] * 0.5,
+                "q/est_rank_p99": ok[1],
+                "q/insert_p50_ns": P50,
+            },
+        )
+        p50_bad = doc(
+            os.path.join(d, "p50_bad.json"),
+            {
+                "q/throughput_ops_per_s": ok[0],
+                "q/est_rank_p99": ok[1],
+                "q/insert_p50_ns": P50 * 1.25,
+            },
         )
         extra = doc(
             os.path.join(d, "extra.json"),
             {
                 "q/throughput_ops_per_s": ok[0],
                 "q/est_rank_p99": ok[1],
+                "q/insert_p50_ns": P50,
                 "q2/throughput_ops_per_s": 1.0,
             },
         )
@@ -220,6 +268,12 @@ def self_test() -> int:
         cases = [
             ("identical summaries pass", run(base, same), 0),
             ("throughput drop fails", run(base, slow), 1),
+            ("insert-p50 regression fails", run(base, p50_bad), 1),
+            (
+                "insert-p50 regression passes under a relaxed tolerance",
+                run(base, p50_bad, "--p50-tolerance", "50"),
+                0,
+            ),
             ("synthetic drop trips the gate", run(base, same, "--synthetic-drop", "50"), 1),
             ("missing baseline is a usage error", run(os.path.join(d, "nope.json"), same), 2),
             ("unparseable JSON is a usage error", run(bad, same), 2),
